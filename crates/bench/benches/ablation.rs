@@ -1,0 +1,87 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **Diamond grouping** (paper §6): blocked `Q2` application vs the
+//!   naive one-reflector-at-a-time Level-2 path it replaces.
+//! * **Reflector grouping width `ell`**: the padding-vs-block-size
+//!   trade-off of the diamond kernel.
+//! * **Stage-2 scheduler**: serial kernel loop vs static pipelined
+//!   scheduler vs dynamic superscalar runtime (paper §3's dynamic/static
+//!   hybrid argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tseig_bench::workload;
+use tseig_core::stage2::{reduce, reduce_scheduled, Stage2Exec};
+use tseig_matrix::Matrix;
+
+fn q2_grouping(c: &mut Criterion) {
+    let n = 384;
+    let nb = 24;
+    let a = workload(n, 0xAB1);
+    let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+    let chase = reduce(bf.band.clone());
+    let e = Matrix::identity(n);
+
+    let mut g = c.benchmark_group("ablation_q2_grouping");
+    g.sample_size(10);
+    g.bench_function("naive_per_reflector", |b| {
+        b.iter(|| {
+            let mut z = e.clone();
+            tseig_core::backtransform::apply_q2_naive(&chase.v2, &mut z);
+            z
+        })
+    });
+    for ell in [1usize, 4, 12, 24, 48] {
+        g.bench_function(BenchmarkId::new("diamond_ell", ell), |b| {
+            b.iter(|| {
+                let mut z = e.clone();
+                tseig_core::backtransform::apply_q2(&chase.v2, &mut z, ell, 0);
+                z
+            })
+        });
+    }
+    g.finish();
+}
+
+fn stage2_schedulers(c: &mut Criterion) {
+    let n = 512;
+    let nb = 24;
+    let a = workload(n, 0xAB2);
+    let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+
+    let mut g = c.benchmark_group("ablation_stage2_scheduler");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| reduce(bf.band.clone())));
+    for t in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::new("static", t), |b| {
+            b.iter(|| reduce_scheduled(bf.band.clone(), Stage2Exec::Static(t)).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("dynamic", t), |b| {
+            b.iter(|| reduce_scheduled(bf.band.clone(), Stage2Exec::Dynamic(t)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn stage1_inner_blocking(c: &mut Criterion) {
+    // ib (panel QR inner block) ablation: the paper's "aggregation" of
+    // reflector applications.
+    let n = 512;
+    let nb = 32;
+    let a = workload(n, 0xAB3);
+    let mut g = c.benchmark_group("ablation_stage1_ib");
+    g.sample_size(10);
+    for ib in [1usize, 4, 8, 16, 32] {
+        g.bench_function(BenchmarkId::new("ib", ib), |b| {
+            b.iter(|| tseig_core::stage1::sy2sb(&a, nb, ib))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    q2_grouping,
+    stage2_schedulers,
+    stage1_inner_blocking
+);
+criterion_main!(benches);

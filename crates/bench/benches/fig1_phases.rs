@@ -1,0 +1,62 @@
+//! Figure 1: phase timing of both pipelines (criterion form).
+//!
+//! Benchmarks the three phases (reduction, tridiagonal eigensolve,
+//! eigenvector update) of each pipeline separately so their relative
+//! shares — the paper's pie charts — fall out of the criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tseig_bench::{default_nb, workload};
+use tseig_onestage::sytrd::sytrd;
+use tseig_tridiag::{EigenRange, Method};
+
+fn phases(c: &mut Criterion) {
+    let n = 384;
+    let a = workload(n, 0xF1);
+    let nb = default_nb(n);
+
+    let mut g = c.benchmark_group("fig1_phases");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("one_stage_reduction", n), |b| {
+        b.iter(|| sytrd(a.clone(), 32))
+    });
+    g.bench_function(BenchmarkId::new("two_stage_reduction", n), |b| {
+        b.iter(|| {
+            let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+            tseig_core::stage2::reduce(bf.band)
+        })
+    });
+
+    // Shared tridiagonal phase.
+    let fac = sytrd(a.clone(), 32);
+    let tri = fac.tridiagonal();
+    g.bench_function(BenchmarkId::new("eig_of_t_dc", n), |b| {
+        b.iter(|| {
+            tseig_tridiag::solve(&tri, Method::DivideAndConquer, EigenRange::All, true).unwrap()
+        })
+    });
+
+    // Update Z, one- vs two-stage.
+    let e = tseig_matrix::Matrix::identity(n);
+    g.bench_function(BenchmarkId::new("update_z_one_stage", n), |b| {
+        b.iter(|| {
+            let mut z = e.clone();
+            tseig_onestage::ormtr::ormtr_left(&fac, &mut z);
+            z
+        })
+    });
+    let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+    let chase = tseig_core::stage2::reduce(bf.band.clone());
+    g.bench_function(BenchmarkId::new("update_z_two_stage", n), |b| {
+        b.iter(|| {
+            let mut z = e.clone();
+            tseig_core::backtransform::apply_q2(&chase.v2, &mut z, nb, 0);
+            tseig_core::backtransform::apply_q1(&bf.panels, &mut z, 0);
+            z
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, phases);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 4 (a-d): two-stage vs one-stage across the four evaluation
+//! scenarios, as paired criterion benchmarks per size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tseig_bench::{default_nb, workload};
+use tseig_core::SymmetricEigen;
+use tseig_onestage::{syev, OneStageOptions};
+use tseig_tridiag::{EigenRange, Method};
+
+fn bench_pair(
+    c: &mut Criterion,
+    group: &str,
+    n: usize,
+    method: Method,
+    range: EigenRange,
+    vectors: bool,
+) {
+    let a = workload(n, 0xF4);
+    let nb = default_nb(n);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("one_stage", n), |b| {
+        b.iter(|| syev(&a, range, vectors, &OneStageOptions { nb: 32, method }).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("two_stage", n), |b| {
+        b.iter(|| {
+            SymmetricEigen::new()
+                .nb(nb)
+                .method(method)
+                .range(range)
+                .vectors(vectors)
+                .solve(&a)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    let n = 384;
+    // (a) D&C, all vectors.
+    bench_pair(
+        c,
+        "fig4a_dc_all",
+        n,
+        Method::DivideAndConquer,
+        EigenRange::All,
+        true,
+    );
+    // (b) MRRR stand-in, all vectors.
+    bench_pair(
+        c,
+        "fig4b_mrrr_all",
+        n,
+        Method::BisectionInverse,
+        EigenRange::All,
+        true,
+    );
+    // (c) reduction only.
+    bench_pair(
+        c,
+        "fig4c_trd_only",
+        n,
+        Method::DivideAndConquer,
+        EigenRange::All,
+        false,
+    );
+    // (d) 20% of the vectors.
+    bench_pair(
+        c,
+        "fig4d_frac20",
+        n,
+        Method::BisectionInverse,
+        EigenRange::Index(0, (n as f64 * 0.2) as usize),
+        true,
+    );
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

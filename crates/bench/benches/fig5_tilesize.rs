@@ -1,0 +1,27 @@
+//! Figure 5: stage-1 and stage-2 time as a function of the tile/band
+//! size `nb` at fixed `n` — the tuning trade-off between the
+//! compute-bound first stage (wants large `nb`) and the cache-resident
+//! bulge chase (wants `nb` blocks to fit in L2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tseig_bench::workload;
+
+fn tilesize(c: &mut Criterion) {
+    let n = 512;
+    let a = workload(n, 0xF5);
+    let mut g = c.benchmark_group("fig5_tilesize");
+    g.sample_size(10);
+    for nb in [8usize, 16, 32, 64, 128] {
+        g.bench_function(BenchmarkId::new("stage1", nb), |b| {
+            b.iter(|| tseig_core::stage1::sy2sb(&a, nb, 0))
+        });
+        let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+        g.bench_function(BenchmarkId::new("stage2", nb), |b| {
+            b.iter(|| tseig_core::stage2::reduce(bf.band.clone()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tilesize);
+criterion_main!(benches);

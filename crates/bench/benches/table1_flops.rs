@@ -1,0 +1,28 @@
+//! Table 1: verify the flop-complexity claims with the instrumented
+//! counters rather than wall time. Criterion measures the counting runs;
+//! the assertions (complexity coefficients) live in the harness's unit
+//! tests and in `reproduce table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tseig_bench::table1;
+
+fn flops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_flops");
+    g.sample_size(10);
+    g.bench_function("measure_all_phases_n192", |b| {
+        b.iter(|| {
+            let m = table1(192);
+            // The Table-1 doubling must hold on every iteration.
+            assert!(
+                m.upd_two / m.upd_one > 1.4,
+                "update ratio {}",
+                m.upd_two / m.upd_one
+            );
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, flops);
+criterion_main!(benches);

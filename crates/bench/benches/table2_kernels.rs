@@ -1,0 +1,75 @@
+//! Table 2 / Table 3: kernel execution rates — `gemm` (the model's
+//! `alpha`) vs `symv`/`gemv` (the model's `beta`). The gap between the
+//! two lines is the entire argument of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tseig_bench::workload;
+use tseig_kernels::blas2::{gemv, symv_lower};
+use tseig_kernels::blas3::{gemm, gemm_par, Trans};
+use tseig_matrix::Matrix;
+
+fn kernels(c: &mut Criterion) {
+    let n = 512;
+    let a = workload(n, 0x72);
+    let b = workload(n, 0x73);
+    let x = vec![1.0f64; n];
+
+    let mut g = c.benchmark_group("table2_kernels");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function(BenchmarkId::new("gemm", n), |bch| {
+        let mut cm = Matrix::zeros(n, n);
+        bch.iter(|| {
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                cm.as_mut_slice(),
+                n,
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("gemm_par", n), |bch| {
+        let mut cm = Matrix::zeros(n, n);
+        bch.iter(|| {
+            gemm_par(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                cm.as_mut_slice(),
+                n,
+            )
+        })
+    });
+
+    g.throughput(Throughput::Elements((2 * n * n) as u64));
+    g.bench_function(BenchmarkId::new("symv", n), |bch| {
+        let mut y = vec![0.0f64; n];
+        bch.iter(|| symv_lower(n, 1.0, a.as_slice(), n, &x, 0.0, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("gemv", n), |bch| {
+        let mut y = vec![0.0f64; n];
+        bch.iter(|| gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+use tseig_matrix::Matrix;
+fn main() {
+    let n = 1536;
+    for nb in [16usize, 24, 32, 48] {
+        let a = tseig_matrix::gen::random_symmetric(n, 5);
+        let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+        let chase = tseig_core::stage2::reduce(bf.band.clone());
+        for ell in [nb / 2, nb] {
+            let mut e = Matrix::identity(n);
+            let t0 = std::time::Instant::now();
+            tseig_core::backtransform::apply_q2(&chase.v2, &mut e, ell, 128);
+            let dt = t0.elapsed();
+            println!(
+                "nb={nb:3} ell={ell:3}: {dt:9.1?} ({:.2} Gflop/s useful)",
+                2.0 * (n as f64).powi(3) / dt.as_secs_f64() / 1e9
+            );
+        }
+    }
+}

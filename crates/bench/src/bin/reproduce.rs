@@ -1,0 +1,226 @@
+//! Reproduce every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p tseig-bench --bin reproduce -- all
+//! cargo run --release -p tseig-bench --bin reproduce -- fig4a --sizes 256,512,1024
+//! ```
+//!
+//! Subcommands: `fig1 fig4a fig4b fig4c fig4d fig5 table1 table2 table3
+//! model all`. `--sizes a,b,c` overrides the size sweep; `--n x` the
+//! fixed size of fig5/table benches.
+
+use tseig_bench::*;
+
+fn parse_sizes(args: &[String], flag: &str, default: Vec<usize>) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or(default)
+}
+
+fn parse_n(args: &[String], default: usize) -> usize {
+    args.iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_fig1(sizes: &[usize]) {
+    println!("\n== Figure 1: % of time per phase (all eigenvectors, D&C) ==");
+    println!("paper: one-stage TRD >60% of total; two-stage cuts phases 1+3 ~3x,");
+    println!("       making the tridiagonal eigensolver ~50% of the new total.");
+    println!(
+        "{:>10} {:>7} {:>8} {:>8} {:>8} {:>10}",
+        "pipeline", "n", "TRD%", "EigT%", "UpdZ%", "total"
+    );
+    for r in fig1(sizes) {
+        println!(
+            "{:>10} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>10.2?}",
+            r.pipeline, r.n, r.pct.0, r.pct.1, r.pct.2, r.total
+        );
+    }
+}
+
+fn run_fig4(variant: Fig4Variant, label: &str, paper_note: &str, sizes: &[usize]) {
+    println!("\n== Figure 4{label}: two-stage speedup over one-stage ==");
+    println!("paper: {paper_note}");
+    println!(
+        "{:>7} {:>12} {:>12} {:>9}",
+        "n", "one-stage", "two-stage", "speedup"
+    );
+    for r in fig4(variant, sizes) {
+        println!(
+            "{:>7} {:>12.3?} {:>12.3?} {:>8.2}x",
+            r.n, r.t_one, r.t_two, r.speedup
+        );
+    }
+}
+
+fn run_fig5(n: usize, nbs: &[usize]) {
+    println!("\n== Figure 5: effect of tile size nb (n = {n}) ==");
+    println!("paper: stage 1 wants large nb (120..300); stage 2 degrades beyond the");
+    println!("       L2 capacity; best compromise 120 < nb < 200 on their hardware.");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "nb", "stage1", "stage2", "stage1 Gflop/s"
+    );
+    for r in fig5(n, nbs) {
+        println!(
+            "{:>6} {:>14.3?} {:>12.3?} {:>14.2}",
+            r.nb, r.t_stage1, r.t_stage2, r.gflops_stage1
+        );
+    }
+}
+
+fn run_table1(n: usize) {
+    println!("\n== Table 1: measured flop complexity (units of n^3, n = {n}) ==");
+    println!("paper (analytic): TRD 4/3; Update Z one-stage 2, two-stage 4.");
+    let m = table1(n);
+    println!(
+        "  one-stage reduction : {:>6.3} n^3 (analytic 1.333)",
+        m.trd_one
+    );
+    println!(
+        "  two-stage reduction : {:>6.3} n^3 (analytic 1.333 + O(n^2 nb))",
+        m.trd_two
+    );
+    println!(
+        "  one-stage Update Z  : {:>6.3} n^3 (analytic 2)",
+        m.upd_one
+    );
+    println!(
+        "  two-stage Update Z  : {:>6.3} n^3 (analytic 4 — the doubling)",
+        m.upd_two
+    );
+    println!(
+        "  update ratio        : {:>6.2}x  (paper: 2x)",
+        m.upd_two / m.upd_one
+    );
+}
+
+fn run_table2(n: usize) {
+    println!("\n== Table 2: kernel execution rates (n = {n}) ==");
+    println!("paper: SYMV-class ops run at memory speed, GEMM at compute speed;");
+    println!("       TRD does 4x SYMV, BRD 4x GEMV, HRD 10x GEMV per element.");
+    let t = table2(n);
+    println!("  gemm : {:>8.2} Gflop/s (compute-bound, alpha)", t.gemm);
+    println!(
+        "  symv : {:>8.2} Gflop/s (memory-bound, beta — TRD kernel)",
+        t.symv
+    );
+    println!(
+        "  gemv : {:>8.2} Gflop/s (memory-bound — BRD/HRD kernel)",
+        t.gemv
+    );
+    println!("  alpha/beta : {:>6.1}", t.gemm / t.symv);
+    let r = table2_reductions(n.min(768));
+    println!("  whole reductions (achieved rate, one-stage):");
+    println!("    TRD (4x SYMV) : {:>8.2} Gflop/s", r.trd);
+    println!("    BRD (4x GEMV) : {:>8.2} Gflop/s", r.brd);
+    println!("    HRD (10x GEMV): {:>8.2} Gflop/s", r.hrd);
+}
+
+fn run_table3() {
+    println!("\n== Table 3 + Eq. 6: model parameters on this machine ==");
+    println!("paper: AMD Magny-Cours alpha 10 Gflop/s, p 12; Sandy Bridge alpha 20, p 8.");
+    let (mp, full, frac) = table3(64);
+    println!("  alpha (1 core) : {:>8.2} Gflop/s", mp.alpha_core / 1e9);
+    println!("  alpha (p cores): {:>8.2} Gflop/s", mp.alpha_par / 1e9);
+    println!("  beta  (symv)   : {:>8.2} Gflop/s", mp.beta / 1e9);
+    println!("  p              : {:>8}", mp.p);
+    match full {
+        Some(nc) => println!("  crossover n* (f=1.0): {nc:.0}"),
+        None => println!("  crossover n* (f=1.0): none (one-stage always wins)"),
+    }
+    match frac {
+        Some(nc) => println!("  crossover n* (f=0.2): {nc:.0}"),
+        None => println!("  crossover n* (f=0.2): none"),
+    }
+}
+
+fn run_model() {
+    println!("\n== Eqs. 4-5: model predictions on this machine ==");
+    let (mp, _, _) = table3(64);
+    let m = mp.model(64, 1.0);
+    println!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "n", "t_1s (s)", "t_2s (s)", "speedup"
+    );
+    for n in [512usize, 1024, 2048, 4096, 8192, 16384] {
+        let t1 = tseig_perfmodel::t_one_stage(n, &m);
+        let t2 = tseig_perfmodel::t_two_stage(n, &m);
+        println!("{n:>8} {t1:>12.3} {t2:>12.3} {:>8.2}x", t1 / t2);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let sizes = parse_sizes(&args, "--sizes", vec![256, 384, 512, 768, 1024]);
+    let small_sizes = parse_sizes(&args, "--sizes", vec![256, 384, 512]);
+
+    match cmd {
+        "fig1" => run_fig1(&small_sizes),
+        "fig4a" => run_fig4(Fig4Variant::DcAll, "a", "~2x with D&C, all vectors", &sizes),
+        "fig4b" => run_fig4(
+            Fig4Variant::MrrrAll,
+            "b",
+            "~2x with MRRR-class solver, all vectors",
+            &sizes,
+        ),
+        "fig4c" => run_fig4(
+            Fig4Variant::TrdOnly,
+            "c",
+            "up to 8x, reduction only",
+            &sizes,
+        ),
+        "fig4d" => run_fig4(
+            Fig4Variant::Fraction20,
+            "d",
+            "~4x with 20% of the eigenvectors",
+            &sizes,
+        ),
+        "fig5" => run_fig5(
+            parse_n(&args, 768),
+            &parse_sizes(&args, "--nbs", vec![8, 16, 24, 32, 48, 64, 96, 128]),
+        ),
+        "table1" => run_table1(parse_n(&args, 256)),
+        "table2" => run_table2(parse_n(&args, 1024)),
+        "table3" => run_table3(),
+        "model" => run_model(),
+        "all" => {
+            run_table3();
+            run_model();
+            run_table2(1024);
+            run_table1(parse_n(&args, 256));
+            run_fig1(&small_sizes);
+            run_fig4(Fig4Variant::DcAll, "a", "~2x with D&C, all vectors", &sizes);
+            run_fig4(
+                Fig4Variant::MrrrAll,
+                "b",
+                "~2x with MRRR-class solver, all vectors",
+                &sizes,
+            );
+            run_fig4(
+                Fig4Variant::TrdOnly,
+                "c",
+                "up to 8x, reduction only",
+                &sizes,
+            );
+            run_fig4(
+                Fig4Variant::Fraction20,
+                "d",
+                "~4x with 20% of the eigenvectors",
+                &sizes,
+            );
+            run_fig5(parse_n(&args, 768), &[8, 16, 24, 32, 48, 64, 96, 128]);
+        }
+        other => {
+            eprintln!("unknown subcommand '{other}'");
+            eprintln!("usage: reproduce [fig1|fig4a|fig4b|fig4c|fig4d|fig5|table1|table2|table3|model|all] [--sizes a,b,c] [--n x] [--nbs a,b,c]");
+            std::process::exit(2);
+        }
+    }
+}

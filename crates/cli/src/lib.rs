@@ -1,0 +1,381 @@
+//! Library backing the `tseig` binary (kept as a lib so the argument
+//! parsing and command logic are unit-testable).
+
+use std::io::{BufRead, Write};
+use tseig_core::SymmetricEigen;
+use tseig_matrix::{io as mmio, norms};
+use tseig_tridiag::{EigenRange, Method};
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  tseig eig  <A.mtx> [--nb N] [--method dc|qr|bisect] [--values-only]
+             [--fraction F] [--range LO:HI] [--one-stage] [--vectors-out Z.mtx]
+  tseig svd  <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
+  tseig info <A.mtx>";
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cli {
+    Eig {
+        path: String,
+        nb: usize,
+        method: Method,
+        values_only: bool,
+        fraction: Option<f64>,
+        range: Option<(usize, usize)>,
+        one_stage: bool,
+        vectors_out: Option<String>,
+    },
+    Svd {
+        path: String,
+        values_only: bool,
+        u_out: Option<String>,
+        v_out: Option<String>,
+    },
+    Info {
+        path: String,
+    },
+}
+
+impl Cli {
+    /// Parse arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut it = args.iter();
+        let cmd = it.next().ok_or("missing command")?;
+        let path = it.next().ok_or("missing matrix file")?.clone();
+        let rest: Vec<&String> = it.collect();
+        let flag_value = |name: &str| -> Option<&str> {
+            rest.iter()
+                .position(|a| a.as_str() == name)
+                .and_then(|i| rest.get(i + 1))
+                .map(|s| s.as_str())
+        };
+        let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+        match cmd.as_str() {
+            "eig" => {
+                let nb = match flag_value("--nb") {
+                    Some(v) => v.parse().map_err(|_| format!("bad --nb {v}"))?,
+                    None => 48,
+                };
+                let method = match flag_value("--method").unwrap_or("dc") {
+                    "dc" => Method::DivideAndConquer,
+                    "qr" => Method::Qr,
+                    "bisect" => Method::BisectionInverse,
+                    other => return Err(format!("unknown method {other}")),
+                };
+                let fraction = match flag_value("--fraction") {
+                    Some(v) => Some(v.parse().map_err(|_| format!("bad --fraction {v}"))?),
+                    None => None,
+                };
+                let range = match flag_value("--range") {
+                    Some(v) => {
+                        let (lo, hi) = v
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad --range {v}, expected LO:HI"))?;
+                        Some((
+                            lo.parse().map_err(|_| format!("bad range start {lo}"))?,
+                            hi.parse().map_err(|_| format!("bad range end {hi}"))?,
+                        ))
+                    }
+                    None => None,
+                };
+                Ok(Cli::Eig {
+                    path,
+                    nb,
+                    method,
+                    values_only: has_flag("--values-only"),
+                    fraction,
+                    range,
+                    one_stage: has_flag("--one-stage"),
+                    vectors_out: flag_value("--vectors-out").map(String::from),
+                })
+            }
+            "svd" => Ok(Cli::Svd {
+                path,
+                values_only: has_flag("--values-only"),
+                u_out: flag_value("--u-out").map(String::from),
+                v_out: flag_value("--v-out").map(String::from),
+            }),
+            "info" => Ok(Cli::Info { path }),
+            other => Err(format!("unknown command {other}")),
+        }
+    }
+}
+
+/// Execute a parsed command. File access is injected so tests can use
+/// in-memory buffers.
+pub fn run<R: BufRead, W: Write>(
+    cli: &Cli,
+    mut open: impl FnMut(&str) -> Result<R, String>,
+    mut create: impl FnMut(&str) -> Result<W, String>,
+) -> Result<(), String> {
+    match cli {
+        Cli::Info { path } => {
+            let a = mmio::read_matrix_market(open(path)?).map_err(|e| e.to_string())?;
+            let n = a.rows();
+            let mut sym = a.rows() == a.cols();
+            if sym {
+                'outer: for j in 0..n {
+                    for i in 0..j {
+                        if (a[(i, j)] - a[(j, i)]).abs() > 1e-12 * (1.0 + a[(i, j)].abs()) {
+                            sym = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            println!(
+                "{} x {}  symmetric: {}  1-norm: {:.6e}",
+                a.rows(),
+                a.cols(),
+                sym,
+                norms::norm1(&a)
+            );
+            Ok(())
+        }
+        Cli::Eig {
+            path,
+            nb,
+            method,
+            values_only,
+            fraction,
+            range,
+            one_stage,
+            vectors_out,
+        } => {
+            let a = mmio::read_matrix_market(open(path)?).map_err(|e| e.to_string())?;
+            if a.rows() != a.cols() {
+                return Err(format!(
+                    "eig needs a square matrix, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ));
+            }
+            let want_vectors = !values_only || vectors_out.is_some();
+            let erange = match range {
+                Some((lo, hi)) => EigenRange::Index(*lo, *hi),
+                None => EigenRange::All,
+            };
+            let t0 = std::time::Instant::now();
+            let (vals, vecs) = if *one_stage {
+                let r = tseig_onestage::syev(
+                    &a,
+                    match fraction {
+                        Some(f) => {
+                            let k = ((f * a.rows() as f64).ceil() as usize).clamp(1, a.rows());
+                            EigenRange::Index(0, k)
+                        }
+                        None => erange,
+                    },
+                    want_vectors,
+                    &tseig_onestage::OneStageOptions {
+                        nb: *nb,
+                        method: *method,
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                (r.eigenvalues, r.eigenvectors)
+            } else {
+                let mut builder = SymmetricEigen::new()
+                    .nb(*nb)
+                    .method(*method)
+                    .range(erange)
+                    .vectors(want_vectors);
+                if let Some(f) = fraction {
+                    builder = builder.fraction(*f);
+                }
+                let r = builder.solve(&a).map_err(|e| e.to_string())?;
+                (r.eigenvalues, r.eigenvectors)
+            };
+            eprintln!(
+                "solved {}x{} in {:.2?} ({} eigenvalues, {})",
+                a.rows(),
+                a.cols(),
+                t0.elapsed(),
+                vals.len(),
+                if *one_stage { "one-stage" } else { "two-stage" },
+            );
+            if let Some(z) = vecs.as_ref() {
+                eprintln!(
+                    "residual {:.1}, orthogonality {:.1}",
+                    norms::eigen_residual(&a, &vals, z),
+                    norms::orthogonality(z)
+                );
+            }
+            for v in &vals {
+                println!("{v:.17e}");
+            }
+            if let (Some(out), Some(z)) = (vectors_out, vecs.as_ref()) {
+                mmio::write_matrix_market(z, create(out)?).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        Cli::Svd {
+            path,
+            values_only,
+            u_out,
+            v_out,
+        } => {
+            let a = mmio::read_matrix_market(open(path)?).map_err(|e| e.to_string())?;
+            let transposed = a.rows() < a.cols();
+            let work = if transposed { a.transpose() } else { a.clone() };
+            let t0 = std::time::Instant::now();
+            let svd = tseig_svd::gesvd(&work).map_err(|e| e.to_string())?;
+            eprintln!(
+                "svd of {}x{} in {:.2?} (residual {:.1})",
+                a.rows(),
+                a.cols(),
+                t0.elapsed(),
+                tseig_svd::drivers::svd_residual(&work, &svd)
+            );
+            for s in &svd.s {
+                println!("{s:.17e}");
+            }
+            if !values_only {
+                let (u, v) = if transposed {
+                    (&svd.v, &svd.u)
+                } else {
+                    (&svd.u, &svd.v)
+                };
+                if let Some(out) = u_out {
+                    mmio::write_matrix_market(u, create(out)?).map_err(|e| e.to_string())?;
+                }
+                if let Some(out) = v_out {
+                    mmio::write_matrix_market(v, create(out)?).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::Matrix;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_eig_defaults() {
+        let c = Cli::parse(&args("eig A.mtx")).unwrap();
+        match c {
+            Cli::Eig {
+                path,
+                nb,
+                method,
+                values_only,
+                fraction,
+                range,
+                one_stage,
+                vectors_out,
+            } => {
+                assert_eq!(path, "A.mtx");
+                assert_eq!(nb, 48);
+                assert_eq!(method, Method::DivideAndConquer);
+                assert!(!values_only && !one_stage);
+                assert!(fraction.is_none() && range.is_none() && vectors_out.is_none());
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_eig_full() {
+        let c = Cli::parse(&args(
+            "eig A.mtx --nb 16 --method bisect --values-only --fraction 0.2 --one-stage --vectors-out Z.mtx",
+        ))
+        .unwrap();
+        match c {
+            Cli::Eig {
+                nb,
+                method,
+                values_only,
+                fraction,
+                one_stage,
+                vectors_out,
+                ..
+            } => {
+                assert_eq!(nb, 16);
+                assert_eq!(method, Method::BisectionInverse);
+                assert!(values_only && one_stage);
+                assert_eq!(fraction, Some(0.2));
+                assert_eq!(vectors_out.as_deref(), Some("Z.mtx"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_range_and_errors() {
+        let c = Cli::parse(&args("eig A.mtx --range 3:9")).unwrap();
+        match c {
+            Cli::Eig { range, .. } => assert_eq!(range, Some((3, 9))),
+            _ => panic!(),
+        }
+        assert!(Cli::parse(&args("eig A.mtx --range 3-9")).is_err());
+        assert!(Cli::parse(&args("frobnicate A.mtx")).is_err());
+        assert!(Cli::parse(&args("eig")).is_err());
+        assert!(Cli::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_eig_in_memory() {
+        // Build a small symmetric mtx in memory, run `eig`, no files.
+        let a = tseig_matrix::gen::symmetric_with_spectrum(
+            &tseig_matrix::gen::linspace(1.0, 5.0, 12),
+            3,
+        );
+        let mut mtx = Vec::new();
+        tseig_matrix::io::write_matrix_market_symmetric(&a, &mut mtx).unwrap();
+        let cli = Cli::parse(&args("eig mem.mtx --nb 4")).unwrap();
+        let mtx_text = String::from_utf8(mtx).unwrap();
+        run(
+            &cli,
+            |_| {
+                Ok(std::io::BufReader::new(std::io::Cursor::new(
+                    mtx_text.clone().into_bytes(),
+                )))
+            },
+            |_| Ok::<std::io::Cursor<Vec<u8>>, String>(std::io::Cursor::new(Vec::new())),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_svd_in_memory() {
+        let a = Matrix::from_fn(8, 5, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let mut mtx = Vec::new();
+        tseig_matrix::io::write_matrix_market(&a, &mut mtx).unwrap();
+        let cli = Cli::parse(&args("svd mem.mtx --values-only")).unwrap();
+        let text = String::from_utf8(mtx).unwrap();
+        run(
+            &cli,
+            |_| {
+                Ok(std::io::BufReader::new(std::io::Cursor::new(
+                    text.clone().into_bytes(),
+                )))
+            },
+            |_| Ok::<std::io::Cursor<Vec<u8>>, String>(std::io::Cursor::new(Vec::new())),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn info_rejects_missing_file_gracefully() {
+        let cli = Cli::parse(&args("info nope.mtx")).unwrap();
+        let r = run(
+            &cli,
+            |p| {
+                Err::<std::io::BufReader<std::io::Cursor<Vec<u8>>>, String>(format!(
+                    "cannot open {p}"
+                ))
+            },
+            |_| Err::<std::io::Cursor<Vec<u8>>, String>("no".into()),
+        );
+        assert!(r.is_err());
+    }
+}

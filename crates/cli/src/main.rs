@@ -1,0 +1,45 @@
+//! `tseig` — command-line eigensolver / SVD on MatrixMarket files.
+//!
+//! ```text
+//! tseig eig  A.mtx [--nb 48] [--method dc|qr|bisect] [--values-only]
+//!            [--fraction 0.2] [--range lo:hi] [--one-stage] [--vectors-out Z.mtx]
+//! tseig svd  A.mtx [--values-only] [--u-out U.mtx] [--v-out V.mtx]
+//! tseig info A.mtx
+//! ```
+//!
+//! Eigenvalues/singular values print one per line to stdout; timings and
+//! quality metrics go to stderr so the output pipes cleanly.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use tseig_cli::{run, Cli};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", tseig_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let open = |path: &str| -> Result<_, String> {
+        File::open(path)
+            .map(BufReader::new)
+            .map_err(|e| format!("cannot open {path}: {e}"))
+    };
+    let create = |path: &str| -> Result<_, String> {
+        File::create(path)
+            .map(BufWriter::new)
+            .map_err(|e| format!("cannot create {path}: {e}"))
+    };
+    match run(&cli, open, create) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Back-transformation `Z = Q1 (Q2 E)` (paper §6, Fig. 3).
+//!
+//! ## Applying `Q2` — the hard part
+//!
+//! `Q2 = H_{(0,0)} H_{(0,1)} ... H_{(s,k)} ...` is the chase-ordered
+//! product of all bulge-chasing reflectors, so `E <- Q2 E` applies them
+//! in *reverse* chase order. Applied one by one this is Level-2 and
+//! memory-bound — the naive implementation the paper rejects.
+//!
+//! The Level-3 reformulation groups reflectors of `ell` **consecutive
+//! sweeps at the same chase depth `k`** into a *diamond* block: their
+//! supports shift down one row per sweep, giving a parallelogram `V` of
+//! height `<= nb + ell - 1` that is exactly the forward-columnwise
+//! structure `larft`/`larfb` want. Two facts make the reordering legal
+//! (each is a swap of *commuting* factors, i.e. reflectors with disjoint
+//! row ranges):
+//!
+//! * within a block of `ell` sweeps, the chase-ordered product equals
+//!   `G_K G_{K-1} ... G_0` where `G_k` is the diamond at depth `k`
+//!   (ascending sweep order inside the diamond);
+//! * whole sweep-blocks stay in chase order.
+//!
+//! So `E <- Q2 E` is: for sweep-blocks from last to first, for `k`
+//! ascending, `E <- (I - V_k T_k V_k^T) E` on the diamond's row range.
+//!
+//! Parallelism (Fig. 3c): the columns of `E` are split into panels sized
+//! for the L2 cache; every panel applies the *entire* diamond sequence
+//! independently — no inter-core communication at all.
+//!
+//! ## Applying `Q1`
+//!
+//! Plain reverse-order blocked reflectors from stage 1 (`larfb`), also
+//! parallel over column panels of the target (Fig. 3a).
+
+use crate::stage1::Q1Panel;
+use crate::stage2::V2Set;
+use rayon::prelude::*;
+use tseig_kernels::blas3::Trans;
+use tseig_kernels::householder::{larfb, larft, Side};
+use tseig_matrix::Matrix;
+
+/// Column-panel width used for the cache-local distribution of `E`.
+/// Chosen so a panel of a few thousand rows plus a diamond block fit in
+/// a per-core L2 cache; exposed for the Figure-5-style tuning bench.
+pub const DEFAULT_PANEL_COLS: usize = 128;
+
+/// One prebuilt diamond block: `I - V T V^T` acting on rows
+/// `r0 .. r0 + v.rows()`. Column `c` of `V` is supported on local rows
+/// `c .. c + len[c]` (the parallelogram structure), which the structured
+/// application kernel exploits to skip every padded zero.
+struct Diamond {
+    r0: usize,
+    v: Matrix,
+    t: Vec<f64>,
+    /// Reflector length per column (`v[(c, c)] == 1`, tail below).
+    lens: Vec<usize>,
+}
+
+/// Build the diamond sequence in *application order* for `E <- Q2 E`
+/// (sweep-blocks descending, depth ascending within each block).
+fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
+    let ell = ell.max(1);
+    let nsweeps = v2.sweep_count();
+    let mut out = Vec::new();
+    if nsweeps == 0 {
+        return out;
+    }
+    let nblocks = nsweeps.div_ceil(ell);
+    for blk in (0..nblocks).rev() {
+        let s0 = blk * ell;
+        let s1 = (s0 + ell).min(nsweeps); // exclusive
+        let max_depth = (s0..s1).map(|s| v2.sweep(s).len()).max().unwrap_or(0);
+        for k in 0..max_depth {
+            // Gather the reflectors (s, k) for s in s0..s1 that exist.
+            let members: Vec<(usize, &(usize, f64, Vec<f64>))> = (s0..s1)
+                .filter_map(|s| v2.sweep(s).get(k).map(|r| (s, r)))
+                .filter(|(_, r)| !r.2.is_empty())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            // Diamond geometry: reflector of sweep s starts at
+            // s + 1 + k*nb; sweeps ascend, so starts ascend one by one.
+            let r0 = members[0].1 .0;
+            let rend = members.iter().map(|(_, r)| r.0 + r.2.len()).max().unwrap();
+            let height = rend - r0;
+            let kb = members.len();
+            let mut v = Matrix::zeros(height, kb);
+            let mut tau = vec![0.0f64; kb];
+            let mut lens = Vec::with_capacity(kb);
+            for (col, (_, r)) in members.iter().enumerate() {
+                let off = r.0 - r0;
+                debug_assert_eq!(off, col, "diamond columns shift one row per sweep");
+                for (i, &val) in r.2.iter().enumerate() {
+                    v[(off + i, col)] = val;
+                }
+                tau[col] = r.1;
+                lens.push(r.2.len());
+            }
+            let mut t = vec![0.0f64; kb * kb];
+            larft(height, kb, v.as_slice(), height, &tau, &mut t, kb);
+            out.push(Diamond { r0, v, t, lens });
+        }
+    }
+    out
+}
+
+/// `E <- Q2 E` using diamond-blocked reflectors, parallel over column
+/// panels of `E`. `ell` is the number of sweeps grouped per diamond;
+/// `panel_cols` the column-panel width (0 picks
+/// [`DEFAULT_PANEL_COLS`]).
+pub fn apply_q2(v2: &V2Set, e: &mut Matrix, ell: usize, panel_cols: usize) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n, "E must have n rows");
+    if e.cols() == 0 || v2.sweep_count() == 0 {
+        return;
+    }
+    let diamonds = build_diamonds(v2, ell);
+    let pc = if panel_cols == 0 {
+        DEFAULT_PANEL_COLS
+    } else {
+        panel_cols
+    };
+    let ldc = e.ld();
+    let max_k = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
+    e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
+        let cols = panel.len() / ldc;
+        // Reused workspace: thousands of small reflector blocks per
+        // panel — the allocator must stay out of this loop.
+        let mut work = vec![0.0f64; max_k * cols];
+        for d in &diamonds {
+            apply_diamond(d, panel, ldc, cols, &mut work);
+        }
+    });
+}
+
+/// Apply one diamond `C <- (I - V T V^T) C` exploiting the parallelogram
+/// support of `V` (paper §6: "a new kernel that deals with the
+/// diamond-shape blocks"). Column `c` of `V` is `[1, tail]` on local rows
+/// `c..c+len_c`, so
+///
+/// * `W = V^T C` is `k * cols` *contiguous* dot products of length
+///   `len_c` — no padded zeros are ever touched,
+/// * `W <- T W` is a small triangular multiply,
+/// * `C -= V W` is `k * cols` contiguous axpys.
+///
+/// The active `C` column slice (`<= nb + ell - 1` rows) stays in L1
+/// across all `k` dots/axpys that touch it.
+fn apply_diamond(d: &Diamond, panel: &mut [f64], ldc: usize, cols: usize, work: &mut [f64]) {
+    let k = d.v.cols();
+    let h = d.v.rows();
+    let vdata = d.v.as_slice();
+    let w = &mut work[..k * cols];
+    // W = V^T C: contiguous dot products, no padded zeros touched.
+    for j in 0..cols {
+        let ccol = &panel[d.r0 + j * ldc..d.r0 + j * ldc + h];
+        let wcol = &mut w[j * k..j * k + k];
+        for c in 0..k {
+            let len = d.lens[c];
+            wcol[c] = dot_contig(&vdata[c * h + c..c * h + c + len], &ccol[c..c + len]);
+        }
+    }
+    // W <- T W (T upper triangular with clean lower part).
+    tseig_kernels::blas3::trmm_upper_left(Trans::No, k, cols, 1.0, &d.t, k, w, k);
+    // C -= V W: contiguous axpys.
+    for j in 0..cols {
+        let ccol = &mut panel[d.r0 + j * ldc..d.r0 + j * ldc + h];
+        let wcol = &w[j * k..j * k + k];
+        for c in 0..k {
+            let len = d.lens[c];
+            let t = wcol[c];
+            if t == 0.0 {
+                continue;
+            }
+            let vcol = &vdata[c * h + c..c * h + c + len];
+            let cseg = &mut ccol[c..c + len];
+            for i in 0..len {
+                cseg[i] = vcol[i].mul_add(-t, cseg[i]);
+            }
+        }
+    }
+    // One aggregate flop charge per diamond: 4 flops per nonzero V
+    // element per column of C (the triangular multiply charges itself).
+    let nnz: usize = d.lens.iter().sum();
+    tseig_kernels::flops::add(tseig_kernels::flops::Level::L3, (4 * nnz * cols) as u64);
+}
+
+/// Eight-lane unrolled dot product (contiguous slices).
+#[inline]
+fn dot_contig(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xo = &x[c * 8..c * 8 + 8];
+        let yo = &y[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] = xo[l].mul_add(yo[l], acc[l]);
+        }
+    }
+    let mut s = acc.iter().sum::<f64>();
+    for i in chunks * 8..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// Naive reference `E <- Q2 E`: reflectors applied one at a time in
+/// exact reverse chase order (Level-2). Used by tests as the oracle for
+/// the diamond reordering, and by the benches as the "naive
+/// implementation" the paper compares against.
+pub fn apply_q2_naive(v2: &V2Set, e: &mut Matrix) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n);
+    let ncols = e.cols();
+    let ldc = e.ld();
+    let mut work = vec![0.0f64; ncols];
+    for s in (0..v2.sweep_count()).rev() {
+        for (r0, tau, v) in v2.sweep(s).iter().rev() {
+            if v.is_empty() {
+                continue;
+            }
+            tseig_kernels::householder::larf_left(
+                v,
+                *tau,
+                v.len(),
+                ncols,
+                &mut e.as_mut_slice()[*r0..],
+                ldc,
+                &mut work,
+            );
+        }
+    }
+}
+
+/// `G <- Q1 G`: stage-1 panels applied in reverse order with blocked
+/// reflectors, parallel over column panels of `G`.
+pub fn apply_q1(panels: &[Q1Panel], g: &mut Matrix, panel_cols: usize) {
+    if g.cols() == 0 || panels.is_empty() {
+        return;
+    }
+    let pc = if panel_cols == 0 {
+        DEFAULT_PANEL_COLS
+    } else {
+        panel_cols
+    };
+    let ldc = g.ld();
+    g.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
+        let cols = panel.len() / ldc;
+        for p in panels.iter().rev() {
+            let rows = p.v.rows();
+            larfb(
+                Side::Left,
+                Trans::No,
+                rows,
+                cols,
+                p.v.cols(),
+                p.v.as_slice(),
+                rows,
+                &p.t,
+                p.v.cols(),
+                &mut panel[p.r0..],
+                ldc,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::sy2sb;
+    use crate::stage2::reduce;
+    use tseig_matrix::{gen, norms, SymBandMatrix};
+
+    fn chase_setup(n: usize, b: usize, seed: u64) -> (Matrix, V2Set, Matrix) {
+        // Build a band matrix, chase it, return (dense band, V2, T dense).
+        let a = gen::random_symmetric(n, seed);
+        let mut dense = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in j..(j + b + 1).min(n) {
+                dense[(i, j)] = a[(i, j)];
+                dense[(j, i)] = a[(i, j)];
+            }
+        }
+        let band = SymBandMatrix::from_dense_lower(&dense, b, b);
+        let r = reduce(band);
+        let t = r.tridiagonal.to_dense();
+        (dense, r.v2, t)
+    }
+
+    #[test]
+    fn naive_q2_reconstructs_band() {
+        // B == Q2 T Q2^T: apply Q2 to T's eigen-identity — here simply
+        // verify Q2 (applied to I) is orthogonal and Q2 T Q2^T == B.
+        let (bdense, v2, t) = chase_setup(18, 3, 1);
+        let mut q2 = Matrix::identity(18);
+        apply_q2_naive(&v2, &mut q2);
+        assert!(norms::orthogonality(&q2) < 100.0);
+        let recon = q2.multiply(&t).unwrap().multiply(&q2.transpose()).unwrap();
+        let tol = 100.0 * norms::norm1(&bdense) * 18.0 * norms::EPS;
+        assert!(recon.approx_eq(&bdense, tol), "Q2 T Q2^T != B");
+    }
+
+    #[test]
+    fn diamond_matches_naive_various_ell() {
+        for (n, b, seed) in [(20, 3, 2), (35, 5, 3), (24, 4, 4)] {
+            let (_, v2, _) = chase_setup(n, b, seed);
+            let e0 = gen::random_symmetric(n, seed + 100);
+            let mut naive = e0.clone();
+            apply_q2_naive(&v2, &mut naive);
+            for ell in [1, 2, 3, 8, 64] {
+                let mut fast = e0.clone();
+                apply_q2(&v2, &mut fast, ell, 7);
+                assert!(
+                    fast.approx_eq(&naive, 1e-11),
+                    "diamond != naive (n={n}, b={b}, ell={ell})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q2_on_subset_of_columns() {
+        let (_, v2, _) = chase_setup(22, 4, 5);
+        let full = {
+            let mut e = Matrix::identity(22);
+            apply_q2(&v2, &mut e, 4, 0);
+            e
+        };
+        // Applying to 3 columns must equal the matching slice.
+        let mut sub = Matrix::from_fn(22, 3, |i, j| if i == j + 5 { 1.0 } else { 0.0 });
+        apply_q2(&v2, &mut sub, 4, 2);
+        for j in 0..3 {
+            for i in 0..22 {
+                assert!((sub[(i, j)] - full[(i, j + 5)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn q1_reconstruction() {
+        let n = 40;
+        let nb = 6;
+        let a = gen::random_symmetric(n, 6);
+        let bf = sy2sb(&a, nb, 0);
+        let mut q1 = Matrix::identity(n);
+        apply_q1(&bf.panels, &mut q1, 16);
+        assert!(norms::orthogonality(&q1) < 100.0);
+        let b = bf.band.to_dense();
+        let recon = q1.multiply(&b).unwrap().multiply(&q1.transpose()).unwrap();
+        let tol = 200.0 * norms::norm1(&a) * n as f64 * norms::EPS;
+        assert!(recon.approx_eq(&a, tol), "Q1 B Q1^T != A");
+    }
+
+    #[test]
+    fn q1_panel_parallel_independence() {
+        // Different panel widths give identical results.
+        let n = 30;
+        let a = gen::random_symmetric(n, 7);
+        let bf = sy2sb(&a, 5, 0);
+        let e = gen::random_symmetric(n, 8);
+        let mut r1 = e.clone();
+        let mut r2 = e.clone();
+        apply_q1(&bf.panels, &mut r1, 1);
+        apply_q1(&bf.panels, &mut r2, 64);
+        assert!(r1.approx_eq(&r2, 1e-12));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let (_, v2, _) = chase_setup(10, 2, 9);
+        let mut empty = Matrix::zeros(10, 0);
+        apply_q2(&v2, &mut empty, 4, 0);
+        apply_q1(&[], &mut empty, 0);
+    }
+}

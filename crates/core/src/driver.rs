@@ -1,0 +1,333 @@
+//! Two-stage eigensolver driver: the crate's public entry point.
+//!
+//! [`SymmetricEigen`] is a builder over the full pipeline
+//! (stage 1 → stage 2 → tridiagonal solve → `Q2`/`Q1` back-transform)
+//! with the tuning knobs the paper studies: band/tile width `nb`
+//! (Figure 5), reflector grouping `ell`, the stage-2 scheduler
+//! (dynamic vs static, §3), the tridiagonal method (Figures 4a/4b) and
+//! the eigenvector fraction `f` (Figure 4d).
+
+use crate::backtransform::{apply_q1, apply_q2};
+use crate::stage1::sy2sb;
+use crate::stage2::{reduce_scheduled, Stage2Exec};
+use std::time::Instant;
+use tseig_matrix::{Error, Matrix, Result};
+use tseig_tridiag::{EigenRange, Method, PhaseTimings};
+
+/// Stage-2 scheduler selection (re-exported flavour of
+/// [`Stage2Exec`] with driver-friendly defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Sequential kernel loop.
+    #[default]
+    Serial,
+    /// Static pipelined scheduler on `n` workers (paper's preference for
+    /// the memory-bound chase: small core count, high locality).
+    Static(usize),
+    /// Dynamic superscalar runtime on `n` workers.
+    Dynamic(usize),
+}
+
+/// Result of a two-stage eigensolve.
+pub struct TwoStageResult {
+    /// Ascending eigenvalues (of the selected range).
+    pub eigenvalues: Vec<f64>,
+    /// Matching eigenvectors of the original matrix, if requested.
+    pub eigenvectors: Option<Matrix>,
+    /// Phase wall-times (Figure 1b): `stage1`, `stage2`,
+    /// `tridiag_solve`, `backtransform`.
+    pub timings: PhaseTimings,
+}
+
+/// Builder for the two-stage symmetric eigensolver.
+///
+/// ```
+/// use tseig_core::SymmetricEigen;
+/// let a = tseig_matrix::gen::symmetric_with_spectrum(
+///     &tseig_matrix::gen::linspace(-1.0, 1.0, 48), 3);
+/// let r = SymmetricEigen::new().nb(6).solve(&a).unwrap();
+/// assert_eq!(r.eigenvalues.len(), 48);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SymmetricEigen {
+    nb: usize,
+    ib: usize,
+    ell: usize,
+    panel_cols: usize,
+    method: Method,
+    range: EigenRange,
+    fraction: Option<f64>,
+    want_vectors: bool,
+    scheduler: Scheduler,
+}
+
+impl Default for SymmetricEigen {
+    fn default() -> Self {
+        SymmetricEigen {
+            nb: 48,
+            ib: 0,
+            ell: 0,
+            panel_cols: 0,
+            method: Method::DivideAndConquer,
+            range: EigenRange::All,
+            fraction: None,
+            want_vectors: true,
+            scheduler: Scheduler::Serial,
+        }
+    }
+}
+
+impl SymmetricEigen {
+    /// Defaults: `nb = 48`, D&C, all eigenpairs with vectors, serial
+    /// stage-2 scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Band/tile width (the paper's `nb`; Figure 5 sweeps this knob).
+    pub fn nb(mut self, nb: usize) -> Self {
+        self.nb = nb.max(1);
+        self
+    }
+
+    /// Inner blocking of the stage-1 panel QR (`0` = same as `nb`).
+    pub fn ib(mut self, ib: usize) -> Self {
+        self.ib = ib;
+        self
+    }
+
+    /// Sweeps grouped per diamond block in the `Q2` application
+    /// (`0` = `nb`, the paper's choice).
+    pub fn ell(mut self, ell: usize) -> Self {
+        self.ell = ell;
+        self
+    }
+
+    /// Column-panel width of the `E` distribution (`0` = default).
+    pub fn panel_cols(mut self, pc: usize) -> Self {
+        self.panel_cols = pc;
+        self
+    }
+
+    /// Tridiagonal eigensolver.
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Select an index range of eigenpairs.
+    pub fn range(mut self, r: EigenRange) -> Self {
+        self.range = r;
+        self
+    }
+
+    /// Select the lowest `fraction` of the spectrum (the paper's `f`,
+    /// Figure 4d uses `f = 0.2`). Clamped to `(0, 1]` at solve time;
+    /// overrides [`Self::range`].
+    pub fn fraction(mut self, f: f64) -> Self {
+        self.fraction = Some(f);
+        self
+    }
+
+    /// Whether eigenvectors are computed at all.
+    pub fn vectors(mut self, want: bool) -> Self {
+        self.want_vectors = want;
+        self
+    }
+
+    /// Stage-2 scheduler.
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Run the solver on the dense symmetric matrix `a` (lower triangle
+    /// referenced).
+    pub fn solve(&self, a: &Matrix) -> Result<TwoStageResult> {
+        if a.rows() != a.cols() {
+            return Err(Error::DimensionMismatch(format!(
+                "matrix is {}x{}, must be square",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut timings = PhaseTimings::default();
+        // Half-band grouping keeps the diamond padding overhead
+        // ((nb + ell - 1)/nb extra flops) at ~1.5x while the blocks stay
+        // Level-3 sized — measured optimum across nb on this machine.
+        let ell = if self.ell == 0 {
+            (self.nb / 2).max(1)
+        } else {
+            self.ell
+        };
+        let range = match self.fraction {
+            Some(f) => {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(Error::InvalidArgument(format!(
+                        "fraction {f} outside (0, 1]"
+                    )));
+                }
+                EigenRange::Index(0, ((f * n as f64).ceil() as usize).clamp(1, n))
+            }
+            None => self.range,
+        };
+
+        // Stage 1: dense -> band.
+        let t0 = Instant::now();
+        let bf = sy2sb(a, self.nb, self.ib);
+        timings.stage1 = t0.elapsed();
+
+        // Stage 2: band -> tridiagonal (bulge chasing).
+        let t1 = Instant::now();
+        let exec = match self.scheduler {
+            Scheduler::Serial => Stage2Exec::Serial,
+            Scheduler::Static(t) => Stage2Exec::Static(t),
+            Scheduler::Dynamic(t) => Stage2Exec::Dynamic(t),
+        };
+        let chase = reduce_scheduled(bf.band.clone(), exec).map_err(Error::Runtime)?;
+        timings.stage2 = t1.elapsed();
+        timings.reduction = timings.stage1 + timings.stage2;
+
+        // Tridiagonal eigensolve.
+        let t2 = Instant::now();
+        let sol = tseig_tridiag::solve(&chase.tridiagonal, self.method, range, self.want_vectors)?;
+        timings.tridiag_solve = t2.elapsed();
+
+        // Back-transformation Z = Q1 (Q2 E).
+        let eigenvectors = if self.want_vectors {
+            let t3 = Instant::now();
+            let mut z = sol.eigenvectors.expect("vectors requested");
+            apply_q2(&chase.v2, &mut z, ell, self.panel_cols);
+            apply_q1(&bf.panels, &mut z, self.panel_cols);
+            timings.backtransform = t3.elapsed();
+            Some(z)
+        } else {
+            None
+        };
+        let _ = n;
+
+        Ok(TwoStageResult {
+            eigenvalues: sol.eigenvalues,
+            eigenvectors,
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::{gen, norms};
+
+    fn residual_ok(a: &Matrix, r: &TwoStageResult, tol: f64) {
+        let z = r.eigenvectors.as_ref().expect("vectors");
+        let res = norms::eigen_residual(a, &r.eigenvalues, z);
+        let orth = norms::orthogonality(z);
+        assert!(res < tol, "residual {res}");
+        assert!(orth < tol, "orthogonality {orth}");
+    }
+
+    #[test]
+    fn full_pipeline_prescribed_spectrum() {
+        let n = 70;
+        let lambda = gen::linspace(-5.0, 3.0, n);
+        let a = gen::symmetric_with_spectrum(&lambda, 41);
+        let r = SymmetricEigen::new().nb(8).solve(&a).unwrap();
+        assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-11);
+        residual_ok(&a, &r, 500.0);
+        // Phase timings populated.
+        assert!(r.timings.stage1.as_nanos() > 0);
+        assert!(r.timings.stage2.as_nanos() > 0);
+    }
+
+    #[test]
+    fn various_nb_values() {
+        let n = 50;
+        let a = gen::random_symmetric(n, 42);
+        let want = tseig_kernels::reference::jacobi_eigen(&a, false)
+            .unwrap()
+            .eigenvalues;
+        for nb in [2, 5, 10, 25, 49, 64] {
+            let r = SymmetricEigen::new().nb(nb).solve(&a).unwrap();
+            assert!(
+                norms::eigenvalue_distance(&r.eigenvalues, &want) < 1e-10,
+                "nb={nb}"
+            );
+            residual_ok(&a, &r, 500.0);
+        }
+    }
+
+    #[test]
+    fn all_tridiagonal_methods() {
+        let n = 40;
+        let a = gen::random_symmetric(n, 43);
+        for m in [
+            Method::Qr,
+            Method::DivideAndConquer,
+            Method::BisectionInverse,
+        ] {
+            let r = SymmetricEigen::new().nb(6).method(m).solve(&a).unwrap();
+            residual_ok(&a, &r, 500.0);
+        }
+    }
+
+    #[test]
+    fn subset_fraction() {
+        let n = 50;
+        let a = gen::random_symmetric(n, 44);
+        let full = SymmetricEigen::new().nb(6).solve(&a).unwrap();
+        let r = SymmetricEigen::new()
+            .nb(6)
+            .method(Method::BisectionInverse)
+            .range(EigenRange::Index(0, 10))
+            .solve(&a)
+            .unwrap();
+        assert_eq!(r.eigenvalues.len(), 10);
+        assert!(norms::eigenvalue_distance(&r.eigenvalues, &full.eigenvalues[..10]) < 1e-10);
+        residual_ok(&a, &r, 500.0);
+    }
+
+    #[test]
+    fn values_only() {
+        let a = gen::random_symmetric(30, 45);
+        let r = SymmetricEigen::new()
+            .nb(4)
+            .vectors(false)
+            .solve(&a)
+            .unwrap();
+        assert!(r.eigenvectors.is_none());
+    }
+
+    #[test]
+    fn schedulers_equivalent_end_to_end() {
+        let n = 60;
+        let a = gen::random_symmetric(n, 46);
+        let serial = SymmetricEigen::new().nb(6).solve(&a).unwrap();
+        for s in [Scheduler::Static(2), Scheduler::Dynamic(4)] {
+            let r = SymmetricEigen::new().nb(6).scheduler(s).solve(&a).unwrap();
+            // Same kernels in serial-equivalent order: identical values.
+            assert!(
+                norms::eigenvalue_distance(&r.eigenvalues, &serial.eigenvalues) < 1e-13,
+                "{s:?}"
+            );
+            residual_ok(&a, &r, 500.0);
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(3, 4);
+        assert!(SymmetricEigen::new().solve(&a).is_err());
+    }
+
+    #[test]
+    fn tiny_matrices() {
+        for n in [1, 2, 3] {
+            let a = gen::random_symmetric(n, 47 + n as u64);
+            let r = SymmetricEigen::new().nb(2).solve(&a).unwrap();
+            assert_eq!(r.eigenvalues.len(), n);
+            residual_ok(&a, &r, 500.0);
+        }
+    }
+}

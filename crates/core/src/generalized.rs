@@ -1,0 +1,163 @@
+//! Generalized symmetric-definite eigenproblem `A x = lambda B x`.
+//!
+//! The historical root of the two-stage idea (paper §2 cites Grimes &
+//! Simon's out-of-core *generalized* solvers as the first use of a
+//! two-stage reduction). The standard reduction (`dsygv` ITYPE=1):
+//!
+//! 1. `B = L L^T` (Cholesky),
+//! 2. `C = L^-1 A L^-T` — a *standard* symmetric problem with the same
+//!    eigenvalues as the pencil `(A, B)`,
+//! 3. solve `C y = lambda y` with the two-stage pipeline,
+//! 4. back-substitute `x = L^-T y`; the eigenvectors are
+//!    `B`-orthonormal: `X^T B X = I`.
+
+use crate::driver::{SymmetricEigen, TwoStageResult};
+use tseig_kernels::blas3::Trans;
+use tseig_kernels::cholesky::{potrf_lower, sygst, trsm_left_lower};
+use tseig_matrix::{Error, Matrix, Result};
+
+/// Solve `A x = lambda B x` for symmetric `A` and SPD `B`, using the
+/// two-stage pipeline configured in `opts` for the standard stage.
+///
+/// The returned eigenvectors (if requested) satisfy `X^T B X = I`.
+pub fn solve_generalized(a: &Matrix, b: &Matrix, opts: &SymmetricEigen) -> Result<TwoStageResult> {
+    if a.rows() != a.cols() || b.rows() != b.cols() || a.rows() != b.rows() {
+        return Err(Error::DimensionMismatch(format!(
+            "pencil shapes {}x{} and {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let n = a.rows();
+    // 1. B = L L^T.
+    let mut l = b.clone();
+    potrf_lower(&mut l, 32)?;
+    // 2. C = L^-1 A L^-T.
+    let c = sygst(a, &l);
+    // 3. Standard two-stage solve.
+    let mut result = opts.solve(&c)?;
+    // 4. x = L^-T y.
+    if let Some(z) = result.eigenvectors.as_mut() {
+        let k = z.cols();
+        let ldz = z.ld();
+        trsm_left_lower(Trans::Yes, n, k, 1.0, &l, z.as_mut_slice(), ldz);
+    }
+    Ok(result)
+}
+
+/// Scaled residual for the generalized problem:
+/// `max_j ||A x_j - lambda_j B x_j|| / ((||A|| + |lambda_j| ||B||) n eps)`.
+pub fn generalized_residual(a: &Matrix, b: &Matrix, lambda: &[f64], x: &Matrix) -> f64 {
+    use tseig_matrix::norms;
+    let ax = a.multiply(x).expect("shapes");
+    let bx = b.multiply(x).expect("shapes");
+    let na = norms::norm1(a);
+    let nb = norms::norm1(b);
+    let n = a.rows() as f64;
+    let mut worst = 0.0f64;
+    for (j, &lj) in lambda.iter().enumerate() {
+        let mut num = 0.0f64;
+        for i in 0..a.rows() {
+            num = num.max((ax.col(j)[i] - lj * bx.col(j)[i]).abs());
+        }
+        let den = (na + lj.abs() * nb).max(norms::EPS) * n * norms::EPS;
+        worst = worst.max(num / den);
+    }
+    worst
+}
+
+/// `||X^T B X - I||_max / (n eps)` — B-orthonormality of the vectors.
+pub fn b_orthogonality(b: &Matrix, x: &Matrix) -> f64 {
+    let bx = b.multiply(x).expect("shapes");
+    let xtbx = x.transpose().multiply(&bx).expect("shapes");
+    let k = x.cols();
+    let mut worst = 0.0f64;
+    for j in 0..k {
+        for i in 0..k {
+            let target = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((xtbx[(i, j)] - target).abs());
+        }
+    }
+    worst / (x.rows() as f64 * tseig_matrix::norms::EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::gen;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let g = gen::random_symmetric(n, seed);
+        let mut m = g.multiply(&g.transpose()).unwrap();
+        for i in 0..n {
+            m[(i, i)] += n as f64;
+        }
+        m
+    }
+
+    #[test]
+    fn reduces_to_standard_when_b_is_identity() {
+        let n = 40;
+        let a = gen::random_symmetric(n, 10);
+        let id = Matrix::identity(n);
+        let gen_r = solve_generalized(&a, &id, &SymmetricEigen::new().nb(6)).unwrap();
+        let std_r = SymmetricEigen::new().nb(6).solve(&a).unwrap();
+        assert!(
+            tseig_matrix::norms::eigenvalue_distance(&gen_r.eigenvalues, &std_r.eigenvalues)
+                < 1e-10
+        );
+    }
+
+    #[test]
+    fn random_pencil_residuals() {
+        let n = 50;
+        let a = gen::random_symmetric(n, 11);
+        let b = spd(n, 12);
+        let r = solve_generalized(&a, &b, &SymmetricEigen::new().nb(8)).unwrap();
+        let x = r.eigenvectors.as_ref().unwrap();
+        assert!(generalized_residual(&a, &b, &r.eigenvalues, x) < 1000.0);
+        assert!(b_orthogonality(&b, x) < 1000.0);
+        assert!(r.eigenvalues.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn subset_of_pencil() {
+        let n = 36;
+        let a = gen::random_symmetric(n, 13);
+        let b = spd(n, 14);
+        let full = solve_generalized(&a, &b, &SymmetricEigen::new().nb(6)).unwrap();
+        let part = solve_generalized(
+            &a,
+            &b,
+            &SymmetricEigen::new()
+                .nb(6)
+                .method(tseig_tridiag::Method::BisectionInverse)
+                .fraction(0.25),
+        )
+        .unwrap();
+        assert_eq!(part.eigenvalues.len(), 9);
+        assert!(
+            tseig_matrix::norms::eigenvalue_distance(&part.eigenvalues, &full.eigenvalues[..9])
+                < 1e-9
+        );
+        let x = part.eigenvectors.as_ref().unwrap();
+        assert!(generalized_residual(&a, &b, &part.eigenvalues, x) < 1000.0);
+    }
+
+    #[test]
+    fn rejects_indefinite_b() {
+        let a = gen::random_symmetric(5, 15);
+        let mut b = Matrix::identity(5);
+        b[(2, 2)] = -1.0;
+        assert!(solve_generalized(&a, &b, &SymmetricEigen::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = gen::random_symmetric(5, 16);
+        let b = Matrix::identity(6);
+        assert!(solve_generalized(&a, &b, &SymmetricEigen::new()).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Hermitian back-transformation `Z = Q1 (Q2 (D E))`.
+//!
+//! Mirror of the real diamond-blocked scheme (`tseig_core::backtransform`)
+//! in complex arithmetic, with the extra unitary diagonal `D` (the phase
+//! fold from stage 2) applied first: the real tridiagonal eigenvectors
+//! `E` become eigenvectors of the complex tridiagonal as `D E`, then the
+//! chase and band reflectors are applied exactly like the real case —
+//! the commutation argument for the diamond reordering only involves row
+//! supports, so it transfers verbatim.
+
+use crate::ckernels::{zlarf_left, zlarfb_left, zlarft, Op};
+use crate::stage1::Q1PanelC;
+use crate::stage2::V2SetC;
+use rayon::prelude::*;
+use tseig_matrix::{CMatrix, C64};
+
+/// Scale row `j` of `e` by `phases[j]` (apply `D`).
+pub fn apply_phases(phases: &[C64], e: &mut CMatrix) {
+    let n = e.rows();
+    assert_eq!(phases.len(), n);
+    for j in 0..e.cols() {
+        let col = e.col_mut(j);
+        for i in 0..n {
+            col[i] = col[i] * phases[i];
+        }
+    }
+}
+
+struct DiamondC {
+    r0: usize,
+    v: CMatrix,
+    t: Vec<C64>,
+}
+
+fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
+    let ell = ell.max(1);
+    let nsweeps = v2.sweep_count();
+    let mut out = Vec::new();
+    if nsweeps == 0 {
+        return out;
+    }
+    let nblocks = nsweeps.div_ceil(ell);
+    for blk in (0..nblocks).rev() {
+        let s0 = blk * ell;
+        let s1 = (s0 + ell).min(nsweeps);
+        let max_depth = (s0..s1).map(|s| v2.sweep(s).len()).max().unwrap_or(0);
+        for k in 0..max_depth {
+            let members: Vec<&(usize, C64, Vec<C64>)> = (s0..s1)
+                .filter_map(|s| v2.sweep(s).get(k))
+                .filter(|r| !r.2.is_empty())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let r0 = members[0].0;
+            let rend = members.iter().map(|r| r.0 + r.2.len()).max().unwrap();
+            let height = rend - r0;
+            let kb = members.len();
+            let mut v = CMatrix::zeros(height, kb);
+            let mut tau = vec![C64::ZERO; kb];
+            for (col, r) in members.iter().enumerate() {
+                let off = r.0 - r0;
+                for (i, &val) in r.2.iter().enumerate() {
+                    v[(off + i, col)] = val;
+                }
+                tau[col] = r.1;
+            }
+            let mut t = vec![C64::ZERO; kb * kb];
+            zlarft(height, kb, v.as_slice(), height, &tau, &mut t, kb);
+            out.push(DiamondC { r0, v, t });
+        }
+    }
+    out
+}
+
+/// `E <- Q2 E` with diamond-blocked complex reflectors, parallel over
+/// column panels.
+pub fn apply_q2(v2: &V2SetC, e: &mut CMatrix, ell: usize, panel_cols: usize) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n);
+    if e.cols() == 0 || v2.sweep_count() == 0 {
+        return;
+    }
+    let diamonds = build_diamonds(v2, ell.max(1));
+    let pc = if panel_cols == 0 { 64 } else { panel_cols };
+    let ldc = e.ld();
+    let max_k = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
+    e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
+        let cols = panel.len() / ldc;
+        let mut work = vec![C64::ZERO; 2 * max_k * cols];
+        for d in &diamonds {
+            let rows = d.v.rows();
+            zlarfb_left(
+                Op::No,
+                rows,
+                cols,
+                d.v.cols(),
+                d.v.as_slice(),
+                rows,
+                &d.t,
+                d.v.cols(),
+                &mut panel[d.r0..],
+                ldc,
+                &mut work,
+            );
+        }
+    });
+}
+
+/// Naive reference `E <- Q2 E`, reflectors one at a time in exact
+/// reverse chase order (test oracle for the diamond reordering).
+pub fn apply_q2_naive(v2: &V2SetC, e: &mut CMatrix) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n);
+    let ncols = e.cols();
+    let ldc = e.ld();
+    let mut work = vec![C64::ZERO; ncols];
+    for s in (0..v2.sweep_count()).rev() {
+        for (r0, tau, v) in v2.sweep(s).iter().rev() {
+            if v.is_empty() {
+                continue;
+            }
+            zlarf_left(
+                v,
+                *tau,
+                v.len(),
+                ncols,
+                &mut e.as_mut_slice()[*r0..],
+                ldc,
+                &mut work,
+            );
+        }
+    }
+}
+
+/// `G <- Q1 G`: stage-1 panels in reverse order, parallel over column
+/// panels.
+pub fn apply_q1(panels: &[Q1PanelC], g: &mut CMatrix, panel_cols: usize) {
+    if g.cols() == 0 || panels.is_empty() {
+        return;
+    }
+    let pc = if panel_cols == 0 { 64 } else { panel_cols };
+    let ldc = g.ld();
+    let max_k = panels.iter().map(|p| p.v.cols()).max().unwrap_or(0);
+    g.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
+        let cols = panel.len() / ldc;
+        let mut work = vec![C64::ZERO; 2 * max_k * cols];
+        for p in panels.iter().rev() {
+            let rows = p.v.rows();
+            zlarfb_left(
+                Op::No,
+                rows,
+                cols,
+                p.v.cols(),
+                p.v.as_slice(),
+                rows,
+                &p.t,
+                p.v.cols(),
+                &mut panel[p.r0..],
+                ldc,
+                &mut work,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::he2hb;
+    use crate::stage2::reduce;
+    use crate::validate::{rand_hermitian, unitary_error};
+
+    fn banded(n: usize, b: usize, seed: u64) -> CMatrix {
+        let a = rand_hermitian(n, seed);
+        let mut out = CMatrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if i.abs_diff(j) <= b {
+                    out[(i, j)] = a[(i, j)];
+                }
+            }
+        }
+        out.hermitize_from_lower();
+        out
+    }
+
+    #[test]
+    fn diamond_matches_naive() {
+        for (n, b, seed) in [(14, 3, 70), (20, 4, 71)] {
+            let band = banded(n, b, seed);
+            let r = reduce(band, b);
+            let e0 = {
+                let re = tseig_matrix::gen::random_symmetric(n, seed + 5);
+                CMatrix::from_real(&re)
+            };
+            let mut naive = e0.clone();
+            apply_q2_naive(&r.v2, &mut naive);
+            for ell in [1usize, 2, 4, 16] {
+                let mut fast = e0.clone();
+                apply_q2(&r.v2, &mut fast, ell, 5);
+                assert!(
+                    fast.max_diff(&naive) < 1e-11,
+                    "diamond != naive (n={n}, b={b}, ell={ell})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q1_is_unitary_application() {
+        let n = 18;
+        let a = rand_hermitian(n, 72);
+        let bf = he2hb(&a, 4);
+        let mut q = CMatrix::identity(n);
+        apply_q1(&bf.panels, &mut q, 7);
+        assert!(unitary_error(&q) < 200.0);
+        // Q1 B Q1^H == A.
+        let recon = q.multiply(&bf.band).multiply(&q.adjoint());
+        assert!(recon.max_diff(&a) < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn phases_scale_rows() {
+        use tseig_matrix::c64;
+        let mut e = CMatrix::identity(3);
+        let p = [c64(0.0, 1.0), c64(1.0, 0.0), c64(-1.0, 0.0)];
+        apply_phases(&p, &mut e);
+        assert_eq!(e[(0, 0)], c64(0.0, 1.0));
+        assert_eq!(e[(2, 2)], c64(-1.0, 0.0));
+    }
+}

@@ -1,0 +1,709 @@
+//! Complex BLAS-like kernels and the complex Householder tool-chain.
+//!
+//! Conventions mirror the real kernels in `tseig-kernels`: column-major
+//! `(&[C64], ld)` slices, lower-triangle Hermitian storage, explicit-`V`
+//! block reflectors. `ConjTrans` plays the role the real code's `Trans`
+//! plays (plain transpose without conjugation is never needed by the
+//! pipeline).
+//!
+//! Flops are charged at 4 real flops per complex multiply-add pair
+//! (1 complex mul = 6 flops, 1 add = 2; the conventional "4x" factor is
+//! close enough for the Table-1-style accounting and matches LAPACK's
+//! operation-count conventions).
+
+use tseig_kernels::flops::{add, Level};
+use tseig_matrix::{c64, C64};
+
+/// Operation applied to a matrix argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// As stored.
+    No,
+    /// Conjugate transpose.
+    ConjTrans,
+}
+
+/// `C <- alpha op(A) op(B) + beta C` (complex). `op(A)` is `m x k`,
+/// `op(B)` is `k x n`.
+#[allow(clippy::too_many_arguments)]
+pub fn zgemm(
+    opa: Op,
+    opb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: C64,
+    a: &[C64],
+    lda: usize,
+    b: &[C64],
+    ldb: usize,
+    beta: C64,
+    c: &mut [C64],
+    ldc: usize,
+) {
+    add(Level::L3, (8 * m * n * k) as u64);
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == C64::ZERO {
+            col.fill(C64::ZERO);
+        } else if beta != C64::ONE {
+            for v in col.iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if alpha == C64::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match (opa, opb) {
+        (Op::No, Op::No) => {
+            for j in 0..n {
+                for kk in 0..k {
+                    let t = alpha * b[kk + j * ldb];
+                    if t == C64::ZERO {
+                        continue;
+                    }
+                    let acol = &a[kk * lda..kk * lda + m];
+                    let ccol = &mut c[j * ldc..j * ldc + m];
+                    for i in 0..m {
+                        ccol[i] += acol[i] * t;
+                    }
+                }
+            }
+        }
+        (Op::ConjTrans, Op::No) => {
+            // C[i,j] += alpha * sum_l conj(A[l,i]) B[l,j]: contiguous dots.
+            for j in 0..n {
+                let bcol = &b[j * ldb..j * ldb + k];
+                for i in 0..m {
+                    let acol = &a[i * lda..i * lda + k];
+                    let mut s = C64::ZERO;
+                    for l in 0..k {
+                        s += bcol[l].mul_conj(acol[l]);
+                    }
+                    c[i + j * ldc] += alpha * s;
+                }
+            }
+        }
+        (Op::No, Op::ConjTrans) => {
+            // C[:,j] += alpha * sum_k A[:,k] conj(B[j,k]).
+            for j in 0..n {
+                let ccol = &mut c[j * ldc..j * ldc + m];
+                for kk in 0..k {
+                    let t = alpha * b[j + kk * ldb].conj();
+                    if t == C64::ZERO {
+                        continue;
+                    }
+                    let acol = &a[kk * lda..kk * lda + m];
+                    for i in 0..m {
+                        ccol[i] += acol[i] * t;
+                    }
+                }
+            }
+        }
+        (Op::ConjTrans, Op::ConjTrans) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = &a[i * lda..i * lda + k];
+                    let mut s = C64::ZERO;
+                    for l in 0..k {
+                        s += acol[l].conj() * b[j + l * ldb].conj();
+                    }
+                    c[i + j * ldc] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// `C <- alpha A B + beta C` with `A` Hermitian of order `m` (lower
+/// triangle stored), `B`/`C` `m x k`.
+#[allow(clippy::too_many_arguments)]
+pub fn zhemm_lower_left(
+    m: usize,
+    k: usize,
+    alpha: C64,
+    a: &[C64],
+    lda: usize,
+    b: &[C64],
+    ldb: usize,
+    beta: C64,
+    c: &mut [C64],
+    ldc: usize,
+) {
+    add(Level::L3, (8 * m * m * k) as u64);
+    for j in 0..k {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == C64::ZERO {
+            col.fill(C64::ZERO);
+        } else if beta != C64::ONE {
+            for v in col.iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if alpha == C64::ZERO {
+        return;
+    }
+    for ja in 0..m {
+        let acol = &a[ja * lda..ja * lda + m];
+        for jb in 0..k {
+            let bcol = &b[jb * ldb..jb * ldb + m];
+            let ccol = &mut c[jb * ldc..jb * ldc + m];
+            let t = alpha * bcol[ja];
+            // Diagonal (real part only counts for a Hermitian matrix).
+            ccol[ja] += c64(acol[ja].re, 0.0) * t;
+            let mut s = C64::ZERO;
+            for i in ja + 1..m {
+                ccol[i] += acol[i] * t;
+                // Mirrored upper entry A[ja, i] = conj(A[i, ja]).
+                s += bcol[i].mul_conj(acol[i]);
+            }
+            ccol[ja] += alpha * s;
+        }
+    }
+}
+
+/// Hermitian rank-2k update of the lower triangle:
+/// `A <- A + alpha (X Y^H + Y X^H)` with `X`, `Y` `n x k` and real
+/// `alpha` (keeps the matrix Hermitian).
+#[allow(clippy::too_many_arguments)]
+pub fn zher2k_lower(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    x: &[C64],
+    ldx: usize,
+    y: &[C64],
+    ldy: usize,
+    a: &mut [C64],
+    lda: usize,
+) {
+    add(Level::L3, (8 * n * n * k) as u64);
+    for kk in 0..k {
+        let xcol = &x[kk * ldx..kk * ldx + n];
+        let ycol = &y[kk * ldy..kk * ldy + n];
+        for j in 0..n {
+            let tx = xcol[j].conj().scale(alpha);
+            let ty = ycol[j].conj().scale(alpha);
+            if tx == C64::ZERO && ty == C64::ZERO {
+                continue;
+            }
+            let acol = &mut a[j * lda..j * lda + n];
+            for i in j..n {
+                acol[i] += xcol[i] * ty + ycol[i] * tx;
+            }
+            // Keep the diagonal exactly real.
+            acol[j] = c64(acol[j].re, 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Complex Householder tool-chain.
+// ---------------------------------------------------------------------
+
+/// Complex reflector generation (LAPACK `zlarfg`): finds `H = I - tau v
+/// v^H` with `v = [1, x']` such that `H^H [alpha, x] = [beta, 0]` and
+/// **beta real**. Overwrites `x` with the tail of `v`; returns
+/// `(beta, tau)`.
+pub fn zlarfg(alpha: C64, x: &mut [C64]) -> (f64, C64) {
+    let xnorm = {
+        let mut s = 0.0f64;
+        for v in x.iter() {
+            s += v.abs2();
+        }
+        s.sqrt()
+    };
+    add(Level::L1, 8 * x.len() as u64);
+    if xnorm == 0.0 && alpha.im == 0.0 {
+        return (alpha.re, C64::ZERO);
+    }
+    // beta = -sign(alpha.re) * ||[alpha, x]||.
+    let norm = (alpha.re * alpha.re + alpha.im * alpha.im + xnorm * xnorm).sqrt();
+    let beta = if alpha.re >= 0.0 { -norm } else { norm };
+    let tau = c64((beta - alpha.re) / beta, -alpha.im / beta);
+    let denom = alpha - c64(beta, 0.0);
+    let inv = C64::ONE / denom;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+    (beta, tau)
+}
+
+/// Left application `C <- (I - tau' v v^H) C`, with `tau'` passed
+/// explicitly (callers pass `conj(tau)` to apply `H^H`, `tau` for `H`).
+pub fn zlarf_left(
+    v: &[C64],
+    tau: C64,
+    m: usize,
+    n: usize,
+    c: &mut [C64],
+    ldc: usize,
+    work: &mut [C64],
+) {
+    if tau == C64::ZERO {
+        return;
+    }
+    add(Level::L2, (16 * m * n) as u64);
+    // work_j = v^H C[:, j].
+    for j in 0..n {
+        let col = &c[j * ldc..j * ldc + m];
+        let mut s = C64::ZERO;
+        for i in 0..m {
+            s += col[i].mul_conj(v[i]);
+        }
+        work[j] = s;
+    }
+    for j in 0..n {
+        let t = tau * work[j];
+        if t == C64::ZERO {
+            continue;
+        }
+        let col = &mut c[j * ldc..j * ldc + m];
+        for i in 0..m {
+            col[i] -= v[i] * t;
+        }
+    }
+}
+
+/// Right application `C <- C (I - tau v v^H)`.
+pub fn zlarf_right(
+    v: &[C64],
+    tau: C64,
+    m: usize,
+    n: usize,
+    c: &mut [C64],
+    ldc: usize,
+    work: &mut [C64],
+) {
+    if tau == C64::ZERO {
+        return;
+    }
+    add(Level::L2, (16 * m * n) as u64);
+    // work = C v.
+    work[..m].fill(C64::ZERO);
+    for j in 0..n {
+        let t = v[j];
+        if t == C64::ZERO {
+            continue;
+        }
+        let col = &c[j * ldc..j * ldc + m];
+        for i in 0..m {
+            work[i] += col[i] * t;
+        }
+    }
+    // C[:, j] -= tau * work * conj(v_j).
+    for j in 0..n {
+        let t = tau * v[j].conj();
+        if t == C64::ZERO {
+            continue;
+        }
+        let col = &mut c[j * ldc..j * ldc + m];
+        for i in 0..m {
+            col[i] -= work[i] * t;
+        }
+    }
+}
+
+/// Complex forward-columnwise `T` factor: `H_1 ... H_k = I - V T V^H`,
+/// `V` with explicit unit diagonal and zeros above. `T`'s lower triangle
+/// is zero-filled.
+pub fn zlarft(m: usize, k: usize, v: &[C64], ldv: usize, tau: &[C64], t: &mut [C64], ldt: usize) {
+    add(Level::L3, (4 * m * k * k) as u64);
+    for i in 0..k {
+        for l in i + 1..k {
+            t[l + i * ldt] = C64::ZERO;
+        }
+        if tau[i] == C64::ZERO {
+            for l in 0..=i {
+                t[l + i * ldt] = C64::ZERO;
+            }
+            continue;
+        }
+        // w = V(:, 0..i)^H v_i.
+        for l in 0..i {
+            let vl = &v[l * ldv..l * ldv + m];
+            let vi = &v[i * ldv..i * ldv + m];
+            let mut s = C64::ZERO;
+            for r in 0..m {
+                s += vi[r].mul_conj(vl[r]);
+            }
+            t[l + i * ldt] = -(tau[i] * s);
+        }
+        // T(0..i, i) = T(0..i, 0..i) * w (top-down, in place).
+        for l in 0..i {
+            let mut s = C64::ZERO;
+            for q in l..i {
+                s += t[l + q * ldt] * t[q + i * ldt];
+            }
+            t[l + i * ldt] = s;
+        }
+        t[i + i * ldt] = tau[i];
+    }
+}
+
+/// Blocked left application `C <- (I - V T V^H) C` (`op == Op::No`) or
+/// `C <- (I - V T^H V^H)^...` — precisely: applies `I - V op(T) V^H`.
+#[allow(clippy::too_many_arguments)]
+pub fn zlarfb_left(
+    opt: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    v: &[C64],
+    ldv: usize,
+    t: &[C64],
+    ldt: usize,
+    c: &mut [C64],
+    ldc: usize,
+    work: &mut [C64],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (w, w2) = work[..2 * k * n].split_at_mut(k * n);
+    // W = V^H C.
+    zgemm(
+        Op::ConjTrans,
+        Op::No,
+        k,
+        n,
+        m,
+        C64::ONE,
+        v,
+        ldv,
+        c,
+        ldc,
+        C64::ZERO,
+        w,
+        k,
+    );
+    // W2 = op(T) W  (T has a clean lower triangle, so dense multiply is fine).
+    zgemm(
+        opt,
+        Op::No,
+        k,
+        n,
+        k,
+        C64::ONE,
+        t,
+        ldt,
+        w,
+        k,
+        C64::ZERO,
+        w2,
+        k,
+    );
+    // C -= V W2.
+    zgemm(
+        Op::No,
+        Op::No,
+        m,
+        n,
+        k,
+        c64(-1.0, 0.0),
+        v,
+        ldv,
+        w2,
+        k,
+        C64::ONE,
+        c,
+        ldc,
+    );
+}
+
+/// Unblocked complex QR of an `m x nc` panel (`zgeqr2`): reflectors below
+/// the diagonal, `R` above, `tau` out.
+pub fn zgeqr2(m: usize, nc: usize, a: &mut [C64], lda: usize, tau: &mut [C64]) {
+    let kmin = m.min(nc);
+    let mut work = vec![C64::ZERO; nc];
+    let mut u = vec![C64::ZERO; m];
+    for j in 0..kmin {
+        let (beta, tj) = {
+            let col = &mut a[j * lda..j * lda + m];
+            let (head, tail) = col.split_at_mut(j + 1);
+            zlarfg(head[j], &mut tail[..m - j - 1])
+        };
+        a[j + j * lda] = c64(beta, 0.0);
+        tau[j] = tj;
+        if tj == C64::ZERO || j + 1 == nc {
+            continue;
+        }
+        let rows = m - j;
+        u[0] = C64::ONE;
+        for r in 1..rows {
+            u[r] = a[j + r + j * lda];
+        }
+        // Trailing update with H^H.
+        zlarf_left(
+            &u[..rows],
+            tj.conj(),
+            rows,
+            nc - j - 1,
+            &mut a[j + (j + 1) * lda..],
+            lda,
+            &mut work,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::CMatrix;
+
+    fn rand_cmat(m: usize, n: usize, seed: u64) -> CMatrix {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMatrix::from_fn(m, n, |_, _| {
+            c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    fn rand_hermitian(n: usize, seed: u64) -> CMatrix {
+        let mut a = rand_cmat(n, n, seed);
+        a.hermitize_from_lower();
+        a
+    }
+
+    #[test]
+    fn zgemm_all_ops_vs_naive() {
+        let (m, n, k) = (5, 6, 4);
+        let a = rand_cmat(m, k, 1);
+        let b = rand_cmat(k, n, 2);
+        let want = a.multiply(&b);
+        let ah = a.adjoint();
+        let bh = b.adjoint();
+        for (oa, ob, am, bm) in [
+            (Op::No, Op::No, &a, &b),
+            (Op::ConjTrans, Op::No, &ah, &b),
+            (Op::No, Op::ConjTrans, &a, &bh),
+            (Op::ConjTrans, Op::ConjTrans, &ah, &bh),
+        ] {
+            let mut c = CMatrix::zeros(m, n);
+            zgemm(
+                oa,
+                ob,
+                m,
+                n,
+                k,
+                C64::ONE,
+                am.as_slice(),
+                am.rows(),
+                bm.as_slice(),
+                bm.rows(),
+                C64::ZERO,
+                c.as_mut_slice(),
+                m,
+            );
+            assert!(c.max_diff(&want) < 1e-13, "{oa:?} {ob:?}");
+        }
+    }
+
+    #[test]
+    fn zhemm_matches_dense() {
+        let n = 7;
+        let k = 3;
+        let a = rand_hermitian(n, 3);
+        let b = rand_cmat(n, k, 4);
+        let mut c = CMatrix::zeros(n, k);
+        zhemm_lower_left(
+            n,
+            k,
+            C64::ONE,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            C64::ZERO,
+            c.as_mut_slice(),
+            n,
+        );
+        assert!(c.max_diff(&a.multiply(&b)) < 1e-13);
+    }
+
+    #[test]
+    fn zher2k_matches_dense() {
+        let n = 6;
+        let k = 3;
+        let x = rand_cmat(n, k, 5);
+        let y = rand_cmat(n, k, 6);
+        let mut a = rand_hermitian(n, 7);
+        let want = {
+            let mut w = a.clone();
+            let xyh = x.multiply(&y.adjoint());
+            let yxh = y.multiply(&x.adjoint());
+            for j in 0..n {
+                for i in 0..n {
+                    let adds = (xyh[(i, j)] + yxh[(i, j)]).scale(0.5);
+                    w[(i, j)] += adds;
+                }
+            }
+            w.hermitize_from_lower();
+            w
+        };
+        zher2k_lower(
+            n,
+            k,
+            0.5,
+            x.as_slice(),
+            n,
+            y.as_slice(),
+            n,
+            a.as_mut_slice(),
+            n,
+        );
+        for j in 0..n {
+            for i in j..n {
+                assert!((a[(i, j)] - want[(i, j)]).abs() < 1e-13, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn zlarfg_real_beta_and_annihilation() {
+        let alpha = c64(0.3, -0.7);
+        let mut x = vec![c64(1.0, 0.5), c64(-0.2, 0.8)];
+        let x0 = x.clone();
+        let (beta, tau) = zlarfg(alpha, &mut x);
+        // H^H [alpha, x] must equal [beta, 0, 0] with beta real.
+        let v = [C64::ONE, x[0], x[1]];
+        let orig = [alpha, x0[0], x0[1]];
+        // H^H y = y - conj(tau) v (v^H y).
+        let vhy: C64 = orig
+            .iter()
+            .zip(&v)
+            .map(|(y, vi)| y.mul_conj(*vi))
+            .fold(C64::ZERO, |a, b| a + b);
+        let out: Vec<C64> = orig
+            .iter()
+            .zip(&v)
+            .map(|(y, vi)| *y - *vi * tau.conj() * vhy)
+            .collect();
+        assert!((out[0] - c64(beta, 0.0)).abs() < 1e-13, "{:?}", out[0]);
+        assert!(out[1].abs() < 1e-13 && out[2].abs() < 1e-13);
+        // |beta| == ||[alpha, x]||.
+        let nrm = (alpha.abs2() + x0[0].abs2() + x0[1].abs2()).sqrt();
+        assert!((beta.abs() - nrm).abs() < 1e-13);
+    }
+
+    #[test]
+    fn reflector_unitary() {
+        let mut x = vec![c64(0.4, -0.1), c64(0.2, 0.9), c64(-0.6, 0.3)];
+        let (_, tau) = zlarfg(c64(1.0, 0.2), &mut x);
+        let mut v = vec![C64::ONE];
+        v.extend_from_slice(&x);
+        let n = v.len();
+        // H = I - tau v v^H; check H H^H = I.
+        let h = CMatrix::from_fn(n, n, |i, j| {
+            let idp = if i == j { C64::ONE } else { C64::ZERO };
+            idp - tau * v[i] * v[j].conj()
+        });
+        let prod = h.multiply(&h.adjoint());
+        assert!(prod.max_diff(&CMatrix::identity(n)) < 1e-13);
+    }
+
+    #[test]
+    fn zlarf_left_right_match_dense() {
+        let (m, n) = (5, 4);
+        let mut x = vec![c64(0.3, 0.2), c64(-0.4, 0.6), c64(0.1, -0.9), c64(0.5, 0.0)];
+        let (_, tau) = zlarfg(c64(0.7, -0.3), &mut x);
+        let mut v = vec![C64::ONE];
+        v.extend_from_slice(&x);
+        let h = CMatrix::from_fn(m, m, |i, j| {
+            let idp = if i == j { C64::ONE } else { C64::ZERO };
+            idp - tau * v[i] * v[j].conj()
+        });
+        let c0 = rand_cmat(m, n, 9);
+        let mut work = vec![C64::ZERO; m.max(n)];
+
+        let mut c = c0.clone();
+        zlarf_left(&v, tau, m, n, c.as_mut_slice(), m, &mut work);
+        assert!(c.max_diff(&h.multiply(&c0)) < 1e-13);
+
+        let c0t = rand_cmat(n, m, 10);
+        let mut cr = c0t.clone();
+        zlarf_right(&v, tau, n, m, cr.as_mut_slice(), n, &mut work);
+        assert!(cr.max_diff(&c0t.multiply(&h)) < 1e-13);
+    }
+
+    #[test]
+    fn zlarft_block_identity() {
+        let m = 7;
+        let k = 3;
+        let mut v = CMatrix::zeros(m, k);
+        let mut taus = vec![C64::ZERO; k];
+        for c in 0..k {
+            let mut tail: Vec<C64> = (0..m - c - 1)
+                .map(|r| {
+                    c64(
+                        ((r + c) % 3) as f64 * 0.3 - 0.2,
+                        ((r * c + 1) % 4) as f64 * 0.25,
+                    )
+                })
+                .collect();
+            let (_, tau) = zlarfg(c64(0.4, 0.1), &mut tail);
+            v[(c, c)] = C64::ONE;
+            for (r, &val) in tail.iter().enumerate() {
+                v[(c + 1 + r, c)] = val;
+            }
+            taus[c] = tau;
+        }
+        let mut t = vec![C64::ZERO; k * k];
+        zlarft(m, k, v.as_slice(), m, &taus, &mut t, k);
+        // Dense product H_1 H_2 H_3.
+        let mut hprod = CMatrix::identity(m);
+        for c in 0..k {
+            let vc: Vec<C64> = (0..m).map(|r| v[(r, c)]).collect();
+            let hc = CMatrix::from_fn(m, m, |i, j| {
+                let idp = if i == j { C64::ONE } else { C64::ZERO };
+                idp - taus[c] * vc[i] * vc[j].conj()
+            });
+            hprod = hprod.multiply(&hc);
+        }
+        // I - V T V^H.
+        let tm = CMatrix::from_fn(k, k, |i, j| t[i + j * k]);
+        let vtv = v.multiply(&tm).multiply(&v.adjoint());
+        let got = CMatrix::from_fn(m, m, |i, j| {
+            let idp = if i == j { C64::ONE } else { C64::ZERO };
+            idp - vtv[(i, j)]
+        });
+        assert!(got.max_diff(&hprod) < 1e-12);
+    }
+
+    #[test]
+    fn zgeqr2_reconstructs() {
+        let (m, n) = (8, 5);
+        let a0 = rand_cmat(m, n, 11);
+        let mut a = a0.clone();
+        let mut tau = vec![C64::ZERO; n];
+        zgeqr2(m, n, a.as_mut_slice(), m, &mut tau);
+        // Materialize Q by applying reflectors to I in reverse.
+        let mut q = CMatrix::identity(m);
+        let mut u = vec![C64::ZERO; m];
+        let mut work = vec![C64::ZERO; m];
+        for j in (0..n).rev() {
+            let rows = m - j;
+            u[0] = C64::ONE;
+            for r in 1..rows {
+                u[r] = a[(j + r, j)];
+            }
+            let ldq = q.ld();
+            zlarf_left(
+                &u[..rows],
+                tau[j],
+                rows,
+                m,
+                &mut q.as_mut_slice()[j..],
+                ldq,
+                &mut work,
+            );
+        }
+        let r = CMatrix::from_fn(m, n, |i, j| if i <= j { a[(i, j)] } else { C64::ZERO });
+        assert!(q.multiply(&r).max_diff(&a0) < 1e-12, "QR != A");
+        // Q unitary.
+        assert!(q.multiply(&q.adjoint()).max_diff(&CMatrix::identity(m)) < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Hermitian eigensolver driver.
+//!
+//! `A = Z diag(lambda) Z^H` for dense Hermitian `A`, through the
+//! two-stage pipeline with the tridiagonal eigensolve done entirely in
+//! *real* arithmetic (phases folded back in during the transformation).
+
+use crate::backtransform::{apply_phases, apply_q1, apply_q2};
+use crate::stage1::he2hb;
+use crate::stage2::reduce;
+use std::time::Instant;
+use tseig_matrix::{c64, CMatrix, Error, Result};
+use tseig_tridiag::{EigenRange, Method, PhaseTimings};
+
+/// Result of a Hermitian eigensolve.
+pub struct HermitianResult {
+    /// Ascending (real) eigenvalues of the selected range.
+    pub eigenvalues: Vec<f64>,
+    /// Matching complex eigenvectors, if requested.
+    pub eigenvectors: Option<CMatrix>,
+    /// Phase wall-times.
+    pub timings: PhaseTimings,
+}
+
+/// Builder for the two-stage Hermitian eigensolver.
+///
+/// ```
+/// use tseig_hermitian::{HermitianEigen, validate};
+/// let a = validate::hermitian_with_spectrum(
+///     &(0..24).map(|i| i as f64).collect::<Vec<_>>(), 7);
+/// let r = HermitianEigen::new().nb(4).solve(&a).unwrap();
+/// assert!((r.eigenvalues[23] - 23.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct HermitianEigen {
+    nb: usize,
+    ell: usize,
+    method: Method,
+    range: EigenRange,
+    want_vectors: bool,
+}
+
+impl Default for HermitianEigen {
+    fn default() -> Self {
+        HermitianEigen {
+            nb: 32,
+            ell: 0,
+            method: Method::DivideAndConquer,
+            range: EigenRange::All,
+            want_vectors: true,
+        }
+    }
+}
+
+impl HermitianEigen {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Band width (`nb`).
+    pub fn nb(mut self, nb: usize) -> Self {
+        self.nb = nb.max(1);
+        self
+    }
+
+    /// Diamond grouping (`0` = `nb/2`).
+    pub fn ell(mut self, ell: usize) -> Self {
+        self.ell = ell;
+        self
+    }
+
+    /// Tridiagonal eigensolver.
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Eigenpair selection.
+    pub fn range(mut self, r: EigenRange) -> Self {
+        self.range = r;
+        self
+    }
+
+    /// Compute eigenvectors or not.
+    pub fn vectors(mut self, want: bool) -> Self {
+        self.want_vectors = want;
+        self
+    }
+
+    /// Solve the dense Hermitian eigenproblem (lower triangle of `a`
+    /// referenced; the diagonal's imaginary part is ignored).
+    pub fn solve(&self, a: &CMatrix) -> Result<HermitianResult> {
+        if a.rows() != a.cols() {
+            return Err(Error::DimensionMismatch(format!(
+                "matrix is {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let mut timings = PhaseTimings::default();
+        let ell = if self.ell == 0 {
+            (self.nb / 2).max(1)
+        } else {
+            self.ell
+        };
+
+        let t0 = Instant::now();
+        let bf = he2hb(a, self.nb);
+        timings.stage1 = t0.elapsed();
+
+        let t1 = Instant::now();
+        let chase = reduce(bf.band.clone(), self.nb);
+        timings.stage2 = t1.elapsed();
+        timings.reduction = timings.stage1 + timings.stage2;
+
+        let t2 = Instant::now();
+        let sol = tseig_tridiag::solve(
+            &chase.tridiagonal,
+            self.method,
+            self.range,
+            self.want_vectors,
+        )?;
+        timings.tridiag_solve = t2.elapsed();
+
+        let eigenvectors = if self.want_vectors {
+            let t3 = Instant::now();
+            let e_real = sol.eigenvectors.expect("vectors requested");
+            // Complexify, fold the phases, then Q2 and Q1.
+            let mut z = CMatrix::from_fn(e_real.rows(), e_real.cols(), |i, j| {
+                c64(e_real[(i, j)], 0.0)
+            });
+            apply_phases(&chase.phases, &mut z);
+            apply_q2(&chase.v2, &mut z, ell, 0);
+            apply_q1(&bf.panels, &mut z, 0);
+            timings.backtransform = t3.elapsed();
+            Some(z)
+        } else {
+            None
+        };
+
+        Ok(HermitianResult {
+            eigenvalues: sol.eigenvalues,
+            eigenvectors,
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{
+        hermitian_residual, hermitian_with_spectrum, rand_hermitian, real_embedding_eigenvalues,
+        unitary_error,
+    };
+    use tseig_matrix::norms;
+
+    fn check(a: &CMatrix, r: &HermitianResult, tol: f64) {
+        let z = r.eigenvectors.as_ref().expect("vectors");
+        let res = hermitian_residual(a, &r.eigenvalues, z);
+        let uni = unitary_error(z);
+        assert!(res < tol, "residual {res}");
+        assert!(uni < tol, "unitarity {uni}");
+    }
+
+    #[test]
+    fn prescribed_spectrum_recovered() {
+        let n = 30;
+        let lambda: Vec<f64> = (0..n).map(|i| -2.0 + 0.3 * i as f64).collect();
+        let a = hermitian_with_spectrum(&lambda, 80);
+        let r = HermitianEigen::new().nb(6).solve(&a).unwrap();
+        assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-10);
+        check(&a, &r, 500.0);
+    }
+
+    #[test]
+    fn random_hermitian_vs_embedding_oracle() {
+        let n = 24;
+        let a = rand_hermitian(n, 81);
+        let want = real_embedding_eigenvalues(&a);
+        let r = HermitianEigen::new().nb(5).solve(&a).unwrap();
+        assert!(norms::eigenvalue_distance(&r.eigenvalues, &want) < 1e-9);
+        check(&a, &r, 500.0);
+    }
+
+    #[test]
+    fn real_input_matches_real_pipeline() {
+        // A real symmetric matrix run through the Hermitian pipeline
+        // must agree with the real two-stage solver.
+        let n = 26;
+        let ar = tseig_matrix::gen::random_symmetric(n, 82);
+        let ac = CMatrix::from_real(&ar);
+        let rh = HermitianEigen::new().nb(4).solve(&ac).unwrap();
+        let want = tseig_kernels::reference::jacobi_eigen(&ar, false)
+            .unwrap()
+            .eigenvalues;
+        assert!(norms::eigenvalue_distance(&rh.eigenvalues, &want) < 1e-9);
+        // Vectors should be essentially real up to a global unit phase
+        // per column; check residual instead of realness.
+        check(&ac, &rh, 500.0);
+    }
+
+    #[test]
+    fn all_methods_and_nb_values() {
+        let n = 20;
+        let a = rand_hermitian(n, 83);
+        let want = real_embedding_eigenvalues(&a);
+        for m in [
+            Method::Qr,
+            Method::DivideAndConquer,
+            Method::BisectionInverse,
+        ] {
+            for nb in [2usize, 4, 9, 32] {
+                let r = HermitianEigen::new().nb(nb).method(m).solve(&a).unwrap();
+                assert!(
+                    norms::eigenvalue_distance(&r.eigenvalues, &want) < 1e-9,
+                    "{m:?} nb={nb}"
+                );
+                check(&a, &r, 500.0);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_selection() {
+        let n = 22;
+        let a = rand_hermitian(n, 84);
+        let full = HermitianEigen::new().nb(4).solve(&a).unwrap();
+        let part = HermitianEigen::new()
+            .nb(4)
+            .method(Method::BisectionInverse)
+            .range(EigenRange::Index(3, 9))
+            .solve(&a)
+            .unwrap();
+        assert_eq!(part.eigenvalues.len(), 6);
+        assert!(norms::eigenvalue_distance(&part.eigenvalues, &full.eigenvalues[3..9]) < 1e-9);
+        check(&a, &part, 500.0);
+    }
+
+    #[test]
+    fn values_only() {
+        let a = rand_hermitian(12, 85);
+        let r = HermitianEigen::new()
+            .nb(3)
+            .vectors(false)
+            .solve(&a)
+            .unwrap();
+        assert!(r.eigenvectors.is_none());
+        assert_eq!(r.eigenvalues.len(), 12);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        for n in [1usize, 2, 3] {
+            let a = rand_hermitian(n, 86 + n as u64);
+            let r = HermitianEigen::new().nb(2).solve(&a).unwrap();
+            assert_eq!(r.eigenvalues.len(), n);
+            check(&a, &r, 500.0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Two-stage **Hermitian** eigensolver — the complex counterpart of
+//! `tseig-core`.
+//!
+//! The paper's algorithm is stated for "symmetric (or hermitian)"
+//! matrices; this crate carries the complex case end to end:
+//!
+//! 1. [`stage1::he2hb`] — dense Hermitian → Hermitian band, blocked
+//!    complex Householder panels and the `her2k`-form two-sided update,
+//! 2. [`stage2::reduce`] — band → tridiagonal bulge chasing with the same
+//!    three kernels in complex arithmetic; every sub-diagonal produced by
+//!    an elimination is *real* by `zlarfg`'s convention,
+//! 3. phase folding — any residual complex off-diagonals are rotated real
+//!    by a unitary diagonal `D` (LAPACK `zhetrd` convention), so the
+//!    tridiagonal eigensolve happens entirely in **real** arithmetic via
+//!    `tseig-tridiag`,
+//! 4. [`backtransform`] — `Z = Q1 Q2 D E`, diamond-blocked exactly like
+//!    the real pipeline.
+//!
+//! Entry point: [`driver::HermitianEigen`]. Validation helpers (complex
+//! residual/orthogonality, a real `2n x 2n` embedding oracle) live in
+//! [`validate`].
+
+pub mod backtransform;
+pub mod ckernels;
+pub mod driver;
+pub mod stage1;
+pub mod stage2;
+pub mod validate;
+
+pub use driver::{HermitianEigen, HermitianResult};

@@ -1,0 +1,311 @@
+//! Stage 1 (Hermitian): dense to Hermitian band (`he2hb`).
+//!
+//! Mirror of `tseig_core::stage1::sy2sb` in complex arithmetic: QR-factor
+//! each sub-panel, apply `Q = I - V T V^H` two-sided via the Hermitian
+//! rank-2k form
+//!
+//! ```text
+//! W = A V T,  M = V^H W,  X = W - 1/2 V (T^H M),
+//! A <- A - V X^H - X V^H            (her2k)
+//! ```
+
+use crate::ckernels::{zgemm, zgeqr2, zhemm_lower_left, zher2k_lower, zlarft, Op};
+use tseig_matrix::{c64, CMatrix, C64};
+
+/// One panel's block reflector, acting on rows `r0..n`.
+pub struct Q1PanelC {
+    pub r0: usize,
+    /// `(n - r0) x kb`, explicit unit diagonal.
+    pub v: CMatrix,
+    /// `kb x kb` upper triangular, clean lower part.
+    pub t: Vec<C64>,
+}
+
+/// Result of the Hermitian band reduction. The band is kept as a dense
+/// Hermitian matrix with entries zeroed outside the band (complex band
+/// storage would mirror `SymBandMatrix`; dense keeps this crate compact
+/// while stage 2 still only touches band-window blocks).
+pub struct BandFormC {
+    pub band: CMatrix,
+    pub panels: Vec<Q1PanelC>,
+    pub nb: usize,
+}
+
+/// Reduce the dense Hermitian `a` (lower triangle referenced) to band
+/// form with semi-bandwidth `nb`.
+pub fn he2hb(a: &CMatrix, nb: usize) -> BandFormC {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    let nb = nb.max(1);
+    let mut a = a.clone();
+    a.hermitize_from_lower();
+    let lda = a.ld();
+    let mut panels = Vec::new();
+
+    let mut j0 = 0usize;
+    while j0 + nb < n {
+        let r0 = j0 + nb;
+        let m = n - r0;
+        let kb = nb.min(m);
+        let mut tau = vec![C64::ZERO; kb];
+        {
+            let panel = &mut a.as_mut_slice()[r0 + j0 * lda..];
+            zgeqr2(m, nb, panel, lda, &mut tau);
+        }
+        // Extract clean V and T.
+        let mut v = CMatrix::zeros(m, kb);
+        for col in 0..kb {
+            v[(col, col)] = C64::ONE;
+            for r in col + 1..m {
+                v[(r, col)] = a.as_slice()[r0 + r + (j0 + col) * lda];
+            }
+        }
+        let mut t = vec![C64::ZERO; kb * kb];
+        zlarft(m, kb, v.as_slice(), m, &tau, &mut t, kb);
+        // Zero the annihilated part below the R factor, and mirror the
+        // panel's new band block into the upper triangle.
+        for jj in 0..nb {
+            for i in (r0 + jj + 1).min(n)..n {
+                a[(i, j0 + jj)] = C64::ZERO;
+            }
+        }
+        for jj in 0..nb {
+            for i in j0 + jj..n.min(r0 + jj + 1) {
+                let val = a[(i, j0 + jj)];
+                a[(j0 + jj, i)] = val.conj();
+            }
+        }
+        two_sided_update(&mut a, r0, &v, &t);
+        panels.push(Q1PanelC { r0, v, t });
+        j0 += nb;
+    }
+
+    // Zero everything outside the band for a clean band form, and make
+    // the matrix exactly Hermitian.
+    for j in 0..n {
+        for i in j + nb + 1..n {
+            a[(i, j)] = C64::ZERO;
+        }
+    }
+    a.hermitize_from_lower();
+    BandFormC {
+        band: a,
+        panels,
+        nb,
+    }
+}
+
+/// `A2 <- Q^H A2 Q` on the trailing block at `r0` (Hermitian rank-2k).
+fn two_sided_update(a: &mut CMatrix, r0: usize, v: &CMatrix, t: &[C64]) {
+    let n = a.rows();
+    let lda = a.ld();
+    let m = n - r0;
+    let kb = v.cols();
+    if m == 0 || kb == 0 {
+        return;
+    }
+    // VT = V T.
+    let mut vt = CMatrix::zeros(m, kb);
+    zgemm(
+        Op::No,
+        Op::No,
+        m,
+        kb,
+        kb,
+        C64::ONE,
+        v.as_slice(),
+        m,
+        t,
+        kb,
+        C64::ZERO,
+        vt.as_mut_slice(),
+        m,
+    );
+    // W = A2 VT (Hermitian multiply).
+    let mut w = CMatrix::zeros(m, kb);
+    {
+        let a2 = &a.as_slice()[r0 + r0 * lda..];
+        zhemm_lower_left(
+            m,
+            kb,
+            C64::ONE,
+            a2,
+            lda,
+            vt.as_slice(),
+            m,
+            C64::ZERO,
+            w.as_mut_slice(),
+            m,
+        );
+    }
+    // M = V^H W.
+    let mut mm = vec![C64::ZERO; kb * kb];
+    zgemm(
+        Op::ConjTrans,
+        Op::No,
+        kb,
+        kb,
+        m,
+        C64::ONE,
+        v.as_slice(),
+        m,
+        w.as_slice(),
+        m,
+        C64::ZERO,
+        &mut mm,
+        kb,
+    );
+    // TM = T^H M.
+    let mut tm = vec![C64::ZERO; kb * kb];
+    zgemm(
+        Op::ConjTrans,
+        Op::No,
+        kb,
+        kb,
+        kb,
+        C64::ONE,
+        t,
+        kb,
+        &mm,
+        kb,
+        C64::ZERO,
+        &mut tm,
+        kb,
+    );
+    // X = W - 1/2 V TM.
+    let mut x = w;
+    zgemm(
+        Op::No,
+        Op::No,
+        m,
+        kb,
+        kb,
+        c64(-0.5, 0.0),
+        v.as_slice(),
+        m,
+        &tm,
+        kb,
+        C64::ONE,
+        x.as_mut_slice(),
+        m,
+    );
+    // A2 -= V X^H + X V^H.
+    {
+        let a2 = &mut a.as_mut_slice()[r0 + r0 * lda..];
+        zher2k_lower(m, kb, -1.0, v.as_slice(), m, x.as_slice(), m, a2, lda);
+    }
+    // Restore exact Hermitian symmetry of the trailing block (the upper
+    // triangle is stale after the lower-only update).
+    for j in r0..n {
+        for i in j + 1..n {
+            let val = a[(i, j)];
+            a[(j, i)] = val.conj();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{rand_hermitian, real_embedding_eigenvalues};
+
+    /// Materialize Q1 = Q_0 Q_1 ... explicitly (tests only).
+    pub(crate) fn form_q1(bf: &BandFormC, n: usize) -> CMatrix {
+        let mut q = CMatrix::identity(n);
+        for p in &bf.panels {
+            // Q <- Q (I - V T V^H): W = Q[:, r0..] V; Q[:, r0..] -= W T V^H.
+            let m = n - p.r0;
+            let kb = p.v.cols();
+            let mut w = CMatrix::zeros(n, kb);
+            let ldq = q.ld();
+            zgemm(
+                Op::No,
+                Op::No,
+                n,
+                kb,
+                m,
+                C64::ONE,
+                &q.as_slice()[p.r0 * ldq..],
+                ldq,
+                p.v.as_slice(),
+                m,
+                C64::ZERO,
+                w.as_mut_slice(),
+                n,
+            );
+            let mut wt = CMatrix::zeros(n, kb);
+            zgemm(
+                Op::No,
+                Op::No,
+                n,
+                kb,
+                kb,
+                C64::ONE,
+                w.as_slice(),
+                n,
+                &p.t,
+                kb,
+                C64::ZERO,
+                wt.as_mut_slice(),
+                n,
+            );
+            zgemm(
+                Op::No,
+                Op::ConjTrans,
+                n,
+                m,
+                kb,
+                c64(-1.0, 0.0),
+                wt.as_slice(),
+                n,
+                p.v.as_slice(),
+                m,
+                C64::ONE,
+                &mut q.as_mut_slice()[p.r0 * ldq..],
+                ldq,
+            );
+        }
+        q
+    }
+
+    #[test]
+    fn band_structure_and_reconstruction() {
+        let n = 24;
+        let nb = 5;
+        let a = rand_hermitian(n, 41);
+        let bf = he2hb(&a, nb);
+        // Banded.
+        for j in 0..n {
+            for i in j + nb + 1..n {
+                assert_eq!(bf.band[(i, j)], C64::ZERO);
+            }
+        }
+        // Q1 B Q1^H == A.
+        let q = form_q1(&bf, n);
+        let qbq = q.multiply(&bf.band).multiply(&q.adjoint());
+        assert!(qbq.max_diff(&a) < 1e-11 * n as f64, "Q1 B Q1^H != A");
+        // Q1 unitary.
+        assert!(q.multiply(&q.adjoint()).max_diff(&CMatrix::identity(n)) < 1e-11);
+    }
+
+    #[test]
+    fn spectrum_preserved() {
+        let n = 20;
+        let a = rand_hermitian(n, 42);
+        let bf = he2hb(&a, 4);
+        let want = real_embedding_eigenvalues(&a);
+        let got = real_embedding_eigenvalues(&bf.band);
+        assert!(
+            tseig_matrix::norms::eigenvalue_distance(&got, &want) < 1e-9,
+            "band spectrum differs"
+        );
+    }
+
+    #[test]
+    fn wide_band_no_panels() {
+        let a = rand_hermitian(5, 43);
+        let bf = he2hb(&a, 8);
+        assert!(bf.panels.is_empty());
+        assert!(bf.band.max_diff(&a) < 1e-14);
+    }
+}

@@ -1,0 +1,292 @@
+//! Stage 2 (Hermitian): band to tridiagonal bulge chasing.
+//!
+//! The same three-kernel column-wise chase as the real pipeline
+//! (`hbceu`/`hbrel`/`hblru`, delayed annihilation), in complex
+//! arithmetic. `zlarfg` makes every annihilation result *real*, so the
+//! final tridiagonal is real up to the entries no sweep ever touches;
+//! [`phase_fold`] rotates those real too with a unitary diagonal that is
+//! handed to the back-transformation.
+//!
+//! The band is kept in the dense Hermitian matrix produced by stage 1;
+//! every kernel works on a copied square or rectangular window (the
+//! cache-resident blocks of the paper), then writes it back and mirrors
+//! the conjugate triangle so the dense matrix stays exactly Hermitian.
+
+use crate::ckernels::{zlarf_left, zlarf_right, zlarfg};
+use tseig_matrix::{c64, CMatrix, SymTridiagonal, C64};
+
+/// The complex reflector set of the chase, indexed `(sweep, depth)`.
+pub struct V2SetC {
+    n: usize,
+    nb: usize,
+    sweeps: Vec<Vec<(usize, C64, Vec<C64>)>>,
+}
+
+impl V2SetC {
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    pub fn sweep_count(&self) -> usize {
+        self.sweeps.len()
+    }
+
+    pub fn sweep(&self, s: usize) -> &[(usize, C64, Vec<C64>)] {
+        &self.sweeps[s]
+    }
+}
+
+/// Result of the Hermitian chase: real tridiagonal + reflectors + the
+/// unitary diagonal phases folded out of the off-diagonals.
+pub struct ChaseResultC {
+    pub tridiagonal: SymTridiagonal,
+    pub v2: V2SetC,
+    /// `phases[j]` scales row `j` of the real tridiagonal eigenvectors:
+    /// eigenvectors of the complex tridiagonal are `diag(phases) * E`.
+    pub phases: Vec<C64>,
+}
+
+/// Run the bulge chase on a banded dense Hermitian matrix (entries
+/// outside semi-bandwidth `nb` must be zero — stage 1 guarantees it).
+pub fn reduce(mut a: CMatrix, nb: usize) -> ChaseResultC {
+    let n = a.rows();
+    let b = nb.max(1);
+    let mut sweeps = Vec::new();
+    if n > 2 && b > 1 {
+        for s in 0..n - 2 {
+            sweeps.push(run_sweep(&mut a, s, b));
+        }
+    }
+    let (tridiagonal, phases) = phase_fold(&a);
+    ChaseResultC {
+        tridiagonal,
+        v2: V2SetC { n, nb: b, sweeps },
+        phases,
+    }
+}
+
+fn run_sweep(a: &mut CMatrix, s: usize, b: usize) -> Vec<(usize, C64, Vec<C64>)> {
+    let n = a.rows();
+    let mut out = Vec::new();
+    if s + 2 >= n {
+        return out;
+    }
+    // --- hbceu: annihilate column s below the first sub-diagonal.
+    let r0 = s + 1;
+    let r1 = (s + b).min(n - 1);
+    let l = r1 - r0 + 1;
+    let mut v = vec![C64::ZERO; l];
+    for i in 0..l {
+        v[i] = a[(r0 + i, s)];
+    }
+    let (beta, tau) = {
+        let (head, tail) = v.split_at_mut(1);
+        zlarfg(head[0], tail)
+    };
+    v[0] = C64::ONE;
+    a[(r0, s)] = c64(beta, 0.0);
+    a[(s, r0)] = c64(beta, 0.0);
+    for i in 1..l {
+        a[(r0 + i, s)] = C64::ZERO;
+        a[(s, r0 + i)] = C64::ZERO;
+    }
+    two_sided_window(a, r0, l, &v, tau);
+    out.push((r0, tau, v));
+
+    // --- chase.
+    loop {
+        let (pr0, ptau, pv) = {
+            let last = out.last().unwrap();
+            (last.0, last.1, last.2.clone())
+        };
+        let pl = pv.len();
+        let br0 = pr0 + pl;
+        if br0 >= n {
+            break;
+        }
+        let br1 = (br0 + b - 1).min(n - 1);
+        let rl = br1 - br0 + 1;
+        // Copy block A[br0..=br1, pr0..pr0+pl].
+        let mut blk = vec![C64::ZERO; rl * pl];
+        for j in 0..pl {
+            for i in 0..rl {
+                blk[i + j * rl] = a[(br0 + i, pr0 + j)];
+            }
+        }
+        let mut work = vec![C64::ZERO; rl.max(pl)];
+        // Right-apply the previous reflector (creates the bulge).
+        zlarf_right(&pv, ptau, rl, pl, &mut blk, rl, &mut work);
+        if rl < 2 {
+            write_back_rect(a, br0, rl, pr0, pl, &blk);
+            break;
+        }
+        // Annihilate the bulge's first column (delayed annihilation).
+        let mut nv = vec![C64::ZERO; rl];
+        nv.copy_from_slice(&blk[..rl]);
+        let (nbeta, ntau) = {
+            let (head, tail) = nv.split_at_mut(1);
+            zlarfg(head[0], tail)
+        };
+        nv[0] = C64::ONE;
+        blk[0] = c64(nbeta, 0.0);
+        for i in 1..rl {
+            blk[i] = C64::ZERO;
+        }
+        // Left-apply the new reflector's H^H to the remaining columns.
+        if pl > 1 {
+            zlarf_left(&nv, ntau.conj(), rl, pl - 1, &mut blk[rl..], rl, &mut work);
+        }
+        write_back_rect(a, br0, rl, pr0, pl, &blk);
+        // hblru: two-sided update of the next symmetric window.
+        two_sided_window(a, br0, rl, &nv, ntau);
+        out.push((br0, ntau, nv));
+    }
+    out
+}
+
+/// `A[r0..r0+l, r0..r0+l] <- H^H (.) H` on a copied window.
+fn two_sided_window(a: &mut CMatrix, r0: usize, l: usize, v: &[C64], tau: C64) {
+    if tau == C64::ZERO {
+        return;
+    }
+    let mut blk = vec![C64::ZERO; l * l];
+    for j in 0..l {
+        for i in 0..l {
+            blk[i + j * l] = a[(r0 + i, r0 + j)];
+        }
+    }
+    let mut work = vec![C64::ZERO; l];
+    zlarf_left(v, tau.conj(), l, l, &mut blk, l, &mut work);
+    zlarf_right(v, tau, l, l, &mut blk, l, &mut work);
+    for j in 0..l {
+        for i in 0..l {
+            a[(r0 + i, r0 + j)] = blk[i + j * l];
+        }
+        // Snap the diagonal real (Hermitian invariant up to rounding).
+        a[(r0 + j, r0 + j)] = c64(a[(r0 + j, r0 + j)].re, 0.0);
+    }
+}
+
+/// Write a strictly-sub-diagonal block back, mirroring the conjugate
+/// into the upper triangle.
+fn write_back_rect(a: &mut CMatrix, r0: usize, rl: usize, c0: usize, cl: usize, blk: &[C64]) {
+    for j in 0..cl {
+        for i in 0..rl {
+            let val = blk[i + j * rl];
+            a[(r0 + i, c0 + j)] = val;
+            a[(c0 + j, r0 + i)] = val.conj();
+        }
+    }
+}
+
+/// Extract the tridiagonal and rotate its off-diagonals real with a
+/// unitary diagonal: `T_complex = D T_real D^H`, `D = diag(phases)`.
+pub fn phase_fold(a: &CMatrix) -> (SymTridiagonal, Vec<C64>) {
+    let n = a.rows();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n.saturating_sub(1)];
+    let mut phases = vec![C64::ONE; n];
+    for j in 0..n {
+        d[j] = a[(j, j)].re;
+    }
+    for j in 0..n.saturating_sub(1) {
+        let ej = a[(j + 1, j)];
+        let m = ej.abs();
+        e[j] = m;
+        phases[j + 1] = if m == 0.0 {
+            phases[j]
+        } else {
+            // p_{j+1} = e_j p_j / |e_j| makes conj(p_{j+1}) e_j p_j real.
+            (ej * phases[j]).scale(1.0 / m)
+        };
+    }
+    (SymTridiagonal::new(d, e), phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::he2hb;
+    use crate::validate::{rand_hermitian, real_embedding_eigenvalues};
+    use tseig_matrix::norms;
+
+    fn banded_hermitian(n: usize, b: usize, seed: u64) -> CMatrix {
+        let a = rand_hermitian(n, seed);
+        let mut out = CMatrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if i.abs_diff(j) <= b {
+                    out[(i, j)] = a[(i, j)];
+                }
+            }
+        }
+        out.hermitize_from_lower();
+        out
+    }
+
+    #[test]
+    fn chase_spectrum_preserved() {
+        for (n, b, seed) in [(14, 3, 60), (20, 5, 61), (11, 10, 62)] {
+            let a = banded_hermitian(n, b, seed);
+            let want = real_embedding_eigenvalues(&a);
+            let r = reduce(a, b);
+            let got = tseig_tridiag::sturm::bisect_eigenvalues(&r.tridiagonal, 0, n).unwrap();
+            assert!(
+                norms::eigenvalue_distance(&got, &want) < 1e-9,
+                "spectrum changed (n={n}, b={b})"
+            );
+            // Off-diagonals are non-negative real by construction.
+            assert!(r.tridiagonal.off_diag().iter().all(|&x| x >= 0.0));
+            // Phases are unit modulus.
+            assert!(r.phases.iter().all(|p| (p.abs() - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn q2_reconstructs_band() {
+        // B == Q2 (D T_real D^H) Q2^H with Q2 from the stored reflectors.
+        let n = 12;
+        let b = 3;
+        let a0 = banded_hermitian(n, b, 63);
+        let r = reduce(a0.clone(), b);
+        // Build Q2 = H_1 H_2 ... (chase order) densely.
+        let mut q2 = CMatrix::identity(n);
+        let mut work = vec![C64::ZERO; n];
+        for s in (0..r.v2.sweep_count()).rev() {
+            for (start, tau, v) in r.v2.sweep(s).iter().rev() {
+                let ldq = q2.ld();
+                zlarf_left(
+                    v,
+                    *tau,
+                    v.len(),
+                    n,
+                    &mut q2.as_mut_slice()[*start..],
+                    ldq,
+                    &mut work,
+                );
+            }
+        }
+        // T_complex = D T D^H.
+        let t = r.tridiagonal.to_dense();
+        let tc = CMatrix::from_fn(n, n, |i, j| {
+            r.phases[i] * c64(t[(i, j)], 0.0) * r.phases[j].conj()
+        });
+        let recon = q2.multiply(&tc).multiply(&q2.adjoint());
+        assert!(recon.max_diff(&a0) < 1e-10 * n as f64, "Q2 T Q2^H != B");
+    }
+
+    #[test]
+    fn full_pipeline_spectrum() {
+        let n = 18;
+        let a = rand_hermitian(n, 64);
+        let bf = he2hb(&a, 4);
+        let want = real_embedding_eigenvalues(&a);
+        let r = reduce(bf.band.clone(), 4);
+        let got = tseig_tridiag::sturm::bisect_eigenvalues(&r.tridiagonal, 0, n).unwrap();
+        assert!(norms::eigenvalue_distance(&got, &want) < 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Level-1 BLAS: vector-vector kernels.
+//!
+//! Strided variants carry an `inc` suffix; the common unit-stride paths are
+//! plain slices so the compiler can vectorize them.
+
+use crate::flops::{add, Level};
+
+/// `x . y` (unit stride).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    add(Level::L1, 2 * x.len() as u64);
+    let mut s = 0.0;
+    for i in 0..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y <- alpha x + y` (unit stride).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    add(Level::L1, 2 * x.len() as u64);
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `x <- alpha x`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    add(Level::L1, x.len() as u64);
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean norm with scaling against overflow/underflow
+/// (LAPACK `dnrm2` semantics).
+pub fn nrm2(x: &[f64]) -> f64 {
+    add(Level::L1, 2 * x.len() as u64);
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Index of the element with the largest absolute value; `None` for an
+/// empty vector.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    add(Level::L1, x.len() as u64);
+    let mut best = None;
+    let mut best_abs = f64::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > best_abs {
+            best_abs = v.abs();
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Copy `x` into `y`.
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Swap the contents of two vectors.
+#[inline]
+pub fn swap(x: &mut [f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    x.swap_with_slice(y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scal() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn nrm2_basic_and_extreme() {
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        // Values whose squares would overflow naively.
+        let big = 1e200;
+        let n = nrm2(&[big, big]);
+        assert!((n - big * 2.0f64.sqrt()).abs() / n < 1e-15);
+        // Values whose squares would underflow naively.
+        let small = 1e-200;
+        let n = nrm2(&[small, small]);
+        assert!((n - small * 2.0f64.sqrt()).abs() / n < 1e-15);
+    }
+
+    #[test]
+    fn iamax_picks_largest_abs() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[]), None);
+        // First of equal magnitudes wins (BLAS convention).
+        assert_eq!(iamax(&[2.0, -2.0]), Some(0));
+    }
+
+    #[test]
+    fn copy_swap() {
+        let x = [1.0, 2.0];
+        let mut y = [0.0, 0.0];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+        let mut a = [1.0];
+        let mut b = [2.0];
+        swap(&mut a, &mut b);
+        assert_eq!((a[0], b[0]), (2.0, 1.0));
+    }
+}

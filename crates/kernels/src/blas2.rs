@@ -1,0 +1,314 @@
+//! Level-2 BLAS: matrix-vector kernels (memory-bound).
+//!
+//! These are the kernels that dominate the *one-stage* reduction — every
+//! Householder panel step calls `symv` with the whole trailing submatrix,
+//! which is why the one-stage pipeline is limited by memory bandwidth
+//! (paper §5, Table 2). They are implemented column-major-friendly: the
+//! inner loops walk contiguous columns.
+
+use crate::blas3::Trans;
+use crate::flops::{add, Level};
+
+/// `y <- alpha op(A) x + beta y` with `A` an `m x n` column-major matrix
+/// with leading dimension `lda`.
+pub fn gemv(
+    trans: Trans,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    debug_assert!(lda >= m.max(1));
+    let (xlen, ylen) = match trans {
+        Trans::No => (n, m),
+        Trans::Yes => (m, n),
+    };
+    debug_assert!(x.len() >= xlen && y.len() >= ylen);
+    add(Level::L2, (2 * m * n) as u64);
+    if beta != 1.0 {
+        for v in y[..ylen].iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 {
+        return;
+    }
+    match trans {
+        Trans::No => {
+            for j in 0..n {
+                let t = alpha * x[j];
+                if t == 0.0 {
+                    continue;
+                }
+                let col = &a[j * lda..j * lda + m];
+                for i in 0..m {
+                    y[i] += t * col[i];
+                }
+            }
+        }
+        Trans::Yes => {
+            for j in 0..n {
+                let col = &a[j * lda..j * lda + m];
+                let mut s = 0.0;
+                for i in 0..m {
+                    s += col[i] * x[i];
+                }
+                y[j] += alpha * s;
+            }
+        }
+    }
+}
+
+/// `y <- alpha A x + beta y` for symmetric `A` (order `n`, lower triangle
+/// stored, leading dimension `lda`).
+///
+/// This is the kernel whose memory-bound execution rate is the `beta`
+/// parameter of the paper's performance model (Table 3).
+pub fn symv_lower(
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    debug_assert!(lda >= n.max(1));
+    debug_assert!(x.len() >= n && y.len() >= n);
+    add(Level::L2, (2 * n * n) as u64);
+    if beta != 1.0 {
+        for v in y[..n].iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    // One pass over the stored (lower) triangle serves both the lower and
+    // the mirrored upper contribution.
+    for j in 0..n {
+        let col = &a[j * lda..j * lda + n];
+        let t = alpha * x[j];
+        let mut s = 0.0;
+        y[j] += t * col[j];
+        for i in j + 1..n {
+            y[i] += t * col[i];
+            s += col[i] * x[i];
+        }
+        y[j] += alpha * s;
+    }
+}
+
+/// Parallel [`symv_lower`]: columns are split into chunks, each worker
+/// accumulates a private partial `y`, and the partials are reduced.
+///
+/// Even parallelized, this kernel stays memory-bound — it streams the
+/// whole trailing matrix once per call — which is precisely why the
+/// one-stage reduction hits the bandwidth wall the paper escapes from.
+pub fn symv_lower_par(
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    use rayon::prelude::*;
+    let threads = rayon::current_num_threads();
+    if n < 256 || threads == 1 {
+        symv_lower(n, alpha, a, lda, x, beta, y);
+        return;
+    }
+    add(Level::L2, (2 * n * n) as u64);
+    // Column chunks of the lower triangle carry unequal work (~(n-j)
+    // elements in column j); chunk boundaries are chosen so each chunk
+    // covers about the same number of stored elements.
+    let nchunks = 4 * threads;
+    let total = n * (n + 1) / 2;
+    let mut bounds = Vec::with_capacity(nchunks + 1);
+    bounds.push(0usize);
+    let mut acc = 0usize;
+    let mut next = total / nchunks;
+    for j in 0..n {
+        acc += n - j;
+        if acc >= next && *bounds.last().unwrap() < j + 1 {
+            bounds.push(j + 1);
+            next = acc + total / nchunks;
+        }
+    }
+    if *bounds.last().unwrap() != n {
+        bounds.push(n);
+    }
+    let partials: Vec<Vec<f64>> = bounds
+        .par_windows(2)
+        .map(|w| {
+            let (j0, j1) = (w[0], w[1]);
+            let mut py = vec![0.0f64; n];
+            for j in j0..j1 {
+                let col = &a[j * lda..j * lda + n];
+                let t = alpha * x[j];
+                let mut s = 0.0;
+                py[j] += t * col[j];
+                for i in j + 1..n {
+                    py[i] += t * col[i];
+                    s += col[i] * x[i];
+                }
+                py[j] += alpha * s;
+            }
+            py
+        })
+        .collect();
+    if beta != 1.0 {
+        for v in y[..n].iter_mut() {
+            *v *= beta;
+        }
+    }
+    for py in partials {
+        for i in 0..n {
+            y[i] += py[i];
+        }
+    }
+}
+
+/// Rank-1 update `A <- A + alpha x y^T` (general `m x n` matrix).
+pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+    debug_assert!(lda >= m.max(1));
+    debug_assert!(x.len() >= m && y.len() >= n);
+    add(Level::L2, (2 * m * n) as u64);
+    for j in 0..n {
+        let t = alpha * y[j];
+        if t == 0.0 {
+            continue;
+        }
+        let col = &mut a[j * lda..j * lda + m];
+        for i in 0..m {
+            col[i] += t * x[i];
+        }
+    }
+}
+
+/// Symmetric rank-2 update of the lower triangle:
+/// `A <- A + alpha (x y^T + y x^T)`, order `n`.
+pub fn syr2_lower(n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+    debug_assert!(lda >= n.max(1));
+    add(Level::L2, (2 * n * n) as u64);
+    for j in 0..n {
+        let tx = alpha * x[j];
+        let ty = alpha * y[j];
+        if tx == 0.0 && ty == 0.0 {
+            continue;
+        }
+        let col = &mut a[j * lda..j * lda + n];
+        for i in j..n {
+            col[i] += x[i] * ty + y[i] * tx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::Matrix;
+
+    fn dense_mv(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        (0..a.rows())
+            .map(|i| (0..a.cols()).map(|j| a[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn gemv_no_trans_matches_dense() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let x = [1.0, -1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        gemv(Trans::No, 2, 3, 2.0, a.as_slice(), 2, &x, 0.5, &mut y);
+        let want0 = 2.0 * (1.0 - 2.0 + 6.0) + 5.0;
+        let want1 = 2.0 * (4.0 - 5.0 + 12.0) + 10.0;
+        assert!((y[0] - want0).abs() < 1e-14);
+        assert!((y[1] - want1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gemv_trans_matches_dense_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let x = [1.0, 0.0, -1.0];
+        let mut y = [0.0, 0.0];
+        gemv(Trans::Yes, 3, 2, 1.0, a.as_slice(), 3, &x, 0.0, &mut y);
+        assert_eq!(y, [-4.0, -4.0]);
+    }
+
+    #[test]
+    fn symv_matches_full_dense() {
+        let n = 5;
+        let mut a = tseig_matrix::gen::random_symmetric(n, 3);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+        let mut y = vec![1.0; n];
+        // Poison the upper triangle to prove only the lower is read.
+        let full = a.clone();
+        for j in 0..n {
+            for i in 0..j {
+                a[(i, j)] = f64::NAN;
+            }
+        }
+        symv_lower(n, 2.0, a.as_slice(), n, &x, -1.0, &mut y);
+        let want = dense_mv(&full, &x);
+        for i in 0..n {
+            assert!((y[i] - (2.0 * want[i] - 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symv_par_matches_sequential() {
+        let n = 400;
+        let a = tseig_matrix::gen::random_symmetric(n, 9);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut y1 = vec![0.5; n];
+        let mut y2 = vec![0.5; n];
+        symv_lower(n, 1.5, a.as_slice(), n, &x, -2.0, &mut y1);
+        symv_lower_par(n, 1.5, a.as_slice(), n, &x, -2.0, &mut y2);
+        for i in 0..n {
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-9 * (1.0 + y1[i].abs()),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn ger_rank_one() {
+        let mut a = Matrix::zeros(2, 3);
+        ger(
+            2,
+            3,
+            1.0,
+            &[1.0, 2.0],
+            &[3.0, 4.0, 5.0],
+            a.as_mut_slice(),
+            2,
+        );
+        assert_eq!(a[(1, 2)], 10.0);
+        assert_eq!(a[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn syr2_matches_dense_formula() {
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        syr2_lower(n, 0.5, &x, &y, a.as_mut_slice(), n);
+        for j in 0..n {
+            for i in j..n {
+                let want = 0.5 * (x[i] * y[j] + y[i] * x[j]);
+                assert!((a[(i, j)] - want).abs() < 1e-15);
+            }
+        }
+        // Upper triangle untouched.
+        assert_eq!(a[(0, 3)], 0.0);
+    }
+}

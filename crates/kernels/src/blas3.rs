@@ -1,0 +1,1244 @@
+//! Level-3 BLAS: cache-blocked, compute-bound matrix-matrix kernels.
+//!
+//! `gemm` is the kernel whose execution rate is the `alpha` parameter of
+//! the paper's performance model (Table 3); everything the two-stage
+//! pipeline gains comes from recasting `symv` work into these kernels.
+//!
+//! The sequential kernels block over `k` so that the active panel of `A`
+//! stays cache-resident, and unroll the `N/N` case over four columns of
+//! `C` so each loaded column of `A` is reused four times. The `_par`
+//! variants split `C` into column panels and give each to a rayon task —
+//! panels are disjoint column ranges, so the parallelism is data-race free
+//! by construction.
+
+use crate::flops::{add, Level};
+use rayon::prelude::*;
+
+/// Transpose flag, LAPACK-style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the matrix as stored.
+    No,
+    /// Use the transpose.
+    Yes,
+}
+
+/// Blocking factor over the `k` dimension: a `KC x 4` strip of `B` plus a
+/// column of `A` must fit comfortably in L1/L2.
+const KC: usize = 256;
+
+/// `C <- alpha op(A) op(B) + beta C`.
+///
+/// `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`; all column-major
+/// with the given leading dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(ldc >= m.max(1));
+    add(Level::L3, (2 * m * n * k) as u64);
+    scale_c(beta, m, n, c, ldc);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match (transa, transb) {
+        (Trans::No, Trans::No) => gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (Trans::Yes, Trans::No) => gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (Trans::No, Trans::Yes) => gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (Trans::Yes, Trans::Yes) => gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+    }
+}
+
+fn scale_c(beta: f64, m: usize, n: usize, c: &mut [f64], ldc: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for v in col {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Register-tile height (two 8-wide AVX-512 registers of `f64`;
+/// measured fastest among 8/16/24 on this class of core).
+const MR: usize = 16;
+/// Register-tile width.
+const NR: usize = 4;
+/// Row-block size: `MC x KC` of `A` is about half an L2 cache.
+const MC: usize = 256;
+
+/// `C += alpha A B`, the hot path: an `MR x NR` register-tiled
+/// microkernel. Each tile of `C` lives in registers across the whole `k`
+/// loop (the accumulators are local arrays LLVM keeps in vector
+/// registers), so the inner loop does `2*MR*NR` flops per `MR + NR`
+/// loads — compute-bound, which is the entire premise of the paper's
+/// `alpha >> beta` model.
+fn gemm_nn(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        // Row blocking: the active A sub-block (MC x KC, ~0.5 MB) stays
+        // L2-resident while the whole width of B/C streams past it.
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = MC.min(m - i0);
+            let i_full_end = i0 + (ib / MR) * MR;
+            let mut j = 0;
+            while j + NR <= n {
+                let mut i = i0;
+                while i < i_full_end {
+                    microkernel_8x4(i, j, k0, kb, alpha, a, lda, b, ldb, c, ldc);
+                    i += MR;
+                }
+                // Row remainder: scalar columns.
+                if i < i0 + ib {
+                    for jj in j..j + NR {
+                        edge_col(i, i0 + ib, jj, k0, kb, alpha, a, lda, b, ldb, c, ldc);
+                    }
+                }
+                j += NR;
+            }
+            // Column remainder.
+            while j < n {
+                edge_col(i0, i0 + ib, j, k0, kb, alpha, a, lda, b, ldb, c, ldc);
+                j += 1;
+            }
+            i0 += ib;
+        }
+        k0 += kb;
+    }
+}
+
+/// One `MR x NR` register tile of `C += alpha A B` over `k0..k0+kb`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel_8x4(
+    i: usize,
+    j: usize,
+    k0: usize,
+    kb: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for kk in k0..k0 + kb {
+        let acol = &a[i + kk * lda..i + kk * lda + MR];
+        let av: [f64; MR] = acol.try_into().unwrap();
+        for jj in 0..NR {
+            let bv = b[kk + (j + jj) * ldb];
+            for ii in 0..MR {
+                acc[jj][ii] = av[ii].mul_add(bv, acc[jj][ii]);
+            }
+        }
+    }
+    for jj in 0..NR {
+        let ccol = &mut c[i + (j + jj) * ldc..i + (j + jj) * ldc + MR];
+        for ii in 0..MR {
+            ccol[ii] += alpha * acc[jj][ii];
+        }
+    }
+}
+
+/// Scalar edge path: rows `i0..m` of column `j`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn edge_col(
+    i0: usize,
+    m: usize,
+    j: usize,
+    k0: usize,
+    kb: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let cj = &mut c[j * ldc + i0..j * ldc + m];
+    for kk in k0..k0 + kb {
+        let t = alpha * b[kk + j * ldb];
+        if t == 0.0 {
+            continue;
+        }
+        let acol = &a[i0 + kk * lda..m + kk * lda];
+        for (cv, av) in cj.iter_mut().zip(acol) {
+            *cv += t * av;
+        }
+    }
+}
+
+/// Multi-lane dot product: eight independent accumulators so the
+/// reduction vectorizes despite FP non-associativity.
+#[inline]
+fn dot_lanes(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xo = &x[c * 8..c * 8 + 8];
+        let yo = &y[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] = xo[l].mul_add(yo[l], acc[l]);
+        }
+    }
+    let mut s = acc.iter().sum::<f64>();
+    for i in chunks * 8..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `C += alpha A^T B`: contiguous dot products of `A` and `B` columns,
+/// eight-lane vectorized.
+fn gemm_tn(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        let bcol = &b[j * ldb..j * ldb + k];
+        for i in 0..m {
+            let acol = &a[i * lda..i * lda + k];
+            c[i + j * ldc] += alpha * dot_lanes(acol, bcol);
+        }
+    }
+}
+
+/// `C += alpha A B^T`: same register-tiled microkernel as the `N/N`
+/// path; `op(B)` elements `b[(j+jj) + kk*ldb]` are contiguous across the
+/// tile's columns.
+fn gemm_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = MC.min(m - i0);
+            let i_full_end = i0 + (ib / MR) * MR;
+            let mut j = 0;
+            while j + NR <= n {
+                let mut i = i0;
+                while i < i_full_end {
+                    microkernel_8x4_nt(i, j, k0, kb, alpha, a, lda, b, ldb, c, ldc);
+                    i += MR;
+                }
+                if i < i0 + ib {
+                    for jj in j..j + NR {
+                        edge_col_nt(i, i0 + ib, jj, k0, kb, alpha, a, lda, b, ldb, c, ldc);
+                    }
+                }
+                j += NR;
+            }
+            while j < n {
+                edge_col_nt(i0, i0 + ib, j, k0, kb, alpha, a, lda, b, ldb, c, ldc);
+                j += 1;
+            }
+            i0 += ib;
+        }
+        k0 += kb;
+    }
+}
+
+/// `MR x NR` tile of `C += alpha A B^T`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel_8x4_nt(
+    i: usize,
+    j: usize,
+    k0: usize,
+    kb: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for kk in k0..k0 + kb {
+        let acol = &a[i + kk * lda..i + kk * lda + MR];
+        let av: [f64; MR] = acol.try_into().unwrap();
+        let brow = &b[j + kk * ldb..j + kk * ldb + NR];
+        for jj in 0..NR {
+            let bv = brow[jj];
+            for ii in 0..MR {
+                acc[jj][ii] = av[ii].mul_add(bv, acc[jj][ii]);
+            }
+        }
+    }
+    for jj in 0..NR {
+        let ccol = &mut c[i + (j + jj) * ldc..i + (j + jj) * ldc + MR];
+        for ii in 0..MR {
+            ccol[ii] += alpha * acc[jj][ii];
+        }
+    }
+}
+
+/// Scalar edge path of the `N/T` kernel.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn edge_col_nt(
+    i0: usize,
+    m: usize,
+    j: usize,
+    k0: usize,
+    kb: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let cj = &mut c[j * ldc + i0..j * ldc + m];
+    for kk in k0..k0 + kb {
+        let t = alpha * b[j + kk * ldb];
+        if t == 0.0 {
+            continue;
+        }
+        let acol = &a[i0 + kk * lda..m + kk * lda];
+        for (cv, av) in cj.iter_mut().zip(acol) {
+            *cv += t * av;
+        }
+    }
+}
+
+/// `C += alpha A^T B^T` (rare; only correctness matters).
+fn gemm_tt(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let acol = &a[i * lda..i * lda + k];
+            let mut s = 0.0;
+            for l in 0..k {
+                s += acol[l] * b[j + l * ldb];
+            }
+            c[i + j * ldc] += alpha * s;
+        }
+    }
+}
+
+/// Parallel [`gemm`]: `C`'s columns are split into panels, one rayon task
+/// each. Falls back to the sequential kernel for small problems where the
+/// fork/join overhead would dominate.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_par(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let threads = rayon::current_num_threads();
+    if work < 64 * 64 * 64 || threads == 1 || n < 2 {
+        gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        return;
+    }
+    // Panel width: enough panels to keep every thread busy, at least 4
+    // columns each so the unrolled kernel applies.
+    let jb = (n.div_ceil(4 * threads)).max(4);
+    c[..(n - 1) * ldc + m]
+        .par_chunks_mut(jb * ldc)
+        .enumerate()
+        .for_each(|(p, cpanel)| {
+            let j0 = p * jb;
+            let jn = jb.min(n - j0);
+            let bsub = match transb {
+                Trans::No => &b[j0 * ldb..],
+                Trans::Yes => &b[j0..],
+            };
+            gemm(
+                transa, transb, m, jn, k, alpha, a, lda, bsub, ldb, beta, cpanel, ldc,
+            );
+        });
+}
+
+/// Symmetric rank-k update of the lower triangle:
+/// `C <- alpha A A^T + beta C` (`trans == No`, `A` is `n x k`) or
+/// `C <- alpha A^T A + beta C` (`trans == Yes`, `A` is `k x n`).
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_lower(
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    add(Level::L3, (n * n * k) as u64);
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + n];
+        if beta != 1.0 {
+            for v in col[j..n].iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    match trans {
+        Trans::No => {
+            for kk in 0..k {
+                let acol = &a[kk * lda..kk * lda + n];
+                for j in 0..n {
+                    let t = alpha * acol[j];
+                    if t == 0.0 {
+                        continue;
+                    }
+                    let ccol = &mut c[j * ldc..j * ldc + n];
+                    for i in j..n {
+                        ccol[i] += t * acol[i];
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            for j in 0..n {
+                let aj = &a[j * lda..j * lda + k];
+                for i in j..n {
+                    let ai = &a[i * lda..i * lda + k];
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += ai[l] * aj[l];
+                    }
+                    c[i + j * ldc] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Symmetric rank-2k update of the lower triangle:
+/// `C <- alpha (A B^T + B A^T) + beta C`, with `A`, `B` both `n x k`.
+///
+/// This is the trailing-matrix update of both the one-stage (`latrd` +
+/// `syr2k`) and the first stage of the two-stage reduction.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k_lower(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    add(Level::L3, (2 * n * n * k) as u64);
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + n];
+        if beta != 1.0 {
+            for v in col[j..n].iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    for kk in 0..k {
+        let acol = &a[kk * lda..kk * lda + n];
+        let bcol = &b[kk * ldb..kk * ldb + n];
+        for j in 0..n {
+            let ta = alpha * acol[j];
+            let tb = alpha * bcol[j];
+            if ta == 0.0 && tb == 0.0 {
+                continue;
+            }
+            let ccol = &mut c[j * ldc..j * ldc + n];
+            for i in j..n {
+                ccol[i] += bcol[i] * ta + acol[i] * tb;
+            }
+        }
+    }
+}
+
+/// Parallel [`syr2k_lower`]: column panels of the lower triangle are
+/// disjoint, one rayon task each.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k_lower_par(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    if n * n * k < 48 * 48 * 48 {
+        syr2k_lower(n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        return;
+    }
+    // Fixed narrow panels: the diagonal blocks run the simple kernel,
+    // everything below goes through the fast `gemm` N/T path; panels are
+    // disjoint column ranges, parallel-safe.
+    let jb = 64usize;
+    c[..(n - 1) * ldc + n]
+        .par_chunks_mut(jb * ldc)
+        .enumerate()
+        .for_each(|(p, cpanel)| {
+            let j0 = p * jb;
+            let jn = jb.min(n - j0);
+            // Panel of columns j0..j0+jn of the lower triangle: rows
+            // j0..n. The diagonal block is syr2k; the part below it is a
+            // general gemm: C[j0+jn.., j0..j0+jn] += alpha(A B^T + B A^T).
+            let rows_below = n - j0 - jn;
+            syr2k_lower(
+                jn,
+                k,
+                alpha,
+                &a[j0..],
+                lda,
+                &b[j0..],
+                ldb,
+                beta,
+                &mut cpanel[j0..],
+                ldc,
+            );
+            if rows_below > 0 {
+                let r0 = j0 + jn;
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    rows_below,
+                    jn,
+                    k,
+                    alpha,
+                    &a[r0..],
+                    lda,
+                    &b[j0..],
+                    ldb,
+                    beta,
+                    &mut cpanel[r0..],
+                    ldc,
+                );
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    rows_below,
+                    jn,
+                    k,
+                    alpha,
+                    &b[r0..],
+                    ldb,
+                    &a[j0..],
+                    lda,
+                    1.0,
+                    &mut cpanel[r0..],
+                    ldc,
+                );
+            }
+        });
+}
+
+/// Symmetric-times-rectangular multiply: `C <- alpha A B + beta C` with
+/// `A` symmetric of order `m` (lower triangle stored) and `B`, `C`
+/// `m x k`. One single pass over the stored triangle serves both the
+/// lower part and its mirrored upper part; with `k` columns of `B`, each
+/// loaded element of `A` is reused `2k` times — Level-3 intensity.
+///
+/// This is the `A2 * (V T)` product at the heart of the stage-1 trailing
+/// update.
+#[allow(clippy::too_many_arguments)]
+pub fn symm_lower_left(
+    m: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    add(Level::L3, (2 * m * m * k) as u64);
+    for j in 0..k {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else if beta != 1.0 {
+            for v in col.iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    for ja in 0..m {
+        let acol = &a[ja * lda..ja * lda + m];
+        for jb in 0..k {
+            let bcol = &b[jb * ldb..jb * ldb + m];
+            let ccol = &mut c[jb * ldc..jb * ldc + m];
+            let t = alpha * bcol[ja];
+            // Diagonal + lower part: column ja of A times b[ja].
+            ccol[ja] += t * acol[ja];
+            let mut s = 0.0;
+            for i in ja + 1..m {
+                ccol[i] += t * acol[i];
+                s += acol[i] * bcol[i];
+            }
+            // Mirrored upper part: row ja of A dotted with b.
+            ccol[ja] += alpha * s;
+        }
+    }
+}
+
+/// Parallel [`symm_lower_left`]: `A`'s columns are split into chunks of
+/// roughly equal stored-element count, each worker accumulates into a
+/// private `C`, and the partials are summed. `A` is streamed exactly once
+/// in total.
+#[allow(clippy::too_many_arguments)]
+pub fn symm_lower_left_par(
+    m: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    if m * m * k < 48 * 48 * 48 {
+        symm_lower_left(m, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        return;
+    }
+    // Chunk boundaries over A's column range, balanced by trapezoid
+    // area; each chunk contributes a small diagonal symm plus two fast
+    // gemms, accumulated into a private C and reduced.
+    let threads = rayon::current_num_threads();
+    let nchunks = (2 * threads).max(m / 96).max(2);
+    let total = m * (m + 1) / 2;
+    let mut bounds = vec![0usize];
+    let mut acc = 0usize;
+    let mut next = total / nchunks;
+    for j in 0..m {
+        acc += m - j;
+        if acc >= next && *bounds.last().unwrap() < j + 1 {
+            bounds.push(j + 1);
+            next = acc + total / nchunks;
+        }
+    }
+    if *bounds.last().unwrap() != m {
+        bounds.push(m);
+    }
+    let partials: Vec<(usize, usize, Vec<f64>)> = bounds
+        .par_windows(2)
+        .map(|w| {
+            let (c0, c1) = (w[0], w[1]);
+            let wl = c1 - c0;
+            let rl = m - c1;
+            // Private output covering only the rows this chunk touches
+            // (c0..m), k columns.
+            let rows = m - c0;
+            let mut pc = vec![0.0f64; rows * k];
+            // Diagonal symmetric block: rows/cols c0..c1.
+            symm_lower_left(
+                wl,
+                k,
+                1.0,
+                &a[c0 + c0 * lda..],
+                lda,
+                &b[c0..],
+                ldb,
+                0.0,
+                &mut pc[..],
+                rows,
+            );
+            if rl > 0 {
+                // C[c1.., :] += A[c1.., c0..c1] * B[c0..c1, :]
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    rl,
+                    k,
+                    wl,
+                    1.0,
+                    &a[c1 + c0 * lda..],
+                    lda,
+                    &b[c0..],
+                    ldb,
+                    1.0,
+                    &mut pc[wl..],
+                    rows,
+                );
+                // C[c0..c1, :] += A[c1.., c0..c1]^T * B[c1.., :]
+                gemm(
+                    Trans::Yes,
+                    Trans::No,
+                    wl,
+                    k,
+                    rl,
+                    1.0,
+                    &a[c1 + c0 * lda..],
+                    lda,
+                    &b[c1..],
+                    ldb,
+                    1.0,
+                    &mut pc[..],
+                    rows,
+                );
+            }
+            (c0, rows, pc)
+        })
+        .collect();
+    for j in 0..k {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else if beta != 1.0 {
+            for v in col.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for (c0, rows, pc) in &partials {
+            let pcol = &pc[j * rows..j * rows + rows];
+            for i in 0..*rows {
+                col[c0 + i] += alpha * pcol[i];
+            }
+        }
+    }
+}
+
+/// Triangular multiply `B <- alpha op(T) B` with `T` a `k x k`
+/// **upper-triangular, non-unit** matrix and `B` `k x n`. Used by the
+/// blocked reflector application (`larfb`), where `T` is the compact
+/// WY factor.
+#[allow(clippy::too_many_arguments)]
+pub fn trmm_upper_left(
+    trans: Trans,
+    k: usize,
+    n: usize,
+    alpha: f64,
+    t: &[f64],
+    ldt: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    add(Level::L3, (n * k * k) as u64);
+    for j in 0..n {
+        let bcol = &mut b[j * ldb..j * ldb + k];
+        match trans {
+            Trans::No => {
+                // b_i <- sum_{l >= i} T(i,l) b_l : top-down keeps unread
+                // entries intact.
+                for i in 0..k {
+                    let mut s = 0.0;
+                    for l in i..k {
+                        s += t[i + l * ldt] * bcol[l];
+                    }
+                    bcol[i] = alpha * s;
+                }
+            }
+            Trans::Yes => {
+                // b_i <- sum_{l <= i} T(l,i) b_l : bottom-up.
+                for i in (0..k).rev() {
+                    let mut s = 0.0;
+                    for l in 0..=i {
+                        s += t[l + i * ldt] * bcol[l];
+                    }
+                    bcol[i] = alpha * s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::Matrix;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        a.multiply(b).unwrap()
+    }
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn gemm_all_transpose_combos() {
+        let m = 7;
+        let n = 9;
+        let k = 5;
+        let a = rand_mat(m, k, 1);
+        let b = rand_mat(k, n, 2);
+        let want = naive(&a, &b);
+        let at = a.transpose();
+        let bt = b.transpose();
+        for (ta, tb, am, bm) in [
+            (Trans::No, Trans::No, &a, &b),
+            (Trans::Yes, Trans::No, &at, &b),
+            (Trans::No, Trans::Yes, &a, &bt),
+            (Trans::Yes, Trans::Yes, &at, &bt),
+        ] {
+            let mut c = Matrix::zeros(m, n);
+            gemm(
+                ta,
+                tb,
+                m,
+                n,
+                k,
+                1.0,
+                am.as_slice(),
+                am.rows(),
+                bm.as_slice(),
+                bm.rows(),
+                0.0,
+                c.as_mut_slice(),
+                m,
+            );
+            assert!(c.approx_eq(&want, 1e-13), "combo {ta:?} {tb:?} wrong");
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = rand_mat(6, 4, 3);
+        let b = rand_mat(4, 5, 4);
+        let c0 = rand_mat(6, 5, 5);
+        let mut c = c0.clone();
+        gemm(
+            Trans::No,
+            Trans::No,
+            6,
+            5,
+            4,
+            2.0,
+            a.as_slice(),
+            6,
+            b.as_slice(),
+            4,
+            -3.0,
+            c.as_mut_slice(),
+            6,
+        );
+        let want = naive(&a, &b);
+        for j in 0..5 {
+            for i in 0..6 {
+                let w = 2.0 * want[(i, j)] - 3.0 * c0[(i, j)];
+                assert!((c[(i, j)] - w).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_par_matches_sequential() {
+        let m = 130;
+        let n = 117;
+        let k = 83;
+        let a = rand_mat(m, k, 6);
+        let b = rand_mat(k, n, 7);
+        let mut c1 = Matrix::zeros(m, n);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c1.as_mut_slice(),
+            m,
+        );
+        gemm_par(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c2.as_mut_slice(),
+            m,
+        );
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn gemm_par_transb_matches() {
+        let m = 96;
+        let n = 101;
+        let k = 64;
+        let a = rand_mat(m, k, 8);
+        let bt = rand_mat(n, k, 9);
+        let mut c1 = Matrix::zeros(m, n);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            k,
+            1.5,
+            a.as_slice(),
+            m,
+            bt.as_slice(),
+            n,
+            0.0,
+            c1.as_mut_slice(),
+            m,
+        );
+        gemm_par(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            k,
+            1.5,
+            a.as_slice(),
+            m,
+            bt.as_slice(),
+            n,
+            0.0,
+            c2.as_mut_slice(),
+            m,
+        );
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let n = 8;
+        let k = 5;
+        let a = rand_mat(n, k, 10);
+        let mut c = Matrix::zeros(n, n);
+        syrk_lower(
+            Trans::No,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        let want = naive(&a, &a.transpose());
+        for j in 0..n {
+            for i in j..n {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-13);
+            }
+        }
+        // Trans variant.
+        let at = a.transpose();
+        let mut c2 = Matrix::zeros(n, n);
+        syrk_lower(
+            Trans::Yes,
+            n,
+            k,
+            1.0,
+            at.as_slice(),
+            k,
+            0.0,
+            c2.as_mut_slice(),
+            n,
+        );
+        for j in 0..n {
+            for i in j..n {
+                assert!((c2[(i, j)] - want[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_matches_gemm_pair() {
+        let n = 9;
+        let k = 4;
+        let a = rand_mat(n, k, 11);
+        let b = rand_mat(n, k, 12);
+        let mut c = Matrix::zeros(n, n);
+        syr2k_lower(
+            n,
+            k,
+            0.5,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        let abt = naive(&a, &b.transpose());
+        let bat = naive(&b, &a.transpose());
+        for j in 0..n {
+            for i in j..n {
+                let w = 0.5 * (abt[(i, j)] + bat[(i, j)]);
+                assert!((c[(i, j)] - w).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_par_matches_sequential() {
+        let n = 150;
+        let k = 40;
+        let a = rand_mat(n, k, 13);
+        let b = rand_mat(n, k, 14);
+        let mut c1 = rand_mat(n, n, 15);
+        let mut c2 = c1.clone();
+        syr2k_lower(
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.5,
+            c1.as_mut_slice(),
+            n,
+        );
+        syr2k_lower_par(
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.5,
+            c2.as_mut_slice(),
+            n,
+        );
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (c1[(i, j)] - c2[(i, j)]).abs() < 1e-11,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symm_matches_dense() {
+        let m = 9;
+        let k = 4;
+        let full = tseig_matrix::gen::random_symmetric(m, 20);
+        let b = rand_mat(m, k, 21);
+        let mut a = full.clone();
+        for j in 0..m {
+            for i in 0..j {
+                a[(i, j)] = f64::NAN; // prove only the lower triangle is read
+            }
+        }
+        let c0 = rand_mat(m, k, 22);
+        let mut c = c0.clone();
+        symm_lower_left(
+            m,
+            k,
+            2.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
+            -1.0,
+            c.as_mut_slice(),
+            m,
+        );
+        let want = naive(&full, &b);
+        for j in 0..k {
+            for i in 0..m {
+                let w = 2.0 * want[(i, j)] - c0[(i, j)];
+                assert!((c[(i, j)] - w).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn symm_par_matches_sequential() {
+        let m = 200;
+        let k = 24;
+        let a = tseig_matrix::gen::random_symmetric(m, 23);
+        let b = rand_mat(m, k, 24);
+        let mut c1 = rand_mat(m, k, 25);
+        let mut c2 = c1.clone();
+        symm_lower_left(
+            m,
+            k,
+            1.5,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
+            0.5,
+            c1.as_mut_slice(),
+            m,
+        );
+        symm_lower_left_par(
+            m,
+            k,
+            1.5,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
+            0.5,
+            c2.as_mut_slice(),
+            m,
+        );
+        assert!(c1.approx_eq(&c2, 1e-10));
+    }
+
+    #[test]
+    fn trmm_matches_dense_triangular_product() {
+        let k = 6;
+        let n = 4;
+        let mut t = rand_mat(k, k, 16);
+        for j in 0..k {
+            for i in j + 1..k {
+                t[(i, j)] = 0.0; // make upper triangular
+            }
+        }
+        let b0 = rand_mat(k, n, 17);
+        let mut b = b0.clone();
+        trmm_upper_left(Trans::No, k, n, 1.0, t.as_slice(), k, b.as_mut_slice(), k);
+        assert!(b.approx_eq(&naive(&t, &b0), 1e-13));
+
+        let mut b2 = b0.clone();
+        trmm_upper_left(Trans::Yes, k, n, 2.0, t.as_slice(), k, b2.as_mut_slice(), k);
+        let mut want = naive(&t.transpose(), &b0);
+        for v in want.as_mut_slice() {
+            *v *= 2.0;
+        }
+        assert!(b2.approx_eq(&want, 1e-13));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_noops() {
+        let mut c = [1.0f64];
+        gemm(
+            Trans::No,
+            Trans::No,
+            0,
+            0,
+            0,
+            1.0,
+            &[],
+            1,
+            &[],
+            1,
+            1.0,
+            &mut c,
+            1,
+        );
+        assert_eq!(c[0], 1.0);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1,
+            1,
+            0,
+            1.0,
+            &[],
+            1,
+            &[],
+            1,
+            0.5,
+            &mut c,
+            1,
+        );
+        assert_eq!(c[0], 0.5);
+    }
+}

@@ -1,0 +1,273 @@
+//! Cholesky factorization and triangular solves.
+//!
+//! Substrate for the *generalized* symmetric eigenproblem
+//! `A x = lambda B x` (the setting the two-stage idea was first invented
+//! for — Grimes & Simon's out-of-core solvers, paper §2): factor
+//! `B = L L^T`, transform `C = L^-1 A L^-T`, solve the standard problem,
+//! back-substitute the eigenvectors.
+
+use crate::blas3::{syrk_lower, Trans};
+use crate::flops::{add, Level};
+use tseig_matrix::{Error, Matrix, Result};
+
+/// Blocked Cholesky factorization of an SPD matrix (lower triangle
+/// referenced and overwritten with `L`). Fails with
+/// [`Error::InvalidArgument`] if a non-positive pivot shows the matrix is
+/// not positive definite.
+pub fn potrf_lower(a: &mut Matrix, nb: usize) -> Result<()> {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    let lda = a.ld();
+    let nb = nb.max(1);
+    add(Level::L3, (n * n * n / 3) as u64);
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = nb.min(n - j0);
+        // Diagonal block: unblocked Cholesky.
+        for j in j0..j0 + jb {
+            // a[j][j] -= sum_k a[j][k]^2 over this block's prior columns.
+            let mut s = a[(j, j)];
+            for k in j0..j {
+                s -= a[(j, k)] * a[(j, k)];
+            }
+            if s <= 0.0 {
+                return Err(Error::InvalidArgument(format!(
+                    "matrix not positive definite (pivot {s:.3e} at {j})"
+                )));
+            }
+            let ljj = s.sqrt();
+            a[(j, j)] = ljj;
+            // Column below the diagonal within the block.
+            for i in j + 1..n {
+                let mut v = a[(i, j)];
+                for k in j0..j {
+                    v -= a[(i, k)] * a[(j, k)];
+                }
+                a[(i, j)] = v / ljj;
+            }
+        }
+        // Trailing update: A22 -= L21 L21^T (only for columns beyond the
+        // block; the in-block corrections were done scalar above).
+        let r0 = j0 + jb;
+        if r0 < n {
+            let rows = n - r0;
+            let (head, tail) = a.as_mut_slice().split_at_mut(r0 * lda);
+            let l21 = &head[r0 + j0 * lda..];
+            syrk_lower(
+                Trans::No,
+                rows,
+                jb,
+                -1.0,
+                l21,
+                lda,
+                1.0,
+                &mut tail[r0..],
+                lda,
+            );
+        }
+        j0 += jb;
+    }
+    // Zero the strict upper triangle so L can be used densely.
+    for j in 0..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `op(L) X = alpha B` in place (`X` overwrites `B`), `L` lower
+/// triangular non-unit, `B` is `m x n`.
+pub fn trsm_left_lower(
+    trans: Trans,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    l: &Matrix,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    assert!(l.rows() >= m && l.cols() >= m);
+    let lda = l.ld();
+    let ld = l.as_slice();
+    add(Level::L3, (m * m * n) as u64);
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + m];
+        if alpha != 1.0 {
+            for v in col.iter_mut() {
+                *v *= alpha;
+            }
+        }
+        match trans {
+            Trans::No => {
+                // Forward substitution.
+                for i in 0..m {
+                    let xi = col[i] / ld[i + i * lda];
+                    col[i] = xi;
+                    if xi != 0.0 {
+                        for r in i + 1..m {
+                            col[r] -= ld[r + i * lda] * xi;
+                        }
+                    }
+                }
+            }
+            Trans::Yes => {
+                // Backward substitution with L^T (columns of L are rows
+                // of L^T; the axpy direction flips).
+                for i in (0..m).rev() {
+                    let mut s = col[i];
+                    for r in i + 1..m {
+                        s -= ld[r + i * lda] * col[r];
+                    }
+                    col[i] = s / ld[i + i * lda];
+                }
+            }
+        }
+    }
+}
+
+/// Solve `X L^T = B` in place (`X` overwrites `B`), `L` lower triangular
+/// non-unit, `B` is `m x n` with `n == order(L)`.
+pub fn trsm_right_lower_trans(m: usize, n: usize, l: &Matrix, b: &mut [f64], ldb: usize) {
+    assert!(l.rows() >= n && l.cols() >= n);
+    let lda = l.ld();
+    let ld = l.as_slice();
+    add(Level::L3, (m * n * n) as u64);
+    // (X L^T)[:, j] = sum_{k <= j} X[:, k] * L[j, k]  =>  forward over j.
+    for j in 0..n {
+        let ljj = ld[j + j * lda];
+        // col_j = (b_j - sum_{k<j} x_k * L[j,k]) / L[j,j]
+        for k in 0..j {
+            let ljk = ld[j + k * lda];
+            if ljk == 0.0 {
+                continue;
+            }
+            let (xk, xj) = split_two(b, k, j, ldb, m);
+            for i in 0..m {
+                xj[i] -= ljk * xk[i];
+            }
+        }
+        for v in b[j * ldb..j * ldb + m].iter_mut() {
+            *v /= ljj;
+        }
+    }
+}
+
+/// Disjoint mutable views of columns `k < j`.
+fn split_two(b: &mut [f64], k: usize, j: usize, ldb: usize, m: usize) -> (&[f64], &mut [f64]) {
+    debug_assert!(k < j);
+    let (head, tail) = b.split_at_mut(j * ldb);
+    (&head[k * ldb..k * ldb + m], &mut tail[..m])
+}
+
+/// Transform the generalized problem to standard form
+/// (`dsygst` ITYPE=1): given `A` symmetric (full storage) and the
+/// Cholesky factor `L` of `B`, return `C = L^-1 A L^-T` (full symmetric
+/// storage).
+pub fn sygst(a: &Matrix, l: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let mut c = a.clone();
+    c.symmetrize_from_lower();
+    // X = L^-1 A
+    {
+        let ldc = c.ld();
+        trsm_left_lower(Trans::No, n, n, 1.0, l, c.as_mut_slice(), ldc);
+    }
+    // C = X L^-T
+    {
+        let ldc = c.ld();
+        trsm_right_lower_trans(n, n, l, c.as_mut_slice(), ldc);
+    }
+    // Enforce exact symmetry lost to rounding.
+    for j in 0..n {
+        for i in j + 1..n {
+            let v = 0.5 * (c[(i, j)] + c[(j, i)]);
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::gen;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // G G^T + n I is comfortably positive definite.
+        let g = gen::random_symmetric(n, seed);
+        let mut a = g.multiply(&g.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        for (n, nb) in [(10, 4), (25, 8), (17, 32)] {
+            let a = spd(n, n as u64);
+            let mut l = a.clone();
+            potrf_lower(&mut l, nb).unwrap();
+            let llt = l.multiply(&l.transpose()).unwrap();
+            assert!(llt.approx_eq(&a, 1e-9 * (n as f64)), "n={n} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = -1.0;
+        assert!(potrf_lower(&mut a, 2).is_err());
+    }
+
+    #[test]
+    fn trsm_left_solves() {
+        let n = 12;
+        let a = spd(n, 3);
+        let mut l = a.clone();
+        potrf_lower(&mut l, 4).unwrap();
+        let x0 = gen::random_symmetric(n, 4);
+        // B = L X0 ; solve L X = B ; expect X == X0.
+        let mut b = l.multiply(&x0).unwrap();
+        let ldb = b.ld();
+        trsm_left_lower(Trans::No, n, n, 1.0, &l, b.as_mut_slice(), ldb);
+        assert!(b.approx_eq(&x0, 1e-9));
+        // Transposed: B = L^T X0.
+        let mut b = l.transpose().multiply(&x0).unwrap();
+        trsm_left_lower(Trans::Yes, n, n, 1.0, &l, b.as_mut_slice(), ldb);
+        assert!(b.approx_eq(&x0, 1e-9));
+    }
+
+    #[test]
+    fn trsm_right_solves() {
+        let n = 10;
+        let a = spd(n, 5);
+        let mut l = a.clone();
+        potrf_lower(&mut l, 3).unwrap();
+        let x0 = gen::random_symmetric(n, 6);
+        // B = X0 L^T ; solve X L^T = B.
+        let mut b = x0.multiply(&l.transpose()).unwrap();
+        let ldb = b.ld();
+        trsm_right_lower_trans(n, n, &l, b.as_mut_slice(), ldb);
+        assert!(b.approx_eq(&x0, 1e-9));
+    }
+
+    #[test]
+    fn sygst_transform_is_similar() {
+        // C = L^-1 A L^-T has the same eigenvalues as the pencil (A, B).
+        let n = 14;
+        let b = spd(n, 7);
+        let a = gen::random_symmetric(n, 8);
+        let mut l = b.clone();
+        potrf_lower(&mut l, 4).unwrap();
+        let c = sygst(&a, &l);
+        // Verify L C L^T == A.
+        let recon = l.multiply(&c).unwrap().multiply(&l.transpose()).unwrap();
+        let mut a_full = a.clone();
+        a_full.symmetrize_from_lower();
+        assert!(recon.approx_eq(&a_full, 1e-8 * n as f64));
+    }
+}

@@ -1,0 +1,131 @@
+//! Global flop accounting, split by BLAS level.
+//!
+//! The paper's Table 1 states the asymptotic flop counts of each phase
+//! (`4/3 n^3` for the reduction, `4 n^3` for the eigenvector update, …).
+//! Rather than trusting those formulas, every kernel in this crate adds its
+//! exact flop count to one of three relaxed atomic counters — one
+//! `fetch_add` per *kernel call*, so the accounting overhead is negligible
+//! — and the `table1` benchmark reads them back to verify the complexity
+//! claims empirically.
+//!
+//! The level split also powers the Amdahl analysis of §4: Level-1/2 flops
+//! are memory-bound ("the Amdahl fraction"); Level-3 flops are
+//! compute-bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static L1: AtomicU64 = AtomicU64::new(0);
+static L2: AtomicU64 = AtomicU64::new(0);
+static L3: AtomicU64 = AtomicU64::new(0);
+
+/// Which counter a kernel charges its flops to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Vector-vector work (`dot`, `axpy`, `nrm2`, …).
+    L1,
+    /// Matrix-vector work (`gemv`, `symv`, `ger`, `syr2`, unblocked
+    /// reflector application).
+    L2,
+    /// Matrix-matrix work (`gemm`, `syrk`, `syr2k`, `trmm`, blocked
+    /// reflector application).
+    L3,
+}
+
+/// Charge `count` flops to `level`.
+#[inline]
+pub fn add(level: Level, count: u64) {
+    match level {
+        Level::L1 => L1.fetch_add(count, Ordering::Relaxed),
+        Level::L2 => L2.fetch_add(count, Ordering::Relaxed),
+        Level::L3 => L3.fetch_add(count, Ordering::Relaxed),
+    };
+}
+
+/// Snapshot of the three counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlopCounts {
+    pub l1: u64,
+    pub l2: u64,
+    pub l3: u64,
+}
+
+impl FlopCounts {
+    /// Total flops across all levels.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.l3
+    }
+
+    /// Fraction of the flops that is memory-bound (Level 1 + Level 2) —
+    /// the paper's "Amdahl fraction".
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.l1 + self.l2) as f64 / t as f64
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`); saturates at zero.
+    pub fn since(&self, earlier: &FlopCounts) -> FlopCounts {
+        FlopCounts {
+            l1: self.l1.saturating_sub(earlier.l1),
+            l2: self.l2.saturating_sub(earlier.l2),
+            l3: self.l3.saturating_sub(earlier.l3),
+        }
+    }
+}
+
+/// Read the current counters.
+pub fn snapshot() -> FlopCounts {
+    FlopCounts {
+        l1: L1.load(Ordering::Relaxed),
+        l2: L2.load(Ordering::Relaxed),
+        l3: L3.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset all counters to zero. Tests that assert exact counts should
+/// instead take two [`snapshot`]s and diff them with
+/// [`FlopCounts::since`], because other threads may run concurrently.
+pub fn reset() {
+    L1.store(0, Ordering::Relaxed);
+    L2.store(0, Ordering::Relaxed);
+    L3.store(0, Ordering::Relaxed);
+}
+
+/// Measure the flops charged by `f`, per level.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, FlopCounts) {
+    let before = snapshot();
+    let r = f();
+    let after = snapshot();
+    (r, after.since(&before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_diffs_counters() {
+        let (_, d) = measure(|| {
+            add(Level::L1, 10);
+            add(Level::L2, 20);
+            add(Level::L3, 30);
+        });
+        // Other tests may add concurrently, so the diff is at least ours.
+        assert!(d.l1 >= 10 && d.l2 >= 20 && d.l3 >= 30);
+        assert!(d.total() >= 60);
+    }
+
+    #[test]
+    fn memory_bound_fraction_bounds() {
+        let c = FlopCounts {
+            l1: 1,
+            l2: 1,
+            l3: 2,
+        };
+        assert!((c.memory_bound_fraction() - 0.5).abs() < 1e-15);
+        assert_eq!(FlopCounts::default().memory_bound_fraction(), 0.0);
+    }
+}

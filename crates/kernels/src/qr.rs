@@ -1,0 +1,227 @@
+//! Blocked QR factorization and explicit Q formation.
+//!
+//! The first stage of the two-stage reduction QR-factorizes each
+//! sub-diagonal panel; [`geqrf`] is that panel factorization. [`orgqr`]
+//! materializes `Q` explicitly and exists mainly so tests can verify
+//! orthogonality directly.
+
+use crate::blas3::Trans;
+use crate::flops::{add, Level};
+use crate::householder::{larfb, larfg, larft, Side};
+use tseig_matrix::Matrix;
+
+/// Unblocked QR (LAPACK `geqr2`): on return the upper triangle of `a`
+/// holds `R`, the strict lower triangle holds the reflector tails `v`, and
+/// `tau[j]` the scalar factors.
+pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
+    debug_assert!(tau.len() >= n.min(m));
+    let k = m.min(n);
+    let mut work = vec![0.0f64; n];
+    let mut u = vec![0.0f64; m];
+    for j in 0..k {
+        // Generate reflector for column j, rows j..m.
+        let alpha = a[j + j * lda];
+        let (beta, t) = {
+            let col = &mut a[j * lda..j * lda + m];
+            let (head, tail) = col.split_at_mut(j + 1);
+            larfg(head[j], tail)
+        };
+        a[j + j * lda] = beta;
+        tau[j] = t;
+        if t == 0.0 || j + 1 == n {
+            continue;
+        }
+        // Materialize u = [1, v] and apply to the trailing columns.
+        let mlen = m - j;
+        u[0] = 1.0;
+        for r in 1..mlen {
+            u[r] = a[j + r + j * lda];
+        }
+        let ncols = n - j - 1;
+        add(Level::L2, 0); // accounted inside larf_left
+        crate::householder::larf_left(
+            &u[..mlen],
+            t,
+            mlen,
+            ncols,
+            &mut a[j + (j + 1) * lda..],
+            lda,
+            &mut work,
+        );
+        let _ = alpha;
+    }
+}
+
+/// Blocked QR (LAPACK `geqrf`): panel `geqr2` + `larft`/`larfb` trailing
+/// update with block size `nb`.
+pub fn geqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64], nb: usize) {
+    let k = m.min(n);
+    if k == 0 {
+        return;
+    }
+    let nb = nb.max(1);
+    let mut j = 0;
+    while j < k {
+        let jb = nb.min(k - j);
+        // Factor the panel a[j..m, j..j+jb].
+        geqr2(m - j, jb, &mut a[j + j * lda..], lda, &mut tau[j..]);
+        if j + jb < n {
+            // Build clean V and T for the panel, then update the trailing
+            // matrix with a blocked reflector.
+            let (v, t) = extract_v_t(&a[j + j * lda..], lda, m - j, jb, &tau[j..j + jb]);
+            larfb(
+                Side::Left,
+                Trans::Yes,
+                m - j,
+                n - j - jb,
+                jb,
+                v.as_slice(),
+                m - j,
+                &t,
+                jb,
+                &mut a[j + (j + jb) * lda..],
+                lda,
+            );
+        }
+        j += jb;
+    }
+}
+
+/// Copy the reflectors of a factored panel (`geqr2` layout, `mm x kk`)
+/// into an explicit-V matrix (unit diagonal, zeros above) and compute its
+/// `T` factor. Returns `(V, T)` with `T` stored column-major `kk x kk`.
+pub fn extract_v_t(a: &[f64], lda: usize, mm: usize, kk: usize, tau: &[f64]) -> (Matrix, Vec<f64>) {
+    let mut v = Matrix::zeros(mm, kk);
+    for col in 0..kk {
+        v[(col, col)] = 1.0;
+        for r in col + 1..mm {
+            v[(r, col)] = a[r + col * lda];
+        }
+    }
+    let mut t = vec![0.0f64; kk * kk];
+    larft(mm, kk, v.as_slice(), mm, tau, &mut t, kk);
+    (v, t)
+}
+
+/// Form the leading `m x m` orthogonal factor `Q = H_1 ... H_k`
+/// explicitly from a `geqrf`-factored matrix.
+pub fn orgqr(m: usize, k: usize, a: &[f64], lda: usize, tau: &[f64]) -> Matrix {
+    let mut q = Matrix::identity(m);
+    let mut u = vec![0.0f64; m];
+    let mut work = vec![0.0f64; m];
+    for j in (0..k).rev() {
+        let mlen = m - j;
+        u[0] = 1.0;
+        for r in 1..mlen {
+            u[r] = a[j + r + j * lda];
+        }
+        let ldq = q.rows();
+        crate::householder::larf_left(
+            &u[..mlen],
+            tau[j],
+            mlen,
+            m,
+            &mut q.as_mut_slice()[j..],
+            ldq,
+            &mut work,
+        );
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::norms;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn check_qr(m: usize, n: usize, nb: usize, seed: u64) {
+        let a0 = rand_mat(m, n, seed);
+        let mut a = a0.clone();
+        let k = m.min(n);
+        let mut tau = vec![0.0; k];
+        geqrf(m, n, a.as_mut_slice(), m, &mut tau, nb);
+        let q = orgqr(m, k, a.as_slice(), m, &tau);
+        // R = upper triangle of factored a.
+        let mut r = Matrix::zeros(m, n);
+        for j in 0..n {
+            for i in 0..=j.min(m - 1) {
+                r[(i, j)] = a[(i, j)];
+            }
+        }
+        let qr = q.multiply(&r).unwrap();
+        assert!(
+            qr.approx_eq(&a0, 1e-12),
+            "QR != A for m={m} n={n} nb={nb}: err {}",
+            norms::frobenius(&{
+                let mut d = qr.clone();
+                for (x, y) in d.as_mut_slice().iter_mut().zip(a0.as_slice()) {
+                    *x -= *y;
+                }
+                d
+            })
+        );
+        // Q orthogonal.
+        assert!(norms::orthogonality(&q) < 100.0, "Q not orthogonal");
+    }
+
+    #[test]
+    fn qr_square_unblocked_equivalent() {
+        check_qr(6, 6, 1, 1);
+    }
+
+    #[test]
+    fn qr_tall_blocked() {
+        check_qr(20, 8, 3, 2);
+        check_qr(33, 12, 5, 3);
+    }
+
+    #[test]
+    fn qr_wide_matrix() {
+        check_qr(6, 11, 4, 4);
+    }
+
+    #[test]
+    fn qr_block_larger_than_matrix() {
+        check_qr(5, 5, 64, 5);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let m = 18;
+        let n = 10;
+        let a0 = rand_mat(m, n, 6);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let mut tau1 = vec![0.0; n];
+        let mut tau2 = vec![0.0; n];
+        geqr2(m, n, a1.as_mut_slice(), m, &mut tau1);
+        geqrf(m, n, a2.as_mut_slice(), m, &mut tau2, 4);
+        assert!(a1.approx_eq(&a2, 1e-12));
+        for (t1, t2) in tau1.iter().zip(&tau2) {
+            assert!((t1 - t2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let m = 12;
+        let n = 7;
+        let mut a = rand_mat(m, n, 7);
+        let mut tau = vec![0.0; n];
+        geqrf(m, n, a.as_mut_slice(), m, &mut tau, 3);
+        // The factored form stores v below the diagonal — that's fine; we
+        // just verify Q^T A0 is upper triangular via the reconstruction
+        // test above. Here check tau values are in the valid range
+        // [0, 2] for real reflectors.
+        for t in tau {
+            assert!((0.0..=2.0).contains(&t), "tau {t} out of range");
+        }
+    }
+}

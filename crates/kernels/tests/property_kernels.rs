@@ -1,0 +1,135 @@
+//! Property tests for the BLAS and Householder kernels.
+
+use proptest::prelude::*;
+use tseig_kernels::blas3::{gemm, symm_lower_left_par, syr2k_lower_par, Trans};
+use tseig_kernels::householder::{larfb, larfg, larft, Side};
+use tseig_kernels::qr::{geqrf, orgqr};
+use tseig_matrix::{gen, norms, Matrix};
+
+fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// gemm against the naive oracle, all transpose combinations, random
+    /// shapes and scalars.
+    #[test]
+    fn gemm_matches_oracle(
+        m in 1usize..24, n in 1usize..24, k in 1usize..24,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
+        ta in 0u8..2, tb in 0u8..2, seed in 0u64..500,
+    ) {
+        let (ta, tb) = (
+            if ta == 0 { Trans::No } else { Trans::Yes },
+            if tb == 0 { Trans::No } else { Trans::Yes },
+        );
+        let a_log = rand_mat(m, k, seed);
+        let b_log = rand_mat(k, n, seed + 1);
+        let c0 = rand_mat(m, n, seed + 2);
+        let a_st = match ta { Trans::No => a_log.clone(), Trans::Yes => a_log.transpose() };
+        let b_st = match tb { Trans::No => b_log.clone(), Trans::Yes => b_log.transpose() };
+        let mut c = c0.clone();
+        gemm(ta, tb, m, n, k, alpha,
+             a_st.as_slice(), a_st.rows(), b_st.as_slice(), b_st.rows(),
+             beta, c.as_mut_slice(), m);
+        let want = a_log.multiply(&b_log).unwrap();
+        for j in 0..n {
+            for i in 0..m {
+                let w = alpha * want[(i, j)] + beta * c0[(i, j)];
+                prop_assert!((c[(i, j)] - w).abs() < 1e-11, "({i},{j})");
+            }
+        }
+    }
+
+    /// Blocked QR reconstructs A = Q R with orthogonal Q for any shape
+    /// and block size.
+    #[test]
+    fn qr_reconstruction(m in 1usize..28, n in 1usize..28, nb in 1usize..10, seed in 0u64..500) {
+        let a0 = rand_mat(m, n, seed);
+        let mut a = a0.clone();
+        let kmin = m.min(n);
+        let mut tau = vec![0.0; kmin];
+        geqrf(m, n, a.as_mut_slice(), m, &mut tau, nb);
+        let q = orgqr(m, kmin, a.as_slice(), m, &tau);
+        prop_assert!(norms::orthogonality(&q) < 200.0);
+        let mut r = Matrix::zeros(m, n);
+        for j in 0..n {
+            for i in 0..=j.min(m - 1) {
+                r[(i, j)] = a[(i, j)];
+            }
+        }
+        prop_assert!(q.multiply(&r).unwrap().approx_eq(&a0, 1e-10));
+    }
+
+    /// A block reflector equals the product of its elementary reflectors.
+    #[test]
+    fn block_reflector_composition(mrows in 4usize..20, k in 1usize..5, seed in 0u64..500) {
+        let k = k.min(mrows - 1);
+        // Build k random reflectors in forward-columnwise form.
+        let mut v = Matrix::zeros(mrows, k);
+        let mut taus = vec![0.0; k];
+        for c in 0..k {
+            let mut tail = rand_mat(mrows - c - 1, 1, seed + c as u64).into_vec();
+            let (_, tau) = larfg(0.5, &mut tail);
+            v[(c, c)] = 1.0;
+            for (i, &val) in tail.iter().enumerate() {
+                v[(c + 1 + i, c)] = val;
+            }
+            taus[c] = tau;
+        }
+        let mut t = vec![0.0; k * k];
+        larft(mrows, k, v.as_slice(), mrows, &taus, &mut t, k);
+        // Apply blockwise to a random C and compare against sequential
+        // elementary applications.
+        let c0 = rand_mat(mrows, 3, seed + 100);
+        let mut blocked = c0.clone();
+        larfb(Side::Left, Trans::No, mrows, 3, k, v.as_slice(), mrows, &t, k,
+              blocked.as_mut_slice(), mrows);
+        let mut seq = c0.clone();
+        let mut work = vec![0.0; 3];
+        for c in (0..k).rev() {
+            let u: Vec<f64> = (0..mrows).map(|r| v[(r, c)]).collect();
+            tseig_kernels::householder::larf_left(&u, taus[c], mrows, 3, seq.as_mut_slice(), mrows, &mut work);
+        }
+        prop_assert!(blocked.approx_eq(&seq, 1e-11));
+    }
+
+    /// symm and syr2k parallel kernels agree with dense oracles.
+    #[test]
+    fn symmetric_level3_oracles(m in 1usize..30, k in 1usize..8, seed in 0u64..500) {
+        let a = gen::random_symmetric(m, seed);
+        let b = rand_mat(m, k, seed + 1);
+        let mut c = Matrix::zeros(m, k);
+        symm_lower_left_par(m, k, 1.0, a.as_slice(), m, b.as_slice(), m, 0.0, c.as_mut_slice(), m);
+        let want = a.multiply(&b).unwrap();
+        prop_assert!(c.approx_eq(&want, 1e-10));
+
+        let x = rand_mat(m, k, seed + 2);
+        let y = rand_mat(m, k, seed + 3);
+        let mut s = Matrix::zeros(m, m);
+        syr2k_lower_par(m, k, 1.0, x.as_slice(), m, y.as_slice(), m, 0.0, s.as_mut_slice(), m);
+        let xyt = x.multiply(&y.transpose()).unwrap();
+        for j in 0..m {
+            for i in j..m {
+                let w = xyt[(i, j)] + xyt[(j, i)];
+                prop_assert!((s[(i, j)] - w).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Jacobi oracle satisfies its own invariants on random input.
+    #[test]
+    fn jacobi_invariants(n in 1usize..20, seed in 0u64..300) {
+        let a = gen::random_symmetric(n, seed);
+        let r = tseig_kernels::reference::jacobi_eigen(&a, true).unwrap();
+        prop_assert!(r.eigenvalues.windows(2).all(|w| w[0] <= w[1]));
+        let z = r.eigenvectors.unwrap();
+        prop_assert!(norms::eigen_residual(&a, &r.eigenvalues, &z) < 500.0);
+        prop_assert!(norms::orthogonality(&z) < 500.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Symmetric band storage (lower), with workspace sub-diagonals for bulges.
+//!
+//! The bulge-chasing stage of the two-stage algorithm works on a symmetric
+//! band matrix of semi-bandwidth `b = nb`. While a bulge is being chased it
+//! temporarily creates fill-in up to `b` rows *below* the band. To let that
+//! happen without reallocation, [`SymBandMatrix`] stores `b + extra + 1`
+//! diagonals in LAPACK lower-band layout: element `A(i, j)` (with
+//! `j <= i <= j + b + extra`) lives at `ab[(i - j) + j * ldab]`.
+//!
+//! Only the lower triangle is stored; `get`/`set` transparently apply the
+//! symmetry `A(i, j) == A(j, i)`.
+
+use crate::dense::Matrix;
+use crate::tridiagonal::SymTridiagonal;
+
+/// Symmetric matrix in lower band storage with workspace rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymBandMatrix {
+    n: usize,
+    /// Semi-bandwidth of the *logical* band (number of sub-diagonals that
+    /// hold matrix data when no bulge is in flight).
+    bandwidth: usize,
+    /// Extra sub-diagonals kept as bulge workspace.
+    extra: usize,
+    /// `ldab x n` column-major buffer, `ldab = bandwidth + extra + 1`.
+    ab: Vec<f64>,
+}
+
+impl SymBandMatrix {
+    /// Zero-filled symmetric band matrix of order `n`, semi-bandwidth
+    /// `bandwidth`, with `extra` workspace sub-diagonals.
+    pub fn zeros(n: usize, bandwidth: usize, extra: usize) -> Self {
+        let ldab = bandwidth + extra + 1;
+        SymBandMatrix {
+            n,
+            bandwidth,
+            extra,
+            ab: vec![0.0; ldab * n],
+        }
+    }
+
+    /// Extract the lower band of a dense symmetric matrix (only the lower
+    /// triangle of `a` is referenced).
+    pub fn from_dense_lower(a: &Matrix, bandwidth: usize, extra: usize) -> Self {
+        assert_eq!(a.rows(), a.cols());
+        let n = a.rows();
+        let mut b = SymBandMatrix::zeros(n, bandwidth, extra);
+        for j in 0..n {
+            for i in j..(j + bandwidth + 1).min(n) {
+                b.set(i, j, a[(i, j)]);
+            }
+        }
+        b
+    }
+
+    /// Order of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Logical semi-bandwidth.
+    #[inline]
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Number of workspace sub-diagonals below the logical band.
+    #[inline]
+    pub fn extra(&self) -> usize {
+        self.extra
+    }
+
+    /// Leading dimension of the band buffer.
+    #[inline]
+    pub fn ldab(&self) -> usize {
+        self.bandwidth + self.extra + 1
+    }
+
+    /// `true` iff `(i, j)` (lower triangle) is inside the stored diagonals.
+    #[inline]
+    pub fn in_store(&self, i: usize, j: usize) -> bool {
+        i >= j && i < self.n && i - j <= self.bandwidth + self.extra
+    }
+
+    /// Read `A(i, j)`; symmetry is applied, and elements outside the stored
+    /// band read as zero.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        if i - j <= self.bandwidth + self.extra {
+            self.ab[(i - j) + j * self.ldab()]
+        } else {
+            0.0
+        }
+    }
+
+    /// Write `A(i, j)` (and implicitly `A(j, i)`). Panics outside the
+    /// stored diagonals.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        assert!(
+            i - j <= self.bandwidth + self.extra && i < self.n,
+            "write outside stored band: ({i},{j}), bw {} extra {}",
+            self.bandwidth,
+            self.extra
+        );
+        let ldab = self.ldab();
+        self.ab[(i - j) + j * ldab] = v;
+    }
+
+    /// Stored part of column `j`: `A(j..=min(j+bw+extra, n-1), j)`,
+    /// starting at the diagonal element.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        let ldab = self.ldab();
+        let len = (self.n - j).min(ldab);
+        &self.ab[j * ldab..j * ldab + len]
+    }
+
+    /// Mutable stored part of column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        let ldab = self.ldab();
+        let len = (self.n - j).min(ldab);
+        &mut self.ab[j * ldab..j * ldab + len]
+    }
+
+    /// Raw band buffer (column-major, `ldab x n`).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.ab
+    }
+
+    /// Raw band buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.ab
+    }
+
+    /// Expand to a dense symmetric [`Matrix`] (both triangles filled).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            for i in j..(j + self.bandwidth + self.extra + 1).min(self.n) {
+                let v = self.get(i, j);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
+    /// Extract the symmetric tridiagonal `(d, e)` from the first two
+    /// stored diagonals. Valid once the bulge chase has driven the band to
+    /// tridiagonal form.
+    pub fn to_tridiagonal(&self) -> SymTridiagonal {
+        let d: Vec<f64> = (0..self.n).map(|j| self.get(j, j)).collect();
+        let e: Vec<f64> = (0..self.n.saturating_sub(1))
+            .map(|j| self.get(j + 1, j))
+            .collect();
+        SymTridiagonal::new(d, e)
+    }
+
+    /// Largest absolute value found strictly below sub-diagonal `k`
+    /// (within the stored workspace rows). Used by tests to assert that
+    /// bulge chasing leaves no fill-in behind: after the chase,
+    /// `max_below_subdiagonal(1) == 0`.
+    pub fn max_below_subdiagonal(&self, k: usize) -> f64 {
+        let mut m = 0.0f64;
+        for j in 0..self.n {
+            for i in (j + k + 1)..(j + self.bandwidth + self.extra + 1).min(self.n) {
+                m = m.max(self.get(i, j).abs());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dense_band_dense() {
+        let n = 6;
+        let bw = 2;
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) <= bw {
+                (1 + i + j) as f64
+            } else {
+                0.0
+            }
+        });
+        a.symmetrize_from_lower();
+        let b = SymBandMatrix::from_dense_lower(&a, bw, 3);
+        assert!(b.to_dense().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn symmetry_of_get_set() {
+        let mut b = SymBandMatrix::zeros(5, 2, 0);
+        b.set(1, 3, 7.0); // upper-triangle write goes to the lower store
+        assert_eq!(b.get(3, 1), 7.0);
+        assert_eq!(b.get(1, 3), 7.0);
+        // Outside the band reads as zero.
+        assert_eq!(b.get(4, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_outside_band_panics() {
+        let mut b = SymBandMatrix::zeros(5, 1, 0);
+        b.set(3, 0, 1.0);
+    }
+
+    #[test]
+    fn column_slices() {
+        let mut b = SymBandMatrix::zeros(4, 1, 1);
+        b.set(2, 2, 5.0);
+        b.set(3, 2, 6.0);
+        assert_eq!(b.col(2), &[5.0, 6.0]); // truncated near the edge
+        assert_eq!(b.col(3), &[0.0]);
+        b.col_mut(3)[0] = 9.0;
+        assert_eq!(b.get(3, 3), 9.0);
+    }
+
+    #[test]
+    fn tridiagonal_extraction() {
+        let mut b = SymBandMatrix::zeros(3, 2, 0);
+        for j in 0..3 {
+            b.set(j, j, (j + 1) as f64);
+        }
+        b.set(1, 0, -1.0);
+        b.set(2, 1, -2.0);
+        let t = b.to_tridiagonal();
+        assert_eq!(t.diag(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.off_diag(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn max_below_subdiagonal_detects_fill() {
+        let mut b = SymBandMatrix::zeros(5, 1, 2);
+        assert_eq!(b.max_below_subdiagonal(1), 0.0);
+        b.set(3, 0, 0.5); // fill-in two diagonals below the band edge
+        assert_eq!(b.max_below_subdiagonal(1), 0.5);
+        assert_eq!(b.max_below_subdiagonal(3), 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Minimal complex scalar and dense complex matrix.
+//!
+//! The paper's algorithm applies to "symmetric (or hermitian)" matrices;
+//! the Hermitian pipeline (`tseig-hermitian`) needs complex arithmetic.
+//! Rather than pulling in a dependency for one scalar type, `C64` is a
+//! self-contained `#[repr(C)]` pair with exactly the operations the
+//! kernels use.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Double-precision complex number.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64 { re, im }
+}
+
+impl C64 {
+    pub const ZERO: C64 = c64(0.0, 0.0);
+    pub const ONE: C64 = c64(1.0, 0.0);
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> C64 {
+        c64(self.re, -self.im)
+    }
+
+    /// Modulus, overflow-safe.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    #[inline]
+    pub fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> C64 {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// `self * other.conj()`.
+    #[inline]
+    pub fn mul_conj(self, other: C64) -> C64 {
+        c64(
+            self.re * other.re + self.im * other.im,
+            self.im * other.re - self.re * other.im,
+        )
+    }
+
+    /// `true` if both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> C64 {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        c64(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        c64(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        c64(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    /// Smith's algorithm: robust against intermediate overflow.
+    fn div(self, o: C64) -> C64 {
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            c64((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            c64((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6e}+{:.6e}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6e}{:.6e}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Column-major dense complex matrix (mirror of [`crate::Matrix`]).
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        CMatrix { rows, cols, data }
+    }
+
+    /// Lift a real matrix into the complex field.
+    pub fn from_real(a: &crate::Matrix) -> Self {
+        CMatrix::from_fn(a.rows(), a.cols(), |i, j| c64(a[(i, j)], 0.0))
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn col(&self, j: usize) -> &[C64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [C64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Conjugate-transposed copy.
+    pub fn adjoint(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Naive product (test oracle).
+    pub fn multiply(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows);
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for j in 0..rhs.cols {
+            for k in 0..self.cols {
+                let r = rhs[(k, j)];
+                if r == C64::ZERO {
+                    continue;
+                }
+                for i in 0..self.rows {
+                    let add = self[(i, k)] * r;
+                    out[(i, j)] += add;
+                }
+            }
+        }
+        out
+    }
+
+    /// Mirror the lower triangle onto the upper (conjugated), making the
+    /// matrix exactly Hermitian; the diagonal's imaginary part is dropped.
+    pub fn hermitize_from_lower(&mut self) {
+        assert_eq!(self.rows, self.cols);
+        for j in 0..self.cols {
+            self[(j, j)] = c64(self[(j, j)].re, 0.0);
+            for i in j + 1..self.rows {
+                let v = self[(i, j)];
+                self[(j, i)] = v.conj();
+            }
+        }
+    }
+
+    /// Maximum modulus of the element-wise difference.
+    pub fn max_diff(&self, other: &CMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (a, b)| m.max((*a - *b).abs()))
+    }
+
+    /// Maximum modulus element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows.min(6) {
+            for j in 0..self.cols.min(6) {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64(1.0, 2.0);
+        let b = c64(-3.0, 0.5);
+        assert_eq!(a + b, c64(-2.0, 2.5));
+        assert_eq!(a * C64::ONE, a);
+        assert_eq!((a * b).conj(), a.conj() * b.conj());
+        // |ab| == |a||b|
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-14);
+        // Division inverts multiplication.
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-14);
+        // mul_conj agreement.
+        assert!((a.mul_conj(b) - a * b.conj()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_extreme_magnitudes() {
+        let a = c64(1e300, 1e300);
+        let b = c64(1e300, -1e300);
+        let q = a / b;
+        assert!(q.is_finite(), "{q:?}");
+        // (1+i)/(1-i) = i.
+        assert!((q - c64(0.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmatrix_multiply_and_adjoint() {
+        let a = CMatrix::from_fn(2, 2, |i, j| c64((i + j) as f64, 1.0));
+        let id = CMatrix::identity(2);
+        assert_eq!(a.multiply(&id).max_diff(&a), 0.0);
+        let ah = a.adjoint();
+        assert_eq!(ah[(0, 1)], a[(1, 0)].conj());
+    }
+
+    #[test]
+    fn hermitize() {
+        let mut a = CMatrix::from_fn(3, 3, |i, j| c64(i as f64, (j + 1) as f64));
+        a.hermitize_from_lower();
+        for i in 0..3 {
+            assert_eq!(a[(i, i)].im, 0.0);
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], a[(j, i)].conj());
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type shared by all `tseig` crates.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and by the numerical routines
+/// built on top of this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A dimension argument was inconsistent (e.g. a multiply of
+    /// incompatible shapes, or a bandwidth larger than the matrix).
+    DimensionMismatch(String),
+    /// An argument was out of its valid domain (negative size, zero tile,
+    /// fraction outside `(0, 1]`, …).
+    InvalidArgument(String),
+    /// An iterative eigensolver failed to converge within its iteration
+    /// budget. Carries the index of the first eigenvalue that failed.
+    NoConvergence { index: usize, iterations: usize },
+    /// The task runtime rejected or aborted the computation
+    /// (e.g. a worker panicked).
+    Runtime(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::NoConvergence { index, iterations } => write!(
+                f,
+                "eigensolver failed to converge for eigenvalue {index} after {iterations} iterations"
+            ),
+            Error::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

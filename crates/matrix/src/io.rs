@@ -1,0 +1,269 @@
+//! MatrixMarket I/O.
+//!
+//! Reads and writes the MatrixMarket exchange format (`.mtx`) — the
+//! lingua franca for sparse/dense matrix test collections — so the CLI
+//! and downstream users can run the solvers on real data sets:
+//!
+//! * `matrix coordinate real general|symmetric` (sparse triplets),
+//! * `matrix array real general|symmetric` (dense column-major).
+//!
+//! Symmetric files store the lower triangle only; the reader mirrors it.
+
+use crate::dense::Matrix;
+use crate::error::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Parsed header kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Layout {
+    Coordinate,
+    Array,
+}
+
+/// Read a real MatrixMarket matrix from a reader.
+pub fn read_matrix_market(r: impl BufRead) -> Result<Matrix> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::InvalidArgument("empty MatrixMarket file".into()))?
+        .map_err(|e| Error::InvalidArgument(format!("io error: {e}")))?;
+    let head = header.to_ascii_lowercase();
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(Error::InvalidArgument(format!("bad header: {header}")));
+    }
+    let layout = match fields[2] {
+        "coordinate" => Layout::Coordinate,
+        "array" => Layout::Array,
+        other => {
+            return Err(Error::InvalidArgument(format!(
+                "unsupported layout {other}"
+            )))
+        }
+    };
+    if fields[3] != "real" && fields[3] != "integer" {
+        return Err(Error::InvalidArgument(format!(
+            "unsupported field type {}",
+            fields[3]
+        )));
+    }
+    let symmetric = match fields.get(4).copied().unwrap_or("general") {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(Error::InvalidArgument(format!(
+                "unsupported symmetry {other}"
+            )))
+        }
+    };
+
+    // Skip comments, take the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| Error::InvalidArgument(format!("io error: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| Error::InvalidArgument("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse()
+                .map_err(|_| Error::InvalidArgument(format!("bad size line: {size_line}")))
+        })
+        .collect::<Result<_>>()?;
+
+    match layout {
+        Layout::Coordinate => {
+            if dims.len() != 3 {
+                return Err(Error::InvalidArgument(
+                    "coordinate size line needs m n nnz".into(),
+                ));
+            }
+            let (m, n, nnz) = (dims[0], dims[1], dims[2]);
+            let mut a = Matrix::zeros(m, n);
+            let mut seen = 0usize;
+            for line in lines {
+                let line = line.map_err(|e| Error::InvalidArgument(format!("io error: {e}")))?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                let mut it = t.split_whitespace();
+                let i: usize = parse_tok(it.next(), t)?;
+                let j: usize = parse_tok(it.next(), t)?;
+                let v: f64 = parse_tok(it.next(), t)?;
+                if i == 0 || j == 0 || i > m || j > n {
+                    return Err(Error::InvalidArgument(format!("index out of range: {t}")));
+                }
+                a[(i - 1, j - 1)] = v;
+                if symmetric && i != j {
+                    a[(j - 1, i - 1)] = v;
+                }
+                seen += 1;
+            }
+            if seen != nnz {
+                return Err(Error::InvalidArgument(format!(
+                    "expected {nnz} entries, found {seen}"
+                )));
+            }
+            Ok(a)
+        }
+        Layout::Array => {
+            if dims.len() != 2 {
+                return Err(Error::InvalidArgument("array size line needs m n".into()));
+            }
+            let (m, n) = (dims[0], dims[1]);
+            let mut vals = Vec::with_capacity(m * n);
+            for line in lines {
+                let line = line.map_err(|e| Error::InvalidArgument(format!("io error: {e}")))?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                for tok in t.split_whitespace() {
+                    vals.push(
+                        tok.parse::<f64>()
+                            .map_err(|_| Error::InvalidArgument(format!("bad value: {tok}")))?,
+                    );
+                }
+            }
+            if symmetric {
+                // Column-major lower triangle (including diagonal).
+                if vals.len() != n * (n + 1) / 2 || m != n {
+                    return Err(Error::InvalidArgument(
+                        "symmetric array must hold the lower triangle of a square matrix".into(),
+                    ));
+                }
+                let mut a = Matrix::zeros(n, n);
+                let mut idx = 0;
+                for j in 0..n {
+                    for i in j..n {
+                        a[(i, j)] = vals[idx];
+                        a[(j, i)] = vals[idx];
+                        idx += 1;
+                    }
+                }
+                Ok(a)
+            } else {
+                if vals.len() != m * n {
+                    return Err(Error::InvalidArgument(format!(
+                        "expected {} values, found {}",
+                        m * n,
+                        vals.len()
+                    )));
+                }
+                Matrix::from_col_major(m, n, vals)
+            }
+        }
+    }
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, line: &str) -> Result<T> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| Error::InvalidArgument(format!("bad entry line: {line}")))
+}
+
+/// Write a dense matrix in `array real general` format.
+pub fn write_matrix_market(a: &Matrix, mut w: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::InvalidArgument(format!("io error: {e}"));
+    writeln!(w, "%%MatrixMarket matrix array real general").map_err(io_err)?;
+    writeln!(w, "{} {}", a.rows(), a.cols()).map_err(io_err)?;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            writeln!(w, "{:.17e}", a[(i, j)]).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write the lower triangle of a symmetric matrix in
+/// `coordinate real symmetric` format (zeros skipped).
+pub fn write_matrix_market_symmetric(a: &Matrix, mut w: impl Write) -> Result<()> {
+    assert_eq!(a.rows(), a.cols());
+    let io_err = |e: std::io::Error| Error::InvalidArgument(format!("io error: {e}"));
+    let n = a.rows();
+    let mut entries = Vec::new();
+    for j in 0..n {
+        for i in j..n {
+            if a[(i, j)] != 0.0 {
+                entries.push((i + 1, j + 1, a[(i, j)]));
+            }
+        }
+    }
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric").map_err(io_err)?;
+    writeln!(w, "{n} {n} {}", entries.len()).map_err(io_err)?;
+    for (i, j, v) in entries {
+        writeln!(w, "{i} {j} {v:.17e}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn coordinate_symmetric_roundtrip() {
+        let a = gen::random_symmetric(7, 1);
+        let mut buf = Vec::new();
+        write_matrix_market_symmetric(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert!(b.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn array_general_roundtrip() {
+        let a = Matrix::from_fn(4, 6, |i, j| (i * 10 + j) as f64 * 0.5 - 3.0);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert!(b.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn parses_reference_text() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n\
+                    2 2 2.0\n\
+                    3 3 1.5\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(0, 1)], -1.0); // mirrored
+        assert_eq!(a[(1, 0)], -1.0);
+        assert_eq!(a[(2, 2)], 1.5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_matrix_market("not a header\n1 1 1\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n".as_bytes()
+        )
+        .is_err());
+        // Wrong entry count.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // Out-of-range index.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn array_symmetric_lower_triangle() {
+        let text = "%%MatrixMarket matrix array real symmetric\n3 3\n1\n2\n3\n4\n5\n6\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        // Lower triangle column-major: (0,0)=1 (1,0)=2 (2,0)=3 (1,1)=4 (2,1)=5 (2,2)=6.
+        assert_eq!(a[(2, 1)], 5.0);
+        assert_eq!(a[(1, 2)], 5.0);
+        assert_eq!(a[(2, 2)], 6.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Tile layout: a matrix stored as a grid of contiguous column-major tiles.
+//!
+//! Tile algorithms (PLASMA-style, paper §5.1) split the matrix into
+//! `nb x nb` tiles where the data *within a tile is contiguous in memory*,
+//! "avoiding the cache and TLB misses associated with strided access".
+//! [`TileMatrix`] owns such a layout; each tile is an independent unit of
+//! work for the task schedulers, and the stage-1 reduction stores its `V1`
+//! reflector panels this way (paper Fig. 3a).
+
+use crate::dense::Matrix;
+
+/// Matrix stored tile-by-tile; tiles are column-major and laid out in
+/// column-major tile order.
+#[derive(Clone, Debug)]
+pub struct TileMatrix {
+    rows: usize,
+    cols: usize,
+    nb: usize,
+    /// Tile grid dimensions.
+    mt: usize,
+    nt: usize,
+    /// One `Vec` per tile, indexed `ti + tj * mt`; tile `(ti, tj)` has
+    /// dimensions `tile_rows(ti) x tile_cols(tj)` and is column-major.
+    tiles: Vec<Vec<f64>>,
+}
+
+impl TileMatrix {
+    /// Zero-filled `rows x cols` matrix with tile size `nb`.
+    pub fn zeros(rows: usize, cols: usize, nb: usize) -> Self {
+        assert!(nb > 0, "tile size must be positive");
+        let mt = rows.div_ceil(nb);
+        let nt = cols.div_ceil(nb);
+        let mut tiles = Vec::with_capacity(mt * nt);
+        for tj in 0..nt {
+            for ti in 0..mt {
+                let tr = if ti + 1 == mt { rows - ti * nb } else { nb };
+                let tc = if tj + 1 == nt { cols - tj * nb } else { nb };
+                tiles.push(vec![0.0; tr * tc]);
+            }
+        }
+        // `tiles` above was pushed in (tj, ti) order; reorder index math
+        // instead of the data: we index as ti + tj * mt below, which is the
+        // same order we pushed (for each tj, all ti). Keep it.
+        TileMatrix {
+            rows,
+            cols,
+            nb,
+            mt,
+            nt,
+            tiles,
+        }
+    }
+
+    /// Convert from a dense column-major matrix.
+    pub fn from_dense(a: &Matrix, nb: usize) -> Self {
+        let mut t = TileMatrix::zeros(a.rows(), a.cols(), nb);
+        for tj in 0..t.nt {
+            for ti in 0..t.mt {
+                let (r0, c0) = (ti * nb, tj * nb);
+                let (tr, tc) = (t.tile_rows(ti), t.tile_cols(tj));
+                let tile = t.tile_mut(ti, tj);
+                for j in 0..tc {
+                    for i in 0..tr {
+                        tile[i + j * tr] = a[(r0 + i, c0 + j)];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Convert back to dense column-major.
+    pub fn to_dense(&self) -> Matrix {
+        let mut a = Matrix::zeros(self.rows, self.cols);
+        for tj in 0..self.nt {
+            for ti in 0..self.mt {
+                let (r0, c0) = (ti * self.nb, tj * self.nb);
+                let (tr, tc) = (self.tile_rows(ti), self.tile_cols(tj));
+                let tile = self.tile(ti, tj);
+                for j in 0..tc {
+                    for i in 0..tr {
+                        a[(r0 + i, c0 + j)] = tile[i + j * tr];
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// Total rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile size.
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of tile rows.
+    #[inline]
+    pub fn tile_row_count(&self) -> usize {
+        self.mt
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn tile_col_count(&self) -> usize {
+        self.nt
+    }
+
+    /// Rows in tile row `ti` (the last tile row may be short).
+    #[inline]
+    pub fn tile_rows(&self, ti: usize) -> usize {
+        if ti + 1 == self.mt {
+            self.rows - ti * self.nb
+        } else {
+            self.nb
+        }
+    }
+
+    /// Columns in tile column `tj`.
+    #[inline]
+    pub fn tile_cols(&self, tj: usize) -> usize {
+        if tj + 1 == self.nt {
+            self.cols - tj * self.nb
+        } else {
+            self.nb
+        }
+    }
+
+    /// Tile `(ti, tj)` as a contiguous column-major slice with leading
+    /// dimension [`Self::tile_rows`]`(ti)`.
+    #[inline]
+    pub fn tile(&self, ti: usize, tj: usize) -> &[f64] {
+        &self.tiles[ti + tj * self.mt]
+    }
+
+    /// Mutable tile `(ti, tj)`.
+    #[inline]
+    pub fn tile_mut(&mut self, ti: usize, tj: usize) -> &mut [f64] {
+        &mut self.tiles[ti + tj * self.mt]
+    }
+
+    /// Element access (slow path; tests only).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (ti, tj) = (i / self.nb, j / self.nb);
+        let tr = self.tile_rows(ti);
+        self.tile(ti, tj)[(i % self.nb) + (j % self.nb) * tr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_tiles() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i * 7 + j) as f64);
+        let t = TileMatrix::from_dense(&a, 2);
+        assert_eq!(t.tile_row_count(), 3);
+        assert_eq!(t.tile_col_count(), 2);
+        assert!(t.to_dense().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn roundtrip_ragged_tiles() {
+        let a = Matrix::from_fn(7, 5, |i, j| (i as f64) - 3.0 * (j as f64));
+        let t = TileMatrix::from_dense(&a, 3);
+        assert_eq!(t.tile_rows(2), 1);
+        assert_eq!(t.tile_cols(1), 2);
+        assert!(t.to_dense().approx_eq(&a, 0.0));
+        assert_eq!(t.get(6, 4), a[(6, 4)]);
+    }
+
+    #[test]
+    fn tiles_are_contiguous_column_major() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + 10 * j) as f64);
+        let t = TileMatrix::from_dense(&a, 2);
+        // Tile (1, 0) covers rows 2..4, cols 0..2.
+        assert_eq!(t.tile(1, 0), &[2.0, 3.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn tile_mut_writes_through() {
+        let mut t = TileMatrix::zeros(4, 4, 2);
+        t.tile_mut(0, 1)[0] = 5.0; // element (0, 2)
+        assert_eq!(t.get(0, 2), 5.0);
+        assert_eq!(t.to_dense()[(0, 2)], 5.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Symmetric tridiagonal matrix `(d, e)`.
+//!
+//! Both reduction pipelines produce this form; every tridiagonal
+//! eigensolver in `tseig-tridiag` consumes it.
+
+use crate::dense::Matrix;
+
+/// Symmetric tridiagonal matrix stored as diagonal `d` (length `n`) and
+/// off-diagonal `e` (length `n - 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymTridiagonal {
+    d: Vec<f64>,
+    e: Vec<f64>,
+}
+
+impl SymTridiagonal {
+    /// Construct from diagonal and off-diagonal. Panics unless
+    /// `e.len() + 1 == d.len()` (or both are empty).
+    pub fn new(d: Vec<f64>, e: Vec<f64>) -> Self {
+        assert!(
+            (d.is_empty() && e.is_empty()) || e.len() + 1 == d.len(),
+            "off-diagonal length {} does not match diagonal length {}",
+            e.len(),
+            d.len()
+        );
+        SymTridiagonal { d, e }
+    }
+
+    /// Order of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Diagonal entries.
+    #[inline]
+    pub fn diag(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Off-diagonal entries.
+    #[inline]
+    pub fn off_diag(&self) -> &[f64] {
+        &self.e
+    }
+
+    /// Mutable diagonal.
+    #[inline]
+    pub fn diag_mut(&mut self) -> &mut [f64] {
+        &mut self.d
+    }
+
+    /// Mutable off-diagonal.
+    #[inline]
+    pub fn off_diag_mut(&mut self) -> &mut [f64] {
+        &mut self.e
+    }
+
+    /// Consume into `(d, e)`.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<f64>) {
+        (self.d, self.e)
+    }
+
+    /// Expand to a dense matrix (mostly for tests and tiny problems).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.n();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = self.d[i];
+        }
+        for i in 0..n.saturating_sub(1) {
+            m[(i + 1, i)] = self.e[i];
+            m[(i, i + 1)] = self.e[i];
+        }
+        m
+    }
+
+    /// Multiply `T * x` into a fresh vector (used by residual checks and
+    /// inverse iteration without forming `T` densely).
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = self.d[i] * x[i];
+            if i > 0 {
+                v += self.e[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                v += self.e[i] * x[i + 1];
+            }
+            y[i] = v;
+        }
+        y
+    }
+
+    /// Gershgorin bounds `[lo, hi]` containing every eigenvalue.
+    pub fn gershgorin_bounds(&self) -> (f64, f64) {
+        let n = self.n();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let mut r = 0.0;
+            if i > 0 {
+                r += self.e[i - 1].abs();
+            }
+            if i + 1 < n {
+                r += self.e[i].abs();
+            }
+            lo = lo.min(self.d[i] - r);
+            hi = hi.max(self.d[i] + r);
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// 1-norm (== inf-norm by symmetry).
+    pub fn norm1(&self) -> f64 {
+        let n = self.n();
+        (0..n)
+            .map(|i| {
+                let mut s = self.d[i].abs();
+                if i > 0 {
+                    s += self.e[i - 1].abs();
+                }
+                if i + 1 < n {
+                    s += self.e[i].abs();
+                }
+                s
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SymTridiagonal::new(vec![1.0, 2.0, 3.0], vec![0.5, 0.25]);
+        assert_eq!(t.n(), 3);
+        assert_eq!(t.diag()[2], 3.0);
+        assert_eq!(t.off_diag()[0], 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = SymTridiagonal::new(vec![1.0, 2.0], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn dense_expansion_matches_mul_vec() {
+        let t = SymTridiagonal::new(vec![2.0, 3.0, 4.0, 5.0], vec![1.0, -1.0, 0.5]);
+        let dense = t.to_dense();
+        let x = vec![1.0, -2.0, 0.0, 3.0];
+        let y = t.mul_vec(&x);
+        for i in 0..4 {
+            let mut want = 0.0;
+            for j in 0..4 {
+                want += dense[(i, j)] * x[j];
+            }
+            assert!((y[i] - want).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gershgorin_contains_known_eigenvalues() {
+        // T = [[2,-1],[-1,2]] has eigenvalues 1 and 3.
+        let t = SymTridiagonal::new(vec![2.0, 2.0], vec![-1.0]);
+        let (lo, hi) = t.gershgorin_bounds();
+        assert!(lo <= 1.0 && hi >= 3.0);
+        assert_eq!(t.norm1(), 3.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = SymTridiagonal::new(vec![], vec![]);
+        assert_eq!(t.n(), 0);
+        let t1 = SymTridiagonal::new(vec![7.0], vec![]);
+        assert_eq!(t1.mul_vec(&[2.0]), vec![14.0]);
+    }
+}

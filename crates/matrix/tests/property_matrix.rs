@@ -1,0 +1,85 @@
+//! Property tests for the storage layer.
+
+use proptest::prelude::*;
+use tseig_matrix::{gen, norms, Matrix, SymBandMatrix, SymTridiagonal};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn band_roundtrip(n in 1usize..30, bw in 0usize..8, extra in 0usize..4, seed in 0u64..500) {
+        let a = gen::random_symmetric(n, seed);
+        // Band-limit the dense matrix first.
+        let banded = Matrix::from_fn(n, n, |i, j| if i.abs_diff(j) <= bw { a[(i, j)] } else { 0.0 });
+        let b = SymBandMatrix::from_dense_lower(&banded, bw, extra);
+        prop_assert!(b.to_dense().approx_eq(&banded, 0.0));
+        // Symmetric accessor agrees on both triangles.
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(b.get(i, j), banded[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_roundtrip(rows in 1usize..40, cols in 1usize..40, nb in 1usize..12, seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
+        let t = tseig_matrix::tile::TileMatrix::from_dense(&a, nb);
+        prop_assert!(t.to_dense().approx_eq(&a, 0.0));
+        prop_assert_eq!(t.tile_row_count(), rows.div_ceil(nb));
+    }
+
+    #[test]
+    fn tridiagonal_mul_matches_dense(n in 1usize..30, seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let e: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let t = SymTridiagonal::new(d, e);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let dense = t.to_dense();
+        let y = t.mul_vec(&x);
+        for i in 0..n {
+            let want: f64 = (0..n).map(|j| dense[(i, j)] * x[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-12);
+        }
+        // Gershgorin bounds contain the Rayleigh quotient of any vector.
+        let (lo, hi) = t.gershgorin_bounds();
+        let xn: f64 = x.iter().map(|v| v * v).sum();
+        if xn > 1e-12 {
+            let rq: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum::<f64>() / xn;
+            prop_assert!(rq >= lo - 1e-9 && rq <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spectrum_generator_invariants(n in 1usize..24, seed in 0u64..500) {
+        let lambda = gen::linspace(-1.0, 2.0, n);
+        let a = gen::symmetric_with_spectrum(&lambda, seed);
+        // Orthogonal similarity preserves trace and Frobenius norm.
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        prop_assert!((tr - lambda.iter().sum::<f64>()).abs() < 1e-8);
+        let fro2: f64 = a.as_slice().iter().map(|v| v * v).sum();
+        let want: f64 = lambda.iter().map(|l| l * l).sum();
+        prop_assert!((fro2 - want).abs() < 1e-7 * (1.0 + want));
+    }
+
+    #[test]
+    fn norm_inequalities(n in 1usize..20, m in 1usize..20, seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, m, |_, _| rng.gen_range(-3.0..3.0));
+        let fro = norms::frobenius(&a);
+        let one = norms::norm1(&a);
+        let inf = norms::norm_inf(&a);
+        // Standard norm equivalences.
+        prop_assert!(fro <= (one * inf).sqrt() * ((n.max(m)) as f64).sqrt() + 1e-9);
+        prop_assert!(a.max_abs() <= fro + 1e-12);
+        prop_assert!(a.max_abs() <= one + 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! One-stage eigensolver driver (`dsyev`/`dsyevd`/`dsyevr` equivalents).
+//!
+//! Pipeline: `sytrd` reduction, tridiagonal solve (QR / D&C / bisection+
+//! inverse iteration), `ormtr` back-transformation. Phase wall-times are
+//! recorded so the harness can rebuild the paper's Figure 1a.
+
+use crate::ormtr::ormtr_left;
+use crate::sytrd::sytrd;
+use std::time::Instant;
+use tseig_matrix::{Matrix, Result};
+use tseig_tridiag::{EigenRange, Method, PhaseTimings};
+
+/// Tuning knobs of the one-stage pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct OneStageOptions {
+    /// Panel width of the blocked reduction and back-transformation.
+    pub nb: usize,
+    /// Tridiagonal eigensolver.
+    pub method: Method,
+}
+
+impl Default for OneStageOptions {
+    fn default() -> Self {
+        OneStageOptions {
+            nb: 32,
+            method: Method::DivideAndConquer,
+        }
+    }
+}
+
+/// Result of a one-stage eigensolve.
+pub struct OneStageResult {
+    /// Ascending eigenvalues (the selected range).
+    pub eigenvalues: Vec<f64>,
+    /// Matching eigenvectors of the *original dense matrix*, if requested.
+    pub eigenvectors: Option<Matrix>,
+    /// Per-phase wall time (Figure 1a).
+    pub timings: PhaseTimings,
+}
+
+/// Compute eigenvalues (and optionally eigenvectors) of the dense
+/// symmetric matrix `a` (lower triangle referenced) with the classic
+/// one-stage pipeline.
+pub fn syev(
+    a: &Matrix,
+    range: EigenRange,
+    want_vectors: bool,
+    opts: &OneStageOptions,
+) -> Result<OneStageResult> {
+    assert_eq!(a.rows(), a.cols());
+    let mut timings = PhaseTimings::default();
+
+    let t0 = Instant::now();
+    let fac = sytrd(a.clone(), opts.nb);
+    timings.reduction = t0.elapsed();
+
+    let t1 = Instant::now();
+    let tri = fac.tridiagonal();
+    let sol = tseig_tridiag::solve(&tri, opts.method, range, want_vectors)?;
+    timings.tridiag_solve = t1.elapsed();
+
+    let eigenvectors = if want_vectors {
+        let t2 = Instant::now();
+        let mut z = sol.eigenvectors.expect("vectors requested");
+        ormtr_left(&fac, &mut z);
+        timings.backtransform = t2.elapsed();
+        Some(z)
+    } else {
+        None
+    };
+
+    Ok(OneStageResult {
+        eigenvalues: sol.eigenvalues,
+        eigenvectors,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::{gen, norms};
+
+    #[test]
+    fn full_solve_matches_prescribed_spectrum() {
+        let n = 60;
+        let lambda = gen::linspace(-1.0, 9.0, n);
+        let a = gen::symmetric_with_spectrum(&lambda, 23);
+        let r = syev(&a, EigenRange::All, true, &OneStageOptions::default()).unwrap();
+        assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-11);
+        let z = r.eigenvectors.unwrap();
+        assert!(norms::eigen_residual(&a, &r.eigenvalues, &z) < 200.0);
+        assert!(norms::orthogonality(&z) < 200.0);
+        assert!(r.timings.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn all_methods_give_same_spectrum() {
+        let n = 45;
+        let a = gen::random_symmetric(n, 31);
+        let mut results = Vec::new();
+        for m in [
+            Method::Qr,
+            Method::DivideAndConquer,
+            Method::BisectionInverse,
+        ] {
+            let r = syev(
+                &a,
+                EigenRange::All,
+                true,
+                &OneStageOptions { nb: 8, method: m },
+            )
+            .unwrap();
+            let z = r.eigenvectors.as_ref().unwrap();
+            assert!(
+                norms::eigen_residual(&a, &r.eigenvalues, z) < 300.0,
+                "{m:?}"
+            );
+            assert!(norms::orthogonality(z) < 300.0, "{m:?}");
+            results.push(r.eigenvalues);
+        }
+        assert!(norms::eigenvalue_distance(&results[0], &results[1]) < 1e-10);
+        assert!(norms::eigenvalue_distance(&results[0], &results[2]) < 1e-10);
+    }
+
+    #[test]
+    fn subset_matches_oracle() {
+        let n = 40;
+        let a = gen::random_symmetric(n, 37);
+        let oracle = tseig_kernels::reference::jacobi_eigen(&a, false).unwrap();
+        let r = syev(
+            &a,
+            EigenRange::Index(0, 8),
+            true,
+            &OneStageOptions {
+                nb: 8,
+                method: Method::BisectionInverse,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.eigenvalues.len(), 8);
+        assert!(norms::eigenvalue_distance(&r.eigenvalues, &oracle.eigenvalues[0..8]) < 1e-10);
+        let z = r.eigenvectors.unwrap();
+        assert_eq!(z.cols(), 8);
+        assert!(norms::eigen_residual(&a, &r.eigenvalues, &z) < 200.0);
+    }
+
+    #[test]
+    fn values_only_no_vectors() {
+        let a = gen::random_symmetric(20, 41);
+        let r = syev(&a, EigenRange::All, false, &OneStageOptions::default()).unwrap();
+        assert!(r.eigenvectors.is_none());
+        assert_eq!(r.timings.backtransform.as_nanos(), 0);
+    }
+}

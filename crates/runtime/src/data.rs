@@ -1,0 +1,76 @@
+//! Shared-data cell for tasks.
+//!
+//! A tile runtime needs many tasks to mutate disjoint pieces of one big
+//! matrix. Rust's borrow checker cannot see the runtime's scheduling
+//! guarantee ("two tasks with conflicting declared regions never run
+//! concurrently"), so the unsafety is concentrated here in one small,
+//! documented cell instead of being scattered through the algorithms.
+
+use std::cell::UnsafeCell;
+
+/// Interior-mutability cell whose exclusivity discipline is enforced by
+/// the task runtime's region declarations rather than by the borrow
+/// checker.
+///
+/// # Safety contract
+///
+/// A task may call [`DataCell::get_mut`] only while it holds a `Write`
+/// declaration covering *all* the data it touches through the returned
+/// reference, and [`DataCell::get`] only while holding at least a `Read`
+/// declaration. [`graph::TaskGraph`](crate::graph::TaskGraph) serializes
+/// conflicting declarations, which makes those accesses data-race free.
+pub struct DataCell<T>(UnsafeCell<T>);
+
+// Safety: see the struct-level contract. `T: Send` is required because
+// the value is accessed from worker threads.
+unsafe impl<T: Send> Sync for DataCell<T> {}
+unsafe impl<T: Send> Send for DataCell<T> {}
+
+impl<T> DataCell<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        DataCell(UnsafeCell::new(value))
+    }
+
+    /// Shared access.
+    ///
+    /// # Safety
+    /// Caller must hold (at least) a declared `Read` region covering the
+    /// data it reads, and no concurrently-running task may hold a `Write`
+    /// on the same region — guaranteed if all tasks declare honestly.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self) -> &T {
+        &*self.0.get()
+    }
+
+    /// Exclusive access.
+    ///
+    /// # Safety
+    /// Caller must hold a declared `Write` region covering all data it
+    /// touches; the runtime guarantees no conflicting task runs
+    /// concurrently.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// Unwrap (requires unique ownership, so it is safe).
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = DataCell::new(vec![1, 2, 3]);
+        unsafe {
+            c.get_mut().push(4);
+            assert_eq!(c.get().len(), 4);
+        }
+        assert_eq!(c.into_inner(), vec![1, 2, 3, 4]);
+    }
+}

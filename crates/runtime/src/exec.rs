@@ -1,0 +1,396 @@
+//! Dynamic work-stealing executor.
+//!
+//! Workers own a LIFO deque each (locality: a task's successors tend to
+//! touch the data it just wrote, so running them on the same core reuses
+//! the cache — the paper's "data reuse among the CPU-cores"), steal FIFO
+//! from each other, and service a two-lane global injector so `High`
+//! priority tasks (critical-path sweep heads) are picked before `Normal`
+//! ones.
+//!
+//! Memory ordering follows the idioms of *Rust Atomics and Locks*:
+//! dependency counters are decremented with `AcqRel` so a successor
+//! observes everything its predecessor wrote before it starts.
+
+use crate::graph::{Priority, TaskGraph, TaskId};
+use crate::trace::RunStats;
+use crossbeam::deque::{Injector, Stealer, Worker};
+use crossbeam::utils::Backoff;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Dynamic task-graph executor with a fixed worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct Runtime {
+    threads: usize,
+}
+
+struct Shared {
+    /// Closure slots; a worker `take`s the closure when it runs the task.
+    runs: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>>,
+    tags: Vec<&'static str>,
+    priorities: Vec<Priority>,
+    dep_counts: Vec<AtomicUsize>,
+    successors: Vec<Vec<TaskId>>,
+    remaining: AtomicUsize,
+    abort: AtomicBool,
+    panic_msg: Mutex<Option<String>>,
+    high: Injector<TaskId>,
+    normal: Injector<TaskId>,
+}
+
+impl Shared {
+    fn push_ready(&self, id: TaskId, local: Option<&Worker<TaskId>>) {
+        match self.priorities[id] {
+            Priority::High => self.high.push(id),
+            Priority::Normal => match local {
+                Some(w) => w.push(id),
+                None => self.normal.push(id),
+            },
+        }
+    }
+
+    fn find_task(&self, local: &Worker<TaskId>, stealers: &[Stealer<TaskId>]) -> Option<TaskId> {
+        // Priority lane first: critical-path tasks preempt local work.
+        loop {
+            match self.high.steal() {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.normal.steal_batch_and_pop(local) {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+        for s in stealers {
+            loop {
+                match s.steal() {
+                    crossbeam::deque::Steal::Success(t) => return Some(t),
+                    crossbeam::deque::Steal::Empty => break,
+                    crossbeam::deque::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Runtime {
+    /// Executor with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Runtime {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute the graph to completion. Returns aggregated statistics, or
+    /// an error if any task panicked (remaining tasks are abandoned, the
+    /// panic does not propagate).
+    pub fn run(&self, graph: TaskGraph) -> Result<RunStats, String> {
+        let n = graph.len();
+        if n == 0 {
+            return Ok(RunStats {
+                workers: self.threads,
+                ..Default::default()
+            });
+        }
+        let roots = graph.roots();
+        let mut runs = Vec::with_capacity(n);
+        let mut tags = Vec::with_capacity(n);
+        let mut priorities = Vec::with_capacity(n);
+        let mut dep_counts = Vec::with_capacity(n);
+        let mut successors = Vec::with_capacity(n);
+        for t in graph.tasks {
+            runs.push(Mutex::new(Some(t.run)));
+            tags.push(t.tag);
+            priorities.push(t.priority);
+            dep_counts.push(AtomicUsize::new(t.dep_count));
+            successors.push(t.successors);
+        }
+        let shared = Shared {
+            runs,
+            tags,
+            priorities,
+            dep_counts,
+            successors,
+            remaining: AtomicUsize::new(n),
+            abort: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
+            high: Injector::new(),
+            normal: Injector::new(),
+        };
+        for r in roots {
+            shared.push_ready(r, None);
+        }
+
+        let workers: Vec<Worker<TaskId>> = (0..self.threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<TaskId>> = workers.iter().map(|w| w.stealer()).collect();
+        let start = Instant::now();
+        let mut all_stats: Vec<RunStats> = Vec::new();
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (wid, local) in workers.into_iter().enumerate() {
+                let shared = &shared;
+                let stealers: Vec<Stealer<TaskId>> = stealers
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != wid)
+                    .map(|(_, s)| s.clone())
+                    .collect();
+                handles.push(scope.spawn(move |_| worker_loop(shared, local, &stealers)));
+            }
+            for h in handles {
+                if let Ok(stats) = h.join() {
+                    all_stats.push(stats);
+                }
+            }
+        })
+        .map_err(|_| "worker thread panicked outside task".to_string())?;
+
+        if shared.abort.load(Ordering::Acquire) {
+            let msg = shared
+                .panic_msg
+                .lock()
+                .take()
+                .unwrap_or_else(|| "task panicked".to_string());
+            return Err(msg);
+        }
+
+        let mut stats = RunStats {
+            workers: self.threads,
+            wall: start.elapsed(),
+            ..Default::default()
+        };
+        for s in &all_stats {
+            stats.merge(s);
+        }
+        Ok(stats)
+    }
+}
+
+fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskId>]) -> RunStats {
+    let mut stats = RunStats::default();
+    let backoff = Backoff::new();
+    loop {
+        if shared.abort.load(Ordering::Acquire) {
+            return stats;
+        }
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            return stats;
+        }
+        let Some(id) = shared.find_task(&local, stealers) else {
+            backoff.snooze();
+            continue;
+        };
+        backoff.reset();
+        let run = shared.runs[id].lock().take();
+        let Some(run) = run else { continue };
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(run));
+        stats.record(shared.tags[id], t0.elapsed());
+        match outcome {
+            Ok(()) => {
+                // AcqRel: successors must observe this task's writes.
+                for &s in &shared.successors[id] {
+                    if shared.dep_counts[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        shared.push_ready(s, Some(&local));
+                    }
+                }
+                shared.remaining.fetch_sub(1, Ordering::AcqRel);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "task panicked".to_string());
+                *shared.panic_msg.lock() =
+                    Some(format!("task '{}' panicked: {msg}", shared.tags[id]));
+                shared.abort.store(true, Ordering::Release);
+                return stats;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, RegionId};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_graph() {
+        let rt = Runtime::new(4);
+        let stats = rt.run(TaskGraph::new()).unwrap();
+        assert_eq!(stats.tasks_run, 0);
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        // A chain through one region: final value proves total order.
+        let data = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for k in 1..=32u64 {
+            let d = data.clone();
+            g.add_task(
+                "step",
+                Priority::Normal,
+                &[(RegionId(7), Access::Write)],
+                move || {
+                    // value must be exactly k-1 when we run.
+                    let prev = d.swap(k, Ordering::SeqCst);
+                    assert_eq!(prev, k - 1);
+                },
+            );
+        }
+        let stats = Runtime::new(4).run(g).unwrap();
+        assert_eq!(stats.tasks_run, 32);
+        assert_eq!(data.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..200u32 {
+            let c = counter.clone();
+            g.add_task(
+                "inc",
+                Priority::Normal,
+                &[(RegionId(i as u64), Access::Write)],
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        let stats = Runtime::new(8).run(g).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(stats.tasks_run, 200);
+        assert!(stats.per_tag["inc"].count == 200);
+    }
+
+    #[test]
+    fn fork_join_diamond() {
+        // w -> (r1, r2) -> w2 ; w2 must see both readers done.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let r = RegionId(1);
+        for (name, acc) in [
+            ("w", Access::Write),
+            ("r1", Access::Read),
+            ("r2", Access::Read),
+            ("w2", Access::Write),
+        ] {
+            let log = log.clone();
+            g.add_task(name, Priority::Normal, &[(r, acc)], move || {
+                log.lock().push(name);
+            });
+        }
+        Runtime::new(4).run(g).unwrap();
+        let order = log.lock().clone();
+        assert_eq!(order[0], "w");
+        assert_eq!(order[3], "w2");
+    }
+
+    #[test]
+    fn panicking_task_reports_error() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "ok",
+            Priority::Normal,
+            &[(RegionId(0), Access::Write)],
+            || {},
+        );
+        g.add_task(
+            "boom",
+            Priority::Normal,
+            &[(RegionId(1), Access::Write)],
+            || {
+                panic!("injected failure");
+            },
+        );
+        let err = Runtime::new(2).run(g).unwrap_err();
+        assert!(err.contains("injected failure"), "got: {err}");
+    }
+
+    #[test]
+    fn successors_of_panicked_task_do_not_run() {
+        let ran = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "boom",
+            Priority::Normal,
+            &[(RegionId(0), Access::Write)],
+            || {
+                panic!("first dies");
+            },
+        );
+        let r = ran.clone();
+        g.add_task(
+            "after",
+            Priority::Normal,
+            &[(RegionId(0), Access::Read)],
+            move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert!(Runtime::new(2).run(g).is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn high_priority_lane_used() {
+        // Not a strict ordering guarantee, but high tasks must all run.
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..50u64 {
+            let c = counter.clone();
+            let p = if i % 2 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            g.add_task("t", p, &[(RegionId(i), Access::Write)], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        Runtime::new(3).run(g).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn single_thread_runtime_works() {
+        let data = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for _ in 0..10 {
+            let d = data.clone();
+            g.add_task(
+                "t",
+                Priority::Normal,
+                &[(RegionId(0), Access::Write)],
+                move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        let stats = Runtime::new(1).run(g).unwrap();
+        assert_eq!(stats.workers, 1);
+        assert_eq!(data.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,245 @@
+//! Task graph with superscalar dependency inference.
+//!
+//! Tasks are submitted in *program order* with declared data regions; the
+//! graph derives edges the way an out-of-order processor (or PLASMA's
+//! QUARK, the paper's runtime) does:
+//!
+//! * **RAW** — a reader depends on the last writer of each region it reads,
+//! * **WAW** — a writer depends on the last writer,
+//! * **WAR** — a writer depends on every reader since the last writer
+//!   (there is no renaming: tasks operate on the data in place).
+//!
+//! Because edges only ever point from earlier submissions to later ones,
+//! the graph is acyclic *by construction* — the property the dynamic
+//! executor relies on for deadlock freedom.
+
+use std::collections::HashMap;
+
+/// Opaque key naming a piece of data (a tile, a block column, a panel…).
+/// The mapping from algorithm objects to `RegionId`s is the paper's "data
+/// translation layer": callers hash whatever coordinates identify the
+/// data into this id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+impl RegionId {
+    /// Convenience constructor from a coordinate pair (e.g. a tile index),
+    /// with a `kind` tag to keep different object families apart.
+    pub fn from_coords(kind: u16, i: u32, j: u32) -> Self {
+        RegionId(((kind as u64) << 48) | ((i as u64) << 24) | j as u64)
+    }
+}
+
+/// Declared access mode for a region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    /// Read-write (exclusive).
+    Write,
+}
+
+/// Scheduling priority lane. The paper prioritizes tasks on the critical
+/// path (the bulge-chasing sweep heads); `High` tasks are always picked
+/// before `Normal` ones when both are ready.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    High,
+    #[default]
+    Normal,
+}
+
+/// Task identifier: index in submission order.
+pub type TaskId = usize;
+
+pub(crate) struct TaskNode {
+    pub(crate) run: Box<dyn FnOnce() + Send>,
+    /// Tag used for tracing/aggregation (e.g. `"hbcel"`).
+    pub(crate) tag: &'static str,
+    pub(crate) priority: Priority,
+    /// Number of unfinished predecessors.
+    pub(crate) dep_count: usize,
+    /// Tasks to notify on completion.
+    pub(crate) successors: Vec<TaskId>,
+}
+
+#[derive(Default)]
+struct RegionState {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// A DAG of tasks under construction.
+#[derive(Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<TaskNode>,
+    regions: HashMap<RegionId, RegionState>,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if no tasks have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Submit a task. `regions` declares every piece of data the closure
+    /// touches and how; the runtime guarantees conflicting tasks never
+    /// overlap in time (the soundness basis of
+    /// [`DataCell`](crate::data::DataCell)).
+    pub fn add_task(
+        &mut self,
+        tag: &'static str,
+        priority: Priority,
+        regions: &[(RegionId, Access)],
+        run: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        let mut deps: Vec<TaskId> = Vec::new();
+        for &(region, access) in regions {
+            let st = self.regions.entry(region).or_default();
+            match access {
+                Access::Read => {
+                    if let Some(w) = st.last_writer {
+                        deps.push(w); // RAW
+                    }
+                    st.readers_since_write.push(id);
+                }
+                Access::Write => {
+                    if let Some(w) = st.last_writer {
+                        deps.push(w); // WAW
+                    }
+                    deps.extend(st.readers_since_write.iter().copied()); // WAR
+                    st.readers_since_write.clear();
+                    st.last_writer = Some(id);
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&d| d != id); // a task reading and writing the same region
+        let dep_count = deps.len();
+        for d in &deps {
+            self.tasks[*d].successors.push(id);
+        }
+        self.tasks.push(TaskNode {
+            run: Box::new(run),
+            tag,
+            priority,
+            dep_count,
+            successors: Vec::new(),
+        });
+        id
+    }
+
+    /// Tasks with no predecessors (the initial ready set).
+    pub(crate) fn roots(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.dep_count == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Dependency count of a task (test/diagnostic use).
+    pub fn dep_count(&self, id: TaskId) -> usize {
+        self.tasks[id].dep_count
+    }
+
+    /// Successor list of a task (test/diagnostic use).
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id].successors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R0: RegionId = RegionId(0);
+    const R1: RegionId = RegionId(1);
+
+    fn nop() {}
+
+    #[test]
+    fn raw_dependence() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task("w", Priority::Normal, &[(R0, Access::Write)], nop);
+        let r = g.add_task("r", Priority::Normal, &[(R0, Access::Read)], nop);
+        assert_eq!(g.dep_count(r), 1);
+        assert_eq!(g.successors(w), &[r]);
+    }
+
+    #[test]
+    fn war_dependence() {
+        let mut g = TaskGraph::new();
+        let r = g.add_task("r", Priority::Normal, &[(R0, Access::Read)], nop);
+        let w = g.add_task("w", Priority::Normal, &[(R0, Access::Write)], nop);
+        assert_eq!(g.dep_count(w), 1);
+        assert_eq!(g.successors(r), &[w]);
+    }
+
+    #[test]
+    fn waw_dependence_and_reader_reset() {
+        let mut g = TaskGraph::new();
+        let w1 = g.add_task("w1", Priority::Normal, &[(R0, Access::Write)], nop);
+        let r1 = g.add_task("r1", Priority::Normal, &[(R0, Access::Read)], nop);
+        let r2 = g.add_task("r2", Priority::Normal, &[(R0, Access::Read)], nop);
+        let w2 = g.add_task("w2", Priority::Normal, &[(R0, Access::Write)], nop);
+        let r3 = g.add_task("r3", Priority::Normal, &[(R0, Access::Read)], nop);
+        // w2 depends on w1 (WAW) and both readers (WAR).
+        assert_eq!(g.dep_count(w2), 3);
+        // r3 depends only on w2, not on w1 or earlier readers.
+        assert_eq!(g.dep_count(r3), 1);
+        assert!(g.successors(w2).contains(&r3));
+        let _ = (w1, r1, r2);
+    }
+
+    #[test]
+    fn independent_regions_no_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", Priority::Normal, &[(R0, Access::Write)], nop);
+        let b = g.add_task("b", Priority::Normal, &[(R1, Access::Write)], nop);
+        assert_eq!(g.dep_count(a), 0);
+        assert_eq!(g.dep_count(b), 0);
+        assert_eq!(g.roots(), vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_deps_coalesced() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task(
+            "w",
+            Priority::Normal,
+            &[(R0, Access::Write), (R1, Access::Write)],
+            nop,
+        );
+        let r = g.add_task(
+            "r",
+            Priority::Normal,
+            &[(R0, Access::Read), (R1, Access::Read)],
+            nop,
+        );
+        // Depends on w once, not twice.
+        assert_eq!(g.dep_count(r), 1);
+        assert_eq!(g.successors(w), &[r]);
+    }
+
+    #[test]
+    fn region_id_from_coords_distinct() {
+        let a = RegionId::from_coords(1, 2, 3);
+        let b = RegionId::from_coords(1, 3, 2);
+        let c = RegionId::from_coords(2, 2, 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,99 @@
+//! Execution statistics and per-tag task timing.
+//!
+//! The benchmark harness reproduces the paper's Figure 1 (percentage of
+//! time per phase) from these aggregates instead of instrumenting the
+//! algorithms by hand.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Accumulated timing for one task tag.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TagStats {
+    /// Number of tasks that ran with this tag.
+    pub count: usize,
+    /// Sum of their execution times.
+    pub total: Duration,
+}
+
+/// Statistics of one [`Runtime::run`](crate::exec::Runtime::run) call.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock duration of the whole graph execution.
+    pub wall: Duration,
+    /// Number of tasks executed.
+    pub tasks_run: usize,
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Per-tag aggregates.
+    pub per_tag: HashMap<&'static str, TagStats>,
+    /// Total busy time summed over workers (compare against
+    /// `wall * workers` for utilization).
+    pub busy: Duration,
+}
+
+impl RunStats {
+    /// Merge a finished task's timing into the aggregates.
+    pub(crate) fn record(&mut self, tag: &'static str, took: Duration) {
+        let e = self.per_tag.entry(tag).or_default();
+        e.count += 1;
+        e.total += took;
+        self.busy += took;
+        self.tasks_run += 1;
+    }
+
+    /// Merge another stats object (used when collecting per-worker logs).
+    pub(crate) fn merge(&mut self, other: &RunStats) {
+        for (tag, s) in &other.per_tag {
+            let e = self.per_tag.entry(tag).or_default();
+            e.count += s.count;
+            e.total += s.total;
+        }
+        self.busy += other.busy;
+        self.tasks_run += other.tasks_run;
+    }
+
+    /// Parallel efficiency: busy time / (wall * workers). 1.0 is perfect.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.workers.max(1) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / denom).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = RunStats::default();
+        a.record("x", Duration::from_millis(10));
+        a.record("x", Duration::from_millis(5));
+        a.record("y", Duration::from_millis(1));
+        assert_eq!(a.tasks_run, 3);
+        assert_eq!(a.per_tag["x"].count, 2);
+
+        let mut b = RunStats::default();
+        b.record("x", Duration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.per_tag["x"].count, 3);
+        assert_eq!(a.tasks_run, 4);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = RunStats {
+            workers: 2,
+            wall: Duration::from_millis(10),
+            ..Default::default()
+        };
+        s.record("x", Duration::from_millis(20));
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+        let empty = RunStats::default();
+        assert_eq!(empty.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the SVD pipeline.
+
+use proptest::prelude::*;
+use tseig_matrix::{norms, Matrix};
+use tseig_svd::{bdsqr, drivers::svd_residual, gesvd};
+
+fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// Full SVD invariants on random shapes.
+    #[test]
+    fn gesvd_invariants(n in 1usize..24, extra in 0usize..12, seed in 0u64..400) {
+        let m = n + extra;
+        let a = rand_mat(m, n, seed);
+        let svd = gesvd(&a).unwrap();
+        // Descending non-negative.
+        prop_assert!(svd.s.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(svd.s.iter().all(|&x| x >= 0.0));
+        // Reconstruction + orthogonality.
+        prop_assert!(svd_residual(&a, &svd) < 1000.0);
+        prop_assert!(norms::orthogonality(&svd.u) < 500.0);
+        prop_assert!(norms::orthogonality(&svd.v) < 500.0);
+        // Frobenius norm preserved: sum s^2 == ||A||_F^2.
+        let fro2: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        let s2: f64 = svd.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - s2).abs() < 1e-8 * (1.0 + fro2));
+    }
+
+    /// bdsqr matches the B^T B eigen-oracle for random bidiagonals.
+    #[test]
+    fn bdsqr_matches_oracle(n in 1usize..25, seed in 0u64..400) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d0: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let e0: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut b = Matrix::zeros(n, n);
+        for j in 0..n {
+            b[(j, j)] = d0[j];
+            if j + 1 < n {
+                b[(j, j + 1)] = e0[j];
+            }
+        }
+        let btb = b.transpose().multiply(&b).unwrap();
+        let mut want: Vec<f64> = tseig_kernels::reference::jacobi_eigen(&btb, false)
+            .unwrap()
+            .eigenvalues
+            .iter()
+            .map(|x| x.max(0.0).sqrt())
+            .collect();
+        want.reverse();
+        let mut d = d0.clone();
+        let mut e = e0.clone();
+        bdsqr(&mut d, &mut e, None, None).unwrap();
+        prop_assert!(norms::eigenvalue_distance(&d, &want) < 1e-8);
+    }
+
+    /// Scaling A scales the singular values linearly.
+    #[test]
+    fn scaling_homogeneity(n in 2usize..15, seed in 0u64..400, scale in 0.1f64..10.0) {
+        let a = rand_mat(n + 2, n, seed);
+        let mut sa = a.clone();
+        for v in sa.as_mut_slice() {
+            *v *= scale;
+        }
+        let s1 = gesvd(&a).unwrap().s;
+        let s2 = gesvd(&sa).unwrap().s;
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x * scale - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Inverse iteration for selected eigenvectors (`stein`).
+//!
+//! Given precomputed eigenvalues (from bisection), each eigenvector is
+//! obtained by a few iterations of `(T - lambda I) x_{k+1} = x_k` using a
+//! partially-pivoted tridiagonal LU solve, with modified Gram–Schmidt
+//! reorthogonalization inside clusters of close eigenvalues. Cost is
+//! `O(n)` per iteration per vector — the `O(n^2)`-class subset solver of
+//! the paper's Figure 4d.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tseig_matrix::{Matrix, Result, SymTridiagonal};
+
+/// Partially-pivoted LU of a (shifted) tridiagonal matrix, `dgttrf`-style.
+struct TriLu {
+    /// Diagonal of `U`.
+    d: Vec<f64>,
+    /// First super-diagonal of `U`.
+    du: Vec<f64>,
+    /// Second super-diagonal of `U` (pivoting fill-in).
+    du2: Vec<f64>,
+    /// Multipliers of `L`.
+    dl: Vec<f64>,
+    /// `swapped[i]` — rows `i`, `i+1` were exchanged at step `i`.
+    swapped: Vec<bool>,
+}
+
+impl TriLu {
+    /// Factor `T - lambda I`. Zero pivots are replaced by a tiny value —
+    /// exactly what inverse iteration wants, since `T - lambda I` is
+    /// nearly singular by construction.
+    fn factor(t: &SymTridiagonal, lambda: f64) -> TriLu {
+        let n = t.n();
+        let mut d: Vec<f64> = t.diag().iter().map(|&x| x - lambda).collect();
+        let mut du: Vec<f64> = t.off_diag().to_vec();
+        let mut dl: Vec<f64> = t.off_diag().to_vec();
+        let mut du2 = vec![0.0f64; n.saturating_sub(2)];
+        let mut swapped = vec![false; n.saturating_sub(1)];
+        // Zero pivots become a small *relative* quantity: the solve then
+        // grows by ~1/(eps ||T||) — large (inverse iteration converges in
+        // one step) but comfortably finite.
+        let tiny = f64::EPSILON * (1.0 + t.norm1());
+        for i in 0..n.saturating_sub(1) {
+            if d[i].abs() >= dl[i].abs() {
+                // No row exchange.
+                let piv = if d[i] != 0.0 { d[i] } else { tiny };
+                d[i] = piv;
+                let fact = dl[i] / piv;
+                dl[i] = fact;
+                d[i + 1] -= fact * du[i];
+            } else {
+                // Exchange rows i and i+1.
+                let fact = d[i] / dl[i];
+                d[i] = dl[i];
+                dl[i] = fact;
+                let temp = du[i];
+                du[i] = d[i + 1];
+                d[i + 1] = temp - fact * d[i + 1];
+                if i + 2 < n {
+                    du2[i] = du[i + 1];
+                    du[i + 1] = -fact * du[i + 1];
+                }
+                swapped[i] = true;
+            }
+        }
+        if n > 0 && d[n - 1] == 0.0 {
+            d[n - 1] = tiny;
+        }
+        TriLu {
+            d,
+            du,
+            du2,
+            dl,
+            swapped,
+        }
+    }
+
+    /// Solve `(T - lambda I) x = b` in place.
+    fn solve(&self, b: &mut [f64]) {
+        let n = self.d.len();
+        // Forward: apply L^{-1} P.
+        for i in 0..n.saturating_sub(1) {
+            if self.swapped[i] {
+                b.swap(i, i + 1);
+            }
+            b[i + 1] -= self.dl[i] * b[i];
+        }
+        // Back substitution with U.
+        if n == 0 {
+            return;
+        }
+        b[n - 1] /= self.d[n - 1];
+        if n >= 2 {
+            b[n - 2] = (b[n - 2] - self.du[n - 2] * b[n - 1]) / self.d[n - 2];
+        }
+        for i in (0..n.saturating_sub(2)).rev() {
+            b[i] = (b[i] - self.du[i] * b[i + 1] - self.du2[i] * b[i + 2]) / self.d[i];
+        }
+    }
+}
+
+/// Compute eigenvectors for the given (ascending) eigenvalues by inverse
+/// iteration. Returns an `n x k` matrix whose column `j` pairs with
+/// `lambda[j]`.
+pub fn stein(t: &SymTridiagonal, lambda: &[f64]) -> Result<Matrix> {
+    let n = t.n();
+    let k = lambda.len();
+    let mut z = Matrix::zeros(n, k);
+    if n == 0 || k == 0 {
+        return Ok(z);
+    }
+    let onenrm = t.norm1().max(f64::MIN_POSITIVE);
+    // Cluster threshold (LAPACK dstein's ORTOL).
+    let ortol = 1e-3 * onenrm;
+    // Minimum eigenvalue separation we enforce by perturbation so the
+    // shifted solves inside a cluster differ.
+    let sep = 10.0 * f64::EPSILON * onenrm;
+    // Fixed seed: eigenvectors are reproducible across runs.
+    let mut rng = StdRng::seed_from_u64(0x57E1_0001);
+
+    let mut cluster_start = 0usize;
+    let mut prev_used = f64::NEG_INFINITY;
+    for j in 0..k {
+        if j > 0 && lambda[j] - lambda[j - 1] >= ortol {
+            cluster_start = j;
+        }
+        let mut lam = lambda[j];
+        if j > cluster_start && lam - prev_used < sep {
+            lam = prev_used + sep;
+        }
+        prev_used = lam;
+
+        let lu = TriLu::factor(t, lam);
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        normalize(&mut x);
+        for _it in 0..5 {
+            lu.solve(&mut x);
+            // Reorthogonalize within the cluster.
+            for c in cluster_start..j {
+                let zc = z.col(c);
+                let dot: f64 = x.iter().zip(zc).map(|(a, b)| a * b).sum();
+                for (xi, zi) in x.iter_mut().zip(zc) {
+                    *xi -= dot * zi;
+                }
+            }
+            let growth = norm2(&x);
+            if growth == 0.0 || !growth.is_finite() {
+                // Degenerate direction (e.g. fully absorbed by the
+                // cluster); restart from fresh randomness.
+                for v in x.iter_mut() {
+                    *v = rng.gen_range(-1.0..1.0);
+                }
+                normalize(&mut x);
+                continue;
+            }
+            normalize(&mut x);
+            // One inverse-iteration step on a tridiagonal almost always
+            // converges; the growth test mirrors LAPACK's acceptance.
+            if growth > (0.1 / (n as f64).sqrt()) / (f64::EPSILON * onenrm) {
+                break;
+            }
+        }
+        z.col_mut(j).copy_from_slice(&x);
+    }
+    Ok(z)
+}
+
+fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let nrm = norm2(x);
+    if nrm > 0.0 {
+        for v in x {
+            *v /= nrm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sturm::bisect_eigenvalues;
+    use tseig_matrix::{gen, norms};
+
+    #[test]
+    fn lu_solves_shifted_system() {
+        let t = gen::laplacian_1d(8);
+        let lam = 0.12345; // not an eigenvalue
+        let lu = TriLu::factor(&t, lam);
+        let x0: Vec<f64> = (0..8).map(|i| (i as f64) - 3.0).collect();
+        // b = (T - lam I) x0
+        let mut b = t.mul_vec(&x0);
+        for (bi, xi) in b.iter_mut().zip(&x0) {
+            *bi -= lam * xi;
+        }
+        lu.solve(&mut b);
+        for (got, want) in b.iter().zip(&x0) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn full_spectrum_vectors() {
+        let n = 35;
+        let t = gen::laplacian_1d(n);
+        let vals = bisect_eigenvalues(&t, 0, n).unwrap();
+        let z = stein(&t, &vals).unwrap();
+        assert!(norms::eigen_residual(&t.to_dense(), &vals, &z) < 100.0);
+        assert!(norms::orthogonality(&z) < 100.0);
+    }
+
+    #[test]
+    fn subset_vectors() {
+        let n = 50;
+        let t = gen::clement(n);
+        let vals = bisect_eigenvalues(&t, 40, 50).unwrap();
+        let z = stein(&t, &vals).unwrap();
+        assert_eq!(z.cols(), 10);
+        assert!(norms::eigen_residual(&t.to_dense(), &vals, &z) < 100.0);
+        assert!(norms::orthogonality(&z) < 100.0);
+    }
+
+    #[test]
+    fn wilkinson_cluster_orthogonal() {
+        // The top pairs of W21+ agree to ~1e-14; reorthogonalization must
+        // keep their vectors orthogonal.
+        let n = 21;
+        let t = gen::wilkinson(n);
+        let vals = bisect_eigenvalues(&t, 0, n).unwrap();
+        let z = stein(&t, &vals).unwrap();
+        assert!(norms::orthogonality(&z) < 200.0);
+        assert!(norms::eigen_residual(&t.to_dense(), &vals, &z) < 200.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = gen::laplacian_1d(4);
+        let z = stein(&t, &[]).unwrap();
+        assert_eq!(z.cols(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Implicit-shift QL iteration (`steqr`).
+//!
+//! The workhorse tridiagonal solver: Wilkinson-shifted implicit QL with
+//! deflation, optionally accumulating the plane rotations into an
+//! eigenvector matrix. Port of the EISPACK `imtql2` / LAPACK `dsteqr`
+//! algorithm. With accumulation the cost is `O(n^3)`; without, `O(n^2)`.
+
+use tseig_matrix::{Error, Matrix, Result};
+
+/// Maximum QL iterations per eigenvalue before declaring failure.
+const MAX_ITER: usize = 50;
+
+/// Diagonalize the tridiagonal `(d, e)` in place: on success `d` holds the
+/// eigenvalues in ascending order and `e` is destroyed.
+///
+/// If `z` is `Some`, the rotations are accumulated from the right
+/// (`Z <- Z G`), so passing the identity yields the eigenvectors of `T`,
+/// and passing an existing transform `Q` yields the eigenvectors of
+/// `Q T Q^T`. `z` must have `n` columns (any number of rows), and its
+/// columns are permuted into ascending-eigenvalue order alongside `d`.
+pub fn steqr(d: &mut [f64], e: &mut [f64], mut z: Option<&mut Matrix>) -> Result<()> {
+    let n = d.len();
+    if let Some(zm) = z.as_ref() {
+        assert_eq!(zm.cols(), n, "Z must have n columns");
+    }
+    if n == 0 {
+        return Ok(());
+    }
+    let eps = f64::EPSILON;
+    // Work buffer of length n: the sweep uses e[m] as scratch even when
+    // m == n-1 (EISPACK sizes E(N) for the same reason).
+    let mut ee = vec![0.0f64; n];
+    ee[..n - 1].copy_from_slice(&e[..n.saturating_sub(1)]);
+    let e = &mut ee[..];
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first negligible off-diagonal at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= eps * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break; // d[l] converged
+            }
+            iter += 1;
+            if iter > MAX_ITER {
+                return Err(Error::NoConvergence {
+                    index: l,
+                    iterations: MAX_ITER,
+                });
+            }
+            // Wilkinson shift from the leading 2x2 of the active block.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            // Implicit QL sweep from m-1 down to l.
+            let mut i = m;
+            while i > l {
+                i -= 1;
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow: split the matrix.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                if let Some(zm) = z.as_deref_mut() {
+                    // Z <- Z * G(i, i+1, c, s)
+                    let (zi, zi1) = zm.cols_mut_pair(i, i + 1);
+                    for k in 0..zi.len() {
+                        f = zi1[k];
+                        zi1[k] = s * zi[k] + c * f;
+                        zi[k] = c * zi[k] - s * f;
+                    }
+                }
+            }
+            if r == 0.0 && i > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending (selection sort, LAPACK-style), permuting Z columns.
+    for i in 0..n.saturating_sub(1) {
+        let mut kmin = i;
+        for j in i + 1..n {
+            if d[j] < d[kmin] {
+                kmin = j;
+            }
+        }
+        if kmin != i {
+            d.swap(i, kmin);
+            if let Some(zm) = z.as_deref_mut() {
+                let (a, b) = zm.cols_mut_pair(i, kmin);
+                a.swap_with_slice(b);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::{gen, norms};
+
+    #[test]
+    fn empty_and_single() {
+        let mut d: Vec<f64> = vec![];
+        let mut e: Vec<f64> = vec![];
+        steqr(&mut d, &mut e, None).unwrap();
+        let mut d = vec![5.0];
+        let mut e = vec![];
+        steqr(&mut d, &mut e, None).unwrap();
+        assert_eq!(d, vec![5.0]);
+    }
+
+    #[test]
+    fn two_by_two_exact() {
+        // [[2, -1], [-1, 2]] -> {1, 3}.
+        let mut d = vec![2.0, 2.0];
+        let mut e = vec![-1.0];
+        let mut z = Matrix::identity(2);
+        steqr(&mut d, &mut e, Some(&mut z)).unwrap();
+        assert!((d[0] - 1.0).abs() < 1e-14);
+        assert!((d[1] - 3.0).abs() < 1e-14);
+        assert!(norms::orthogonality(&z) < 10.0);
+    }
+
+    #[test]
+    fn laplacian_exact_values() {
+        let n = 60;
+        let t = gen::laplacian_1d(n);
+        let mut d = t.diag().to_vec();
+        let mut e = t.off_diag().to_vec();
+        steqr(&mut d, &mut e, None).unwrap();
+        let exact = gen::laplacian_1d_eigenvalues(n);
+        assert!(norms::eigenvalue_distance(&d, &exact) < 1e-12);
+    }
+
+    #[test]
+    fn clement_with_vectors() {
+        let n = 31;
+        let t = gen::clement(n);
+        let mut d = t.diag().to_vec();
+        let mut e = t.off_diag().to_vec();
+        let mut z = Matrix::identity(n);
+        steqr(&mut d, &mut e, Some(&mut z)).unwrap();
+        assert!(norms::eigenvalue_distance(&d, &gen::clement_eigenvalues(n)) < 1e-11);
+        assert!(norms::eigen_residual(&t.to_dense(), &d, &z) < 100.0);
+        assert!(norms::orthogonality(&z) < 100.0);
+    }
+
+    #[test]
+    fn wilkinson_close_pairs() {
+        // W21+ has famously close eigenvalue pairs; QR must still deliver
+        // orthogonal vectors (rotation accumulation is immune to
+        // clustering).
+        let n = 21;
+        let t = gen::wilkinson(n);
+        let mut d = t.diag().to_vec();
+        let mut e = t.off_diag().to_vec();
+        let mut z = Matrix::identity(n);
+        steqr(&mut d, &mut e, Some(&mut z)).unwrap();
+        assert!(norms::eigen_residual(&t.to_dense(), &d, &z) < 100.0);
+        assert!(norms::orthogonality(&z) < 100.0);
+        // The top pair is closer than 1e-10 but distinct.
+        assert!(d[n - 1] - d[n - 2] < 1e-10);
+    }
+
+    #[test]
+    fn accumulates_into_existing_transform() {
+        // Pass a random orthogonal-ish Z with more rows than columns and
+        // verify Z columns are rotated consistently: Z_out = Z_in * E
+        // where E are the eigenvectors from an identity start.
+        let n = 12;
+        let t = gen::laplacian_1d(n);
+        let q = {
+            // any full-rank matrix will do for the linearity check
+            gen::random_symmetric(n, 5)
+        };
+        let mut d1 = t.diag().to_vec();
+        let mut e1 = t.off_diag().to_vec();
+        let mut z1 = Matrix::identity(n);
+        steqr(&mut d1, &mut e1, Some(&mut z1)).unwrap();
+
+        let mut d2 = t.diag().to_vec();
+        let mut e2 = t.off_diag().to_vec();
+        let mut z2 = q.clone();
+        steqr(&mut d2, &mut e2, Some(&mut z2)).unwrap();
+
+        let want = q.multiply(&z1).unwrap();
+        // Columns can differ in sign only if rotations were identical —
+        // they are, since the same sweep sequence ran.
+        assert!(z2.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn already_diagonal_sorted() {
+        let mut d = vec![3.0, 1.0, 2.0];
+        let mut e = vec![0.0, 0.0];
+        let mut z = Matrix::identity(3);
+        steqr(&mut d, &mut e, Some(&mut z)).unwrap();
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+        // Z is the permutation matrix sending old->sorted.
+        assert_eq!(z[(1, 0)], 1.0);
+        assert_eq!(z[(2, 1)], 1.0);
+        assert_eq!(z[(0, 2)], 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the tridiagonal eigensolvers: the three methods
+//! must agree with each other and satisfy spectral invariants on random
+//! input.
+
+use proptest::prelude::*;
+use tseig_matrix::{norms, SymTridiagonal};
+use tseig_tridiag::{solve, sturm, EigenRange, Method};
+
+fn random_tridiag(n: usize, seed: u64) -> SymTridiagonal {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let e: Vec<f64> = (0..n.saturating_sub(1))
+        .map(|_| rng.gen_range(-2.0..2.0))
+        .collect();
+    SymTridiagonal::new(d, e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// All three methods produce the same eigenvalues and valid
+    /// eigenpairs.
+    #[test]
+    fn methods_agree(n in 2usize..60, seed in 0u64..400) {
+        let t = random_tridiag(n, seed);
+        let dense = t.to_dense();
+        let qr = solve(&t, Method::Qr, EigenRange::All, true).unwrap();
+        let dc = solve(&t, Method::DivideAndConquer, EigenRange::All, true).unwrap();
+        let bi = solve(&t, Method::BisectionInverse, EigenRange::All, true).unwrap();
+        prop_assert!(norms::eigenvalue_distance(&qr.eigenvalues, &dc.eigenvalues) < 1e-9);
+        prop_assert!(norms::eigenvalue_distance(&qr.eigenvalues, &bi.eigenvalues) < 1e-9);
+        for (name, r) in [("qr", &qr), ("dc", &dc), ("bi", &bi)] {
+            let z = r.eigenvectors.as_ref().unwrap();
+            prop_assert!(norms::eigen_residual(&dense, &r.eigenvalues, z) < 1000.0, "{}", name);
+            prop_assert!(norms::orthogonality(z) < 1000.0, "{}", name);
+        }
+    }
+
+    /// Sturm counts are consistent with the computed spectrum.
+    #[test]
+    fn sturm_consistent_with_eigenvalues(n in 2usize..50, seed in 0u64..400) {
+        let t = random_tridiag(n, seed);
+        let vals = solve(&t, Method::Qr, EigenRange::All, false).unwrap().eigenvalues;
+        // Strictly between eigenvalue k and k+1, the count must be k+1.
+        for k in 0..n - 1 {
+            let gap = vals[k + 1] - vals[k];
+            if gap > 1e-8 {
+                let mid = 0.5 * (vals[k] + vals[k + 1]);
+                prop_assert_eq!(sturm::sturm_count(&t, mid), k + 1);
+            }
+        }
+        // Trace equals eigenvalue sum (similarity invariant).
+        let tr: f64 = t.diag().iter().sum();
+        prop_assert!((tr - vals.iter().sum::<f64>()).abs() < 1e-8 * (1.0 + tr.abs()));
+    }
+
+    /// Index-range solves are slices of the full solve, for every method
+    /// that supports subsets.
+    #[test]
+    fn subsets_are_slices(n in 4usize..40, seed in 0u64..400, a in 0usize..10, b in 1usize..10) {
+        let t = random_tridiag(n, seed);
+        let lo = a.min(n - 1);
+        let hi = (lo + b).min(n);
+        let full = solve(&t, Method::Qr, EigenRange::All, false).unwrap().eigenvalues;
+        let sub = solve(&t, Method::BisectionInverse, EigenRange::Index(lo, hi), true).unwrap();
+        prop_assert!(norms::eigenvalue_distance(&sub.eigenvalues, &full[lo..hi]) < 1e-9);
+        let z = sub.eigenvectors.unwrap();
+        prop_assert_eq!(z.cols(), hi - lo);
+    }
+
+    /// Secular roots strictly interlace their poles.
+    #[test]
+    fn secular_interlacing(k in 1usize..12, rho in 0.01f64..5.0, seed in 0u64..400) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d: Vec<f64> = (0..k).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for i in 1..k {
+            if d[i] - d[i - 1] < 1e-4 {
+                d[i] = d[i - 1] + 1e-4;
+            }
+        }
+        let z: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..1.0)).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..k {
+            let r = tseig_tridiag::secular::solve_root(i, &d, &z, rho);
+            prop_assert!(r.lambda >= d[i] - 1e-12, "root {} below pole", i);
+            if i + 1 < k {
+                prop_assert!(r.lambda <= d[i + 1] + 1e-12, "root {} above next pole", i);
+            }
+            prop_assert!(r.lambda >= prev, "roots out of order");
+            prev = r.lambda;
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Explore the paper's Section-4 performance model on this machine.
+//!
+//! Measures `alpha` (gemm rate) and `beta` (symv rate) with the
+//! workspace's own kernels, then prints Table-3-style parameters, the
+//! Eq.-(6) crossover size, and the predicted one- vs two-stage times
+//! (Eqs. (4)-(5)) over a size sweep.
+//!
+//! ```text
+//! cargo run --release -p tseig-perfmodel --example performance_model
+//! ```
+
+use tseig_perfmodel::{crossover_n, measure_machine, t_one_stage, t_two_stage};
+
+fn main() {
+    println!("calibrating machine parameters (paper Table 3)...");
+    let mp = measure_machine(1024);
+    println!(
+        "  alpha (gemm, 1 core)  : {:>8.2} Gflop/s",
+        mp.alpha_core / 1e9
+    );
+    println!(
+        "  alpha (gemm, p cores) : {:>8.2} Gflop/s",
+        mp.alpha_par / 1e9
+    );
+    println!("  beta  (symv)          : {:>8.2} Gflop/s", mp.beta / 1e9);
+    println!("  p                     : {:>8}", mp.p);
+    println!(
+        "  alpha*p/beta          : {:>8.1}  (paper: 'a few orders of magnitude')",
+        mp.alpha_core * mp.p as f64 / mp.beta
+    );
+
+    for f in [1.0, 0.2] {
+        let m = mp.model(64, f);
+        println!("\nf = {f} (fraction of eigenvectors), D = nb = 64:");
+        match crossover_n(&m) {
+            Some(nc) => {
+                println!("  crossover size n* (Eq. 6): {nc:.0} — two-stage wins beyond this")
+            }
+            None => println!("  no crossover: one-stage always wins on these parameters"),
+        }
+        println!(
+            "  {:>8} {:>12} {:>12} {:>9}",
+            "n", "t_1s (s)", "t_2s (s)", "speedup"
+        );
+        for n in [500usize, 1000, 2000, 4000, 8000, 16000, 24000] {
+            let t1 = t_one_stage(n, &m);
+            let t2 = t_two_stage(n, &m);
+            println!("  {n:>8} {t1:>12.3} {t2:>12.3} {:>9.2}", t1 / t2);
+        }
+    }
+
+    println!("\n(the speedup column is the model's prediction of the paper's Figure 4 curves)");
+}

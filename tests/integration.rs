@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full two-stage pipeline validated
+//! against the independent Jacobi oracle, against closed-form spectra,
+//! and across configuration space.
+
+use tseig_core::{Scheduler, SymmetricEigen};
+use tseig_kernels::reference::jacobi_eigen;
+use tseig_matrix::{gen, norms, Matrix};
+use tseig_tridiag::{EigenRange, Method};
+
+const TOL: f64 = 500.0;
+
+fn assert_good(a: &Matrix, vals: &[f64], z: &Matrix, tag: &str) {
+    let res = norms::eigen_residual(a, vals, z);
+    let orth = norms::orthogonality(z);
+    assert!(res < TOL, "{tag}: residual {res}");
+    assert!(orth < TOL, "{tag}: orthogonality {orth}");
+}
+
+#[test]
+fn two_stage_matches_jacobi_oracle() {
+    let n = 90;
+    let a = gen::random_symmetric(n, 1001);
+    let oracle = jacobi_eigen(&a, false).unwrap();
+    let r = SymmetricEigen::new().nb(12).solve(&a).unwrap();
+    assert!(
+        norms::eigenvalue_distance(&r.eigenvalues, &oracle.eigenvalues) < 1e-10,
+        "two-stage vs Jacobi eigenvalues"
+    );
+    assert_good(
+        &a,
+        &r.eigenvalues,
+        r.eigenvectors.as_ref().unwrap(),
+        "two-stage",
+    );
+}
+
+#[test]
+fn closed_form_laplacian_2d() {
+    // 2-D Laplacian eigenvalues are sums of 1-D ones.
+    let (nx, ny) = (8, 7);
+    let a = gen::laplacian_2d(nx, ny);
+    let mut exact: Vec<f64> = gen::laplacian_1d_eigenvalues(nx)
+        .iter()
+        .flat_map(|x| {
+            gen::laplacian_1d_eigenvalues(ny)
+                .iter()
+                .map(|y| x + y)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    exact.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    let r = SymmetricEigen::new().nb(8).solve(&a).unwrap();
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &exact) < 1e-11);
+    assert_good(
+        &a,
+        &r.eigenvalues,
+        r.eigenvectors.as_ref().unwrap(),
+        "laplacian2d",
+    );
+}
+
+#[test]
+fn clustered_spectrum_stress() {
+    // Tight cluster stresses D&C deflation and the back-transform.
+    let n = 80;
+    let lambda = gen::clustered_spectrum(n, 15, -1.0, 1.0, 1e-9);
+    let mut sorted = lambda.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let a = gen::symmetric_with_spectrum(&lambda, 1002);
+    let r = SymmetricEigen::new().nb(10).solve(&a).unwrap();
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &sorted) < 1e-9);
+    assert_good(
+        &a,
+        &r.eigenvalues,
+        r.eigenvectors.as_ref().unwrap(),
+        "clustered",
+    );
+}
+
+#[test]
+fn config_matrix_methods_times_schedulers() {
+    let n = 56;
+    let a = gen::random_symmetric(n, 1003);
+    let oracle = jacobi_eigen(&a, false).unwrap().eigenvalues;
+    for method in [
+        Method::Qr,
+        Method::DivideAndConquer,
+        Method::BisectionInverse,
+    ] {
+        for sched in [
+            Scheduler::Serial,
+            Scheduler::Static(2),
+            Scheduler::Dynamic(3),
+        ] {
+            let r = SymmetricEigen::new()
+                .nb(7)
+                .method(method)
+                .scheduler(sched)
+                .solve(&a)
+                .unwrap();
+            assert!(
+                norms::eigenvalue_distance(&r.eigenvalues, &oracle) < 1e-9,
+                "{method:?}/{sched:?}"
+            );
+            assert_good(
+                &a,
+                &r.eigenvalues,
+                r.eigenvectors.as_ref().unwrap(),
+                &format!("{method:?}/{sched:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fraction_request_costs_less_backtransform() {
+    // Not a wall-clock bench — count flops: f = 0.25 must spend roughly
+    // a quarter of the Level-3 back-transform flops of the full solve.
+    let n = 120;
+    let a = gen::random_symmetric(n, 1004);
+    let full = {
+        let (_, counts) =
+            tseig_kernels::flops::measure(|| SymmetricEigen::new().nb(12).solve(&a).unwrap());
+        counts
+    };
+    let (r, part) = tseig_kernels::flops::measure(|| {
+        SymmetricEigen::new()
+            .nb(12)
+            .method(Method::BisectionInverse)
+            .fraction(0.25)
+            .solve(&a)
+            .unwrap()
+    });
+    assert_eq!(r.eigenvalues.len(), 30);
+    assert!(
+        (part.total() as f64) < 0.8 * full.total() as f64,
+        "partial {} vs full {}",
+        part.total(),
+        full.total()
+    );
+}
+
+#[test]
+fn large_pipeline_smoke() {
+    // One bigger end-to-end run with realistic nb.
+    let n = 300;
+    let lambda = gen::linspace(0.0, 100.0, n);
+    let a = gen::symmetric_with_spectrum(&lambda, 1005);
+    let r = SymmetricEigen::new()
+        .nb(32)
+        .scheduler(Scheduler::Dynamic(4))
+        .solve(&a)
+        .unwrap();
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-10);
+    assert_good(&a, &r.eigenvalues, r.eigenvectors.as_ref().unwrap(), "n300");
+}
+
+#[test]
+fn index_range_interior_subset() {
+    let n = 64;
+    let a = gen::random_symmetric(n, 1006);
+    let full = SymmetricEigen::new().nb(8).solve(&a).unwrap();
+    let r = SymmetricEigen::new()
+        .nb(8)
+        .method(Method::BisectionInverse)
+        .range(EigenRange::Index(20, 30))
+        .solve(&a)
+        .unwrap();
+    assert_eq!(r.eigenvalues.len(), 10);
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &full.eigenvalues[20..30]) < 1e-10);
+    assert_good(
+        &a,
+        &r.eigenvalues,
+        r.eigenvectors.as_ref().unwrap(),
+        "interior",
+    );
+}

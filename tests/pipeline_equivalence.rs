@@ -1,0 +1,156 @@
+//! One-stage vs two-stage equivalence: both pipelines must compute the
+//! same spectra and equally good eigenvectors — the paper's claim is
+//! about *speed*, never accuracy.
+
+use tseig_core::SymmetricEigen;
+use tseig_matrix::{gen, norms};
+use tseig_onestage::{syev, OneStageOptions};
+use tseig_tridiag::{EigenRange, Method};
+
+#[test]
+fn same_spectrum_random() {
+    for seed in [1u64, 2, 3] {
+        let n = 70;
+        let a = gen::random_symmetric(n, 2000 + seed);
+        let one = syev(
+            &a,
+            EigenRange::All,
+            true,
+            &OneStageOptions {
+                nb: 8,
+                method: Method::DivideAndConquer,
+            },
+        )
+        .unwrap();
+        let two = SymmetricEigen::new().nb(8).solve(&a).unwrap();
+        assert!(
+            norms::eigenvalue_distance(&one.eigenvalues, &two.eigenvalues) < 1e-10,
+            "seed {seed}"
+        );
+        // Eigenvectors differ by signs/rotations within degenerate
+        // spaces, but both must be valid.
+        let z1 = one.eigenvectors.unwrap();
+        let z2 = two.eigenvectors.unwrap();
+        assert!(norms::eigen_residual(&a, &one.eigenvalues, &z1) < 500.0);
+        assert!(norms::eigen_residual(&a, &two.eigenvalues, &z2) < 500.0);
+    }
+}
+
+#[test]
+fn same_subset_bisection() {
+    let n = 60;
+    let a = gen::random_symmetric(n, 2010);
+    let range = EigenRange::Index(10, 25);
+    let one = syev(
+        &a,
+        range,
+        true,
+        &OneStageOptions {
+            nb: 8,
+            method: Method::BisectionInverse,
+        },
+    )
+    .unwrap();
+    let two = SymmetricEigen::new()
+        .nb(8)
+        .method(Method::BisectionInverse)
+        .range(range)
+        .solve(&a)
+        .unwrap();
+    assert!(norms::eigenvalue_distance(&one.eigenvalues, &two.eigenvalues) < 1e-10);
+    assert!(
+        norms::eigen_residual(&a, &two.eigenvalues, two.eigenvectors.as_ref().unwrap()) < 500.0
+    );
+    assert!(
+        norms::eigen_residual(&a, &one.eigenvalues, one.eigenvectors.as_ref().unwrap()) < 500.0
+    );
+}
+
+#[test]
+fn values_only_agree() {
+    let n = 100;
+    let a = gen::random_symmetric(n, 2020);
+    let one = syev(&a, EigenRange::All, false, &OneStageOptions::default()).unwrap();
+    let two = SymmetricEigen::new()
+        .nb(16)
+        .vectors(false)
+        .solve(&a)
+        .unwrap();
+    assert!(norms::eigenvalue_distance(&one.eigenvalues, &two.eigenvalues) < 1e-10);
+}
+
+#[test]
+fn flop_ratio_matches_table1() {
+    // Table 1 / §4: the two-stage pipeline's eigenvector update costs
+    // ~4 n^3 vs ~2 n^3 one-stage (about 2x total back-transform flops),
+    // while both reductions are ~4/3 n^3. Verify with the flop counters
+    // on a full-vector solve.
+    let n = 160;
+    let nb = 16;
+    let a = gen::random_symmetric(n, 2030);
+    let (_, one) = tseig_kernels::flops::measure(|| {
+        syev(
+            &a,
+            EigenRange::All,
+            true,
+            &OneStageOptions {
+                nb,
+                method: Method::DivideAndConquer,
+            },
+        )
+        .unwrap()
+    });
+    let (_, two) =
+        tseig_kernels::flops::measure(|| SymmetricEigen::new().nb(nb).solve(&a).unwrap());
+    let n3 = (n as f64).powi(3);
+    // Both totals must be O(n^3) with the two-stage roughly 1.2-2.5x the
+    // one-stage (the doubled Update-Z plus the bulge-chase extra, minus
+    // D&C deflation variance).
+    let ratio = two.total() as f64 / one.total() as f64;
+    assert!(
+        (1.05..3.0).contains(&ratio),
+        "two/one flop ratio {ratio} (one {:.2} n^3, two {:.2} n^3)",
+        one.total() as f64 / n3,
+        two.total() as f64 / n3,
+    );
+    // The one-stage reduction is dominated by Level-2 (memory-bound)
+    // flops; the two-stage pipeline pushes nearly everything to Level 3.
+    assert!(
+        two.l3 as f64 / two.total() as f64 > 0.80,
+        "two-stage L3 fraction {}",
+        two.l3 as f64 / two.total() as f64
+    );
+    // The symv half of latrd is 2/3 n^3 of genuinely Level-2 work (the
+    // other 2/3 n^3 is the syr2k trailing update, Level-3 in form but
+    // equally bandwidth-hungry — which is why the paper bills the whole
+    // 4/3 n^3 at the beta rate).
+    assert!(
+        one.l2 as f64 >= 0.6 * n3,
+        "one-stage L2 flops {:.2} n^3 — symv work missing?",
+        one.l2 as f64 / n3
+    );
+}
+
+#[test]
+fn wilkinson_both_pipelines() {
+    // Dense matrix with Wilkinson-like clustered spectrum.
+    let n = 63;
+    let t = gen::wilkinson(n).to_dense();
+    let one = syev(
+        &t,
+        EigenRange::All,
+        true,
+        &OneStageOptions {
+            nb: 8,
+            method: Method::Qr,
+        },
+    )
+    .unwrap();
+    let two = SymmetricEigen::new()
+        .nb(8)
+        .method(Method::Qr)
+        .solve(&t)
+        .unwrap();
+    assert!(norms::eigenvalue_distance(&one.eigenvalues, &two.eigenvalues) < 1e-10);
+    assert!(norms::orthogonality(two.eigenvectors.as_ref().unwrap()) < 500.0);
+}

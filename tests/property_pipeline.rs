@@ -1,0 +1,89 @@
+//! Property-based tests (proptest) over the whole pipeline and its key
+//! invariants: random sizes, bandwidths, spectra and seeds.
+
+use proptest::prelude::*;
+use tseig_core::stage1::sy2sb;
+use tseig_core::stage2::reduce;
+use tseig_core::SymmetricEigen;
+use tseig_matrix::{gen, norms, SymBandMatrix};
+use tseig_tridiag::sturm;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Stage 1 preserves the spectrum for any (n, nb).
+    #[test]
+    fn stage1_preserves_spectrum(n in 6usize..40, nb in 1usize..10, seed in 0u64..1000) {
+        let a = gen::random_symmetric(n, seed);
+        let bf = sy2sb(&a, nb, 0);
+        // Sturm counts at a few probe points must agree between A's
+        // tridiagonal (via the oracle) and the band's.
+        let want = tseig_kernels::reference::jacobi_eigen(&a, false).unwrap().eigenvalues;
+        let bd = bf.band.to_dense();
+        let got = tseig_kernels::reference::jacobi_eigen(&bd, false).unwrap().eigenvalues;
+        prop_assert!(norms::eigenvalue_distance(&got, &want) < 1e-9);
+        // And the band really is banded.
+        prop_assert_eq!(bf.band.max_below_subdiagonal(nb), 0.0);
+    }
+
+    /// Stage 2 preserves the spectrum and leaves no fill.
+    #[test]
+    fn stage2_preserves_spectrum(n in 6usize..40, b in 2usize..8, seed in 0u64..1000) {
+        let a = gen::random_symmetric(n, seed);
+        let mut banded = a.clone();
+        for j in 0..n {
+            for i in 0..n {
+                if i.abs_diff(j) > b {
+                    banded[(i, j)] = 0.0;
+                }
+            }
+        }
+        let band = SymBandMatrix::from_dense_lower(&banded, b, b);
+        let r = reduce(band);
+        let want = tseig_kernels::reference::jacobi_eigen(&banded, false).unwrap().eigenvalues;
+        let got = sturm::bisect_eigenvalues(&r.tridiagonal, 0, n).unwrap();
+        prop_assert!(norms::eigenvalue_distance(&got, &want) < 1e-9);
+    }
+
+    /// Full pipeline: residual and orthogonality within bounds for any
+    /// configuration.
+    #[test]
+    fn full_pipeline_quality(n in 4usize..50, nb in 1usize..12, seed in 0u64..1000) {
+        let a = gen::random_symmetric(n, seed);
+        let r = SymmetricEigen::new().nb(nb).solve(&a).unwrap();
+        let z = r.eigenvectors.as_ref().unwrap();
+        prop_assert!(norms::eigen_residual(&a, &r.eigenvalues, z) < 1000.0);
+        prop_assert!(norms::orthogonality(z) < 1000.0);
+        // Eigenvalues ascend.
+        prop_assert!(r.eigenvalues.windows(2).all(|w| w[0] <= w[1]));
+        // Trace is preserved (similarity invariant).
+        let tr_a: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let tr_l: f64 = r.eigenvalues.iter().sum();
+        prop_assert!((tr_a - tr_l).abs() < 1e-8 * (1.0 + tr_a.abs()));
+    }
+
+    /// Prescribed spectra are recovered exactly (up to scaled eps).
+    #[test]
+    fn prescribed_spectrum_recovered(n in 4usize..40, seed in 0u64..1000, lo in -5.0f64..0.0, width in 0.1f64..10.0) {
+        let lambda = gen::linspace(lo, lo + width, n);
+        let a = gen::symmetric_with_spectrum(&lambda, seed);
+        let r = SymmetricEigen::new().nb(6).solve(&a).unwrap();
+        prop_assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-9);
+    }
+
+    /// Subset solves agree with the matching slice of the full solve.
+    #[test]
+    fn subset_is_slice_of_full(n in 10usize..40, seed in 0u64..1000, lo_frac in 0.0f64..0.5, len_frac in 0.1f64..0.5) {
+        let a = gen::random_symmetric(n, seed);
+        let full = SymmetricEigen::new().nb(5).solve(&a).unwrap();
+        let lo = (lo_frac * n as f64) as usize;
+        let hi = (lo + (len_frac * n as f64) as usize + 1).min(n);
+        let r = SymmetricEigen::new()
+            .nb(5)
+            .method(tseig_tridiag::Method::BisectionInverse)
+            .range(tseig_tridiag::EigenRange::Index(lo, hi))
+            .solve(&a)
+            .unwrap();
+        prop_assert!(norms::eigenvalue_distance(&r.eigenvalues, &full.eigenvalues[lo..hi]) < 1e-9);
+    }
+}
