@@ -1,12 +1,36 @@
 //! Table 2 / Table 3: kernel execution rates — `gemm` (the model's
 //! `alpha`) vs `symv`/`gemv` (the model's `beta`). The gap between the
 //! two lines is the entire argument of the paper.
+//!
+//! Besides raw rates, each kernel's **arithmetic intensity** (flop/byte,
+//! from the accounting hooks in `tseig_kernels::flops`) is reported: the
+//! Level-3 kernels land far above any machine's roofline ridge point
+//! (compute-bound), the Level-2 kernels far below it (bandwidth-bound).
+//! At n = 1024 the packed `gemm` is benched against the seed's unpacked
+//! kernel (`gemm_unpacked`) to quantify what the BLIS-style packing buys.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tseig_bench::workload;
 use tseig_kernels::blas2::{gemv, symv_lower};
-use tseig_kernels::blas3::{gemm, gemm_par, Trans};
+use tseig_kernels::blas3::{gemm, gemm_par, gemm_unpacked, Trans};
+use tseig_kernels::flops;
 use tseig_matrix::Matrix;
+
+/// Run `f` once and report the arithmetic intensity its accounting
+/// hooks recorded.
+fn intensity_of(label: &str, f: impl FnOnce()) {
+    let f0 = flops::snapshot();
+    let b0 = flops::bytes_snapshot();
+    f();
+    let df = flops::snapshot().since(&f0);
+    let db = flops::bytes_snapshot().since(&b0);
+    println!(
+        "{label:<40} {:>12} flop {:>12} byte  intensity {:>7.2} flop/byte",
+        df.total(),
+        db.total(),
+        flops::intensity(df.total(), db.total()),
+    );
+}
 
 fn kernels(c: &mut Criterion) {
     let n = 512;
@@ -68,7 +92,84 @@ fn kernels(c: &mut Criterion) {
         let mut y = vec![0.0f64; n];
         bch.iter(|| gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y))
     });
+
+    // Packed-vs-seed comparison at n = 1024 (single-threaded): the
+    // packed loop nest must win or the tentpole bought nothing.
+    let n = 1024;
+    let a = workload(n, 0x74);
+    let b = workload(n, 0x75);
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function(BenchmarkId::new("gemm_packed", n), |bch| {
+        let mut cm = Matrix::zeros(n, n);
+        bch.iter(|| {
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                cm.as_mut_slice(),
+                n,
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("gemm_unpacked", n), |bch| {
+        let mut cm = Matrix::zeros(n, n);
+        bch.iter(|| {
+            gemm_unpacked(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                cm.as_mut_slice(),
+                n,
+            )
+        })
+    });
     g.finish();
+
+    // Arithmetic-intensity table (model estimates, not hardware
+    // counters): Level-3 far above the roofline ridge, Level-2 below.
+    println!("\narithmetic intensity (estimated):");
+    let mut cm = Matrix::zeros(n, n);
+    intensity_of("gemm_packed/1024", || {
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.0,
+            cm.as_mut_slice(),
+            n,
+        )
+    });
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    intensity_of("symv/1024", || {
+        symv_lower(n, 1.0, a.as_slice(), n, &x, 0.0, &mut y)
+    });
+    intensity_of("gemv/1024", || {
+        gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y)
+    });
 }
 
 criterion_group!(benches, kernels);

@@ -50,7 +50,7 @@ pub struct Fig1Row {
 pub fn fig1(sizes: &[usize]) -> Vec<Fig1Row> {
     let mut rows = Vec::new();
     for &n in sizes {
-        let a = workload(n, 0xF16_1 + n as u64);
+        let a = workload(n, 0xF161 + n as u64);
         let nb = 48; // full-vector solve: fatter diamonds win (see fig4)
         let one = syev(
             &a,
@@ -110,7 +110,7 @@ pub fn fig4(variant: Fig4Variant, sizes: &[usize]) -> Vec<Fig4Row> {
     sizes
         .iter()
         .map(|&n| {
-            let a = workload(n, 0xF16_4 + n as u64);
+            let a = workload(n, 0xF164 + n as u64);
             // Reduction-only favours a small band (the chase is linear in
             // nb); with eigenvectors the Q2 application favours fatter
             // diamonds — the Figure-5 trade-off, resolved per variant.
@@ -176,7 +176,7 @@ pub struct Fig5Row {
 
 /// Sweep `nb` at fixed `n` (paper: n = 16,000; here scaled).
 pub fn fig5(n: usize, nbs: &[usize]) -> Vec<Fig5Row> {
-    let a = workload(n, 0xF16_5);
+    let a = workload(n, 0xF165);
     nbs.iter()
         .map(|&nb| {
             let (bf, t1) = time(|| tseig_core::stage1::sy2sb(&a, nb, 0));
@@ -211,7 +211,7 @@ pub struct Table1Measured {
 /// Measure the Table-1 complexity columns with the global flop counters.
 pub fn table1(n: usize) -> Table1Measured {
     use tseig_kernels::flops::measure;
-    let a = workload(n, 0x7AB_1);
+    let a = workload(n, 0x7AB1);
     let nb = default_nb(n);
     let n3 = (n as f64).powi(3);
 
@@ -264,7 +264,7 @@ pub struct Table2Reductions {
 /// paper's Table 2 ordering must hold: TRD (symv-based, exploits
 /// symmetry) > BRD (4x gemv) > HRD (10x gemv).
 pub fn table2_reductions(n: usize) -> Table2Reductions {
-    let a = workload(n, 0x7AB_4);
+    let a = workload(n, 0x7AB4);
     let rate = |counts: tseig_kernels::flops::FlopCounts, t: Duration| {
         counts.total() as f64 / t.as_secs_f64() / 1e9
     };
@@ -293,8 +293,8 @@ pub fn table2_reductions(n: usize) -> Table2Reductions {
 pub fn table2(n: usize) -> Table2Measured {
     use tseig_kernels::blas2::{gemv, symv_lower};
     use tseig_kernels::blas3::{gemm, Trans};
-    let a = workload(n, 0x7AB_2);
-    let b = workload(n, 0x7AB_3);
+    let a = workload(n, 0x7AB2);
+    let b = workload(n, 0x7AB3);
     let mut c = Matrix::zeros(n, n);
     let (_, t_gemm) = time(|| {
         gemm(

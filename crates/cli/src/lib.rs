@@ -154,7 +154,15 @@ pub fn run<R: BufRead, W: Write>(
             }
             let want_vectors = !values_only || vectors_out.is_some();
             let erange = match range {
-                Some((lo, hi)) => EigenRange::Index(*lo, *hi),
+                Some((lo, hi)) => {
+                    if lo >= hi || *hi > a.rows() {
+                        return Err(format!(
+                            "bad --range {lo}:{hi}: need 0 <= LO < HI <= {}",
+                            a.rows()
+                        ));
+                    }
+                    EigenRange::Index(*lo, *hi)
+                }
                 None => EigenRange::All,
             };
             let t0 = std::time::Instant::now();

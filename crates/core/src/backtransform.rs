@@ -58,6 +58,9 @@ struct Diamond {
 
 /// Build the diamond sequence in *application order* for `E <- Q2 E`
 /// (sweep-blocks descending, depth ascending within each block).
+/// One stored stage-2 reflector: `(start row, tau, v)`.
+type Reflector = (usize, f64, Vec<f64>);
+
 fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
     let ell = ell.max(1);
     let nsweeps = v2.sweep_count();
@@ -72,7 +75,7 @@ fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
         let max_depth = (s0..s1).map(|s| v2.sweep(s).len()).max().unwrap_or(0);
         for k in 0..max_depth {
             // Gather the reflectors (s, k) for s in s0..s1 that exist.
-            let members: Vec<(usize, &(usize, f64, Vec<f64>))> = (s0..s1)
+            let members: Vec<(usize, &Reflector)> = (s0..s1)
                 .filter_map(|s| v2.sweep(s).get(k).map(|r| (s, r)))
                 .filter(|(_, r)| !r.2.is_empty())
                 .collect();

@@ -21,7 +21,7 @@ pub fn apply_phases(phases: &[C64], e: &mut CMatrix) {
     for j in 0..e.cols() {
         let col = e.col_mut(j);
         for i in 0..n {
-            col[i] = col[i] * phases[i];
+            col[i] *= phases[i];
         }
     }
 }

@@ -133,9 +133,7 @@ fn run_sweep(a: &mut CMatrix, s: usize, b: usize) -> Vec<(usize, C64, Vec<C64>)>
         };
         nv[0] = C64::ONE;
         blk[0] = c64(nbeta, 0.0);
-        for i in 1..rl {
-            blk[i] = C64::ZERO;
-        }
+        blk[1..rl].fill(C64::ZERO);
         // Left-apply the new reflector's H^H to the remaining columns.
         if pl > 1 {
             zlarf_left(&nv, ntau.conj(), rl, pl - 1, &mut blk[rl..], rl, &mut work);

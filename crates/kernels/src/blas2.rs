@@ -7,7 +7,7 @@
 //! inner loops walk contiguous columns.
 
 use crate::blas3::Trans;
-use crate::flops::{add, Level};
+use crate::flops::{add, add_bytes, Level};
 
 /// `y <- alpha op(A) x + beta y` with `A` an `m x n` column-major matrix
 /// with leading dimension `lda`.
@@ -29,6 +29,8 @@ pub fn gemv(
     };
     debug_assert!(x.len() >= xlen && y.len() >= ylen);
     add(Level::L2, (2 * m * n) as u64);
+    // A streamed once; x/y negligible next to it.
+    add_bytes(Level::L2, 8 * (m * n + xlen + 2 * ylen) as u64);
     if beta != 1.0 {
         for v in y[..ylen].iter_mut() {
             *v *= beta;
@@ -80,6 +82,8 @@ pub fn symv_lower(
     debug_assert!(lda >= n.max(1));
     debug_assert!(x.len() >= n && y.len() >= n);
     add(Level::L2, (2 * n * n) as u64);
+    // The stored triangle is streamed once per call.
+    add_bytes(Level::L2, 8 * (n * n / 2 + 3 * n) as u64);
     if beta != 1.0 {
         for v in y[..n].iter_mut() {
             *v *= beta;
@@ -125,6 +129,7 @@ pub fn symv_lower_par(
         return;
     }
     add(Level::L2, (2 * n * n) as u64);
+    add_bytes(Level::L2, 8 * (n * n / 2 + 3 * n) as u64);
     // Column chunks of the lower triangle carry unequal work (~(n-j)
     // elements in column j); chunk boundaries are chosen so each chunk
     // covers about the same number of stored elements.
@@ -180,6 +185,8 @@ pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], 
     debug_assert!(lda >= m.max(1));
     debug_assert!(x.len() >= m && y.len() >= n);
     add(Level::L2, (2 * m * n) as u64);
+    // A read and written once.
+    add_bytes(Level::L2, 8 * (2 * m * n + m + n) as u64);
     for j in 0..n {
         let t = alpha * y[j];
         if t == 0.0 {
@@ -197,6 +204,8 @@ pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], 
 pub fn syr2_lower(n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
     debug_assert!(lda >= n.max(1));
     add(Level::L2, (2 * n * n) as u64);
+    // The stored triangle is read and written once.
+    add_bytes(Level::L2, 8 * (n * n + 2 * n) as u64);
     for j in 0..n {
         let tx = alpha * x[j];
         let ty = alpha * y[j];

@@ -4,15 +4,43 @@
 //! the paper's performance model (Table 3); everything the two-stage
 //! pipeline gains comes from recasting `symv` work into these kernels.
 //!
-//! The sequential kernels block over `k` so that the active panel of `A`
-//! stays cache-resident, and unroll the `N/N` case over four columns of
-//! `C` so each loaded column of `A` is reused four times. The `_par`
-//! variants split `C` into column panels and give each to a rayon task —
-//! panels are disjoint column ranges, so the parallelism is data-race free
-//! by construction.
+//! ## The packed loop nest
+//!
+//! [`gemm`] is organized BLIS-style around *packed* panels:
+//!
+//! ```text
+//! for jc in 0..n step NC            // B panel picks its L3 slice
+//!   for pc in 0..k step KC          // rank-KC update
+//!     pack op(B)[pc.., jc..]  ->  Bp   (KC x NC, NR-column strips)
+//!     for ic in 0..m step MC        // A panel sized for L2
+//!       pack op(A)[ic.., pc..] ->  Ap   (MC x KC, MR-row strips)
+//!       for jr, ir:  microkernel(Ap strip, Bp strip)  // MR x NR tile
+//! ```
+//!
+//! Packing copies each operand once per cache block into contiguous,
+//! zero-padded micro-panels, so the microkernel always streams unit-stride
+//! memory regardless of `lda`/`ldb` *and* of the transpose flags — all
+//! four of `NN`/`NT`/`TN`/`TT` share this one fast path; the transpose
+//! only changes the gather pattern of the (O(n^2)) pack, never the
+//! (O(n^3)) compute loop. Zero-padding the edge strips to full `MR`/`NR`
+//! removes every edge case from the microkernel.
+//!
+//! The packing buffers are per-thread and grow-only (`thread_local`), so
+//! they are reused across the whole `jc`/`pc`/`ic` nest and across calls
+//! from the same thread — the allocator stays out of the hot loop.
+//!
+//! [`gemm_par`] parallelizes the packed nest itself: over `jc` column
+//! panels when `n` is wide enough (each worker packs its own panels into
+//! its thread-local buffers and owns a disjoint column range of `C`), and
+//! over `ic` row blocks with private accumulators when the problem is
+//! tall and narrow.
+//!
+//! The seed's unpacked kernel is kept as [`gemm_unpacked`] — it is the
+//! baseline the `table2_kernels` bench compares the packed path against.
 
-use crate::flops::{add, Level};
+use crate::flops::{add, add_bytes, Level};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Transpose flag, LAPACK-style.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,9 +51,36 @@ pub enum Trans {
     Yes,
 }
 
-/// Blocking factor over the `k` dimension: a `KC x 4` strip of `B` plus a
-/// column of `A` must fit comfortably in L1/L2.
+/// Blocking factor over the `k` dimension: an `MR x KC` strip of packed
+/// `A` plus an `NR x KC` strip of packed `B` must fit in L1.
 const KC: usize = 256;
+/// Register-tile height (two 8-wide AVX-512 registers of `f64`;
+/// measured fastest among 8/16/24 on this class of core).
+const MR: usize = 16;
+/// Register-tile width.
+const NR: usize = 4;
+/// Row-block size: the packed `MC x KC` panel of `A` is about half an L2
+/// cache.
+const MC: usize = 256;
+/// Column-block size: the packed `KC x NC` panel of `B` (2 MB) targets a
+/// per-core L3 slice.
+const NC: usize = 1024;
+
+thread_local! {
+    /// Per-thread `(packed A, packed B)` buffers, grow-only.
+    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Estimated memory traffic of one packed `gemm` call, in bytes: each
+/// operand is read from memory and written to its packed buffer once per
+/// cache block that revisits it (`A` once per `jc` panel, `B` once in
+/// total), and `C` is read+written once per rank-`KC` update.
+fn gemm_bytes(m: usize, n: usize, k: usize) -> u64 {
+    let njc = n.div_ceil(NC).max(1) as u64;
+    let npc = k.div_ceil(KC).max(1) as u64;
+    let (m, n, k) = (m as u64, n as u64, k as u64);
+    8 * (2 * m * k * njc + 2 * k * n + 2 * m * n * npc)
+}
 
 /// `C <- alpha op(A) op(B) + beta C`.
 ///
@@ -49,15 +104,240 @@ pub fn gemm(
 ) {
     debug_assert!(ldc >= m.max(1));
     add(Level::L3, (2 * m * n * k) as u64);
+    add_bytes(Level::L3, gemm_bytes(m, n, k));
     scale_c(beta, m, n, c, ldc);
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
-    match (transa, transb) {
-        (Trans::No, Trans::No) => gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc),
-        (Trans::Yes, Trans::No) => gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc),
-        (Trans::No, Trans::Yes) => gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc),
-        (Trans::Yes, Trans::Yes) => gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+    gemm_into(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+/// The packed loop nest: `C += alpha op(A) op(B)`, no scaling, no flop
+/// accounting. Shared by every public entry point (serial and parallel,
+/// `gemm` and the structured kernels built on it).
+#[allow(clippy::too_many_arguments)]
+fn gemm_into(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    PACK_BUFS.with(|bufs| {
+        let (ap, bp) = &mut *bufs.borrow_mut();
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(transb, b, ldb, pc, jc, kc, nc, bp);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    pack_a(transa, a, lda, ic, pc, mc, kc, ap);
+                    macrokernel(mc, nc, kc, alpha, ap, bp, ic, jc, c, ldc);
+                    ic += mc;
+                }
+                pc += kc;
+            }
+            jc += nc;
+        }
+    });
+}
+
+/// All `MR x NR` tiles of one `(ic, jc, pc)` block: `jr` outer over `B`
+/// strips, `ir` inner over `A` strips, so the whole packed `A` panel
+/// (L2-resident) is swept once per `B` strip (L1-resident).
+#[allow(clippy::too_many_arguments)]
+fn macrokernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    ic: usize,
+    jc: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mstrips = mc.div_ceil(MR);
+    let nstrips = nc.div_ceil(NR);
+    for t in 0..nstrips {
+        let nr_eff = NR.min(nc - t * NR);
+        let bstrip = &bp[t * NR * kc..(t + 1) * NR * kc];
+        for s in 0..mstrips {
+            let mr_eff = MR.min(mc - s * MR);
+            let astrip = &ap[s * MR * kc..(s + 1) * MR * kc];
+            let off = (ic + s * MR) + (jc + t * NR) * ldc;
+            microkernel(
+                kc,
+                alpha,
+                astrip,
+                bstrip,
+                &mut c[off..],
+                ldc,
+                mr_eff,
+                nr_eff,
+            );
+        }
+    }
+}
+
+/// One `MR x NR` register tile of `C += alpha Ap Bp` from packed strips.
+/// The accumulators live in registers across the whole `k` loop; both
+/// operand streams are unit-stride, so the inner loop does `2*MR*NR`
+/// flops per `MR + NR` contiguous loads — compute-bound, which is the
+/// entire premise of the paper's `alpha >> beta` model. Edge tiles
+/// compute on the zero padding and store only the `mr_eff x nr_eff`
+/// valid corner.
+#[inline(always)]
+fn microkernel(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for p in 0..kc {
+        let av: &[f64; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f64; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        for jj in 0..NR {
+            let bvj = bv[jj];
+            for ii in 0..MR {
+                acc[jj][ii] = av[ii].mul_add(bvj, acc[jj][ii]);
+            }
+        }
+    }
+    if mr_eff == MR && nr_eff == NR {
+        for jj in 0..NR {
+            let ccol = &mut c[jj * ldc..jj * ldc + MR];
+            for ii in 0..MR {
+                ccol[ii] += alpha * acc[jj][ii];
+            }
+        }
+    } else {
+        for jj in 0..nr_eff {
+            let ccol = &mut c[jj * ldc..][..mr_eff];
+            for ii in 0..mr_eff {
+                ccol[ii] += alpha * acc[jj][ii];
+            }
+        }
+    }
+}
+
+/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-row strips: element
+/// `(i, p)` of strip `s` lands at `buf[s*MR*kc + p*MR + i]`, short edge
+/// strips zero-padded to `MR` rows. `No`: strip columns are contiguous
+/// column segments of `A`. `Yes`: strip rows are contiguous column
+/// segments of `A` (the transpose is absorbed here, in O(mk) work).
+fn pack_a(
+    transa: Trans,
+    a: &[f64],
+    lda: usize,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    buf: &mut Vec<f64>,
+) {
+    let strips = mc.div_ceil(MR);
+    let need = strips * MR * kc;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    for s in 0..strips {
+        let r0 = s * MR;
+        let rows = MR.min(mc - r0);
+        let dst = &mut buf[s * MR * kc..(s + 1) * MR * kc];
+        match transa {
+            Trans::No => {
+                for p in 0..kc {
+                    let src = &a[ic + r0 + (pc + p) * lda..][..rows];
+                    let d = &mut dst[p * MR..p * MR + MR];
+                    d[..rows].copy_from_slice(src);
+                    if rows < MR {
+                        d[rows..].fill(0.0);
+                    }
+                }
+            }
+            Trans::Yes => {
+                for i in 0..rows {
+                    let src = &a[pc + (ic + r0 + i) * lda..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        dst[p * MR + i] = v;
+                    }
+                }
+                if rows < MR {
+                    for p in 0..kc {
+                        dst[p * MR + rows..(p + 1) * MR].fill(0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into `NR`-column strips: element
+/// `(p, j)` of strip `t` lands at `buf[t*NR*kc + p*NR + j]`, short edge
+/// strips zero-padded to `NR` columns.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    transb: Trans,
+    b: &[f64],
+    ldb: usize,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    buf: &mut Vec<f64>,
+) {
+    let strips = nc.div_ceil(NR);
+    let need = strips * NR * kc;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    for t in 0..strips {
+        let c0 = t * NR;
+        let cols = NR.min(nc - c0);
+        let dst = &mut buf[t * NR * kc..(t + 1) * NR * kc];
+        match transb {
+            Trans::No => {
+                for j in 0..cols {
+                    let src = &b[pc + (jc + c0 + j) * ldb..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        dst[p * NR + j] = v;
+                    }
+                }
+                if cols < NR {
+                    for p in 0..kc {
+                        dst[p * NR + cols..(p + 1) * NR].fill(0.0);
+                    }
+                }
+            }
+            Trans::Yes => {
+                for p in 0..kc {
+                    let src = &b[jc + c0 + (pc + p) * ldb..][..cols];
+                    let d = &mut dst[p * NR..p * NR + NR];
+                    d[..cols].copy_from_slice(src);
+                    if cols < NR {
+                        d[cols..].fill(0.0);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -77,20 +357,179 @@ fn scale_c(beta: f64, m: usize, n: usize, c: &mut [f64], ldc: usize) {
     }
 }
 
-/// Register-tile height (two 8-wide AVX-512 registers of `f64`;
-/// measured fastest among 8/16/24 on this class of core).
-const MR: usize = 16;
-/// Register-tile width.
-const NR: usize = 4;
-/// Row-block size: `MC x KC` of `A` is about half an L2 cache.
-const MC: usize = 256;
+/// Parallel [`gemm`] over the packed loop nest. Wide problems split the
+/// `jc` loop: each worker owns a disjoint `NR`-aligned column panel of
+/// `C` and packs its own panels into thread-local buffers. Tall-narrow
+/// problems (too few column panels to balance) split the `ic` loop
+/// instead, each worker accumulating its row block into a private buffer
+/// that is summed into `C` afterwards. Falls back to the sequential
+/// kernel for small problems where the fork/join overhead would
+/// dominate.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_par(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let threads = rayon::current_num_threads();
+    if work < 64 * 64 * 64 || threads == 1 {
+        gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        return;
+    }
+    gemm_par_with(
+        threads, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+    );
+}
 
-/// `C += alpha A B`, the hot path: an `MR x NR` register-tiled
-/// microkernel. Each tile of `C` lives in registers across the whole `k`
-/// loop (the accumulators are local arrays LLVM keeps in vector
-/// registers), so the inner loop does `2*MR*NR` flops per `MR + NR`
-/// loads — compute-bound, which is the entire premise of the paper's
-/// `alpha >> beta` model.
+/// [`gemm_par`] with an explicit worker-count hint; exposed so tests can
+/// exercise the panel arithmetic of both parallel splits deterministically
+/// regardless of the machine's thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_par_with(
+    threads: usize,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(ldc >= m.max(1));
+    add(Level::L3, (2 * m * n * k) as u64);
+    add_bytes(Level::L3, gemm_bytes(m, n, k));
+    if alpha == 0.0 || k == 0 {
+        scale_c(beta, m, n, c, ldc);
+        return;
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = threads.max(1);
+    if n >= 2 * NR * threads || m < 2 * MR * threads {
+        // Column-panel split of the jc loop: two NR-aligned panels per
+        // worker; panels are disjoint column ranges of C, data-race free
+        // by construction.
+        let jb = n
+            .div_ceil(2 * threads)
+            .next_multiple_of(NR)
+            .max(NR)
+            .min(n.max(1));
+        c[..(n - 1) * ldc + m]
+            .par_chunks_mut(jb * ldc)
+            .enumerate()
+            .for_each(|(p, cpanel)| {
+                let j0 = p * jb;
+                let jn = jb.min(n - j0);
+                let bsub = match transb {
+                    Trans::No => &b[j0 * ldb..],
+                    Trans::Yes => &b[j0..],
+                };
+                scale_c(beta, m, jn, cpanel, ldc);
+                gemm_into(
+                    transa, transb, m, jn, k, alpha, a, lda, bsub, ldb, cpanel, ldc,
+                );
+            });
+    } else {
+        // Row-block split of the ic loop: C's rows are strided slices
+        // that cannot be handed out as disjoint `&mut`, so each worker
+        // computes its MR-aligned row block into a private buffer;
+        // the (cheap, O(mn)) reduction adds them back serially.
+        let ib = m
+            .div_ceil(2 * threads)
+            .next_multiple_of(MR)
+            .max(MR)
+            .min(m.max(1));
+        let blocks: Vec<usize> = (0..m.div_ceil(ib)).collect();
+        let partials: Vec<(usize, usize, Vec<f64>)> = blocks
+            .into_par_iter()
+            .map(|p| {
+                let i0 = p * ib;
+                let mb = ib.min(m - i0);
+                let asub = match transa {
+                    Trans::No => &a[i0..],
+                    Trans::Yes => &a[i0 * lda..],
+                };
+                let mut pbuf = vec![0.0f64; mb * n];
+                gemm_into(
+                    transa, transb, mb, n, k, alpha, asub, lda, b, ldb, &mut pbuf, mb,
+                );
+                (i0, mb, pbuf)
+            })
+            .collect();
+        scale_c(beta, m, n, c, ldc);
+        for (i0, mb, pbuf) in partials {
+            for j in 0..n {
+                let src = &pbuf[j * mb..(j + 1) * mb];
+                let dst = &mut c[i0 + j * ldc..][..mb];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+    }
+}
+
+/// The seed's unpacked `gemm` — the `N/N` and `N/T` cases run a
+/// register-tiled microkernel straight off the strided operands, `T/N`
+/// is lane-split dot products, `T/T` a naive triple loop. Kept as the
+/// baseline the `table2_kernels` bench measures the packed path against.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_unpacked(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(ldc >= m.max(1));
+    add(Level::L3, (2 * m * n * k) as u64);
+    // Traffic model: A read once per (k-block, i-block), B re-streamed
+    // once per MC row block, C read+written once per k-block.
+    {
+        let npc = k.div_ceil(KC).max(1) as u64;
+        let nic = m.div_ceil(MC).max(1) as u64;
+        let (mu, nu, ku) = (m as u64, n as u64, k as u64);
+        add_bytes(Level::L3, 8 * (mu * ku + ku * nu * nic + 2 * mu * nu * npc));
+    }
+    scale_c(beta, m, n, c, ldc);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match (transa, transb) {
+        (Trans::No, Trans::No) => gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (Trans::Yes, Trans::No) => gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (Trans::No, Trans::Yes) => gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (Trans::Yes, Trans::Yes) => gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+    }
+}
+
+/// `C += alpha A B` straight off the strided operands (seed baseline).
 fn gemm_nn(
     m: usize,
     n: usize,
@@ -138,7 +577,8 @@ fn gemm_nn(
     }
 }
 
-/// One `MR x NR` register tile of `C += alpha A B` over `k0..k0+kb`.
+/// One `MR x NR` register tile of `C += alpha A B` over `k0..k0+kb`
+/// (unpacked baseline).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn microkernel_8x4(
@@ -173,7 +613,7 @@ fn microkernel_8x4(
     }
 }
 
-/// Scalar edge path: rows `i0..m` of column `j`.
+/// Scalar edge path: rows `i0..m` of column `j` (unpacked baseline).
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn edge_col(
@@ -224,7 +664,7 @@ fn dot_lanes(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// `C += alpha A^T B`: contiguous dot products of `A` and `B` columns,
-/// eight-lane vectorized.
+/// eight-lane vectorized (unpacked baseline).
 fn gemm_tn(
     m: usize,
     n: usize,
@@ -246,9 +686,9 @@ fn gemm_tn(
     }
 }
 
-/// `C += alpha A B^T`: same register-tiled microkernel as the `N/N`
-/// path; `op(B)` elements `b[(j+jj) + kk*ldb]` are contiguous across the
-/// tile's columns.
+/// `C += alpha A B^T` (unpacked baseline): register-tiled; `op(B)`
+/// elements `b[(j+jj) + kk*ldb]` are contiguous across the tile's
+/// columns.
 fn gemm_nt(
     m: usize,
     n: usize,
@@ -292,7 +732,7 @@ fn gemm_nt(
     }
 }
 
-/// `MR x NR` tile of `C += alpha A B^T`.
+/// `MR x NR` tile of `C += alpha A B^T` (unpacked baseline).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn microkernel_8x4_nt(
@@ -328,7 +768,7 @@ fn microkernel_8x4_nt(
     }
 }
 
-/// Scalar edge path of the `N/T` kernel.
+/// Scalar edge path of the `N/T` kernel (unpacked baseline).
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn edge_col_nt(
@@ -358,7 +798,7 @@ fn edge_col_nt(
     }
 }
 
-/// `C += alpha A^T B^T` (rare; only correctness matters).
+/// `C += alpha A^T B^T` (unpacked baseline; naive, correctness only).
 fn gemm_tt(
     m: usize,
     n: usize,
@@ -383,50 +823,6 @@ fn gemm_tt(
     }
 }
 
-/// Parallel [`gemm`]: `C`'s columns are split into panels, one rayon task
-/// each. Falls back to the sequential kernel for small problems where the
-/// fork/join overhead would dominate.
-#[allow(clippy::too_many_arguments)]
-pub fn gemm_par(
-    transa: Trans,
-    transb: Trans,
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: f64,
-    a: &[f64],
-    lda: usize,
-    b: &[f64],
-    ldb: usize,
-    beta: f64,
-    c: &mut [f64],
-    ldc: usize,
-) {
-    let work = m.saturating_mul(n).saturating_mul(k);
-    let threads = rayon::current_num_threads();
-    if work < 64 * 64 * 64 || threads == 1 || n < 2 {
-        gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-        return;
-    }
-    // Panel width: enough panels to keep every thread busy, at least 4
-    // columns each so the unrolled kernel applies.
-    let jb = (n.div_ceil(4 * threads)).max(4);
-    c[..(n - 1) * ldc + m]
-        .par_chunks_mut(jb * ldc)
-        .enumerate()
-        .for_each(|(p, cpanel)| {
-            let j0 = p * jb;
-            let jn = jb.min(n - j0);
-            let bsub = match transb {
-                Trans::No => &b[j0 * ldb..],
-                Trans::Yes => &b[j0..],
-            };
-            gemm(
-                transa, transb, m, jn, k, alpha, a, lda, bsub, ldb, beta, cpanel, ldc,
-            );
-        });
-}
-
 /// Symmetric rank-k update of the lower triangle:
 /// `C <- alpha A A^T + beta C` (`trans == No`, `A` is `n x k`) or
 /// `C <- alpha A^T A + beta C` (`trans == Yes`, `A` is `k x n`).
@@ -443,15 +839,12 @@ pub fn syrk_lower(
     ldc: usize,
 ) {
     add(Level::L3, (n * n * k) as u64);
-    for j in 0..n {
-        let col = &mut c[j * ldc..j * ldc + n];
-        if beta != 1.0 {
-            for v in col[j..n].iter_mut() {
-                *v *= beta;
-            }
-        }
-    }
-    if alpha == 0.0 {
+    add_bytes(Level::L3, {
+        let npc = k.div_ceil(KC).max(1) as u64;
+        8 * (2 * (n * k) as u64 + (n * n) as u64 * npc)
+    });
+    scale_lower(beta, n, c, ldc);
+    if alpha == 0.0 || n == 0 || k == 0 {
         return;
     }
     match trans {
@@ -486,11 +879,43 @@ pub fn syrk_lower(
     }
 }
 
+/// Scale the lower triangle (diagonal included) of an order-`n` matrix.
+fn scale_lower(beta: f64, n: usize, c: &mut [f64], ldc: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let col = &mut c[j * ldc + j..j * ldc + n];
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for v in col {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Column-panel width of the blocked `syr2k`: diagonal blocks of this
+/// order run the rank-1 kernel, everything below goes through the packed
+/// `gemm`.
+const SYR2K_JB: usize = 64;
+
+/// Traffic model shared by the serial and parallel `syr2k`: `A`/`B`
+/// each packed twice (once per `gemm` role), the `C` triangle
+/// read+written once per rank-`KC` update.
+fn syr2k_bytes(n: usize, k: usize) -> u64 {
+    let npc = k.div_ceil(KC).max(1) as u64;
+    8 * (4 * (n * k) as u64 + (n * n) as u64 * npc)
+}
+
 /// Symmetric rank-2k update of the lower triangle:
 /// `C <- alpha (A B^T + B A^T) + beta C`, with `A`, `B` both `n x k`.
 ///
 /// This is the trailing-matrix update of both the one-stage (`latrd` +
-/// `syr2k`) and the first stage of the two-stage reduction.
+/// `syr2k`) and the first stage of the two-stage reduction. Blocked:
+/// `SYR2K_JB`-wide diagonal blocks run the rank-1 kernel, the strictly
+/// sub-diagonal part of each column panel is two packed `gemm`s.
 #[allow(clippy::too_many_arguments)]
 pub fn syr2k_lower(
     n: usize,
@@ -505,17 +930,76 @@ pub fn syr2k_lower(
     ldc: usize,
 ) {
     add(Level::L3, (2 * n * n * k) as u64);
-    for j in 0..n {
-        let col = &mut c[j * ldc..j * ldc + n];
-        if beta != 1.0 {
-            for v in col[j..n].iter_mut() {
-                *v *= beta;
-            }
-        }
-    }
-    if alpha == 0.0 {
+    add_bytes(Level::L3, syr2k_bytes(n, k));
+    scale_lower(beta, n, c, ldc);
+    if alpha == 0.0 || n == 0 || k == 0 {
         return;
     }
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = SYR2K_JB.min(n - j0);
+        syr2k_diag(
+            jn,
+            k,
+            alpha,
+            &a[j0..],
+            lda,
+            &b[j0..],
+            ldb,
+            &mut c[j0 + j0 * ldc..],
+            ldc,
+        );
+        let rows_below = n - j0 - jn;
+        if rows_below > 0 {
+            let r0 = j0 + jn;
+            let cpanel = &mut c[r0 + j0 * ldc..];
+            gemm_into(
+                Trans::No,
+                Trans::Yes,
+                rows_below,
+                jn,
+                k,
+                alpha,
+                &a[r0..],
+                lda,
+                &b[j0..],
+                ldb,
+                cpanel,
+                ldc,
+            );
+            gemm_into(
+                Trans::No,
+                Trans::Yes,
+                rows_below,
+                jn,
+                k,
+                alpha,
+                &b[r0..],
+                ldb,
+                &a[j0..],
+                lda,
+                cpanel,
+                ldc,
+            );
+        }
+        j0 += jn;
+    }
+}
+
+/// Rank-1-loop `syr2k` on a diagonal block (accumulate only; scaling and
+/// accounting are the callers' responsibility).
+#[allow(clippy::too_many_arguments)]
+fn syr2k_diag(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
     for kk in 0..k {
         let acol = &a[kk * lda..kk * lda + n];
         let bcol = &b[kk * ldb..kk * ldb + n];
@@ -534,7 +1018,8 @@ pub fn syr2k_lower(
 }
 
 /// Parallel [`syr2k_lower`]: column panels of the lower triangle are
-/// disjoint, one rayon task each.
+/// disjoint, one rayon task each; within a panel the sub-diagonal block
+/// runs the packed `gemm` with per-thread packing buffers.
 #[allow(clippy::too_many_arguments)]
 pub fn syr2k_lower_par(
     n: usize,
@@ -548,25 +1033,34 @@ pub fn syr2k_lower_par(
     c: &mut [f64],
     ldc: usize,
 ) {
-    if n * n * k < 48 * 48 * 48 {
+    if n * n * k < 48 * 48 * 48 || rayon::current_num_threads() == 1 {
         syr2k_lower(n, k, alpha, a, lda, b, ldb, beta, c, ldc);
         return;
     }
-    // Fixed narrow panels: the diagonal blocks run the simple kernel,
-    // everything below goes through the fast `gemm` N/T path; panels are
-    // disjoint column ranges, parallel-safe.
-    let jb = 64usize;
+    add(Level::L3, (2 * n * n * k) as u64);
+    add_bytes(Level::L3, syr2k_bytes(n, k));
+    let jb = SYR2K_JB;
     c[..(n - 1) * ldc + n]
         .par_chunks_mut(jb * ldc)
         .enumerate()
         .for_each(|(p, cpanel)| {
             let j0 = p * jb;
             let jn = jb.min(n - j0);
-            // Panel of columns j0..j0+jn of the lower triangle: rows
-            // j0..n. The diagonal block is syr2k; the part below it is a
-            // general gemm: C[j0+jn.., j0..j0+jn] += alpha(A B^T + B A^T).
-            let rows_below = n - j0 - jn;
-            syr2k_lower(
+            // Scale this panel's triangle columns (rows j..n of column j).
+            for jj in 0..jn {
+                let col = &mut cpanel[jj * ldc + j0 + jj..jj * ldc + n];
+                if beta == 0.0 {
+                    col.fill(0.0);
+                } else if beta != 1.0 {
+                    for v in col {
+                        *v *= beta;
+                    }
+                }
+            }
+            if alpha == 0.0 || k == 0 {
+                return;
+            }
+            syr2k_diag(
                 jn,
                 k,
                 alpha,
@@ -574,13 +1068,13 @@ pub fn syr2k_lower_par(
                 lda,
                 &b[j0..],
                 ldb,
-                beta,
                 &mut cpanel[j0..],
                 ldc,
             );
+            let rows_below = n - j0 - jn;
             if rows_below > 0 {
                 let r0 = j0 + jn;
-                gemm(
+                gemm_into(
                     Trans::No,
                     Trans::Yes,
                     rows_below,
@@ -591,11 +1085,10 @@ pub fn syr2k_lower_par(
                     lda,
                     &b[j0..],
                     ldb,
-                    beta,
                     &mut cpanel[r0..],
                     ldc,
                 );
-                gemm(
+                gemm_into(
                     Trans::No,
                     Trans::Yes,
                     rows_below,
@@ -606,12 +1099,19 @@ pub fn syr2k_lower_par(
                     ldb,
                     &a[j0..],
                     lda,
-                    1.0,
                     &mut cpanel[r0..],
                     ldc,
                 );
             }
         });
+}
+
+/// Traffic model of `symm_lower_left`: the stored triangle is read once,
+/// `B` is re-streamed once per `A` column sweep that falls out of cache
+/// (modeled as once per `MC` rows), `C` read+written once.
+fn symm_bytes(m: usize, k: usize) -> u64 {
+    let sweeps = m.div_ceil(MC).max(1) as u64;
+    8 * ((m * m / 2) as u64 + (m * k) as u64 * sweeps + 2 * (m * k) as u64)
 }
 
 /// Symmetric-times-rectangular multiply: `C <- alpha A B + beta C` with
@@ -636,19 +1136,28 @@ pub fn symm_lower_left(
     ldc: usize,
 ) {
     add(Level::L3, (2 * m * m * k) as u64);
-    for j in 0..k {
-        let col = &mut c[j * ldc..j * ldc + m];
-        if beta == 0.0 {
-            col.fill(0.0);
-        } else if beta != 1.0 {
-            for v in col.iter_mut() {
-                *v *= beta;
-            }
-        }
-    }
+    add_bytes(Level::L3, symm_bytes(m, k));
+    scale_c(beta, m, k, c, ldc);
     if alpha == 0.0 {
         return;
     }
+    symm_into(m, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+/// Accumulate-only body of [`symm_lower_left`] (no scaling, no
+/// accounting): one pass over the stored triangle.
+#[allow(clippy::too_many_arguments)]
+fn symm_into(
+    m: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
     for ja in 0..m {
         let acol = &a[ja * lda..ja * lda + m];
         for jb in 0..k {
@@ -670,8 +1179,8 @@ pub fn symm_lower_left(
 
 /// Parallel [`symm_lower_left`]: `A`'s columns are split into chunks of
 /// roughly equal stored-element count, each worker accumulates into a
-/// private `C`, and the partials are summed. `A` is streamed exactly once
-/// in total.
+/// private `C` — the off-diagonal blocks through the packed `gemm` —
+/// and the partials are summed. `A` is streamed exactly once in total.
 #[allow(clippy::too_many_arguments)]
 pub fn symm_lower_left_par(
     m: usize,
@@ -685,12 +1194,14 @@ pub fn symm_lower_left_par(
     c: &mut [f64],
     ldc: usize,
 ) {
-    if m * m * k < 48 * 48 * 48 {
+    if m * m * k < 48 * 48 * 48 || rayon::current_num_threads() == 1 {
         symm_lower_left(m, k, alpha, a, lda, b, ldb, beta, c, ldc);
         return;
     }
+    add(Level::L3, (2 * m * m * k) as u64);
+    add_bytes(Level::L3, symm_bytes(m, k));
     // Chunk boundaries over A's column range, balanced by trapezoid
-    // area; each chunk contributes a small diagonal symm plus two fast
+    // area; each chunk contributes a small diagonal symm plus two packed
     // gemms, accumulated into a private C and reduced.
     let threads = rayon::current_num_threads();
     let nchunks = (2 * threads).max(m / 96).max(2);
@@ -719,7 +1230,7 @@ pub fn symm_lower_left_par(
             let rows = m - c0;
             let mut pc = vec![0.0f64; rows * k];
             // Diagonal symmetric block: rows/cols c0..c1.
-            symm_lower_left(
+            symm_into(
                 wl,
                 k,
                 1.0,
@@ -727,13 +1238,12 @@ pub fn symm_lower_left_par(
                 lda,
                 &b[c0..],
                 ldb,
-                0.0,
-                &mut pc[..],
+                &mut pc,
                 rows,
             );
             if rl > 0 {
                 // C[c1.., :] += A[c1.., c0..c1] * B[c0..c1, :]
-                gemm(
+                gemm_into(
                     Trans::No,
                     Trans::No,
                     rl,
@@ -744,12 +1254,11 @@ pub fn symm_lower_left_par(
                     lda,
                     &b[c0..],
                     ldb,
-                    1.0,
                     &mut pc[wl..],
                     rows,
                 );
                 // C[c0..c1, :] += A[c1.., c0..c1]^T * B[c1.., :]
-                gemm(
+                gemm_into(
                     Trans::Yes,
                     Trans::No,
                     wl,
@@ -760,8 +1269,7 @@ pub fn symm_lower_left_par(
                     lda,
                     &b[c1..],
                     ldb,
-                    1.0,
-                    &mut pc[..],
+                    &mut pc,
                     rows,
                 );
             }
@@ -786,10 +1294,15 @@ pub fn symm_lower_left_par(
     }
 }
 
+/// Diagonal-block order above which `trmm_upper_left` switches to the
+/// blocked algorithm (diagonal `trmm` + packed `gemm` off the diagonal).
+const TRMM_TB: usize = 64;
+
 /// Triangular multiply `B <- alpha op(T) B` with `T` a `k x k`
 /// **upper-triangular, non-unit** matrix and `B` `k x n`. Used by the
 /// blocked reflector application (`larfb`), where `T` is the compact
-/// WY factor.
+/// WY factor — there `k` is a block size and the scalar path runs; for
+/// larger `k` the off-diagonal work is routed through the packed `gemm`.
 #[allow(clippy::too_many_arguments)]
 pub fn trmm_upper_left(
     trans: Trans,
@@ -802,31 +1315,186 @@ pub fn trmm_upper_left(
     ldb: usize,
 ) {
     add(Level::L3, (n * k * k) as u64);
-    for j in 0..n {
-        let bcol = &mut b[j * ldb..j * ldb + k];
+    add_bytes(Level::L3, 8 * ((k * k / 2) as u64 + 2 * (k * n) as u64));
+    if k == 0 || n == 0 {
+        return;
+    }
+    if k <= TRMM_TB {
+        trmm_diag(trans, k, n, alpha, t, ldt, b, ldb);
+        return;
+    }
+    // Blocked: split T into TB-order diagonal blocks T11 and the
+    // rectangular coupling T12 above the diagonal; the coupling term goes
+    // through the packed gemm via a scratch block (cold path — every
+    // in-pipeline caller has k <= TRMM_TB).
+    let nblocks = k.div_ceil(TRMM_TB);
+    let mut w = vec![0.0f64; TRMM_TB * n];
+    match trans {
+        Trans::No => {
+            // Top-down: B1 <- alpha (T11 B1 + T12 B2) uses B2 before B2
+            // is overwritten.
+            for blk in 0..nblocks {
+                let i0 = blk * TRMM_TB;
+                let ib = TRMM_TB.min(k - i0);
+                let rest = k - i0 - ib;
+                if rest > 0 {
+                    let wblk = &mut w[..ib * n];
+                    wblk.fill(0.0);
+                    // W = alpha * T12 * B2, reading B2 = rows i0+ib.. of B.
+                    gemm_into(
+                        Trans::No,
+                        Trans::No,
+                        ib,
+                        n,
+                        rest,
+                        alpha,
+                        &t[i0 + (i0 + ib) * ldt..],
+                        ldt,
+                        &b[i0 + ib..],
+                        ldb,
+                        wblk,
+                        ib,
+                    );
+                    trmm_diag(
+                        trans,
+                        ib,
+                        n,
+                        alpha,
+                        &t[i0 + i0 * ldt..],
+                        ldt,
+                        &mut b[i0..],
+                        ldb,
+                    );
+                    for j in 0..n {
+                        let dst = &mut b[i0 + j * ldb..][..ib];
+                        let src = &wblk[j * ib..(j + 1) * ib];
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                } else {
+                    trmm_diag(
+                        trans,
+                        ib,
+                        n,
+                        alpha,
+                        &t[i0 + i0 * ldt..],
+                        ldt,
+                        &mut b[i0..],
+                        ldb,
+                    );
+                }
+            }
+        }
+        Trans::Yes => {
+            // Bottom-up: B2 <- alpha (T22^T B2 + T12^T B1) uses B1 before
+            // B1 is overwritten.
+            for blk in (0..nblocks).rev() {
+                let i0 = blk * TRMM_TB;
+                let ib = TRMM_TB.min(k - i0);
+                if i0 > 0 {
+                    let wblk = &mut w[..ib * n];
+                    wblk.fill(0.0);
+                    // W = alpha * T12^T * B1, T12 = rows 0..i0 of columns
+                    // i0..i0+ib, B1 = rows 0..i0 of B.
+                    gemm_into(
+                        Trans::Yes,
+                        Trans::No,
+                        ib,
+                        n,
+                        i0,
+                        alpha,
+                        &t[i0 * ldt..],
+                        ldt,
+                        b,
+                        ldb,
+                        wblk,
+                        ib,
+                    );
+                    trmm_diag(
+                        trans,
+                        ib,
+                        n,
+                        alpha,
+                        &t[i0 + i0 * ldt..],
+                        ldt,
+                        &mut b[i0..],
+                        ldb,
+                    );
+                    for j in 0..n {
+                        let dst = &mut b[i0 + j * ldb..][..ib];
+                        let src = &wblk[j * ib..(j + 1) * ib];
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                } else {
+                    trmm_diag(
+                        trans,
+                        ib,
+                        n,
+                        alpha,
+                        &t[i0 + i0 * ldt..],
+                        ldt,
+                        &mut b[i0..],
+                        ldb,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Scalar in-place triangular multiply on a diagonal block, `NR` columns
+/// of `B` at a time so the `T` triangle is streamed once per column
+/// quad instead of once per column.
+fn trmm_diag(
+    trans: Trans,
+    k: usize,
+    n: usize,
+    alpha: f64,
+    t: &[f64],
+    ldt: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    let mut j = 0;
+    while j < n {
+        let jn = NR.min(n - j);
         match trans {
             Trans::No => {
                 // b_i <- sum_{l >= i} T(i,l) b_l : top-down keeps unread
                 // entries intact.
                 for i in 0..k {
-                    let mut s = 0.0;
+                    let mut s = [0.0f64; NR];
                     for l in i..k {
-                        s += t[i + l * ldt] * bcol[l];
+                        let tv = t[i + l * ldt];
+                        for (jj, sv) in s.iter_mut().enumerate().take(jn) {
+                            *sv += tv * b[l + (j + jj) * ldb];
+                        }
                     }
-                    bcol[i] = alpha * s;
+                    for (jj, sv) in s.iter().enumerate().take(jn) {
+                        b[i + (j + jj) * ldb] = alpha * sv;
+                    }
                 }
             }
             Trans::Yes => {
                 // b_i <- sum_{l <= i} T(l,i) b_l : bottom-up.
                 for i in (0..k).rev() {
-                    let mut s = 0.0;
+                    let mut s = [0.0f64; NR];
                     for l in 0..=i {
-                        s += t[l + i * ldt] * bcol[l];
+                        let tv = t[l + i * ldt];
+                        for (jj, sv) in s.iter_mut().enumerate().take(jn) {
+                            *sv += tv * b[l + (j + jj) * ldb];
+                        }
                     }
-                    bcol[i] = alpha * s;
+                    for (jj, sv) in s.iter().enumerate().take(jn) {
+                        b[i + (j + jj) * ldb] = alpha * sv;
+                    }
                 }
             }
         }
+        j += jn;
     }
 }
 
@@ -883,6 +1551,125 @@ mod tests {
     }
 
     #[test]
+    fn gemm_packed_matches_unpacked_across_blocks() {
+        // Shapes straddling the MR/NR/KC/MC boundaries: packed and
+        // unpacked paths must agree to rounding.
+        for (m, n, k, seed) in [
+            (16, 4, 256, 30),
+            (17, 5, 257, 31),
+            (15, 3, 255, 32),
+            (300, 40, 70, 33),
+            (33, 1030, 12, 34),
+            (1, 1, 1, 35),
+        ] {
+            let a = rand_mat(m, k, seed);
+            let b = rand_mat(k, n, seed + 100);
+            let mut c1 = rand_mat(m, n, seed + 200);
+            let mut c2 = c1.clone();
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.3,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
+                0.7,
+                c1.as_mut_slice(),
+                m,
+            );
+            gemm_unpacked(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.3,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
+                0.7,
+                c2.as_mut_slice(),
+                m,
+            );
+            assert!(c1.approx_eq(&c2, 1e-11), "(m,n,k)=({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn gemm_unpacked_all_transpose_combos() {
+        let m = 19;
+        let n = 11;
+        let k = 23;
+        let a = rand_mat(m, k, 40);
+        let b = rand_mat(k, n, 41);
+        let want = naive(&a, &b);
+        let at = a.transpose();
+        let bt = b.transpose();
+        for (ta, tb, am, bm) in [
+            (Trans::No, Trans::No, &a, &b),
+            (Trans::Yes, Trans::No, &at, &b),
+            (Trans::No, Trans::Yes, &a, &bt),
+            (Trans::Yes, Trans::Yes, &at, &bt),
+        ] {
+            let mut c = Matrix::zeros(m, n);
+            gemm_unpacked(
+                ta,
+                tb,
+                m,
+                n,
+                k,
+                1.0,
+                am.as_slice(),
+                am.rows(),
+                bm.as_slice(),
+                bm.rows(),
+                0.0,
+                c.as_mut_slice(),
+                m,
+            );
+            assert!(c.approx_eq(&want, 1e-13), "combo {ta:?} {tb:?} wrong");
+        }
+    }
+
+    #[test]
+    fn gemm_with_padded_ldc() {
+        // ldc > m: rows m..ldc of each C column must stay untouched.
+        let (m, n, k, ldc) = (21, 9, 17, 29);
+        let a = rand_mat(m, k, 50);
+        let b = rand_mat(k, n, 51);
+        let mut c = vec![7.5f64; ldc * n];
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            &mut c,
+            ldc,
+        );
+        let want = naive(&a, &b);
+        for j in 0..n {
+            for i in 0..m {
+                assert!((c[i + j * ldc] - want[(i, j)]).abs() < 1e-13);
+            }
+            for i in m..ldc {
+                assert_eq!(c[i + j * ldc], 7.5, "padding clobbered at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
     fn gemm_alpha_beta() {
         let a = rand_mat(6, 4, 3);
         let b = rand_mat(4, 5, 4);
@@ -920,7 +1707,6 @@ mod tests {
         let a = rand_mat(m, k, 6);
         let b = rand_mat(k, n, 7);
         let mut c1 = Matrix::zeros(m, n);
-        let mut c2 = Matrix::zeros(m, n);
         gemm(
             Trans::No,
             Trans::No,
@@ -936,22 +1722,28 @@ mod tests {
             c1.as_mut_slice(),
             m,
         );
-        gemm_par(
-            Trans::No,
-            Trans::No,
-            m,
-            n,
-            k,
-            1.0,
-            a.as_slice(),
-            m,
-            b.as_slice(),
-            k,
-            0.0,
-            c2.as_mut_slice(),
-            m,
-        );
-        assert!(c1.approx_eq(&c2, 1e-12));
+        // Exercise the jc split with several worker-count hints,
+        // including ones that do not divide n.
+        for threads in [2, 3, 7] {
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_par_with(
+                threads,
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.0,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
+                0.0,
+                c2.as_mut_slice(),
+                m,
+            );
+            assert!(c1.approx_eq(&c2, 1e-12), "threads={threads}");
+        }
     }
 
     #[test]
@@ -962,7 +1754,6 @@ mod tests {
         let a = rand_mat(m, k, 8);
         let bt = rand_mat(n, k, 9);
         let mut c1 = Matrix::zeros(m, n);
-        let mut c2 = Matrix::zeros(m, n);
         gemm(
             Trans::No,
             Trans::Yes,
@@ -978,17 +1769,151 @@ mod tests {
             c1.as_mut_slice(),
             m,
         );
-        gemm_par(
+        for threads in [2, 5] {
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_par_with(
+                threads,
+                Trans::No,
+                Trans::Yes,
+                m,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                m,
+                bt.as_slice(),
+                n,
+                0.0,
+                c2.as_mut_slice(),
+                m,
+            );
+            assert!(c1.approx_eq(&c2, 1e-12), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gemm_par_tall_narrow_row_split() {
+        // n too narrow for a column split: the ic-parallel path with
+        // private accumulators must take over and still match, beta
+        // applied exactly once.
+        let m = 400;
+        let n = 6;
+        let k = 90;
+        let a = rand_mat(m, k, 60);
+        let b = rand_mat(k, n, 61);
+        let c0 = rand_mat(m, n, 62);
+        let mut c1 = c0.clone();
+        gemm(
             Trans::No,
-            Trans::Yes,
+            Trans::No,
             m,
             n,
             k,
-            1.5,
+            2.0,
             a.as_slice(),
             m,
-            bt.as_slice(),
+            b.as_slice(),
+            k,
+            -0.5,
+            c1.as_mut_slice(),
+            m,
+        );
+        for threads in [2, 3, 8] {
+            let mut c2 = c0.clone();
+            gemm_par_with(
+                threads,
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                2.0,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
+                -0.5,
+                c2.as_mut_slice(),
+                m,
+            );
+            assert!(c1.approx_eq(&c2, 1e-12), "threads={threads}");
+        }
+        // Transposed A: the row split offsets into A's columns.
+        let at = rand_mat(k, m, 63);
+        let mut c3 = c0.clone();
+        let mut c4 = c0.clone();
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            m,
             n,
+            k,
+            1.0,
+            at.as_slice(),
+            k,
+            b.as_slice(),
+            k,
+            1.0,
+            c3.as_mut_slice(),
+            m,
+        );
+        gemm_par_with(
+            4,
+            Trans::Yes,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            at.as_slice(),
+            k,
+            b.as_slice(),
+            k,
+            1.0,
+            c4.as_mut_slice(),
+            m,
+        );
+        assert!(c3.approx_eq(&c4, 1e-12));
+    }
+
+    #[test]
+    fn gemm_par_short_final_chunk() {
+        // n chosen so the last column panel is a single short column and
+        // the C slice ends mid-panel ((n-1)*ldc + m).
+        let m = 70;
+        let n = 65;
+        let k = 64;
+        let a = rand_mat(m, k, 70);
+        let b = rand_mat(k, n, 71);
+        let mut c1 = Matrix::zeros(m, n);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c1.as_mut_slice(),
+            m,
+        );
+        gemm_par_with(
+            8,
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
             0.0,
             c2.as_mut_slice(),
             m,
@@ -1065,6 +1990,46 @@ mod tests {
             for i in j..n {
                 let w = 0.5 * (abt[(i, j)] + bat[(i, j)]);
                 assert!((c[(i, j)] - w).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_blocked_crosses_panel_boundary() {
+        // n > SYR2K_JB so the blocked serial path runs its gemm arm;
+        // check against the rank-1 diagonal kernel on the full triangle.
+        let n = 150;
+        let k = 20;
+        let a = rand_mat(n, k, 26);
+        let b = rand_mat(n, k, 27);
+        let c0 = rand_mat(n, n, 28);
+        let mut c1 = c0.clone();
+        syr2k_lower(
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.5,
+            c1.as_mut_slice(),
+            n,
+        );
+        // Oracle: full dense alpha(AB^T + BA^T) + beta C on the triangle.
+        let abt = naive(&a, &b.transpose());
+        let bat = naive(&b, &a.transpose());
+        for j in 0..n {
+            for i in j..n {
+                let w = abt[(i, j)] + bat[(i, j)] + 0.5 * c0[(i, j)];
+                assert!((c1[(i, j)] - w).abs() < 1e-11, "mismatch at ({i},{j})");
+            }
+            for i in 0..j {
+                assert_eq!(
+                    c1[(i, j)],
+                    c0[(i, j)],
+                    "upper triangle touched at ({i},{j})"
+                );
             }
         }
     }
@@ -1203,6 +2168,36 @@ mod tests {
             *v *= 2.0;
         }
         assert!(b2.approx_eq(&want, 1e-13));
+    }
+
+    #[test]
+    fn trmm_blocked_large_k() {
+        // k > TRMM_TB exercises the blocked path with the packed gemm on
+        // the coupling blocks, both transposes, odd n.
+        let k = 150;
+        let n = 7;
+        let mut t = rand_mat(k, k, 18);
+        for j in 0..k {
+            for i in j + 1..k {
+                t[(i, j)] = 0.0;
+            }
+        }
+        let b0 = rand_mat(k, n, 19);
+        let mut b = b0.clone();
+        trmm_upper_left(Trans::No, k, n, 1.5, t.as_slice(), k, b.as_mut_slice(), k);
+        let mut want = naive(&t, &b0);
+        for v in want.as_mut_slice() {
+            *v *= 1.5;
+        }
+        assert!(b.approx_eq(&want, 1e-11));
+
+        let mut b2 = b0.clone();
+        trmm_upper_left(Trans::Yes, k, n, 1.5, t.as_slice(), k, b2.as_mut_slice(), k);
+        let mut want2 = naive(&t.transpose(), &b0);
+        for v in want2.as_mut_slice() {
+            *v *= 1.5;
+        }
+        assert!(b2.approx_eq(&want2, 1e-11));
     }
 
     #[test]

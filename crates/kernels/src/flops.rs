@@ -12,11 +12,21 @@
 //! are memory-bound ("the Amdahl fraction"); Level-3 flops are
 //! compute-bound.
 
+//! Alongside the flop counters, each kernel also charges an estimate of
+//! the main-memory **bytes moved** (compulsory reads/writes plus the
+//! cache-block revisits its loop nest actually incurs), so benchmarks
+//! can report arithmetic intensity (flop/byte) — the quantity that
+//! decides on which side of the roofline a kernel lands.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static L1: AtomicU64 = AtomicU64::new(0);
 static L2: AtomicU64 = AtomicU64::new(0);
 static L3: AtomicU64 = AtomicU64::new(0);
+
+static B1: AtomicU64 = AtomicU64::new(0);
+static B2: AtomicU64 = AtomicU64::new(0);
+static B3: AtomicU64 = AtomicU64::new(0);
 
 /// Which counter a kernel charges its flops to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +49,58 @@ pub fn add(level: Level, count: u64) {
         Level::L2 => L2.fetch_add(count, Ordering::Relaxed),
         Level::L3 => L3.fetch_add(count, Ordering::Relaxed),
     };
+}
+
+/// Charge `count` bytes of estimated memory traffic to `level`.
+#[inline]
+pub fn add_bytes(level: Level, count: u64) {
+    match level {
+        Level::L1 => B1.fetch_add(count, Ordering::Relaxed),
+        Level::L2 => B2.fetch_add(count, Ordering::Relaxed),
+        Level::L3 => B3.fetch_add(count, Ordering::Relaxed),
+    };
+}
+
+/// Snapshot of the three byte counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByteCounts {
+    pub l1: u64,
+    pub l2: u64,
+    pub l3: u64,
+}
+
+impl ByteCounts {
+    /// Total estimated bytes moved across all levels.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.l3
+    }
+
+    /// Element-wise difference (`self - earlier`); saturates at zero.
+    pub fn since(&self, earlier: &ByteCounts) -> ByteCounts {
+        ByteCounts {
+            l1: self.l1.saturating_sub(earlier.l1),
+            l2: self.l2.saturating_sub(earlier.l2),
+            l3: self.l3.saturating_sub(earlier.l3),
+        }
+    }
+}
+
+/// Read the current byte counters.
+pub fn bytes_snapshot() -> ByteCounts {
+    ByteCounts {
+        l1: B1.load(Ordering::Relaxed),
+        l2: B2.load(Ordering::Relaxed),
+        l3: B3.load(Ordering::Relaxed),
+    }
+}
+
+/// Arithmetic intensity (flop/byte); `NaN`-free: zero bytes yields 0.
+pub fn intensity(flops: u64, bytes: u64) -> f64 {
+    if bytes == 0 {
+        0.0
+    } else {
+        flops as f64 / bytes as f64
+    }
 }
 
 /// Snapshot of the three counters.
@@ -92,6 +154,9 @@ pub fn reset() {
     L1.store(0, Ordering::Relaxed);
     L2.store(0, Ordering::Relaxed);
     L3.store(0, Ordering::Relaxed);
+    B1.store(0, Ordering::Relaxed);
+    B2.store(0, Ordering::Relaxed);
+    B3.store(0, Ordering::Relaxed);
 }
 
 /// Measure the flops charged by `f`, per level.
@@ -116,6 +181,18 @@ mod tests {
         // Other tests may add concurrently, so the diff is at least ours.
         assert!(d.l1 >= 10 && d.l2 >= 20 && d.l3 >= 30);
         assert!(d.total() >= 60);
+    }
+
+    #[test]
+    fn bytes_counters_accumulate() {
+        let before = bytes_snapshot();
+        add_bytes(Level::L3, 100);
+        add_bytes(Level::L2, 40);
+        let d = bytes_snapshot().since(&before);
+        assert!(d.l3 >= 100 && d.l2 >= 40);
+        assert!(d.total() >= 140);
+        assert_eq!(intensity(200, 100), 2.0);
+        assert_eq!(intensity(5, 0), 0.0);
     }
 
     #[test]

@@ -139,9 +139,7 @@ pub fn larf_sym_two_sided(
     }
     add(Level::L2, (4 * n * n) as u64);
     // work = A u  (A is fully stored symmetric here)
-    for i in 0..n {
-        work[i] = 0.0;
-    }
+    work[..n].fill(0.0);
     for j in 0..n {
         let t = u[j];
         if t == 0.0 {
@@ -262,10 +260,7 @@ pub fn larfb_with_work(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let topt = match trans {
-        Trans::No => Trans::No,
-        Trans::Yes => Trans::Yes,
-    };
+    let topt = trans;
     match side {
         Side::Left => {
             // W = V^T C  (k x n); W <- op(T) W (triangular); C -= V W.

@@ -21,6 +21,10 @@
 //! All kernels follow LAPACK conventions: column-major storage passed as
 //! `(&[f64], ld)` pairs, lower-triangular symmetric storage.
 
+// BLAS-style entry points pass every dimension/stride explicitly; the
+// argument counts are the interface, not an accident.
+#![allow(clippy::too_many_arguments)]
+
 pub mod blas1;
 pub mod blas2;
 pub mod blas3;

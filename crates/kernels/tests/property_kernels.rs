@@ -1,7 +1,9 @@
 //! Property tests for the BLAS and Householder kernels.
 
 use proptest::prelude::*;
-use tseig_kernels::blas3::{gemm, symm_lower_left_par, syr2k_lower_par, Trans};
+use tseig_kernels::blas3::{
+    gemm, gemm_par_with, gemm_unpacked, symm_lower_left_par, syr2k_lower, syr2k_lower_par, Trans,
+};
 use tseig_kernels::householder::{larfb, larfg, larft, Side};
 use tseig_kernels::qr::{geqrf, orgqr};
 use tseig_matrix::{gen, norms, Matrix};
@@ -118,6 +120,106 @@ proptest! {
             for i in j..m {
                 let w = xyt[(i, j)] + xyt[(j, i)];
                 prop_assert!((s[(i, j)] - w).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// The packed gemm agrees with the seed's unpacked kernel on shapes
+    /// straddling the MR/NR strip boundaries, including k == 0,
+    /// alpha == 0, and a padded ldc whose tail rows must stay untouched.
+    #[test]
+    fn packed_gemm_matches_unpacked(
+        m in 1usize..40, n in 1usize..40, k in 0usize..40,
+        alpha_sel in 0u8..4, beta in -2.0f64..2.0, pad in 0usize..5,
+        ta in 0u8..2, tb in 0u8..2, seed in 0u64..500,
+    ) {
+        let (ta, tb) = (
+            if ta == 0 { Trans::No } else { Trans::Yes },
+            if tb == 0 { Trans::No } else { Trans::Yes },
+        );
+        let alpha = if alpha_sel == 0 { 0.0 } else { 0.5 * alpha_sel as f64 };
+        let (am, an) = match ta { Trans::No => (m, k), Trans::Yes => (k, m) };
+        let (bm, bn) = match tb { Trans::No => (k, n), Trans::Yes => (n, k) };
+        let a = rand_mat(am.max(1), an.max(1), seed);
+        let b = rand_mat(bm.max(1), bn.max(1), seed + 1);
+        let ldc = m + pad;
+        let sentinel = 3.25f64;
+        let mut c1 = vec![sentinel; ldc * n];
+        let mut c2 = c1.clone();
+        for j in 0..n {
+            for i in 0..m {
+                c1[i + j * ldc] = (i + 2 * j) as f64 * 0.1 - 1.0;
+                c2[i + j * ldc] = c1[i + j * ldc];
+            }
+        }
+        gemm(ta, tb, m, n, k, alpha,
+             a.as_slice(), a.rows(), b.as_slice(), b.rows(), beta, &mut c1, ldc);
+        gemm_unpacked(ta, tb, m, n, k, alpha,
+             a.as_slice(), a.rows(), b.as_slice(), b.rows(), beta, &mut c2, ldc);
+        for j in 0..n {
+            for i in 0..m {
+                prop_assert!((c1[i + j * ldc] - c2[i + j * ldc]).abs() < 1e-11, "({i},{j})");
+            }
+            for i in m..ldc {
+                prop_assert!(c1[i + j * ldc] == sentinel, "padding clobbered at ({i},{j})");
+            }
+        }
+    }
+
+    /// gemm_par panel math: both parallel splits (jc column panels and
+    /// ic row blocks) agree with the sequential kernel for any
+    /// thread-count hint — short final chunks, transposed operands,
+    /// beta applied exactly once.
+    #[test]
+    fn gemm_par_with_matches_serial(
+        m in 1usize..80, n in 1usize..80, k in 1usize..40,
+        threads in 1usize..9, beta in -2.0f64..2.0,
+        ta in 0u8..2, tb in 0u8..2, seed in 0u64..500,
+    ) {
+        let (ta, tb) = (
+            if ta == 0 { Trans::No } else { Trans::Yes },
+            if tb == 0 { Trans::No } else { Trans::Yes },
+        );
+        let (am, an) = match ta { Trans::No => (m, k), Trans::Yes => (k, m) };
+        let (bm, bn) = match tb { Trans::No => (k, n), Trans::Yes => (n, k) };
+        let a = rand_mat(am, an, seed);
+        let b = rand_mat(bm, bn, seed + 1);
+        let c0 = rand_mat(m, n, seed + 2);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm(ta, tb, m, n, k, 1.5,
+             a.as_slice(), a.rows(), b.as_slice(), b.rows(),
+             beta, c1.as_mut_slice(), m);
+        gemm_par_with(threads, ta, tb, m, n, k, 1.5,
+             a.as_slice(), a.rows(), b.as_slice(), b.rows(),
+             beta, c2.as_mut_slice(), m);
+        prop_assert!(c1.approx_eq(&c2, 1e-11));
+    }
+
+    /// The blocked syr2k (serial and parallel) agrees with the dense
+    /// oracle across the SYR2K panel boundary, with beta scaling and the
+    /// upper triangle untouched.
+    #[test]
+    fn syr2k_blocked_matches_oracle(
+        n in 1usize..100, k in 1usize..10, beta in -2.0f64..2.0, seed in 0u64..500,
+    ) {
+        let x = rand_mat(n, k, seed);
+        let y = rand_mat(n, k, seed + 1);
+        let c0 = rand_mat(n, n, seed + 2);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        syr2k_lower(n, k, 0.75, x.as_slice(), n, y.as_slice(), n, beta, c1.as_mut_slice(), n);
+        syr2k_lower_par(n, k, 0.75, x.as_slice(), n, y.as_slice(), n, beta, c2.as_mut_slice(), n);
+        let xyt = x.multiply(&y.transpose()).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                let w = 0.75 * (xyt[(i, j)] + xyt[(j, i)]) + beta * c0[(i, j)];
+                prop_assert!((c1[(i, j)] - w).abs() < 1e-10, "serial ({i},{j})");
+                prop_assert!((c2[(i, j)] - w).abs() < 1e-10, "parallel ({i},{j})");
+            }
+            for i in 0..j {
+                prop_assert!(c1[(i, j)] == c0[(i, j)], "upper touched ({i},{j})");
+                prop_assert!(c2[(i, j)] == c0[(i, j)], "upper touched ({i},{j})");
             }
         }
     }

@@ -67,18 +67,18 @@ fn apply_householder_similarity(a: &mut Matrix, v: &[f64], off: usize) {
     // w_j = sum_i v_i * A(off+i, j)  for every column j, then
     // A(off+i, j) -= 2 v_i w_j  (left application), then the same from the
     // right using symmetry of the pattern (not of the intermediate matrix).
-    let mut w = vec![0.0f64; n];
-    for j in 0..n {
-        let col = a.col(j);
-        let mut s = 0.0;
-        for i in 0..m {
-            s += v[i] * col[off + i];
-        }
-        w[j] = s;
-    }
-    for j in 0..n {
+    let w: Vec<f64> = (0..n)
+        .map(|j| {
+            let col = a.col(j);
+            v.iter()
+                .zip(&col[off..off + m])
+                .map(|(vi, ci)| vi * ci)
+                .sum()
+        })
+        .collect();
+    for (j, &wj) in w.iter().enumerate() {
         let col = a.col_mut(j);
-        let wj2 = 2.0 * w[j];
+        let wj2 = 2.0 * wj;
         for i in 0..m {
             col[off + i] -= wj2 * v[i];
         }
@@ -86,15 +86,15 @@ fn apply_householder_similarity(a: &mut Matrix, v: &[f64], off: usize) {
     // Right application: A <- A H, i.e. for every row r:
     // A(r, off+j) -= 2 * (sum_k A(r, off+k) v_k) v_j.
     let mut u = vec![0.0f64; n];
-    for r in 0..n {
+    for (r, ur) in u.iter_mut().enumerate() {
         let mut s = 0.0;
         for k in 0..m {
             s += a[(r, off + k)] * v[k];
         }
-        u[r] = s;
+        *ur = s;
     }
-    for j in 0..m {
-        let vj2 = 2.0 * v[j];
+    for (j, &vj) in v.iter().enumerate() {
+        let vj2 = 2.0 * vj;
         let col = a.col_mut(off + j);
         for r in 0..n {
             col[r] -= u[r] * vj2;

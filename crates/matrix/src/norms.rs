@@ -52,11 +52,11 @@ pub fn eigen_residual(a: &Matrix, lambda: &[f64], z: &Matrix) -> f64 {
     assert_eq!(z.cols(), lambda.len());
     let az = a.multiply(z).expect("shape checked");
     let mut max = 0.0f64;
-    for j in 0..z.cols() {
+    for (j, &lam) in lambda.iter().enumerate() {
         let azc = az.col(j);
         let zc = z.col(j);
         for i in 0..a.rows() {
-            max = max.max((azc[i] - lambda[j] * zc[i]).abs());
+            max = max.max((azc[i] - lam * zc[i]).abs());
         }
     }
     let denom = norm1(a).max(EPS) * a.rows() as f64 * EPS;

@@ -26,9 +26,12 @@ pub struct Runtime {
     threads: usize,
 }
 
+/// A task body, taken by the worker that executes it.
+type TaskRun = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
 struct Shared {
     /// Closure slots; a worker `take`s the closure when it runs the task.
-    runs: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>>,
+    runs: Vec<TaskRun>,
     tags: Vec<&'static str>,
     priorities: Vec<Priority>,
     dep_counts: Vec<AtomicUsize>,

@@ -201,7 +201,7 @@ fn golub_kahan_step(
         if let Some(um) = u.as_deref_mut() {
             rot_cols(um, k, k + 1, c2, s2);
         }
-        if k + 1 <= m - 1 {
+        if k + 1 < m {
             // Bulge at (k, k+2) becomes the next step's z.
             let ek1 = e[k + 1];
             z = s2 * ek1;

@@ -53,8 +53,8 @@ pub fn gesvd(a: &Matrix) -> Result<Svd> {
         }
         let rows = m - j;
         uvec[0] = 1.0;
-        for r in 1..rows {
-            uvec[r] = fac.as_slice()[j + r + j * lda];
+        for (r, uv) in uvec[1..rows].iter_mut().enumerate() {
+            *uv = fac.as_slice()[j + 1 + r + j * lda];
         }
         let ldu = u.ld();
         larf_left(

@@ -207,12 +207,12 @@ fn merge(
         // Eigenvectors of the rank-one problem: column i has entries
         // zhat_j / (d_j - lambda_i), normalized.
         let mut v = Matrix::zeros(k, k);
-        for i in 0..k {
+        for (i, root) in roots.iter().enumerate() {
             let col = v.col_mut(i);
             let mut nrm = 0.0;
-            for j in 0..k {
-                let val = zhat[j] / roots[i].delta[j];
-                col[j] = val;
+            for (j, cv) in col.iter_mut().enumerate() {
+                let val = zhat[j] / root.delta[j];
+                *cv = val;
                 nrm += val * val;
             }
             let inv = 1.0 / nrm.sqrt();

@@ -171,8 +171,8 @@ mod tests {
             let f = secular_f(&d, &z, rho, r.lambda);
             assert!(f.abs() < 1e-8, "root {i}: f = {f}");
             // delta consistency.
-            for j in 0..4 {
-                assert!((r.delta[j] - (d[j] - r.lambda)).abs() < 1e-10 * (1.0 + d[j].abs()));
+            for (j, &dj) in d.iter().enumerate() {
+                assert!((r.delta[j] - (dj - r.lambda)).abs() < 1e-10 * (1.0 + dj.abs()));
             }
         }
     }
@@ -183,13 +183,12 @@ mod tests {
         let z = [0.5, 0.1, 0.7, 0.3, 0.4];
         let rho = 0.8;
         let want = brute(&d, &z, rho);
-        for i in 0..5 {
+        for (i, &w) in want.iter().enumerate() {
             let r = solve_root(i, &d, &z, rho);
             assert!(
-                (r.lambda - want[i]).abs() < 1e-10,
-                "root {i}: {} vs {}",
-                r.lambda,
-                want[i]
+                (r.lambda - w).abs() < 1e-10,
+                "root {i}: {} vs {w}",
+                r.lambda
             );
         }
     }
@@ -262,13 +261,12 @@ mod tests {
         let z: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..1.0)).collect();
         let rho = 1.3;
         let want = brute(&d, &z, rho);
-        for i in 0..k {
+        for (i, &w) in want.iter().enumerate() {
             let r = solve_root(i, &d, &z, rho);
             assert!(
-                (r.lambda - want[i]).abs() < 1e-8 * (1.0 + want[i].abs()),
-                "root {i}: {} vs {}",
+                (r.lambda - w).abs() < 1e-8 * (1.0 + w.abs()),
+                "root {i}: {} vs {w}",
                 r.lambda,
-                want[i]
             );
         }
     }

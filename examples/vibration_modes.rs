@@ -54,12 +54,12 @@ fn main() {
 
     // Report the fundamental and first overtones (frequencies ~ sqrt(lambda)).
     println!("lowest five modes (frequency = sqrt(lambda)):");
-    for i in 0..5.min(n) {
+    for (i, (&lam, &ex)) in r.eigenvalues.iter().zip(exact.iter()).take(5).enumerate() {
         println!(
             "  mode {i}: lambda = {:.6}  freq = {:.6}  (exact {:.6})",
-            r.eigenvalues[i],
-            r.eigenvalues[i].sqrt(),
-            exact[i]
+            lam,
+            lam.sqrt(),
+            ex
         );
     }
 

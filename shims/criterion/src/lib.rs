@@ -1,0 +1,277 @@
+//! Micro-benchmark harness shim for the subset of criterion used by
+//! the bench crate: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, per-group `sample_size` /
+//! `throughput`, `bench_function(BenchmarkId, |b| b.iter(..))`.
+//!
+//! Timing model: one warm-up call estimates the per-iteration cost,
+//! then the sample plan is sized so a benchmark takes on the order of a
+//! second; each sample's per-iteration time is recorded and the
+//! median / min / mean are reported. Results are also appended as JSON
+//! to `target/criterion-shim/<group>.json` so benchmark snapshots can
+//! be committed or diffed.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: with `Elements(flops)` the report converts
+/// median time to elements/second (GFLOP/s when elements are flops).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness handle; holds the CLI filter.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from `cargo bench` CLI arguments: flags are ignored, the
+    /// first free argument is a substring filter on benchmark ids.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--save-baseline" || a == "--baseline" || a == "--load-baseline" {
+                let _ = args.next();
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Criterion { filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            filter: self.filter.clone(),
+            results: Vec::new(),
+            _marker_lifetime: std::marker::PhantomData,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+struct BenchRecord {
+    id: String,
+    median_s: f64,
+    min_s: f64,
+    mean_s: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// A named group of benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+    results: Vec<BenchRecord>,
+    // Tie the group to the Criterion borrow like real criterion does.
+    _marker_lifetime: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        if let Some(flt) = &self.filter {
+            let full = format!("{}/{}", self.name, id);
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut times = b.samples;
+        if times.is_empty() {
+            return self;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) | Some(Throughput::Bytes(e)) => {
+                format!("  {:>8.3} Gelem/s", e as f64 / median / 1e9)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} median {:>10} min {:>10} mean {:>10}{rate}",
+            format!("{}/{}", self.name, id),
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(mean),
+        );
+        self.results.push(BenchRecord {
+            id,
+            median_s: median,
+            min_s: min,
+            mean_s: mean,
+            samples: times.len(),
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Print nothing further, but persist the group's records as JSON
+    /// under `target/criterion-shim/`.
+    pub fn finish(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let dir = std::path::Path::new("target").join("criterion-shim");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"group\": \"{}\",\n  \"benches\": [\n",
+            self.name
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            let tp = match r.throughput {
+                Some(Throughput::Elements(e)) => format!(
+                    ", \"elements\": {}, \"elements_per_s\": {:.6e}",
+                    e,
+                    e as f64 / r.median_s
+                ),
+                Some(Throughput::Bytes(b)) => format!(
+                    ", \"bytes\": {}, \"bytes_per_s\": {:.6e}",
+                    b,
+                    b as f64 / r.median_s
+                ),
+                None => String::new(),
+            };
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"mean_s\": {:.6e}, \"samples\": {}{}}}{}\n",
+                r.id,
+                r.median_s,
+                r.min_s,
+                r.mean_s,
+                r.samples,
+                tp,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let _ = std::fs::write(dir.join(format!("{}.json", self.name)), json);
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Handed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + cost estimate.
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().as_secs_f64().max(1e-9);
+        // Plan: aim for ~1 s total, bounded by the configured sample
+        // count; slow payloads get fewer samples of one iteration each.
+        let budget = 1.0f64;
+        let samples = if est > budget / 3.0 {
+            3
+        } else {
+            self.sample_size
+        };
+        let iters = ((budget / samples as f64 / est).floor() as usize).clamp(1, 1_000_000);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group callable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,271 @@
+//! Std-backed shim for the subset of crossbeam used by the task
+//! runtime: `deque::{Injector, Worker, Stealer, Steal}`,
+//! `utils::Backoff`, and `thread::scope`.
+//!
+//! The deques are mutex-protected `VecDeque`s rather than lock-free
+//! Chase–Lev deques; at the runtime's task granularity (a blocked
+//! kernel per task) the lock cost is noise, and the semantics —
+//! LIFO owner pop, FIFO steal — are identical.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    /// A global FIFO injection queue.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.q.lock().unwrap().push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move up to half of the queue into `dest`'s local deque, then
+        /// pop one item for the caller.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let batch = q.len() / 2;
+            let mut local = dest.q.lock().unwrap();
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(v) => local.push_back(v),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A worker-owned deque: the owner pushes and pops at the back
+    /// (LIFO, cache locality), thieves steal from the front (FIFO).
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            // Only the owner-pop end differs, and this shim's Worker
+            // always pops LIFO; the runtime only uses `new_lifo`.
+            Self::new_lifo()
+        }
+
+        pub fn push(&self, value: T) {
+            self.q.lock().unwrap().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().unwrap().pop_back()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: self.q.clone() }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A handle that steals from the front of some worker's deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { q: self.q.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+pub mod utils {
+    use std::cell::Cell;
+
+    /// Exponential backoff for spin loops: spin a few rounds, then
+    /// yield to the OS scheduler.
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    const SPIN_LIMIT: u32 = 6;
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Backoff {
+        pub fn new() -> Self {
+            Backoff { step: Cell::new(0) }
+        }
+
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                self.spin();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > SPIN_LIMIT
+        }
+    }
+}
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to `scope`'s closure and to every spawned
+    /// thread's closure (crossbeam passes the scope so children can
+    /// spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Structured-concurrency scope over `std::thread::scope`. Returns
+    /// `Err` if the closure (or an unjoined child) panicked, matching
+    /// crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        match s.steal() {
+            Steal::Success(v) => assert_eq!(v, 1),
+            _ => panic!("steal failed"),
+        }
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_steal() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        match inj.steal_batch_and_pop(&w) {
+            Steal::Success(v) => assert_eq!(v, 0),
+            _ => panic!("steal failed"),
+        }
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn scope_runs_children() {
+        let hits = AtomicUsize::new(0);
+        let r = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scope_propagates_child_panic_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("child died"));
+            // handle dropped unjoined: scope must report the panic
+        });
+        assert!(r.is_err());
+    }
+}
