@@ -85,7 +85,11 @@ fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
             // Diamond geometry: reflector of sweep s starts at
             // s + 1 + k*nb; sweeps ascend, so starts ascend one by one.
             let r0 = members[0].1 .0;
-            let rend = members.iter().map(|(_, r)| r.0 + r.2.len()).max().unwrap();
+            let rend = members
+                .iter()
+                .map(|(_, r)| r.0 + r.2.len())
+                .max()
+                .unwrap_or(r0);
             let height = rend - r0;
             let kb = members.len();
             let mut v = Matrix::zeros(height, kb);

@@ -197,7 +197,13 @@ impl SymmetricEigen {
         // Back-transformation Z = Q1 (Q2 E).
         let eigenvectors = if self.want_vectors {
             let t3 = Instant::now();
-            let mut z = sol.eigenvectors.expect("vectors requested");
+            let Some(mut z) = sol.eigenvectors else {
+                return Err(Error::Runtime(
+                    "tridiagonal solver returned no eigenvectors although vectors \
+                     were requested"
+                        .into(),
+                ));
+            };
             apply_q2(&chase.v2, &mut z, ell, self.panel_cols);
             apply_q1(&bf.panels, &mut z, self.panel_cols);
             timings.backtransform = t3.elapsed();

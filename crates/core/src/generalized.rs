@@ -51,8 +51,11 @@ pub fn solve_generalized(a: &Matrix, b: &Matrix, opts: &SymmetricEigen) -> Resul
 /// `max_j ||A x_j - lambda_j B x_j|| / ((||A|| + |lambda_j| ||B||) n eps)`.
 pub fn generalized_residual(a: &Matrix, b: &Matrix, lambda: &[f64], x: &Matrix) -> f64 {
     use tseig_matrix::norms;
-    let ax = a.multiply(x).expect("shapes");
-    let bx = b.multiply(x).expect("shapes");
+    // Mismatched shapes make the residual meaningless; report it loudly
+    // as "infinitely bad" rather than aborting a diagnostic routine.
+    let (Ok(ax), Ok(bx)) = (a.multiply(x), b.multiply(x)) else {
+        return f64::INFINITY;
+    };
     let na = norms::norm1(a);
     let nb = norms::norm1(b);
     let n = a.rows() as f64;
@@ -70,8 +73,13 @@ pub fn generalized_residual(a: &Matrix, b: &Matrix, lambda: &[f64], x: &Matrix) 
 
 /// `||X^T B X - I||_max / (n eps)` — B-orthonormality of the vectors.
 pub fn b_orthogonality(b: &Matrix, x: &Matrix) -> f64 {
-    let bx = b.multiply(x).expect("shapes");
-    let xtbx = x.transpose().multiply(&bx).expect("shapes");
+    // Same loud-failure convention as `generalized_residual`.
+    let Ok(bx) = b.multiply(x) else {
+        return f64::INFINITY;
+    };
+    let Ok(xtbx) = x.transpose().multiply(&bx) else {
+        return f64::INFINITY;
+    };
     let k = x.cols();
     let mut worst = 0.0f64;
     for j in 0..k {

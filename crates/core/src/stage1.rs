@@ -17,6 +17,7 @@
 //! (`Q1` application, paper Fig. 3a).
 
 use tseig_kernels::blas3::{gemm, gemm_par, symm_lower_left_par, syr2k_lower_par, Trans};
+use tseig_kernels::contract;
 use tseig_kernels::qr::{extract_v_t, geqrf};
 use tseig_matrix::{Matrix, SymBandMatrix};
 
@@ -48,6 +49,10 @@ pub struct BandForm {
 pub fn sy2sb(a: &Matrix, nb: usize, ib: usize) -> BandForm {
     assert_eq!(a.rows(), a.cols());
     let n = a.rows();
+    if contract::enabled() {
+        contract::require_mat("sy2sb", "a", a.as_slice(), n, n, a.ld());
+        contract::require_finite_lower("sy2sb", "a", a.as_slice(), n, a.ld());
+    }
     let nb = nb.max(1);
     let ib = if ib == 0 { nb } else { ib };
     let mut a = a.clone();

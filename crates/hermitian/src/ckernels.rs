@@ -11,8 +11,12 @@
 //! close enough for the Table-1-style accounting and matches LAPACK's
 //! operation-count conventions).
 
-use tseig_kernels::flops::{add, Level};
+use tseig_kernels::flops::{add, add_bytes, Level};
 use tseig_matrix::{c64, C64};
+
+/// Bytes per complex element (two `f64`s) — the unit of the traffic
+/// models below.
+const CB: u64 = 16;
 
 /// Operation applied to a matrix argument.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +46,8 @@ pub fn zgemm(
     ldc: usize,
 ) {
     add(Level::L3, (8 * m * n * k) as u64);
+    // A and B streamed once, C read and written once.
+    add_bytes(Level::L3, CB * (m * k + k * n + 2 * m * n) as u64);
     for j in 0..n {
         let col = &mut c[j * ldc..j * ldc + m];
         if beta == C64::ZERO {
@@ -132,6 +138,8 @@ pub fn zhemm_lower_left(
     ldc: usize,
 ) {
     add(Level::L3, (8 * m * m * k) as u64);
+    // Stored triangle streamed once, B read, C read and written.
+    add_bytes(Level::L3, CB * (m * m / 2 + 3 * m * k) as u64);
     for j in 0..k {
         let col = &mut c[j * ldc..j * ldc + m];
         if beta == C64::ZERO {
@@ -180,6 +188,8 @@ pub fn zher2k_lower(
     lda: usize,
 ) {
     add(Level::L3, (8 * n * n * k) as u64);
+    // X/Y streamed once, the stored triangle read and written once.
+    add_bytes(Level::L3, CB * (2 * n * k + n * n) as u64);
     for kk in 0..k {
         let xcol = &x[kk * ldx..kk * ldx + n];
         let ycol = &y[kk * ldy..kk * ldy + n];
@@ -216,6 +226,7 @@ pub fn zlarfg(alpha: C64, x: &mut [C64]) -> (f64, C64) {
         s.sqrt()
     };
     add(Level::L1, 8 * x.len() as u64);
+    add_bytes(Level::L1, CB * 2 * x.len() as u64);
     if xnorm == 0.0 && alpha.im == 0.0 {
         return (alpha.re, C64::ZERO);
     }
@@ -246,6 +257,8 @@ pub fn zlarf_left(
         return;
     }
     add(Level::L2, (16 * m * n) as u64);
+    // C read and written once, v/work streamed per column sweep.
+    add_bytes(Level::L2, CB * (2 * m * n + m + 2 * n) as u64);
     // work_j = v^H C[:, j].
     for j in 0..n {
         let col = &c[j * ldc..j * ldc + m];
@@ -281,6 +294,8 @@ pub fn zlarf_right(
         return;
     }
     add(Level::L2, (16 * m * n) as u64);
+    // C read and written once, v/work streamed per column sweep.
+    add_bytes(Level::L2, CB * (2 * m * n + 2 * m + n) as u64);
     // work = C v.
     work[..m].fill(C64::ZERO);
     for j in 0..n {
@@ -311,6 +326,8 @@ pub fn zlarf_right(
 /// is zero-filled.
 pub fn zlarft(m: usize, k: usize, v: &[C64], ldv: usize, tau: &[C64], t: &mut [C64], ldt: usize) {
     add(Level::L3, (4 * m * k * k) as u64);
+    // V streamed once per column pair, T is k x k and cache-resident.
+    add_bytes(Level::L3, CB * (m * k + 2 * k * k) as u64);
     for i in 0..k {
         for l in i + 1..k {
             t[l + i * ldt] = C64::ZERO;

@@ -3,13 +3,17 @@
 //! Strided variants carry an `inc` suffix; the common unit-stride paths are
 //! plain slices so the compiler can vectorize them.
 
-use crate::flops::{add, Level};
+use crate::contract;
+use crate::flops::{add, add_bytes, Level};
 
 /// `x . y` (unit stride).
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
+    contract::require_vec("dot", "y", y, x.len());
+    contract::require_finite_vec("dot", "x", x, x.len());
+    contract::require_finite_vec("dot", "y", y, x.len());
     add(Level::L1, 2 * x.len() as u64);
+    add_bytes(Level::L1, 16 * x.len() as u64);
     let mut s = 0.0;
     for i in 0..x.len() {
         s += x[i] * y[i];
@@ -20,11 +24,15 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// `y <- alpha x + y` (unit stride).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
+    contract::require_vec("axpy", "y", y, x.len());
+    contract::require_no_alias("axpy", "x", x, "y", y);
+    contract::require_finite_vec("axpy", "x", x, x.len());
     if alpha == 0.0 {
         return;
     }
     add(Level::L1, 2 * x.len() as u64);
+    // x read once, y read and written.
+    add_bytes(Level::L1, 24 * x.len() as u64);
     for i in 0..x.len() {
         y[i] += alpha * x[i];
     }
@@ -34,6 +42,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 #[inline]
 pub fn scal(alpha: f64, x: &mut [f64]) {
     add(Level::L1, x.len() as u64);
+    add_bytes(Level::L1, 16 * x.len() as u64);
     for v in x {
         *v *= alpha;
     }
@@ -43,6 +52,7 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 /// (LAPACK `dnrm2` semantics).
 pub fn nrm2(x: &[f64]) -> f64 {
     add(Level::L1, 2 * x.len() as u64);
+    add_bytes(Level::L1, 8 * x.len() as u64);
     let mut scale = 0.0f64;
     let mut ssq = 1.0f64;
     for &v in x {
@@ -63,6 +73,7 @@ pub fn nrm2(x: &[f64]) -> f64 {
 /// empty vector.
 pub fn iamax(x: &[f64]) -> Option<usize> {
     add(Level::L1, x.len() as u64);
+    add_bytes(Level::L1, 8 * x.len() as u64);
     let mut best = None;
     let mut best_abs = f64::NEG_INFINITY;
     for (i, &v) in x.iter().enumerate() {

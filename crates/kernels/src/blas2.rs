@@ -7,6 +7,7 @@
 //! inner loops walk contiguous columns.
 
 use crate::blas3::Trans;
+use crate::contract;
 use crate::flops::{add, add_bytes, Level};
 
 /// `y <- alpha op(A) x + beta y` with `A` an `m x n` column-major matrix
@@ -22,12 +23,19 @@ pub fn gemv(
     beta: f64,
     y: &mut [f64],
 ) {
-    debug_assert!(lda >= m.max(1));
     let (xlen, ylen) = match trans {
         Trans::No => (n, m),
         Trans::Yes => (m, n),
     };
-    debug_assert!(x.len() >= xlen && y.len() >= ylen);
+    if contract::enabled() {
+        contract::require_mat("gemv", "a", a, m, n, lda);
+        contract::require_vec("gemv", "x", x, xlen);
+        contract::require_vec("gemv", "y", y, ylen);
+        contract::require_no_alias("gemv", "a", a, "y", y);
+        contract::require_no_alias("gemv", "x", x, "y", y);
+        contract::require_finite_mat("gemv", "a", a, m, n, lda);
+        contract::require_finite_vec("gemv", "x", x, xlen);
+    }
     add(Level::L2, (2 * m * n) as u64);
     // A streamed once; x/y negligible next to it.
     add_bytes(Level::L2, 8 * (m * n + xlen + 2 * ylen) as u64);
@@ -79,8 +87,7 @@ pub fn symv_lower(
     beta: f64,
     y: &mut [f64],
 ) {
-    debug_assert!(lda >= n.max(1));
-    debug_assert!(x.len() >= n && y.len() >= n);
+    symv_contract("symv_lower", n, a, lda, x, y);
     add(Level::L2, (2 * n * n) as u64);
     // The stored triangle is streamed once per call.
     add_bytes(Level::L2, 8 * (n * n / 2 + 3 * n) as u64);
@@ -107,6 +114,23 @@ pub fn symv_lower(
     }
 }
 
+/// Entry contract shared by the serial and parallel `symv`: only the
+/// stored lower triangle of `A` is part of the read set (callers
+/// routinely leave the mirrored upper triangle uninitialized), so the
+/// poison scan covers exactly that triangle.
+fn symv_contract(kernel: &str, n: usize, a: &[f64], lda: usize, x: &[f64], y: &[f64]) {
+    if !contract::enabled() {
+        return;
+    }
+    contract::require_mat(kernel, "a", a, n, n, lda);
+    contract::require_vec(kernel, "x", x, n);
+    contract::require_vec(kernel, "y", y, n);
+    contract::require_no_alias(kernel, "a", a, "y", y);
+    contract::require_no_alias(kernel, "x", x, "y", y);
+    contract::require_finite_lower(kernel, "a", a, n, lda);
+    contract::require_finite_vec(kernel, "x", x, n);
+}
+
 /// Parallel [`symv_lower`]: columns are split into chunks, each worker
 /// accumulates a private partial `y`, and the partials are reduced.
 ///
@@ -128,6 +152,7 @@ pub fn symv_lower_par(
         symv_lower(n, alpha, a, lda, x, beta, y);
         return;
     }
+    symv_contract("symv_lower_par", n, a, lda, x, y);
     add(Level::L2, (2 * n * n) as u64);
     add_bytes(Level::L2, 8 * (n * n / 2 + 3 * n) as u64);
     // Column chunks of the lower triangle carry unequal work (~(n-j)
@@ -137,16 +162,18 @@ pub fn symv_lower_par(
     let total = n * (n + 1) / 2;
     let mut bounds = Vec::with_capacity(nchunks + 1);
     bounds.push(0usize);
+    let mut last = 0usize;
     let mut acc = 0usize;
     let mut next = total / nchunks;
     for j in 0..n {
         acc += n - j;
-        if acc >= next && *bounds.last().unwrap() < j + 1 {
-            bounds.push(j + 1);
+        if acc >= next && last < j + 1 {
+            last = j + 1;
+            bounds.push(last);
             next = acc + total / nchunks;
         }
     }
-    if *bounds.last().unwrap() != n {
+    if last != n {
         bounds.push(n);
     }
     let partials: Vec<Vec<f64>> = bounds
@@ -182,8 +209,15 @@ pub fn symv_lower_par(
 
 /// Rank-1 update `A <- A + alpha x y^T` (general `m x n` matrix).
 pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
-    debug_assert!(lda >= m.max(1));
-    debug_assert!(x.len() >= m && y.len() >= n);
+    if contract::enabled() {
+        contract::require_mat("ger", "a", a, m, n, lda);
+        contract::require_vec("ger", "x", x, m);
+        contract::require_vec("ger", "y", y, n);
+        contract::require_no_alias("ger", "x", x, "a", a);
+        contract::require_no_alias("ger", "y", y, "a", a);
+        contract::require_finite_vec("ger", "x", x, m);
+        contract::require_finite_vec("ger", "y", y, n);
+    }
     add(Level::L2, (2 * m * n) as u64);
     // A read and written once.
     add_bytes(Level::L2, 8 * (2 * m * n + m + n) as u64);
@@ -202,7 +236,15 @@ pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], 
 /// Symmetric rank-2 update of the lower triangle:
 /// `A <- A + alpha (x y^T + y x^T)`, order `n`.
 pub fn syr2_lower(n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
-    debug_assert!(lda >= n.max(1));
+    if contract::enabled() {
+        contract::require_mat("syr2_lower", "a", a, n, n, lda);
+        contract::require_vec("syr2_lower", "x", x, n);
+        contract::require_vec("syr2_lower", "y", y, n);
+        contract::require_no_alias("syr2_lower", "x", x, "a", a);
+        contract::require_no_alias("syr2_lower", "y", y, "a", a);
+        contract::require_finite_vec("syr2_lower", "x", x, n);
+        contract::require_finite_vec("syr2_lower", "y", y, n);
+    }
     add(Level::L2, (2 * n * n) as u64);
     // The stored triangle is read and written once.
     add_bytes(Level::L2, 8 * (n * n + 2 * n) as u64);

@@ -38,6 +38,7 @@
 //! The seed's unpacked kernel is kept as [`gemm_unpacked`] — it is the
 //! baseline the `table2_kernels` bench compares the packed path against.
 
+use crate::contract;
 use crate::flops::{add, add_bytes, Level};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -71,6 +72,47 @@ thread_local! {
     static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
+/// Stored dimensions `(rows, cols)` of the operand behind `op(X)` when
+/// `op(X)` is `rows_of_op x cols_of_op`.
+fn op_dims(trans: Trans, rows_of_op: usize, cols_of_op: usize) -> (usize, usize) {
+    match trans {
+        Trans::No => (rows_of_op, cols_of_op),
+        Trans::Yes => (cols_of_op, rows_of_op),
+    }
+}
+
+/// Entry contract shared by every public `gemm`-shaped kernel: operand
+/// coverage, leading-dimension bounds, in/out alias rejection, and
+/// (`paranoid`) input poison.
+#[allow(clippy::too_many_arguments)]
+fn gemm_contract(
+    kernel: &str,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &[f64],
+    ldc: usize,
+) {
+    if !contract::enabled() {
+        return;
+    }
+    let (ar, ac) = op_dims(transa, m, k);
+    let (br, bc) = op_dims(transb, k, n);
+    contract::require_mat(kernel, "a", a, ar, ac, lda);
+    contract::require_mat(kernel, "b", b, br, bc, ldb);
+    contract::require_mat(kernel, "c", c, m, n, ldc);
+    contract::require_no_alias(kernel, "a", a, "c", c);
+    contract::require_no_alias(kernel, "b", b, "c", c);
+    contract::require_finite_mat(kernel, "a", a, ar, ac, lda);
+    contract::require_finite_mat(kernel, "b", b, br, bc, ldb);
+}
+
 /// Estimated memory traffic of one packed `gemm` call, in bytes: each
 /// operand is read from memory and written to its packed buffer once per
 /// cache block that revisits it (`A` once per `jc` panel, `B` once in
@@ -102,7 +144,7 @@ pub fn gemm(
     c: &mut [f64],
     ldc: usize,
 ) {
-    debug_assert!(ldc >= m.max(1));
+    gemm_contract("gemm", transa, transb, m, n, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * m * n * k) as u64);
     add_bytes(Level::L3, gemm_bytes(m, n, k));
     scale_c(beta, m, n, c, ldc);
@@ -211,9 +253,11 @@ fn microkernel(
     nr_eff: usize,
 ) {
     let mut acc = [[0.0f64; MR]; NR];
+    let (achunks, _) = ap.as_chunks::<MR>();
+    let (bchunks, _) = bp.as_chunks::<NR>();
     for p in 0..kc {
-        let av: &[f64; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
-        let bv: &[f64; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        let av: &[f64; MR] = &achunks[p];
+        let bv: &[f64; NR] = &bchunks[p];
         for jj in 0..NR {
             let bvj = bv[jj];
             for ii in 0..MR {
@@ -412,7 +456,7 @@ pub fn gemm_par_with(
     c: &mut [f64],
     ldc: usize,
 ) {
-    debug_assert!(ldc >= m.max(1));
+    gemm_contract("gemm_par", transa, transb, m, n, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * m * n * k) as u64);
     add_bytes(Level::L3, gemm_bytes(m, n, k));
     if alpha == 0.0 || k == 0 {
@@ -438,6 +482,14 @@ pub fn gemm_par_with(
             .for_each(|(p, cpanel)| {
                 let j0 = p * jb;
                 let jn = jb.min(n - j0);
+                // Panel disjointness invariants: every worker's column
+                // range starts on an NR boundary and stays inside C.
+                debug_assert_eq!(j0 % NR, 0, "jc panel start not NR-aligned");
+                debug_assert!(j0 < n && jn > 0, "empty jc panel scheduled");
+                debug_assert!(
+                    cpanel.len() >= (jn - 1) * ldc + m,
+                    "jc panel does not cover its {jn} columns of C"
+                );
                 let bsub = match transb {
                     Trans::No => &b[j0 * ldb..],
                     Trans::Yes => &b[j0..],
@@ -463,6 +515,10 @@ pub fn gemm_par_with(
             .map(|p| {
                 let i0 = p * ib;
                 let mb = ib.min(m - i0);
+                // Block disjointness invariants: every worker's row range
+                // starts on an MR boundary and stays inside C.
+                debug_assert_eq!(i0 % MR, 0, "ic block start not MR-aligned");
+                debug_assert!(i0 < m && mb > 0, "empty ic block scheduled");
                 let asub = match transa {
                     Trans::No => &a[i0..],
                     Trans::Yes => &a[i0 * lda..],
@@ -507,7 +563,20 @@ pub fn gemm_unpacked(
     c: &mut [f64],
     ldc: usize,
 ) {
-    debug_assert!(ldc >= m.max(1));
+    gemm_contract(
+        "gemm_unpacked",
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        a,
+        lda,
+        b,
+        ldb,
+        c,
+        ldc,
+    );
     add(Level::L3, (2 * m * n * k) as u64);
     // Traffic model: A read once per (k-block, i-block), B re-streamed
     // once per MC row block, C read+written once per k-block.
@@ -595,9 +664,10 @@ fn microkernel_8x4(
     ldc: usize,
 ) {
     let mut acc = [[0.0f64; MR]; NR];
+    let mut av = [0.0f64; MR];
     for kk in k0..k0 + kb {
         let acol = &a[i + kk * lda..i + kk * lda + MR];
-        let av: [f64; MR] = acol.try_into().unwrap();
+        av.copy_from_slice(acol);
         for jj in 0..NR {
             let bv = b[kk + (j + jj) * ldb];
             for ii in 0..MR {
@@ -749,9 +819,10 @@ fn microkernel_8x4_nt(
     ldc: usize,
 ) {
     let mut acc = [[0.0f64; MR]; NR];
+    let mut av = [0.0f64; MR];
     for kk in k0..k0 + kb {
         let acol = &a[i + kk * lda..i + kk * lda + MR];
-        let av: [f64; MR] = acol.try_into().unwrap();
+        av.copy_from_slice(acol);
         let brow = &b[j + kk * ldb..j + kk * ldb + NR];
         for jj in 0..NR {
             let bv = brow[jj];
@@ -838,6 +909,13 @@ pub fn syrk_lower(
     c: &mut [f64],
     ldc: usize,
 ) {
+    if contract::enabled() {
+        let (ar, ac) = op_dims(trans, n, k);
+        contract::require_mat("syrk_lower", "a", a, ar, ac, lda);
+        contract::require_mat("syrk_lower", "c", c, n, n, ldc);
+        contract::require_no_alias("syrk_lower", "a", a, "c", c);
+        contract::require_finite_mat("syrk_lower", "a", a, ar, ac, lda);
+    }
     add(Level::L3, (n * n * k) as u64);
     add_bytes(Level::L3, {
         let npc = k.div_ceil(KC).max(1) as u64;
@@ -929,6 +1007,7 @@ pub fn syr2k_lower(
     c: &mut [f64],
     ldc: usize,
 ) {
+    syr2k_contract("syr2k_lower", n, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * n * n * k) as u64);
     add_bytes(Level::L3, syr2k_bytes(n, k));
     scale_lower(beta, n, c, ldc);
@@ -986,6 +1065,32 @@ pub fn syr2k_lower(
     }
 }
 
+/// Entry contract shared by the serial and parallel `syr2k`: `A`, `B`
+/// are `n x k`, `C` covers an order-`n` triangle, nothing aliases `C`.
+#[allow(clippy::too_many_arguments)]
+fn syr2k_contract(
+    kernel: &str,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &[f64],
+    ldc: usize,
+) {
+    if !contract::enabled() {
+        return;
+    }
+    contract::require_mat(kernel, "a", a, n, k, lda);
+    contract::require_mat(kernel, "b", b, n, k, ldb);
+    contract::require_mat(kernel, "c", c, n, n, ldc);
+    contract::require_no_alias(kernel, "a", a, "c", c);
+    contract::require_no_alias(kernel, "b", b, "c", c);
+    contract::require_finite_mat(kernel, "a", a, n, k, lda);
+    contract::require_finite_mat(kernel, "b", b, n, k, ldb);
+}
+
 /// Rank-1-loop `syr2k` on a diagonal block (accumulate only; scaling and
 /// accounting are the callers' responsibility).
 #[allow(clippy::too_many_arguments)]
@@ -1037,6 +1142,7 @@ pub fn syr2k_lower_par(
         syr2k_lower(n, k, alpha, a, lda, b, ldb, beta, c, ldc);
         return;
     }
+    syr2k_contract("syr2k_lower_par", n, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * n * n * k) as u64);
     add_bytes(Level::L3, syr2k_bytes(n, k));
     let jb = SYR2K_JB;
@@ -1135,6 +1241,7 @@ pub fn symm_lower_left(
     c: &mut [f64],
     ldc: usize,
 ) {
+    symm_contract("symm_lower_left", m, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * m * m * k) as u64);
     add_bytes(Level::L3, symm_bytes(m, k));
     scale_c(beta, m, k, c, ldc);
@@ -1142,6 +1249,33 @@ pub fn symm_lower_left(
         return;
     }
     symm_into(m, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+/// Entry contract shared by the serial and parallel `symm`: `A` is a
+/// stored lower triangle of order `m` (only that triangle is poison-
+/// scanned), `B` and `C` are `m x k`, nothing aliases `C`.
+#[allow(clippy::too_many_arguments)]
+fn symm_contract(
+    kernel: &str,
+    m: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &[f64],
+    ldc: usize,
+) {
+    if !contract::enabled() {
+        return;
+    }
+    contract::require_mat(kernel, "a", a, m, m, lda);
+    contract::require_mat(kernel, "b", b, m, k, ldb);
+    contract::require_mat(kernel, "c", c, m, k, ldc);
+    contract::require_no_alias(kernel, "a", a, "c", c);
+    contract::require_no_alias(kernel, "b", b, "c", c);
+    contract::require_finite_lower(kernel, "a", a, m, lda);
+    contract::require_finite_mat(kernel, "b", b, m, k, ldb);
 }
 
 /// Accumulate-only body of [`symm_lower_left`] (no scaling, no
@@ -1198,6 +1332,7 @@ pub fn symm_lower_left_par(
         symm_lower_left(m, k, alpha, a, lda, b, ldb, beta, c, ldc);
         return;
     }
+    symm_contract("symm_lower_left_par", m, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * m * m * k) as u64);
     add_bytes(Level::L3, symm_bytes(m, k));
     // Chunk boundaries over A's column range, balanced by trapezoid
@@ -1207,16 +1342,18 @@ pub fn symm_lower_left_par(
     let nchunks = (2 * threads).max(m / 96).max(2);
     let total = m * (m + 1) / 2;
     let mut bounds = vec![0usize];
+    let mut last = 0usize;
     let mut acc = 0usize;
     let mut next = total / nchunks;
     for j in 0..m {
         acc += m - j;
-        if acc >= next && *bounds.last().unwrap() < j + 1 {
-            bounds.push(j + 1);
+        if acc >= next && last < j + 1 {
+            last = j + 1;
+            bounds.push(last);
             next = acc + total / nchunks;
         }
     }
-    if *bounds.last().unwrap() != m {
+    if last != m {
         bounds.push(m);
     }
     let partials: Vec<(usize, usize, Vec<f64>)> = bounds
@@ -1314,6 +1451,12 @@ pub fn trmm_upper_left(
     b: &mut [f64],
     ldb: usize,
 ) {
+    if contract::enabled() {
+        contract::require_mat("trmm_upper_left", "t", t, k, k, ldt);
+        contract::require_mat("trmm_upper_left", "b", b, k, n, ldb);
+        contract::require_no_alias("trmm_upper_left", "t", t, "b", b);
+        contract::require_finite_upper("trmm_upper_left", "t", t, k, ldt);
+    }
     add(Level::L3, (n * k * k) as u64);
     add_bytes(Level::L3, 8 * ((k * k / 2) as u64 + 2 * (k * n) as u64));
     if k == 0 || n == 0 {

@@ -7,7 +7,8 @@
 //! back-substitute the eigenvectors.
 
 use crate::blas3::{syrk_lower, Trans};
-use crate::flops::{add, Level};
+use crate::contract;
+use crate::flops::{add, add_bytes, Level};
 use tseig_matrix::{Error, Matrix, Result};
 
 /// Blocked Cholesky factorization of an SPD matrix (lower triangle
@@ -20,6 +21,8 @@ pub fn potrf_lower(a: &mut Matrix, nb: usize) -> Result<()> {
     let lda = a.ld();
     let nb = nb.max(1);
     add(Level::L3, (n * n * n / 3) as u64);
+    // The stored triangle is read and written once per rank-nb update.
+    add_bytes(Level::L3, (n * n) as u64 * n.div_ceil(nb).max(1) as u64 * 8);
     let mut j0 = 0;
     while j0 < n {
         let jb = nb.min(n - j0);
@@ -90,7 +93,16 @@ pub fn trsm_left_lower(
     assert!(l.rows() >= m && l.cols() >= m);
     let lda = l.ld();
     let ld = l.as_slice();
+    if contract::enabled() {
+        contract::require_mat("trsm_left_lower", "b", b, m, n, ldb);
+        contract::require_no_alias("trsm_left_lower", "l", ld, "b", b);
+    }
     add(Level::L3, (m * m * n) as u64);
+    // L's triangle is re-streamed once per B column, B read and written.
+    add_bytes(
+        Level::L3,
+        8 * ((m * m / 2) as u64 * n.max(1) as u64 + 2 * (m * n) as u64),
+    );
     for j in 0..n {
         let col = &mut b[j * ldb..j * ldb + m];
         if alpha != 1.0 {
@@ -132,7 +144,16 @@ pub fn trsm_right_lower_trans(m: usize, n: usize, l: &Matrix, b: &mut [f64], ldb
     assert!(l.rows() >= n && l.cols() >= n);
     let lda = l.ld();
     let ld = l.as_slice();
+    if contract::enabled() {
+        contract::require_mat("trsm_right_lower_trans", "b", b, m, n, ldb);
+        contract::require_no_alias("trsm_right_lower_trans", "l", ld, "b", b);
+    }
     add(Level::L3, (m * n * n) as u64);
+    // Each column j of B re-reads columns 0..j (X so far) plus L's row j.
+    add_bytes(
+        Level::L3,
+        8 * ((m * n) as u64 * n.div_ceil(2).max(1) as u64 + (n * n / 2) as u64),
+    );
     // (X L^T)[:, j] = sum_{k <= j} X[:, k] * L[j, k]  =>  forward over j.
     for j in 0..n {
         let ljj = ld[j + j * lda];

@@ -13,7 +13,8 @@
 //!   *diamonds*) that never lived inside a factored matrix.
 
 use crate::blas3::{gemm, Trans};
-use crate::flops::{add, Level};
+use crate::contract;
+use crate::flops::{add, add_bytes, Level};
 
 /// Which side a (block) reflector is applied from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,11 +27,13 @@ pub enum Side {
 /// on return `H [alpha, x]^T = [beta, 0]^T`, `x` holds `v`, and the
 /// function returns `(beta, tau)`. `tau == 0` means `H == I`.
 pub fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    contract::require_finite_vec("larfg", "x", x, x.len());
     let xnorm = crate::blas1::nrm2(x);
     if xnorm == 0.0 {
         return (alpha, 0.0);
     }
     add(Level::L1, 2 * x.len() as u64);
+    add_bytes(Level::L1, 16 * x.len() as u64);
     let beta = -(alpha.hypot(xnorm)).copysign(alpha);
     let tau = (beta - alpha) / beta;
     let inv = 1.0 / (alpha - beta);
@@ -51,11 +54,19 @@ pub fn larf_left(
     ldc: usize,
     work: &mut [f64],
 ) {
-    debug_assert!(u.len() >= m && work.len() >= n);
+    if contract::enabled() {
+        contract::require_vec("larf_left", "u", u, m);
+        contract::require_vec("larf_left", "work", work, n);
+        contract::require_mat("larf_left", "c", c, m, n, ldc);
+        contract::require_no_alias("larf_left", "u", u, "c", c);
+        contract::require_finite_vec("larf_left", "u", u, m);
+    }
     if tau == 0.0 {
         return;
     }
     add(Level::L2, (4 * m * n) as u64);
+    // C read and written once, u/work streamed per column sweep.
+    add_bytes(Level::L2, 8 * (2 * m * n + m + 2 * n) as u64);
     // work = C^T u
     for j in 0..n {
         let col = &c[j * ldc..j * ldc + m];
@@ -88,11 +99,19 @@ pub fn larf_right(
     ldc: usize,
     work: &mut [f64],
 ) {
-    debug_assert!(u.len() >= n && work.len() >= m);
+    if contract::enabled() {
+        contract::require_vec("larf_right", "u", u, n);
+        contract::require_vec("larf_right", "work", work, m);
+        contract::require_mat("larf_right", "c", c, m, n, ldc);
+        contract::require_no_alias("larf_right", "u", u, "c", c);
+        contract::require_finite_vec("larf_right", "u", u, n);
+    }
     if tau == 0.0 {
         return;
     }
     add(Level::L2, (4 * m * n) as u64);
+    // C read and written once, u/work streamed per column sweep.
+    add_bytes(Level::L2, 8 * (2 * m * n + 2 * m + n) as u64);
     // work = C u
     work[..m].fill(0.0);
     for j in 0..n {
@@ -133,11 +152,19 @@ pub fn larf_sym_two_sided(
     lda: usize,
     work: &mut [f64],
 ) {
-    debug_assert!(u.len() >= n && work.len() >= n);
+    if contract::enabled() {
+        contract::require_vec("larf_sym_two_sided", "u", u, n);
+        contract::require_vec("larf_sym_two_sided", "work", work, n);
+        contract::require_mat("larf_sym_two_sided", "a", a, n, n, lda);
+        contract::require_no_alias("larf_sym_two_sided", "u", u, "a", a);
+        contract::require_finite_vec("larf_sym_two_sided", "u", u, n);
+    }
     if tau == 0.0 {
         return;
     }
     add(Level::L2, (4 * n * n) as u64);
+    // A read and written once, u/work streamed per column sweep.
+    add_bytes(Level::L2, 8 * (2 * n * n + 2 * n) as u64);
     // work = A u  (A is fully stored symmetric here)
     work[..n].fill(0.0);
     for j in 0..n {
@@ -172,8 +199,17 @@ pub fn larf_sym_two_sided(
 /// entries below the diagonal are set to zero so `T` can be fed to
 /// general (non-triangular) multiplies.
 pub fn larft(m: usize, k: usize, v: &[f64], ldv: usize, tau: &[f64], t: &mut [f64], ldt: usize) {
-    debug_assert!(tau.len() >= k && ldt >= k);
+    if contract::enabled() {
+        contract::require_mat("larft", "v", v, m, k, ldv);
+        contract::require_vec("larft", "tau", tau, k);
+        contract::require_mat("larft", "t", t, k, k, ldt);
+        contract::require_no_alias("larft", "v", v, "t", t);
+        contract::require_finite_mat("larft", "v", v, m, k, ldv);
+        contract::require_finite_vec("larft", "tau", tau, k);
+    }
     add(Level::L3, (m * k * k) as u64);
+    // V streamed once per column pair, T is k x k and cache-resident.
+    add_bytes(Level::L3, 8 * (m * k + 2 * k * k) as u64);
     for i in 0..k {
         // Zero below-diagonal part of column i.
         for l in i + 1..k {
@@ -257,6 +293,23 @@ pub fn larfb_with_work(
     ldc: usize,
     work: &mut [f64],
 ) {
+    if contract::enabled() {
+        let vrows = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        let wlen = match side {
+            Side::Left => 2 * k * n,
+            Side::Right => 2 * m * k,
+        };
+        contract::require_mat("larfb", "v", v, vrows, k, ldv);
+        contract::require_mat("larfb", "t", t, k, k, ldt);
+        contract::require_mat("larfb", "c", c, m, n, ldc);
+        contract::require_vec("larfb", "work", work, wlen);
+        contract::require_no_alias("larfb", "v", v, "c", c);
+        contract::require_no_alias("larfb", "t", t, "c", c);
+        contract::require_no_alias("larfb", "work", work, "c", c);
+    }
     if m == 0 || n == 0 || k == 0 {
         return;
     }

@@ -15,6 +15,11 @@
 //! * **Flop accounting** ([`flops`]) — relaxed atomic counters, split by
 //!   BLAS level, used to *measure* the complexity columns of the paper's
 //!   Table 1 instead of trusting the formulas.
+//! * **Contracts** ([`contract`]) — debug-build argument validation
+//!   (dimensions, leading-dimension bounds, slice coverage, alias
+//!   overlap) at every public kernel entry point, plus opt-in NaN/Inf
+//!   poison detection behind the `paranoid` feature. Compiles out in
+//!   release builds.
 //! * **Reference oracle** ([`reference`]) — a cyclic Jacobi eigensolver,
 //!   independent of everything above, that tests compare against.
 //!
@@ -29,6 +34,7 @@ pub mod blas1;
 pub mod blas2;
 pub mod blas3;
 pub mod cholesky;
+pub mod contract;
 pub mod flops;
 pub mod householder;
 pub mod qr;

@@ -6,7 +6,7 @@
 //! orthogonality directly.
 
 use crate::blas3::Trans;
-use crate::flops::{add, Level};
+use crate::contract;
 use crate::householder::{larfb, larfg, larft, Side};
 use tseig_matrix::Matrix;
 
@@ -14,7 +14,11 @@ use tseig_matrix::Matrix;
 /// holds `R`, the strict lower triangle holds the reflector tails `v`, and
 /// `tau[j]` the scalar factors.
 pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
-    debug_assert!(tau.len() >= n.min(m));
+    if contract::enabled() {
+        contract::require_mat("geqr2", "a", a, m, n, lda);
+        contract::require_vec("geqr2", "tau", tau, n.min(m));
+        contract::require_finite_mat("geqr2", "a", a, m, n, lda);
+    }
     let k = m.min(n);
     let mut work = vec![0.0f64; n];
     let mut u = vec![0.0f64; m];
@@ -38,7 +42,7 @@ pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
             u[r] = a[j + r + j * lda];
         }
         let ncols = n - j - 1;
-        add(Level::L2, 0); // accounted inside larf_left
+        // Flops and bytes are accounted inside larf_left.
         crate::householder::larf_left(
             &u[..mlen],
             t,
@@ -55,6 +59,11 @@ pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
 /// Blocked QR (LAPACK `geqrf`): panel `geqr2` + `larft`/`larfb` trailing
 /// update with block size `nb`.
 pub fn geqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64], nb: usize) {
+    if contract::enabled() {
+        contract::require_mat("geqrf", "a", a, m, n, lda);
+        contract::require_vec("geqrf", "tau", tau, n.min(m));
+        contract::require_finite_mat("geqrf", "a", a, m, n, lda);
+    }
     let k = m.min(n);
     if k == 0 {
         return;
@@ -106,6 +115,10 @@ pub fn extract_v_t(a: &[f64], lda: usize, mm: usize, kk: usize, tau: &[f64]) -> 
 /// Form the leading `m x m` orthogonal factor `Q = H_1 ... H_k`
 /// explicitly from a `geqrf`-factored matrix.
 pub fn orgqr(m: usize, k: usize, a: &[f64], lda: usize, tau: &[f64]) -> Matrix {
+    if contract::enabled() {
+        contract::require_mat("orgqr", "a", a, m, k, lda);
+        contract::require_vec("orgqr", "tau", tau, k);
+    }
     let mut q = Matrix::identity(m);
     let mut u = vec![0.0f64; m];
     let mut work = vec![0.0f64; m];

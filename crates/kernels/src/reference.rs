@@ -77,7 +77,7 @@ pub fn jacobi_eigen(a: &Matrix, with_vectors: bool) -> Result<JacobiEigen> {
     }
 
     let mut eig: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
-    eig.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    eig.sort_by(|a, b| a.0.total_cmp(&b.0));
     let eigenvalues: Vec<f64> = eig.iter().map(|e| e.0).collect();
     let eigenvectors = v.map(|vm| Matrix::from_fn(n, n, |i, j| vm[(i, eig[j].1)]));
     Ok(JacobiEigen {

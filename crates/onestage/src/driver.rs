@@ -7,7 +7,7 @@
 use crate::ormtr::ormtr_left;
 use crate::sytrd::sytrd;
 use std::time::Instant;
-use tseig_matrix::{Matrix, Result};
+use tseig_matrix::{Error, Matrix, Result};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 
 /// Tuning knobs of the one-stage pipeline.
@@ -61,7 +61,13 @@ pub fn syev(
 
     let eigenvectors = if want_vectors {
         let t2 = Instant::now();
-        let mut z = sol.eigenvectors.expect("vectors requested");
+        let Some(mut z) = sol.eigenvectors else {
+            return Err(Error::Runtime(
+                "tridiagonal solver returned no eigenvectors although vectors \
+                 were requested"
+                    .into(),
+            ));
+        };
         ormtr_left(&fac, &mut z);
         timings.backtransform = t2.elapsed();
         Some(z)

@@ -67,6 +67,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let c = DataCell::new(vec![1, 2, 3]);
+        // SAFETY: single-threaded test, no concurrent access to the cell.
         unsafe {
             c.get_mut().push(4);
             assert_eq!(c.get().len(), 4);

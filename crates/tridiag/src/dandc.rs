@@ -100,7 +100,7 @@ fn merge(
 
     // Sort by d value.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d_all[a].partial_cmp(&d_all[b]).unwrap());
+    order.sort_by(|&a, &b| d_all[a].total_cmp(&d_all[b]));
 
     // Normalize z, fold its norm into rho.
     let znorm2: f64 = z_in.iter().map(|v| v * v).sum();
@@ -253,7 +253,7 @@ fn merge(
     for &j in &deflated {
         vals_out.push((dv[j], j, false));
     }
-    vals_out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    vals_out.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut vals = Vec::with_capacity(n);
     let mut zq = Matrix::zeros(n, n);

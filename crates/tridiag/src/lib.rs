@@ -57,14 +57,13 @@ pub enum EigenRange {
 
 impl EigenRange {
     /// Resolve to a concrete half-open index range for order `n`.
-    /// `Value` ranges need the matrix — use [`Self::resolve_for`].
-    pub fn resolve(&self, n: usize) -> (usize, usize) {
+    /// Returns `None` for a `Value` range, which needs the matrix — use
+    /// [`Self::resolve_for`].
+    pub fn resolve(&self, n: usize) -> Option<(usize, usize)> {
         match *self {
-            EigenRange::All => (0, n),
-            EigenRange::Index(lo, hi) => (lo.min(n), hi.min(n)),
-            EigenRange::Value(..) => {
-                panic!("Value range needs the matrix; use resolve_for")
-            }
+            EigenRange::All => Some((0, n)),
+            EigenRange::Index(lo, hi) => Some((lo.min(n), hi.min(n))),
+            EigenRange::Value(..) => None,
         }
     }
 
@@ -79,15 +78,18 @@ impl EigenRange {
                 let hi = sturm::sturm_count(t, vu);
                 (lo.min(n), hi.min(n))
             }
-            _ => self.resolve(n),
+            // resolve is None only for Value, handled above.
+            _ => self.resolve(n).unwrap_or((0, n)),
         }
     }
 
     /// Number of eigenpairs selected for order `n` (`Index`/`All` only —
-    /// `Value` ranges are resolved against a matrix).
+    /// `Value` ranges are resolved against a matrix and count as 0 here).
     pub fn count(&self, n: usize) -> usize {
-        let (lo, hi) = self.resolve(n);
-        hi.saturating_sub(lo)
+        match self.resolve(n) {
+            Some((lo, hi)) => hi.saturating_sub(lo),
+            None => 0,
+        }
     }
 }
 
@@ -220,8 +222,9 @@ mod tests {
 
     #[test]
     fn range_resolution() {
-        assert_eq!(EigenRange::All.resolve(5), (0, 5));
-        assert_eq!(EigenRange::Index(2, 9).resolve(5), (2, 5));
+        assert_eq!(EigenRange::All.resolve(5), Some((0, 5)));
+        assert_eq!(EigenRange::Index(2, 9).resolve(5), Some((2, 5)));
+        assert_eq!(EigenRange::Value(0.0, 1.0).resolve(5), None);
         assert_eq!(EigenRange::Index(1, 3).count(5), 2);
     }
 

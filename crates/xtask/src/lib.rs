@@ -1,0 +1,46 @@
+//! `xtask` — repo-specific static analysis for the tseig workspace.
+//!
+//! Run as `cargo run -p xtask -- tidy`. Modeled on rustc's `tidy`: pure
+//! std, token-level rules over a lexically scanned source model
+//! ([`source`]), no dependency on the code it checks. The rules encode
+//! invariants the test suite cannot express:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `unsafe-allowlist`  | `unsafe` only in the allowlisted files |
+//! | `safety-comment`    | every `unsafe` block/impl has `// SAFETY:` |
+//! | `safety-doc`        | every `unsafe fn` has a `# Safety` rustdoc section |
+//! | `paired-counters`   | kernels charging flops also charge bytes |
+//! | `no-panics`         | no `unwrap()`/`expect(`/`panic!` in library code |
+//! | `lossy-cast`        | no `as u32`/`as i32`/`as f32` in library code |
+//! | `shim-deps`         | `shims/*` stay std-only |
+//!
+//! A rule can be waived on one line with a trailing
+//! `// tidy: allow(<rule>) -- reason` comment; the reason is mandatory
+//! reviewer-facing prose, not parsed.
+
+pub mod rules;
+pub mod runner;
+pub mod source;
+
+/// One tidy finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: usize,
+    /// Stable rule name (also the `tidy: allow(...)` key).
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}

@@ -1,0 +1,52 @@
+//! `cargo run -p xtask -- tidy` — repo-specific static analysis.
+//!
+//! Exit status 0 when the tree is clean, 1 with one line per violation
+//! otherwise. See `xtask::rules` for what is checked and DESIGN.md
+//! ("Static analysis & contracts") for the policy.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tidy") => tidy(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- tidy [workspace-root]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn tidy(root_arg: Option<&str>) -> ExitCode {
+    let root = match root_arg {
+        Some(r) => Path::new(r).to_path_buf(),
+        None => {
+            let here = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+            match xtask::runner::find_root(&here) {
+                Some(r) => r,
+                None => {
+                    eprintln!("tidy: no workspace root found above {}", here.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    match xtask::runner::run_tidy(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("tidy: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("tidy: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("tidy: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

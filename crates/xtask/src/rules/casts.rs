@@ -1,0 +1,97 @@
+//! Rule `lossy-cast`: no truncating `as u32`/`as i32`/`as f32` casts in
+//! the numerical crates' library code.
+//!
+//! Index arithmetic in this workspace is `usize` end to end; a lossy
+//! narrowing cast in an indexing path truncates silently above 2^32 and
+//! corrupts results instead of failing. Where a narrow type is genuinely
+//! required (FFI, packed IDs), use `try_from` with an explicit fallback,
+//! or waive the line with `// tidy: allow(lossy-cast) -- reason`.
+
+use crate::source::SourceFile;
+use crate::Diag;
+
+const NEEDLES: &[&str] = &["as u32", "as i32", "as f32"];
+
+/// Same scope as the panic rule: the numerical crates' `src/` trees.
+pub fn applies_to(rel_path: &str) -> bool {
+    super::panics::applies_to(rel_path)
+}
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
+    if !applies_to(&file.rel_path) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        for needle in NEEDLES {
+            for (pos, _) in line.code.match_indices(needle) {
+                // Word-bound both sides: reject `has u32`, `as u32x4`.
+                let before_ok = pos == 0
+                    || !line.code[..pos]
+                        .chars()
+                        .next_back()
+                        .map(|c| c.is_alphanumeric() || c == '_')
+                        .unwrap_or(false);
+                let after_ok = !line.code[pos + needle.len()..]
+                    .chars()
+                    .next()
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false);
+                if before_ok && after_ok && !file.allows(lineno, "lossy-cast") {
+                    diags.push(Diag {
+                        path: file.rel_path.clone(),
+                        line: lineno,
+                        rule: "lossy-cast",
+                        msg: format!(
+                            "lossy `{needle}` cast; use `try_from` with an explicit \
+                             fallback or waive with `tidy: allow(lossy-cast)`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path, src);
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn lossy_casts_fail() {
+        let src = "fn f(i: usize) -> u32 { i as u32 }\n";
+        let d = run("crates/core/src/stage2.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lossy-cast");
+    }
+
+    #[test]
+    fn widening_casts_pass() {
+        let src = "fn f(i: usize) -> u64 { i as u64 + (i as f64) as u64 }\n";
+        assert!(run("crates/core/src/stage2.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_waives_the_line() {
+        let src =
+            "fn f(i: usize) -> u32 { i as u32 } // tidy: allow(lossy-cast) -- bounded by n/b\n";
+        assert!(run("crates/core/src/stage2.rs", src).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_are_respected() {
+        // `as u32x4` is a cast to a (hypothetical) SIMD type, not `as u32`.
+        let src = "fn f(i: usize) { let _ = i as u32x4; }\n";
+        assert!(run("crates/core/src/stage2.rs", src).is_empty());
+    }
+}

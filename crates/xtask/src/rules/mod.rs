@@ -1,0 +1,10 @@
+//! The individual tidy rules. Each rule is a pure function from the
+//! scanned [`crate::source::SourceFile`] (or a manifest's text) to a list
+//! of [`crate::Diag`]s, so every rule is unit-testable on synthetic
+//! sources without touching the filesystem.
+
+pub mod casts;
+pub mod counters;
+pub mod panics;
+pub mod shims;
+pub mod unsafe_rules;

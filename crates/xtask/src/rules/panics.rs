@@ -1,0 +1,99 @@
+//! Rule `no-panics`: library code in the numerical crates must not
+//! contain `.unwrap()`, `.expect(` or `panic!`.
+//!
+//! A panic inside `gemm` at n=16k is a production outage with an opaque
+//! index backtrace; the contract layer (`kernels::contract`) exists so
+//! precondition violations fail with a named kernel, argument, and bound.
+//! Invariant errors should be `Result`s, structured asserts, or
+//! restructured away. Test code (`#[cfg(test)]` items, `tests/` trees) is
+//! exempt — tests *should* unwrap.
+
+use crate::source::SourceFile;
+use crate::Diag;
+
+/// Crates whose library sources the rule covers.
+pub const PANIC_FREE_CRATES: &[&str] = &["kernels", "core", "onestage", "tridiag", "matrix"];
+
+const NEEDLES: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+
+/// Does the rule apply to this workspace-relative path?
+pub fn applies_to(rel_path: &str) -> bool {
+    PANIC_FREE_CRATES
+        .iter()
+        .any(|c| rel_path.starts_with(&format!("crates/{c}/src/")))
+}
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
+    if !applies_to(&file.rel_path) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        for needle in NEEDLES {
+            if line.code.contains(needle) && !file.allows(lineno, "no-panics") {
+                diags.push(Diag {
+                    path: file.rel_path.clone(),
+                    line: lineno,
+                    rule: "no-panics",
+                    msg: format!(
+                        "`{needle}` in library code; return a `Result`, use a structured \
+                         assert, or restructure so the invariant holds by construction"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path, src);
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn stray_unwrap_in_kernels_fails() {
+        let d = run(
+            "crates/kernels/src/blas3.rs",
+            "fn f(v: Option<u8>) { v.unwrap(); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-panics");
+    }
+
+    #[test]
+    fn expect_and_panic_fail_too() {
+        let d = run(
+            "crates/core/src/driver.rs",
+            "fn f(v: Option<u8>) {\n    v.expect(\"x\");\n    panic!(\"boom\");\n}\n",
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn test_modules_doc_comments_and_strings_are_exempt() {
+        let src = "/// let r = solve().unwrap();\nfn f() { let s = \"panic!\"; }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { f().unwrap(); }\n}\n";
+        assert!(run("crates/kernels/src/blas1.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_allowed() {
+        let src = "fn f(v: Option<u8>) { v.unwrap_or(0); v.unwrap_or_else(|| 1); }\n";
+        assert!(run("crates/kernels/src/blas1.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let src = "fn f(v: Option<u8>) { v.unwrap(); }\n";
+        assert!(run("crates/svd/src/drivers.rs", src).is_empty());
+        assert!(run("crates/kernels/tests/property_kernels.rs", src).is_empty());
+    }
+}

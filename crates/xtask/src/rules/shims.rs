@@ -1,0 +1,79 @@
+//! Rule `shim-deps`: the offline shim crates must stay std-only.
+//!
+//! The build environment has no crates.io access; `shims/*` exist to
+//! satisfy the workspace's external API surface with std-backed
+//! implementations. A shim that quietly grows a registry dependency
+//! builds on a developer laptop and breaks the sealed build — so any
+//! entry in a shim manifest's `[dependencies]`/`[dev-dependencies]`
+//! table must be a path dependency pointing at a sibling shim.
+
+use crate::Diag;
+
+/// Check one shim manifest (`rel_path` like `shims/rayon/Cargo.toml`).
+pub fn check_manifest(rel_path: &str, text: &str, diags: &mut Vec<Diag>) {
+    let mut in_dep_table = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_table = matches!(
+                line,
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+            );
+            continue;
+        }
+        if !in_dep_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name = { path = "../sibling" }` is the only allowed shape.
+        let intra_shim = line.contains("path = \"../") || line.contains("path = \"shims/");
+        if !intra_shim {
+            diags.push(Diag {
+                path: rel_path.to_string(),
+                line: idx + 1,
+                rule: "shim-deps",
+                msg: format!(
+                    "shim dependency `{line}` is not an intra-shim path dependency; \
+                     shims must stay std-only (offline build)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diag> {
+        let mut d = Vec::new();
+        check_manifest("shims/fake/Cargo.toml", text, &mut d);
+        d
+    }
+
+    #[test]
+    fn registry_dependency_fails() {
+        let d = run("[package]\nname = \"fake\"\n[dependencies]\nserde = \"1\"\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "shim-deps");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn intra_shim_path_dependency_passes() {
+        let d = run("[dependencies]\nrand = { path = \"../rand\" }\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn non_dependency_tables_are_ignored() {
+        let d =
+            run("[package]\nname = \"fake\"\nversion = \"1.0.0\"\n[lib]\npath = \"src/lib.rs\"\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn dev_dependencies_are_checked_too() {
+        let d = run("[dev-dependencies]\ncriterion = \"0.5\"\n");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Unsafe hygiene: the three rules that keep the workspace's `unsafe`
+//! surface small, commented, and documented.
+//!
+//! The repo's concurrency argument (disjoint `jc`/`ic` panels in the
+//! packed GEMM, region-serialized `DataCell` access in the task runtime)
+//! lives in exactly two files. Everything else must stay safe Rust: a new
+//! `unsafe` block anywhere else is a build failure until this allowlist
+//! is deliberately extended in review.
+
+use crate::source::SourceFile;
+use crate::Diag;
+
+/// Files allowed to contain `unsafe` code. Keep this list short and the
+/// reasons current:
+///
+/// * `runtime/src/data.rs` — the `DataCell` interior-mutability core; the
+///   runtime's region serialization is the safety argument.
+/// * `core/src/stage2.rs` — bulge-chase tasks reading/writing the shared
+///   band through `DataCell` under the scheduler's region guarantee.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/runtime/src/data.rs", "crates/core/src/stage2.rs"];
+
+/// How many lines above an `unsafe` block/impl a `// SAFETY:` comment may
+/// sit (attributes and the comment block itself count).
+const SAFETY_LOOKBACK: usize = 5;
+
+/// Rule `unsafe-allowlist` + `safety-comment` + `safety-doc`.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str());
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if !has_unsafe_token(&line.code) {
+            continue;
+        }
+        if !allowlisted {
+            if file.allows(lineno, "unsafe-allowlist") {
+                continue;
+            }
+            diags.push(Diag {
+                path: file.rel_path.clone(),
+                line: lineno,
+                rule: "unsafe-allowlist",
+                msg: format!(
+                    "`unsafe` outside the allowlist ({:?}); move the unsafety into an \
+                     allowlisted core or extend the allowlist in xtask with a review",
+                    UNSAFE_ALLOWLIST
+                ),
+            });
+            continue;
+        }
+        if line.code.contains("unsafe fn") {
+            if !has_safety_doc(file, idx) && !file.allows(lineno, "safety-doc") {
+                diags.push(Diag {
+                    path: file.rel_path.clone(),
+                    line: lineno,
+                    rule: "safety-doc",
+                    msg: "`unsafe fn` without a `# Safety` rustdoc section".to_string(),
+                });
+            }
+        } else if !has_safety_comment(file, idx) && !file.allows(lineno, "safety-comment") {
+            diags.push(Diag {
+                path: file.rel_path.clone(),
+                line: lineno,
+                rule: "safety-comment",
+                msg: "`unsafe` block/impl without a `// SAFETY:` comment directly above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Token-level `unsafe` occurrence (word-bounded, code channel only).
+fn has_unsafe_token(code: &str) -> bool {
+    for (pos, _) in code.match_indices("unsafe") {
+        let before_ok = pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric() || c == '_')
+                .unwrap_or(false);
+        let after_ok = !code[pos + 6..]
+            .chars()
+            .next()
+            .map(|c| c.is_alphanumeric() || c == '_')
+            .unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// A `SAFETY:` comment on the same line or within the preceding few lines.
+fn has_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    let lo = idx.saturating_sub(SAFETY_LOOKBACK);
+    file.lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.contains("SAFETY:") || l.comment.contains("Safety:"))
+}
+
+/// Walk the contiguous doc/attribute block above an `unsafe fn` looking
+/// for a `# Safety` section.
+fn has_safety_doc(file: &SourceFile, idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &file.lines[i];
+        let is_attr = l.code.trim().starts_with("#[");
+        let is_doc = l.comment.trim_start().starts_with("///");
+        if is_doc {
+            if l.comment.contains("# Safety") {
+                return true;
+            }
+        } else if !is_attr {
+            // Stop at the first non-doc, non-attribute line.
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path, src);
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_fails() {
+        let d = run(
+            "crates/kernels/src/blas3.rs",
+            "fn f(p: *mut f64) { unsafe { *p = 0.0; } }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unsafe-allowlist");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn commented_unsafe_in_allowlisted_file_passes() {
+        let d = run(
+            "crates/runtime/src/data.rs",
+            "// SAFETY: region declarations serialize access.\nunsafe { cell.get_mut() };\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn uncommented_unsafe_block_fails_even_when_allowlisted() {
+        let d = run("crates/runtime/src/data.rs", "unsafe { cell.get_mut() };\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn unsafe_impl_needs_safety_comment() {
+        let src = "unsafe impl<T: Send> Sync for DataCell<T> {}\n";
+        let d = run("crates/runtime/src/data.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "safety-comment");
+        let ok = "// SAFETY: exclusivity enforced by the runtime.\nunsafe impl<T: Send> Sync for DataCell<T> {}\n";
+        assert!(run("crates/runtime/src/data.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_doc_section() {
+        let bad = "/// Shared access.\npub unsafe fn get(&self) -> &T { &*self.0.get() }\n";
+        let d = run("crates/runtime/src/data.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "safety-doc");
+        let good = "/// Shared access.\n///\n/// # Safety\n/// Caller holds a Read region.\n#[allow(clippy::mut_from_ref)]\npub unsafe fn get(&self) -> &T { &*self.0.get() }\n";
+        assert!(run("crates/runtime/src/data.rs", good).is_empty());
+    }
+
+    #[test]
+    fn the_word_unsafe_in_comments_and_strings_is_ignored() {
+        let d = run(
+            "crates/kernels/src/blas3.rs",
+            "// unsafe is discussed here\nlet s = \"unsafe\";\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn explicit_allow_escape_works() {
+        let d = run(
+            "crates/kernels/src/blas3.rs",
+            "unsafe { hot() } // tidy: allow(unsafe-allowlist) -- vetted intrinsic\n",
+        );
+        assert!(d.is_empty());
+    }
+}

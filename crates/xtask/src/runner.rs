@@ -1,0 +1,112 @@
+//! Workspace walker: finds the workspace root, feeds every source file
+//! through the rules, and aggregates diagnostics.
+
+use crate::rules::{casts, counters, panics, shims, unsafe_rules};
+use crate::source::SourceFile;
+use crate::Diag;
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Run every tidy rule over the workspace at `root`. Returns all
+/// diagnostics, sorted by path and line.
+pub fn run_tidy(root: &Path) -> std::io::Result<Vec<Diag>> {
+    let mut diags = Vec::new();
+    let mut rs_files = Vec::new();
+    for top in ["crates", "shims"] {
+        collect_rs(&root.join(top), &mut rs_files)?;
+    }
+    rs_files.sort();
+    for path in &rs_files {
+        let rel = rel_path(root, path);
+        let text = std::fs::read_to_string(path)?;
+        let file = SourceFile::parse(&rel, &text);
+        unsafe_rules::check(&file, &mut diags);
+        counters::check(&file, &mut diags);
+        panics::check(&file, &mut diags);
+        casts::check(&file, &mut diags);
+    }
+    // Shim manifest drift.
+    let shims_dir = root.join("shims");
+    if let Ok(entries) = std::fs::read_dir(&shims_dir) {
+        let mut manifests: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path().join("Cargo.toml"))
+            .filter(|p| p.is_file())
+            .collect();
+        manifests.sort();
+        for m in manifests {
+            let rel = rel_path(root, &m);
+            let text = std::fs::read_to_string(&m)?;
+            shims::check_manifest(&rel, &text, &mut diags);
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(diags)
+}
+
+/// Recursively collect `.rs` files, skipping build artifacts.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real tree must be tidy: this is the same gate CI runs, kept as
+    /// a unit test so `cargo test` catches violations before CI does.
+    #[test]
+    fn workspace_is_tidy() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above xtask");
+        let diags = run_tidy(&root).expect("tidy walk");
+        assert!(
+            diags.is_empty(),
+            "tidy violations:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
