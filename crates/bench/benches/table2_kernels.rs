@@ -6,13 +6,17 @@
 //! from the accounting hooks in `tseig_kernels::flops`) is reported: the
 //! Level-3 kernels land far above any machine's roofline ridge point
 //! (compute-bound), the Level-2 kernels far below it (bandwidth-bound).
-//! At n = 1024 the packed `gemm` is benched against the seed's unpacked
-//! kernel (`gemm_unpacked`) to quantify what the BLIS-style packing buys.
+//! At n = 1024 three gemm variants are compared: the SIMD-dispatched
+//! microkernel (`gemm_simd`, what `gemm` now runs), the packed loop nest
+//! pinned to the portable scalar microkernel (`gemm_packed`, comparable
+//! with the pre-dispatch baseline), and the seed's unpacked kernel
+//! (`gemm_unpacked`). The SIMD rate is also reported as a fraction of
+//! the machine's measured FMA peak (`perfmodel::measure_fma_peak`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tseig_bench::workload;
 use tseig_kernels::blas2::{gemv, symv_lower};
-use tseig_kernels::blas3::{gemm, gemm_par, gemm_unpacked, Trans};
+use tseig_kernels::blas3::{gemm, gemm_par, gemm_unpacked, gemm_with_kernel, simd, Trans};
 use tseig_kernels::flops;
 use tseig_matrix::Matrix;
 
@@ -93,16 +97,42 @@ fn kernels(c: &mut Criterion) {
         bch.iter(|| gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y))
     });
 
-    // Packed-vs-seed comparison at n = 1024 (single-threaded): the
-    // packed loop nest must win or the tentpole bought nothing.
+    // Microkernel comparison at n = 1024 (single-threaded): the
+    // SIMD-dispatched path must beat the scalar packed baseline, which
+    // in turn must beat the seed's unpacked loop nest.
     let n = 1024;
     let a = workload(n, 0x74);
     let b = workload(n, 0x75);
     g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function(BenchmarkId::new("gemm_simd", n), |bch| {
+        let kern = simd::selected();
+        let mut cm = Matrix::zeros(n, n);
+        bch.iter(|| {
+            gemm_with_kernel(
+                kern,
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                cm.as_mut_slice(),
+                n,
+            )
+        })
+    });
+    // Pinned to the portable scalar microkernel: directly comparable
+    // with the pre-dispatch `gemm_packed` baseline in the BENCH history.
     g.bench_function(BenchmarkId::new("gemm_packed", n), |bch| {
         let mut cm = Matrix::zeros(n, n);
         bch.iter(|| {
-            gemm(
+            gemm_with_kernel(
+                &simd::SCALAR,
                 Trans::No,
                 Trans::No,
                 n,
@@ -170,6 +200,40 @@ fn kernels(c: &mut Criterion) {
     intensity_of("gemv/1024", || {
         gemv(Trans::No, n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y)
     });
+
+    // Fraction of machine peak: the selected microkernel's achieved rate
+    // against the register-resident FMA throughput ceiling.
+    let peak = tseig_perfmodel::calibrate::measure_fma_peak();
+    let kern = simd::selected();
+    let flop = 2.0 * (n as f64).powi(3);
+    let mut rate = 0.0f64;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        gemm_with_kernel(
+            kern,
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.0,
+            cm.as_mut_slice(),
+            n,
+        );
+        rate = rate.max(flop / t.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nfma peak (measured) {:.2} Gflop/s; gemm_simd/{n} [{}] {:.2} Gflop/s = {:.1}% of peak",
+        peak / 1e9,
+        kern.name,
+        rate / 1e9,
+        100.0 * rate / peak,
+    );
 }
 
 criterion_group!(benches, kernels);

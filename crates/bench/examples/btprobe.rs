@@ -1,0 +1,52 @@
+//! Interleaved A/B probe: fused `apply_q` vs unfused `apply_q2` +
+//! `apply_q1`, alternating measurements in one process so machine-load
+//! drift hits both variants equally; min-of-rounds filters the additive
+//! noise a shared box injects.
+
+use std::time::Instant;
+use tseig_bench::{default_nb, workload};
+use tseig_core::backtransform::{apply_q, apply_q1, apply_q2};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let rounds: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let a = workload(n, 0xB7);
+    let nb = default_nb(n);
+    let ell = (nb / 2).max(1);
+    eprintln!("setup n={n} nb={nb} ell={ell} ...");
+    let bf = tseig_core::stage1::sy2sb(&a, nb, 0);
+    let chase = tseig_core::stage2::reduce(bf.band.clone());
+    let e = tseig_matrix::Matrix::identity(n);
+
+    let mut t_unfused = Vec::new();
+    let mut t_fused = Vec::new();
+    for r in 0..rounds {
+        let mut z = e.clone();
+        let t = Instant::now();
+        apply_q2(&chase.v2, &mut z, ell, 0);
+        apply_q1(&bf.panels, &mut z, 0);
+        let du = t.elapsed().as_secs_f64();
+        t_unfused.push(du);
+        std::hint::black_box(&z);
+
+        let mut z = e.clone();
+        let t = Instant::now();
+        apply_q(&chase.v2, &bf.panels, &mut z, ell, 0);
+        let df = t.elapsed().as_secs_f64();
+        t_fused.push(df);
+        std::hint::black_box(&z);
+        eprintln!("round {r}: unfused {du:.4}s fused {df:.4}s");
+    }
+    let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (mu, mf) = (min(&t_unfused), min(&t_fused));
+    println!(
+        "n={n} min unfused {mu:.4}s fused {mf:.4}s speedup {:.3}x",
+        mu / mf
+    );
+}

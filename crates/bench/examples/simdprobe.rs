@@ -1,0 +1,58 @@
+//! Quick probe: Gflop/s of each dispatchable microkernel at n=1024.
+use std::time::Instant;
+use tseig_bench::workload;
+use tseig_kernels::blas3::{gemm_with_kernel, simd, Trans};
+use tseig_matrix::Matrix;
+
+fn main() {
+    let n = 1024;
+    let a = workload(n, 0x74);
+    let b = workload(n, 0x75);
+    let flops = 2.0 * (n as f64).powi(3);
+    for k in simd::available() {
+        let mut c = Matrix::zeros(n, n);
+        // warmup
+        gemm_with_kernel(
+            k,
+            Trans::No,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            gemm_with_kernel(
+                k,
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                c.as_mut_slice(),
+                n,
+            );
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "{:<8} {:>7.2} Gflop/s (best of 5)",
+            k.name,
+            flops / best / 1e9
+        );
+    }
+}

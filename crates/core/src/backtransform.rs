@@ -23,20 +23,43 @@
 //! So `E <- Q2 E` is: for sweep-blocks from last to first, for `k`
 //! ascending, `E <- (I - V_k T_k V_k^T) E` on the diamond's row range.
 //!
-//! Parallelism (Fig. 3c): the columns of `E` are split into panels sized
-//! for the L2 cache; every panel applies the *entire* diamond sequence
-//! independently — no inter-core communication at all.
+//! ## The diamond kernel — microkernel GEMM on the parallelogram split
 //!
-//! ## Applying `Q1`
+//! A diamond's `V` is a parallelogram: column `c` is supported on local
+//! rows `c..c+len_c`, so the top `k x k` block `L` is **unit lower
+//! triangular** and the body `B` (rows `k..h`) is rectangular. The
+//! application `C <- (I - V T V^T) C` therefore splits into
 //!
-//! Plain reverse-order blocked reflectors from stage 1 (`larfb`), also
-//! parallel over column panels of the target (Fig. 3a).
+//! ```text
+//! W  = L^T C_top + B^T C_body     triangular (zero-free) + packed GEMM
+//! W <- T W                        small trmm
+//! C_top  -= L W                   triangular (zero-free)
+//! C_body -= B W                   packed GEMM
+//! ```
+//!
+//! and the two rectangular products — all the O(nb) x cols x O(nb)
+//! flops — run through the SIMD-dispatched packed microkernel
+//! (`kernels::blas3::simd`) instead of scalar dot/axpy loops.
+//!
+//! ## Applying `Q1`, and the fused single pass
+//!
+//! `Q1` is plain reverse-order blocked reflectors from stage 1
+//! (`larfb`). [`apply_q`] fuses both applications: the columns of `E`
+//! are split into panels sized for the L2 cache (Fig. 3c), and every
+//! panel applies the *entire* diamond sequence **and then** the reverse
+//! `Q1` chain while it is cache-resident — one pass over the `n x k`
+//! eigenvector matrix instead of two, and no barrier between the `Q2`
+//! and `Q1` stages. [`apply_q2`]/[`apply_q1`] remain as the unfused
+//! halves for benches and tests. All per-panel workspace comes from a
+//! grow-only thread-local scratch buffer, so the allocator never runs
+//! inside the panel loop.
 
 use crate::stage1::Q1Panel;
 use crate::stage2::V2Set;
 use rayon::prelude::*;
-use tseig_kernels::blas3::Trans;
-use tseig_kernels::householder::{larfb, larft, Side};
+use std::cell::RefCell;
+use tseig_kernels::blas3::{gemm, trmm_unit_lower_left, trmm_upper_left, Trans};
+use tseig_kernels::householder::{larfb_with_work, larft, Side};
 use tseig_matrix::Matrix;
 
 /// Column-panel width used for the cache-local distribution of `E`.
@@ -44,16 +67,23 @@ use tseig_matrix::Matrix;
 /// a per-core L2 cache; exposed for the Figure-5-style tuning bench.
 pub const DEFAULT_PANEL_COLS: usize = 128;
 
+thread_local! {
+    /// Per-thread back-transform workspace, grow-only: holds the
+    /// `2 * k * cols` diamond scratch or the `2 * kb * cols` `larfb`
+    /// workspace, reused across panels and across calls so the
+    /// allocator stays out of the panel loop entirely.
+    static BT_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
 /// One prebuilt diamond block: `I - V T V^T` acting on rows
 /// `r0 .. r0 + v.rows()`. Column `c` of `V` is supported on local rows
-/// `c .. c + len[c]` (the parallelogram structure), which the structured
-/// application kernel exploits to skip every padded zero.
+/// `c .. c + len[c]` (the parallelogram structure): the top `k x k`
+/// block is unit lower triangular, the rest is the rectangular body the
+/// GEMM path consumes.
 struct Diamond {
     r0: usize,
     v: Matrix,
     t: Vec<f64>,
-    /// Reflector length per column (`v[(c, c)] == 1`, tail below).
-    lens: Vec<usize>,
 }
 
 /// Build the diamond sequence in *application order* for `E <- Q2 E`
@@ -94,7 +124,6 @@ fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
             let kb = members.len();
             let mut v = Matrix::zeros(height, kb);
             let mut tau = vec![0.0f64; kb];
-            let mut lens = Vec::with_capacity(kb);
             for (col, (_, r)) in members.iter().enumerate() {
                 let off = r.0 - r0;
                 debug_assert_eq!(off, col, "diamond columns shift one row per sweep");
@@ -102,14 +131,67 @@ fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
                     v[(off + i, col)] = val;
                 }
                 tau[col] = r.1;
-                lens.push(r.2.len());
             }
             let mut t = vec![0.0f64; kb * kb];
             larft(height, kb, v.as_slice(), height, &tau, &mut t, kb);
-            out.push(Diamond { r0, v, t, lens });
+            out.push(Diamond { r0, v, t });
         }
     }
     out
+}
+
+/// Workspace length one panel of `cols` columns needs: two `k x cols`
+/// diamond blocks or the `2 * kb * cols` `larfb` workspace, whichever
+/// is larger.
+fn scratch_len(diamonds: &[Diamond], q1: &[Q1Panel], cols: usize) -> usize {
+    let kd = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
+    let kq = q1.iter().map(|p| p.v.cols()).max().unwrap_or(0);
+    2 * kd.max(kq) * cols
+}
+
+/// The shared panel pipeline: parallel over column panels of `e`, each
+/// panel applies every diamond (the `Q2` sequence) and then the reverse
+/// `Q1` chain while cache-resident. Either half may be empty.
+fn apply_pipeline(diamonds: &[Diamond], q1: &[Q1Panel], e: &mut Matrix, panel_cols: usize) {
+    if e.cols() == 0 || (diamonds.is_empty() && q1.is_empty()) {
+        return;
+    }
+    let pc = if panel_cols == 0 {
+        DEFAULT_PANEL_COLS
+    } else {
+        panel_cols
+    };
+    let ldc = e.ld();
+    let need = scratch_len(diamonds, q1, pc.min(e.cols()));
+    e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
+        let cols = panel.len() / ldc;
+        BT_SCRATCH.with(|scratch| {
+            let work = &mut *scratch.borrow_mut();
+            if work.len() < need {
+                work.resize(need, 0.0);
+            }
+            for d in diamonds {
+                apply_diamond(d, panel, ldc, cols, work);
+            }
+            for p in q1.iter().rev() {
+                let rows = p.v.rows();
+                larfb_with_work(
+                    Side::Left,
+                    Trans::No,
+                    rows,
+                    cols,
+                    p.v.cols(),
+                    p.v.as_slice(),
+                    rows,
+                    &p.t,
+                    p.v.cols(),
+                    &mut panel[p.r0..],
+                    ldc,
+                    &mut work[..2 * p.v.cols() * cols],
+                );
+            }
+        });
+    });
 }
 
 /// `E <- Q2 E` using diamond-blocked reflectors, parallel over column
@@ -123,92 +205,91 @@ pub fn apply_q2(v2: &V2Set, e: &mut Matrix, ell: usize, panel_cols: usize) {
         return;
     }
     let diamonds = build_diamonds(v2, ell);
-    let pc = if panel_cols == 0 {
-        DEFAULT_PANEL_COLS
-    } else {
-        panel_cols
-    };
-    let ldc = e.ld();
-    let max_k = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
-    e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
-        let cols = panel.len() / ldc;
-        // Reused workspace: thousands of small reflector blocks per
-        // panel — the allocator must stay out of this loop.
-        let mut work = vec![0.0f64; max_k * cols];
-        for d in &diamonds {
-            apply_diamond(d, panel, ldc, cols, &mut work);
-        }
-    });
+    apply_pipeline(&diamonds, &[], e, panel_cols);
 }
 
-/// Apply one diamond `C <- (I - V T V^T) C` exploiting the parallelogram
-/// support of `V` (paper §6: "a new kernel that deals with the
-/// diamond-shape blocks"). Column `c` of `V` is `[1, tail]` on local rows
-/// `c..c+len_c`, so
-///
-/// * `W = V^T C` is `k * cols` *contiguous* dot products of length
-///   `len_c` — no padded zeros are ever touched,
-/// * `W <- T W` is a small triangular multiply,
-/// * `C -= V W` is `k * cols` contiguous axpys.
-///
-/// The active `C` column slice (`<= nb + ell - 1` rows) stays in L1
-/// across all `k` dots/axpys that touch it.
+/// Fused single-pass back-transformation `E <- Q1 Q2 E`: per column
+/// panel, the full diamond sequence and then the reverse `Q1` chain run
+/// while the panel is cache-resident — one pass over the eigenvector
+/// matrix instead of the two that separate [`apply_q2`] + [`apply_q1`]
+/// calls would make, with no synchronization barrier between the
+/// stages (the panels are fully independent, Fig. 3).
+pub fn apply_q(v2: &V2Set, panels: &[Q1Panel], e: &mut Matrix, ell: usize, panel_cols: usize) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n, "E must have n rows");
+    let diamonds = if v2.sweep_count() == 0 {
+        Vec::new()
+    } else {
+        build_diamonds(v2, ell)
+    };
+    apply_pipeline(&diamonds, panels, e, panel_cols);
+}
+
+/// Apply one diamond `C <- (I - V T V^T) C` through the packed
+/// microkernel on the parallelogram split (see the module docs): the
+/// unit-lower-triangular top `L` of `V` goes through the zero-free
+/// `trmm_unit_lower_left`, the rectangular body `B` through two packed
+/// `gemm`s that carry all the Level-3 flops. `work` provides at least
+/// `2 * k * cols` scratch.
 fn apply_diamond(d: &Diamond, panel: &mut [f64], ldc: usize, cols: usize, work: &mut [f64]) {
     let k = d.v.cols();
     let h = d.v.rows();
+    let body = h - k;
     let vdata = d.v.as_slice();
-    let w = &mut work[..k * cols];
-    // W = V^T C: contiguous dot products, no padded zeros touched.
+    let (w, w2) = work[..2 * k * cols].split_at_mut(k * cols);
+    // W = L^T C_top: copy the top rows, then the triangular product.
     for j in 0..cols {
-        let ccol = &panel[d.r0 + j * ldc..d.r0 + j * ldc + h];
-        let wcol = &mut w[j * k..j * k + k];
-        for c in 0..k {
-            let len = d.lens[c];
-            wcol[c] = dot_contig(&vdata[c * h + c..c * h + c + len], &ccol[c..c + len]);
-        }
+        w[j * k..(j + 1) * k].copy_from_slice(&panel[d.r0 + j * ldc..][..k]);
+    }
+    trmm_unit_lower_left(Trans::Yes, k, cols, vdata, h, w, k);
+    // W += B^T C_body: packed-GEMM over the parallelogram body.
+    if body > 0 {
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            k,
+            cols,
+            body,
+            1.0,
+            &vdata[k..],
+            h,
+            &panel[d.r0 + k..],
+            ldc,
+            1.0,
+            w,
+            k,
+        );
     }
     // W <- T W (T upper triangular with clean lower part).
-    tseig_kernels::blas3::trmm_upper_left(Trans::No, k, cols, 1.0, &d.t, k, w, k);
-    // C -= V W: contiguous axpys.
+    trmm_upper_left(Trans::No, k, cols, 1.0, &d.t, k, w, k);
+    // C_body -= B W.
+    if body > 0 {
+        gemm(
+            Trans::No,
+            Trans::No,
+            body,
+            cols,
+            k,
+            -1.0,
+            &vdata[k..],
+            h,
+            w,
+            k,
+            1.0,
+            &mut panel[d.r0 + k..],
+            ldc,
+        );
+    }
+    // C_top -= L W via the second scratch block.
+    w2.copy_from_slice(w);
+    trmm_unit_lower_left(Trans::No, k, cols, vdata, h, w2, k);
     for j in 0..cols {
-        let ccol = &mut panel[d.r0 + j * ldc..d.r0 + j * ldc + h];
-        let wcol = &w[j * k..j * k + k];
-        for c in 0..k {
-            let len = d.lens[c];
-            let t = wcol[c];
-            if t == 0.0 {
-                continue;
-            }
-            let vcol = &vdata[c * h + c..c * h + c + len];
-            let cseg = &mut ccol[c..c + len];
-            for i in 0..len {
-                cseg[i] = vcol[i].mul_add(-t, cseg[i]);
-            }
+        let cseg = &mut panel[d.r0 + j * ldc..][..k];
+        let wcol = &w2[j * k..(j + 1) * k];
+        for (c, &x) in cseg.iter_mut().zip(wcol) {
+            *c -= x;
         }
     }
-    // One aggregate flop charge per diamond: 4 flops per nonzero V
-    // element per column of C (the triangular multiply charges itself).
-    let nnz: usize = d.lens.iter().sum();
-    tseig_kernels::flops::add(tseig_kernels::flops::Level::L3, (4 * nnz * cols) as u64);
-}
-
-/// Eight-lane unrolled dot product (contiguous slices).
-#[inline]
-fn dot_contig(x: &[f64], y: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 8];
-    let chunks = x.len() / 8;
-    for c in 0..chunks {
-        let xo = &x[c * 8..c * 8 + 8];
-        let yo = &y[c * 8..c * 8 + 8];
-        for l in 0..8 {
-            acc[l] = xo[l].mul_add(yo[l], acc[l]);
-        }
-    }
-    let mut s = acc.iter().sum::<f64>();
-    for i in chunks * 8..x.len() {
-        s += x[i] * y[i];
-    }
-    s
 }
 
 /// Naive reference `E <- Q2 E`: reflectors applied one at a time in
@@ -242,34 +323,7 @@ pub fn apply_q2_naive(v2: &V2Set, e: &mut Matrix) {
 /// `G <- Q1 G`: stage-1 panels applied in reverse order with blocked
 /// reflectors, parallel over column panels of `G`.
 pub fn apply_q1(panels: &[Q1Panel], g: &mut Matrix, panel_cols: usize) {
-    if g.cols() == 0 || panels.is_empty() {
-        return;
-    }
-    let pc = if panel_cols == 0 {
-        DEFAULT_PANEL_COLS
-    } else {
-        panel_cols
-    };
-    let ldc = g.ld();
-    g.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
-        let cols = panel.len() / ldc;
-        for p in panels.iter().rev() {
-            let rows = p.v.rows();
-            larfb(
-                Side::Left,
-                Trans::No,
-                rows,
-                cols,
-                p.v.cols(),
-                p.v.as_slice(),
-                rows,
-                &p.t,
-                p.v.cols(),
-                &mut panel[p.r0..],
-                ldc,
-            );
-        }
-    });
+    apply_pipeline(&[], panels, g, panel_cols);
 }
 
 #[cfg(test)]
@@ -374,10 +428,49 @@ mod tests {
     }
 
     #[test]
+    fn fused_apply_q_matches_unfused_oracles() {
+        // apply_q (fused single pass) against the Level-2 naive Q2
+        // followed by a serial Q1 (one panel): the full unfused oracle
+        // chain, across band widths and panel widths.
+        for (n, nb, seed) in [(36, 4, 21), (45, 6, 22)] {
+            let a = gen::random_symmetric(n, seed);
+            let bf = sy2sb(&a, nb, 0);
+            let chase = reduce(bf.band.clone());
+            let e0 = gen::random_symmetric(n, seed + 50);
+
+            let mut want = e0.clone();
+            apply_q2_naive(&chase.v2, &mut want);
+            apply_q1(&bf.panels, &mut want, n + 1); // serial: one panel
+
+            for pc in [1, 5, 0] {
+                let mut fused = e0.clone();
+                apply_q(&chase.v2, &bf.panels, &mut fused, 3, pc);
+                assert!(
+                    fused.approx_eq(&want, 1e-11),
+                    "fused != naive Q2 + serial Q1 (n={n}, nb={nb}, pc={pc})"
+                );
+            }
+
+            // And against the unfused blocked pair.
+            let mut unfused = e0.clone();
+            apply_q2(&chase.v2, &mut unfused, 3, 0);
+            apply_q1(&bf.panels, &mut unfused, 0);
+            let mut fused = e0.clone();
+            apply_q(&chase.v2, &bf.panels, &mut fused, 3, 0);
+            assert!(fused.approx_eq(&unfused, 1e-11));
+        }
+    }
+
+    #[test]
     fn empty_cases() {
         let (_, v2, _) = chase_setup(10, 2, 9);
         let mut empty = Matrix::zeros(10, 0);
         apply_q2(&v2, &mut empty, 4, 0);
         apply_q1(&[], &mut empty, 0);
+        let mut e = Matrix::identity(10);
+        apply_q(&v2, &[], &mut e, 4, 0); // no Q1 panels: fused == Q2 only
+        let mut q2 = Matrix::identity(10);
+        apply_q2(&v2, &mut q2, 4, 0);
+        assert!(e.approx_eq(&q2, 1e-13));
     }
 }

@@ -7,7 +7,7 @@
 //! (dynamic vs static, §3), the tridiagonal method (Figures 4a/4b) and
 //! the eigenvector fraction `f` (Figure 4d).
 
-use crate::backtransform::{apply_q1, apply_q2};
+use crate::backtransform::apply_q;
 use crate::stage1::sy2sb;
 use crate::stage2::{reduce_scheduled, Stage2Exec};
 use std::time::Instant;
@@ -204,8 +204,11 @@ impl SymmetricEigen {
                         .into(),
                 ));
             };
-            apply_q2(&chase.v2, &mut z, ell, self.panel_cols);
-            apply_q1(&bf.panels, &mut z, self.panel_cols);
+            // Fused single pass: per column panel, the full diamond
+            // sequence and then the reverse Q1 chain while the panel is
+            // cache-resident (one traversal of Z, no barrier between
+            // the Q2 and Q1 applications).
+            apply_q(&chase.v2, &bf.panels, &mut z, ell, self.panel_cols);
             timings.backtransform = t3.elapsed();
             Some(z)
         } else {

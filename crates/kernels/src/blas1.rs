@@ -14,8 +14,32 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     contract::require_finite_vec("dot", "y", y, x.len());
     add(Level::L1, 2 * x.len() as u64);
     add_bytes(Level::L1, 16 * x.len() as u64);
-    let mut s = 0.0;
-    for i in 0..x.len() {
+    dot_contig(x, y)
+}
+
+/// Eight-lane unrolled dot product over contiguous slices: eight
+/// independent `mul_add` accumulators so the reduction vectorizes
+/// despite FP non-associativity.
+///
+/// This is the workspace's single SIMD-aware dot implementation — the
+/// BLAS-2/3 kernels and the back-transformation all route through it.
+/// It deliberately does **no** contract checks and **no** flop
+/// accounting: composite kernels charge their own aggregate counts
+/// exactly once per public entry point ([`dot`] is the accounted
+/// Level-1 wrapper).
+#[inline]
+pub fn dot_contig(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xo = &x[c * 8..c * 8 + 8];
+        let yo = &y[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] = xo[l].mul_add(yo[l], acc[l]);
+        }
+    }
+    let mut s = acc.iter().sum::<f64>();
+    for i in chunks * 8..x.len() {
         s += x[i] * y[i];
     }
     s

@@ -37,10 +37,22 @@
 //!
 //! The seed's unpacked kernel is kept as [`gemm_unpacked`] — it is the
 //! baseline the `table2_kernels` bench compares the packed path against.
+//!
+//! ## Microkernel dispatch
+//!
+//! The register tile itself lives in [`simd`]: explicit AVX-512 (24x8)
+//! and AVX2+FMA (4x12) `std::arch` kernels plus a portable scalar 16x4
+//! fallback, selected once at first call (`TSEIG_SIMD` overrides for
+//! testing/benchmarking). The packing formats are parameterized by the
+//! selected `(MR, NR)`, so this file's macrokernel loop is shared by
+//! every ISA path.
+
+pub mod simd;
 
 use crate::contract;
 use crate::flops::{add, add_bytes, Level};
 use rayon::prelude::*;
+use simd::MicroKernel;
 use std::cell::RefCell;
 
 /// Transpose flag, LAPACK-style.
@@ -53,18 +65,19 @@ pub enum Trans {
 }
 
 /// Blocking factor over the `k` dimension: an `MR x KC` strip of packed
-/// `A` plus an `NR x KC` strip of packed `B` must fit in L1.
+/// `A` plus an `NR x KC` strip of packed `B` must fit in L1. Shared by
+/// every microkernel so all dispatch paths split the `k` loop (and hence
+/// round) identically.
 const KC: usize = 256;
-/// Register-tile height (two 8-wide AVX-512 registers of `f64`;
-/// measured fastest among 8/16/24 on this class of core).
+/// Register-tile height of the **unpacked baseline** (`gemm_unpacked`);
+/// the packed path takes its tile shape from [`simd::selected`].
 const MR: usize = 16;
-/// Register-tile width.
+/// Register-tile width of the unpacked baseline.
 const NR: usize = 4;
-/// Row-block size: the packed `MC x KC` panel of `A` is about half an L2
-/// cache.
+/// Row-block size of the unpacked baseline's A sub-block (~half an L2);
+/// also the byte-traffic model's re-stream granularity.
 const MC: usize = 256;
-/// Column-block size: the packed `KC x NC` panel of `B` (2 MB) targets a
-/// per-core L3 slice.
+/// Column-block reference size used by the byte-traffic model.
 const NC: usize = 1024;
 
 thread_local! {
@@ -144,6 +157,45 @@ pub fn gemm(
     c: &mut [f64],
     ldc: usize,
 ) {
+    gemm_with_kernel(
+        simd::selected(),
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    );
+}
+
+/// [`gemm`] forced through a specific dispatch path. The public entry
+/// for differential tests and benches that compare ISA paths in one
+/// process; production code goes through [`gemm`], which picks
+/// [`simd::selected`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_kernel(
+    kern: &MicroKernel,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
     gemm_contract("gemm", transa, transb, m, n, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, (2 * m * n * k) as u64);
     add_bytes(Level::L3, gemm_bytes(m, n, k));
@@ -151,7 +203,7 @@ pub fn gemm(
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
-    gemm_into(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    gemm_into_with(kern, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
 }
 
 /// The packed loop nest: `C += alpha op(A) op(B)`, no scaling, no flop
@@ -172,20 +224,55 @@ fn gemm_into(
     c: &mut [f64],
     ldc: usize,
 ) {
+    gemm_into_with(
+        simd::selected(),
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        c,
+        ldc,
+    );
+}
+
+/// [`gemm_into`] on an explicit microkernel: the cache blocking and the
+/// packing formats follow the kernel's `(MR, NR)` shape.
+#[allow(clippy::too_many_arguments)]
+fn gemm_into_with(
+    kern: &MicroKernel,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
     PACK_BUFS.with(|bufs| {
         let (ap, bp) = &mut *bufs.borrow_mut();
         let mut jc = 0;
         while jc < n {
-            let nc = NC.min(n - jc);
+            let nc = kern.nc.min(n - jc);
             let mut pc = 0;
             while pc < k {
                 let kc = KC.min(k - pc);
-                pack_b(transb, b, ldb, pc, jc, kc, nc, bp);
+                pack_b(transb, b, ldb, pc, jc, kc, nc, kern.nr, bp);
                 let mut ic = 0;
                 while ic < m {
-                    let mc = MC.min(m - ic);
-                    pack_a(transa, a, lda, ic, pc, mc, kc, ap);
-                    macrokernel(mc, nc, kc, alpha, ap, bp, ic, jc, c, ldc);
+                    let mc = kern.mc.min(m - ic);
+                    pack_a(transa, a, lda, ic, pc, mc, kc, kern.mr, ap);
+                    macrokernel(kern, mc, nc, kc, alpha, ap, bp, ic, jc, c, ldc);
                     ic += mc;
                 }
                 pc += kc;
@@ -200,6 +287,7 @@ fn gemm_into(
 /// (L2-resident) is swept once per `B` strip (L1-resident).
 #[allow(clippy::too_many_arguments)]
 fn macrokernel(
+    kern: &MicroKernel,
     mc: usize,
     nc: usize,
     kc: usize,
@@ -211,16 +299,17 @@ fn macrokernel(
     c: &mut [f64],
     ldc: usize,
 ) {
-    let mstrips = mc.div_ceil(MR);
-    let nstrips = nc.div_ceil(NR);
+    let (mr, nr) = (kern.mr, kern.nr);
+    let mstrips = mc.div_ceil(mr);
+    let nstrips = nc.div_ceil(nr);
     for t in 0..nstrips {
-        let nr_eff = NR.min(nc - t * NR);
-        let bstrip = &bp[t * NR * kc..(t + 1) * NR * kc];
+        let nr_eff = nr.min(nc - t * nr);
+        let bstrip = &bp[t * nr * kc..(t + 1) * nr * kc];
         for s in 0..mstrips {
-            let mr_eff = MR.min(mc - s * MR);
-            let astrip = &ap[s * MR * kc..(s + 1) * MR * kc];
-            let off = (ic + s * MR) + (jc + t * NR) * ldc;
-            microkernel(
+            let mr_eff = mr.min(mc - s * mr);
+            let astrip = &ap[s * mr * kc..(s + 1) * mr * kc];
+            let off = (ic + s * mr) + (jc + t * nr) * ldc;
+            kern.run(
                 kc,
                 alpha,
                 astrip,
@@ -234,59 +323,13 @@ fn macrokernel(
     }
 }
 
-/// One `MR x NR` register tile of `C += alpha Ap Bp` from packed strips.
-/// The accumulators live in registers across the whole `k` loop; both
-/// operand streams are unit-stride, so the inner loop does `2*MR*NR`
-/// flops per `MR + NR` contiguous loads — compute-bound, which is the
-/// entire premise of the paper's `alpha >> beta` model. Edge tiles
-/// compute on the zero padding and store only the `mr_eff x nr_eff`
-/// valid corner.
-#[inline(always)]
-fn microkernel(
-    kc: usize,
-    alpha: f64,
-    ap: &[f64],
-    bp: &[f64],
-    c: &mut [f64],
-    ldc: usize,
-    mr_eff: usize,
-    nr_eff: usize,
-) {
-    let mut acc = [[0.0f64; MR]; NR];
-    let (achunks, _) = ap.as_chunks::<MR>();
-    let (bchunks, _) = bp.as_chunks::<NR>();
-    for p in 0..kc {
-        let av: &[f64; MR] = &achunks[p];
-        let bv: &[f64; NR] = &bchunks[p];
-        for jj in 0..NR {
-            let bvj = bv[jj];
-            for ii in 0..MR {
-                acc[jj][ii] = av[ii].mul_add(bvj, acc[jj][ii]);
-            }
-        }
-    }
-    if mr_eff == MR && nr_eff == NR {
-        for jj in 0..NR {
-            let ccol = &mut c[jj * ldc..jj * ldc + MR];
-            for ii in 0..MR {
-                ccol[ii] += alpha * acc[jj][ii];
-            }
-        }
-    } else {
-        for jj in 0..nr_eff {
-            let ccol = &mut c[jj * ldc..][..mr_eff];
-            for ii in 0..mr_eff {
-                ccol[ii] += alpha * acc[jj][ii];
-            }
-        }
-    }
-}
-
-/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-row strips: element
-/// `(i, p)` of strip `s` lands at `buf[s*MR*kc + p*MR + i]`, short edge
-/// strips zero-padded to `MR` rows. `No`: strip columns are contiguous
+/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into `mr`-row strips: element
+/// `(i, p)` of strip `s` lands at `buf[s*mr*kc + p*mr + i]`, short edge
+/// strips zero-padded to `mr` rows. `No`: strip columns are contiguous
 /// column segments of `A`. `Yes`: strip rows are contiguous column
 /// segments of `A` (the transpose is absorbed here, in O(mk) work).
+/// `mr` comes from the dispatched microkernel's tile shape.
+#[allow(clippy::too_many_arguments)]
 fn pack_a(
     transa: Trans,
     a: &[f64],
@@ -295,24 +338,25 @@ fn pack_a(
     pc: usize,
     mc: usize,
     kc: usize,
+    mr: usize,
     buf: &mut Vec<f64>,
 ) {
-    let strips = mc.div_ceil(MR);
-    let need = strips * MR * kc;
+    let strips = mc.div_ceil(mr);
+    let need = strips * mr * kc;
     if buf.len() < need {
         buf.resize(need, 0.0);
     }
     for s in 0..strips {
-        let r0 = s * MR;
-        let rows = MR.min(mc - r0);
-        let dst = &mut buf[s * MR * kc..(s + 1) * MR * kc];
+        let r0 = s * mr;
+        let rows = mr.min(mc - r0);
+        let dst = &mut buf[s * mr * kc..(s + 1) * mr * kc];
         match transa {
             Trans::No => {
                 for p in 0..kc {
                     let src = &a[ic + r0 + (pc + p) * lda..][..rows];
-                    let d = &mut dst[p * MR..p * MR + MR];
+                    let d = &mut dst[p * mr..p * mr + mr];
                     d[..rows].copy_from_slice(src);
-                    if rows < MR {
+                    if rows < mr {
                         d[rows..].fill(0.0);
                     }
                 }
@@ -321,12 +365,12 @@ fn pack_a(
                 for i in 0..rows {
                     let src = &a[pc + (ic + r0 + i) * lda..][..kc];
                     for (p, &v) in src.iter().enumerate() {
-                        dst[p * MR + i] = v;
+                        dst[p * mr + i] = v;
                     }
                 }
-                if rows < MR {
+                if rows < mr {
                     for p in 0..kc {
-                        dst[p * MR + rows..(p + 1) * MR].fill(0.0);
+                        dst[p * mr + rows..(p + 1) * mr].fill(0.0);
                     }
                 }
             }
@@ -334,9 +378,10 @@ fn pack_a(
     }
 }
 
-/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into `NR`-column strips: element
-/// `(p, j)` of strip `t` lands at `buf[t*NR*kc + p*NR + j]`, short edge
-/// strips zero-padded to `NR` columns.
+/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into `nr`-column strips: element
+/// `(p, j)` of strip `t` lands at `buf[t*nr*kc + p*nr + j]`, short edge
+/// strips zero-padded to `nr` columns. `nr` comes from the dispatched
+/// microkernel's tile shape.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     transb: Trans,
@@ -346,37 +391,38 @@ fn pack_b(
     jc: usize,
     kc: usize,
     nc: usize,
+    nr: usize,
     buf: &mut Vec<f64>,
 ) {
-    let strips = nc.div_ceil(NR);
-    let need = strips * NR * kc;
+    let strips = nc.div_ceil(nr);
+    let need = strips * nr * kc;
     if buf.len() < need {
         buf.resize(need, 0.0);
     }
     for t in 0..strips {
-        let c0 = t * NR;
-        let cols = NR.min(nc - c0);
-        let dst = &mut buf[t * NR * kc..(t + 1) * NR * kc];
+        let c0 = t * nr;
+        let cols = nr.min(nc - c0);
+        let dst = &mut buf[t * nr * kc..(t + 1) * nr * kc];
         match transb {
             Trans::No => {
                 for j in 0..cols {
                     let src = &b[pc + (jc + c0 + j) * ldb..][..kc];
                     for (p, &v) in src.iter().enumerate() {
-                        dst[p * NR + j] = v;
+                        dst[p * nr + j] = v;
                     }
                 }
-                if cols < NR {
+                if cols < nr {
                     for p in 0..kc {
-                        dst[p * NR + cols..(p + 1) * NR].fill(0.0);
+                        dst[p * nr + cols..(p + 1) * nr].fill(0.0);
                     }
                 }
             }
             Trans::Yes => {
                 for p in 0..kc {
                     let src = &b[jc + c0 + (pc + p) * ldb..][..cols];
-                    let d = &mut dst[p * NR..p * NR + NR];
+                    let d = &mut dst[p * nr..p * nr + nr];
                     d[..cols].copy_from_slice(src);
-                    if cols < NR {
+                    if cols < nr {
                         d[cols..].fill(0.0);
                     }
                 }
@@ -467,14 +513,16 @@ pub fn gemm_par_with(
         return;
     }
     let threads = threads.max(1);
-    if n >= 2 * NR * threads || m < 2 * MR * threads {
+    let kern = simd::selected();
+    let (mr, nr) = (kern.mr, kern.nr);
+    if n >= 2 * nr * threads || m < 2 * mr * threads {
         // Column-panel split of the jc loop: two NR-aligned panels per
-        // worker; panels are disjoint column ranges of C, data-race free
-        // by construction.
+        // worker (NR = the dispatched tile width); panels are disjoint
+        // column ranges of C, data-race free by construction.
         let jb = n
             .div_ceil(2 * threads)
-            .next_multiple_of(NR)
-            .max(NR)
+            .next_multiple_of(nr)
+            .max(nr)
             .min(n.max(1));
         c[..(n - 1) * ldc + m]
             .par_chunks_mut(jb * ldc)
@@ -484,7 +532,7 @@ pub fn gemm_par_with(
                 let jn = jb.min(n - j0);
                 // Panel disjointness invariants: every worker's column
                 // range starts on an NR boundary and stays inside C.
-                debug_assert_eq!(j0 % NR, 0, "jc panel start not NR-aligned");
+                debug_assert_eq!(j0 % nr, 0, "jc panel start not NR-aligned");
                 debug_assert!(j0 < n && jn > 0, "empty jc panel scheduled");
                 debug_assert!(
                     cpanel.len() >= (jn - 1) * ldc + m,
@@ -506,8 +554,8 @@ pub fn gemm_par_with(
         // the (cheap, O(mn)) reduction adds them back serially.
         let ib = m
             .div_ceil(2 * threads)
-            .next_multiple_of(MR)
-            .max(MR)
+            .next_multiple_of(mr)
+            .max(mr)
             .min(m.max(1));
         let blocks: Vec<usize> = (0..m.div_ceil(ib)).collect();
         let partials: Vec<(usize, usize, Vec<f64>)> = blocks
@@ -517,7 +565,7 @@ pub fn gemm_par_with(
                 let mb = ib.min(m - i0);
                 // Block disjointness invariants: every worker's row range
                 // starts on an MR boundary and stays inside C.
-                debug_assert_eq!(i0 % MR, 0, "ic block start not MR-aligned");
+                debug_assert_eq!(i0 % mr, 0, "ic block start not MR-aligned");
                 debug_assert!(i0 < m && mb > 0, "empty ic block scheduled");
                 let asub = match transa {
                     Trans::No => &a[i0..],
@@ -713,28 +761,9 @@ fn edge_col(
     }
 }
 
-/// Multi-lane dot product: eight independent accumulators so the
-/// reduction vectorizes despite FP non-associativity.
-#[inline]
-fn dot_lanes(x: &[f64], y: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 8];
-    let chunks = x.len() / 8;
-    for c in 0..chunks {
-        let xo = &x[c * 8..c * 8 + 8];
-        let yo = &y[c * 8..c * 8 + 8];
-        for l in 0..8 {
-            acc[l] = xo[l].mul_add(yo[l], acc[l]);
-        }
-    }
-    let mut s = acc.iter().sum::<f64>();
-    for i in chunks * 8..x.len() {
-        s += x[i] * y[i];
-    }
-    s
-}
-
 /// `C += alpha A^T B`: contiguous dot products of `A` and `B` columns,
-/// eight-lane vectorized (unpacked baseline).
+/// through the shared eight-lane core in [`crate::blas1::dot_contig`]
+/// (unpacked baseline).
 fn gemm_tn(
     m: usize,
     n: usize,
@@ -751,7 +780,7 @@ fn gemm_tn(
         let bcol = &b[j * ldb..j * ldb + k];
         for i in 0..m {
             let acol = &a[i * lda..i * lda + k];
-            c[i + j * ldc] += alpha * dot_lanes(acol, bcol);
+            c[i + j * ldc] += alpha * crate::blas1::dot_contig(acol, bcol);
         }
     }
 }
@@ -1641,6 +1670,74 @@ fn trmm_diag(
     }
 }
 
+/// In-place triangular multiply `B <- op(L) B` with `L` a `k x k`
+/// **unit lower-triangular** matrix (implicit ones on the diagonal; only
+/// the strictly-lower entries of `l` are read) and `B` `k x n`.
+///
+/// This is the triangular-top kernel of the diamond back-transformation:
+/// the top `k x k` block of a parallelogram `V` is exactly unit lower
+/// triangular, so `V^T C` / `V W` split into this (zero-free) triangular
+/// product plus a rectangular `gemm` on the body. `k` is a diamond's
+/// sweep count (small), so the scalar column-quad loop stays L1-resident.
+pub fn trmm_unit_lower_left(
+    trans: Trans,
+    k: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    if contract::enabled() {
+        contract::require_mat("trmm_unit_lower_left", "l", l, k, k, ldl);
+        contract::require_mat("trmm_unit_lower_left", "b", b, k, n, ldb);
+        contract::require_no_alias("trmm_unit_lower_left", "l", l, "b", b);
+    }
+    add(Level::L3, (n * k * k) as u64);
+    add_bytes(Level::L3, 8 * ((k * k / 2) as u64 + 2 * (k * n) as u64));
+    if k == 0 || n == 0 {
+        return;
+    }
+    let mut j = 0;
+    while j < n {
+        let jn = NR.min(n - j);
+        match trans {
+            Trans::No => {
+                // b_i <- b_i + sum_{l < i} L(i,l) b_l : bottom-up keeps
+                // the unread originals intact.
+                for i in (1..k).rev() {
+                    let mut s = [0.0f64; NR];
+                    for p in 0..i {
+                        let lv = l[i + p * ldl];
+                        for (jj, sv) in s.iter_mut().enumerate().take(jn) {
+                            *sv += lv * b[p + (j + jj) * ldb];
+                        }
+                    }
+                    for (jj, sv) in s.iter().enumerate().take(jn) {
+                        b[i + (j + jj) * ldb] += sv;
+                    }
+                }
+            }
+            Trans::Yes => {
+                // b_i <- b_i + sum_{l > i} L(l,i) b_l : top-down.
+                for i in 0..k {
+                    let mut s = [0.0f64; NR];
+                    for p in i + 1..k {
+                        let lv = l[p + i * ldl];
+                        for (jj, sv) in s.iter_mut().enumerate().take(jn) {
+                            *sv += lv * b[p + (j + jj) * ldb];
+                        }
+                    }
+                    for (jj, sv) in s.iter().enumerate().take(jn) {
+                        b[i + (j + jj) * ldb] += sv;
+                    }
+                }
+            }
+        }
+        j += jn;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2341,6 +2438,88 @@ mod tests {
             *v *= 1.5;
         }
         assert!(b2.approx_eq(&want2, 1e-11));
+    }
+
+    #[test]
+    fn trmm_unit_lower_matches_dense() {
+        let k = 9;
+        let n = 6;
+        let mut l = rand_mat(k, k, 90);
+        let mut dense = Matrix::zeros(k, k);
+        for j in 0..k {
+            for i in 0..k {
+                if i > j {
+                    dense[(i, j)] = l[(i, j)];
+                } else if i == j {
+                    dense[(i, j)] = 1.0;
+                    l[(i, j)] = f64::NAN; // prove diagonal is implicit
+                } else {
+                    l[(i, j)] = f64::NAN; // prove upper part unread
+                }
+            }
+        }
+        let b0 = rand_mat(k, n, 91);
+        let mut b = b0.clone();
+        trmm_unit_lower_left(Trans::No, k, n, l.as_slice(), k, b.as_mut_slice(), k);
+        assert!(b.approx_eq(&naive(&dense, &b0), 1e-13));
+
+        let mut b2 = b0.clone();
+        trmm_unit_lower_left(Trans::Yes, k, n, l.as_slice(), k, b2.as_mut_slice(), k);
+        assert!(b2.approx_eq(&naive(&dense.transpose(), &b0), 1e-13));
+    }
+
+    #[test]
+    fn gemm_every_dispatch_path_matches_scalar_bitwise() {
+        // The kernels share KC blocking and FMA accumulation order, so
+        // every ISA path must agree with the scalar tile bit for bit.
+        for (m, n, k) in [(40, 29, 17), (97, 65, 300), (24, 8, 256), (5, 13, 9)] {
+            let a = rand_mat(m, k, 80);
+            let b = rand_mat(k, n, 81);
+            let c0 = rand_mat(m, n, 82);
+            let mut want = c0.clone();
+            gemm_with_kernel(
+                &simd::SCALAR,
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
+                1.0,
+                want.as_mut_slice(),
+                m,
+            );
+            for kern in simd::available() {
+                let mut c = c0.clone();
+                gemm_with_kernel(
+                    kern,
+                    Trans::No,
+                    Trans::No,
+                    m,
+                    n,
+                    k,
+                    1.5,
+                    a.as_slice(),
+                    m,
+                    b.as_slice(),
+                    k,
+                    1.0,
+                    c.as_mut_slice(),
+                    m,
+                );
+                for (i, (&got, &w)) in c.as_slice().iter().zip(want.as_slice()).enumerate() {
+                    assert_eq!(
+                        got, w,
+                        "kernel {} differs at {i} (m={m},n={n},k={k})",
+                        kern.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

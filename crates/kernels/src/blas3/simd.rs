@@ -1,0 +1,619 @@
+//! Explicit-SIMD GEMM microkernels with one-time runtime dispatch.
+//!
+//! The packed loop nest in [`super`] is ISA-agnostic: it packs `op(A)`
+//! into `mr`-row strips and `op(B)` into `nr`-column strips, then calls
+//! one [`MicroKernel`] per register tile. This module owns the tile
+//! shapes and their implementations:
+//!
+//! | name     | tile (`mr x nr`) | ISA                 | why this shape |
+//! |----------|------------------|---------------------|----------------|
+//! | `avx512` | 24 x 8           | AVX-512F `vfmadd`   | 24 zmm accumulators (3 per column x 8) + 3 `A` loads + 1 broadcast = 28 of 32 registers; >= 24 independent FMA chains cover the FMA latency x throughput product |
+//! | `avx2`   | 4 x 12           | AVX2 + FMA `vfmadd` | 12 ymm accumulators + 1 `A` load + 1 broadcast = 14 of 16 registers |
+//! | `scalar` | 16 x 4           | portable `mul_add`  | autovectorizable fallback; also the differential-testing oracle |
+//!
+//! **Dispatch** happens once, at the first `gemm`-family call: the
+//! `TSEIG_SIMD` environment variable (`avx512` / `avx2` / `scalar`) is
+//! honored when the requested ISA is available, otherwise detection
+//! order is `avx512` → `avx2` → `scalar` via
+//! [`std::arch::is_x86_feature_detected!`]. [`available()`] exposes every
+//! kernel the machine supports so tests and benches can run each path
+//! explicitly in one process (the env override is a process-wide choice).
+//!
+//! **Numerical contract:** for a fixed problem every kernel produces
+//! *bitwise identical* results. Each `C(i,j)` is a k-ordered chain of
+//! fused multiply-adds regardless of the tile shape (packing only
+//! regroups rows/columns, never the `k` loop), all kernels share the
+//! same `KC` blocking, and the writeback computes `c + alpha * acc`
+//! with a separate multiply and add (not an FMA) to match the scalar
+//! path rounding-for-rounding. The differential proptests in
+//! `tests/simd_dispatch.rs` pin this down.
+
+use std::sync::OnceLock;
+
+/// Signature every microkernel implements: one `mr x nr` tile of
+/// `C += alpha * Ap * Bp` from packed strips. `ap` is the `mr * kc`
+/// zero-padded A strip, `bp` the `nr * kc` B strip; edge tiles compute
+/// on the padding and store only the `mr_eff x nr_eff` valid corner.
+pub type MicroFn = fn(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+);
+
+/// One dispatchable register-tile kernel plus the cache blocking that
+/// fits its shape (`mc` a multiple of `mr`, `nc` a multiple of `nr`;
+/// `KC` is shared so every kernel splits the `k` loop identically and
+/// stays bitwise-comparable).
+pub struct MicroKernel {
+    /// Dispatch name (`avx512` / `avx2` / `scalar`), matching the
+    /// `TSEIG_SIMD` values.
+    pub name: &'static str,
+    /// Register-tile height.
+    pub mr: usize,
+    /// Register-tile width.
+    pub nr: usize,
+    /// Row-block size of the packed `A` panel (about half an L2).
+    pub mc: usize,
+    /// Column-block size of the packed `B` panel (an L3 slice).
+    pub nc: usize,
+    func: MicroFn,
+}
+
+impl MicroKernel {
+    /// Run the kernel on one packed tile.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        kc: usize,
+        alpha: f64,
+        ap: &[f64],
+        bp: &[f64],
+        c: &mut [f64],
+        ldc: usize,
+        mr_eff: usize,
+        nr_eff: usize,
+    ) {
+        (self.func)(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff)
+    }
+}
+
+/// Portable fallback tile, also the oracle the SIMD paths are
+/// differential-tested against. Shape matches the pre-SIMD packed
+/// engine (two 8-wide FMA rows by four columns).
+pub static SCALAR: MicroKernel = MicroKernel {
+    name: "scalar",
+    mr: 16,
+    nr: 4,
+    mc: 256,
+    nc: 1024,
+    func: mk_scalar,
+};
+
+/// AVX2+FMA tile.
+#[cfg(target_arch = "x86_64")]
+pub static AVX2: MicroKernel = MicroKernel {
+    name: "avx2",
+    mr: 4,
+    nr: 12,
+    mc: 256,
+    nc: 1020,
+    func: mk_avx2_entry,
+};
+
+/// AVX-512F tile.
+#[cfg(target_arch = "x86_64")]
+pub static AVX512: MicroKernel = MicroKernel {
+    name: "avx512",
+    mr: 24,
+    nr: 8,
+    mc: 240,
+    nc: 1024,
+    func: mk_avx512_entry,
+};
+
+/// Every kernel this machine can execute, best first. Tests and benches
+/// iterate this to exercise each dispatch path in-process.
+pub fn available() -> &'static [&'static MicroKernel] {
+    static AVAIL: OnceLock<Vec<&'static MicroKernel>> = OnceLock::new();
+    AVAIL.get_or_init(|| {
+        #[allow(unused_mut)]
+        let mut v: Vec<&'static MicroKernel> = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                v.push(&AVX512);
+            }
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                v.push(&AVX2);
+            }
+        }
+        v.push(&SCALAR);
+        v
+    })
+}
+
+/// Look a kernel up by its dispatch name, `None` when the machine does
+/// not support it (or the name is unknown).
+pub fn by_name(name: &str) -> Option<&'static MicroKernel> {
+    available().iter().copied().find(|k| k.name == name)
+}
+
+/// The kernel the packed engine uses, chosen once at first call:
+/// `TSEIG_SIMD` when set to a supported name, otherwise the best
+/// detected ISA. An unsupported or unknown override falls back to auto
+/// detection rather than failing — the env knob exists for testing and
+/// benchmarking, not as a hard requirement.
+pub fn selected() -> &'static MicroKernel {
+    static SELECTED: OnceLock<&'static MicroKernel> = OnceLock::new();
+    SELECTED.get_or_init(|| {
+        if let Ok(want) = std::env::var("TSEIG_SIMD") {
+            if let Some(k) = by_name(want.trim()) {
+                return k;
+            }
+        }
+        available()[0]
+    })
+}
+
+/// Scalar 16x4 tile: plain `mul_add` chains the compiler may
+/// autovectorize; semantics identical to the SIMD tiles by construction.
+fn mk_scalar(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    const MR: usize = 16;
+    const NR: usize = 4;
+    let mut acc = [[0.0f64; MR]; NR];
+    let (achunks, _) = ap.as_chunks::<MR>();
+    let (bchunks, _) = bp.as_chunks::<NR>();
+    for p in 0..kc {
+        let av: &[f64; MR] = &achunks[p];
+        let bv: &[f64; NR] = &bchunks[p];
+        for jj in 0..NR {
+            let bvj = bv[jj];
+            for ii in 0..MR {
+                acc[jj][ii] = av[ii].mul_add(bvj, acc[jj][ii]);
+            }
+        }
+    }
+    if mr_eff == MR && nr_eff == NR {
+        for jj in 0..NR {
+            let ccol = &mut c[jj * ldc..jj * ldc + MR];
+            for ii in 0..MR {
+                ccol[ii] += alpha * acc[jj][ii];
+            }
+        }
+    } else {
+        for jj in 0..nr_eff {
+            let ccol = &mut c[jj * ldc..][..mr_eff];
+            for ii in 0..mr_eff {
+                ccol[ii] += alpha * acc[jj][ii];
+            }
+        }
+    }
+}
+
+/// Safe entry for the AVX-512 tile: checks every slice bound the
+/// intrinsics body relies on, then calls into the `target_feature` fn.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx512_entry(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 24 * kc && bp.len() >= 8 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    if mr_eff == 24 && nr_eff == 8 {
+        assert!(c.len() >= 7 * ldc + 24, "full C tile out of bounds");
+    }
+    // SAFETY: this entry is only reachable through the AVX512 kernel
+    // descriptor, which `available()` registers iff
+    // `is_x86_feature_detected!("avx512f")`; the slice bounds the body
+    // dereferences are asserted just above.
+    unsafe { mk_avx512_24x8(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 24x8 AVX-512F tile: 24 zmm accumulators (three per column), one
+/// column broadcast per FMA.
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx512f` target feature is available and
+/// that `ap.len() >= 24*kc`, `bp.len() >= 8*kc`, and `c` covers the
+/// `mr_eff x nr_eff` output tile at leading dimension `ldc` (the full
+/// `24 x 8` tile when `mr_eff == 24 && nr_eff == 8`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx512_24x8(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 24;
+    const NR: usize = 8;
+    // SAFETY: all pointer arithmetic below stays inside the bounds the
+    // safe entry asserted: `ap` is read at `p*24 + 0..24` for p < kc,
+    // `bp` at `p*8 + 0..8`, and `c` only on the full-tile path that
+    // asserted `7*ldc + 24` coverage.
+    unsafe {
+        let mut acc = [[_mm512_setzero_pd(); 3]; NR];
+        let mut aptr = ap.as_ptr();
+        let mut bptr = bp.as_ptr();
+        for _ in 0..kc {
+            let a0 = _mm512_loadu_pd(aptr);
+            let a1 = _mm512_loadu_pd(aptr.add(8));
+            let a2 = _mm512_loadu_pd(aptr.add(16));
+            for (jj, accj) in acc.iter_mut().enumerate() {
+                let bv = _mm512_set1_pd(*bptr.add(jj));
+                accj[0] = _mm512_fmadd_pd(a0, bv, accj[0]);
+                accj[1] = _mm512_fmadd_pd(a1, bv, accj[1]);
+                accj[2] = _mm512_fmadd_pd(a2, bv, accj[2]);
+            }
+            aptr = aptr.add(MR);
+            bptr = bptr.add(NR);
+        }
+        if mr_eff == MR && nr_eff == NR {
+            // Writeback is mul-then-add (not FMA) so every kernel's
+            // rounding matches the scalar tile bitwise.
+            let va = _mm512_set1_pd(alpha);
+            for (jj, accj) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add(jj * ldc);
+                for (q, &av) in accj.iter().enumerate() {
+                    let cv = _mm512_loadu_pd(cp.add(8 * q));
+                    _mm512_storeu_pd(cp.add(8 * q), _mm512_add_pd(cv, _mm512_mul_pd(av, va)));
+                }
+            }
+        } else {
+            let mut buf = [0.0f64; MR * NR];
+            for (jj, accj) in acc.iter().enumerate() {
+                for (q, &av) in accj.iter().enumerate() {
+                    _mm512_storeu_pd(buf.as_mut_ptr().add(jj * MR + 8 * q), av);
+                }
+            }
+            for jj in 0..nr_eff {
+                for ii in 0..mr_eff {
+                    c[ii + jj * ldc] += alpha * buf[jj * MR + ii];
+                }
+            }
+        }
+    }
+}
+
+/// Safe entry for the AVX2 tile; same bounds discipline as the AVX-512
+/// entry.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx2_entry(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 4 * kc && bp.len() >= 12 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    if mr_eff == 4 && nr_eff == 12 {
+        assert!(c.len() >= 11 * ldc + 4, "full C tile out of bounds");
+    }
+    // SAFETY: only reachable through the AVX2 kernel descriptor, which
+    // `available()` registers iff `avx2` and `fma` are detected; slice
+    // bounds asserted above.
+    unsafe { mk_avx2_4x12(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 4x12 AVX2+FMA tile: 12 ymm accumulators, one `A` load and one
+/// broadcast per FMA pair.
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx2` and `fma` target features are
+/// available and that `ap.len() >= 4*kc`, `bp.len() >= 12*kc`, and `c`
+/// covers the `mr_eff x nr_eff` output tile at leading dimension `ldc`
+/// (the full `4 x 12` tile when `mr_eff == 4 && nr_eff == 12`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx2_4x12(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 4;
+    const NR: usize = 12;
+    // SAFETY: pointer arithmetic stays inside the bounds the safe entry
+    // asserted (`ap` at `p*4 + 0..4`, `bp` at `p*12 + 0..12`, `c` only
+    // on the asserted full-tile path).
+    unsafe {
+        let mut acc = [_mm256_setzero_pd(); NR];
+        let mut aptr = ap.as_ptr();
+        let mut bptr = bp.as_ptr();
+        for _ in 0..kc {
+            let av = _mm256_loadu_pd(aptr);
+            for (jj, a) in acc.iter_mut().enumerate() {
+                let bv = _mm256_broadcast_sd(&*bptr.add(jj));
+                *a = _mm256_fmadd_pd(av, bv, *a);
+            }
+            aptr = aptr.add(MR);
+            bptr = bptr.add(NR);
+        }
+        if mr_eff == MR && nr_eff == NR {
+            let va = _mm256_set1_pd(alpha);
+            for (jj, a) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add(jj * ldc);
+                let cv = _mm256_loadu_pd(cp);
+                _mm256_storeu_pd(cp, _mm256_add_pd(cv, _mm256_mul_pd(*a, va)));
+            }
+        } else {
+            let mut buf = [0.0f64; MR * NR];
+            for (jj, a) in acc.iter().enumerate() {
+                _mm256_storeu_pd(buf.as_mut_ptr().add(jj * MR), *a);
+            }
+            for jj in 0..nr_eff {
+                for ii in 0..mr_eff {
+                    c[ii + jj * ldc] += alpha * buf[jj * MR + ii];
+                }
+            }
+        }
+    }
+}
+
+/// Measured register-resident FMA throughput (flop/s) of the *selected*
+/// dispatch path — the "machine peak" denominator for fraction-of-peak
+/// reporting. The probe runs eight independent vector accumulator
+/// chains with no memory traffic in the timed loop, enough parallelism
+/// to cover the FMA latency on both issue ports, using the same vector
+/// width the selected microkernel issues (an explicit-zmm kernel must be
+/// judged against a zmm ceiling; the compiler's autovectorized loops
+/// often stop at ymm). The estimate is a floor of true peak — loop
+/// overhead only ever flatters the kernel being judged, never the
+/// machine.
+pub fn fma_peak() -> f64 {
+    let iters: u64 = 5_000_000;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let rate = match selected().name {
+            #[cfg(target_arch = "x86_64")]
+            "avx512" if is_x86_feature_detected!("avx512f") => {
+                // SAFETY: avx512f presence re-checked by the guard above.
+                unsafe { peak_probe_avx512(iters) }
+            }
+            #[cfg(target_arch = "x86_64")]
+            "avx2" if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") => {
+                // SAFETY: avx2+fma presence re-checked by the guard above.
+                unsafe { peak_probe_avx2(iters) }
+            }
+            _ => peak_probe_portable(iters),
+        };
+        best = best.max(rate);
+    }
+    best
+}
+
+/// Portable probe: eight independent eight-lane `mul_add` chains the
+/// compiler autovectorizes at whatever width it prefers. Returns flop/s.
+fn peak_probe_portable(iters: u64) -> f64 {
+    const LANES: usize = 8;
+    const CHAINS: usize = 8;
+    let x = std::hint::black_box([1.000_000_01f64; LANES]);
+    let y = std::hint::black_box([0.999_999_99f64; LANES]);
+    let mut acc = [[0.0f64; LANES]; CHAINS];
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        for chain in &mut acc {
+            for l in 0..LANES {
+                chain[l] = x[l].mul_add(y[l], chain[l]);
+            }
+        }
+    }
+    let dt = t.elapsed().as_secs_f64();
+    std::hint::black_box(&acc);
+    (iters * (CHAINS * LANES * 2) as u64) as f64 / dt
+}
+
+/// AVX-512 probe: eight independent zmm `vfmadd` chains (latency x
+/// throughput needs >= 8 in flight). Returns flop/s.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F; callers check
+/// `is_x86_feature_detected!("avx512f")` first.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn peak_probe_avx512(iters: u64) -> f64 {
+    use std::arch::x86_64::*;
+    let x = _mm512_set1_pd(1.000_000_01);
+    let y = _mm512_set1_pd(0.999_999_99);
+    let mut a0 = _mm512_setzero_pd();
+    let mut a1 = _mm512_setzero_pd();
+    let mut a2 = _mm512_setzero_pd();
+    let mut a3 = _mm512_setzero_pd();
+    let mut a4 = _mm512_setzero_pd();
+    let mut a5 = _mm512_setzero_pd();
+    let mut a6 = _mm512_setzero_pd();
+    let mut a7 = _mm512_setzero_pd();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        a0 = _mm512_fmadd_pd(x, y, a0);
+        a1 = _mm512_fmadd_pd(x, y, a1);
+        a2 = _mm512_fmadd_pd(x, y, a2);
+        a3 = _mm512_fmadd_pd(x, y, a3);
+        a4 = _mm512_fmadd_pd(x, y, a4);
+        a5 = _mm512_fmadd_pd(x, y, a5);
+        a6 = _mm512_fmadd_pd(x, y, a6);
+        a7 = _mm512_fmadd_pd(x, y, a7);
+    }
+    let dt = t.elapsed().as_secs_f64();
+    let fold = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(a0, a1), _mm512_add_pd(a2, a3)),
+        _mm512_add_pd(_mm512_add_pd(a4, a5), _mm512_add_pd(a6, a7)),
+    );
+    let mut sink = [0.0f64; 8];
+    _mm512_storeu_pd(sink.as_mut_ptr(), fold);
+    std::hint::black_box(&sink);
+    (iters * (8 * 8 * 2) as u64) as f64 / dt
+}
+
+/// AVX2+FMA probe: eight independent ymm `vfmadd` chains. Returns
+/// flop/s.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA; callers check
+/// `is_x86_feature_detected!` for both first.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn peak_probe_avx2(iters: u64) -> f64 {
+    use std::arch::x86_64::*;
+    let x = _mm256_set1_pd(1.000_000_01);
+    let y = _mm256_set1_pd(0.999_999_99);
+    let mut a0 = _mm256_setzero_pd();
+    let mut a1 = _mm256_setzero_pd();
+    let mut a2 = _mm256_setzero_pd();
+    let mut a3 = _mm256_setzero_pd();
+    let mut a4 = _mm256_setzero_pd();
+    let mut a5 = _mm256_setzero_pd();
+    let mut a6 = _mm256_setzero_pd();
+    let mut a7 = _mm256_setzero_pd();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        a0 = _mm256_fmadd_pd(x, y, a0);
+        a1 = _mm256_fmadd_pd(x, y, a1);
+        a2 = _mm256_fmadd_pd(x, y, a2);
+        a3 = _mm256_fmadd_pd(x, y, a3);
+        a4 = _mm256_fmadd_pd(x, y, a4);
+        a5 = _mm256_fmadd_pd(x, y, a5);
+        a6 = _mm256_fmadd_pd(x, y, a6);
+        a7 = _mm256_fmadd_pd(x, y, a7);
+    }
+    let dt = t.elapsed().as_secs_f64();
+    let fold = _mm256_add_pd(
+        _mm256_add_pd(a0, a1),
+        _mm256_add_pd(
+            _mm256_add_pd(a2, a3),
+            _mm256_add_pd(_mm256_add_pd(a4, a5), _mm256_add_pd(a6, a7)),
+        ),
+    );
+    let mut sink = [0.0f64; 4];
+    _mm256_storeu_pd(sink.as_mut_ptr(), fold);
+    std::hint::black_box(&sink);
+    (iters * (8 * 4 * 2) as u64) as f64 / dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fma_peak_probe_is_sane() {
+        // Cheap sanity only (full-rate runs belong to the bench): the
+        // probe must return a positive, finite rate on every path.
+        assert!(peak_probe_portable(10_000).is_finite());
+        // The full probe at its real iteration count is only quick on
+        // optimized builds; debug interpretation of the loop takes
+        // tens of seconds.
+        #[cfg(not(debug_assertions))]
+        {
+            let p = fma_peak();
+            assert!(p > 0.0 && p.is_finite(), "peak {p:.3e}");
+        }
+    }
+
+    #[test]
+    fn scalar_always_available_and_last() {
+        let av = available();
+        assert_eq!(av.last().map(|k| k.name), Some("scalar"));
+        assert!(by_name("scalar").is_some());
+        assert!(by_name("no-such-isa").is_none());
+    }
+
+    #[test]
+    fn blocking_fits_tiles() {
+        for k in available() {
+            assert_eq!(k.mc % k.mr, 0, "{}: mc must be a multiple of mr", k.name);
+            assert_eq!(k.nc % k.nr, 0, "{}: nc must be a multiple of nr", k.name);
+            assert!(k.mr >= 1 && k.nr >= 1);
+        }
+    }
+
+    #[test]
+    fn selected_is_available() {
+        let sel = selected();
+        assert!(available().iter().any(|k| k.name == sel.name));
+    }
+
+    #[test]
+    fn tiles_match_scalar_on_one_strip() {
+        // One packed strip per kernel shape, ragged edges included.
+        for k in available() {
+            for kc in [1usize, 3, 7, 32] {
+                let ap: Vec<f64> = (0..k.mr * kc).map(|i| (i % 13) as f64 - 6.0).collect();
+                let bp: Vec<f64> = (0..k.nr * kc).map(|i| (i % 7) as f64 - 3.0).collect();
+                for (mr_eff, nr_eff) in [(k.mr, k.nr), (k.mr - k.mr / 2, k.nr - k.nr / 2)] {
+                    let ldc = k.mr + 3;
+                    let mut c = vec![0.5f64; ldc * k.nr];
+                    let mut want = c.clone();
+                    k.run(kc, 1.25, &ap, &bp, &mut c, ldc, mr_eff, nr_eff);
+                    // Oracle: direct per-element fma chain.
+                    for jj in 0..nr_eff {
+                        for ii in 0..mr_eff {
+                            let mut acc = 0.0f64;
+                            for p in 0..kc {
+                                acc = ap[p * k.mr + ii].mul_add(bp[p * k.nr + jj], acc);
+                            }
+                            want[ii + jj * ldc] += 1.25 * acc;
+                        }
+                    }
+                    for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                        assert_eq!(got, w, "{} kc={kc} idx={i}", k.name);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,11 +1,12 @@
-//! Unsafe hygiene: the three rules that keep the workspace's `unsafe`
+//! Unsafe hygiene: the rules that keep the workspace's `unsafe`
 //! surface small, commented, and documented.
 //!
 //! The repo's concurrency argument (disjoint `jc`/`ic` panels in the
 //! packed GEMM, region-serialized `DataCell` access in the task runtime)
-//! lives in exactly two files. Everything else must stay safe Rust: a new
-//! `unsafe` block anywhere else is a build failure until this allowlist
-//! is deliberately extended in review.
+//! and its ISA-gated intrinsics live in exactly three files. Everything
+//! else must stay safe Rust: a new `unsafe` block anywhere else is a
+//! build failure until this allowlist is deliberately extended in
+//! review.
 
 use crate::source::SourceFile;
 use crate::Diag;
@@ -17,14 +18,27 @@ use crate::Diag;
 ///   runtime's region serialization is the safety argument.
 /// * `core/src/stage2.rs` — bulge-chase tasks reading/writing the shared
 ///   band through `DataCell` under the scheduler's region guarantee.
-pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/runtime/src/data.rs", "crates/core/src/stage2.rs"];
+/// * `kernels/src/blas3/simd.rs` — the `std::arch` GEMM microkernels;
+///   runtime `is_x86_feature_detected!` dispatch plus the safe entry
+///   wrappers' bounds assertions are the safety argument.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/runtime/src/data.rs",
+    "crates/core/src/stage2.rs",
+    "crates/kernels/src/blas3/simd.rs",
+];
 
 /// How many lines above an `unsafe` block/impl a `// SAFETY:` comment may
 /// sit (attributes and the comment block itself count).
 const SAFETY_LOOKBACK: usize = 5;
 
-/// Rule `unsafe-allowlist` + `safety-comment` + `safety-doc`.
+/// How many lines below a `#[target_feature]` attribute the function
+/// header must appear (other attributes may sit between).
+const TARGET_FEATURE_LOOKAHEAD: usize = 4;
+
+/// Rule `unsafe-allowlist` + `safety-comment` + `safety-doc` +
+/// `target-feature-unsafe`.
 pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
+    check_target_feature(file, diags);
     let allowlisted = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str());
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -62,6 +76,60 @@ pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
                 line: lineno,
                 rule: "safety-comment",
                 msg: "`unsafe` block/impl without a `// SAFETY:` comment directly above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `target-feature-unsafe`: per-function SAFETY requirements for
+/// ISA-gated intrinsics. Every `#[target_feature(...)]` function must be
+/// declared `unsafe fn` — calling it is only sound once runtime
+/// detection has proven the ISA present, and a safe signature would let
+/// any caller skip that proof — and must carry a `# Safety` rustdoc
+/// section stating the CPU-feature precondition.
+fn check_target_feature(file: &SourceFile, diags: &mut Vec<Diag>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !line.code.contains("#[target_feature") {
+            continue;
+        }
+        let lineno = idx + 1;
+        if file.allows(lineno, "target-feature-unsafe") {
+            continue;
+        }
+        // The function header: first `fn` within the next few lines
+        // (other attributes may sit in between).
+        let hi = (idx + TARGET_FEATURE_LOOKAHEAD).min(file.lines.len() - 1);
+        let header = (idx + 1..=hi).find(|&j| {
+            let code = file.lines[j].code.trim_start();
+            code.contains("fn ") && !code.starts_with("#[")
+        });
+        let Some(hj) = header else {
+            diags.push(Diag {
+                path: file.rel_path.clone(),
+                line: lineno,
+                rule: "target-feature-unsafe",
+                msg: "`#[target_feature]` not followed by a function header".to_string(),
+            });
+            continue;
+        };
+        if !file.lines[hj].code.contains("unsafe fn") {
+            diags.push(Diag {
+                path: file.rel_path.clone(),
+                line: hj + 1,
+                rule: "target-feature-unsafe",
+                msg: "`#[target_feature]` function must be `unsafe fn`: callers must prove \
+                      the ISA is present via runtime detection before calling"
+                    .to_string(),
+            });
+        }
+        if !has_safety_doc(file, idx) {
+            diags.push(Diag {
+                path: file.rel_path.clone(),
+                line: lineno,
+                rule: "target-feature-unsafe",
+                msg: "`#[target_feature]` function needs a `# Safety` rustdoc section \
+                      stating the required CPU features"
                     .to_string(),
             });
         }
@@ -183,6 +251,42 @@ mod tests {
             "// unsafe is discussed here\nlet s = \"unsafe\";\n",
         );
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn target_feature_fn_must_be_unsafe_with_safety_doc() {
+        // Safe signature: rejected even in the allowlisted module.
+        let bad = "/// Kernel.\n///\n/// # Safety\n/// Requires AVX2.\n\
+                   #[target_feature(enable = \"avx2\")]\nfn k(a: &[f64]) {}\n";
+        let d = run("crates/kernels/src/blas3/simd.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "target-feature-unsafe");
+        assert_eq!(d[0].line, 6);
+
+        // Missing `# Safety` doc: rejected by this rule, and by the
+        // general `safety-doc` rule for the `unsafe fn` itself.
+        let bad = "/// Kernel.\n#[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn k(a: &[f64]) {}\n";
+        let d = run("crates/kernels/src/blas3/simd.rs", bad);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].rule, "target-feature-unsafe");
+        assert_eq!(d[1].rule, "safety-doc");
+
+        // Both requirements met (extra attributes in between are fine).
+        let good = "/// Kernel.\n///\n/// # Safety\n/// Requires AVX2 and FMA.\n\
+                    #[target_feature(enable = \"avx2\")]\n#[allow(dead_code)]\n\
+                    unsafe fn k(a: &[f64]) {}\n";
+        assert!(run("crates/kernels/src/blas3/simd.rs", good).is_empty());
+    }
+
+    #[test]
+    fn target_feature_rule_applies_outside_the_allowlist_too() {
+        let bad = "#[target_feature(enable = \"avx2\")]\nfn k() {}\n";
+        let d = run("crates/core/src/driver.rs", bad);
+        // Both target-feature diags fire (not unsafe, no safety doc);
+        // the unsafe-allowlist rule doesn't, since nothing is `unsafe`.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "target-feature-unsafe"));
     }
 
     #[test]
