@@ -7,12 +7,37 @@
 //! chase and band reflectors are applied exactly like the real case —
 //! the commutation argument for the diamond reordering only involves row
 //! supports, so it transfers verbatim.
+//!
+//! Like the real pipeline, [`apply_q`] fuses the whole chain into **one
+//! pass over the eigenvector matrix**: the columns of `E` are split into
+//! cache-sized panels and each panel applies `D`, every diamond of the
+//! `Q2` sequence, and then the reverse `Q1` chain while it is
+//! cache-resident — no barrier between the three stages, and all
+//! per-panel workspace comes from a grow-only thread-local scratch so
+//! the allocator never runs inside the panel loop. Since `zlarfb_left`
+//! is built on the packed complex `zgemm`, all the Level-3 flops of the
+//! back-transform run through the same generic packed engine as the
+//! real driver. [`apply_phases`], [`apply_q2`] and [`apply_q1`] remain
+//! as the unfused pieces for tests and benches.
 
 use crate::ckernels::{zlarf_left, zlarfb_left, zlarft, Op};
 use crate::stage1::Q1PanelC;
 use crate::stage2::V2SetC;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use tseig_matrix::{CMatrix, C64};
+
+/// Column-panel width for the cache-local distribution of `E`. Complex
+/// elements are twice the size of real ones, so this is half the real
+/// pipeline's `DEFAULT_PANEL_COLS` for the same cache footprint.
+pub const DEFAULT_PANEL_COLS: usize = 64;
+
+thread_local! {
+    /// Per-thread back-transform workspace, grow-only: holds the
+    /// `2 * k * cols` scratch `zlarfb_left` wants, reused across panels
+    /// and across calls.
+    static BT_SCRATCH_C: RefCell<Vec<C64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Scale row `j` of `e` by `phases[j]` (apply `D`).
 pub fn apply_phases(phases: &[C64], e: &mut CMatrix) {
@@ -73,6 +98,116 @@ fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
     out
 }
 
+/// Workspace length one panel of `cols` columns needs: the
+/// `2 * k * cols` `zlarfb_left` scratch of the widest block in either
+/// half of the chain.
+fn scratch_len(diamonds: &[DiamondC], q1: &[Q1PanelC], cols: usize) -> usize {
+    let kd = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
+    let kq = q1.iter().map(|p| p.v.cols()).max().unwrap_or(0);
+    2 * kd.max(kq) * cols
+}
+
+/// The shared panel pipeline: parallel over column panels of `e`, each
+/// panel applies `D` (when given), every diamond (the `Q2` sequence)
+/// and then the reverse `Q1` chain while cache-resident. Any piece may
+/// be empty.
+fn apply_pipeline(
+    phases: Option<&[C64]>,
+    diamonds: &[DiamondC],
+    q1: &[Q1PanelC],
+    e: &mut CMatrix,
+    panel_cols: usize,
+) {
+    if e.cols() == 0 || (phases.is_none() && diamonds.is_empty() && q1.is_empty()) {
+        return;
+    }
+    let pc = if panel_cols == 0 {
+        DEFAULT_PANEL_COLS
+    } else {
+        panel_cols
+    };
+    let nrows = e.rows();
+    let ldc = e.ld();
+    let need = scratch_len(diamonds, q1, pc.min(e.cols()));
+    e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
+        let cols = panel.len() / ldc;
+        BT_SCRATCH_C.with(|scratch| {
+            let work = &mut *scratch.borrow_mut();
+            if work.len() < need {
+                work.resize(need, C64::ZERO);
+            }
+            if let Some(d) = phases {
+                for j in 0..cols {
+                    let col = &mut panel[j * ldc..j * ldc + nrows];
+                    for (v, &p) in col.iter_mut().zip(d) {
+                        *v *= p;
+                    }
+                }
+            }
+            for d in diamonds {
+                let rows = d.v.rows();
+                zlarfb_left(
+                    Op::No,
+                    rows,
+                    cols,
+                    d.v.cols(),
+                    d.v.as_slice(),
+                    rows,
+                    &d.t,
+                    d.v.cols(),
+                    &mut panel[d.r0..],
+                    ldc,
+                    &mut work[..2 * d.v.cols() * cols],
+                );
+            }
+            for p in q1.iter().rev() {
+                let rows = p.v.rows();
+                zlarfb_left(
+                    Op::No,
+                    rows,
+                    cols,
+                    p.v.cols(),
+                    p.v.as_slice(),
+                    rows,
+                    &p.t,
+                    p.v.cols(),
+                    &mut panel[p.r0..],
+                    ldc,
+                    &mut work[..2 * p.v.cols() * cols],
+                );
+            }
+        });
+    });
+}
+
+/// Fused single-pass back-transformation `E <- Q1 Q2 D E`: per column
+/// panel, the phase fold, the full diamond sequence and then the
+/// reverse `Q1` chain all run while the panel is cache-resident — one
+/// pass over the eigenvector matrix instead of the three that separate
+/// [`apply_phases`] + [`apply_q2`] + [`apply_q1`] calls would make,
+/// with no synchronization barrier between the stages (the panels are
+/// fully independent).
+pub fn apply_q(
+    v2: &V2SetC,
+    panels: &[Q1PanelC],
+    phases: Option<&[C64]>,
+    e: &mut CMatrix,
+    ell: usize,
+    panel_cols: usize,
+) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n, "E must have n rows");
+    if let Some(d) = phases {
+        assert_eq!(d.len(), n, "D must have n phases");
+    }
+    let diamonds = if v2.sweep_count() == 0 {
+        Vec::new()
+    } else {
+        build_diamonds(v2, ell.max(1))
+    };
+    apply_pipeline(phases, &diamonds, panels, e, panel_cols);
+}
+
 /// `E <- Q2 E` with diamond-blocked complex reflectors, parallel over
 /// column panels.
 pub fn apply_q2(v2: &V2SetC, e: &mut CMatrix, ell: usize, panel_cols: usize) {
@@ -82,29 +217,7 @@ pub fn apply_q2(v2: &V2SetC, e: &mut CMatrix, ell: usize, panel_cols: usize) {
         return;
     }
     let diamonds = build_diamonds(v2, ell.max(1));
-    let pc = if panel_cols == 0 { 64 } else { panel_cols };
-    let ldc = e.ld();
-    let max_k = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
-    e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
-        let cols = panel.len() / ldc;
-        let mut work = vec![C64::ZERO; 2 * max_k * cols];
-        for d in &diamonds {
-            let rows = d.v.rows();
-            zlarfb_left(
-                Op::No,
-                rows,
-                cols,
-                d.v.cols(),
-                d.v.as_slice(),
-                rows,
-                &d.t,
-                d.v.cols(),
-                &mut panel[d.r0..],
-                ldc,
-                &mut work,
-            );
-        }
-    });
+    apply_pipeline(None, &diamonds, &[], e, panel_cols);
 }
 
 /// Naive reference `E <- Q2 E`, reflectors one at a time in exact
@@ -136,32 +249,7 @@ pub fn apply_q2_naive(v2: &V2SetC, e: &mut CMatrix) {
 /// `G <- Q1 G`: stage-1 panels in reverse order, parallel over column
 /// panels.
 pub fn apply_q1(panels: &[Q1PanelC], g: &mut CMatrix, panel_cols: usize) {
-    if g.cols() == 0 || panels.is_empty() {
-        return;
-    }
-    let pc = if panel_cols == 0 { 64 } else { panel_cols };
-    let ldc = g.ld();
-    let max_k = panels.iter().map(|p| p.v.cols()).max().unwrap_or(0);
-    g.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
-        let cols = panel.len() / ldc;
-        let mut work = vec![C64::ZERO; 2 * max_k * cols];
-        for p in panels.iter().rev() {
-            let rows = p.v.rows();
-            zlarfb_left(
-                Op::No,
-                rows,
-                cols,
-                p.v.cols(),
-                p.v.as_slice(),
-                rows,
-                &p.t,
-                p.v.cols(),
-                &mut panel[p.r0..],
-                ldc,
-                &mut work,
-            );
-        }
-    });
+    apply_pipeline(None, &[], panels, g, panel_cols);
 }
 
 #[cfg(test)]
@@ -218,6 +306,51 @@ mod tests {
         // Q1 B Q1^H == A.
         let recon = q.multiply(&bf.band).multiply(&q.adjoint());
         assert!(recon.max_diff(&a) < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn fused_apply_q_matches_unfused_chain() {
+        // The fused one-pass D + Q2 + Q1 against the unfused trio
+        // (naive Level-2 Q2 for the reflector ordering, serial Q1),
+        // across panel widths, with and without the phase fold.
+        use tseig_matrix::c64;
+        for (n, b, seed) in [(22, 3, 90), (31, 5, 91)] {
+            let band = banded(n, b, seed);
+            let bf = he2hb(&band, b);
+            let chase = reduce(bf.band.clone(), b);
+            let e0 = {
+                let re = tseig_matrix::gen::random_symmetric(n, seed + 7);
+                CMatrix::from_real(&re)
+            };
+            let phases: Vec<_> = (0..n)
+                .map(|i| {
+                    let th = 0.37 * i as f64;
+                    c64(th.cos(), th.sin())
+                })
+                .collect();
+
+            let mut want = e0.clone();
+            apply_phases(&phases, &mut want);
+            apply_q2_naive(&chase.v2, &mut want);
+            apply_q1(&bf.panels, &mut want, n + 1); // serial: one panel
+
+            for pc in [1usize, 5, 0] {
+                let mut fused = e0.clone();
+                apply_q(&chase.v2, &bf.panels, Some(&phases), &mut fused, 3, pc);
+                assert!(
+                    fused.max_diff(&want) < 1e-11,
+                    "fused != D + naive Q2 + serial Q1 (n={n}, b={b}, pc={pc})"
+                );
+            }
+
+            // Without phases the fused pass is just Q1 Q2.
+            let mut want2 = e0.clone();
+            apply_q2(&chase.v2, &mut want2, 3, 0);
+            apply_q1(&bf.panels, &mut want2, 0);
+            let mut fused2 = e0.clone();
+            apply_q(&chase.v2, &bf.panels, None, &mut fused2, 3, 0);
+            assert!(fused2.max_diff(&want2) < 1e-11);
+        }
     }
 
     #[test]

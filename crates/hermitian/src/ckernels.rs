@@ -2,35 +2,81 @@
 //!
 //! Conventions mirror the real kernels in `tseig-kernels`: column-major
 //! `(&[C64], ld)` slices, lower-triangle Hermitian storage, explicit-`V`
-//! block reflectors. `ConjTrans` plays the role the real code's `Trans`
-//! plays (plain transpose without conjugation is never needed by the
-//! pipeline).
+//! block reflectors.
 //!
-//! Flops are charged at 4 real flops per complex multiply-add pair
-//! (1 complex mul = 6 flops, 1 add = 2; the conventional "4x" factor is
-//! close enough for the Table-1-style accounting and matches LAPACK's
-//! operation-count conventions).
+//! ## One engine, two element types
+//!
+//! The BLAS-3 entry points here are *thin wrappers over the generic
+//! packed engine* (`tseig_kernels::blas3::engine`): [`zgemm`] is the
+//! packed, rayon-parallel nest monomorphized at [`C64`], and
+//! [`zher2k_lower`] / [`zhemm_lower_left`] are blocked exactly like the
+//! real `syr2k_lower` / `symm_lower_left` — a small diagonal kernel per
+//! column panel plus packed `gemm`s for everything off-diagonal. The
+//! operand-op vocabulary is the shared [`Op`] enum re-exported from
+//! `tseig-kernels` (one dialect for both pipelines; the real API's
+//! LAPACK-style `Trans` maps into it via `From`).
+//!
+//! The pre-engine naive triple loops survive **only as the test/bench
+//! oracle** [`zgemm_oracle`] — the differential baseline the packed
+//! complex path is validated (and its speedup measured) against.
+//!
+//! Flops are charged at 8 real flops per complex multiply-add pair
+//! (LAPACK's conventional `zgemm = 8mnk` accounting), and bytes on the
+//! packed-engine traffic model, so arithmetic-intensity reports stay
+//! comparable between the real and complex columns.
 
+use tseig_kernels::blas3::engine;
+use tseig_kernels::contract;
 use tseig_kernels::flops::{add, add_bytes, Level};
 use tseig_matrix::{c64, C64};
+
+/// The shared operand-op vocabulary of the generic engine
+/// (`No`/`Trans`/`ConjTrans`) — re-exported so complex callers and the
+/// real pipeline speak one dialect.
+pub use tseig_kernels::blas3::Op;
 
 /// Bytes per complex element (two `f64`s) — the unit of the traffic
 /// models below.
 const CB: u64 = 16;
 
-/// Operation applied to a matrix argument.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Op {
-    /// As stored.
-    No,
-    /// Conjugate transpose.
-    ConjTrans,
-}
+/// Column-panel width of the blocked `zher2k`/`zhemm` (same panel order
+/// as the real `syr2k`'s `SYR2K_JB`).
+const ZBLK_JB: usize = 64;
 
 /// `C <- alpha op(A) op(B) + beta C` (complex). `op(A)` is `m x k`,
 /// `op(B)` is `k x n`.
+///
+/// Thin wrapper over the generic packed engine: BLIS-style packing with
+/// the conjugation folded into the pack gather, the portable complex
+/// microkernel, and the `jc`/`ic` rayon splits — one code path with the
+/// real `gemm`. Counters (8mnk flops, packed-model bytes) are charged
+/// by the engine entry.
 #[allow(clippy::too_many_arguments)]
 pub fn zgemm(
+    opa: Op,
+    opb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: C64,
+    a: &[C64],
+    lda: usize,
+    b: &[C64],
+    ldb: usize,
+    beta: C64,
+    c: &mut [C64],
+    ldc: usize,
+) {
+    engine::gemm_par(opa, opb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// Naive triple-loop `zgemm` — the **test oracle and bench baseline**
+/// the packed path is differential-tested and speedup-measured against.
+/// Not called by the pipeline. Byte accounting keeps this kernel's
+/// historical streamed model (`A`/`B` read once, `C` read+written),
+/// which is also the model its unblocked access pattern actually has.
+#[allow(clippy::too_many_arguments)]
+pub fn zgemm_oracle(
     opa: Op,
     opb: Op,
     m: usize,
@@ -61,69 +107,41 @@ pub fn zgemm(
     if alpha == C64::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
-    match (opa, opb) {
-        (Op::No, Op::No) => {
-            for j in 0..n {
-                for kk in 0..k {
-                    let t = alpha * b[kk + j * ldb];
-                    if t == C64::ZERO {
-                        continue;
-                    }
-                    let acol = &a[kk * lda..kk * lda + m];
-                    let ccol = &mut c[j * ldc..j * ldc + m];
-                    for i in 0..m {
-                        ccol[i] += acol[i] * t;
-                    }
-                }
+    let at = |i: usize, p: usize| match opa {
+        Op::No => a[i + p * lda],
+        Op::Trans => a[p + i * lda],
+        Op::ConjTrans => a[p + i * lda].conj(),
+    };
+    let bt = |p: usize, j: usize| match opb {
+        Op::No => b[p + j * ldb],
+        Op::Trans => b[j + p * ldb],
+        Op::ConjTrans => b[j + p * ldb].conj(),
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = C64::ZERO;
+            for p in 0..k {
+                s += at(i, p) * bt(p, j);
             }
-        }
-        (Op::ConjTrans, Op::No) => {
-            // C[i,j] += alpha * sum_l conj(A[l,i]) B[l,j]: contiguous dots.
-            for j in 0..n {
-                let bcol = &b[j * ldb..j * ldb + k];
-                for i in 0..m {
-                    let acol = &a[i * lda..i * lda + k];
-                    let mut s = C64::ZERO;
-                    for l in 0..k {
-                        s += bcol[l].mul_conj(acol[l]);
-                    }
-                    c[i + j * ldc] += alpha * s;
-                }
-            }
-        }
-        (Op::No, Op::ConjTrans) => {
-            // C[:,j] += alpha * sum_k A[:,k] conj(B[j,k]).
-            for j in 0..n {
-                let ccol = &mut c[j * ldc..j * ldc + m];
-                for kk in 0..k {
-                    let t = alpha * b[j + kk * ldb].conj();
-                    if t == C64::ZERO {
-                        continue;
-                    }
-                    let acol = &a[kk * lda..kk * lda + m];
-                    for i in 0..m {
-                        ccol[i] += acol[i] * t;
-                    }
-                }
-            }
-        }
-        (Op::ConjTrans, Op::ConjTrans) => {
-            for j in 0..n {
-                for i in 0..m {
-                    let acol = &a[i * lda..i * lda + k];
-                    let mut s = C64::ZERO;
-                    for l in 0..k {
-                        s += acol[l].conj() * b[j + l * ldb].conj();
-                    }
-                    c[i + j * ldc] += alpha * s;
-                }
-            }
+            c[i + j * ldc] += alpha * s;
         }
     }
 }
 
+/// Traffic model of the blocked `zhemm`: stored triangle read once, `B`
+/// re-streamed once per panel sweep, `C` read+written once.
+fn zhemm_bytes(m: usize, k: usize) -> u64 {
+    let sweeps = m.div_ceil(ZBLK_JB).max(1) as u64;
+    CB * (((m * m / 2) + 2 * m * k) as u64 + (m * k) as u64 * sweeps)
+}
+
 /// `C <- alpha A B + beta C` with `A` Hermitian of order `m` (lower
 /// triangle stored), `B`/`C` `m x k`.
+///
+/// Blocked mirror of the real `symm_lower_left`: per `ZBLK_JB`-wide
+/// column panel of `A`, a small Hermitian diagonal kernel plus two
+/// packed `gemm`s (`No` for the strictly-lower block, `ConjTrans` for
+/// its mirrored upper image).
 #[allow(clippy::too_many_arguments)]
 pub fn zhemm_lower_left(
     m: usize,
@@ -137,9 +155,17 @@ pub fn zhemm_lower_left(
     c: &mut [C64],
     ldc: usize,
 ) {
+    if contract::enabled() {
+        contract::require_mat("zhemm_lower_left", "a", a, m, m, lda);
+        contract::require_mat("zhemm_lower_left", "b", b, m, k, ldb);
+        contract::require_mat("zhemm_lower_left", "c", c, m, k, ldc);
+        contract::require_no_alias("zhemm_lower_left", "a", a, "c", c);
+        contract::require_no_alias("zhemm_lower_left", "b", b, "c", c);
+        contract::require_finite_lower("zhemm_lower_left", "a", a, m, lda);
+        contract::require_finite_mat("zhemm_lower_left", "b", b, m, k, ldb);
+    }
     add(Level::L3, (8 * m * m * k) as u64);
-    // Stored triangle streamed once, B read, C read and written.
-    add_bytes(Level::L3, CB * (m * m / 2 + 3 * m * k) as u64);
+    add_bytes(Level::L3, zhemm_bytes(m, k));
     for j in 0..k {
         let col = &mut c[j * ldc..j * ldc + m];
         if beta == C64::ZERO {
@@ -150,9 +176,80 @@ pub fn zhemm_lower_left(
             }
         }
     }
-    if alpha == C64::ZERO {
+    if alpha == C64::ZERO || m == 0 || k == 0 {
         return;
     }
+    let mut j0 = 0;
+    while j0 < m {
+        let jn = ZBLK_JB.min(m - j0);
+        // Hermitian diagonal block (rows/cols j0..j0+jn).
+        zhemm_diag(
+            jn,
+            k,
+            alpha,
+            &a[j0 + j0 * lda..],
+            lda,
+            &b[j0..],
+            ldb,
+            &mut c[j0..],
+            ldc,
+        );
+        let rows_below = m - j0 - jn;
+        if rows_below > 0 {
+            let r0 = j0 + jn;
+            // C[r0.., :] += alpha * A[r0.., j0..r0] * B[j0..r0, :]
+            engine::gemm_into(
+                Op::No,
+                Op::No,
+                rows_below,
+                k,
+                jn,
+                alpha,
+                &a[r0 + j0 * lda..],
+                lda,
+                &b[j0..],
+                ldb,
+                &mut c[r0..],
+                ldc,
+            );
+            // C[j0..r0, :] += alpha * A[r0.., j0..r0]^H * B[r0.., :]
+            // (the mirrored upper image of the stored strictly-lower block).
+            engine::gemm_into(
+                Op::ConjTrans,
+                Op::No,
+                jn,
+                k,
+                rows_below,
+                alpha,
+                &a[r0 + j0 * lda..],
+                lda,
+                &b[r0..],
+                ldb,
+                &mut c[j0..],
+                ldc,
+            );
+        }
+        j0 += jn;
+    }
+}
+
+/// Accumulate-only Hermitian-diagonal-block kernel of
+/// [`zhemm_lower_left`] (scaling and accounting are the caller's):
+/// one pass over the stored triangle serves the lower part and its
+/// mirrored conjugate image; the diagonal's imaginary part is ignored
+/// per the Hermitian storage contract.
+#[allow(clippy::too_many_arguments)]
+fn zhemm_diag(
+    m: usize,
+    k: usize,
+    alpha: C64,
+    a: &[C64],
+    lda: usize,
+    b: &[C64],
+    ldb: usize,
+    c: &mut [C64],
+    ldc: usize,
+) {
     for ja in 0..m {
         let acol = &a[ja * lda..ja * lda + m];
         for jb in 0..k {
@@ -172,9 +269,22 @@ pub fn zhemm_lower_left(
     }
 }
 
+/// Traffic model shared with the real `syr2k`: `X`/`Y` each packed
+/// twice (once per `gemm` role), the stored triangle read+written once
+/// per rank-`KC` update (packed-engine model, `KC = 256`).
+fn zher2k_bytes(n: usize, k: usize) -> u64 {
+    let npc = k.div_ceil(256).max(1) as u64;
+    CB * (4 * (n * k) as u64 + (n * n) as u64 * npc)
+}
+
 /// Hermitian rank-2k update of the lower triangle:
 /// `A <- A + alpha (X Y^H + Y X^H)` with `X`, `Y` `n x k` and real
 /// `alpha` (keeps the matrix Hermitian).
+///
+/// Blocked mirror of the real `syr2k_lower`: `ZBLK_JB`-wide diagonal
+/// blocks run the rank-1 kernel (which also snaps the diagonal real),
+/// the strictly sub-diagonal part of each column panel is two packed
+/// `gemm`s with `ConjTrans` folded into the pack step.
 #[allow(clippy::too_many_arguments)]
 pub fn zher2k_lower(
     n: usize,
@@ -187,9 +297,89 @@ pub fn zher2k_lower(
     a: &mut [C64],
     lda: usize,
 ) {
+    if contract::enabled() {
+        contract::require_mat("zher2k_lower", "x", x, n, k, ldx);
+        contract::require_mat("zher2k_lower", "y", y, n, k, ldy);
+        contract::require_mat("zher2k_lower", "a", a, n, n, lda);
+        contract::require_no_alias("zher2k_lower", "x", x, "a", a);
+        contract::require_no_alias("zher2k_lower", "y", y, "a", a);
+        contract::require_finite_mat("zher2k_lower", "x", x, n, k, ldx);
+        contract::require_finite_mat("zher2k_lower", "y", y, n, k, ldy);
+    }
     add(Level::L3, (8 * n * n * k) as u64);
-    // X/Y streamed once, the stored triangle read and written once.
-    add_bytes(Level::L3, CB * (2 * n * k + n * n) as u64);
+    add_bytes(Level::L3, zher2k_bytes(n, k));
+    if alpha == 0.0 || n == 0 || k == 0 {
+        return;
+    }
+    let calpha = c64(alpha, 0.0);
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = ZBLK_JB.min(n - j0);
+        zher2k_diag(
+            jn,
+            k,
+            alpha,
+            &x[j0..],
+            ldx,
+            &y[j0..],
+            ldy,
+            &mut a[j0 + j0 * lda..],
+            lda,
+        );
+        let rows_below = n - j0 - jn;
+        if rows_below > 0 {
+            let r0 = j0 + jn;
+            let apanel = &mut a[r0 + j0 * lda..];
+            // A[r0.., j0..r0] += alpha * X[r0.., :] Y[j0..r0, :]^H
+            engine::gemm_into(
+                Op::No,
+                Op::ConjTrans,
+                rows_below,
+                jn,
+                k,
+                calpha,
+                &x[r0..],
+                ldx,
+                &y[j0..],
+                ldy,
+                apanel,
+                lda,
+            );
+            // A[r0.., j0..r0] += alpha * Y[r0.., :] X[j0..r0, :]^H
+            engine::gemm_into(
+                Op::No,
+                Op::ConjTrans,
+                rows_below,
+                jn,
+                k,
+                calpha,
+                &y[r0..],
+                ldy,
+                &x[j0..],
+                ldx,
+                apanel,
+                lda,
+            );
+        }
+        j0 += jn;
+    }
+}
+
+/// Rank-1-loop `zher2k` on a diagonal block (accumulate only; the
+/// caller owns scaling and accounting). Keeps the diagonal exactly
+/// real, per the Hermitian storage contract.
+#[allow(clippy::too_many_arguments)]
+fn zher2k_diag(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    x: &[C64],
+    ldx: usize,
+    y: &[C64],
+    ldy: usize,
+    a: &mut [C64],
+    lda: usize,
+) {
     for kk in 0..k {
         let xcol = &x[kk * ldx..kk * ldx + n];
         let ycol = &y[kk * ldy..kk * ldy + n];

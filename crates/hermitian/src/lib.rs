@@ -28,3 +28,4 @@ pub mod stage2;
 pub mod validate;
 
 pub use driver::{HermitianEigen, HermitianResult};
+pub use stage2::Scheduler;

@@ -1,7 +1,7 @@
 //! Stage 2 (Hermitian): band to tridiagonal bulge chasing.
 //!
 //! The same three-kernel column-wise chase as the real pipeline
-//! (`hbceu`/`hbrel`/`hblru`, delayed annihilation), in complex
+//! ([`zhbceu`]/[`zhbrel`]/[`zhblru`], delayed annihilation), in complex
 //! arithmetic. `zlarfg` makes every annihilation result *real*, so the
 //! final tridiagonal is real up to the entries no sweep ever touches;
 //! [`phase_fold`] rotates those real too with a unitary diagonal that is
@@ -11,18 +11,62 @@
 //! every kernel works on a copied square or rectangular window (the
 //! cache-resident blocks of the paper), then writes it back and mirrors
 //! the conjugate triangle so the dense matrix stays exactly Hermitian.
+//!
+//! Execution mirrors the real `tseig_core::stage2`: [`reduce`] runs the
+//! kernel sequence serially, [`reduce_scheduled`] runs the same `(sweep,
+//! depth)` task set on the dynamic superscalar runtime or the static
+//! pipelined scheduler of `tseig-runtime`, with dependences inferred
+//! from `nb`-aligned diagonal regions — the chase geometry is identical
+//! to the real one, so the region protocol transfers verbatim, and every
+//! schedule is bit-identical to the serial order.
 
 use crate::ckernels::{zlarf_left, zlarf_right, zlarfg};
+use std::sync::Arc;
 use tseig_matrix::{c64, CMatrix, SymTridiagonal, C64};
+use tseig_runtime::{Access, DataCell, Priority, RegionId, Runtime, TaskGraph};
+
+/// One stored stage-2 reflector: `(start row, tau, v)` with `v[0] == 1`.
+type ReflectorC = (usize, C64, Vec<C64>);
 
 /// The complex reflector set of the chase, indexed `(sweep, depth)`.
+/// Reflector `(s, k)` starts at global row `s + 1 + k * nb` (clamped at
+/// the matrix edge) — the same geometry as the real `V2Set`.
 pub struct V2SetC {
     n: usize,
     nb: usize,
-    sweeps: Vec<Vec<(usize, C64, Vec<C64>)>>,
+    sweeps: Vec<Vec<ReflectorC>>,
 }
 
 impl V2SetC {
+    fn new(n: usize, nb: usize) -> Self {
+        let nsweeps = n.saturating_sub(2);
+        let mut sweeps = Vec::with_capacity(nsweeps);
+        for s in 0..nsweeps {
+            let depth = Self::depth_of_sweep(n, nb, s);
+            sweeps.push(vec![(0usize, C64::ZERO, Vec::new()); depth]);
+        }
+        V2SetC { n, nb, sweeps }
+    }
+
+    /// Number of reflectors sweep `s` *stores* (same formula as the real
+    /// chase: reflector `k` exists while `s + 1 + k*nb <= n - 2`).
+    pub fn depth_of_sweep(n: usize, nb: usize, s: usize) -> usize {
+        if s + 2 >= n {
+            return 0;
+        }
+        (n - 2 - s - 1) / nb + 1
+    }
+
+    /// Number of kernel *tasks* sweep `s` runs; one more than
+    /// [`Self::depth_of_sweep`] when the last bulge block has a single
+    /// row (the right-application still runs, no reflector comes out).
+    pub fn steps_of_sweep(n: usize, nb: usize, s: usize) -> usize {
+        if s + 2 >= n {
+            return 0;
+        }
+        (n - 2 - s) / nb + 1
+    }
+
     pub fn n(&self) -> usize {
         self.n
     }
@@ -35,8 +79,20 @@ impl V2SetC {
         self.sweeps.len()
     }
 
-    pub fn sweep(&self, s: usize) -> &[(usize, C64, Vec<C64>)] {
+    pub fn sweep(&self, s: usize) -> &[ReflectorC] {
         &self.sweeps[s]
+    }
+
+    /// Total count of non-trivial generated reflectors (diagnostics).
+    pub fn reflector_count(&self) -> usize {
+        self.sweeps
+            .iter()
+            .map(|s| s.iter().filter(|(_, _, v)| !v.is_empty()).count())
+            .sum()
+    }
+
+    fn store(&mut self, s: usize, k: usize, start: usize, tau: C64, v: Vec<C64>) {
+        self.sweeps[s][k] = (start, tau, v);
     }
 }
 
@@ -50,32 +106,12 @@ pub struct ChaseResultC {
     pub phases: Vec<C64>,
 }
 
-/// Run the bulge chase on a banded dense Hermitian matrix (entries
-/// outside semi-bandwidth `nb` must be zero — stage 1 guarantees it).
-pub fn reduce(mut a: CMatrix, nb: usize) -> ChaseResultC {
+/// Kernel 1 (`zHBCEU`): start sweep `s` — annihilate column `s` below
+/// the first sub-diagonal (to a *real* `beta`, courtesy of `zlarfg`) and
+/// update the symmetric diamond block two-sided. Returns the generated
+/// reflector `(start_row, tau, v)`.
+pub fn zhbceu(a: &mut CMatrix, s: usize, b: usize) -> ReflectorC {
     let n = a.rows();
-    let b = nb.max(1);
-    let mut sweeps = Vec::new();
-    if n > 2 && b > 1 {
-        for s in 0..n - 2 {
-            sweeps.push(run_sweep(&mut a, s, b));
-        }
-    }
-    let (tridiagonal, phases) = phase_fold(&a);
-    ChaseResultC {
-        tridiagonal,
-        v2: V2SetC { n, nb: b, sweeps },
-        phases,
-    }
-}
-
-fn run_sweep(a: &mut CMatrix, s: usize, b: usize) -> Vec<(usize, C64, Vec<C64>)> {
-    let n = a.rows();
-    let mut out = Vec::new();
-    if s + 2 >= n {
-        return out;
-    }
-    // --- hbceu: annihilate column s below the first sub-diagonal.
     let r0 = s + 1;
     let r1 = (s + b).min(n - 1);
     let l = r1 - r0 + 1;
@@ -95,55 +131,298 @@ fn run_sweep(a: &mut CMatrix, s: usize, b: usize) -> Vec<(usize, C64, Vec<C64>)>
         a[(s, r0 + i)] = C64::ZERO;
     }
     two_sided_window(a, r0, l, &v, tau);
-    out.push((r0, tau, v));
+    (r0, tau, v)
+}
 
-    // --- chase.
-    loop {
-        let (pr0, ptau, pv) = {
-            let last = out.last().unwrap();
-            (last.0, last.1, last.2.clone())
-        };
-        let pl = pv.len();
-        let br0 = pr0 + pl;
-        if br0 >= n {
-            break;
-        }
-        let br1 = (br0 + b - 1).min(n - 1);
-        let rl = br1 - br0 + 1;
-        // Copy block A[br0..=br1, pr0..pr0+pl].
-        let mut blk = vec![C64::ZERO; rl * pl];
-        for j in 0..pl {
-            for i in 0..rl {
-                blk[i + j * rl] = a[(br0 + i, pr0 + j)];
-            }
-        }
-        let mut work = vec![C64::ZERO; rl.max(pl)];
-        // Right-apply the previous reflector (creates the bulge).
-        zlarf_right(&pv, ptau, rl, pl, &mut blk, rl, &mut work);
-        if rl < 2 {
-            write_back_rect(a, br0, rl, pr0, pl, &blk);
-            break;
-        }
-        // Annihilate the bulge's first column (delayed annihilation).
-        let mut nv = vec![C64::ZERO; rl];
-        nv.copy_from_slice(&blk[..rl]);
-        let (nbeta, ntau) = {
-            let (head, tail) = nv.split_at_mut(1);
-            zlarfg(head[0], tail)
-        };
-        nv[0] = C64::ONE;
-        blk[0] = c64(nbeta, 0.0);
-        blk[1..rl].fill(C64::ZERO);
-        // Left-apply the new reflector's H^H to the remaining columns.
-        if pl > 1 {
-            zlarf_left(&nv, ntau.conj(), rl, pl - 1, &mut blk[rl..], rl, &mut work);
-        }
-        write_back_rect(a, br0, rl, pr0, pl, &blk);
-        // hblru: two-sided update of the next symmetric window.
-        two_sided_window(a, br0, rl, &nv, ntau);
-        out.push((br0, ntau, nv));
+/// Kernel 2 (`zHBREL`): chase step — apply the previous reflector from
+/// the right to the sub-band block below it (creating the bulge),
+/// annihilate **only the bulge's first column** (delayed annihilation)
+/// and left-update the remaining columns while the block is cache-hot.
+/// Returns the new reflector, or `None` when the chase ran off the
+/// matrix edge.
+pub fn zhbrel(a: &mut CMatrix, b: usize, prev: (usize, C64, &[C64])) -> Option<ReflectorC> {
+    let n = a.rows();
+    let (pr0, ptau, pv) = prev;
+    let pl = pv.len();
+    let br0 = pr0 + pl;
+    if br0 >= n {
+        return None;
     }
-    out
+    let br1 = (br0 + b - 1).min(n - 1);
+    let rl = br1 - br0 + 1;
+    // Copy block A[br0..=br1, pr0..pr0+pl].
+    let mut blk = vec![C64::ZERO; rl * pl];
+    for j in 0..pl {
+        for i in 0..rl {
+            blk[i + j * rl] = a[(br0 + i, pr0 + j)];
+        }
+    }
+    let mut work = vec![C64::ZERO; rl.max(pl)];
+    // Right-apply the previous reflector (creates the bulge).
+    zlarf_right(pv, ptau, rl, pl, &mut blk, rl, &mut work);
+    if rl < 2 {
+        write_back_rect(a, br0, rl, pr0, pl, &blk);
+        return None;
+    }
+    // Annihilate the bulge's first column (delayed annihilation).
+    let mut nv = vec![C64::ZERO; rl];
+    nv.copy_from_slice(&blk[..rl]);
+    let (nbeta, ntau) = {
+        let (head, tail) = nv.split_at_mut(1);
+        zlarfg(head[0], tail)
+    };
+    nv[0] = C64::ONE;
+    blk[0] = c64(nbeta, 0.0);
+    blk[1..rl].fill(C64::ZERO);
+    // Left-apply the new reflector's H^H to the remaining columns.
+    if pl > 1 {
+        zlarf_left(&nv, ntau.conj(), rl, pl - 1, &mut blk[rl..], rl, &mut work);
+    }
+    write_back_rect(a, br0, rl, pr0, pl, &blk);
+    Some((br0, ntau, nv))
+}
+
+/// Kernel 3 (`zHBLRU`): apply the new reflector two-sided to the next
+/// symmetric diagonal window.
+pub fn zhblru(a: &mut CMatrix, refl: (usize, C64, &[C64])) {
+    let (r0, tau, v) = refl;
+    two_sided_window(a, r0, v.len(), v, tau);
+}
+
+/// Run the bulge chase on a banded dense Hermitian matrix (entries
+/// outside semi-bandwidth `nb` must be zero — stage 1 guarantees it).
+pub fn reduce(mut a: CMatrix, nb: usize) -> ChaseResultC {
+    let n = a.rows();
+    let b = nb.max(1);
+    let mut v2 = V2SetC::new(n, b);
+    if n > 2 && b > 1 {
+        for s in 0..n - 2 {
+            run_sweep(&mut a, s, b, &mut v2);
+        }
+    }
+    let (tridiagonal, phases) = phase_fold(&a);
+    ChaseResultC {
+        tridiagonal,
+        v2,
+        phases,
+    }
+}
+
+fn run_sweep(a: &mut CMatrix, s: usize, b: usize, v2: &mut V2SetC) {
+    let n = a.rows();
+    if s + 2 >= n {
+        return;
+    }
+    let (mut start, mut tau, mut v) = zhbceu(a, s, b);
+    v2.store(s, 0, start, tau, v.clone());
+    let mut k = 1usize;
+    while let Some((ns, nt, nv)) = zhbrel(a, b, (start, tau, &v)) {
+        zhblru(a, (ns, nt, &nv));
+        v2.store(s, k, ns, nt, nv.clone());
+        (start, tau, v) = (ns, nt, nv);
+        k += 1;
+    }
+    debug_assert_eq!(k, V2SetC::depth_of_sweep(n, b, s), "sweep {s} depth");
+    let _ = (start, tau, v);
+}
+
+// ---------------------------------------------------------------------
+// Scheduled drivers (dynamic DAG / static pipeline).
+// ---------------------------------------------------------------------
+
+/// How the Hermitian bulge-chasing task graph is executed — same
+/// options as the real pipeline's `Stage2Exec`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Plain sequential kernel loop (lowest overhead).
+    Serial,
+    /// Static pipelined scheduler: sweeps round-robin over a small
+    /// worker set, synchronization by progress counters.
+    Static(usize),
+    /// Dynamic superscalar runtime with region-inferred dependences.
+    Dynamic(usize),
+}
+
+/// Logical task of the chase: sweep `s`, chase depth `k` (`k == 0` is
+/// `zhbceu`; `k >= 1` the `zhbrel`+`zhblru` pair).
+#[derive(Clone, Copy, Debug)]
+struct ChaseTask {
+    s: usize,
+    k: usize,
+}
+
+/// Regions an `(s, k)` task touches: `nb`-aligned chunks of the
+/// diagonal range it reads/writes, all declared Write (conservative, so
+/// any admissible schedule is equivalent to the serial order). The
+/// chase geometry is the real pipeline's, so the mapping is too.
+fn task_regions(n: usize, b: usize, t: ChaseTask) -> Vec<(RegionId, Access)> {
+    let lo = if t.k == 0 {
+        t.s
+    } else {
+        t.s + 1 + (t.k - 1) * b
+    };
+    let hi_row = (t.s + (t.k + 1) * b).min(n - 1);
+    let c0 = lo / b;
+    let c1 = hi_row / b;
+    (c0..=c1)
+        .map(|c| {
+            // Chunk indices are bounded by n/b; saturate rather than
+            // wrap if a pathological caller ever exceeds u32 range.
+            let c = u32::try_from(c).unwrap_or(u32::MAX);
+            (RegionId::from_coords(2, c, 0), Access::Write)
+        })
+        .collect()
+}
+
+/// Execute one `(s, k)` task against the shared matrix/V2 cells.
+///
+/// # Safety contract
+/// Caller (the scheduler) must guarantee exclusive access to the
+/// declared regions; V2 slots `(s, k)` are written by exactly one task.
+fn run_task(a: &DataCell<CMatrix>, v2: &DataCell<V2SetC>, b: usize, t: ChaseTask) {
+    // Safety: region declarations serialize conflicting band accesses;
+    // each task writes its own V2 slot only and reads the slot (s, k-1)
+    // its predecessor in the same sweep wrote (ordered by regions —
+    // consecutive chase steps of a sweep overlap in band regions).
+    unsafe {
+        let am = a.get_mut();
+        let v2m = v2.get_mut();
+        if t.k == 0 {
+            let (start, tau, v) = zhbceu(am, t.s, b);
+            v2m.store(t.s, 0, start, tau, v);
+        } else {
+            let prev = v2m.sweeps[t.s][t.k - 1].clone();
+            let Some((ns, nt, nv)) = zhbrel(am, b, (prev.0, prev.1, &prev.2)) else {
+                return;
+            };
+            zhblru(am, (ns, nt, &nv));
+            v2m.store(t.s, t.k, ns, nt, nv);
+        }
+    }
+}
+
+/// Enumerate all chase tasks in the serial (sweep-major) order.
+fn enumerate_tasks(n: usize, b: usize) -> Vec<ChaseTask> {
+    let mut tasks = Vec::new();
+    if n <= 2 || b <= 1 {
+        return tasks;
+    }
+    for s in 0..n - 2 {
+        for k in 0..V2SetC::steps_of_sweep(n, b, s) {
+            tasks.push(ChaseTask { s, k });
+        }
+    }
+    tasks
+}
+
+/// Run the Hermitian bulge chase under the chosen scheduler. Produces
+/// the same tridiagonal, reflector set and phases as [`reduce`] —
+/// bit-identical, because the schedulers only reorder tasks whose data
+/// regions are disjoint.
+pub fn reduce_scheduled(a: CMatrix, nb: usize, sched: Scheduler) -> Result<ChaseResultC, String> {
+    let n = a.rows();
+    let b = nb.max(1);
+    match sched {
+        Scheduler::Serial => Ok(reduce(a, nb)),
+        Scheduler::Dynamic(threads) => {
+            let tasks = enumerate_tasks(n, b);
+            let a_cell = Arc::new(DataCell::new(a));
+            let v2_cell = Arc::new(DataCell::new(V2SetC::new(n, b)));
+            let mut graph = TaskGraph::new();
+            for t in tasks {
+                let regions = task_regions(n, b, t);
+                let ac = a_cell.clone();
+                let vc = v2_cell.clone();
+                // Sweep heads sit on the critical path: priority lane.
+                let prio = if t.k == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                let tag: &'static str = if t.k == 0 { "zhbceu" } else { "zhbrel+zhblru" };
+                graph.add_task(tag, prio, &regions, move || run_task(&ac, &vc, b, t));
+            }
+            Runtime::new(threads).run(graph)?;
+            let a = Arc::try_unwrap(a_cell)
+                .map_err(|_| "matrix still shared".to_string())?
+                .into_inner();
+            let v2 = Arc::try_unwrap(v2_cell)
+                .map_err(|_| "v2 still shared".to_string())?
+                .into_inner();
+            let (tridiagonal, phases) = phase_fold(&a);
+            Ok(ChaseResultC {
+                tridiagonal,
+                v2,
+                phases,
+            })
+        }
+        Scheduler::Static(threads) => {
+            let threads = threads.max(1);
+            let tasks = enumerate_tasks(n, b);
+            // Derive exact dependences by replaying the region protocol
+            // with no-op tasks, then convert graph edges into
+            // (worker, progress) waits for the static scheduler.
+            let mut shadow = TaskGraph::new();
+            for t in &tasks {
+                let regions = task_regions(n, b, *t);
+                shadow.add_task("shadow", Priority::Normal, &regions, || {});
+            }
+            let owner: Vec<usize> = tasks.iter().map(|t| t.s % threads).collect();
+            let mut pos = vec![0usize; tasks.len()];
+            let mut counts = vec![0usize; threads];
+            for (i, &w) in owner.iter().enumerate() {
+                pos[i] = counts[w];
+                counts[w] += 1;
+            }
+            let a_cell = Arc::new(DataCell::new(a));
+            let v2_cell = Arc::new(DataCell::new(V2SetC::new(n, b)));
+            let mut lists: Vec<Vec<tseig_runtime::static_sched::StaticTask>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+            for u in 0..tasks.len() {
+                for &v in shadow.successors(u) {
+                    preds[v].push(u);
+                }
+            }
+            for (i, t) in tasks.iter().enumerate() {
+                let mut waits: Vec<(usize, usize)> = preds[i]
+                    .iter()
+                    .filter(|&&u| owner[u] != owner[i])
+                    .map(|&u| (owner[u], pos[u] + 1))
+                    .collect();
+                // Keep only the strongest wait per worker.
+                waits.sort_unstable();
+                waits.dedup_by(|a, b| {
+                    if a.0 == b.0 {
+                        b.1 = b.1.max(a.1);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                let ac = a_cell.clone();
+                let vc = v2_cell.clone();
+                let t = *t;
+                lists[owner[i]].push(tseig_runtime::static_sched::StaticTask::new(
+                    waits,
+                    move || run_task(&ac, &vc, b, t),
+                ));
+            }
+            tseig_runtime::static_sched::run_static(lists)?;
+            let a = Arc::try_unwrap(a_cell)
+                .map_err(|_| "matrix still shared".to_string())?
+                .into_inner();
+            let v2 = Arc::try_unwrap(v2_cell)
+                .map_err(|_| "v2 still shared".to_string())?
+                .into_inner();
+            let (tridiagonal, phases) = phase_fold(&a);
+            Ok(ChaseResultC {
+                tridiagonal,
+                v2,
+                phases,
+            })
+        }
+    }
 }
 
 /// `A[r0..r0+l, r0..r0+l] <- H^H (.) H` on a copied window.
@@ -275,6 +554,38 @@ mod tests {
         });
         let recon = q2.multiply(&tc).multiply(&q2.adjoint());
         assert!(recon.max_diff(&a0) < 1e-10 * n as f64, "Q2 T Q2^H != B");
+    }
+
+    #[test]
+    fn schedulers_match_serial() {
+        let n = 40;
+        let b = 5;
+        let a = banded_hermitian(n, b, 65);
+        let serial = reduce(a.clone(), b);
+        for sched in [
+            Scheduler::Dynamic(4),
+            Scheduler::Static(3),
+            Scheduler::Static(1),
+        ] {
+            let r = reduce_scheduled(a.clone(), b, sched).unwrap();
+            // Bit-identical results: every scheduler runs the same
+            // kernels in a serial-equivalent order.
+            assert_eq!(
+                r.tridiagonal.diag(),
+                serial.tridiagonal.diag(),
+                "{sched:?} d"
+            );
+            assert_eq!(
+                r.tridiagonal.off_diag(),
+                serial.tridiagonal.off_diag(),
+                "{sched:?} e"
+            );
+            assert_eq!(r.phases, serial.phases, "{sched:?} phases");
+            assert_eq!(r.v2.reflector_count(), serial.v2.reflector_count());
+            for s in 0..serial.v2.sweep_count() {
+                assert_eq!(r.v2.sweep(s), serial.v2.sweep(s), "{sched:?} sweep {s}");
+            }
+        }
     }
 
     #[test]

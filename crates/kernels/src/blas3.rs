@@ -47,13 +47,13 @@
 //! selected `(MR, NR)`, so this file's macrokernel loop is shared by
 //! every ISA path.
 
+pub mod engine;
 pub mod simd;
 
 use crate::contract;
 use crate::flops::{add, add_bytes, Level};
 use rayon::prelude::*;
 use simd::MicroKernel;
-use std::cell::RefCell;
 
 /// Transpose flag, LAPACK-style.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +62,33 @@ pub enum Trans {
     No,
     /// Use the transpose.
     Yes,
+}
+
+/// Operand op of the element-type-generic engine: the *one* shared
+/// transpose/conjugate vocabulary of the project. The real pipeline's
+/// LAPACK-style [`Trans`] maps into it losslessly (`conj` is the
+/// identity on `f64`, so `Trans::Yes` ≡ `Op::Trans` ≡ `Op::ConjTrans`
+/// there); the Hermitian pipeline re-exports this enum as its operand
+/// op so both stacks speak the same dialect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored.
+    No,
+    /// Use the transpose.
+    Trans,
+    /// Use the conjugate transpose (`X^H`); folded into the pack step,
+    /// so it costs nothing in the O(n³) loop.
+    ConjTrans,
+}
+
+impl From<Trans> for Op {
+    #[inline]
+    fn from(t: Trans) -> Op {
+        match t {
+            Trans::No => Op::No,
+            Trans::Yes => Op::Trans,
+        }
+    }
 }
 
 /// Blocking factor over the `k` dimension: an `MR x KC` strip of packed
@@ -79,11 +106,6 @@ const NR: usize = 4;
 const MC: usize = 256;
 /// Column-block reference size used by the byte-traffic model.
 const NC: usize = 1024;
-
-thread_local! {
-    /// Per-thread `(packed A, packed B)` buffers, grow-only.
-    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
-}
 
 /// Stored dimensions `(rows, cols)` of the operand behind `op(X)` when
 /// `op(X)` is `rows_of_op x cols_of_op`.
@@ -241,8 +263,12 @@ fn gemm_into(
     );
 }
 
-/// [`gemm_into`] on an explicit microkernel: the cache blocking and the
-/// packing formats follow the kernel's `(MR, NR)` shape.
+/// [`gemm_into`] on an explicit microkernel: the generic packed nest in
+/// [`engine`] monomorphized at `f64`. The nest, the packing formats and
+/// the `KC` split are byte-for-byte the pre-generic ones (`Trans` maps
+/// to `Op` and `f64::conj` is the identity), so every dispatch path
+/// stays bitwise identical across the refactor — the differential
+/// suite in `tests/simd_dispatch.rs` pins this.
 #[allow(clippy::too_many_arguments)]
 fn gemm_into_with(
     kern: &MicroKernel,
@@ -259,192 +285,25 @@ fn gemm_into_with(
     c: &mut [f64],
     ldc: usize,
 ) {
-    PACK_BUFS.with(|bufs| {
-        let (ap, bp) = &mut *bufs.borrow_mut();
-        let mut jc = 0;
-        while jc < n {
-            let nc = kern.nc.min(n - jc);
-            let mut pc = 0;
-            while pc < k {
-                let kc = KC.min(k - pc);
-                pack_b(transb, b, ldb, pc, jc, kc, nc, kern.nr, bp);
-                let mut ic = 0;
-                while ic < m {
-                    let mc = kern.mc.min(m - ic);
-                    pack_a(transa, a, lda, ic, pc, mc, kc, kern.mr, ap);
-                    macrokernel(kern, mc, nc, kc, alpha, ap, bp, ic, jc, c, ldc);
-                    ic += mc;
-                }
-                pc += kc;
-            }
-            jc += nc;
-        }
-    });
-}
-
-/// All `MR x NR` tiles of one `(ic, jc, pc)` block: `jr` outer over `B`
-/// strips, `ir` inner over `A` strips, so the whole packed `A` panel
-/// (L2-resident) is swept once per `B` strip (L1-resident).
-#[allow(clippy::too_many_arguments)]
-fn macrokernel(
-    kern: &MicroKernel,
-    mc: usize,
-    nc: usize,
-    kc: usize,
-    alpha: f64,
-    ap: &[f64],
-    bp: &[f64],
-    ic: usize,
-    jc: usize,
-    c: &mut [f64],
-    ldc: usize,
-) {
-    let (mr, nr) = (kern.mr, kern.nr);
-    let mstrips = mc.div_ceil(mr);
-    let nstrips = nc.div_ceil(nr);
-    for t in 0..nstrips {
-        let nr_eff = nr.min(nc - t * nr);
-        let bstrip = &bp[t * nr * kc..(t + 1) * nr * kc];
-        for s in 0..mstrips {
-            let mr_eff = mr.min(mc - s * mr);
-            let astrip = &ap[s * mr * kc..(s + 1) * mr * kc];
-            let off = (ic + s * mr) + (jc + t * nr) * ldc;
-            kern.run(
-                kc,
-                alpha,
-                astrip,
-                bstrip,
-                &mut c[off..],
-                ldc,
-                mr_eff,
-                nr_eff,
-            );
-        }
-    }
-}
-
-/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into `mr`-row strips: element
-/// `(i, p)` of strip `s` lands at `buf[s*mr*kc + p*mr + i]`, short edge
-/// strips zero-padded to `mr` rows. `No`: strip columns are contiguous
-/// column segments of `A`. `Yes`: strip rows are contiguous column
-/// segments of `A` (the transpose is absorbed here, in O(mk) work).
-/// `mr` comes from the dispatched microkernel's tile shape.
-#[allow(clippy::too_many_arguments)]
-fn pack_a(
-    transa: Trans,
-    a: &[f64],
-    lda: usize,
-    ic: usize,
-    pc: usize,
-    mc: usize,
-    kc: usize,
-    mr: usize,
-    buf: &mut Vec<f64>,
-) {
-    let strips = mc.div_ceil(mr);
-    let need = strips * mr * kc;
-    if buf.len() < need {
-        buf.resize(need, 0.0);
-    }
-    for s in 0..strips {
-        let r0 = s * mr;
-        let rows = mr.min(mc - r0);
-        let dst = &mut buf[s * mr * kc..(s + 1) * mr * kc];
-        match transa {
-            Trans::No => {
-                for p in 0..kc {
-                    let src = &a[ic + r0 + (pc + p) * lda..][..rows];
-                    let d = &mut dst[p * mr..p * mr + mr];
-                    d[..rows].copy_from_slice(src);
-                    if rows < mr {
-                        d[rows..].fill(0.0);
-                    }
-                }
-            }
-            Trans::Yes => {
-                for i in 0..rows {
-                    let src = &a[pc + (ic + r0 + i) * lda..][..kc];
-                    for (p, &v) in src.iter().enumerate() {
-                        dst[p * mr + i] = v;
-                    }
-                }
-                if rows < mr {
-                    for p in 0..kc {
-                        dst[p * mr + rows..(p + 1) * mr].fill(0.0);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into `nr`-column strips: element
-/// `(p, j)` of strip `t` lands at `buf[t*nr*kc + p*nr + j]`, short edge
-/// strips zero-padded to `nr` columns. `nr` comes from the dispatched
-/// microkernel's tile shape.
-#[allow(clippy::too_many_arguments)]
-fn pack_b(
-    transb: Trans,
-    b: &[f64],
-    ldb: usize,
-    pc: usize,
-    jc: usize,
-    kc: usize,
-    nc: usize,
-    nr: usize,
-    buf: &mut Vec<f64>,
-) {
-    let strips = nc.div_ceil(nr);
-    let need = strips * nr * kc;
-    if buf.len() < need {
-        buf.resize(need, 0.0);
-    }
-    for t in 0..strips {
-        let c0 = t * nr;
-        let cols = nr.min(nc - c0);
-        let dst = &mut buf[t * nr * kc..(t + 1) * nr * kc];
-        match transb {
-            Trans::No => {
-                for j in 0..cols {
-                    let src = &b[pc + (jc + c0 + j) * ldb..][..kc];
-                    for (p, &v) in src.iter().enumerate() {
-                        dst[p * nr + j] = v;
-                    }
-                }
-                if cols < nr {
-                    for p in 0..kc {
-                        dst[p * nr + cols..(p + 1) * nr].fill(0.0);
-                    }
-                }
-            }
-            Trans::Yes => {
-                for p in 0..kc {
-                    let src = &b[jc + c0 + (pc + p) * ldb..][..cols];
-                    let d = &mut dst[p * nr..p * nr + nr];
-                    d[..cols].copy_from_slice(src);
-                    if cols < nr {
-                        d[cols..].fill(0.0);
-                    }
-                }
-            }
-        }
-    }
+    engine::gemm_into_with(
+        kern,
+        transa.into(),
+        transb.into(),
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        c,
+        ldc,
+    );
 }
 
 fn scale_c(beta: f64, m: usize, n: usize, c: &mut [f64], ldc: usize) {
-    if beta == 1.0 {
-        return;
-    }
-    for j in 0..n {
-        let col = &mut c[j * ldc..j * ldc + m];
-        if beta == 0.0 {
-            col.fill(0.0);
-        } else {
-            for v in col {
-                *v *= beta;
-            }
-        }
-    }
+    engine::scale_c(beta, m, n, c, ldc);
 }
 
 /// Parallel [`gemm`] over the packed loop nest. Wide problems split the
@@ -512,83 +371,26 @@ pub fn gemm_par_with(
     if m == 0 || n == 0 {
         return;
     }
-    let threads = threads.max(1);
-    let kern = simd::selected();
-    let (mr, nr) = (kern.mr, kern.nr);
-    if n >= 2 * nr * threads || m < 2 * mr * threads {
-        // Column-panel split of the jc loop: two NR-aligned panels per
-        // worker (NR = the dispatched tile width); panels are disjoint
-        // column ranges of C, data-race free by construction.
-        let jb = n
-            .div_ceil(2 * threads)
-            .next_multiple_of(nr)
-            .max(nr)
-            .min(n.max(1));
-        c[..(n - 1) * ldc + m]
-            .par_chunks_mut(jb * ldc)
-            .enumerate()
-            .for_each(|(p, cpanel)| {
-                let j0 = p * jb;
-                let jn = jb.min(n - j0);
-                // Panel disjointness invariants: every worker's column
-                // range starts on an NR boundary and stays inside C.
-                debug_assert_eq!(j0 % nr, 0, "jc panel start not NR-aligned");
-                debug_assert!(j0 < n && jn > 0, "empty jc panel scheduled");
-                debug_assert!(
-                    cpanel.len() >= (jn - 1) * ldc + m,
-                    "jc panel does not cover its {jn} columns of C"
-                );
-                let bsub = match transb {
-                    Trans::No => &b[j0 * ldb..],
-                    Trans::Yes => &b[j0..],
-                };
-                scale_c(beta, m, jn, cpanel, ldc);
-                gemm_into(
-                    transa, transb, m, jn, k, alpha, a, lda, bsub, ldb, cpanel, ldc,
-                );
-            });
-    } else {
-        // Row-block split of the ic loop: C's rows are strided slices
-        // that cannot be handed out as disjoint `&mut`, so each worker
-        // computes its MR-aligned row block into a private buffer;
-        // the (cheap, O(mn)) reduction adds them back serially.
-        let ib = m
-            .div_ceil(2 * threads)
-            .next_multiple_of(mr)
-            .max(mr)
-            .min(m.max(1));
-        let blocks: Vec<usize> = (0..m.div_ceil(ib)).collect();
-        let partials: Vec<(usize, usize, Vec<f64>)> = blocks
-            .into_par_iter()
-            .map(|p| {
-                let i0 = p * ib;
-                let mb = ib.min(m - i0);
-                // Block disjointness invariants: every worker's row range
-                // starts on an MR boundary and stays inside C.
-                debug_assert_eq!(i0 % mr, 0, "ic block start not MR-aligned");
-                debug_assert!(i0 < m && mb > 0, "empty ic block scheduled");
-                let asub = match transa {
-                    Trans::No => &a[i0..],
-                    Trans::Yes => &a[i0 * lda..],
-                };
-                let mut pbuf = vec![0.0f64; mb * n];
-                gemm_into(
-                    transa, transb, mb, n, k, alpha, asub, lda, b, ldb, &mut pbuf, mb,
-                );
-                (i0, mb, pbuf)
-            })
-            .collect();
-        scale_c(beta, m, n, c, ldc);
-        for (i0, mb, pbuf) in partials {
-            for j in 0..n {
-                let src = &pbuf[j * mb..(j + 1) * mb];
-                let dst = &mut c[i0 + j * ldc..][..mb];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
-            }
-        }
-    }
+    // The split itself (jc column panels / ic row blocks with private
+    // accumulators) is element-type independent and lives once in the
+    // generic engine.
+    engine::par_nest(
+        simd::selected(),
+        threads,
+        transa.into(),
+        transb.into(),
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    );
 }
 
 /// The seed's unpacked `gemm` — the `N/N` and `N/T` cases run a

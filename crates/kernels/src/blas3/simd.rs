@@ -34,12 +34,15 @@ use std::sync::OnceLock;
 /// `C += alpha * Ap * Bp` from packed strips. `ap` is the `mr * kc`
 /// zero-padded A strip, `bp` the `nr * kc` B strip; edge tiles compute
 /// on the padding and store only the `mr_eff x nr_eff` valid corner.
-pub type MicroFn = fn(
+/// Generic over the element type so the one packed loop nest in
+/// [`super::engine`] serves both `f64` and `C64`; the default keeps
+/// every pre-generic `f64` signature reading exactly as before.
+pub type MicroFn<T = f64> = fn(
     kc: usize,
-    alpha: f64,
-    ap: &[f64],
-    bp: &[f64],
-    c: &mut [f64],
+    alpha: T,
+    ap: &[T],
+    bp: &[T],
+    c: &mut [T],
     ldc: usize,
     mr_eff: usize,
     nr_eff: usize,
@@ -48,8 +51,10 @@ pub type MicroFn = fn(
 /// One dispatchable register-tile kernel plus the cache blocking that
 /// fits its shape (`mc` a multiple of `mr`, `nc` a multiple of `nr`;
 /// `KC` is shared so every kernel splits the `k` loop identically and
-/// stays bitwise-comparable).
-pub struct MicroKernel {
+/// stays bitwise-comparable). Generic over the element type; the
+/// `f64` default keeps the historical name for the real dispatch table,
+/// while the complex engine registers a `MicroKernel<C64>`.
+pub struct MicroKernel<T: 'static = f64> {
     /// Dispatch name (`avx512` / `avx2` / `scalar`), matching the
     /// `TSEIG_SIMD` values.
     pub name: &'static str,
@@ -61,20 +66,41 @@ pub struct MicroKernel {
     pub mc: usize,
     /// Column-block size of the packed `B` panel (an L3 slice).
     pub nc: usize,
-    func: MicroFn,
+    func: MicroFn<T>,
 }
 
-impl MicroKernel {
+impl<T: 'static> MicroKernel<T> {
+    /// Build a kernel descriptor; used by the engine to register tile
+    /// implementations for element types other than `f64` (the `f64`
+    /// dispatch table is constructed in this module).
+    pub const fn new(
+        name: &'static str,
+        mr: usize,
+        nr: usize,
+        mc: usize,
+        nc: usize,
+        func: MicroFn<T>,
+    ) -> Self {
+        MicroKernel {
+            name,
+            mr,
+            nr,
+            mc,
+            nc,
+            func,
+        }
+    }
+
     /// Run the kernel on one packed tile.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         kc: usize,
-        alpha: f64,
-        ap: &[f64],
-        bp: &[f64],
-        c: &mut [f64],
+        alpha: T,
+        ap: &[T],
+        bp: &[T],
+        c: &mut [T],
         ldc: usize,
         mr_eff: usize,
         nr_eff: usize,

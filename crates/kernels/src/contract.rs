@@ -21,6 +21,8 @@
 //! a `symv_lower` caller never reads), so poison checks scan exactly the
 //! region a kernel's contract says it reads — and nothing else.
 
+use tseig_matrix::Scalar;
+
 /// True when contract checks are active (debug builds).
 #[inline(always)]
 pub fn enabled() -> bool {
@@ -33,7 +35,7 @@ pub fn enabled() -> bool {
 /// `kernel`/`arg` name the call site in the failure message.
 #[inline]
 #[track_caller]
-pub fn require_mat(kernel: &str, arg: &str, s: &[f64], rows: usize, cols: usize, ld: usize) {
+pub fn require_mat<T>(kernel: &str, arg: &str, s: &[T], rows: usize, cols: usize, ld: usize) {
     if enabled() {
         assert!(
             ld >= rows.max(1),
@@ -58,7 +60,7 @@ pub fn require_mat(kernel: &str, arg: &str, s: &[f64], rows: usize, cols: usize,
 /// Validate a vector operand: the slice must hold at least `n` elements.
 #[inline]
 #[track_caller]
-pub fn require_vec(kernel: &str, arg: &str, s: &[f64], n: usize) {
+pub fn require_vec<T>(kernel: &str, arg: &str, s: &[T], n: usize) {
     if enabled() {
         assert!(
             s.len() >= n,
@@ -76,7 +78,7 @@ pub fn require_vec(kernel: &str, arg: &str, s: &[f64], n: usize) {
 /// output.
 #[inline]
 #[track_caller]
-pub fn require_no_alias(kernel: &str, in_name: &str, a: &[f64], out_name: &str, c: &[f64]) {
+pub fn require_no_alias<T>(kernel: &str, in_name: &str, a: &[T], out_name: &str, c: &[T]) {
     if enabled() {
         if a.is_empty() || c.is_empty() {
             return;
@@ -97,7 +99,14 @@ pub fn require_no_alias(kernel: &str, in_name: &str, a: &[f64], out_name: &str, 
 /// (leading dimension `ld`) must be finite.
 #[inline]
 #[track_caller]
-pub fn require_finite_mat(kernel: &str, arg: &str, s: &[f64], rows: usize, cols: usize, ld: usize) {
+pub fn require_finite_mat<T: Scalar>(
+    kernel: &str,
+    arg: &str,
+    s: &[T],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+) {
     #[cfg(feature = "paranoid")]
     if enabled() {
         for j in 0..cols {
@@ -105,7 +114,7 @@ pub fn require_finite_mat(kernel: &str, arg: &str, s: &[f64], rows: usize, cols:
                 let v = s[i + j * ld];
                 assert!(
                     v.is_finite(),
-                    "{kernel}: non-finite input poison in `{arg}` at ({i}, {j}): {v}"
+                    "{kernel}: non-finite input poison in `{arg}` at ({i}, {j}): {v:?}"
                 );
             }
         }
@@ -120,7 +129,7 @@ pub fn require_finite_mat(kernel: &str, arg: &str, s: &[f64], rows: usize, cols:
 /// anything.
 #[inline]
 #[track_caller]
-pub fn require_finite_lower(kernel: &str, arg: &str, s: &[f64], n: usize, ld: usize) {
+pub fn require_finite_lower<T: Scalar>(kernel: &str, arg: &str, s: &[T], n: usize, ld: usize) {
     #[cfg(feature = "paranoid")]
     if enabled() {
         for j in 0..n {
@@ -129,7 +138,7 @@ pub fn require_finite_lower(kernel: &str, arg: &str, s: &[f64], n: usize, ld: us
                 assert!(
                     v.is_finite(),
                     "{kernel}: non-finite input poison in lower triangle of `{arg}` \
-                     at ({i}, {j}): {v}"
+                     at ({i}, {j}): {v:?}"
                 );
             }
         }
@@ -144,7 +153,7 @@ pub fn require_finite_lower(kernel: &str, arg: &str, s: &[f64], n: usize, ld: us
 /// compact WY factor `T`).
 #[inline]
 #[track_caller]
-pub fn require_finite_upper(kernel: &str, arg: &str, s: &[f64], n: usize, ld: usize) {
+pub fn require_finite_upper<T: Scalar>(kernel: &str, arg: &str, s: &[T], n: usize, ld: usize) {
     #[cfg(feature = "paranoid")]
     if enabled() {
         for j in 0..n {
@@ -153,7 +162,7 @@ pub fn require_finite_upper(kernel: &str, arg: &str, s: &[f64], n: usize, ld: us
                 assert!(
                     v.is_finite(),
                     "{kernel}: non-finite input poison in upper triangle of `{arg}` \
-                     at ({i}, {j}): {v}"
+                     at ({i}, {j}): {v:?}"
                 );
             }
         }
@@ -165,13 +174,13 @@ pub fn require_finite_upper(kernel: &str, arg: &str, s: &[f64], n: usize, ld: us
 /// `paranoid` only: every element of a vector operand must be finite.
 #[inline]
 #[track_caller]
-pub fn require_finite_vec(kernel: &str, arg: &str, s: &[f64], n: usize) {
+pub fn require_finite_vec<T: Scalar>(kernel: &str, arg: &str, s: &[T], n: usize) {
     #[cfg(feature = "paranoid")]
     if enabled() {
         for (i, v) in s[..n].iter().enumerate() {
             assert!(
                 v.is_finite(),
-                "{kernel}: non-finite input poison in `{arg}` at {i}: {v}"
+                "{kernel}: non-finite input poison in `{arg}` at {i}: {v:?}"
             );
         }
     }

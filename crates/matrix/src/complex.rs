@@ -65,6 +65,26 @@ impl C64 {
     pub fn is_finite(self) -> bool {
         self.re.is_finite() && self.im.is_finite()
     }
+
+    /// Fused `self * b + acc` with a pinned evaluation order: each
+    /// component is a chain of two real FMAs,
+    ///
+    /// ```text
+    /// re = fma(re, b.re, fma(-im, b.im, acc.re))
+    /// im = fma(re, b.im, fma( im, b.re, acc.im))
+    /// ```
+    ///
+    /// This is the one arithmetic op of the packed complex microkernel;
+    /// fixing the order here is what makes every tile shape produce
+    /// bitwise identical results for the same `k` ordering (the same
+    /// contract the real SIMD kernels pin with a shared FMA chain).
+    #[inline]
+    pub fn mul_add(self, b: C64, acc: C64) -> C64 {
+        c64(
+            self.re.mul_add(b.re, (-self.im).mul_add(b.im, acc.re)),
+            self.re.mul_add(b.im, self.im.mul_add(b.re, acc.im)),
+        )
+    }
 }
 
 impl From<f64> for C64 {

@@ -24,6 +24,7 @@ pub mod error;
 pub mod gen;
 pub mod io;
 pub mod norms;
+pub mod scalar;
 pub mod tile;
 pub mod tridiagonal;
 
@@ -31,4 +32,5 @@ pub use band::SymBandMatrix;
 pub use complex::{c64, CMatrix, C64};
 pub use dense::Matrix;
 pub use error::{Error, Result};
+pub use scalar::Scalar;
 pub use tridiagonal::SymTridiagonal;

@@ -1,0 +1,180 @@
+//! The element-type abstraction shared by the real and Hermitian
+//! pipelines.
+//!
+//! [`Scalar`] is the *complete* surface the packed BLAS-3 engine in
+//! `tseig-kernels` needs from an element type: ring operations, a
+//! conjugation (identity for `f64`), a fused multiply-add with a pinned
+//! evaluation order, and the flop/byte weights the performance counters
+//! charge. Implementations exist for exactly the two element types the
+//! paper's problem statement names — `f64` for the symmetric pipeline
+//! and [`C64`] for the Hermitian one — and both drivers run on the same
+//! monomorphized engine.
+//!
+//! ## Determinism contract
+//!
+//! [`Scalar::mul_add`] is the only arithmetic the engine's inner loop
+//! performs, and its evaluation order is part of the type's contract:
+//!
+//! * `f64`: a single hardware FMA (`f64::mul_add`), exactly what the
+//!   pre-generic engine issued — so the generic engine monomorphized at
+//!   `f64` stays **bitwise identical** to the historical kernels.
+//! * `C64`: each component is a chain of two real FMAs in a fixed order
+//!   (see [`C64::mul_add`]); every microkernel shape then produces
+//!   bitwise identical complex results for the same `k` ordering, the
+//!   same property the real dispatch paths already guarantee.
+
+use crate::complex::{c64, C64};
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Element type of a dense BLAS-3 operand: `f64` or [`C64`].
+///
+/// The bounds are what the packed engine's loop nest actually uses:
+/// `Copy` packing, ring arithmetic, `Send + Sync` for the rayon splits,
+/// `Default` (= zero) for buffer growth.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + Debug
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity; also the zero-padding value of packed strips.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Real flops charged per multiply-add pair on this type: 2 for
+    /// `f64`, 8 for [`C64`] (4 real multiplies + 4 real adds). This is
+    /// the conventional `zgemm = 8mnk` accounting, so Gflop/s stay
+    /// comparable across element-type columns.
+    const MULADD_FLOPS: u64;
+    /// Bytes per element (8 / 16); the byte-traffic model's unit.
+    const BYTES: u64;
+    /// Whether conjugation is distinct from identity. Lets shared code
+    /// document (and tests assert) which ops collapse for real types.
+    const IS_COMPLEX: bool;
+
+    /// Complex conjugate; identity on `f64`. The engine applies this in
+    /// the O(n^2) pack step, never in the O(n^3) compute loop.
+    fn conj(self) -> Self;
+
+    /// `self * b + acc` with the pinned evaluation order documented on
+    /// each implementation — the one arithmetic op of the engine's
+    /// inner loop.
+    fn mul_add(self, b: Self, acc: Self) -> Self;
+
+    /// All components finite (paranoid poison scans).
+    fn is_finite(self) -> bool;
+
+    /// Embed a real scalar (used by scaling paths and test generators).
+    fn from_f64(x: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const MULADD_FLOPS: u64 = 2;
+    const BYTES: u64 = 8;
+    const IS_COMPLEX: bool = false;
+
+    #[inline(always)]
+    fn conj(self) -> Self {
+        self
+    }
+
+    /// One hardware FMA — the exact op the pre-generic `f64` engine
+    /// issued, keeping the monomorphized engine bitwise identical.
+    #[inline(always)]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        f64::mul_add(self, b, acc)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl Scalar for C64 {
+    const ZERO: Self = C64::ZERO;
+    const ONE: Self = C64::ONE;
+    const MULADD_FLOPS: u64 = 8;
+    const BYTES: u64 = 16;
+    const IS_COMPLEX: bool = true;
+
+    #[inline(always)]
+    fn conj(self) -> Self {
+        C64::conj(self)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        C64::mul_add(self, b, acc)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        C64::is_finite(self)
+    }
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        c64(x, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn identities_behave() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(C64::ZERO + C64::ONE, c64(1.0, 0.0));
+        assert_eq!(<f64 as Scalar>::conj(3.5), 3.5);
+        assert_eq!(<C64 as Scalar>::conj(c64(1.0, 2.0)), c64(1.0, -2.0));
+        fn is_complex<T: Scalar>() -> bool {
+            T::IS_COMPLEX
+        }
+        assert!(!is_complex::<f64>());
+        assert!(is_complex::<C64>());
+    }
+
+    #[test]
+    fn mul_add_matches_mul_then_add_to_rounding() {
+        // The fused forms differ from mul-then-add only in rounding;
+        // on representable products they agree exactly.
+        assert_eq!(<f64 as Scalar>::mul_add(3.0, 4.0, 5.0), 17.0);
+        let z = <C64 as Scalar>::mul_add(c64(1.0, 2.0), c64(3.0, -1.0), c64(0.5, 0.25));
+        assert_eq!(z, c64(1.0 * 3.0 + 2.0 * 1.0 + 0.5, -1.0 + 6.0 + 0.25));
+    }
+
+    #[test]
+    fn weights_match_convention() {
+        assert_eq!(f64::MULADD_FLOPS, 2);
+        assert_eq!(C64::MULADD_FLOPS, 8);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(C64::BYTES, 16);
+    }
+
+    #[test]
+    fn from_f64_embeds_reals() {
+        assert_eq!(<C64 as Scalar>::from_f64(-2.5), c64(-2.5, 0.0));
+        assert_eq!(<f64 as Scalar>::from_f64(-2.5), -2.5);
+    }
+}

@@ -16,14 +16,17 @@ use crate::Diag;
 ///
 /// * `runtime/src/data.rs` — the `DataCell` interior-mutability core; the
 ///   runtime's region serialization is the safety argument.
-/// * `core/src/stage2.rs` — bulge-chase tasks reading/writing the shared
-///   band through `DataCell` under the scheduler's region guarantee.
+/// * `core/src/stage2.rs` and `hermitian/src/stage2.rs` — the real and
+///   complex bulge-chase tasks reading/writing the shared band through
+///   `DataCell` under the scheduler's region guarantee (identical chase
+///   geometry, so the same region protocol and safety argument).
 /// * `kernels/src/blas3/simd.rs` — the `std::arch` GEMM microkernels;
 ///   runtime `is_x86_feature_detected!` dispatch plus the safe entry
 ///   wrappers' bounds assertions are the safety argument.
 pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/runtime/src/data.rs",
     "crates/core/src/stage2.rs",
+    "crates/hermitian/src/stage2.rs",
     "crates/kernels/src/blas3/simd.rs",
 ];
 
