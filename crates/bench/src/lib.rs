@@ -68,7 +68,8 @@ pub fn fig1(sizes: &[usize]) -> Vec<Fig1Row> {
             pct: one.timings.percentages(),
             total: one.timings.total(),
         });
-        let two = SymmetricEigen::new().nb(nb).solve(&a).unwrap();
+        // Bench harness, controlled inputs.
+        let two = SymmetricEigen::new().nb(nb).solve(&a).unwrap(); // tidy: allow(result-unwrap)
         rows.push(Fig1Row {
             pipeline: "two-stage",
             n,
@@ -138,8 +139,11 @@ pub fn fig4(variant: Fig4Variant, sizes: &[usize]) -> Vec<Fig4Row> {
                 });
                 (t1, t2)
             } else {
-                let (_, t1) =
-                    time(|| syev(&a, range, vectors, &OneStageOptions { nb: 32, method }).unwrap());
+                // Bench harness, controlled inputs.
+                let (_, t1) = time(|| {
+                    let opts = OneStageOptions { nb: 32, method };
+                    syev(&a, range, vectors, &opts).unwrap() // tidy: allow(result-unwrap)
+                });
                 let (_, t2) = time(|| {
                     SymmetricEigen::new()
                         .nb(nb)

@@ -2,7 +2,7 @@
 //! parsing and command logic are unit-testable).
 
 use std::io::{BufRead, Write};
-use tseig_core::SymmetricEigen;
+use tseig_core::{SymmetricEigen, VerifyLevel};
 use tseig_matrix::{io as mmio, norms};
 use tseig_tridiag::{EigenRange, Method};
 
@@ -11,8 +11,13 @@ pub const USAGE: &str = "\
 usage:
   tseig eig  <A.mtx> [--nb N] [--method dc|qr|bisect] [--values-only]
              [--fraction F] [--range LO:HI] [--one-stage] [--vectors-out Z.mtx]
+             [--verify] [--verbose]
   tseig svd  <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
-  tseig info <A.mtx>";
+  tseig info <A.mtx>
+
+  --verify   re-check the computed eigenpairs against the input
+             (fails with a nonzero exit on a violated residual bound)
+  --verbose  print solve diagnostics (fallbacks, scaling, verification)";
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +31,8 @@ pub enum Cli {
         range: Option<(usize, usize)>,
         one_stage: bool,
         vectors_out: Option<String>,
+        verify: bool,
+        verbose: bool,
     },
     Svd {
         path: String,
@@ -89,6 +96,8 @@ impl Cli {
                     range,
                     one_stage: has_flag("--one-stage"),
                     vectors_out: flag_value("--vectors-out").map(String::from),
+                    verify: has_flag("--verify"),
+                    verbose: has_flag("--verbose"),
                 })
             }
             "svd" => Ok(Cli::Svd {
@@ -143,6 +152,8 @@ pub fn run<R: BufRead, W: Write>(
             range,
             one_stage,
             vectors_out,
+            verify,
+            verbose,
         } => {
             let a = mmio::read_matrix_market(open(path)?).map_err(|e| e.to_string())?;
             if a.rows() != a.cols() {
@@ -167,6 +178,9 @@ pub fn run<R: BufRead, W: Write>(
             };
             let t0 = std::time::Instant::now();
             let (vals, vecs) = if *one_stage {
+                if *verify {
+                    return Err("--verify is only available for the two-stage solver".into());
+                }
                 let r = tseig_onestage::syev(
                     &a,
                     match fraction {
@@ -183,6 +197,9 @@ pub fn run<R: BufRead, W: Write>(
                     },
                 )
                 .map_err(|e| e.to_string())?;
+                if *verbose {
+                    eprintln!("one-stage solver: no solve diagnostics available");
+                }
                 (r.eigenvalues, r.eigenvectors)
             } else {
                 let mut builder = SymmetricEigen::new()
@@ -193,7 +210,13 @@ pub fn run<R: BufRead, W: Write>(
                 if let Some(f) = fraction {
                     builder = builder.fraction(*f);
                 }
+                if *verify {
+                    builder = builder.verify(VerifyLevel::Full);
+                }
                 let r = builder.solve(&a).map_err(|e| e.to_string())?;
+                if *verbose {
+                    eprint!("{}", r.diagnostics);
+                }
                 (r.eigenvalues, r.eigenvectors)
             };
             eprintln!(
@@ -280,12 +303,15 @@ mod tests {
                 range,
                 one_stage,
                 vectors_out,
+                verify,
+                verbose,
             } => {
                 assert_eq!(path, "A.mtx");
                 assert_eq!(nb, 48);
                 assert_eq!(method, Method::DivideAndConquer);
                 assert!(!values_only && !one_stage);
                 assert!(fraction.is_none() && range.is_none() && vectors_out.is_none());
+                assert!(!verify && !verbose);
             }
             _ => panic!("wrong command"),
         }
@@ -294,7 +320,7 @@ mod tests {
     #[test]
     fn parse_eig_full() {
         let c = Cli::parse(&args(
-            "eig A.mtx --nb 16 --method bisect --values-only --fraction 0.2 --one-stage --vectors-out Z.mtx",
+            "eig A.mtx --nb 16 --method bisect --values-only --fraction 0.2 --one-stage --vectors-out Z.mtx --verify --verbose",
         ))
         .unwrap();
         match c {
@@ -305,6 +331,8 @@ mod tests {
                 fraction,
                 one_stage,
                 vectors_out,
+                verify,
+                verbose,
                 ..
             } => {
                 assert_eq!(nb, 16);
@@ -312,6 +340,7 @@ mod tests {
                 assert!(values_only && one_stage);
                 assert_eq!(fraction, Some(0.2));
                 assert_eq!(vectors_out.as_deref(), Some("Z.mtx"));
+                assert!(verify && verbose);
             }
             _ => panic!("wrong command"),
         }
@@ -339,7 +368,7 @@ mod tests {
         );
         let mut mtx = Vec::new();
         tseig_matrix::io::write_matrix_market_symmetric(&a, &mut mtx).unwrap();
-        let cli = Cli::parse(&args("eig mem.mtx --nb 4")).unwrap();
+        let cli = Cli::parse(&args("eig mem.mtx --nb 4 --verify --verbose")).unwrap();
         let mtx_text = String::from_utf8(mtx).unwrap();
         run(
             &cli,

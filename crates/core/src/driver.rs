@@ -11,8 +11,16 @@ use crate::backtransform::apply_q;
 use crate::stage1::sy2sb;
 use crate::stage2::{reduce_scheduled, Stage2Exec};
 use std::time::Instant;
-use tseig_matrix::{Error, Matrix, Result};
+use tseig_kernels::scaling;
+use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
+use tseig_matrix::{norms, Error, Matrix, Result};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
+
+/// Scaled-measure acceptance bound for [`SymmetricEigen::verify`]: the
+/// workspace convention (see [`tseig_matrix::norms`]) is that backward
+/// error and orthogonality measures of order 1–100 are excellent and
+/// anything above ~1e3 indicates a bug.
+pub const VERIFY_BOUND: f64 = 1e3;
 
 /// Stage-2 scheduler selection (re-exported flavour of
 /// [`Stage2Exec`] with driver-friendly defaults).
@@ -29,6 +37,7 @@ pub enum Scheduler {
 }
 
 /// Result of a two-stage eigensolve.
+#[derive(Clone, Debug)]
 pub struct TwoStageResult {
     /// Ascending eigenvalues (of the selected range).
     pub eigenvalues: Vec<f64>,
@@ -37,6 +46,10 @@ pub struct TwoStageResult {
     /// Phase wall-times (Figure 1b): `stage1`, `stage2`,
     /// `tridiag_solve`, `backtransform`.
     pub timings: PhaseTimings,
+    /// What the robustness layer did: fallbacks taken, norm scaling
+    /// applied, verification measures. `diagnostics.is_clean()` means the
+    /// solve ran the paved road end to end.
+    pub diagnostics: SolveDiagnostics,
 }
 
 /// Builder for the two-stage symmetric eigensolver.
@@ -59,6 +72,7 @@ pub struct SymmetricEigen {
     fraction: Option<f64>,
     want_vectors: bool,
     scheduler: Scheduler,
+    verify: VerifyLevel,
 }
 
 impl Default for SymmetricEigen {
@@ -73,6 +87,7 @@ impl Default for SymmetricEigen {
             fraction: None,
             want_vectors: true,
             scheduler: Scheduler::Serial,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -141,8 +156,26 @@ impl SymmetricEigen {
         self
     }
 
+    /// Opt-in post-solve verification: check the computed eigenpairs
+    /// against the *original* input (finite ascending eigenvalues, the
+    /// per-column residual bound, and with [`VerifyLevel::Full`] the
+    /// eigenvector orthogonality bound). A violation surfaces as
+    /// [`Error::VerificationFailed`] naming the offending eigenpair; a
+    /// pass stores the measures in the result's diagnostics.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
     /// Run the solver on the dense symmetric matrix `a` (lower triangle
     /// referenced).
+    ///
+    /// Robustness layer (LAPACK `DSYEV`-style): the input is screened for
+    /// non-finite entries and gross asymmetry ([`Error::InvalidData`]),
+    /// scaled into the safe norm window when its norm is extreme
+    /// (eigenvalues are rescaled on exit), and every convergence failure
+    /// inside the pipeline is absorbed by a fallback chain recorded in
+    /// the result's [`SolveDiagnostics`].
     pub fn solve(&self, a: &Matrix) -> Result<TwoStageResult> {
         if a.rows() != a.cols() {
             return Err(Error::DimensionMismatch(format!(
@@ -152,7 +185,25 @@ impl SymmetricEigen {
             )));
         }
         let n = a.rows();
-        let mut timings = PhaseTimings::default();
+        let timings = PhaseTimings::default();
+
+        // Screen: reject NaN/Inf and asymmetry beyond rounding before any
+        // arithmetic can smear them across the spectrum. The returned
+        // norm drives the scaling decision below.
+        let anorm = scaling::screen_symmetric(a)?;
+
+        // Trivial orders return immediately; n == 0 in particular must
+        // not reach the fraction-to-index conversion (which clamps the
+        // count to at least one eigenpair).
+        if n == 0 {
+            return Ok(TwoStageResult {
+                eigenvalues: vec![],
+                eigenvectors: self.want_vectors.then(|| Matrix::zeros(0, 0)),
+                timings,
+                diagnostics: SolveDiagnostics::default(),
+            });
+        }
+
         // Half-band grouping keeps the diamond padding overhead
         // ((nb + ell - 1)/nb extra flops) at ~1.5x while the blocks stay
         // Level-3 sized — measured optimum across nb on this machine.
@@ -173,25 +224,64 @@ impl SymmetricEigen {
             None => self.range,
         };
 
+        if n == 1 {
+            return self.solve_order_one(a, range, timings);
+        }
+
+        // Norm scaling: an extreme-norm input is solved as sigma * A so
+        // every intermediate stays in the comfortable exponent range;
+        // eigenvalues are divided back by sigma on exit. `Value` range
+        // bounds select in the scaled spectrum, so they scale too.
+        let sigma = scaling::safe_scale_factor(anorm);
+        let scaled = sigma.map(|s| {
+            let mut b = a.clone();
+            scaling::scale_matrix(&mut b, s);
+            b
+        });
+        let work: &Matrix = scaled.as_ref().unwrap_or(a);
+        let range = match (sigma, range) {
+            (Some(s), EigenRange::Value(vl, vu)) => EigenRange::Value(vl * s, vu * s),
+            (_, r) => r,
+        };
+
+        let rec = Recorder::new();
+        let mut timings = timings;
+
         // Stage 1: dense -> band.
         let t0 = Instant::now();
-        let bf = sy2sb(a, self.nb, self.ib);
+        let bf = sy2sb(work, self.nb, self.ib);
         timings.stage1 = t0.elapsed();
 
-        // Stage 2: band -> tridiagonal (bulge chasing).
+        // Stage 2: band -> tridiagonal (bulge chasing). A scheduled
+        // execution that dies (worker panic, runtime error) is re-run on
+        // the serial path, which shares no scheduler machinery.
         let t1 = Instant::now();
         let exec = match self.scheduler {
             Scheduler::Serial => Stage2Exec::Serial,
             Scheduler::Static(t) => Stage2Exec::Static(t),
             Scheduler::Dynamic(t) => Stage2Exec::Dynamic(t),
         };
-        let chase = reduce_scheduled(bf.band.clone(), exec).map_err(Error::Runtime)?;
+        let chase = match reduce_scheduled(bf.band.clone(), exec) {
+            Ok(c) => c,
+            Err(e) if self.scheduler != Scheduler::Serial => {
+                rec.record(Recovery::SchedulerFallback { error: e });
+                reduce_scheduled(bf.band.clone(), Stage2Exec::Serial).map_err(Error::Runtime)?
+            }
+            Err(e) => return Err(Error::Runtime(e)),
+        };
         timings.stage2 = t1.elapsed();
         timings.reduction = timings.stage1 + timings.stage2;
 
-        // Tridiagonal eigensolve.
+        // Tridiagonal eigensolve, with the recovery recorder threaded
+        // through (QR -> bisection, D&C -> QR, perturbed-shift retries).
         let t2 = Instant::now();
-        let sol = tseig_tridiag::solve(&chase.tridiagonal, self.method, range, self.want_vectors)?;
+        let sol = tseig_tridiag::solve_with_diag(
+            &chase.tridiagonal,
+            self.method,
+            range,
+            self.want_vectors,
+            &rec,
+        )?;
         timings.tridiag_solve = t2.elapsed();
 
         // Back-transformation Z = Q1 (Q2 E).
@@ -214,14 +304,159 @@ impl SymmetricEigen {
         } else {
             None
         };
-        let _ = n;
+
+        // Undo the norm scaling on the eigenvalues.
+        let mut eigenvalues = sol.eigenvalues;
+        if let Some(s) = sigma {
+            for v in &mut eigenvalues {
+                *v /= s;
+            }
+        }
+
+        let mut diagnostics = SolveDiagnostics::from_recorder(&rec);
+        diagnostics.scaled_by = sigma;
+
+        // Opt-in verification against the ORIGINAL input: the unscaled
+        // eigenvalues and back-transformed vectors must reproduce `a`,
+        // whatever path (scaled, fallback) produced them.
+        if self.verify != VerifyLevel::Off {
+            diagnostics.verify = Some(verify_solution(
+                a,
+                &eigenvalues,
+                eigenvectors.as_ref(),
+                self.verify,
+            )?);
+        }
 
         Ok(TwoStageResult {
-            eigenvalues: sol.eigenvalues,
+            eigenvalues,
             eigenvectors,
             timings,
+            diagnostics,
         })
     }
+
+    /// The order-1 eigenproblem is its own answer; solving it through the
+    /// band pipeline would only launder `a[(0,0)]` through no-op stages.
+    fn solve_order_one(
+        &self,
+        a: &Matrix,
+        range: EigenRange,
+        timings: PhaseTimings,
+    ) -> Result<TwoStageResult> {
+        let a00 = a[(0, 0)];
+        let include = match range {
+            EigenRange::All => true,
+            EigenRange::Index(lo, hi) => lo == 0 && hi >= 1,
+            // LAPACK RANGE='V' half-open convention (vl, vu].
+            EigenRange::Value(vl, vu) => vl < a00 && a00 <= vu,
+        };
+        let k = usize::from(include);
+        let eigenvalues = if include { vec![a00] } else { vec![] };
+        let eigenvectors = self.want_vectors.then(|| {
+            let mut z = Matrix::zeros(1, k);
+            if include {
+                z[(0, 0)] = 1.0;
+            }
+            z
+        });
+        Ok(TwoStageResult {
+            eigenvalues,
+            eigenvectors,
+            timings,
+            diagnostics: SolveDiagnostics::default(),
+        })
+    }
+}
+
+/// Check a computed eigendecomposition against the matrix it claims to
+/// decompose. Eigenvalues must be finite and ascending; with vectors the
+/// per-column scaled residual (and for [`VerifyLevel::Full`] the pairwise
+/// orthogonality) must stay under [`VERIFY_BOUND`].
+fn verify_solution(
+    a: &Matrix,
+    lambda: &[f64],
+    z: Option<&Matrix>,
+    level: VerifyLevel,
+) -> Result<VerifyReport> {
+    let n = a.rows();
+    for (j, &lam) in lambda.iter().enumerate() {
+        if !lam.is_finite() {
+            return Err(Error::VerificationFailed {
+                index: j,
+                measure: "eigenvalue finiteness".into(),
+                value: lam,
+                bound: f64::MAX,
+            });
+        }
+        if j > 0 && lam < lambda[j - 1] {
+            return Err(Error::VerificationFailed {
+                index: j,
+                measure: "eigenvalue ordering".into(),
+                value: lam - lambda[j - 1],
+                bound: 0.0,
+            });
+        }
+    }
+    let Some(z) = z else {
+        return Ok(VerifyReport::default());
+    };
+    let az = a.multiply(z)?;
+    let denom = norms::norm1(a).max(norms::EPS) * n as f64 * norms::EPS;
+    let mut worst = (0usize, 0.0f64);
+    for (j, &lam) in lambda.iter().enumerate() {
+        let azc = az.col(j);
+        let zc = z.col(j);
+        let mut colmax = 0.0f64;
+        for i in 0..n {
+            colmax = colmax.max((azc[i] - lam * zc[i]).abs());
+        }
+        let m = colmax / denom;
+        if m > worst.1 || m.is_nan() {
+            worst = (j, m);
+        }
+    }
+    // The NaN check matters: a poisoned vector yields a NaN measure,
+    // which must fail verification rather than slip past `>`.
+    if worst.1 > VERIFY_BOUND || worst.1.is_nan() {
+        return Err(Error::VerificationFailed {
+            index: worst.0,
+            measure: "scaled residual".into(),
+            value: worst.1,
+            bound: VERIFY_BOUND,
+        });
+    }
+    let residual = worst.1;
+    let mut orthogonality = 0.0;
+    if level == VerifyLevel::Full {
+        let scale = n as f64 * norms::EPS;
+        let mut worst = (0usize, 0.0f64);
+        for j in 0..z.cols() {
+            for i in 0..=j {
+                let dot: f64 = z.col(i).iter().zip(z.col(j)).map(|(x, y)| x * y).sum();
+                let target = if i == j { 1.0 } else { 0.0 };
+                let m = (dot - target).abs() / scale;
+                if m > worst.1 || m.is_nan() {
+                    worst = (j, m);
+                }
+            }
+        }
+        // The NaN check matters: a poisoned vector yields a NaN measure,
+        // which must fail verification rather than slip past `>`.
+        if worst.1 > VERIFY_BOUND || worst.1.is_nan() {
+            return Err(Error::VerificationFailed {
+                index: worst.0,
+                measure: "orthogonality".into(),
+                value: worst.1,
+                bound: VERIFY_BOUND,
+            });
+        }
+        orthogonality = worst.1;
+    }
+    Ok(VerifyReport {
+        residual,
+        orthogonality,
+    })
 }
 
 #[cfg(test)]

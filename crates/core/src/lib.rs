@@ -42,6 +42,7 @@ pub mod generalized;
 pub mod stage1;
 pub mod stage2;
 
-pub use driver::{Scheduler, SymmetricEigen, TwoStageResult};
+pub use driver::{Scheduler, SymmetricEigen, TwoStageResult, VERIFY_BOUND};
 pub use generalized::solve_generalized;
 pub use stage2::V2Set;
+pub use tseig_matrix::diagnostics::{Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};

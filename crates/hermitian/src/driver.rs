@@ -8,10 +8,18 @@ use crate::backtransform::apply_q;
 use crate::stage1::he2hb;
 use crate::stage2::{reduce_scheduled, Scheduler};
 use std::time::Instant;
+use tseig_kernels::scaling;
+use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
 use tseig_matrix::{c64, CMatrix, Error, Result};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 
+/// Scaled-measure acceptance bound for [`HermitianEigen::verify`] —
+/// same convention as the real driver: 1–100 is excellent, above ~1e3
+/// indicates a bug.
+pub const VERIFY_BOUND: f64 = 1e3;
+
 /// Result of a Hermitian eigensolve.
+#[derive(Clone, Debug)]
 pub struct HermitianResult {
     /// Ascending (real) eigenvalues of the selected range.
     pub eigenvalues: Vec<f64>,
@@ -19,6 +27,8 @@ pub struct HermitianResult {
     pub eigenvectors: Option<CMatrix>,
     /// Phase wall-times.
     pub timings: PhaseTimings,
+    /// Robustness-layer report: fallbacks, norm scaling, verification.
+    pub diagnostics: SolveDiagnostics,
 }
 
 /// Builder for the two-stage Hermitian eigensolver.
@@ -38,6 +48,7 @@ pub struct HermitianEigen {
     range: EigenRange,
     want_vectors: bool,
     scheduler: Scheduler,
+    verify: VerifyLevel,
 }
 
 impl Default for HermitianEigen {
@@ -49,6 +60,7 @@ impl Default for HermitianEigen {
             range: EigenRange::All,
             want_vectors: true,
             scheduler: Scheduler::Serial,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -95,8 +107,20 @@ impl HermitianEigen {
         self
     }
 
+    /// Opt-in post-solve verification against the original input; see
+    /// the real driver's `SymmetricEigen::verify` for semantics.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
     /// Solve the dense Hermitian eigenproblem (lower triangle of `a`
     /// referenced; the diagonal's imaginary part is ignored).
+    ///
+    /// Carries the same robustness layer as the real driver: input
+    /// screening ([`Error::InvalidData`]), norm scaling with eigenvalue
+    /// rescaling on exit, scheduler and tridiagonal fallback chains, and
+    /// optional verification — all reported in [`SolveDiagnostics`].
     pub fn solve(&self, a: &CMatrix) -> Result<HermitianResult> {
         if a.rows() != a.cols() {
             return Err(Error::DimensionMismatch(format!(
@@ -105,35 +129,83 @@ impl HermitianEigen {
                 a.cols()
             )));
         }
-        let mut timings = PhaseTimings::default();
+        let n = a.rows();
+        let timings = PhaseTimings::default();
+
+        let anorm = scaling::screen_hermitian(a)?;
+
+        if n == 0 {
+            return Ok(HermitianResult {
+                eigenvalues: vec![],
+                eigenvectors: self.want_vectors.then(|| CMatrix::zeros(0, 0)),
+                timings,
+                diagnostics: SolveDiagnostics::default(),
+            });
+        }
+        if n == 1 {
+            return self.solve_order_one(a, timings);
+        }
+
         let ell = if self.ell == 0 {
             (self.nb / 2).max(1)
         } else {
             self.ell
         };
 
+        // Norm scaling (same window as the real driver); `Value` range
+        // bounds select in the scaled spectrum, so they scale too.
+        let sigma = scaling::safe_scale_factor(anorm);
+        let scaled = sigma.map(|s| {
+            let mut b = a.clone();
+            scaling::scale_cmatrix(&mut b, s);
+            b
+        });
+        let work: &CMatrix = scaled.as_ref().unwrap_or(a);
+        let range = match (sigma, self.range) {
+            (Some(s), EigenRange::Value(vl, vu)) => EigenRange::Value(vl * s, vu * s),
+            (_, r) => r,
+        };
+
+        let rec = Recorder::new();
+        let mut timings = timings;
+
         let t0 = Instant::now();
-        let bf = he2hb(a, self.nb);
+        let bf = he2hb(work, self.nb);
         timings.stage1 = t0.elapsed();
 
+        // Stage 2 with the serial-path fallback on scheduled failure.
         let t1 = Instant::now();
-        let chase =
-            reduce_scheduled(bf.band.clone(), self.nb, self.scheduler).map_err(Error::Runtime)?;
+        let chase = match reduce_scheduled(bf.band.clone(), self.nb, self.scheduler) {
+            Ok(c) => c,
+            Err(e) if self.scheduler != Scheduler::Serial => {
+                rec.record(Recovery::SchedulerFallback { error: e });
+                reduce_scheduled(bf.band.clone(), self.nb, Scheduler::Serial)
+                    .map_err(Error::Runtime)?
+            }
+            Err(e) => return Err(Error::Runtime(e)),
+        };
         timings.stage2 = t1.elapsed();
         timings.reduction = timings.stage1 + timings.stage2;
 
         let t2 = Instant::now();
-        let sol = tseig_tridiag::solve(
+        let sol = tseig_tridiag::solve_with_diag(
             &chase.tridiagonal,
             self.method,
-            self.range,
+            range,
             self.want_vectors,
+            &rec,
         )?;
         timings.tridiag_solve = t2.elapsed();
 
         let eigenvectors = if self.want_vectors {
             let t3 = Instant::now();
-            let e_real = sol.eigenvectors.expect("vectors requested");
+            let Some(e_real) = sol.eigenvectors else {
+                return Err(Error::Runtime(
+                    "tridiagonal solver returned no eigenvectors although vectors \
+                     were requested"
+                        .into(),
+                ));
+            };
             // Complexify, then the fused one-pass D + Q2 + Q1 chain.
             let mut z = CMatrix::from_fn(e_real.rows(), e_real.cols(), |i, j| {
                 c64(e_real[(i, j)], 0.0)
@@ -145,12 +217,148 @@ impl HermitianEigen {
             None
         };
 
+        let mut eigenvalues = sol.eigenvalues;
+        if let Some(s) = sigma {
+            for v in &mut eigenvalues {
+                *v /= s;
+            }
+        }
+
+        let mut diagnostics = SolveDiagnostics::from_recorder(&rec);
+        diagnostics.scaled_by = sigma;
+
+        if self.verify != VerifyLevel::Off {
+            diagnostics.verify = Some(verify_solution(
+                a,
+                &eigenvalues,
+                eigenvectors.as_ref(),
+                self.verify,
+            )?);
+        }
+
         Ok(HermitianResult {
-            eigenvalues: sol.eigenvalues,
+            eigenvalues,
             eigenvectors,
             timings,
+            diagnostics,
         })
     }
+
+    /// Order-1 problem: the (real part of the) single diagonal entry.
+    fn solve_order_one(&self, a: &CMatrix, timings: PhaseTimings) -> Result<HermitianResult> {
+        let a00 = a[(0, 0)].re;
+        let include = match self.range {
+            EigenRange::All => true,
+            EigenRange::Index(lo, hi) => lo == 0 && hi >= 1,
+            EigenRange::Value(vl, vu) => vl < a00 && a00 <= vu,
+        };
+        let k = usize::from(include);
+        let eigenvalues = if include { vec![a00] } else { vec![] };
+        let eigenvectors = self.want_vectors.then(|| {
+            let mut z = CMatrix::zeros(1, k);
+            if include {
+                z[(0, 0)] = c64(1.0, 0.0);
+            }
+            z
+        });
+        Ok(HermitianResult {
+            eigenvalues,
+            eigenvectors,
+            timings,
+            diagnostics: SolveDiagnostics::default(),
+        })
+    }
+}
+
+/// Verify a Hermitian eigendecomposition: finite ascending eigenvalues,
+/// per-column scaled residual, and (for [`VerifyLevel::Full`]) pairwise
+/// unitarity, all bounded by [`VERIFY_BOUND`].
+fn verify_solution(
+    a: &CMatrix,
+    lambda: &[f64],
+    z: Option<&CMatrix>,
+    level: VerifyLevel,
+) -> Result<VerifyReport> {
+    let n = a.rows();
+    let eps = f64::EPSILON / 2.0;
+    for (j, &lam) in lambda.iter().enumerate() {
+        if !lam.is_finite() {
+            return Err(Error::VerificationFailed {
+                index: j,
+                measure: "eigenvalue finiteness".into(),
+                value: lam,
+                bound: f64::MAX,
+            });
+        }
+        if j > 0 && lam < lambda[j - 1] {
+            return Err(Error::VerificationFailed {
+                index: j,
+                measure: "eigenvalue ordering".into(),
+                value: lam - lambda[j - 1],
+                bound: 0.0,
+            });
+        }
+    }
+    let Some(z) = z else {
+        return Ok(VerifyReport::default());
+    };
+    let az = a.multiply(z);
+    let norm1 = (0..n)
+        .map(|j| (0..n).map(|i| a[(i, j)].abs()).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let denom = norm1.max(f64::MIN_POSITIVE) * n as f64 * eps;
+    let mut worst = (0usize, 0.0f64);
+    for (j, &lam) in lambda.iter().enumerate() {
+        let mut colmax = 0.0f64;
+        for i in 0..n {
+            colmax = colmax.max((az[(i, j)] - z[(i, j)].scale(lam)).abs());
+        }
+        let m = colmax / denom;
+        if m > worst.1 || m.is_nan() {
+            worst = (j, m);
+        }
+    }
+    // The NaN check matters: a poisoned vector yields a NaN measure,
+    // which must fail verification rather than slip past `>`.
+    if worst.1 > VERIFY_BOUND || worst.1.is_nan() {
+        return Err(Error::VerificationFailed {
+            index: worst.0,
+            measure: "scaled residual".into(),
+            value: worst.1,
+            bound: VERIFY_BOUND,
+        });
+    }
+    let residual = worst.1;
+    let mut orthogonality = 0.0;
+    if level == VerifyLevel::Full {
+        let g = z.adjoint().multiply(z);
+        let scale = n as f64 * eps;
+        let mut worst = (0usize, 0.0f64);
+        for j in 0..z.cols() {
+            for i in 0..=j {
+                let target = if i == j { 1.0 } else { 0.0 };
+                let m = (g[(i, j)] - c64(target, 0.0)).abs() / scale;
+                if m > worst.1 || m.is_nan() {
+                    worst = (j, m);
+                }
+            }
+        }
+        // The NaN check matters: a poisoned vector yields a NaN measure,
+        // which must fail verification rather than slip past `>`.
+        if worst.1 > VERIFY_BOUND || worst.1.is_nan() {
+            return Err(Error::VerificationFailed {
+                index: worst.0,
+                measure: "orthogonality".into(),
+                value: worst.1,
+                bound: VERIFY_BOUND,
+            });
+        }
+        orthogonality = worst.1;
+    }
+    Ok(VerifyReport {
+        residual,
+        orthogonality,
+    })
 }
 
 #[cfg(test)]

@@ -27,5 +27,6 @@ pub mod stage1;
 pub mod stage2;
 pub mod validate;
 
-pub use driver::{HermitianEigen, HermitianResult};
+pub use driver::{HermitianEigen, HermitianResult, VERIFY_BOUND};
 pub use stage2::Scheduler;
+pub use tseig_matrix::diagnostics::{Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};

@@ -39,5 +39,6 @@ pub mod flops;
 pub mod householder;
 pub mod qr;
 pub mod reference;
+pub mod scaling;
 
 pub use blas3::Trans;

@@ -1,0 +1,298 @@
+//! Input screening and LAPACK `DSYEV`-style safe scaling.
+//!
+//! A production driver cannot assume its input is finite, symmetric, or
+//! well-scaled. This module supplies the three ingredients the drivers
+//! screen with on entry:
+//!
+//! * `lansy`/`lanhe`-style norms of the (lower-triangle-referenced)
+//!   input,
+//! * NaN/Inf and asymmetry screening with the *location* of the first
+//!   offender (surfaced as [`Error::InvalidData`]),
+//! * the `DSYEV` scaling window: when `anorm` falls outside
+//!   `[sqrt(smlnum), sqrt(bignum)]` the matrix is multiplied into range
+//!   before reduction (`DLASCL`) and the eigenvalues divided back on
+//!   exit, which keeps every intermediate of stages 1/2 and the
+//!   tridiagonal phases away from overflow/underflow.
+
+use tseig_matrix::{CMatrix, Error, Matrix, Result};
+
+/// `DLAMCH('P')`: relative machine precision as LAPACK defines it.
+const EPS: f64 = f64::EPSILON;
+
+/// Relative asymmetry tolerance. Matrices assembled by floating-point
+/// similarity transforms are symmetric only to `~n*eps*||A||`; a
+/// sqrt(eps)-scale window accepts those while still rejecting data that
+/// is structurally non-symmetric.
+const ASYM_RTOL: f64 = 1e-8;
+
+/// Smallest norm the pipeline handles without scaling: `sqrt(smlnum)`,
+/// `smlnum = safmin / eps` (LAPACK `DSYEV` prologue).
+pub fn scale_window_min() -> f64 {
+    (f64::MIN_POSITIVE / EPS).sqrt()
+}
+
+/// Largest norm the pipeline handles without scaling: `sqrt(bignum)`.
+pub fn scale_window_max() -> f64 {
+    (EPS / f64::MIN_POSITIVE).sqrt()
+}
+
+/// Max-abs entry of a symmetric matrix, lower triangle referenced —
+/// `DLANSY('M', 'L')`.
+pub fn lansy_max(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut amax = 0.0f64;
+    for j in 0..n {
+        for i in j..n {
+            let v = a[(i, j)].abs();
+            if v > amax {
+                amax = v;
+            }
+        }
+    }
+    amax
+}
+
+/// 1-norm of a symmetric matrix from its lower triangle —
+/// `DLANSY('1', 'L')`: column sums with the mirrored upper part folded
+/// in.
+pub fn lansy_one(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut sums = vec![0.0f64; n];
+    for j in 0..n {
+        for i in j..n {
+            let v = a[(i, j)].abs();
+            sums[j] += v;
+            if i != j {
+                sums[i] += v;
+            }
+        }
+    }
+    sums.iter().fold(0.0f64, |m, &s| m.max(s))
+}
+
+/// Max-abs entry of a Hermitian matrix, lower triangle referenced; the
+/// diagonal contributes its real part only (the drivers ignore the
+/// diagonal's imaginary part, `ZHETRD` convention).
+pub fn lanhe_max(a: &CMatrix) -> f64 {
+    let n = a.rows();
+    let mut amax = 0.0f64;
+    for j in 0..n {
+        let d = a[(j, j)].re.abs();
+        if d > amax {
+            amax = d;
+        }
+        for i in j + 1..n {
+            let v = a[(i, j)].abs();
+            if v > amax {
+                amax = v;
+            }
+        }
+    }
+    amax
+}
+
+/// The `DSYEV` scaling decision: `Some(sigma)` when `anorm` lies outside
+/// the window, such that `sigma * anorm` sits exactly on the nearer
+/// window edge; `None` when the matrix is already safe (including
+/// `anorm == 0`, the zero matrix).
+pub fn safe_scale_factor(anorm: f64) -> Option<f64> {
+    if anorm > 0.0 && anorm < scale_window_min() {
+        Some(scale_window_min() / anorm)
+    } else if anorm > scale_window_max() {
+        Some(scale_window_max() / anorm)
+    } else {
+        None
+    }
+}
+
+/// `DLASCL` without the block forms: multiply every entry by `sigma`.
+pub fn scale_matrix(a: &mut Matrix, sigma: f64) {
+    for v in a.as_mut_slice() {
+        *v *= sigma;
+    }
+}
+
+/// Complex counterpart of [`scale_matrix`].
+pub fn scale_cmatrix(a: &mut CMatrix, sigma: f64) {
+    for v in a.as_mut_slice() {
+        v.re *= sigma;
+        v.im *= sigma;
+    }
+}
+
+/// Screen a dense symmetric input: every entry must be finite and the
+/// two triangles must agree to `ASYM_RTOL * max|a_ij|`. Returns the
+/// max-abs norm (`lansy_max`) for the scaling decision.
+pub fn screen_symmetric(a: &Matrix) -> Result<f64> {
+    let n = a.rows();
+    for j in 0..n {
+        for i in 0..n {
+            let v = a[(i, j)];
+            if !v.is_finite() {
+                return Err(invalid_entry(i, j, v));
+            }
+        }
+    }
+    let anorm = lansy_max(a);
+    let tol = ASYM_RTOL * anorm;
+    for j in 0..n {
+        for i in 0..j {
+            let diff = (a[(i, j)] - a[(j, i)]).abs();
+            if diff > tol {
+                return Err(Error::InvalidData {
+                    row: i,
+                    col: j,
+                    what: format!(
+                        "asymmetry |a[{i},{j}] - a[{j},{i}]| = {diff:.3e} exceeds {tol:.3e}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(anorm)
+}
+
+/// Screen a dense Hermitian input: every entry finite,
+/// `|a_ij - conj(a_ji)|` within tolerance off the diagonal, and the
+/// diagonal real to the same tolerance (the pipeline reads only the
+/// real part of the diagonal, so a substantial imaginary part would
+/// silently be dropped). Returns the max-abs norm (`lanhe_max`).
+pub fn screen_hermitian(a: &CMatrix) -> Result<f64> {
+    let n = a.rows();
+    for j in 0..n {
+        for i in 0..n {
+            let v = a[(i, j)];
+            if !v.re.is_finite() || !v.im.is_finite() {
+                return Err(Error::InvalidData {
+                    row: i,
+                    col: j,
+                    what: format!("non-finite entry {}+{}i", v.re, v.im),
+                });
+            }
+        }
+    }
+    let anorm = lanhe_max(a);
+    let tol = ASYM_RTOL * anorm;
+    for i in 0..n {
+        let im = a[(i, i)].im.abs();
+        if im > tol {
+            return Err(Error::InvalidData {
+                row: i,
+                col: i,
+                what: format!("non-real diagonal |Im a[{i},{i}]| = {im:.3e} exceeds {tol:.3e}"),
+            });
+        }
+    }
+    for j in 0..n {
+        for i in 0..j {
+            let u = a[(i, j)];
+            let l = a[(j, i)];
+            let diff = ((u.re - l.re).powi(2) + (u.im + l.im).powi(2)).sqrt();
+            if diff > tol {
+                return Err(Error::InvalidData {
+                    row: i,
+                    col: j,
+                    what: format!(
+                        "non-hermiticity |a[{i},{j}] - conj(a[{j},{i}])| = {diff:.3e} \
+                         exceeds {tol:.3e}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(anorm)
+}
+
+fn invalid_entry(row: usize, col: usize, v: f64) -> Error {
+    Error::InvalidData {
+        row,
+        col,
+        what: if v.is_nan() {
+            "NaN entry".to_string()
+        } else {
+            format!("infinite entry {v}")
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::{c64, gen};
+
+    #[test]
+    fn norms_match_definitions() {
+        let a = Matrix::from_fn(3, 3, |i, j| {
+            // symmetric with known norms
+            [[2.0, -1.0, 0.5], [-1.0, 3.0, 1.0], [0.5, 1.0, -4.0]][i][j]
+        });
+        assert_eq!(lansy_max(&a), 4.0);
+        assert_eq!(lansy_one(&a), 5.5); // column 2: 0.5 + 1 + 4
+    }
+
+    #[test]
+    fn scaling_window_brackets_unity() {
+        assert!(scale_window_min() < 1.0 && 1.0 < scale_window_max());
+        assert_eq!(safe_scale_factor(1.0), None);
+        assert_eq!(safe_scale_factor(0.0), None);
+        let s = safe_scale_factor(1e300).expect("needs scaling");
+        assert!((s * 1e300 - scale_window_max()).abs() <= 1e-6 * scale_window_max());
+        let s = safe_scale_factor(1e-290).expect("needs scaling");
+        assert!((s * 1e-290 - scale_window_min()).abs() <= 1e-6 * scale_window_min());
+    }
+
+    #[test]
+    fn screen_accepts_rounding_level_asymmetry() {
+        // Built by Householder similarities: symmetric only to rounding.
+        let a = gen::symmetric_with_spectrum(&gen::linspace(-1.0, 1.0, 30), 9);
+        assert!(screen_symmetric(&a).is_ok());
+    }
+
+    #[test]
+    fn screen_locates_nan_and_asymmetry() {
+        let mut a = gen::random_symmetric(6, 3);
+        a[(4, 2)] = f64::NAN;
+        match screen_symmetric(&a) {
+            Err(Error::InvalidData { row: 4, col: 2, .. }) => {}
+            other => panic!("wrong screening result: {other:?}"),
+        }
+        let mut a = gen::random_symmetric(6, 3);
+        a[(1, 5)] += 10.0;
+        match screen_symmetric(&a) {
+            Err(Error::InvalidData { row: 1, col: 5, .. }) => {}
+            other => panic!("wrong screening result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn screen_hermitian_checks_conjugate_pairs() {
+        let n = 5;
+        let mut a = CMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                c64(i as f64, 0.0)
+            } else {
+                c64(0.3, if i > j { 0.7 } else { -0.7 })
+            }
+        });
+        assert!(screen_hermitian(&a).is_ok());
+        a[(0, 3)] = c64(0.3, 0.7); // breaks conj symmetry
+        match screen_hermitian(&a) {
+            Err(Error::InvalidData { row: 0, col: 3, .. }) => {}
+            other => panic!("wrong screening result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_matrix_hits_target_norm() {
+        let mut a = gen::random_symmetric(8, 11);
+        scale_matrix(&mut a, 1e200);
+        let anorm = lansy_max(&a);
+        let sigma = safe_scale_factor(anorm).expect("1e200-norm needs scaling");
+        scale_matrix(&mut a, sigma);
+        let scaled = lansy_max(&a);
+        assert!(
+            scaled <= scale_window_max() && scaled >= 0.5 * scale_window_max(),
+            "{scaled}"
+        );
+    }
+}

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Errors produced by matrix construction and by the numerical routines
 /// built on top of this crate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A dimension argument was inconsistent (e.g. a multiply of
     /// incompatible shapes, or a bandwidth larger than the matrix).
@@ -12,9 +12,25 @@ pub enum Error {
     /// An argument was out of its valid domain (negative size, zero tile,
     /// fraction outside `(0, 1]`, …).
     InvalidArgument(String),
+    /// The matrix *payload* was rejected by input screening: a NaN/Inf
+    /// entry, or asymmetry (non-hermiticity) beyond tolerance. `row`/`col`
+    /// locate the first offending entry.
+    InvalidData {
+        row: usize,
+        col: usize,
+        what: String,
+    },
     /// An iterative eigensolver failed to converge within its iteration
     /// budget. Carries the index of the first eigenvalue that failed.
     NoConvergence { index: usize, iterations: usize },
+    /// An opt-in post-solve verification found an eigenpair (column
+    /// `index`) whose `measure` exceeded `bound`.
+    VerificationFailed {
+        index: usize,
+        measure: String,
+        value: f64,
+        bound: f64,
+    },
     /// The task runtime rejected or aborted the computation
     /// (e.g. a worker panicked).
     Runtime(String),
@@ -25,9 +41,22 @@ impl fmt::Display for Error {
         match self {
             Error::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::InvalidData { row, col, what } => {
+                write!(f, "invalid matrix data at ({row}, {col}): {what}")
+            }
             Error::NoConvergence { index, iterations } => write!(
                 f,
                 "eigensolver failed to converge for eigenvalue {index} after {iterations} iterations"
+            ),
+            Error::VerificationFailed {
+                index,
+                measure,
+                value,
+                bound,
+            } => write!(
+                f,
+                "post-solve verification failed at eigenpair {index}: {measure} = {value:.3e} \
+                 exceeds bound {bound:.3e}"
             ),
             Error::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }

@@ -18,8 +18,10 @@
 //! Everything is `f64`: the paper evaluates in double precision only.
 
 pub mod band;
+pub mod chaos;
 pub mod complex;
 pub mod dense;
+pub mod diagnostics;
 pub mod error;
 pub mod gen;
 pub mod io;
@@ -31,6 +33,7 @@ pub mod tridiagonal;
 pub use band::SymBandMatrix;
 pub use complex::{c64, CMatrix, C64};
 pub use dense::Matrix;
+pub use diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
 pub use error::{Error, Result};
 pub use scalar::Scalar;
 pub use tridiagonal::SymTridiagonal;

@@ -203,7 +203,16 @@ fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskI
         let run = shared.runs[id].lock().take();
         let Some(run) = run else { continue };
         let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(run));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Chaos (feature-gated, off in release builds): a scheduled
+            // injection panics inside the task body, exercising the same
+            // catch_unwind + abort path a genuine task bug would take.
+            #[cfg(feature = "chaos")]
+            if tseig_matrix::chaos::fire(tseig_matrix::chaos::Site::TaskPanic) {
+                panic!("chaos: injected task panic");
+            }
+            run()
+        }));
         stats.record(shared.tags[id], t0.elapsed());
         match outcome {
             Ok(()) => {

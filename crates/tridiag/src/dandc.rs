@@ -20,8 +20,11 @@
 
 use crate::qr_iteration::steqr;
 use crate::secular;
+use crate::{inverse_iteration, sturm};
 use tseig_kernels::blas3::{gemm_par, Trans};
-use tseig_matrix::{Matrix, Result, SymTridiagonal};
+use tseig_matrix::chaos;
+use tseig_matrix::diagnostics::{Recorder, Recovery};
+use tseig_matrix::{Error, Matrix, Result, SymTridiagonal};
 
 /// Subproblems at or below this order are solved directly by QR
 /// iteration (LAPACK's `SMLSIZ`).
@@ -30,22 +33,53 @@ const SMLSIZ: usize = 25;
 /// Divide & conquer eigendecomposition: ascending eigenvalues and the
 /// full eigenvector matrix.
 pub fn stedc(t: &SymTridiagonal) -> Result<(Vec<f64>, Matrix)> {
+    stedc_with(t, &Recorder::new())
+}
+
+/// [`stedc`] with a recovery recorder: a merge whose output contains a
+/// non-finite value (secular-equation breakdown) falls back to QR
+/// iteration on that subproblem; a QR leaf hitting its cap falls back to
+/// bisection + inverse iteration. Both are recorded.
+pub fn stedc_with(t: &SymTridiagonal, rec: &Recorder) -> Result<(Vec<f64>, Matrix)> {
     let n = t.n();
     if n == 0 {
         return Ok((vec![], Matrix::zeros(0, 0)));
     }
     let mut d = t.diag().to_vec();
     let mut e = t.off_diag().to_vec();
-    solve_rec(&mut d, &mut e)
+    solve_rec(&mut d, &mut e, rec)
 }
 
-fn solve_rec(d: &mut [f64], e: &mut [f64]) -> Result<(Vec<f64>, Matrix)> {
+/// Solve the subproblem `(d, e)` by QR iteration with the
+/// bisection + inverse-iteration safety net — the shared tail of every
+/// fallback path.
+fn solve_by_qr(d0: &[f64], e0: &[f64], rec: &Recorder) -> Result<(Vec<f64>, Matrix)> {
+    let n = d0.len();
+    let mut dr = d0.to_vec();
+    let mut er = e0.to_vec();
+    let mut z = Matrix::identity(n);
+    match steqr(&mut dr, &mut er, Some(&mut z)) {
+        Ok(()) => Ok((dr, z)),
+        Err(Error::NoConvergence { index, .. }) => {
+            rec.record(Recovery::QrFallbackToBisection { index, size: n });
+            let t = SymTridiagonal::new(d0.to_vec(), e0.to_vec());
+            let vals = sturm::bisect_with(&t, 0, n, rec)?;
+            let zb = inverse_iteration::stein_with(&t, &vals, rec)?;
+            Ok((vals, zb))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+fn solve_rec(d: &mut [f64], e: &mut [f64], rec: &Recorder) -> Result<(Vec<f64>, Matrix)> {
     let n = d.len();
     if n <= SMLSIZ {
-        let mut z = Matrix::identity(n);
-        steqr(d, e, Some(&mut z))?;
-        return Ok((d.to_vec(), z));
+        return solve_by_qr(d, e, rec);
     }
+    // Snapshot the untorn subproblem: the merge fallback below re-solves
+    // it whole if the secular machinery breaks down.
+    let d0 = d.to_vec();
+    let e0 = e.to_vec();
     let m = n / 2;
     let rho = e[m - 1];
     let sign = if rho >= 0.0 { 1.0 } else { -1.0 };
@@ -58,7 +92,7 @@ fn solve_rec(d: &mut [f64], e: &mut [f64]) -> Result<(Vec<f64>, Matrix)> {
     d1[m - 1] -= rho_abs;
     d2[0] -= rho_abs;
 
-    let (left, right) = rayon::join(|| solve_rec(d1, e1), || solve_rec(d2, e2));
+    let (left, right) = rayon::join(|| solve_rec(d1, e1, rec), || solve_rec(d2, e2, rec));
     let (vals1, q1) = left?;
     let (vals2, q2) = right?;
 
@@ -84,7 +118,22 @@ fn solve_rec(d: &mut [f64], e: &mut [f64]) -> Result<(Vec<f64>, Matrix)> {
         }
     };
 
-    merge(&d_all, &z, rho_abs, n, q_col)
+    // A secular-equation breakdown surfaces as a non-finite eigenvalue
+    // or eigenvector entry; catch it here and re-solve this whole
+    // subproblem by QR from the pre-tear snapshot.
+    match merge(&d_all, &z, rho_abs, n, q_col) {
+        Ok((vals, zq))
+            if vals.iter().all(|v| v.is_finite())
+                && zq.as_slice().iter().all(|v| v.is_finite()) =>
+        {
+            Ok((vals, zq))
+        }
+        Ok(_) | Err(Error::NoConvergence { .. }) => {
+            rec.record(Recovery::DcFallbackToQr { size: n });
+            solve_by_qr(&d0, &e0, rec)
+        }
+        Err(other) => Err(other),
+    }
 }
 
 /// Merge two solved halves through the rank-one update
@@ -184,10 +233,18 @@ fn merge(
 
         // Solve all k secular roots (each root independent — rayon).
         use rayon::prelude::*;
-        let roots: Vec<secular::SecularRoot> = (0..k)
+        let mut roots: Vec<secular::SecularRoot> = (0..k)
             .into_par_iter()
             .map(|i| secular::solve_root(i, &ds, &zs, rho_eff))
             .collect();
+        // Chaos: a NaN root models a secular solve that walked out of
+        // its bracket; the caller's finiteness check must catch it.
+        if chaos::fire(chaos::Site::SecularNan) {
+            if let Some(r0) = roots.first_mut() {
+                r0.lambda = f64::NAN;
+            }
+        }
+        let roots = roots;
 
         // Gu–Eisenstat: recompute weights from the computed roots so the
         // eigenvectors are orthogonal regardless of secular rounding.

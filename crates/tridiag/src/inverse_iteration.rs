@@ -9,7 +9,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tseig_matrix::{Matrix, Result, SymTridiagonal};
+use tseig_matrix::chaos;
+use tseig_matrix::diagnostics::{Recorder, Recovery};
+use tseig_matrix::{Error, Matrix, Result, SymTridiagonal};
 
 /// Partially-pivoted LU of a (shifted) tridiagonal matrix, `dgttrf`-style.
 struct TriLu {
@@ -99,10 +101,26 @@ impl TriLu {
     }
 }
 
+/// Extra shifted-solve attempts per eigenvector before reporting
+/// failure, each from a freshly perturbed shift (LAPACK `DSTEIN`'s
+/// `EXTRA`-retry idea).
+const MAX_ATTEMPTS: usize = 3;
+
+/// Inverse-iteration steps per attempt.
+const MAX_ITS: usize = 5;
+
 /// Compute eigenvectors for the given (ascending) eigenvalues by inverse
 /// iteration. Returns an `n x k` matrix whose column `j` pairs with
 /// `lambda[j]`.
 pub fn stein(t: &SymTridiagonal, lambda: &[f64]) -> Result<Matrix> {
+    stein_with(t, lambda, &Recorder::new())
+}
+
+/// [`stein`] with a recovery recorder: an attempt whose iterates stay
+/// degenerate (zero or non-finite growth on every step) is retried up to
+/// [`MAX_ATTEMPTS`] times with a randomly perturbed shift; retries are
+/// recorded, exhaustion becomes `Error::NoConvergence`.
+pub fn stein_with(t: &SymTridiagonal, lambda: &[f64], rec: &Recorder) -> Result<Matrix> {
     let n = t.n();
     let k = lambda.len();
     let mut z = Matrix::zeros(n, k);
@@ -134,43 +152,76 @@ pub fn stein(t: &SymTridiagonal, lambda: &[f64]) -> Result<Matrix> {
         }
         prev_used = lam;
 
-        let lu = TriLu::factor(t, lam);
-        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        normalize(&mut x);
-        for _it in 0..5 {
-            lu.solve(&mut x);
-            // Reorthogonalize within the cluster. Two modified
-            // Gram-Schmidt passes: the first can cancel most of `x`
-            // when it lies nearly in the cluster span, leaving the
-            // survivor contaminated at the sqrt(eps) level; the second
-            // pass scrubs that ("twice is enough").
-            for _pass in 0..2 {
-                for c in cluster_start..j {
-                    let zc = z.col(c);
-                    let dot: f64 = x.iter().zip(zc).map(|(a, b)| a * b).sum();
-                    for (xi, zi) in x.iter_mut().zip(zc) {
-                        *xi -= dot * zi;
+        let mut stored = false;
+        for attempt in 0..MAX_ATTEMPTS {
+            // DSTEIN-style retry: re-shift by a small random multiple of
+            // eps*||T|| so the new factorization is not the one that just
+            // failed.
+            let lam_try = if attempt == 0 {
+                lam
+            } else {
+                lam + attempt as f64 * f64::EPSILON * onenrm * rng.gen_range(0.5..1.5)
+            };
+            // Chaos: poison a whole attempt (as if every iterate came
+            // back degenerate) to exercise the retry ladder.
+            let poisoned = chaos::fire(chaos::Site::SteinNoConv);
+            let lu = TriLu::factor(t, lam_try);
+            let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            normalize(&mut x);
+            let mut valid = false;
+            for _it in 0..MAX_ITS {
+                lu.solve(&mut x);
+                // Reorthogonalize within the cluster. Two modified
+                // Gram-Schmidt passes: the first can cancel most of `x`
+                // when it lies nearly in the cluster span, leaving the
+                // survivor contaminated at the sqrt(eps) level; the second
+                // pass scrubs that ("twice is enough").
+                for _pass in 0..2 {
+                    for c in cluster_start..j {
+                        let zc = z.col(c);
+                        let dot: f64 = x.iter().zip(zc).map(|(a, b)| a * b).sum();
+                        for (xi, zi) in x.iter_mut().zip(zc) {
+                            *xi -= dot * zi;
+                        }
                     }
                 }
-            }
-            let growth = norm2(&x);
-            if growth == 0.0 || !growth.is_finite() {
-                // Degenerate direction (e.g. fully absorbed by the
-                // cluster); restart from fresh randomness.
-                for v in x.iter_mut() {
-                    *v = rng.gen_range(-1.0..1.0);
+                let growth = norm2(&x);
+                if poisoned || growth == 0.0 || !growth.is_finite() {
+                    // Degenerate direction (e.g. fully absorbed by the
+                    // cluster); restart from fresh randomness.
+                    for v in x.iter_mut() {
+                        *v = rng.gen_range(-1.0..1.0);
+                    }
+                    normalize(&mut x);
+                    valid = false;
+                    continue;
                 }
                 normalize(&mut x);
-                continue;
+                valid = true;
+                // One inverse-iteration step on a tridiagonal almost always
+                // converges; the growth test mirrors LAPACK's acceptance.
+                if growth > (0.1 / (n as f64).sqrt()) / (f64::EPSILON * onenrm) {
+                    break;
+                }
             }
-            normalize(&mut x);
-            // One inverse-iteration step on a tridiagonal almost always
-            // converges; the growth test mirrors LAPACK's acceptance.
-            if growth > (0.1 / (n as f64).sqrt()) / (f64::EPSILON * onenrm) {
+            if valid {
+                if attempt > 0 {
+                    rec.record(Recovery::InverseIterationRetry {
+                        index: j,
+                        attempts: attempt,
+                    });
+                }
+                z.col_mut(j).copy_from_slice(&x);
+                stored = true;
                 break;
             }
         }
-        z.col_mut(j).copy_from_slice(&x);
+        if !stored {
+            return Err(Error::NoConvergence {
+                index: j,
+                iterations: MAX_ATTEMPTS * MAX_ITS,
+            });
+        }
     }
     Ok(z)
 }

@@ -26,7 +26,8 @@ pub mod sturm;
 
 pub use phases::PhaseTimings;
 
-use tseig_matrix::{Matrix, Result, SymTridiagonal};
+use tseig_matrix::diagnostics::{Recorder, Recovery};
+use tseig_matrix::{Error, Matrix, Result, SymTridiagonal};
 
 /// Tridiagonal eigensolver selection (paper Table 1's three methods).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -111,6 +112,20 @@ pub fn solve(
     range: EigenRange,
     want_vectors: bool,
 ) -> Result<TridiagEigen> {
+    solve_with_diag(t, method, range, want_vectors, &Recorder::new())
+}
+
+/// [`solve`] with a recovery recorder threaded through every phase: a QR
+/// iteration-cap failure falls back to bisection + inverse iteration for
+/// the selected range (recorded, not fatal), and the D&C / bisection /
+/// inverse-iteration internals record their own fallbacks.
+pub fn solve_with_diag(
+    t: &SymTridiagonal,
+    method: Method,
+    range: EigenRange,
+    want_vectors: bool,
+    rec: &Recorder,
+) -> Result<TridiagEigen> {
     let n = t.n();
     let (lo, hi) = range.resolve_for(t);
     if !want_vectors {
@@ -118,10 +133,16 @@ pub fn solve(
             EigenRange::All => {
                 let mut d = t.diag().to_vec();
                 let mut e = t.off_diag().to_vec();
-                qr_iteration::steqr(&mut d, &mut e, None)?;
-                d
+                match qr_iteration::steqr(&mut d, &mut e, None) {
+                    Ok(()) => d,
+                    Err(Error::NoConvergence { index, .. }) => {
+                        rec.record(Recovery::QrFallbackToBisection { index, size: n });
+                        sturm::bisect_with(t, 0, n, rec)?
+                    }
+                    Err(other) => return Err(other),
+                }
             }
-            EigenRange::Index(..) | EigenRange::Value(..) => sturm::bisect_eigenvalues(t, lo, hi)?,
+            EigenRange::Index(..) | EigenRange::Value(..) => sturm::bisect_with(t, lo, hi, rec)?,
         };
         return Ok(TridiagEigen {
             eigenvalues: vals,
@@ -133,15 +154,28 @@ pub fn solve(
             let mut d = t.diag().to_vec();
             let mut e = t.off_diag().to_vec();
             let mut z = Matrix::identity(n);
-            qr_iteration::steqr(&mut d, &mut e, Some(&mut z))?;
-            let (zsel, vals) = select_columns(&z, &d, lo, hi);
-            Ok(TridiagEigen {
-                eigenvalues: vals,
-                eigenvectors: Some(zsel),
-            })
+            match qr_iteration::steqr(&mut d, &mut e, Some(&mut z)) {
+                Ok(()) => {
+                    let (zsel, vals) = select_columns(&z, &d, lo, hi);
+                    Ok(TridiagEigen {
+                        eigenvalues: vals,
+                        eigenvectors: Some(zsel),
+                    })
+                }
+                Err(Error::NoConvergence { index, .. }) => {
+                    rec.record(Recovery::QrFallbackToBisection { index, size: n });
+                    let vals = sturm::bisect_with(t, lo, hi, rec)?;
+                    let zb = inverse_iteration::stein_with(t, &vals, rec)?;
+                    Ok(TridiagEigen {
+                        eigenvalues: vals,
+                        eigenvectors: Some(zb),
+                    })
+                }
+                Err(other) => Err(other),
+            }
         }
         Method::DivideAndConquer => {
-            let (vals, z) = dandc::stedc(t)?;
+            let (vals, z) = dandc::stedc_with(t, rec)?;
             let (zsel, vals) = select_columns(&z, &vals, lo, hi);
             Ok(TridiagEigen {
                 eigenvalues: vals,
@@ -149,8 +183,8 @@ pub fn solve(
             })
         }
         Method::BisectionInverse => {
-            let vals = sturm::bisect_eigenvalues(t, lo, hi)?;
-            let z = inverse_iteration::stein(t, &vals)?;
+            let vals = sturm::bisect_with(t, lo, hi, rec)?;
+            let z = inverse_iteration::stein_with(t, &vals, rec)?;
             Ok(TridiagEigen {
                 eigenvalues: vals,
                 eigenvectors: Some(z),

@@ -5,6 +5,7 @@
 //! eigenvector matrix. Port of the EISPACK `imtql2` / LAPACK `dsteqr`
 //! algorithm. With accumulation the cost is `O(n^3)`; without, `O(n^2)`.
 
+use tseig_matrix::chaos;
 use tseig_matrix::{Error, Matrix, Result};
 
 /// Maximum QL iterations per eigenvalue before declaring failure.
@@ -49,7 +50,9 @@ pub fn steqr(d: &mut [f64], e: &mut [f64], mut z: Option<&mut Matrix>) -> Result
                 break; // d[l] converged
             }
             iter += 1;
-            if iter > MAX_ITER {
+            // Chaos: a forced cap exercises the QR -> bisection fallback
+            // without waiting for a genuinely pathological matrix.
+            if iter > MAX_ITER || chaos::fire(chaos::Site::QrNoConv) {
                 return Err(Error::NoConvergence {
                     index: l,
                     iterations: MAX_ITER,

@@ -7,6 +7,8 @@
 //! 4b/4d.
 
 use rayon::prelude::*;
+use tseig_matrix::chaos;
+use tseig_matrix::diagnostics::{Recorder, Recovery};
 use tseig_matrix::{Error, Result, SymTridiagonal};
 
 /// Number of eigenvalues of `T` at most `x` (ties count), via the Sturm
@@ -45,6 +47,13 @@ pub fn sturm_count(t: &SymTridiagonal, x: f64) -> usize {
 /// Eigenvalues with ascending indices `lo..hi` (half-open), each located
 /// by bisection to near machine precision. Parallel over indices.
 pub fn bisect_eigenvalues(t: &SymTridiagonal, lo: usize, hi: usize) -> Result<Vec<f64>> {
+    bisect_with(t, lo, hi, &Recorder::new())
+}
+
+/// [`bisect_eigenvalues`] with a recovery recorder: a non-finite result
+/// (which would silently poison every downstream eigenvector) is redone
+/// once and recorded; a second failure becomes a structured error.
+pub fn bisect_with(t: &SymTridiagonal, lo: usize, hi: usize, rec: &Recorder) -> Result<Vec<f64>> {
     let n = t.n();
     if lo >= hi {
         return Ok(vec![]);
@@ -60,10 +69,29 @@ pub fn bisect_eigenvalues(t: &SymTridiagonal, lo: usize, hi: usize) -> Result<Ve
     glo -= 1e-12 * span + f64::MIN_POSITIVE;
     ghi += 1e-12 * span + f64::MIN_POSITIVE;
 
-    let vals: Vec<f64> = (lo..hi)
+    let mut vals: Vec<f64> = (lo..hi)
         .into_par_iter()
-        .map(|k| bisect_one(t, k, glo, ghi))
+        .map(|k| {
+            let v = bisect_one(t, k, glo, ghi);
+            if chaos::fire(chaos::Site::BisectNan) {
+                f64::NAN
+            } else {
+                v
+            }
+        })
         .collect();
+    for (i, v) in vals.iter_mut().enumerate() {
+        if !v.is_finite() {
+            rec.record(Recovery::BisectionRetry { index: lo + i });
+            *v = bisect_one(t, lo + i, glo, ghi);
+            if !v.is_finite() {
+                return Err(Error::NoConvergence {
+                    index: lo + i,
+                    iterations: 120,
+                });
+            }
+        }
+    }
     Ok(vals)
 }
 

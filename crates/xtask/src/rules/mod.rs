@@ -6,5 +6,6 @@
 pub mod casts;
 pub mod counters;
 pub mod panics;
+pub mod result_unwrap;
 pub mod shims;
 pub mod unsafe_rules;

@@ -1,7 +1,7 @@
 //! Workspace walker: finds the workspace root, feeds every source file
 //! through the rules, and aggregates diagnostics.
 
-use crate::rules::{casts, counters, panics, shims, unsafe_rules};
+use crate::rules::{casts, counters, panics, result_unwrap, shims, unsafe_rules};
 use crate::source::SourceFile;
 use crate::Diag;
 use std::path::{Path, PathBuf};
@@ -27,7 +27,7 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 pub fn run_tidy(root: &Path) -> std::io::Result<Vec<Diag>> {
     let mut diags = Vec::new();
     let mut rs_files = Vec::new();
-    for top in ["crates", "shims"] {
+    for top in ["crates", "shims", "examples"] {
         collect_rs(&root.join(top), &mut rs_files)?;
     }
     rs_files.sort();
@@ -38,6 +38,7 @@ pub fn run_tidy(root: &Path) -> std::io::Result<Vec<Diag>> {
         unsafe_rules::check(&file, &mut diags);
         counters::check(&file, &mut diags);
         panics::check(&file, &mut diags);
+        result_unwrap::check(&file, &mut diags);
         casts::check(&file, &mut diags);
     }
     // Shim manifest drift.

@@ -15,7 +15,7 @@ use tseig_core::generalized::{b_orthogonality, generalized_residual, solve_gener
 use tseig_core::SymmetricEigen;
 use tseig_matrix::Matrix;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -46,10 +46,13 @@ fn main() {
 
     println!("generalized pencil (K, M), n = {n}: K x = lambda M x");
     let t0 = std::time::Instant::now();
-    let r = solve_generalized(&k, &m, &SymmetricEigen::new().nb(32)).expect("solve failed");
+    let r = solve_generalized(&k, &m, &SymmetricEigen::new().nb(32))?;
     let took = t0.elapsed();
 
-    let x = r.eigenvectors.as_ref().unwrap();
+    let x = r
+        .eigenvectors
+        .as_ref()
+        .ok_or("solver returned no eigenvectors")?;
     let res = generalized_residual(&k, &m, &r.eigenvalues, x);
     let borth = b_orthogonality(&m, x);
 
@@ -65,7 +68,12 @@ fn main() {
         );
     }
     // All eigenvalues of an SPD pencil with SPD K are positive.
-    assert!(r.eigenvalues.iter().all(|&l| l > 0.0));
-    assert!(res < 2000.0 && borth < 2000.0);
+    if !r.eigenvalues.iter().all(|&l| l > 0.0) {
+        return Err("SPD pencil produced a non-positive eigenvalue".into());
+    }
+    if !(res < 2000.0 && borth < 2000.0) {
+        return Err("result failed its quality checks".into());
+    }
     println!("all checks passed");
+    Ok(())
 }

@@ -13,7 +13,7 @@
 use tseig_matrix::Matrix;
 use tseig_svd::{drivers::svd_residual, gesvd};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -49,7 +49,7 @@ fn main() {
 
     println!("PCA of a {m} x {n} data matrix (planted rank {rank} + noise {noise})");
     let t0 = std::time::Instant::now();
-    let svd = gesvd(&a).expect("svd failed");
+    let svd = gesvd(&a)?;
     println!(
         "SVD in {:.2?}, residual {:.1}",
         t0.elapsed(),
@@ -63,7 +63,9 @@ fn main() {
     // Spectral gap: signal sv >> noise sv.
     let gap = svd.s[rank - 1] / svd.s[rank];
     println!("signal/noise spectral gap: {gap:.1}x");
-    assert!(gap > 10.0, "planted rank not recovered");
+    if gap <= 10.0 {
+        return Err("planted rank not recovered".into());
+    }
 
     // Eckart-Young: ||A - A_k||_2 == s[k]; verify via the residual of the
     // truncated reconstruction in Frobenius norm (upper-bounds spectral).
@@ -76,7 +78,7 @@ fn main() {
         }
     }
     let vk = svd.v.sub_matrix(0, 0, n, k);
-    let ak = us.multiply(&vk.transpose()).unwrap();
+    let ak = us.multiply(&vk.transpose())?;
     let mut err2 = 0.0f64;
     for (p, q) in ak.as_slice().iter().zip(a.as_slice()) {
         err2 += (p - q) * (p - q);
@@ -87,9 +89,9 @@ fn main() {
         err2.sqrt(),
         tail2.sqrt()
     );
-    assert!(
-        (err2 - tail2).abs() <= 1e-6 * (1.0 + tail2),
-        "Eckart-Young violated"
-    );
+    if (err2 - tail2).abs() > 1e-6 * (1.0 + tail2) {
+        return Err("Eckart-Young violated".into());
+    }
     println!("all checks passed");
+    Ok(())
 }

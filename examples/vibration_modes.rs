@@ -22,11 +22,11 @@ fn exact_modes(nx: usize, ny: usize) -> Vec<f64> {
     let mut v: Vec<f64> = (1..=nx)
         .flat_map(|j| (1..=ny).map(move |k| s(j, nx) + s(k, ny)))
         .collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     v
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nx: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -41,11 +41,11 @@ fn main() {
     let a = gen::laplacian_2d(nx, ny);
     let exact = exact_modes(nx, ny);
 
-    let r = SymmetricEigen::new()
-        .nb(16)
-        .solve(&a)
-        .expect("solve failed");
-    let z = r.eigenvectors.as_ref().unwrap();
+    let r = SymmetricEigen::new().nb(16).solve(&a)?;
+    let z = r
+        .eigenvectors
+        .as_ref()
+        .ok_or("solver returned no eigenvectors")?;
 
     let err = norms::eigenvalue_distance(&r.eigenvalues, &exact);
     let residual = norms::eigen_residual(&a, &r.eigenvalues, z);
@@ -67,11 +67,13 @@ fn main() {
     // all components share one sign.
     let fundamental = z.col(0);
     let pos = fundamental.iter().filter(|v| **v > 0.0).count();
-    assert!(
-        pos == 0 || pos == n,
-        "fundamental mode changes sign ({pos}/{n} positive)"
-    );
+    if pos != 0 && pos != n {
+        return Err(format!("fundamental mode changes sign ({pos}/{n} positive)").into());
+    }
 
-    assert!(err < 1e-10 && residual < 1000.0);
+    if !(err < 1e-10 && residual < 1000.0) {
+        return Err("result failed its quality checks".into());
+    }
     println!("all checks passed");
+    Ok(())
 }

@@ -1,0 +1,223 @@
+//! Deterministic fault injection through the whole recovery ladder.
+//!
+//! Built only with `--features chaos` (see the `[[test]]` entry in
+//! `crates/core/Cargo.toml`). Each test installs a [`chaos::Plan`],
+//! runs a solve, and asserts the failure either *recovered* — residual
+//! within the workspace bound and the detour recorded in
+//! [`SolveDiagnostics`] — or surfaced as a structured [`Error`]. No
+//! panic may escape `solve` in either case.
+//!
+//! The injection counters are process-global, so every test serialises
+//! on [`CHAOS_LOCK`] and resets the plan before releasing it.
+
+use std::sync::Mutex;
+use tseig_core::{Recovery, Scheduler, SymmetricEigen, TwoStageResult};
+use tseig_matrix::chaos::{self, Plan, Site};
+use tseig_matrix::{gen, norms, Error, Matrix};
+use tseig_tridiag::{EigenRange, Method};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with `plan` installed, serialised against other chaos tests,
+/// and always reset the global plan afterwards (even if `f` asserts).
+fn with_plan<T>(plan: Plan, f: impl FnOnce() -> T) -> T {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct ResetOnDrop;
+    impl Drop for ResetOnDrop {
+        fn drop(&mut self) {
+            chaos::reset();
+        }
+    }
+    let _reset = ResetOnDrop;
+    chaos::install(plan);
+    f()
+}
+
+fn residual_ok(a: &Matrix, r: &TwoStageResult) {
+    let z = r.eigenvectors.as_ref().expect("vectors");
+    let res = norms::eigen_residual(a, &r.eigenvalues, z);
+    let orth = norms::orthogonality(z);
+    assert!(res < 500.0, "residual {res}");
+    assert!(orth < 500.0, "orthogonality {orth}");
+}
+
+fn has<F: Fn(&Recovery) -> bool>(r: &TwoStageResult, pred: F) -> bool {
+    r.diagnostics.recoveries.iter().any(pred)
+}
+
+/// The acceptance-criteria run: one solve absorbs a task panic, a NaN
+/// in the secular solver, and a QR convergence failure, and still
+/// produces a correct (degraded) answer.
+#[test]
+fn full_ladder_in_one_solve_dynamic() {
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-2.0, 2.0, 80), 11);
+    let plan = Plan::new()
+        .with(Site::TaskPanic, 1)
+        .with(Site::SecularNan, 1)
+        .with(Site::QrNoConv, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(8)
+            .scheduler(Scheduler::Dynamic(4))
+            .method(Method::DivideAndConquer)
+            .solve(&a)
+            .expect("ladder must recover, not fail")
+    });
+    assert!(r.diagnostics.degraded);
+    assert!(
+        has(&r, |x| matches!(x, Recovery::SchedulerFallback { .. })),
+        "task panic must fall back to the serial stage-2 schedule: {:?}",
+        r.diagnostics.recoveries
+    );
+    assert!(
+        has(&r, |x| matches!(x, Recovery::DcFallbackToQr { .. })),
+        "secular NaN must re-solve the subproblem by QR: {:?}",
+        r.diagnostics.recoveries
+    );
+    assert!(
+        has(&r, |x| matches!(x, Recovery::QrFallbackToBisection { .. })),
+        "QR stall must fall back to bisection: {:?}",
+        r.diagnostics.recoveries
+    );
+    residual_ok(&a, &r);
+}
+
+#[test]
+fn task_panic_recovers_under_static_work_stealing() {
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-1.0, 3.0, 64), 12);
+    let plan = Plan::new().with(Site::TaskPanic, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(8)
+            .scheduler(Scheduler::Static(4))
+            .solve(&a)
+            .expect("recovered solve")
+    });
+    // Whether the static schedule routed through the task runtime (and
+    // hit the injection) or not, the solve must succeed; if the panic
+    // fired, it must be visible as a recorded recovery.
+    if chaos::reached(Site::TaskPanic) > 0 {
+        assert!(has(&r, |x| matches!(x, Recovery::SchedulerFallback { .. })));
+        assert!(r.diagnostics.degraded);
+    }
+    residual_ok(&a, &r);
+}
+
+#[test]
+fn inverse_iteration_retries_on_injected_stall() {
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-1.0, 1.0, 32), 13);
+    let plan = Plan::new().with(Site::SteinNoConv, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(4)
+            .method(Method::BisectionInverse)
+            .solve(&a)
+            .expect("retry must rescue inverse iteration")
+    });
+    assert!(
+        has(&r, |x| matches!(
+            x,
+            Recovery::InverseIterationRetry { attempts, .. } if *attempts >= 1
+        )),
+        "{:?}",
+        r.diagnostics.recoveries
+    );
+    assert!(r.diagnostics.degraded);
+    residual_ok(&a, &r);
+}
+
+#[test]
+fn inverse_iteration_exhaustion_is_a_structured_error() {
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-1.0, 1.0, 24), 14);
+    // Three injected stalls exhaust the retry budget for one vector.
+    let plan = Plan::new().with(Site::SteinNoConv, 3);
+    let err = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(4)
+            .method(Method::BisectionInverse)
+            .solve(&a)
+            .expect_err("exhausted retries must surface as an error")
+    });
+    assert!(
+        matches!(err, Error::NoConvergence { .. }),
+        "expected NoConvergence, got {err:?}"
+    );
+}
+
+#[test]
+fn bisection_retries_on_injected_nan() {
+    let a = gen::symmetric_with_spectrum(&gen::linspace(0.0, 5.0, 28), 15);
+    let plan = Plan::new().with(Site::BisectNan, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(4)
+            .method(Method::BisectionInverse)
+            .solve(&a)
+            .expect("bisection retry must recover")
+    });
+    assert!(
+        has(&r, |x| matches!(x, Recovery::BisectionRetry { .. })),
+        "{:?}",
+        r.diagnostics.recoveries
+    );
+    residual_ok(&a, &r);
+}
+
+#[test]
+fn qr_method_falls_back_to_bisection() {
+    let lambda = gen::linspace(-3.0, 3.0, 40);
+    let a = gen::symmetric_with_spectrum(&lambda, 16);
+    let plan = Plan::new().with(Site::QrNoConv, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(6)
+            .method(Method::Qr)
+            .solve(&a)
+            .expect("QR stall must fall back")
+    });
+    assert!(has(&r, |x| matches!(
+        x,
+        Recovery::QrFallbackToBisection { .. }
+    )));
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-9);
+    residual_ok(&a, &r);
+}
+
+#[test]
+fn values_only_qr_stall_still_returns_the_spectrum() {
+    let lambda = gen::linspace(-1.0, 4.0, 36);
+    let a = gen::symmetric_with_spectrum(&lambda, 17);
+    let plan = Plan::new().with(Site::QrNoConv, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(6)
+            .vectors(false)
+            .method(Method::Qr)
+            .solve(&a)
+            .expect("values-only fallback")
+    });
+    assert!(r.eigenvectors.is_none());
+    assert!(has(&r, |x| matches!(
+        x,
+        Recovery::QrFallbackToBisection { .. }
+    )));
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-9);
+}
+
+#[test]
+fn values_only_subset_survives_bisection_nan() {
+    // A values-only index range goes straight to bisection regardless of
+    // the configured method — the injected NaN must trigger the retry.
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-2.0, 2.0, 30), 18);
+    let plan = Plan::new().with(Site::BisectNan, 1);
+    let r = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(4)
+            .vectors(false)
+            .range(EigenRange::Index(0, 6))
+            .solve(&a)
+            .expect("subset recovery")
+    });
+    assert_eq!(r.eigenvalues.len(), 6);
+    assert!(has(&r, |x| matches!(x, Recovery::BisectionRetry { .. })));
+}

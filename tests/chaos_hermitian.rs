@@ -1,0 +1,48 @@
+//! Fault injection through the Hermitian driver (`--features chaos`):
+//! a task panic inside the dynamic stage-2 schedule must fall back to
+//! the serial schedule and still deliver a correct, degraded result.
+
+use std::sync::Mutex;
+use tseig_hermitian::{validate, HermitianEigen, Recovery, Scheduler};
+use tseig_matrix::chaos::{self, Plan, Site};
+use tseig_matrix::norms;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn task_panic_falls_back_to_serial_stage2() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct ResetOnDrop;
+    impl Drop for ResetOnDrop {
+        fn drop(&mut self) {
+            chaos::reset();
+        }
+    }
+    let _reset = ResetOnDrop;
+
+    let lambda: Vec<f64> = (0..48).map(|i| i as f64 / 10.0).collect();
+    let a = validate::hermitian_with_spectrum(&lambda, 21);
+    chaos::install(Plan::new().with(Site::TaskPanic, 1));
+
+    let r = HermitianEigen::new()
+        .nb(8)
+        .scheduler(Scheduler::Dynamic(4))
+        .solve(&a)
+        .expect("panic must be absorbed by the serial fallback");
+
+    if chaos::reached(Site::TaskPanic) > 0 {
+        assert!(r.diagnostics.degraded);
+        assert!(
+            r.diagnostics
+                .recoveries
+                .iter()
+                .any(|x| matches!(x, Recovery::SchedulerFallback { .. })),
+            "{:?}",
+            r.diagnostics.recoveries
+        );
+    }
+    let z = r.eigenvectors.as_ref().expect("vectors");
+    assert!(validate::hermitian_residual(&a, &r.eigenvalues, z) < 500.0);
+    assert!(validate::unitary_error(z) < 500.0);
+    assert!(norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-9);
+}

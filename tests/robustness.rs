@@ -1,0 +1,253 @@
+//! Robustness-layer integration tests: input screening, trivial orders,
+//! extreme-norm scaling, degenerate spectra, and post-solve verification
+//! (the non-chaos half of the numerical safety net; fault injection
+//! lives in `tests/chaos.rs` behind the `chaos` feature).
+
+use proptest::prelude::*;
+use tseig_core::{SymmetricEigen, VerifyLevel};
+use tseig_matrix::{gen, norms, Error, Matrix};
+use tseig_tridiag::{EigenRange, Method};
+
+fn residual_ok(a: &Matrix, vals: &[f64], z: &Matrix, tol: f64) {
+    let res = norms::eigen_residual(a, vals, z);
+    let orth = norms::orthogonality(z);
+    assert!(res < tol, "residual {res}");
+    assert!(orth < tol, "orthogonality {orth}");
+}
+
+#[test]
+fn screening_reports_nan_location() {
+    let mut a = gen::random_symmetric(8, 1);
+    a[(5, 2)] = f64::NAN;
+    match SymmetricEigen::new().solve(&a) {
+        Err(Error::InvalidData {
+            row: 5,
+            col: 2,
+            what,
+        }) => {
+            assert!(what.contains("NaN"), "{what}");
+        }
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+}
+
+#[test]
+fn screening_reports_infinite_entry() {
+    let mut a = gen::random_symmetric(8, 2);
+    a[(0, 7)] = f64::NEG_INFINITY;
+    match SymmetricEigen::new().solve(&a) {
+        Err(Error::InvalidData { row: 0, col: 7, .. }) => {}
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+}
+
+#[test]
+fn screening_reports_asymmetry() {
+    let mut a = gen::random_symmetric(10, 3);
+    a[(2, 6)] += 1.0; // upper entry only: gross asymmetry
+    match SymmetricEigen::new().solve(&a) {
+        Err(Error::InvalidData {
+            row: 2,
+            col: 6,
+            what,
+        }) => {
+            assert!(what.contains("asymmetry"), "{what}");
+        }
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+    // Rounding-level asymmetry (similarity-transform assembly) passes.
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-1.0, 1.0, 30), 4);
+    SymmetricEigen::new().nb(6).solve(&a).unwrap();
+}
+
+#[test]
+fn order_zero() {
+    let a = Matrix::zeros(0, 0);
+    let r = SymmetricEigen::new().solve(&a).unwrap();
+    assert!(r.eigenvalues.is_empty());
+    let z = r.eigenvectors.as_ref().unwrap();
+    assert_eq!((z.rows(), z.cols()), (0, 0));
+    assert!(r.diagnostics.is_clean());
+    // The fraction knob must not panic on n == 0 either.
+    let r = SymmetricEigen::new().fraction(0.5).solve(&a).unwrap();
+    assert!(r.eigenvalues.is_empty());
+}
+
+#[test]
+fn order_one_ranges() {
+    let a = Matrix::from_fn(1, 1, |_, _| 2.5);
+    let r = SymmetricEigen::new().solve(&a).unwrap();
+    assert_eq!(r.eigenvalues, vec![2.5]);
+    let z = r.eigenvectors.as_ref().unwrap();
+    assert_eq!((z.rows(), z.cols()), (1, 1));
+    assert_eq!(z[(0, 0)], 1.0);
+
+    // Value range: half-open (vl, vu].
+    let inc = SymmetricEigen::new()
+        .range(EigenRange::Value(0.0, 3.0))
+        .solve(&a)
+        .unwrap();
+    assert_eq!(inc.eigenvalues, vec![2.5]);
+    let exc = SymmetricEigen::new()
+        .range(EigenRange::Value(2.5, 3.0))
+        .solve(&a)
+        .unwrap();
+    assert!(exc.eigenvalues.is_empty());
+    assert_eq!(exc.eigenvectors.as_ref().unwrap().cols(), 0);
+
+    // Index range and fraction.
+    let idx = SymmetricEigen::new()
+        .range(EigenRange::Index(0, 1))
+        .solve(&a)
+        .unwrap();
+    assert_eq!(idx.eigenvalues, vec![2.5]);
+    let fr = SymmetricEigen::new().fraction(0.2).solve(&a).unwrap();
+    assert_eq!(fr.eigenvalues, vec![2.5]);
+}
+
+#[test]
+fn zero_matrix_with_mixed_signed_zeros() {
+    let n = 12;
+    let a = Matrix::from_fn(n, n, |i, j| if (i + j) % 2 == 0 { 0.0 } else { -0.0 });
+    let r = SymmetricEigen::new().nb(4).solve(&a).unwrap();
+    assert!(r.eigenvalues.iter().all(|&v| v == 0.0));
+    assert!(r.diagnostics.is_clean(), "zero matrix must not be scaled");
+    residual_ok(&a, &r.eigenvalues, r.eigenvectors.as_ref().unwrap(), 500.0);
+}
+
+#[test]
+fn constant_matrix_rank_one() {
+    // The all-ones matrix has eigenvalues {n, 0, ..., 0}.
+    let n = 20;
+    let a = Matrix::from_fn(n, n, |_, _| 1.0);
+    let r = SymmetricEigen::new().nb(4).solve(&a).unwrap();
+    assert!((r.eigenvalues[n - 1] - n as f64).abs() < 1e-10 * n as f64);
+    for &v in &r.eigenvalues[..n - 1] {
+        assert!(v.abs() < 1e-10 * n as f64, "{v}");
+    }
+    residual_ok(&a, &r.eigenvalues, r.eigenvectors.as_ref().unwrap(), 500.0);
+}
+
+#[test]
+fn rank_deficient_spectrum() {
+    // Half the spectrum exactly zero: heavy D&C deflation plus repeated
+    // eigenvalues for inverse iteration to keep orthogonal.
+    let n = 36;
+    let mut lambda = vec![0.0; n / 2];
+    lambda.extend(gen::linspace(1.0, 4.0, n - n / 2));
+    let a = gen::symmetric_with_spectrum(&lambda, 5);
+    for m in [Method::DivideAndConquer, Method::Qr] {
+        let r = SymmetricEigen::new().nb(6).method(m).solve(&a).unwrap();
+        assert!(
+            norms::eigenvalue_distance(&r.eigenvalues, &lambda) < 1e-10,
+            "{m:?}"
+        );
+        residual_ok(&a, &r.eigenvalues, r.eigenvectors.as_ref().unwrap(), 500.0);
+    }
+}
+
+/// Entrywise-scaled copy: `scale * a`, the exact oracle pairing for the
+/// norm-scaling tests.
+fn scaled_copy(a: &Matrix, scale: f64) -> Matrix {
+    Matrix::from_fn(a.rows(), a.cols(), |i, j| a[(i, j)] * scale)
+}
+
+#[test]
+fn huge_norm_solves_like_its_unit_rescaling() {
+    let n = 40;
+    let lambda = gen::linspace(-1.0, 1.0, n);
+    let a_unit = gen::symmetric_with_spectrum(&lambda, 6);
+    let a_big = scaled_copy(&a_unit, 1e300);
+
+    let r = SymmetricEigen::new().nb(8).solve(&a_big).unwrap();
+    assert!(
+        r.diagnostics.scaled_by.is_some(),
+        "1e300-norm input must be scaled"
+    );
+    // Direct residual against the huge matrix...
+    residual_ok(
+        &a_big,
+        &r.eigenvalues,
+        r.eigenvectors.as_ref().unwrap(),
+        500.0,
+    );
+    // ...and the rescaled eigenpairs must solve the unit-norm oracle to
+    // the same bound (same vectors, eigenvalues divided by the scale).
+    let rescaled: Vec<f64> = r.eigenvalues.iter().map(|v| v / 1e300).collect();
+    residual_ok(&a_unit, &rescaled, r.eigenvectors.as_ref().unwrap(), 500.0);
+    assert!(norms::eigenvalue_distance(&rescaled, &lambda) < 1e-10);
+}
+
+#[test]
+fn tiny_norm_solves_like_its_unit_rescaling() {
+    let n = 40;
+    let lambda = gen::linspace(-1.0, 1.0, n);
+    let a_unit = gen::symmetric_with_spectrum(&lambda, 7);
+    let a_tiny = scaled_copy(&a_unit, 1e-290);
+
+    let r = SymmetricEigen::new().nb(8).solve(&a_tiny).unwrap();
+    assert!(
+        r.diagnostics.scaled_by.is_some(),
+        "1e-290-norm input must be scaled"
+    );
+    let rescaled: Vec<f64> = r.eigenvalues.iter().map(|v| v * 1e290).collect();
+    residual_ok(&a_unit, &rescaled, r.eigenvectors.as_ref().unwrap(), 500.0);
+    assert!(norms::eigenvalue_distance(&rescaled, &lambda) < 1e-10);
+}
+
+#[test]
+fn verify_full_passes_and_reports() {
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-2.0, 2.0, 32), 8);
+    let r = SymmetricEigen::new()
+        .nb(6)
+        .verify(VerifyLevel::Full)
+        .solve(&a)
+        .unwrap();
+    let v = r.diagnostics.verify.expect("verify report");
+    assert!(v.residual < 1e3 && v.orthogonality < 1e3);
+    // Residual-only level leaves orthogonality at 0.
+    let r = SymmetricEigen::new()
+        .nb(6)
+        .verify(VerifyLevel::Residual)
+        .solve(&a)
+        .unwrap();
+    let v = r.diagnostics.verify.expect("verify report");
+    assert!(v.residual < 1e3);
+    assert_eq!(v.orthogonality, 0.0);
+}
+
+#[test]
+fn verify_values_only_checks_ordering() {
+    let a = gen::random_symmetric(24, 9);
+    let r = SymmetricEigen::new()
+        .nb(6)
+        .vectors(false)
+        .verify(VerifyLevel::Full)
+        .solve(&a)
+        .unwrap();
+    assert!(r.eigenvectors.is_none());
+    assert!(r.diagnostics.verify.is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn extreme_scales_match_unit_oracle(
+        n in 8usize..24,
+        seed in 0u64..500,
+        scale_idx in 0usize..4,
+    ) {
+        let scale = [1e-290, 1e-250, 1e250, 1e300][scale_idx];
+        let lambda = gen::linspace(-1.0, 1.0, n);
+        let a_unit = gen::symmetric_with_spectrum(&lambda, seed);
+        let a_scaled = scaled_copy(&a_unit, scale);
+        let r = SymmetricEigen::new().nb(4).solve(&a_scaled).unwrap();
+        prop_assert!(r.diagnostics.scaled_by.is_some());
+        let rescaled: Vec<f64> = r.eigenvalues.iter().map(|v| v / scale).collect();
+        let z = r.eigenvectors.as_ref().unwrap();
+        prop_assert!(norms::eigen_residual(&a_unit, &rescaled, z) < 500.0);
+        prop_assert!(norms::orthogonality(z) < 500.0);
+        prop_assert!(norms::eigenvalue_distance(&rescaled, &lambda) < 1e-9);
+    }
+}

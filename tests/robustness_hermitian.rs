@@ -1,0 +1,111 @@
+//! Hermitian-driver robustness: screening, trivial orders, norm
+//! scaling, and verified solves — the complex mirror of
+//! `tests/robustness.rs`.
+
+use tseig_hermitian::{validate, HermitianEigen, VerifyLevel};
+use tseig_matrix::{c64, CMatrix, Error};
+use tseig_tridiag::EigenRange;
+
+#[test]
+fn screening_reports_nan_and_non_hermitian() {
+    let mut a = validate::rand_hermitian(8, 1);
+    a[(3, 4)] = c64(f64::NAN, 0.0);
+    match HermitianEigen::new().solve(&a) {
+        Err(Error::InvalidData {
+            row: 3,
+            col: 4,
+            what,
+        }) => {
+            assert!(what.contains("NaN"), "{what}");
+        }
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+
+    let mut a = validate::rand_hermitian(8, 2);
+    // Break conjugate symmetry in one pair.
+    a[(1, 6)] = c64(10.0, 0.0);
+    match HermitianEigen::new().solve(&a) {
+        Err(Error::InvalidData { row: 1, col: 6, .. }) => {}
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+
+    // A non-real diagonal entry is not Hermitian either.
+    let mut a = validate::rand_hermitian(8, 3);
+    a[(5, 5)] = c64(a[(5, 5)].re, 2.0);
+    match HermitianEigen::new().solve(&a) {
+        Err(Error::InvalidData { row: 5, col: 5, .. }) => {}
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+}
+
+#[test]
+fn trivial_orders() {
+    let r = HermitianEigen::new().solve(&CMatrix::zeros(0, 0)).unwrap();
+    assert!(r.eigenvalues.is_empty());
+    assert!(r.diagnostics.is_clean());
+
+    let a = CMatrix::from_fn(1, 1, |_, _| c64(-1.5, 0.0));
+    let r = HermitianEigen::new().solve(&a).unwrap();
+    assert_eq!(r.eigenvalues, vec![-1.5]);
+    let z = r.eigenvectors.as_ref().unwrap();
+    assert_eq!((z.rows(), z.cols()), (1, 1));
+    assert_eq!(z[(0, 0)], c64(1.0, 0.0));
+
+    // Half-open (vl, vu] value range on the 1x1 case.
+    let exc = HermitianEigen::new()
+        .range(EigenRange::Value(-1.5, 0.0))
+        .solve(&a)
+        .unwrap();
+    assert!(exc.eigenvalues.is_empty());
+    let inc = HermitianEigen::new()
+        .range(EigenRange::Value(-2.0, 0.0))
+        .solve(&a)
+        .unwrap();
+    assert_eq!(inc.eigenvalues, vec![-1.5]);
+}
+
+#[test]
+fn huge_norm_matches_unit_rescaling() {
+    let n = 32;
+    let a_unit = validate::hermitian_with_spectrum(&spectrum(n), 4);
+    let a_big = CMatrix::from_fn(n, n, |i, j| a_unit[(i, j)].scale(1e300));
+
+    let r = HermitianEigen::new().nb(8).solve(&a_big).unwrap();
+    assert!(r.diagnostics.scaled_by.is_some());
+    let z = r.eigenvectors.as_ref().unwrap();
+    let rescaled: Vec<f64> = r.eigenvalues.iter().map(|v| v / 1e300).collect();
+    assert!(validate::hermitian_residual(&a_unit, &rescaled, z) < 500.0);
+    assert!(validate::unitary_error(z) < 500.0);
+}
+
+#[test]
+fn tiny_norm_matches_unit_rescaling() {
+    let n = 32;
+    let a_unit = validate::hermitian_with_spectrum(&spectrum(n), 5);
+    let a_tiny = CMatrix::from_fn(n, n, |i, j| a_unit[(i, j)].scale(1e-290));
+
+    let r = HermitianEigen::new().nb(8).solve(&a_tiny).unwrap();
+    assert!(r.diagnostics.scaled_by.is_some());
+    let z = r.eigenvectors.as_ref().unwrap();
+    let rescaled: Vec<f64> = r.eigenvalues.iter().map(|v| v * 1e290).collect();
+    assert!(validate::hermitian_residual(&a_unit, &rescaled, z) < 500.0);
+    assert!(validate::unitary_error(z) < 500.0);
+}
+
+#[test]
+fn verify_full_passes() {
+    let a = validate::hermitian_with_spectrum(&spectrum(24), 6);
+    let r = HermitianEigen::new()
+        .nb(6)
+        .verify(VerifyLevel::Full)
+        .solve(&a)
+        .unwrap();
+    let v = r.diagnostics.verify.expect("verify report");
+    assert!(v.residual < 1e3 && v.orthogonality < 1e3);
+}
+
+fn spectrum(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| -1.0 + 2.0 * i as f64 / (n - 1) as f64)
+        .collect()
+}
