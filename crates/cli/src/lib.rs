@@ -2,22 +2,33 @@
 //! parsing and command logic are unit-testable).
 
 use std::io::{BufRead, Write};
-use tseig_core::{SymmetricEigen, VerifyLevel};
-use tseig_matrix::{io as mmio, norms};
+use tseig_core::{BatchDriver, BatchSummary, Scheduler, SymmetricEigen, VerifyLevel};
+use tseig_matrix::{io as mmio, norms, Matrix};
 use tseig_tridiag::{EigenRange, Method};
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage:
-  tseig eig  <A.mtx> [--nb N] [--method dc|qr|bisect] [--values-only]
-             [--fraction F] [--range LO:HI] [--one-stage] [--vectors-out Z.mtx]
-             [--verify] [--verbose]
-  tseig svd  <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
-  tseig info <A.mtx>
+  tseig eig   <A.mtx> [--nb N] [--method dc|qr|bisect] [--values-only]
+              [--fraction F] [--range LO:HI] [--one-stage] [--vectors-out Z.mtx]
+              [--verify] [--verbose]
+  tseig batch <in.jsonl> [-o out.jsonl] [--nb N] [--method dc|qr|bisect]
+              [--scheduler serial|static:T|dynamic:T] [--threads T] [--vectors]
+  tseig svd   <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
+  tseig info  <A.mtx>
 
   --verify   re-check the computed eigenpairs against the input
              (fails with a nonzero exit on a violated residual bound)
-  --verbose  print solve diagnostics (fallbacks, scaling, verification)";
+  --verbose  print solve diagnostics (fallbacks, scaling, verification)
+
+batch: each input line is one request,
+  {\"id\": \"r1\", \"n\": 3, \"data\": [column-major n*n entries]}
+and each output line one result,
+  {\"id\": \"r1\", \"ok\": true, \"degraded\": false, \"eigenvalues\": [...]}
+  {\"id\": \"r2\", \"ok\": false, \"error\": \"...\"}
+A malformed or unsolvable request fails alone; the batch keeps going.
+--threads is the queue depth (concurrent workers, 0 = all cores); each
+worker reuses one solve plan across its requests.";
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +44,15 @@ pub enum Cli {
         vectors_out: Option<String>,
         verify: bool,
         verbose: bool,
+    },
+    Batch {
+        path: String,
+        out: Option<String>,
+        nb: usize,
+        method: Method,
+        scheduler: Scheduler,
+        threads: usize,
+        vectors: bool,
     },
     Svd {
         path: String,
@@ -98,6 +118,47 @@ impl Cli {
                     vectors_out: flag_value("--vectors-out").map(String::from),
                     verify: has_flag("--verify"),
                     verbose: has_flag("--verbose"),
+                })
+            }
+            "batch" => {
+                let nb = match flag_value("--nb") {
+                    Some(v) => v.parse().map_err(|_| format!("bad --nb {v}"))?,
+                    None => 48,
+                };
+                let method = match flag_value("--method").unwrap_or("dc") {
+                    "dc" => Method::DivideAndConquer,
+                    "qr" => Method::Qr,
+                    "bisect" => Method::BisectionInverse,
+                    other => return Err(format!("unknown method {other}")),
+                };
+                let scheduler = match flag_value("--scheduler").unwrap_or("serial") {
+                    "serial" => Scheduler::Serial,
+                    other => {
+                        let (kind, t) = other
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad --scheduler {other}"))?;
+                        let t: usize = t
+                            .parse()
+                            .map_err(|_| format!("bad scheduler threads {t}"))?;
+                        match kind {
+                            "static" => Scheduler::Static(t),
+                            "dynamic" => Scheduler::Dynamic(t),
+                            _ => return Err(format!("unknown scheduler {kind}")),
+                        }
+                    }
+                };
+                let threads = match flag_value("--threads") {
+                    Some(v) => v.parse().map_err(|_| format!("bad --threads {v}"))?,
+                    None => 0,
+                };
+                Ok(Cli::Batch {
+                    path,
+                    out: flag_value("-o").map(String::from),
+                    nb,
+                    method,
+                    scheduler,
+                    threads,
+                    vectors: has_flag("--vectors"),
                 })
             }
             "svd" => Ok(Cli::Svd {
@@ -242,6 +303,82 @@ pub fn run<R: BufRead, W: Write>(
             }
             Ok(())
         }
+        Cli::Batch {
+            path,
+            out,
+            nb,
+            method,
+            scheduler,
+            threads,
+            vectors,
+        } => {
+            // Parse every line up front; a malformed line becomes a failed
+            // request in its own output slot, never a batch abort.
+            let mut ids: Vec<String> = Vec::new();
+            let mut requests: Vec<Result<Matrix, String>> = Vec::new();
+            for (k, line) in open(path)?.lines().enumerate() {
+                let line = line.map_err(|e| e.to_string())?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (id, req) = parse_batch_line(&line, k);
+                ids.push(id);
+                requests.push(req);
+            }
+            // Solve the well-formed requests through the shared pool.
+            let mats: Vec<Matrix> = requests
+                .iter()
+                .filter_map(|r| r.as_ref().ok().cloned())
+                .collect();
+            let eigen = SymmetricEigen::new()
+                .nb(*nb)
+                .method(*method)
+                .scheduler(*scheduler)
+                .vectors(*vectors);
+            let t0 = std::time::Instant::now();
+            let solved = BatchDriver::new(eigen).threads(*threads).solve_all(&mats);
+            let wall = t0.elapsed();
+            let summary = BatchSummary::of(&solved, wall);
+            // Merge solver results back into request order.
+            let mut solved_it = solved.into_iter();
+            let mut lines: Vec<String> = Vec::with_capacity(requests.len());
+            let mut parse_failures = 0usize;
+            for (id, req) in ids.iter().zip(&requests) {
+                let line = match req {
+                    Err(e) => {
+                        parse_failures += 1;
+                        batch_error_line(id, e)
+                    }
+                    Ok(_) => match solved_it.next().expect("one result per parsed request") {
+                        Ok(r) => batch_ok_line(id, &r, *vectors),
+                        Err(e) => batch_error_line(id, &e.to_string()),
+                    },
+                };
+                lines.push(line);
+            }
+            match out {
+                Some(p) => {
+                    let mut w = create(p)?;
+                    for l in &lines {
+                        writeln!(w, "{l}").map_err(|e| e.to_string())?;
+                    }
+                }
+                None => {
+                    for l in &lines {
+                        println!("{l}");
+                    }
+                }
+            }
+            eprintln!(
+                "batch: {} requests in {:.2?} ({} clean, {} degraded, {} failed)",
+                summary.total + parse_failures,
+                wall,
+                summary.clean,
+                summary.degraded,
+                summary.failed + parse_failures,
+            );
+            Ok(())
+        }
         Cli::Svd {
             path,
             values_only,
@@ -281,10 +418,104 @@ pub fn run<R: BufRead, W: Write>(
     }
 }
 
+/// Extract the raw value text following `"key":` in a flat JSON object
+/// (no nested objects; string values must not contain escaped quotes).
+fn json_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start().strip_prefix(':')?.trim_start();
+    if let Some(r) = rest.strip_prefix('"') {
+        r.find('"').map(|e| &r[..e])
+    } else if let Some(r) = rest.strip_prefix('[') {
+        r.find(']').map(|e| &r[..e])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parse one batch request line: `{"id": ..., "n": N, "data": [...]}`.
+/// `id` is optional (defaults to the 0-based line number); the matrix is
+/// dense column-major, `n * n` entries. Returns the id alongside the
+/// matrix or a description of what is wrong with the line.
+fn parse_batch_line(line: &str, lineno: usize) -> (String, Result<Matrix, String>) {
+    let id = json_value(line, "id")
+        .map(String::from)
+        .unwrap_or_else(|| lineno.to_string());
+    let req = (|| -> Result<Matrix, String> {
+        let n: usize = json_value(line, "n")
+            .ok_or("missing \"n\"")?
+            .parse()
+            .map_err(|_| "bad \"n\"".to_string())?;
+        let data = json_value(line, "data").ok_or("missing \"data\"")?;
+        let mut vals = Vec::with_capacity(n * n);
+        for tok in data.split(',') {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                continue;
+            }
+            vals.push(
+                tok.parse::<f64>()
+                    .map_err(|_| format!("bad number {tok:?} in \"data\""))?,
+            );
+        }
+        if vals.len() != n * n {
+            return Err(format!(
+                "\"data\" holds {} entries, expected n*n = {}",
+                vals.len(),
+                n * n
+            ));
+        }
+        Ok(Matrix::from_fn(n, n, |i, j| vals[i + j * n]))
+    })();
+    (id, req)
+}
+
+fn push_json_floats(out: &mut String, vals: &[f64]) {
+    for (k, v) in vals.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v:.17e}"));
+    }
+}
+
+fn batch_ok_line(id: &str, r: &tseig_core::TwoStageResult, vectors: bool) -> String {
+    let mut s = format!(
+        "{{\"id\": \"{id}\", \"ok\": true, \"degraded\": {}, \"eigenvalues\": [",
+        r.diagnostics.degraded
+    );
+    push_json_floats(&mut s, &r.eigenvalues);
+    s.push(']');
+    if vectors {
+        if let Some(z) = r.eigenvectors.as_ref() {
+            s.push_str(", \"eigenvectors\": [");
+            push_json_floats(&mut s, z.as_slice());
+            s.push(']');
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn batch_error_line(id: &str, err: &str) -> String {
+    // The error text goes into a JSON string: strip the characters that
+    // could break framing rather than implement a full escaper.
+    let clean: String = err
+        .chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\n' | '\r' => ' ',
+            '\\' => '/',
+            c => c,
+        })
+        .collect();
+    format!("{{\"id\": \"{id}\", \"ok\": false, \"error\": \"{clean}\"}}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tseig_matrix::Matrix;
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -399,6 +630,100 @@ mod tests {
             |_| Ok::<std::io::Cursor<Vec<u8>>, String>(std::io::Cursor::new(Vec::new())),
         )
         .unwrap();
+    }
+
+    #[test]
+    fn parse_batch_flags() {
+        let c = Cli::parse(&args(
+            "batch in.jsonl -o out.jsonl --nb 8 --method qr --scheduler static:2 --threads 3 --vectors",
+        ))
+        .unwrap();
+        match c {
+            Cli::Batch {
+                path,
+                out,
+                nb,
+                method,
+                scheduler,
+                threads,
+                vectors,
+            } => {
+                assert_eq!(path, "in.jsonl");
+                assert_eq!(out.as_deref(), Some("out.jsonl"));
+                assert_eq!(nb, 8);
+                assert_eq!(method, Method::Qr);
+                assert_eq!(scheduler, Scheduler::Static(2));
+                assert_eq!(threads, 3);
+                assert!(vectors);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(Cli::parse(&args("batch in.jsonl --scheduler bogus:2")).is_err());
+        assert!(Cli::parse(&args("batch in.jsonl --scheduler static")).is_err());
+    }
+
+    #[test]
+    fn batch_line_roundtrip() {
+        let (id, m) = parse_batch_line(
+            "{\"id\": \"r7\", \"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}",
+            0,
+        );
+        assert_eq!(id, "r7");
+        let m = m.unwrap();
+        assert_eq!(m[(0, 1)], 1.0);
+        // Missing id falls back to the line number; bad payloads report.
+        let (id, m) = parse_batch_line("{\"n\": 2, \"data\": [1.0]}", 4);
+        assert_eq!(id, "4");
+        assert!(m.unwrap_err().contains("expected n*n"));
+        let (_, m) = parse_batch_line("{\"data\": [1.0]}", 0);
+        assert!(m.unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn end_to_end_batch_in_memory() {
+        // Three requests: two valid, one malformed. The malformed line
+        // must fail alone while the others solve.
+        let jsonl = "\
+{\"id\": \"a\", \"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}\n\
+{\"id\": \"broken\", \"n\": 3, \"data\": [1.0, 2.0]}\n\
+{\"id\": \"b\", \"n\": 1, \"data\": [5.0]}\n";
+        let cli = Cli::parse(&args("batch mem.jsonl -o out.jsonl --nb 4 --method qr")).unwrap();
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        run(
+            &cli,
+            |_| {
+                Ok(std::io::BufReader::new(std::io::Cursor::new(
+                    jsonl.as_bytes().to_vec(),
+                )))
+            },
+            move |_| Ok(SharedSink(out2.clone())),
+        )
+        .unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"id\": \"a\"") && lines[0].contains("\"ok\": true"));
+        // [[2,1],[1,2]] -> eigenvalues {1, 3}: parse them back out.
+        let vals: Vec<f64> = json_value(lines[0], "eigenvalues")
+            .unwrap()
+            .split(',')
+            .map(|t| t.trim().parse().unwrap())
+            .collect();
+        assert_eq!(vals.len(), 2);
+        assert!((vals[0] - 1.0).abs() < 1e-12 && (vals[1] - 3.0).abs() < 1e-12);
+        assert!(lines[1].contains("\"id\": \"broken\"") && lines[1].contains("\"ok\": false"));
+        assert!(lines[2].contains("\"id\": \"b\"") && lines[2].contains("5.00000000000000000e0"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ use rayon::prelude::*;
 use std::cell::RefCell;
 use tseig_kernels::blas3::{gemm, trmm_unit_lower_left, trmm_upper_left, Trans};
 use tseig_kernels::householder::{larfb_with_work, larft, Side};
+use tseig_matrix::workspace::{reset_f64s, MemReq};
 use tseig_matrix::Matrix;
 
 /// Column-panel width used for the cache-local distribution of `E`.
@@ -92,11 +93,22 @@ struct Diamond {
 type Reflector = (usize, f64, Vec<f64>);
 
 fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
+    let mut plan = BtPlan::new();
+    build_diamonds_ws(v2, ell, &mut plan);
+    plan.diamonds
+}
+
+/// Rebuild the diamond sequence into `plan`'s retained storage: diamond
+/// slots, member scratch and `tau` buffers are reused by index, so a
+/// warmed-up plan rebuilds without heap allocation. Bit-identical output
+/// to [`build_diamonds`].
+fn build_diamonds_ws(v2: &V2Set, ell: usize, plan: &mut BtPlan) {
     let ell = ell.max(1);
     let nsweeps = v2.sweep_count();
-    let mut out = Vec::new();
+    let mut nd = 0usize;
     if nsweeps == 0 {
-        return out;
+        plan.diamonds.truncate(0);
+        return;
     }
     let nblocks = nsweeps.div_ceil(ell);
     for blk in (0..nblocks).rev() {
@@ -105,39 +117,135 @@ fn build_diamonds(v2: &V2Set, ell: usize) -> Vec<Diamond> {
         let max_depth = (s0..s1).map(|s| v2.sweep(s).len()).max().unwrap_or(0);
         for k in 0..max_depth {
             // Gather the reflectors (s, k) for s in s0..s1 that exist.
-            let members: Vec<(usize, &Reflector)> = (s0..s1)
-                .filter_map(|s| v2.sweep(s).get(k).map(|r| (s, r)))
-                .filter(|(_, r)| !r.2.is_empty())
-                .collect();
-            if members.is_empty() {
+            plan.members.clear();
+            plan.members
+                .extend((s0..s1).filter(|&s| v2.sweep(s).get(k).is_some_and(|r| !r.2.is_empty())));
+            if plan.members.is_empty() {
                 continue;
             }
+            let member = |i: usize| -> &Reflector { &v2.sweep(plan.members[i])[k] };
             // Diamond geometry: reflector of sweep s starts at
             // s + 1 + k*nb; sweeps ascend, so starts ascend one by one.
-            let r0 = members[0].1 .0;
-            let rend = members
-                .iter()
-                .map(|(_, r)| r.0 + r.2.len())
+            let r0 = member(0).0;
+            let rend = (0..plan.members.len())
+                .map(|i| {
+                    let r = member(i);
+                    r.0 + r.2.len()
+                })
                 .max()
                 .unwrap_or(r0);
             let height = rend - r0;
-            let kb = members.len();
-            let mut v = Matrix::zeros(height, kb);
-            let mut tau = vec![0.0f64; kb];
-            for (col, (_, r)) in members.iter().enumerate() {
+            let kb = plan.members.len();
+            if plan.diamonds.len() <= nd {
+                plan.diamonds.push(Diamond {
+                    r0: 0,
+                    v: Matrix::zeros(0, 0),
+                    t: Vec::new(), // tidy: allow(plan-no-alloc) -- empty placeholder; the pool grows only while the plan is cold
+                });
+            }
+            reset_f64s(&mut plan.tau, kb);
+            let d = &mut plan.diamonds[nd];
+            d.r0 = r0;
+            d.v.reset_to(height, kb);
+            for col in 0..kb {
+                let r = member(col);
                 let off = r.0 - r0;
                 debug_assert_eq!(off, col, "diamond columns shift one row per sweep");
                 for (i, &val) in r.2.iter().enumerate() {
-                    v[(off + i, col)] = val;
+                    d.v[(off + i, col)] = val;
                 }
-                tau[col] = r.1;
+                plan.tau[col] = r.1;
             }
-            let mut t = vec![0.0f64; kb * kb];
-            larft(height, kb, v.as_slice(), height, &tau, &mut t, kb);
-            out.push(Diamond { r0, v, t });
+            reset_f64s(&mut d.t, kb * kb);
+            larft(height, kb, d.v.as_slice(), height, &plan.tau, &mut d.t, kb);
+            nd += 1;
         }
     }
-    out
+    plan.diamonds.truncate(nd);
+}
+
+/// Retained storage of the planned back-transformation: the diamond
+/// sequence (rebuilt in place each solve — its values depend on the
+/// reflectors, but its shape only on `(n, nb, ell)`), the member/`tau`
+/// build scratch, and the per-panel apply scratch the thread-local
+/// buffer provides on the parallel path.
+#[derive(Default)]
+pub struct BtPlan {
+    diamonds: Vec<Diamond>,
+    /// Sweep indices of the diamond currently being gathered.
+    members: Vec<usize>,
+    tau: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl BtPlan {
+    pub fn new() -> Self {
+        BtPlan::default()
+    }
+
+    /// Retained capacity in bytes (footprint tests). Counts the f64
+    /// payloads (diamond `V`/`T`, `tau`, apply scratch) plus the member
+    /// index scratch.
+    pub fn capacity_bytes(&self) -> usize {
+        let diamonds: usize = self
+            .diamonds
+            .iter()
+            .map(|d| d.v.capacity_bytes() + d.t.capacity() * std::mem::size_of::<f64>())
+            .sum();
+        diamonds
+            + (self.tau.capacity() + self.scratch.capacity()) * std::mem::size_of::<f64>()
+            + self.members.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Requirement of the planned back-transformation for an order-`n`,
+/// bandwidth-`nb` chase with diamond grouping `ell`, applied to `cols`
+/// columns in panels of `panel_cols`: exact diamond storage (replayed
+/// from the chase geometry) plus the per-panel apply scratch.
+pub fn bt_req(n: usize, nb: usize, ell: usize, panel_cols: usize, cols: usize) -> MemReq {
+    let ell = ell.max(1);
+    let pc = if panel_cols == 0 {
+        DEFAULT_PANEL_COLS
+    } else {
+        panel_cols
+    };
+    let nsweeps = if nb > 1 { n.saturating_sub(2) } else { 0 };
+    let mut elems = 0usize;
+    let mut kd_max = 0usize;
+    if nsweeps > 0 {
+        let nblocks = nsweeps.div_ceil(ell);
+        for blk in 0..nblocks {
+            let s0 = blk * ell;
+            let s1 = (s0 + ell).min(nsweeps);
+            let max_depth = (s0..s1)
+                .map(|s| V2Set::depth_of_sweep(n, nb, s))
+                .max()
+                .unwrap_or(0);
+            for k in 0..max_depth {
+                let mut kb = 0usize;
+                let mut r0 = usize::MAX;
+                let mut rend = 0usize;
+                for s in s0..s1 {
+                    if k >= V2Set::depth_of_sweep(n, nb, s) {
+                        continue;
+                    }
+                    let start = s + 1 + k * nb;
+                    let len = (start + nb - 1).min(n - 1) - start + 1;
+                    r0 = r0.min(start);
+                    rend = rend.max(start + len);
+                    kb += 1;
+                }
+                if kb == 0 {
+                    continue;
+                }
+                let height = rend - r0;
+                elems += height * kb + kb * kb; // V + T
+                kd_max = kd_max.max(kb);
+            }
+        }
+    }
+    let scratch = 2 * kd_max.max(nb) * pc.min(cols);
+    MemReq::f64s(elems).and(MemReq::f64s(scratch))
 }
 
 /// Workspace length one panel of `cols` columns needs: two `k x cols`
@@ -192,6 +300,73 @@ fn apply_pipeline(diamonds: &[Diamond], q1: &[Q1Panel], e: &mut Matrix, panel_co
             }
         });
     });
+}
+
+/// Serial twin of [`apply_pipeline`]: same panel split, same per-panel
+/// kernel sequence, but a plain loop with plan-owned scratch instead of
+/// rayon + the thread-local buffer. Bit-identical results (the panels
+/// are independent; within a panel the two paths run the same code).
+fn apply_pipeline_serial(
+    diamonds: &[Diamond],
+    q1: &[Q1Panel],
+    e: &mut Matrix,
+    panel_cols: usize,
+    scratch: &mut Vec<f64>,
+) {
+    if e.cols() == 0 || (diamonds.is_empty() && q1.is_empty()) {
+        return;
+    }
+    let pc = if panel_cols == 0 {
+        DEFAULT_PANEL_COLS
+    } else {
+        panel_cols
+    };
+    let ldc = e.ld();
+    let need = scratch_len(diamonds, q1, pc.min(e.cols()));
+    if scratch.len() < need {
+        reset_f64s(scratch, need);
+    }
+    for panel in e.as_mut_slice().chunks_mut(pc * ldc) {
+        let cols = panel.len() / ldc;
+        for d in diamonds {
+            apply_diamond(d, panel, ldc, cols, scratch);
+        }
+        for p in q1.iter().rev() {
+            let rows = p.v.rows();
+            larfb_with_work(
+                Side::Left,
+                Trans::No,
+                rows,
+                cols,
+                p.v.cols(),
+                p.v.as_slice(),
+                rows,
+                &p.t,
+                p.v.cols(),
+                &mut panel[p.r0..],
+                ldc,
+                &mut scratch[..2 * p.v.cols() * cols],
+            );
+        }
+    }
+}
+
+/// Planned fused back-transformation `E <- Q1 Q2 E`: [`apply_q`] run
+/// serially through `plan`'s retained diamond storage and scratch —
+/// allocation-free once the plan has warmed up to the problem shape, and
+/// bit-identical to [`apply_q`].
+pub fn apply_q_ws(
+    v2: &V2Set,
+    panels: &[Q1Panel],
+    e: &mut Matrix,
+    ell: usize,
+    panel_cols: usize,
+    plan: &mut BtPlan,
+) {
+    let n = v2.n();
+    assert_eq!(e.rows(), n, "E must have n rows");
+    build_diamonds_ws(v2, ell, plan);
+    apply_pipeline_serial(&plan.diamonds, panels, e, panel_cols, &mut plan.scratch);
 }
 
 /// `E <- Q2 E` using diamond-blocked reflectors, parallel over column

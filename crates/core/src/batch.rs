@@ -1,0 +1,220 @@
+//! Batched driver: stream many eigenproblems through a shared worker
+//! pool, each worker reusing one [`SolvePlan`].
+//!
+//! The point of the plan layer is amortization, and a batch is where it
+//! pays: every worker allocates its pipeline buffers once and then
+//! solves request after request allocation-free (same-size requests on
+//! the serial planned path; mixed sizes grow the plan to the largest
+//! request and stay there). Failures are isolated — a matrix that is
+//! non-symmetric, non-finite, or even panics a kernel produces an `Err`
+//! in its own slot while the rest of the batch completes normally.
+
+use crate::driver::{SymmetricEigen, TwoStageResult};
+use crate::plan::SolvePlan;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tseig_matrix::{Error, Matrix, Result};
+
+/// Worker pool that solves a slice of eigenproblems with per-worker
+/// [`SolvePlan`] reuse.
+///
+/// ```
+/// use tseig_core::{BatchDriver, SymmetricEigen};
+/// use tseig_matrix::gen;
+/// let inputs: Vec<_> = (0..4).map(|s| gen::random_symmetric(24, s)).collect();
+/// let results = BatchDriver::new(SymmetricEigen::new().nb(6)).solve_all(&inputs);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BatchDriver {
+    eigen: SymmetricEigen,
+    threads: usize,
+}
+
+impl BatchDriver {
+    /// Batch over the given solver configuration; workers default to the
+    /// machine's available parallelism.
+    pub fn new(eigen: SymmetricEigen) -> Self {
+        BatchDriver { eigen, threads: 0 }
+    }
+
+    /// Number of concurrent workers (the queue depth: at most this many
+    /// requests are in flight). `0` = available parallelism; `1` = a
+    /// single worker streaming the whole batch through one plan.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, jobs.max(1))
+    }
+
+    /// Solve every input; `results[i]` corresponds to `inputs[i]`
+    /// regardless of completion order. One bad matrix yields an `Err` in
+    /// its slot and nothing else.
+    pub fn solve_all(&self, inputs: &[Matrix]) -> Vec<Result<TwoStageResult>> {
+        let workers = self.worker_count(inputs.len());
+        if workers <= 1 {
+            let mut plan = SolvePlan::new();
+            return inputs
+                .iter()
+                .map(|a| solve_one(&self.eigen, a, &mut plan))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<TwoStageResult>>>> =
+            (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut plan = SolvePlan::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let r = solve_one(&self.eigen, &inputs[i], &mut plan);
+                        *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                // Every claimed index writes its slot before the scope
+                // ends; an empty slot means the worker died mid-claim.
+                m.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .unwrap_or_else(|| {
+                        Err(Error::Runtime(
+                            "worker exited before writing its result slot".to_string(),
+                        ))
+                    })
+            })
+            .collect()
+    }
+}
+
+/// One request, with failure isolation: a panicking kernel is caught and
+/// reported as [`Error::Runtime`], and the worker's plan — which may
+/// hold partially-written state after an unwind — is rebuilt.
+fn solve_one(eigen: &SymmetricEigen, a: &Matrix, plan: &mut SolvePlan) -> Result<TwoStageResult> {
+    match catch_unwind(AssertUnwindSafe(|| eigen.solve_into(a, plan))) {
+        Ok(Ok(())) => Ok(plan.take_result()),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => {
+            *plan = SolvePlan::new();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(Error::Runtime(format!("solver panicked: {msg}")))
+        }
+    }
+}
+
+/// Aggregate view of a finished batch (what `tseig batch` prints).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchSummary {
+    /// Number of requests.
+    pub total: usize,
+    /// Requests that produced a result on the paved road.
+    pub clean: usize,
+    /// Requests that produced a result through a recovery path
+    /// (fallback taken or norm scaling applied).
+    pub degraded: usize,
+    /// Requests that returned an error.
+    pub failed: usize,
+    /// Wall time of the whole batch, if the caller measured it.
+    pub wall: Duration,
+}
+
+impl BatchSummary {
+    /// Fold a result slice (and optional wall time) into counts.
+    pub fn of(results: &[Result<TwoStageResult>], wall: Duration) -> BatchSummary {
+        let mut s = BatchSummary {
+            total: results.len(),
+            wall,
+            ..BatchSummary::default()
+        };
+        for r in results {
+            match r {
+                Ok(t) if t.diagnostics.is_clean() => s.clean += 1,
+                Ok(_) => s.degraded += 1,
+                Err(_) => s.failed += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::gen;
+
+    fn bitwise_eq(a: &TwoStageResult, b: &TwoStageResult) {
+        assert_eq!(a.eigenvalues, b.eigenvalues);
+        match (&a.eigenvectors, &b.eigenvectors) {
+            (Some(x), Some(y)) => assert_eq!(x.as_slice(), y.as_slice()),
+            (None, None) => {}
+            _ => panic!("vector presence differs"),
+        }
+    }
+
+    #[test]
+    fn batch_matches_one_at_a_time_bitwise() {
+        let inputs: Vec<Matrix> = (0..6)
+            .map(|s| gen::random_symmetric(20 + 4 * (s as usize % 3), 900 + s))
+            .collect();
+        let eigen = SymmetricEigen::new().nb(5);
+        let sequential: Vec<_> = inputs.iter().map(|a| eigen.solve(a).unwrap()).collect();
+        for threads in [1, 3] {
+            let batch = BatchDriver::new(eigen).threads(threads).solve_all(&inputs);
+            for (b, s) in batch.iter().zip(&sequential) {
+                bitwise_eq(b.as_ref().unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn one_bad_matrix_does_not_abort_the_batch() {
+        let mut inputs: Vec<Matrix> = (0..4).map(|s| gen::random_symmetric(16, s)).collect();
+        inputs[2][(3, 3)] = f64::NAN;
+        let results = BatchDriver::new(SymmetricEigen::new().nb(4))
+            .threads(2)
+            .solve_all(&inputs);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        assert!(results[2].is_err());
+        assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut inputs: Vec<Matrix> = (0..3).map(|s| gen::random_symmetric(12, 70 + s)).collect();
+        inputs[1][(0, 0)] = f64::INFINITY;
+        let results = BatchDriver::new(SymmetricEigen::new().nb(4)).solve_all(&inputs);
+        let s = BatchSummary::of(&results, Duration::from_millis(1));
+        assert_eq!((s.total, s.failed), (3, 1));
+        assert_eq!(s.clean + s.degraded, 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let results = BatchDriver::new(SymmetricEigen::new()).solve_all(&[]);
+        assert!(results.is_empty());
+    }
+}

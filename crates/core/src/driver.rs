@@ -7,12 +7,14 @@
 //! (dynamic vs static, §3), the tridiagonal method (Figures 4a/4b) and
 //! the eigenvector fraction `f` (Figure 4d).
 
-use crate::backtransform::apply_q;
-use crate::stage1::sy2sb;
-use crate::stage2::{reduce_scheduled, Stage2Exec};
+use crate::backtransform::{self, apply_q};
+use crate::plan::SolvePlan;
+use crate::stage1;
+use crate::stage2::{self, reduce_scheduled, Stage2Exec, Stage2Schedule};
 use std::time::Instant;
 use tseig_kernels::scaling;
 use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
+use tseig_matrix::workspace::MemReq;
 use tseig_matrix::{norms, Error, Matrix, Result};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 
@@ -177,15 +179,33 @@ impl SymmetricEigen {
     /// inside the pipeline is absorbed by a fallback chain recorded in
     /// the result's [`SolveDiagnostics`].
     pub fn solve(&self, a: &Matrix) -> Result<TwoStageResult> {
+        let mut plan = SolvePlan::new();
+        self.solve_into(a, &mut plan)?;
+        Ok(plan.take_result())
+    }
+
+    /// [`Self::solve`] into a caller-owned [`SolvePlan`]: identical
+    /// results (the plain `solve` is literally this with a fresh plan),
+    /// but every buffer of the pipeline persists in `plan`, so repeated
+    /// same-size solves reuse all of it.
+    ///
+    /// On the strictly planned path — [`Scheduler::Serial`],
+    /// [`Method::Qr`], [`EigenRange::All`] with vectors,
+    /// [`VerifyLevel::Off`], input norm inside the safe window, and no
+    /// recovery event — a warmed-up plan performs **zero heap
+    /// allocations**. Other configurations still reuse the plan's
+    /// buffers but may allocate in the scheduled/fallback machinery.
+    ///
+    /// Results are read from the plan ([`SolvePlan::eigenvalues`],
+    /// [`SolvePlan::eigenvectors`], ...) or moved out with
+    /// [`SolvePlan::take_result`]. On error the plan's result slots are
+    /// unspecified but the plan itself remains valid for further solves.
+    pub fn solve_into(&self, a: &Matrix, plan: &mut SolvePlan) -> Result<()> {
         if a.rows() != a.cols() {
-            return Err(Error::DimensionMismatch(format!(
-                "matrix is {}x{}, must be square",
-                a.rows(),
-                a.cols()
-            )));
+            let msg = format!("matrix is {}x{}, must be square", a.rows(), a.cols()); // tidy: allow(plan-no-alloc) -- rejected input, never on the hot path
+            return Err(Error::DimensionMismatch(msg));
         }
         let n = a.rows();
-        let timings = PhaseTimings::default();
 
         // Screen: reject NaN/Inf and asymmetry beyond rounding before any
         // arithmetic can smear them across the spectrum. The returned
@@ -196,12 +216,8 @@ impl SymmetricEigen {
         // not reach the fraction-to-index conversion (which clamps the
         // count to at least one eigenpair).
         if n == 0 {
-            return Ok(TwoStageResult {
-                eigenvalues: vec![],
-                eigenvectors: self.want_vectors.then(|| Matrix::zeros(0, 0)),
-                timings,
-                diagnostics: SolveDiagnostics::default(),
-            });
+            plan.set_trivial(vec![], self.want_vectors.then(|| Matrix::zeros(0, 0))); // tidy: allow(plan-no-alloc) -- empty vec allocates nothing; n == 0 exit
+            return Ok(());
         }
 
         // Half-band grouping keeps the diamond padding overhead
@@ -215,9 +231,8 @@ impl SymmetricEigen {
         let range = match self.fraction {
             Some(f) => {
                 if !(f > 0.0 && f <= 1.0) {
-                    return Err(Error::InvalidArgument(format!(
-                        "fraction {f} outside (0, 1]"
-                    )));
+                    let msg = format!("fraction {f} outside (0, 1]"); // tidy: allow(plan-no-alloc) -- rejected input, never on the hot path
+                    return Err(Error::InvalidArgument(msg));
                 }
                 EigenRange::Index(0, ((f * n as f64).ceil() as usize).clamp(1, n))
             }
@@ -225,7 +240,8 @@ impl SymmetricEigen {
         };
 
         if n == 1 {
-            return self.solve_order_one(a, range, timings);
+            self.solve_order_one(a, range, plan);
+            return Ok(());
         }
 
         // Norm scaling: an extreme-norm input is solved as sigma * A so
@@ -233,82 +249,169 @@ impl SymmetricEigen {
         // eigenvalues are divided back by sigma on exit. `Value` range
         // bounds select in the scaled spectrum, so they scale too.
         let sigma = scaling::safe_scale_factor(anorm);
-        let scaled = sigma.map(|s| {
-            let mut b = a.clone();
-            scaling::scale_matrix(&mut b, s);
-            b
-        });
-        let work: &Matrix = scaled.as_ref().unwrap_or(a);
+        let input: &Matrix = match sigma {
+            Some(s) => {
+                plan.scaled.copy_from(a);
+                scaling::scale_matrix(&mut plan.scaled, s);
+                &plan.scaled
+            }
+            None => a,
+        };
         let range = match (sigma, range) {
             (Some(s), EigenRange::Value(vl, vu)) => EigenRange::Value(vl * s, vu * s),
             (_, r) => r,
         };
 
         let rec = Recorder::new();
-        let mut timings = timings;
+        let mut timings = PhaseTimings::default();
+        let serial = self.scheduler == Scheduler::Serial;
 
-        // Stage 1: dense -> band.
+        // Stage 1: dense -> band, into the plan's working copy and band
+        // form. The serial scheduler gets the strictly serial BLAS-3
+        // variants (the allocation-free path); the scheduled ones keep
+        // the rayon variants. Both orders of reduction are identical
+        // (the parallel split is over independent output columns).
         let t0 = Instant::now();
-        let bf = sy2sb(work, self.nb, self.ib);
+        stage1::sy2sb_ws(
+            input,
+            self.nb,
+            self.ib,
+            !serial,
+            &mut plan.work,
+            &mut plan.bf,
+            &mut plan.s1,
+        );
         timings.stage1 = t0.elapsed();
 
         // Stage 2: band -> tridiagonal (bulge chasing). A scheduled
         // execution that dies (worker panic, runtime error) is re-run on
-        // the serial path, which shares no scheduler machinery.
+        // the serial path, which shares no scheduler machinery. The
+        // static scheduler's task list and wait lists are cached in the
+        // plan and rebuilt only when `(n, bandwidth, threads)` changes —
+        // not on every solve.
         let t1 = Instant::now();
-        let exec = match self.scheduler {
-            Scheduler::Serial => Stage2Exec::Serial,
-            Scheduler::Static(t) => Stage2Exec::Static(t),
-            Scheduler::Dynamic(t) => Stage2Exec::Dynamic(t),
-        };
-        let chase = match reduce_scheduled(bf.band.clone(), exec) {
-            Ok(c) => c,
-            Err(e) if self.scheduler != Scheduler::Serial => {
-                rec.record(Recovery::SchedulerFallback { error: e });
-                reduce_scheduled(bf.band.clone(), Stage2Exec::Serial).map_err(Error::Runtime)?
+        match self.scheduler {
+            Scheduler::Serial => {
+                plan.band.copy_from(&plan.bf.band);
+                stage2::reduce_ws(&mut plan.band, &mut plan.v2, &mut plan.s2, &mut plan.tri);
             }
-            Err(e) => return Err(Error::Runtime(e)),
-        };
+            Scheduler::Static(threads) => {
+                let b = plan.bf.band.bandwidth();
+                let stale = !plan
+                    .sched
+                    .as_ref()
+                    .is_some_and(|s| s.n() == n && s.bandwidth() == b && s.threads() == threads);
+                if stale {
+                    plan.sched = None;
+                }
+                let sched = plan
+                    .sched
+                    .get_or_insert_with(|| Stage2Schedule::new(n, b, threads));
+                let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- scheduled arm, documented to allocate; the chase consumes the band
+                match stage2::reduce_static_prepared(band, sched) {
+                    Ok(c) => {
+                        plan.tri = c.tridiagonal;
+                        plan.v2 = c.v2;
+                    }
+                    Err(e) => {
+                        rec.record(Recovery::SchedulerFallback { error: e });
+                        let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- recovery ladder, allocates by design
+                        let c =
+                            reduce_scheduled(band, Stage2Exec::Serial).map_err(Error::Runtime)?;
+                        plan.tri = c.tridiagonal;
+                        plan.v2 = c.v2;
+                    }
+                }
+            }
+            Scheduler::Dynamic(threads) => {
+                let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- scheduled arm, documented to allocate; the chase consumes the band
+                match reduce_scheduled(band, Stage2Exec::Dynamic(threads)) {
+                    Ok(c) => {
+                        plan.tri = c.tridiagonal;
+                        plan.v2 = c.v2;
+                    }
+                    Err(e) => {
+                        rec.record(Recovery::SchedulerFallback { error: e });
+                        let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- recovery ladder, allocates by design
+                        let c =
+                            reduce_scheduled(band, Stage2Exec::Serial).map_err(Error::Runtime)?;
+                        plan.tri = c.tridiagonal;
+                        plan.v2 = c.v2;
+                    }
+                }
+            }
+        }
         timings.stage2 = t1.elapsed();
         timings.reduction = timings.stage1 + timings.stage2;
 
         // Tridiagonal eigensolve, with the recovery recorder threaded
         // through (QR -> bisection, D&C -> QR, perturbed-shift retries).
+        // The full-spectrum QR solve with vectors runs on the planned
+        // path (caller-owned state, allocation-free when warm); every
+        // other method/range combination goes through the facade.
         let t2 = Instant::now();
-        let sol = tseig_tridiag::solve_with_diag(
-            &chase.tridiagonal,
-            self.method,
-            range,
-            self.want_vectors,
-            &rec,
-        )?;
+        let planned_qr = self.method == Method::Qr && self.want_vectors && range == EigenRange::All;
+        if planned_qr {
+            tseig_tridiag::steqr_planned(&plan.tri, &rec, &mut plan.td)?;
+            plan.td.swap_results(&mut plan.evals, &mut plan.evecs);
+            plan.has_vectors = true;
+        } else {
+            let sol = tseig_tridiag::solve_with_diag(
+                &plan.tri,
+                self.method,
+                range,
+                self.want_vectors,
+                &rec,
+            )?;
+            plan.evals = sol.eigenvalues;
+            plan.has_vectors = self.want_vectors;
+            if self.want_vectors {
+                let Some(z) = sol.eigenvectors else {
+                    return Err(Error::Runtime(
+                        "tridiagonal solver returned no eigenvectors although vectors \
+                         were requested"
+                            .into(),
+                    ));
+                };
+                plan.evecs = z;
+            }
+        }
         timings.tridiag_solve = t2.elapsed();
 
         // Back-transformation Z = Q1 (Q2 E).
-        let eigenvectors = if self.want_vectors {
+        if self.want_vectors {
             let t3 = Instant::now();
-            let Some(mut z) = sol.eigenvectors else {
-                return Err(Error::Runtime(
-                    "tridiagonal solver returned no eigenvectors although vectors \
-                     were requested"
-                        .into(),
-                ));
-            };
             // Fused single pass: per column panel, the full diamond
             // sequence and then the reverse Q1 chain while the panel is
             // cache-resident (one traversal of Z, no barrier between
-            // the Q2 and Q1 applications).
-            apply_q(&chase.v2, &bf.panels, &mut z, ell, self.panel_cols);
+            // the Q2 and Q1 applications). The serial scheduler applies
+            // it through the plan's diamond storage; the scheduled ones
+            // keep the rayon panel loop. Panels are disjoint, so the
+            // results are identical.
+            if serial {
+                backtransform::apply_q_ws(
+                    &plan.v2,
+                    &plan.bf.panels,
+                    &mut plan.evecs,
+                    ell,
+                    self.panel_cols,
+                    &mut plan.bt,
+                );
+            } else {
+                apply_q(
+                    &plan.v2,
+                    &plan.bf.panels,
+                    &mut plan.evecs,
+                    ell,
+                    self.panel_cols,
+                );
+            }
             timings.backtransform = t3.elapsed();
-            Some(z)
-        } else {
-            None
-        };
+        }
 
         // Undo the norm scaling on the eigenvalues.
-        let mut eigenvalues = sol.eigenvalues;
         if let Some(s) = sigma {
-            for v in &mut eigenvalues {
+            for v in &mut plan.evals {
                 *v /= s;
             }
         }
@@ -322,28 +425,54 @@ impl SymmetricEigen {
         if self.verify != VerifyLevel::Off {
             diagnostics.verify = Some(verify_solution(
                 a,
-                &eigenvalues,
-                eigenvectors.as_ref(),
+                &plan.evals,
+                plan.has_vectors.then_some(&plan.evecs),
                 self.verify,
             )?);
         }
 
-        Ok(TwoStageResult {
-            eigenvalues,
-            eigenvectors,
-            timings,
-            diagnostics,
-        })
+        plan.timings = timings;
+        plan.diagnostics = diagnostics;
+        Ok(())
+    }
+
+    /// Workspace requirement of a warmed-up [`SolvePlan`] for an
+    /// order-`n` solve with this configuration (the `f64` buffers; the
+    /// thread-local GEMM pack storage is accounted separately by
+    /// [`tseig_kernels::blas3::engine::pack_req`]). After any number of
+    /// same-size solves, [`SolvePlan::footprint_bytes`] must not exceed
+    /// this — the plan never retains more than it advertises.
+    pub fn plan_req(&self, n: usize) -> MemReq {
+        if n <= 1 {
+            return MemReq::f64s(n).and(MemReq::f64s(n * n));
+        }
+        let nb = self.nb.max(1);
+        let ell = if self.ell == 0 {
+            (self.nb / 2).max(1)
+        } else {
+            self.ell
+        };
+        let pc = if self.panel_cols == 0 {
+            backtransform::DEFAULT_PANEL_COLS
+        } else {
+            self.panel_cols
+        };
+        MemReq::f64s(n * n) // stage-1 working copy
+            .and(stage1::sy2sb_ws_req(n, nb, self.ib))
+            .and(stage1::sy2sb_out_req(n, nb)) // band form + panels
+            .and(MemReq::f64s((2 * nb + 1) * n)) // chase working band
+            .and(stage2::v2_req(n, nb))
+            .and(stage2::stage2_ws_req(nb))
+            .and(MemReq::f64s(n).and(MemReq::f64s(n - 1))) // tridiagonal
+            .and(tseig_tridiag::steqr_planned_req(n))
+            .and(crate::backtransform::bt_req(n, nb, ell, pc, n))
+            .and(MemReq::f64s(n)) // eigenvalue slot
+            .and(MemReq::f64s(n * n)) // eigenvector slot
     }
 
     /// The order-1 eigenproblem is its own answer; solving it through the
     /// band pipeline would only launder `a[(0,0)]` through no-op stages.
-    fn solve_order_one(
-        &self,
-        a: &Matrix,
-        range: EigenRange,
-        timings: PhaseTimings,
-    ) -> Result<TwoStageResult> {
+    fn solve_order_one(&self, a: &Matrix, range: EigenRange, plan: &mut SolvePlan) {
         let a00 = a[(0, 0)];
         let include = match range {
             EigenRange::All => true,
@@ -360,12 +489,7 @@ impl SymmetricEigen {
             }
             z
         });
-        Ok(TwoStageResult {
-            eigenvalues,
-            eigenvectors,
-            timings,
-            diagnostics: SolveDiagnostics::default(),
-        })
+        plan.set_trivial(eigenvalues, eigenvectors);
     }
 }
 

@@ -37,12 +37,16 @@
 //! ```
 
 pub mod backtransform;
+pub mod batch;
 pub mod driver;
 pub mod generalized;
+pub mod plan;
 pub mod stage1;
 pub mod stage2;
 
+pub use batch::{BatchDriver, BatchSummary};
 pub use driver::{Scheduler, SymmetricEigen, TwoStageResult, VERIFY_BOUND};
 pub use generalized::solve_generalized;
+pub use plan::SolvePlan;
 pub use stage2::V2Set;
 pub use tseig_matrix::diagnostics::{Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};

@@ -16,9 +16,12 @@
 //! `V` and `T` are retained per panel for the back-transformation
 //! (`Q1` application, paper Fig. 3a).
 
-use tseig_kernels::blas3::{gemm, gemm_par, symm_lower_left_par, syr2k_lower_par, Trans};
+use tseig_kernels::blas3::{
+    gemm, gemm_par, symm_lower_left, symm_lower_left_par, syr2k_lower, syr2k_lower_par, Trans,
+};
 use tseig_kernels::contract;
-use tseig_kernels::qr::{extract_v_t, geqrf};
+use tseig_kernels::qr::{extract_v_t_into, geqrf_req, geqrf_ws, QrWs};
+use tseig_matrix::workspace::{reset_f64s, MemReq};
 use tseig_matrix::{Matrix, SymBandMatrix};
 
 /// One panel's block reflector: `Q_k = I - V T V^T` acting on rows
@@ -43,10 +46,117 @@ pub struct BandForm {
     pub nb: usize,
 }
 
+impl BandForm {
+    /// Bytes of heap capacity retained by the band store and every
+    /// panel's `(V, T)` pair (footprint tests).
+    pub fn capacity_bytes(&self) -> usize {
+        self.band.capacity_bytes()
+            + self
+                .panels
+                .iter()
+                .map(|p| p.v.capacity_bytes() + p.t.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+    }
+}
+
+impl Default for BandForm {
+    /// The empty (order-0) band form.
+    fn default() -> Self {
+        BandForm {
+            band: SymBandMatrix::zeros(0, 0, 0),
+            panels: Vec::new(),
+            nb: 0,
+        }
+    }
+}
+
+/// Reusable scratch of the stage-1 reduction: panel QR workspace plus the
+/// four intermediates of the symmetric rank-2k update. All buffers retain
+/// capacity across panels and solves.
+#[derive(Default)]
+pub struct Stage1Ws {
+    tau: Vec<f64>,
+    qr: QrWs,
+    vt: Matrix,
+    w: Matrix,
+    mm: Vec<f64>,
+    tm: Vec<f64>,
+}
+
+impl Stage1Ws {
+    pub fn new() -> Self {
+        Stage1Ws::default()
+    }
+
+    /// Retained capacity in bytes (footprint tests).
+    pub fn capacity_bytes(&self) -> usize {
+        (self.tau.capacity() + self.mm.capacity() + self.tm.capacity()) * std::mem::size_of::<f64>()
+            + self.qr.capacity_bytes()
+            + self.vt.capacity_bytes()
+            + self.w.capacity_bytes()
+    }
+}
+
+/// Workspace requirement of [`sy2sb_ws`] for an order-`n` problem
+/// (excluding the caller's `work` copy and the [`BandForm`] output —
+/// see [`sy2sb_out_req`]).
+pub fn sy2sb_ws_req(n: usize, nb: usize, ib: usize) -> MemReq {
+    let nb = nb.max(1);
+    let ib = if ib == 0 { nb } else { ib };
+    if n <= nb {
+        return MemReq::EMPTY;
+    }
+    let m0 = n - nb; // largest sub-panel row count
+    MemReq::f64s(nb) // tau
+        .and(geqrf_req(m0, nb, ib))
+        .and(MemReq::f64s(2 * m0 * nb)) // vt + w
+        .and(MemReq::f64s(2 * nb * nb)) // mm + tm
+}
+
+/// Requirement of [`sy2sb_ws`]'s outputs: the band store plus every
+/// panel's `(V, T)` pair.
+pub fn sy2sb_out_req(n: usize, nb: usize) -> MemReq {
+    let nb = nb.max(1);
+    let mut req = MemReq::f64s((2 * nb + 1) * n); // band + workspace diagonals
+    let mut j0 = 0usize;
+    while j0 + nb < n {
+        let m = n - (j0 + nb);
+        let kb = nb.min(m);
+        req = req.and(MemReq::f64s(m * kb + kb * kb));
+        j0 += nb;
+    }
+    req
+}
+
 /// Reduce the dense symmetric `a` (lower triangle referenced) to band
 /// form with semi-bandwidth `nb`. `ib` is the inner blocking of the panel
 /// QR (defaults to `nb` when 0).
 pub fn sy2sb(a: &Matrix, nb: usize, ib: usize) -> BandForm {
+    let mut work = Matrix::zeros(0, 0);
+    let mut out = BandForm {
+        band: SymBandMatrix::zeros(0, 0, 0),
+        panels: Vec::new(),
+        nb: 0,
+    };
+    let mut ws = Stage1Ws::new();
+    sy2sb_ws(a, nb, ib, true, &mut work, &mut out, &mut ws);
+    out
+}
+
+/// Planned variant of [`sy2sb`]: the dense working copy, the band/panel
+/// outputs and all QR/update scratch live in caller-owned storage, so a
+/// warmed-up plan runs the reduction without heap allocation.
+/// `parallel` selects the rayon BLAS-3 variants (the scheduled pipeline)
+/// or the strictly serial ones (the allocation-free plan path).
+pub fn sy2sb_ws(
+    a: &Matrix,
+    nb: usize,
+    ib: usize,
+    parallel: bool,
+    work: &mut Matrix,
+    out: &mut BandForm,
+    ws: &mut Stage1Ws,
+) {
     assert_eq!(a.rows(), a.cols());
     let n = a.rows();
     if contract::enabled() {
@@ -55,9 +165,9 @@ pub fn sy2sb(a: &Matrix, nb: usize, ib: usize) -> BandForm {
     }
     let nb = nb.max(1);
     let ib = if ib == 0 { nb } else { ib };
-    let mut a = a.clone();
-    let lda = a.ld();
-    let mut panels = Vec::new();
+    work.copy_from(a);
+    let lda = work.ld();
+    let mut npanels = 0usize;
 
     let mut j0 = 0usize;
     while j0 + nb < n {
@@ -65,37 +175,55 @@ pub fn sy2sb(a: &Matrix, nb: usize, ib: usize) -> BandForm {
         let m = n - r0; // rows of the sub-panel
         let kb = nb.min(m); // reflector count of this panel
                             // QR-factorize the sub-panel A[r0.., j0..j0+nb] in place.
-        let mut tau = vec![0.0f64; kb];
+        reset_f64s(&mut ws.tau, kb);
         {
-            let panel = &mut a.as_mut_slice()[r0 + j0 * lda..];
-            geqrf(m, nb, panel, lda, &mut tau, ib);
+            let panel = &mut work.as_mut_slice()[r0 + j0 * lda..];
+            geqrf_ws(m, nb, panel, lda, &mut ws.tau, ib, &mut ws.qr);
         }
-        // Extract the clean V and T.
-        let (v, t) = {
-            let panel = &a.as_slice()[r0 + j0 * lda..];
-            extract_v_t(panel, lda, m, kb, &tau)
-        };
+        // Extract the clean V and T into the (reused) panel slot.
+        if out.panels.len() <= npanels {
+            out.panels.push(Q1Panel {
+                r0,
+                v: Matrix::zeros(0, 0),
+                t: Vec::new(), // tidy: allow(plan-no-alloc) -- empty placeholder; the pool grows only while the plan is cold
+            });
+        }
+        let p = &mut out.panels[npanels];
+        p.r0 = r0;
+        {
+            let panel = &work.as_slice()[r0 + j0 * lda..];
+            extract_v_t_into(panel, lda, m, kb, &ws.tau, &mut p.v, &mut p.t);
+        }
+        npanels += 1;
         // Zero the annihilated part of the panel in A (below the R
         // factor) so the band extraction below sees the true band; R
         // itself (the new band block) stays.
         for jj in 0..nb {
             for i in (r0 + jj + 1).min(n)..n {
-                a[(i, j0 + jj)] = 0.0;
+                work[(i, j0 + jj)] = 0.0;
             }
         }
         // Two-sided trailing update A2 <- Q^T A2 Q on A[r0.., r0..].
-        two_sided_update(&mut a, r0, &v, &t);
-        panels.push(Q1Panel { r0, v, t });
+        let p = &out.panels[npanels - 1];
+        two_sided_update(work, r0, &p.v, &p.t, parallel, ws);
         j0 += nb;
     }
 
-    let band = SymBandMatrix::from_dense_lower(&a, nb, nb);
-    BandForm { band, panels, nb }
+    out.panels.truncate(npanels);
+    out.band.refill_from_dense_lower(work, nb, nb);
+    out.nb = nb;
 }
 
 /// `A2 <- (I - V T V^T)^T A2 (I - V T V^T)` for the trailing symmetric
 /// block starting at `r0`, via the symmetric rank-2k form.
-fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
+fn two_sided_update(
+    a: &mut Matrix,
+    r0: usize,
+    v: &Matrix,
+    t: &[f64],
+    parallel: bool,
+    ws: &mut Stage1Ws,
+) {
     let n = a.rows();
     let lda = a.ld();
     let m = n - r0;
@@ -104,8 +232,10 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
         return;
     }
     // X1 = V T  (m x kb)
-    let mut vt = Matrix::zeros(m, kb);
-    gemm_par(
+    let vt = &mut ws.vt;
+    vt.reset_to(m, kb);
+    let gemm_big = if parallel { gemm_par } else { gemm };
+    gemm_big(
         Trans::No,
         Trans::No,
         m,
@@ -121,10 +251,16 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
         m,
     );
     // W = A2 * X1 (symmetric multiply, lower storage)
-    let mut w = Matrix::zeros(m, kb);
+    let w = &mut ws.w;
+    w.reset_to(m, kb);
     {
         let a2 = &a.as_slice()[r0 + r0 * lda..];
-        symm_lower_left_par(
+        let symm = if parallel {
+            symm_lower_left_par
+        } else {
+            symm_lower_left
+        };
+        symm(
             m,
             kb,
             1.0,
@@ -138,7 +274,7 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
         );
     }
     // M = V^T W (kb x kb)
-    let mut mm = vec![0.0f64; kb * kb];
+    reset_f64s(&mut ws.mm, kb * kb);
     gemm(
         Trans::Yes,
         Trans::No,
@@ -151,11 +287,11 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
         w.as_slice(),
         m,
         0.0,
-        &mut mm,
+        &mut ws.mm,
         kb,
     );
     // TM = T^T M
-    let mut tm = vec![0.0f64; kb * kb];
+    reset_f64s(&mut ws.tm, kb * kb);
     gemm(
         Trans::Yes,
         Trans::No,
@@ -165,15 +301,15 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
         1.0,
         t,
         kb,
-        &mm,
+        &ws.mm,
         kb,
         0.0,
-        &mut tm,
+        &mut ws.tm,
         kb,
     );
-    // X = W - 1/2 V TM
-    let mut x = w;
-    gemm_par(
+    // X = W - 1/2 V TM (accumulated in place: W doubles as X)
+    let x = &mut ws.w;
+    gemm_big(
         Trans::No,
         Trans::No,
         m,
@@ -182,7 +318,7 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
         -0.5,
         v.as_slice(),
         m,
-        &tm,
+        &ws.tm,
         kb,
         1.0,
         x.as_mut_slice(),
@@ -191,7 +327,12 @@ fn two_sided_update(a: &mut Matrix, r0: usize, v: &Matrix, t: &[f64]) {
     // A2 -= V X^T + X V^T
     {
         let a2 = &mut a.as_mut_slice()[r0 + r0 * lda..];
-        syr2k_lower_par(m, kb, -1.0, v.as_slice(), m, x.as_slice(), m, 1.0, a2, lda);
+        let syr2k = if parallel {
+            syr2k_lower_par
+        } else {
+            syr2k_lower
+        };
+        syr2k(m, kb, -1.0, v.as_slice(), m, x.as_slice(), m, 1.0, a2, lda);
     }
 }
 

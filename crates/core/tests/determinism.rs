@@ -1,0 +1,66 @@
+//! Batched and one-at-a-time solves must be bitwise equal — for every
+//! scheduler. The batch driver reuses plans and runs requests
+//! concurrently, but each request's arithmetic is the same kernel
+//! sequence in the same order, so there is no tolerance here: `==`.
+
+use tseig_core::{BatchDriver, Scheduler, SymmetricEigen, TwoStageResult};
+use tseig_matrix::{gen, Matrix};
+use tseig_tridiag::Method;
+
+fn assert_bitwise(label: &str, a: &TwoStageResult, b: &TwoStageResult) {
+    assert_eq!(a.eigenvalues, b.eigenvalues, "{label}: eigenvalues differ");
+    let (za, zb) = (
+        a.eigenvectors.as_ref().expect("vectors"),
+        b.eigenvectors.as_ref().expect("vectors"),
+    );
+    assert_eq!(za.as_slice(), zb.as_slice(), "{label}: eigenvectors differ");
+}
+
+#[test]
+fn batch_is_bitwise_equal_to_sequential_for_every_scheduler() {
+    let inputs: Vec<Matrix> = (0..5).map(|s| gen::random_symmetric(40, 300 + s)).collect();
+    for scheduler in [
+        Scheduler::Serial,
+        Scheduler::Static(2),
+        Scheduler::Dynamic(3),
+    ] {
+        for method in [Method::Qr, Method::DivideAndConquer] {
+            let eigen = SymmetricEigen::new()
+                .nb(6)
+                .method(method)
+                .scheduler(scheduler);
+            let sequential: Vec<_> = inputs.iter().map(|m| eigen.solve(m).unwrap()).collect();
+            for threads in [1, 2] {
+                let batch = BatchDriver::new(eigen).threads(threads).solve_all(&inputs);
+                for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+                    assert_bitwise(
+                        &format!("{scheduler:?}/{method:?}/t{threads}/input{i}"),
+                        b.as_ref().unwrap(),
+                        s,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_reuse_across_sizes_is_bitwise_equal_to_fresh_plans() {
+    // Shrinking and growing the problem size between solves must not
+    // change a single bit: every stage re-derives its shape from the
+    // input, and the capacity-retaining buffers zero what they reuse.
+    let sizes = [48, 16, 33, 48, 7];
+    let eigen = SymmetricEigen::new().nb(8).method(Method::Qr);
+    let mut plan = tseig_core::SolvePlan::new();
+    for (k, &n) in sizes.iter().enumerate() {
+        let a = gen::random_symmetric(n, 500 + k as u64);
+        eigen.solve_into(&a, &mut plan).unwrap();
+        let fresh = eigen.solve(&a).unwrap();
+        assert_eq!(fresh.eigenvalues.as_slice(), plan.eigenvalues(), "n={n}");
+        assert_eq!(
+            fresh.eigenvectors.as_ref().unwrap().as_slice(),
+            plan.eigenvectors().unwrap().as_slice(),
+            "n={n}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Proof that the planned hot path keeps its promise: a warmed-up
+//! [`SolvePlan`] runs the full serial pipeline — stage 1, bulge chase,
+//! QR tridiagonal solve, fused back-transform — with **zero** heap
+//! traffic, while staying bitwise identical to the plan-free entry
+//! point and within its advertised memory requirement.
+//!
+//! A counting `#[global_allocator]` wraps `System`; the counters only
+//! tick while the window flag is up, so the harness's own allocations
+//! (test setup, result formatting) stay invisible. Everything lives in
+//! ONE test function: a second `#[test]` would run on a sibling thread
+//! and its allocations would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use tseig_core::{SolvePlan, SymmetricEigen};
+use tseig_matrix::gen;
+use tseig_tridiag::Method;
+
+struct CountingAlloc;
+
+static WINDOW: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static REALLOCS: AtomicUsize = AtomicUsize::new(0);
+static DEALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: pure pass-through to `System`; the counters are lock-free
+// atomics and touch no allocator state.
+// tidy: allow(unsafe-allowlist) -- test-only counting allocator
+unsafe impl GlobalAlloc for CountingAlloc {
+    // tidy: allow(unsafe-allowlist) -- GlobalAlloc methods are unsafe fns
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if WINDOW.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // tidy: allow(unsafe-allowlist) -- delegates to System with the caller's layout
+        unsafe { System.alloc(layout) }
+    }
+
+    // tidy: allow(unsafe-allowlist) -- GlobalAlloc methods are unsafe fns
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if WINDOW.load(Ordering::Relaxed) {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // tidy: allow(unsafe-allowlist) -- delegates to System with the caller's layout
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // tidy: allow(unsafe-allowlist) -- GlobalAlloc methods are unsafe fns
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if WINDOW.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // tidy: allow(unsafe-allowlist) -- delegates to System with the caller's layout
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counts() -> (usize, usize, usize) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        REALLOCS.load(Ordering::Relaxed),
+        DEALLOCS.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn warm_planned_solve_allocates_nothing_and_matches_the_plain_path() {
+    let n = 64;
+    let a = gen::symmetric_with_spectrum(&gen::linspace(-3.0, 2.0, n), 7);
+    // The strict scope: serial scheduler, full-spectrum QR with vectors,
+    // no verification — the configuration the plan layer guarantees.
+    let eigen = SymmetricEigen::new().nb(8).method(Method::Qr);
+
+    let mut plan = SolvePlan::new();
+    // Two warmups: the result slots ping-pong with the tridiagonal
+    // workspace, so both sides of the swap need one pass to fill.
+    eigen.solve_into(&a, &mut plan).unwrap();
+    eigen.solve_into(&a, &mut plan).unwrap();
+
+    WINDOW.store(true, Ordering::SeqCst);
+    eigen.solve_into(&a, &mut plan).unwrap();
+    WINDOW.store(false, Ordering::SeqCst);
+
+    let (allocs, reallocs, deallocs) = counts();
+    assert_eq!(
+        (allocs, reallocs, deallocs),
+        (0, 0, 0),
+        "warm planned solve touched the heap: {allocs} allocs, \
+         {reallocs} reallocs, {deallocs} deallocs"
+    );
+
+    // Bitwise identity: the plan-free path is literally a fresh plan, so
+    // every value and vector entry must match exactly.
+    let fresh = eigen.solve(&a).unwrap();
+    assert_eq!(fresh.eigenvalues.as_slice(), plan.eigenvalues());
+    assert_eq!(
+        fresh.eigenvectors.as_ref().unwrap().as_slice(),
+        plan.eigenvectors().unwrap().as_slice()
+    );
+    assert!(plan.diagnostics().is_clean());
+
+    // Footprint honesty: after warmup the plan retains no more than the
+    // composed `*_req` requirement advertises.
+    let req = eigen.plan_req(n).total_bytes();
+    let got = plan.footprint_bytes();
+    assert!(
+        got <= req,
+        "plan retains {got} bytes but plan_req advertises only {req}"
+    );
+
+    // Reuse across different matrices of the same size stays exact too.
+    let b = gen::random_symmetric(n, 11);
+    eigen.solve_into(&b, &mut plan).unwrap();
+    let fresh_b = eigen.solve(&b).unwrap();
+    assert_eq!(fresh_b.eigenvalues.as_slice(), plan.eigenvalues());
+    assert_eq!(
+        fresh_b.eigenvectors.as_ref().unwrap().as_slice(),
+        plan.eigenvectors().unwrap().as_slice()
+    );
+    assert!(plan.footprint_bytes() <= req, "reuse grew the footprint");
+}

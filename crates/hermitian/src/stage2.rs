@@ -359,56 +359,20 @@ pub fn reduce_scheduled(a: CMatrix, nb: usize, sched: Scheduler) -> Result<Chase
         Scheduler::Static(threads) => {
             let threads = threads.max(1);
             let tasks = enumerate_tasks(n, b);
-            // Derive exact dependences by replaying the region protocol
-            // with no-op tasks, then convert graph edges into
-            // (worker, progress) waits for the static scheduler.
-            let mut shadow = TaskGraph::new();
-            for t in &tasks {
-                let regions = task_regions(n, b, *t);
-                shadow.add_task("shadow", Priority::Normal, &regions, || {});
-            }
+            // Derive the cross-worker wait lists once through the shared
+            // runtime schedule (the same region replay the real-scalar
+            // driver caches in its `SolvePlan`), then execute.
             let owner: Vec<usize> = tasks.iter().map(|t| t.s % threads).collect();
-            let mut pos = vec![0usize; tasks.len()];
-            let mut counts = vec![0usize; threads];
-            for (i, &w) in owner.iter().enumerate() {
-                pos[i] = counts[w];
-                counts[w] += 1;
-            }
+            let regions: Vec<_> = tasks.iter().map(|t| task_regions(n, b, *t)).collect();
+            let sched = tseig_runtime::StaticSchedule::derive(threads, &owner, &regions);
             let a_cell = Arc::new(DataCell::new(a));
             let v2_cell = Arc::new(DataCell::new(V2SetC::new(n, b)));
-            let mut lists: Vec<Vec<tseig_runtime::static_sched::StaticTask>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
-            for u in 0..tasks.len() {
-                for &v in shadow.successors(u) {
-                    preds[v].push(u);
-                }
-            }
-            for (i, t) in tasks.iter().enumerate() {
-                let mut waits: Vec<(usize, usize)> = preds[i]
-                    .iter()
-                    .filter(|&&u| owner[u] != owner[i])
-                    .map(|&u| (owner[u], pos[u] + 1))
-                    .collect();
-                // Keep only the strongest wait per worker.
-                waits.sort_unstable();
-                waits.dedup_by(|a, b| {
-                    if a.0 == b.0 {
-                        b.1 = b.1.max(a.1);
-                        true
-                    } else {
-                        false
-                    }
-                });
+            sched.execute(|i| {
                 let ac = a_cell.clone();
                 let vc = v2_cell.clone();
-                let t = *t;
-                lists[owner[i]].push(tseig_runtime::static_sched::StaticTask::new(
-                    waits,
-                    move || run_task(&ac, &vc, b, t),
-                ));
-            }
-            tseig_runtime::static_sched::run_static(lists)?;
+                let t = tasks[i];
+                Box::new(move || run_task(&ac, &vc, b, t))
+            })?;
             let a = Arc::try_unwrap(a_cell)
                 .map_err(|_| "matrix still shared".to_string())?
                 .into_inner();

@@ -62,11 +62,66 @@ pub trait GemmScalar: Scalar {
 }
 
 thread_local! {
-    /// Per-thread `f64` `(packed A, packed B)` buffers, grow-only.
+    /// Per-thread `f64` `(packed A, packed B)` buffers. Grow on demand;
+    /// a bounded shrink at the top of each nest (see
+    /// [`shrink_pack_buf`]) keeps long-lived pool threads from retaining
+    /// one historical peak forever.
     static PACK_BUFS_F64: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
     /// Per-thread `C64` pack buffers (separate so mixed real/complex
     /// call sequences on one thread never thrash one arena).
     static PACK_BUFS_C64: RefCell<(Vec<C64>, Vec<C64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Shrink once the retained capacity exceeds this multiple of what the
+/// current nest needs. Hysteresis: a steady stream of same-sized GEMMs
+/// never triggers it, so the zero-allocation hot path stays warm.
+const PACK_SHRINK_FACTOR: usize = 4;
+
+/// Never bother shrinking below this footprint — churn on kilobyte-sized
+/// buffers costs more than it frees.
+const PACK_SHRINK_MIN_BYTES: usize = 1 << 20;
+
+/// Bounded-retention policy for a per-thread pack buffer: if the buffer
+/// holds more than [`PACK_SHRINK_FACTOR`]x what this whole nest can use
+/// and that excess is above [`PACK_SHRINK_MIN_BYTES`], release the
+/// excess. Called once per nest with the nest's *maximum* block need, so
+/// ragged tail blocks inside a nest can never cause grow/shrink thrash.
+fn shrink_pack_buf<T: Scalar>(buf: &mut Vec<T>, need: usize) {
+    let bytes = buf.capacity().saturating_mul(std::mem::size_of::<T>());
+    if bytes > PACK_SHRINK_MIN_BYTES && buf.capacity() > PACK_SHRINK_FACTOR * need {
+        buf.truncate(need);
+        buf.shrink_to(need.max(1));
+    }
+}
+
+/// Bytes of pack-buffer capacity retained by *this thread* for `f64`
+/// nests. Footprint introspection for tests and services watching
+/// long-lived workers.
+pub fn pack_footprint_bytes_f64() -> usize {
+    PACK_BUFS_F64.with(|bufs| {
+        let (ap, bp) = &*bufs.borrow();
+        (ap.capacity() + bp.capacity()) * std::mem::size_of::<f64>()
+    })
+}
+
+/// Bytes of pack-buffer capacity retained by *this thread* for `C64`
+/// nests.
+pub fn pack_footprint_bytes_c64() -> usize {
+    PACK_BUFS_C64.with(|bufs| {
+        let (ap, bp) = &*bufs.borrow();
+        (ap.capacity() + bp.capacity()) * std::mem::size_of::<C64>()
+    })
+}
+
+/// Pack-buffer requirement of one `m x n x k` nest for element type `T`
+/// (both strips summed): what [`gemm_into_with`] will retain after a
+/// warm-up call of this shape.
+pub fn pack_req<T: GemmScalar>(m: usize, n: usize, k: usize) -> tseig_matrix::MemReq {
+    let kern = T::kernel();
+    let kc = KC.min(k.max(1));
+    let a_need = kern.mc.min(m.max(1)).div_ceil(kern.mr) * kern.mr * kc;
+    let b_need = kern.nc.min(n.max(1)).div_ceil(kern.nr) * kern.nr * kc;
+    tseig_matrix::MemReq::of::<T>(a_need + b_need)
 }
 
 impl GemmScalar for f64 {
@@ -466,6 +521,12 @@ pub(crate) fn gemm_into_with<T: GemmScalar>(
     ldc: usize,
 ) {
     T::with_pack_bufs(|ap, bp| {
+        // Bounded retention (once per nest, against the nest's maximum
+        // block shapes): a worker that ran one huge solve must not pin
+        // peak-sized pack buffers for the rest of its life.
+        let kc_max = KC.min(k);
+        shrink_pack_buf(ap, kern.mc.min(m).div_ceil(kern.mr) * kern.mr * kc_max);
+        shrink_pack_buf(bp, kern.nc.min(n).div_ceil(kern.nr) * kern.nr * kc_max);
         let mut jc = 0;
         while jc < n {
             let nc = kern.nc.min(n - jc);

@@ -7,21 +7,97 @@
 
 use crate::blas3::Trans;
 use crate::contract;
-use crate::householder::{larfb, larfg, larft, Side};
+use crate::householder::{larfb_with_work, larfg, larft, Side};
+use tseig_matrix::workspace::MemReq;
 use tseig_matrix::Matrix;
+
+/// Reusable workspace for [`geqrf_ws`]: one buffer per scratch object the
+/// allocating entry points create per call. After the first call at a
+/// given shape the capacities are warm and subsequent calls never touch
+/// the allocator.
+#[derive(Debug)]
+pub struct QrWs {
+    /// `geqr2` row workspace (length `n` of the current panel).
+    pub work: Vec<f64>,
+    /// `geqr2` reflector head buffer (length `m`).
+    pub u: Vec<f64>,
+    /// Explicit-V panel of the blocked update.
+    pub v: Matrix,
+    /// `T` factor of the blocked update (`kk x kk`, column-major).
+    pub t: Vec<f64>,
+    /// `larfb` workspace (`2 * k * n` for a left application).
+    pub larfb: Vec<f64>,
+}
+
+impl Default for QrWs {
+    fn default() -> QrWs {
+        QrWs::new()
+    }
+}
+
+impl QrWs {
+    /// Fresh, empty workspace (buffers grow on first use).
+    pub fn new() -> QrWs {
+        QrWs {
+            work: Vec::new(),
+            u: Vec::new(),
+            v: Matrix::zeros(0, 0),
+            t: Vec::new(),
+            larfb: Vec::new(),
+        }
+    }
+
+    /// Bytes of heap capacity currently retained.
+    pub fn capacity_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.work.capacity() + self.u.capacity() + self.t.capacity() + self.larfb.capacity())
+            * size_of::<f64>()
+            + self.v.capacity_bytes()
+    }
+}
+
+/// Workspace requirement of [`geqrf_ws`] for an `m x n` panel factored
+/// with block size `nb`.
+pub fn geqrf_req(m: usize, n: usize, nb: usize) -> MemReq {
+    let nb = nb.max(1).min(n.max(1));
+    MemReq::f64s(n) // geqr2 work
+        .and(MemReq::f64s(m)) // geqr2 u
+        .and(MemReq::f64s(m * nb)) // V
+        .and(MemReq::f64s(nb * nb)) // T
+        .and(MemReq::f64s(2 * nb * n)) // larfb work
+}
 
 /// Unblocked QR (LAPACK `geqr2`): on return the upper triangle of `a`
 /// holds `R`, the strict lower triangle holds the reflector tails `v`, and
 /// `tau[j]` the scalar factors.
 pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
+    let mut work = Vec::new();
+    let mut u = Vec::new();
+    geqr2_ws(m, n, a, lda, tau, &mut work, &mut u);
+}
+
+/// [`geqr2`] with caller-owned scratch: `work` and `u` are resized (not
+/// reallocated, once warm) to `n` and `m` elements. Identical arithmetic
+/// in identical order, so results are bitwise-equal to [`geqr2`].
+pub fn geqr2_ws(
+    m: usize,
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    tau: &mut [f64],
+    work: &mut Vec<f64>,
+    u: &mut Vec<f64>,
+) {
     if contract::enabled() {
         contract::require_mat("geqr2", "a", a, m, n, lda);
         contract::require_vec("geqr2", "tau", tau, n.min(m));
         contract::require_finite_mat("geqr2", "a", a, m, n, lda);
     }
     let k = m.min(n);
-    let mut work = vec![0.0f64; n];
-    let mut u = vec![0.0f64; m];
+    work.clear();
+    work.resize(n, 0.0);
+    u.clear();
+    u.resize(m, 0.0);
     for j in 0..k {
         // Generate reflector for column j, rows j..m.
         let alpha = a[j + j * lda];
@@ -50,7 +126,7 @@ pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
             ncols,
             &mut a[j + (j + 1) * lda..],
             lda,
-            &mut work,
+            work,
         );
         let _ = alpha;
     }
@@ -59,6 +135,23 @@ pub fn geqr2(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
 /// Blocked QR (LAPACK `geqrf`): panel `geqr2` + `larft`/`larfb` trailing
 /// update with block size `nb`.
 pub fn geqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64], nb: usize) {
+    let mut ws = QrWs::new();
+    geqrf_ws(m, n, a, lda, tau, nb, &mut ws);
+}
+
+/// [`geqrf`] with caller-owned scratch (see [`QrWs`]). Identical
+/// arithmetic in identical order, so results are bitwise-equal to
+/// [`geqrf`]; the stage-1 planned path calls this with the plan's warm
+/// workspace so repeated panels never allocate.
+pub fn geqrf_ws(
+    m: usize,
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    tau: &mut [f64],
+    nb: usize,
+    ws: &mut QrWs,
+) {
     if contract::enabled() {
         contract::require_mat("geqrf", "a", a, m, n, lda);
         contract::require_vec("geqrf", "tau", tau, n.min(m));
@@ -73,12 +166,27 @@ pub fn geqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64], nb:
     while j < k {
         let jb = nb.min(k - j);
         // Factor the panel a[j..m, j..j+jb].
-        geqr2(m - j, jb, &mut a[j + j * lda..], lda, &mut tau[j..]);
+        {
+            let QrWs { work, u, .. } = ws;
+            geqr2_ws(
+                m - j,
+                jb,
+                &mut a[j + j * lda..],
+                lda,
+                &mut tau[j..],
+                work,
+                u,
+            );
+        }
         if j + jb < n {
             // Build clean V and T for the panel, then update the trailing
             // matrix with a blocked reflector.
-            let (v, t) = extract_v_t(&a[j + j * lda..], lda, m - j, jb, &tau[j..j + jb]);
-            larfb(
+            let QrWs { v, t, larfb, .. } = ws;
+            extract_v_t_into(&a[j + j * lda..], lda, m - j, jb, &tau[j..j + jb], v, t);
+            let wlen = 2 * jb * (n - j - jb);
+            larfb.clear();
+            larfb.resize(wlen, 0.0);
+            larfb_with_work(
                 Side::Left,
                 Trans::Yes,
                 m - j,
@@ -86,10 +194,11 @@ pub fn geqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64], nb:
                 jb,
                 v.as_slice(),
                 m - j,
-                &t,
+                t,
                 jb,
                 &mut a[j + (j + jb) * lda..],
                 lda,
+                larfb,
             );
         }
         j += jb;
@@ -100,16 +209,33 @@ pub fn geqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64], nb:
 /// into an explicit-V matrix (unit diagonal, zeros above) and compute its
 /// `T` factor. Returns `(V, T)` with `T` stored column-major `kk x kk`.
 pub fn extract_v_t(a: &[f64], lda: usize, mm: usize, kk: usize, tau: &[f64]) -> (Matrix, Vec<f64>) {
-    let mut v = Matrix::zeros(mm, kk);
+    let mut v = Matrix::zeros(0, 0);
+    let mut t = Vec::new();
+    extract_v_t_into(a, lda, mm, kk, tau, &mut v, &mut t);
+    (v, t)
+}
+
+/// [`extract_v_t`] into caller-owned storage, resizing in place (no
+/// allocation once the buffers are warm).
+pub fn extract_v_t_into(
+    a: &[f64],
+    lda: usize,
+    mm: usize,
+    kk: usize,
+    tau: &[f64],
+    v: &mut Matrix,
+    t: &mut Vec<f64>,
+) {
+    v.reset_to(mm, kk);
     for col in 0..kk {
         v[(col, col)] = 1.0;
         for r in col + 1..mm {
             v[(r, col)] = a[r + col * lda];
         }
     }
-    let mut t = vec![0.0f64; kk * kk];
-    larft(mm, kk, v.as_slice(), mm, tau, &mut t, kk);
-    (v, t)
+    t.clear();
+    t.resize(kk * kk, 0.0);
+    larft(mm, kk, v.as_slice(), mm, tau, t, kk);
 }
 
 /// Form the leading `m x m` orthogonal factor `Q = H_1 ... H_k`

@@ -1,0 +1,69 @@
+//! The pack buffers must stop tracking their historical maximum: one
+//! huge GEMM used to pin megabytes of thread-local pack storage for the
+//! lifetime of the thread, no matter how small every later call was.
+//! The bounded-retention policy releases the excess at the next nest —
+//! while steady same-size streams (the planned hot path) never shrink.
+
+use tseig_kernels::blas3::engine::{pack_footprint_bytes_f64, pack_req};
+use tseig_kernels::blas3::{gemm, Trans};
+use tseig_matrix::Matrix;
+
+fn run_gemm(m: usize, n: usize, k: usize) {
+    let a = Matrix::zeros(m, k);
+    let b = Matrix::zeros(k, n);
+    let mut c = Matrix::zeros(m, n);
+    gemm(
+        Trans::No,
+        Trans::No,
+        m,
+        n,
+        k,
+        1.0,
+        a.as_slice(),
+        m,
+        b.as_slice(),
+        k,
+        0.0,
+        c.as_mut_slice(),
+        m,
+    );
+}
+
+#[test]
+fn pack_footprint_shrinks_after_a_large_nest() {
+    // A large nest forces the pack buffers well past the shrink floor.
+    run_gemm(600, 600, 600);
+    let big = pack_footprint_bytes_f64();
+    let big_req = pack_req::<f64>(600, 600, 600).total_bytes();
+    assert!(big > 0, "pack buffers unused by a 600^3 gemm?");
+    assert!(
+        big <= big_req,
+        "big nest retained {big} bytes, advertised {big_req}"
+    );
+
+    // A stream of small nests on the same thread: the first call notices
+    // the 4x excess and releases it; the rest reuse the small buffer.
+    // Policy bound per strip: capacity either never crossed the 1 MiB
+    // shrink floor, or was cut back to the strip's need — so the total
+    // is capped by twice the floor, independent of the historical max.
+    for _ in 0..3 {
+        run_gemm(32, 32, 32);
+    }
+    let small = pack_footprint_bytes_f64();
+    let small_req = pack_req::<f64>(32, 32, 32).total_bytes();
+    let policy_bound = 2 * (1 << 20).max(4 * small_req);
+    assert!(
+        small < big,
+        "small nests released nothing ({small} bytes, was {big})"
+    );
+    assert!(
+        small <= policy_bound,
+        "after small nests the buffers still hold {small} bytes \
+         (policy bound {policy_bound}, requirement {small_req}, \
+          historical max {big})"
+    );
+
+    // Steady same-size streams stay put: no grow/shrink thrash.
+    run_gemm(32, 32, 32);
+    assert_eq!(pack_footprint_bytes_f64(), small);
+}

@@ -26,6 +26,13 @@ pub struct SymBandMatrix {
     ab: Vec<f64>,
 }
 
+impl Default for SymBandMatrix {
+    /// The empty order-0 band matrix.
+    fn default() -> Self {
+        SymBandMatrix::zeros(0, 0, 0)
+    }
+}
+
 impl SymBandMatrix {
     /// Zero-filled symmetric band matrix of order `n`, semi-bandwidth
     /// `bandwidth`, with `extra` workspace sub-diagonals.
@@ -161,6 +168,56 @@ impl SymBandMatrix {
             .map(|j| self.get(j + 1, j))
             .collect();
         SymTridiagonal::new(d, e)
+    }
+
+    /// [`Self::to_tridiagonal`] into caller-owned storage: `d` must have
+    /// length `n` and `e` length `n - 1` (or both empty for `n == 0`).
+    /// Writes the same values as `to_tridiagonal` without allocating.
+    pub fn to_tridiagonal_into(&self, d: &mut [f64], e: &mut [f64]) {
+        assert_eq!(d.len(), self.n);
+        assert_eq!(e.len(), self.n.saturating_sub(1));
+        for (j, dj) in d.iter_mut().enumerate() {
+            *dj = self.get(j, j);
+        }
+        for (j, ej) in e.iter_mut().enumerate() {
+            *ej = self.get(j + 1, j);
+        }
+    }
+
+    /// Reset in place to the lower band of the dense symmetric `a`,
+    /// reusing the buffer. The shape `(n, bandwidth, extra)` may change;
+    /// once the buffer capacity covers the largest shape seen, this is
+    /// allocation-free. Same values as [`Self::from_dense_lower`].
+    pub fn refill_from_dense_lower(&mut self, a: &Matrix, bandwidth: usize, extra: usize) {
+        assert_eq!(a.rows(), a.cols());
+        let n = a.rows();
+        let ldab = bandwidth + extra + 1;
+        self.n = n;
+        self.bandwidth = bandwidth;
+        self.extra = extra;
+        self.ab.clear();
+        self.ab.reserve_exact(ldab * n);
+        self.ab.resize(ldab * n, 0.0);
+        for j in 0..n {
+            for i in j..(j + bandwidth + 1).min(n) {
+                self.set(i, j, a[(i, j)]);
+            }
+        }
+    }
+
+    /// Overwrite `self` with a copy of `other`, reusing the buffer
+    /// (allocation-free once capacity covers `other`'s buffer).
+    pub fn copy_from(&mut self, other: &SymBandMatrix) {
+        self.n = other.n;
+        self.bandwidth = other.bandwidth;
+        self.extra = other.extra;
+        self.ab.clear();
+        self.ab.extend_from_slice(&other.ab);
+    }
+
+    /// Bytes of heap capacity retained by the band buffer.
+    pub fn capacity_bytes(&self) -> usize {
+        self.ab.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Largest absolute value found strictly below sub-diagonal `k`

@@ -220,6 +220,48 @@ impl Matrix {
     pub fn into_vec(self) -> Vec<f64> {
         self.data
     }
+
+    /// Reshape in place to a zero-filled `rows x cols` matrix, reusing the
+    /// existing buffer. Once the buffer's capacity covers the largest shape
+    /// a workspace cycles through, this never touches the allocator — the
+    /// property the solve-plan layer builds its zero-allocation hot path on.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.reserve_exact(rows * cols);
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape in place to the `n x n` identity, reusing the buffer
+    /// (allocation-free once capacity covers `n * n`).
+    pub fn reset_to_identity(&mut self, n: usize) {
+        self.reset_to(n, n);
+        for i in 0..n {
+            self.data[i + i * n] = 1.0;
+        }
+    }
+
+    /// Overwrite `self` with a copy of `other`, reusing the buffer
+    /// (allocation-free once capacity covers `other`'s size).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Bytes of heap capacity retained by this matrix's buffer.
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 x 0` matrix.
+    fn default() -> Matrix {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {

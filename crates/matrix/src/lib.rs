@@ -29,6 +29,7 @@ pub mod norms;
 pub mod scalar;
 pub mod tile;
 pub mod tridiagonal;
+pub mod workspace;
 
 pub use band::SymBandMatrix;
 pub use complex::{c64, CMatrix, C64};
@@ -37,3 +38,4 @@ pub use diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyR
 pub use error::{Error, Result};
 pub use scalar::Scalar;
 pub use tridiagonal::SymTridiagonal;
+pub use workspace::MemReq;

@@ -7,7 +7,7 @@ use crate::dense::Matrix;
 
 /// Symmetric tridiagonal matrix stored as diagonal `d` (length `n`) and
 /// off-diagonal `e` (length `n - 1`).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SymTridiagonal {
     d: Vec<f64>,
     e: Vec<f64>,
@@ -59,6 +59,28 @@ impl SymTridiagonal {
     /// Consume into `(d, e)`.
     pub fn into_parts(self) -> (Vec<f64>, Vec<f64>) {
         (self.d, self.e)
+    }
+
+    /// Reset in place to the zero tridiagonal of order `n`, reusing both
+    /// buffers (allocation-free once capacities cover `n`).
+    pub fn reset_to(&mut self, n: usize) {
+        self.d.clear();
+        self.d.reserve_exact(n);
+        self.d.resize(n, 0.0);
+        self.e.clear();
+        self.e.reserve_exact(n.saturating_sub(1));
+        self.e.resize(n.saturating_sub(1), 0.0);
+    }
+
+    /// Bytes of heap capacity retained by the two diagonals.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.d.capacity() + self.e.capacity()) * std::mem::size_of::<f64>()
+    }
+
+    /// Mutable `(d, e)` pair (for in-place extraction into both at once).
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.d, &mut self.e)
     }
 
     /// Expand to a dense matrix (mostly for tests and tiny problems).

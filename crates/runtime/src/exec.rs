@@ -179,7 +179,7 @@ impl Runtime {
             ..Default::default()
         };
         for s in &all_stats {
-            stats.merge(s);
+            stats.merge_worker(s);
         }
         Ok(stats)
     }

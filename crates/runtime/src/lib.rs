@@ -26,9 +26,11 @@
 pub mod data;
 pub mod exec;
 pub mod graph;
+pub mod static_plan;
 pub mod static_sched;
 pub mod trace;
 
 pub use data::DataCell;
 pub use exec::Runtime;
 pub use graph::{Access, Priority, RegionId, TaskGraph};
+pub use static_plan::StaticSchedule;

@@ -27,7 +27,7 @@ pub mod sturm;
 pub use phases::PhaseTimings;
 
 use tseig_matrix::diagnostics::{Recorder, Recovery};
-use tseig_matrix::{Error, Matrix, Result, SymTridiagonal};
+use tseig_matrix::{Error, Matrix, MemReq, Result, SymTridiagonal};
 
 /// Tridiagonal eigensolver selection (paper Table 1's three methods).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -190,6 +190,93 @@ pub fn solve_with_diag(
                 eigenvectors: Some(z),
             })
         }
+    }
+}
+
+/// Retained workspace for the planned full-spectrum QR solve
+/// ([`steqr_planned`]): the `(d, e)` working copies, the rotation
+/// scratch, and the accumulated eigenvector matrix.
+#[derive(Default)]
+pub struct TridiagWs {
+    vals: Vec<f64>,
+    off: Vec<f64>,
+    ee: Vec<f64>,
+    z: Matrix,
+}
+
+impl TridiagWs {
+    pub fn new() -> Self {
+        TridiagWs::default()
+    }
+
+    /// Ascending eigenvalues of the last [`steqr_planned`] call.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Eigenvector matrix of the last [`steqr_planned`] call.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.z
+    }
+
+    /// Move the results out (the buffers stay usable, but cold).
+    pub fn take_results(&mut self) -> (Vec<f64>, Matrix) {
+        (std::mem::take(&mut self.vals), std::mem::take(&mut self.z))
+    }
+
+    /// Exchange the result buffers with caller-owned slots. Used by plan
+    /// reuse: the slots ping-pong between the workspace and the caller,
+    /// so both stay warm and no copy (or allocation) happens.
+    pub fn swap_results(&mut self, vals: &mut Vec<f64>, z: &mut Matrix) {
+        std::mem::swap(&mut self.vals, vals);
+        std::mem::swap(&mut self.z, z);
+    }
+
+    /// Retained capacity in bytes (footprint tests).
+    pub fn capacity_bytes(&self) -> usize {
+        (self.vals.capacity() + self.off.capacity() + self.ee.capacity())
+            * std::mem::size_of::<f64>()
+            + self.z.capacity_bytes()
+    }
+}
+
+/// Workspace requirement of [`steqr_planned`] for order `n`.
+pub fn steqr_planned_req(n: usize) -> MemReq {
+    MemReq::f64s(n) // vals
+        .and(MemReq::f64s(n.saturating_sub(1))) // off
+        .and(MemReq::f64s(n)) // ee
+        .and(MemReq::f64s(n * n)) // z
+}
+
+/// Planned full-spectrum QR solve with eigenvectors: eigenvalues land in
+/// `ws.eigenvalues()` (ascending) and eigenvectors in
+/// `ws.eigenvectors()`. Equivalent to
+/// `solve_with_diag(t, Method::Qr, EigenRange::All, true, rec)` —
+/// bit-identical results, including the recorded bisection fallback when
+/// QR hits its iteration cap — but allocation-free once `ws` has warmed
+/// up to order `n` (the fallback path still allocates; it is a recovery,
+/// not a hot path).
+pub fn steqr_planned(t: &SymTridiagonal, rec: &Recorder, ws: &mut TridiagWs) -> Result<()> {
+    let n = t.n();
+    ws.vals.clear();
+    ws.vals.reserve_exact(n);
+    ws.vals.extend_from_slice(t.diag());
+    ws.off.clear();
+    ws.off.reserve_exact(n.saturating_sub(1));
+    ws.off.extend_from_slice(t.off_diag());
+    ws.z.reset_to_identity(n);
+    match qr_iteration::steqr_ws(&mut ws.vals, &mut ws.off, Some(&mut ws.z), &mut ws.ee) {
+        Ok(()) => Ok(()),
+        Err(Error::NoConvergence { index, .. }) => {
+            rec.record(Recovery::QrFallbackToBisection { index, size: n });
+            let vals = sturm::bisect_with(t, 0, n, rec)?;
+            let zb = inverse_iteration::stein_with(t, &vals, rec)?;
+            ws.vals.clear();
+            ws.vals.extend_from_slice(&vals);
+            ws.z = zb;
+            Ok(())
+        }
+        Err(other) => Err(other),
     }
 }
 

@@ -19,7 +19,20 @@ const MAX_ITER: usize = 50;
 /// and passing an existing transform `Q` yields the eigenvectors of
 /// `Q T Q^T`. `z` must have `n` columns (any number of rows), and its
 /// columns are permuted into ascending-eigenvalue order alongside `d`.
-pub fn steqr(d: &mut [f64], e: &mut [f64], mut z: Option<&mut Matrix>) -> Result<()> {
+pub fn steqr(d: &mut [f64], e: &mut [f64], z: Option<&mut Matrix>) -> Result<()> {
+    let mut ee = Vec::new();
+    steqr_ws(d, e, z, &mut ee)
+}
+
+/// [`steqr`] with a caller-owned copy of the off-diagonal work buffer:
+/// allocation-free once `ee` has warmed up to length `n`. Bit-identical
+/// to the allocating entry point.
+pub fn steqr_ws(
+    d: &mut [f64],
+    e: &mut [f64],
+    mut z: Option<&mut Matrix>,
+    ee: &mut Vec<f64>,
+) -> Result<()> {
     let n = d.len();
     if let Some(zm) = z.as_ref() {
         assert_eq!(zm.cols(), n, "Z must have n columns");
@@ -30,7 +43,7 @@ pub fn steqr(d: &mut [f64], e: &mut [f64], mut z: Option<&mut Matrix>) -> Result
     let eps = f64::EPSILON;
     // Work buffer of length n: the sweep uses e[m] as scratch even when
     // m == n-1 (EISPACK sizes E(N) for the same reason).
-    let mut ee = vec![0.0f64; n];
+    tseig_matrix::workspace::reset_f64s(ee, n);
     ee[..n - 1].copy_from_slice(&e[..n.saturating_sub(1)]);
     let e = &mut ee[..];
 

@@ -13,11 +13,14 @@
 //! | `paired-counters`   | kernels charging flops also charge bytes |
 //! | `no-panics`         | no `unwrap()`/`expect(`/`panic!` in library code |
 //! | `lossy-cast`        | no `as u32`/`as i32`/`as f32` in library code |
+//! | `plan-no-alloc`     | `*_ws`/`*_into`/`*_planned` fns reuse workspaces, never mint buffers |
 //! | `shim-deps`         | `shims/*` stay std-only |
 //!
-//! A rule can be waived on one line with a trailing
-//! `// tidy: allow(<rule>) -- reason` comment; the reason is mandatory
-//! reviewer-facing prose, not parsed.
+//! A rule can be waived on one line with a
+//! `// tidy: allow(<rule>) -- reason` comment — trailing on the line, or
+//! standalone on the line directly above (rustfmt moves trailing
+//! comments off long lines). The reason is mandatory reviewer-facing
+//! prose, not parsed.
 
 pub mod rules;
 pub mod runner;

@@ -6,6 +6,7 @@
 pub mod casts;
 pub mod counters;
 pub mod panics;
+pub mod plan_no_alloc;
 pub mod result_unwrap;
 pub mod shims;
 pub mod unsafe_rules;

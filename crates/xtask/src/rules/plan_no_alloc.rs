@@ -1,0 +1,147 @@
+//! Rule `plan-no-alloc`: the planned hot path must not mint buffers.
+//!
+//! The solve-plan layer promises that a warmed-up plan runs the whole
+//! pipeline without touching the heap. The counting-allocator test pins
+//! that end to end, but only for one configuration; this rule guards the
+//! invariant structurally. Any function on the planned path — named
+//! `*_ws`, `*_into` or `*_planned` by convention — must reuse its
+//! caller's workspace via the capacity-retaining pattern
+//! (`clear` + `reserve_exact` + `resize`/`extend`, a no-op when warm)
+//! rather than minting fresh storage with `vec!`, `with_capacity`,
+//! `collect`, `clone` and friends, which allocate on *every* call.
+//!
+//! Cold-path and fallback allocations are legitimate (scheduler
+//! construction, recovery ladders); they carry a line-level
+//! `// tidy: allow(plan-no-alloc) -- reason` waiver, or one on the `fn`
+//! header to waive a whole documented-as-allocating function.
+
+use crate::source::{fn_spans, SourceFile};
+use crate::Diag;
+
+/// Tokens that mint fresh heap storage. `reserve_exact` is deliberately
+/// absent: on a retained buffer it only allocates while the plan is
+/// still cold, which is exactly the contract.
+const MINT_TOKENS: &[&str] = &[
+    "vec!",
+    "Vec::new(",
+    "with_capacity(",
+    ".to_vec()",
+    ".to_string()",
+    "String::new(",
+    "Box::new(",
+    ".collect",
+    "format!(",
+    ".clone(",
+];
+
+/// The crates whose `*_ws`/`*_into`/`*_planned` functions form the
+/// planned solve path.
+pub fn applies_to(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/src/")
+        || rel_path.starts_with("crates/kernels/src/")
+        || rel_path.starts_with("crates/tridiag/src/")
+}
+
+/// Is this `fn` item named like a planned-path function?
+fn planned_fn_name(header: &str) -> bool {
+    let Some(pos) = header.find("fn ") else {
+        return false;
+    };
+    let rest = &header[pos + 3..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    name.ends_with("_ws") || name.ends_with("_into") || name.ends_with("_planned")
+}
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
+    if !applies_to(&file.rel_path) {
+        return;
+    }
+    for (header_line, body) in fn_spans(file) {
+        let header = &file.lines[header_line - 1].code;
+        if !planned_fn_name(header) {
+            continue;
+        }
+        let span_len = body.split('\n').count();
+        for off in 0..span_len {
+            let line_no = header_line + off;
+            let Some(line) = file.lines.get(line_no - 1) else {
+                break;
+            };
+            for token in MINT_TOKENS {
+                if line.code.contains(token)
+                    && !file.allows(line_no, "plan-no-alloc")
+                    && !file.allows(header_line, "plan-no-alloc")
+                {
+                    diags.push(Diag {
+                        path: file.rel_path.clone(),
+                        line: line_no,
+                        rule: "plan-no-alloc",
+                        msg: format!(
+                            "`{token}` mints heap storage inside planned-path fn \
+                             (named `*_ws`/`*_into`/`*_planned`); reuse the workspace \
+                             (`clear` + `reserve_exact`) or waive a documented cold path"
+                        ),
+                    });
+                    break; // one diag per line is enough
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path, src);
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn minting_inside_a_planned_fn_fails() {
+        let src =
+            "pub fn steqr_ws(n: usize) {\n    let v = Vec::new();\n    let w = vec![0.0; n];\n}\n";
+        let d = run("crates/tridiag/src/lib.rs", src);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].rule, "plan-no-alloc");
+        assert_eq!((d[0].line, d[1].line), (2, 3));
+    }
+
+    #[test]
+    fn capacity_retaining_reuse_passes() {
+        let src = "pub fn solve_into(buf: &mut Vec<f64>, n: usize) {\n    buf.clear();\n    buf.reserve_exact(n);\n    buf.resize(n, 0.0);\n}\n";
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn line_waiver_is_honoured() {
+        let src = "pub fn reduce_ws(n: usize) {\n    let s = build(n).clone(); // tidy: allow(plan-no-alloc) -- cold scheduler rebuild\n}\n";
+        assert!(run("crates/core/src/stage2.rs", src).is_empty());
+    }
+
+    #[test]
+    fn header_waiver_covers_the_whole_fn() {
+        let src = "fn fallback_planned(n: usize) { // tidy: allow(plan-no-alloc) -- recovery ladder allocates by design\n    let v = vec![0.0; n];\n    let w = Vec::new();\n}\n";
+        assert!(run("crates/tridiag/src/qr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ordinary_fns_and_other_crates_are_out_of_scope() {
+        let src = "pub fn solve(n: usize) { let v = vec![0.0; n]; }\n";
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+        let planned = "pub fn solve_into(n: usize) { let v = vec![0.0; n]; }\n";
+        assert!(run("crates/matrix/src/dense.rs", planned).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn check_ws() { let v = vec![1]; }\n}\n";
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! Workspace walker: finds the workspace root, feeds every source file
 //! through the rules, and aggregates diagnostics.
 
-use crate::rules::{casts, counters, panics, result_unwrap, shims, unsafe_rules};
+use crate::rules::{casts, counters, panics, plan_no_alloc, result_unwrap, shims, unsafe_rules};
 use crate::source::SourceFile;
 use crate::Diag;
 use std::path::{Path, PathBuf};
@@ -40,6 +40,7 @@ pub fn run_tidy(root: &Path) -> std::io::Result<Vec<Diag>> {
         panics::check(&file, &mut diags);
         result_unwrap::check(&file, &mut diags);
         casts::check(&file, &mut diags);
+        plan_no_alloc::check(&file, &mut diags);
     }
     // Shim manifest drift.
     let shims_dir = root.join("shims");

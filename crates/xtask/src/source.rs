@@ -77,13 +77,24 @@ impl SourceFile {
             .collect()
     }
 
-    /// Whether the line (1-based) carries a `tidy: allow(<rule>)` escape
-    /// in its comment channel.
+    /// Whether the line (1-based) carries a `tidy: allow(<rule>)` escape:
+    /// either trailing on the line itself, or as a standalone comment on
+    /// the line directly above (rustfmt moves trailing comments off long
+    /// lines, so the waiver must survive in both positions).
     pub fn allows(&self, line: usize, rule: &str) -> bool {
-        self.lines
-            .get(line.wrapping_sub(1))
-            .map(|l| l.comment.contains(&format!("tidy: allow({rule})")))
-            .unwrap_or(false)
+        let tag = format!("tidy: allow({rule})");
+        let has = |i: usize| {
+            self.lines
+                .get(i)
+                .map(|l| l.comment.contains(&tag))
+                .unwrap_or(false)
+        };
+        if has(line.wrapping_sub(1)) {
+            return true;
+        }
+        // Only a pure comment line above counts — a waiver trailing some
+        // other statement must not leak onto its neighbour.
+        line >= 2 && has(line - 2) && self.lines[line - 2].code.trim().is_empty()
     }
 }
 
@@ -430,5 +441,17 @@ mod tests {
         let f = SourceFile::parse("x.rs", "let x = y as u32; // tidy: allow(lossy-cast)\n");
         assert!(f.allows(1, "lossy-cast"));
         assert!(!f.allows(1, "no-panics"));
+    }
+
+    #[test]
+    fn standalone_waiver_above_covers_the_next_line() {
+        let src = "// tidy: allow(lossy-cast) -- reviewed\nlet x = y as u32;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(2, "lossy-cast"));
+        // A waiver trailing some other statement must not leak down.
+        let src = "let a = b as u32; // tidy: allow(lossy-cast) -- here only\nlet x = y as u32;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(1, "lossy-cast"));
+        assert!(!f.allows(2, "lossy-cast"));
     }
 }

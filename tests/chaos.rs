@@ -221,3 +221,30 @@ fn values_only_subset_survives_bisection_nan() {
     assert_eq!(r.eigenvalues.len(), 6);
     assert!(has(&r, |x| matches!(x, Recovery::BisectionRetry { .. })));
 }
+
+#[test]
+fn batch_isolates_an_injected_qr_failure() {
+    // One forced convergence failure inside a batch: the hit request
+    // degrades (QR -> bisection recovery), every other request stays
+    // clean, and nothing aborts or errors.
+    let plan = Plan::new().with(Site::QrNoConv, 1);
+    let inputs: Vec<Matrix> = (0..4).map(|s| gen::random_symmetric(24, 60 + s)).collect();
+    let results = with_plan(plan, || {
+        tseig_core::BatchDriver::new(SymmetricEigen::new().nb(6).method(Method::Qr))
+            .threads(1)
+            .solve_all(&inputs)
+    });
+    let mut degraded = 0usize;
+    for (a, r) in inputs.iter().zip(&results) {
+        let r = r.as_ref().expect("no request may fail outright");
+        residual_ok(a, r);
+        if r.diagnostics.degraded {
+            degraded += 1;
+            assert!(has(r, |x| matches!(
+                x,
+                Recovery::QrFallbackToBisection { .. }
+            )));
+        }
+    }
+    assert_eq!(degraded, 1, "exactly the injected failure degrades");
+}
