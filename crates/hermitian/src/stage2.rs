@@ -16,14 +16,16 @@
 //! kernel sequence serially, [`reduce_scheduled`] runs the same `(sweep,
 //! depth)` task set on the dynamic superscalar runtime or the static
 //! pipelined scheduler of `tseig-runtime`, with dependences inferred
-//! from `nb`-aligned diagonal regions — the chase geometry is identical
-//! to the real one, so the region protocol transfers verbatim, and every
-//! schedule is bit-identical to the serial order.
+//! from the exact diagonal-index interval each task touches — the chase
+//! geometry is identical to the real one, so the region protocol
+//! transfers verbatim ([`chase_task_specs`] exports it for `xtask
+//! graphcheck`), and every schedule is bit-identical to the serial order.
 
 use crate::ckernels::{zlarf_left, zlarf_right, zlarfg};
 use std::sync::Arc;
 use tseig_matrix::{c64, CMatrix, SymTridiagonal, C64};
-use tseig_runtime::{Access, DataCell, Priority, RegionId, Runtime, TaskGraph};
+use tseig_runtime::verify::TaskSpec;
+use tseig_runtime::{shadow, Access, DataCell, Priority, Region, Runtime, TaskGraph};
 
 /// One stored stage-2 reflector: `(start row, tau, v)` with `v[0] == 1`.
 type ReflectorC = (usize, C64, Vec<C64>);
@@ -106,6 +108,16 @@ pub struct ChaseResultC {
     pub phases: Vec<C64>,
 }
 
+/// Band entries of a block with rows `[.., r1]`, columns `[c0, ..]`
+/// (`c0 <= r1`) occupy exactly the diagonal index interval `[c0, r1]` —
+/// the Hermitian mirror `(j, i)` of an entry `(i, j)` lands in the same
+/// interval, so one touch covers both triangles. Every kernel below
+/// reports its block through this before accessing the dense matrix; a
+/// task reaching outside its declared span fails loudly in debug builds.
+fn touch_band(c0: usize, r1: usize, access: Access) {
+    shadow::touch(BAND_SPACE, c0 as u64, r1 as u64 + 1, access);
+}
+
 /// Kernel 1 (`zHBCEU`): start sweep `s` — annihilate column `s` below
 /// the first sub-diagonal (to a *real* `beta`, courtesy of `zlarfg`) and
 /// update the symmetric diamond block two-sided. Returns the generated
@@ -115,6 +127,8 @@ pub fn zhbceu(a: &mut CMatrix, s: usize, b: usize) -> ReflectorC {
     let r0 = s + 1;
     let r1 = (s + b).min(n - 1);
     let l = r1 - r0 + 1;
+    // Column s (and its conjugate mirror) is gathered and rewritten.
+    touch_band(s, r1, Access::Write);
     let mut v = vec![C64::ZERO; l];
     for i in 0..l {
         v[i] = a[(r0 + i, s)];
@@ -150,7 +164,9 @@ pub fn zhbrel(a: &mut CMatrix, b: usize, prev: (usize, C64, &[C64])) -> Option<R
     }
     let br1 = (br0 + b - 1).min(n - 1);
     let rl = br1 - br0 + 1;
-    // Copy block A[br0..=br1, pr0..pr0+pl].
+    // Copy block A[br0..=br1, pr0..pr0+pl] (write-back is reported by
+    // `write_back_rect`).
+    touch_band(pr0, br1, Access::Read);
     let mut blk = vec![C64::ZERO; rl * pl];
     for j in 0..pl {
         for i in 0..rl {
@@ -251,26 +267,94 @@ struct ChaseTask {
     k: usize,
 }
 
-/// Regions an `(s, k)` task touches: `nb`-aligned chunks of the
-/// diagonal range it reads/writes, all declared Write (conservative, so
-/// any admissible schedule is equivalent to the serial order). The
-/// chase geometry is the real pipeline's, so the mapping is too.
-fn task_regions(n: usize, b: usize, t: ChaseTask) -> Vec<(RegionId, Access)> {
+/// Region space of the band's diagonal index intervals (entry `(i, j)`,
+/// `i >= j`, of the Hermitian matrix lies in `[j, i]`).
+const BAND_SPACE: u32 = 0;
+/// Region space of V2 reflector slots, one point per `(sweep, depth)`.
+const V2_SPACE: u32 = 1;
+
+/// Exact inclusive diagonal-index span `[lo, hi]` of the band entries an
+/// `(s, k)` task touches — the same formula as the real chase, because
+/// the geometry is: `zhbceu` rewrites column `s` and the diamond block
+/// up to row `min(s + b, n-1)`; a chase step right-applies the previous
+/// reflector (rows `s+1+(k-1)b ..`) and reaches at most row
+/// `s + (k+1)b` (clamped at the edge).
+fn task_row_span(n: usize, b: usize, t: ChaseTask) -> (usize, usize) {
     let lo = if t.k == 0 {
         t.s
     } else {
         t.s + 1 + (t.k - 1) * b
     };
-    let hi_row = (t.s + (t.k + 1) * b).min(n - 1);
-    let c0 = lo / b;
-    let c1 = hi_row / b;
-    (c0..=c1)
-        .map(|c| {
-            // Chunk indices are bounded by n/b; saturate rather than
-            // wrap if a pathological caller ever exceeds u32 range.
-            let c = u32::try_from(c).unwrap_or(u32::MAX);
-            (RegionId::from_coords(2, c, 0), Access::Write)
+    let hi = (t.s + (t.k + 1) * b).min(n - 1);
+    (lo, hi)
+}
+
+/// V2 slot region of reflector `(s, k)`. The stride is the maximum step
+/// count of any sweep (sweep 0), so slot ids never collide across sweeps.
+fn v2_slot(n: usize, b: usize, s: usize, k: usize) -> Region {
+    let stride = V2SetC::steps_of_sweep(n, b, 0);
+    Region::point(V2_SPACE, (s * stride + k) as u64)
+}
+
+/// Declared footprint of an `(s, k)` task: the exact band span it
+/// touches (Write — every kernel both reads and writes its blocks), the
+/// V2 slot it stores, and for chase steps the predecessor slot it reads.
+/// Exactness matters twice over: any touch outside these regions trips
+/// the shadow checker, and spans one index wider would serialize tasks
+/// `(s, k)` and `(s, k + 2)`, which are adjacent but disjoint.
+fn task_regions(n: usize, b: usize, t: ChaseTask) -> Vec<(Region, Access)> {
+    let (lo, hi) = task_row_span(n, b, t);
+    let mut regions = vec![(
+        Region::span(BAND_SPACE, lo as u64, hi as u64 + 1),
+        Access::Write,
+    )];
+    if t.k < V2SetC::depth_of_sweep(n, b, t.s) {
+        // The final step of an nb-aligned sweep stores no reflector.
+        regions.push((v2_slot(n, b, t.s, t.k), Access::Write));
+    }
+    if t.k > 0 {
+        regions.push((v2_slot(n, b, t.s, t.k - 1), Access::Read));
+    }
+    regions
+}
+
+/// Tag and priority lane of a chase task (sweep heads sit on the
+/// critical path).
+fn task_meta(t: ChaseTask) -> (&'static str, Priority) {
+    if t.k == 0 {
+        ("zhbceu", Priority::High)
+    } else {
+        ("zhbrel+zhblru", Priority::Normal)
+    }
+}
+
+/// The Hermitian chase task set as *declared* specs — the same
+/// `(tag, priority, regions)` triples [`reduce_scheduled`] submits,
+/// exported for offline verification. `xtask graphcheck` sweeps these
+/// through `tseig_runtime::verify` to prove race-freedom per `(n, b)`
+/// instance, alongside the real pipeline's.
+pub fn chase_task_specs(n: usize, b: usize) -> Vec<TaskSpec> {
+    enumerate_tasks(n, b)
+        .into_iter()
+        .map(|t| {
+            let (tag, priority) = task_meta(t);
+            TaskSpec {
+                tag,
+                priority,
+                regions: task_regions(n, b, t),
+            }
         })
+        .collect()
+}
+
+/// Static-scheduler owner assignment (sweep round-robin) for the task
+/// set of [`chase_task_specs`], exported for offline verification of
+/// the derived static schedule.
+pub fn chase_task_owners(n: usize, b: usize, threads: usize) -> Vec<usize> {
+    let threads = threads.max(1);
+    enumerate_tasks(n, b)
+        .iter()
+        .map(|t| t.s % threads)
         .collect()
 }
 
@@ -282,20 +366,25 @@ fn task_regions(n: usize, b: usize, t: ChaseTask) -> Vec<(RegionId, Access)> {
 fn run_task(a: &DataCell<CMatrix>, v2: &DataCell<V2SetC>, b: usize, t: ChaseTask) {
     // Safety: region declarations serialize conflicting band accesses;
     // each task writes its own V2 slot only and reads the slot (s, k-1)
-    // its predecessor in the same sweep wrote (ordered by regions —
-    // consecutive chase steps of a sweep overlap in band regions).
+    // its same-sweep predecessor wrote (ordered by overlapping band
+    // regions). Band touches are reported by the kernels; V2 slot
+    // touches are reported here against the declared slot regions.
     unsafe {
         let am = a.get_mut();
         let v2m = v2.get_mut();
+        let n = am.rows();
         if t.k == 0 {
             let (start, tau, v) = zhbceu(am, t.s, b);
+            shadow::touch_region(v2_slot(n, b, t.s, 0), Access::Write);
             v2m.store(t.s, 0, start, tau, v);
         } else {
+            shadow::touch_region(v2_slot(n, b, t.s, t.k - 1), Access::Read);
             let prev = v2m.sweeps[t.s][t.k - 1].clone();
             let Some((ns, nt, nv)) = zhbrel(am, b, (prev.0, prev.1, &prev.2)) else {
                 return;
             };
             zhblru(am, (ns, nt, &nv));
+            shadow::touch_region(v2_slot(n, b, t.s, t.k), Access::Write);
             v2m.store(t.s, t.k, ns, nt, nv);
         }
     }
@@ -333,13 +422,7 @@ pub fn reduce_scheduled(a: CMatrix, nb: usize, sched: Scheduler) -> Result<Chase
                 let regions = task_regions(n, b, t);
                 let ac = a_cell.clone();
                 let vc = v2_cell.clone();
-                // Sweep heads sit on the critical path: priority lane.
-                let prio = if t.k == 0 {
-                    Priority::High
-                } else {
-                    Priority::Normal
-                };
-                let tag: &'static str = if t.k == 0 { "zhbceu" } else { "zhbrel+zhblru" };
+                let (tag, prio) = task_meta(t);
                 graph.add_task(tag, prio, &regions, move || run_task(&ac, &vc, b, t));
             }
             Runtime::new(threads).run(graph)?;
@@ -362,7 +445,7 @@ pub fn reduce_scheduled(a: CMatrix, nb: usize, sched: Scheduler) -> Result<Chase
             // Derive the cross-worker wait lists once through the shared
             // runtime schedule (the same region replay the real-scalar
             // driver caches in its `SolvePlan`), then execute.
-            let owner: Vec<usize> = tasks.iter().map(|t| t.s % threads).collect();
+            let owner = chase_task_owners(n, b, threads);
             let regions: Vec<_> = tasks.iter().map(|t| task_regions(n, b, *t)).collect();
             let sched = tseig_runtime::StaticSchedule::derive(threads, &owner, &regions);
             let a_cell = Arc::new(DataCell::new(a));
@@ -394,6 +477,7 @@ fn two_sided_window(a: &mut CMatrix, r0: usize, l: usize, v: &[C64], tau: C64) {
     if tau == C64::ZERO {
         return;
     }
+    touch_band(r0, r0 + l - 1, Access::Write);
     let mut blk = vec![C64::ZERO; l * l];
     for j in 0..l {
         for i in 0..l {
@@ -415,6 +499,7 @@ fn two_sided_window(a: &mut CMatrix, r0: usize, l: usize, v: &[C64], tau: C64) {
 /// Write a strictly-sub-diagonal block back, mirroring the conjugate
 /// into the upper triangle.
 fn write_back_rect(a: &mut CMatrix, r0: usize, rl: usize, c0: usize, cl: usize, blk: &[C64]) {
+    touch_band(c0, r0 + rl - 1, Access::Write);
     for j in 0..cl {
         for i in 0..rl {
             let val = blk[i + j * rl];
@@ -426,6 +511,7 @@ fn write_back_rect(a: &mut CMatrix, r0: usize, rl: usize, c0: usize, cl: usize, 
 
 /// Extract the tridiagonal and rotate its off-diagonals real with a
 /// unitary diagonal: `T_complex = D T_real D^H`, `D = diag(phases)`.
+// tidy: allow(task-storage) -- main-thread read-only extraction, runs after all tasks completed
 pub fn phase_fold(a: &CMatrix) -> (SymTridiagonal, Vec<C64>) {
     let n = a.rows();
     let mut d = vec![0.0f64; n];
@@ -550,6 +636,77 @@ mod tests {
                 assert_eq!(r.v2.sweep(s), serial.v2.sweep(s), "{sched:?} sweep {s}");
             }
         }
+    }
+
+    #[test]
+    fn chase_graph_certified_race_free() {
+        // The same checks `xtask graphcheck` runs over its sweep, pinned
+        // in-tree on a few Hermitian instances: conflict-pair dependence
+        // coverage, acyclicity, priority sanity, static consistency.
+        use tseig_runtime::verify;
+        for (n, b) in [(20, 3), (24, 4), (14, 5), (13, 2)] {
+            let specs = chase_task_specs(n, b);
+            assert!(!specs.is_empty());
+            let sum = verify::check_graph(&specs);
+            assert!(sum.ok(), "(n={n}, b={b}): {:?}", sum.violations);
+            for threads in 1..=4 {
+                let owners = chase_task_owners(n, b, threads);
+                let st = verify::check_static(&specs, &owners, threads);
+                assert!(st.ok(), "(n={n}, b={b}, t={threads}): {:?}", st.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_spans_drop_spurious_same_sweep_edges() {
+        // Same regression pin as the real pipeline: tasks (s, k) and
+        // (s, k+2) are disjoint; the old nb-chunk declaration serialized
+        // them through a shared boundary chunk.
+        use tseig_runtime::verify;
+        let (n, b) = (20, 3);
+        let tasks = enumerate_tasks(n, b);
+        let id = |s: usize, k: usize| tasks.iter().position(|t| t.s == s && t.k == k).unwrap();
+        let specs = chase_task_specs(n, b);
+        let edges = verify::infer_edges(&specs);
+        assert!(edges[id(0, 1)].contains(&id(0, 2)));
+        assert!(!edges[id(0, 1)].contains(&id(0, 3)));
+        assert!(!verify::conflict_pairs(&specs)
+            .iter()
+            .any(|&(i, j, _)| (i, j) == (id(0, 1), id(0, 3))));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn narrowed_declaration_caught_by_shadow_checker() {
+        // Acceptance mutation, Hermitian side: narrow one task's declared
+        // band span by a row; the shadow checker must abort the run when
+        // the kernels touch the chopped row.
+        let (n, b) = (18, 3);
+        let a = banded_hermitian(n, b, 66);
+        let tasks = enumerate_tasks(n, b);
+        let victim = tasks.iter().position(|t| t.s == 2 && t.k == 1).unwrap();
+        let a_cell = Arc::new(DataCell::new(a));
+        let v2_cell = Arc::new(DataCell::new(V2SetC::new(n, b)));
+        let mut graph = TaskGraph::new();
+        for (i, t) in tasks.iter().enumerate() {
+            let mut regions = task_regions(n, b, *t);
+            if i == victim {
+                let (lo, hi) = task_row_span(n, b, *t);
+                assert!(hi > lo + 1);
+                regions[0] = (
+                    Region::span(super::BAND_SPACE, lo as u64, hi as u64),
+                    Access::Write,
+                );
+            }
+            let (tag, prio) = task_meta(*t);
+            let (ac, vc, t) = (a_cell.clone(), v2_cell.clone(), *t);
+            graph.add_task(tag, prio, &regions, move || run_task(&ac, &vc, b, t));
+        }
+        let err = Runtime::new(1).run(graph).unwrap_err();
+        assert!(
+            err.contains("outside its declared footprint"),
+            "expected a shadow violation, got: {err}"
+        );
     }
 
     #[test]

@@ -19,6 +19,13 @@ use std::cell::UnsafeCell;
 /// reference, and [`DataCell::get`] only while holding at least a `Read`
 /// declaration. [`graph::TaskGraph`](crate::graph::TaskGraph) serializes
 /// conflicting declarations, which makes those accesses data-race free.
+///
+/// The "covering *all* the data it touches" clause is the honesty
+/// assumption everything rests on, and it is checked, not just trusted:
+/// code that reaches storage through a `DataCell` reports the ranges it
+/// actually touches to [`crate::shadow`] (debug builds; the `task-storage`
+/// tidy rule enforces the instrumentation), and `xtask graphcheck` proves
+/// offline that honest declarations imply race-free schedules.
 pub struct DataCell<T>(UnsafeCell<T>);
 
 // Safety: see the struct-level contract. `T: Send` is required because

@@ -36,6 +36,10 @@ struct Shared {
     priorities: Vec<Priority>,
     dep_counts: Vec<AtomicUsize>,
     successors: Vec<Vec<TaskId>>,
+    /// Declared footprints for the shadow checker (debug builds only;
+    /// release carries no copy and arms nothing).
+    #[cfg(debug_assertions)]
+    regions: Vec<Vec<(crate::graph::Region, crate::graph::Access)>>,
     remaining: AtomicUsize,
     abort: AtomicBool,
     panic_msg: Mutex<Option<String>>,
@@ -116,12 +120,16 @@ impl Runtime {
         let mut priorities = Vec::with_capacity(n);
         let mut dep_counts = Vec::with_capacity(n);
         let mut successors = Vec::with_capacity(n);
+        #[cfg(debug_assertions)]
+        let mut regions = Vec::with_capacity(n);
         for t in graph.tasks {
             runs.push(Mutex::new(Some(t.run)));
             tags.push(t.tag);
             priorities.push(t.priority);
             dep_counts.push(AtomicUsize::new(t.dep_count));
             successors.push(t.successors);
+            #[cfg(debug_assertions)]
+            regions.push(t.regions);
         }
         let shared = Shared {
             runs,
@@ -129,6 +137,8 @@ impl Runtime {
             priorities,
             dep_counts,
             successors,
+            #[cfg(debug_assertions)]
+            regions,
             remaining: AtomicUsize::new(n),
             abort: AtomicBool::new(false),
             panic_msg: Mutex::new(None),
@@ -203,6 +213,11 @@ fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskI
         let run = shared.runs[id].lock().take();
         let Some(run) = run else { continue };
         let t0 = Instant::now();
+        // Arm the footprint shadow checker with the task's declaration
+        // (debug builds only): an under-declared touch panics inside the
+        // body and takes the same abort path a genuine task bug would.
+        #[cfg(debug_assertions)]
+        crate::shadow::enter_task(shared.tags[id], &shared.regions[id]);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             // Chaos (feature-gated, off in release builds): a scheduled
             // injection panics inside the task body, exercising the same
@@ -213,6 +228,8 @@ fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskI
             }
             run()
         }));
+        // Disarm even after a panic; release builds return 0.
+        stats.shadow_touches += crate::shadow::exit_task();
         stats.record(shared.tags[id], t0.elapsed());
         match outcome {
             Ok(()) => {
@@ -242,7 +259,7 @@ fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskI
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{Access, RegionId};
+    use crate::graph::{Access, Region};
     use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
 
@@ -263,7 +280,7 @@ mod tests {
             g.add_task(
                 "step",
                 Priority::Normal,
-                &[(RegionId(7), Access::Write)],
+                &[(Region::point(0, 7), Access::Write)],
                 move || {
                     // value must be exactly k-1 when we run.
                     let prev = d.swap(k, Ordering::SeqCst);
@@ -285,7 +302,7 @@ mod tests {
             g.add_task(
                 "inc",
                 Priority::Normal,
-                &[(RegionId(i as u64), Access::Write)],
+                &[(Region::point(0, i as u64), Access::Write)],
                 move || {
                     c.fetch_add(1, Ordering::Relaxed);
                 },
@@ -302,7 +319,7 @@ mod tests {
         // w -> (r1, r2) -> w2 ; w2 must see both readers done.
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut g = TaskGraph::new();
-        let r = RegionId(1);
+        let r = Region::point(0, 1);
         for (name, acc) in [
             ("w", Access::Write),
             ("r1", Access::Read),
@@ -326,13 +343,13 @@ mod tests {
         g.add_task(
             "ok",
             Priority::Normal,
-            &[(RegionId(0), Access::Write)],
+            &[(Region::point(0, 0), Access::Write)],
             || {},
         );
         g.add_task(
             "boom",
             Priority::Normal,
-            &[(RegionId(1), Access::Write)],
+            &[(Region::point(0, 1), Access::Write)],
             || {
                 panic!("injected failure");
             },
@@ -348,7 +365,7 @@ mod tests {
         g.add_task(
             "boom",
             Priority::Normal,
-            &[(RegionId(0), Access::Write)],
+            &[(Region::point(0, 0), Access::Write)],
             || {
                 panic!("first dies");
             },
@@ -357,7 +374,7 @@ mod tests {
         g.add_task(
             "after",
             Priority::Normal,
-            &[(RegionId(0), Access::Read)],
+            &[(Region::point(0, 0), Access::Read)],
             move || {
                 r.fetch_add(1, Ordering::SeqCst);
             },
@@ -378,7 +395,7 @@ mod tests {
             } else {
                 Priority::Normal
             };
-            g.add_task("t", p, &[(RegionId(i), Access::Write)], move || {
+            g.add_task("t", p, &[(Region::point(0, i), Access::Write)], move || {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
@@ -395,7 +412,7 @@ mod tests {
             g.add_task(
                 "t",
                 Priority::Normal,
-                &[(RegionId(0), Access::Write)],
+                &[(Region::point(0, 0), Access::Write)],
                 move || {
                     d.fetch_add(1, Ordering::Relaxed);
                 },

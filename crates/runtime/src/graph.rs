@@ -9,24 +9,80 @@
 //! * **WAR** — a writer depends on every reader since the last writer
 //!   (there is no renaming: tasks operate on the data in place).
 //!
+//! Regions are half-open index intervals inside named *spaces* (the
+//! paper's "data translation layer": callers map algorithm objects — band
+//! row ranges, reflector slots — onto interval coordinates). Dependences
+//! are inferred at interval granularity through a per-space segment list,
+//! so two tasks conflict exactly when their declared intervals overlap;
+//! there is no rounding to tiles and therefore no spurious serialization
+//! between almost-adjacent tasks.
+//!
 //! Because edges only ever point from earlier submissions to later ones,
 //! the graph is acyclic *by construction* — the property the dynamic
-//! executor relies on for deadlock freedom.
+//! executor relies on for deadlock freedom. `xtask graphcheck`
+//! (see [`crate::verify`]) independently re-proves this, plus conflict
+//! coverage, for the real stage-2 task graphs.
 
 use std::collections::HashMap;
 
-/// Opaque key naming a piece of data (a tile, a block column, a panel…).
-/// The mapping from algorithm objects to `RegionId`s is the paper's "data
-/// translation layer": callers hash whatever coordinates identify the
-/// data into this id.
+/// A half-open interval `[lo, hi)` of abstract indices inside a named
+/// space. Spaces keep unrelated object families apart (e.g. band rows vs.
+/// reflector slots); intervals within a space conflict iff they overlap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RegionId(pub u64);
+pub struct Region {
+    space: u32,
+    lo: u64,
+    hi: u64,
+}
 
-impl RegionId {
-    /// Convenience constructor from a coordinate pair (e.g. a tile index),
-    /// with a `kind` tag to keep different object families apart.
-    pub fn from_coords(kind: u16, i: u32, j: u32) -> Self {
-        RegionId(((kind as u64) << 48) | ((i as u64) << 24) | j as u64)
+impl Region {
+    /// The interval `[lo, hi)` in `space`. `lo < hi` is required: an empty
+    /// region declares nothing and is almost certainly a caller bug.
+    pub const fn span(space: u32, lo: u64, hi: u64) -> Self {
+        assert!(lo < hi);
+        Region { space, lo, hi }
+    }
+
+    /// The single index `i` in `space` (the interval `[i, i + 1)`).
+    pub const fn point(space: u32, i: u64) -> Self {
+        Region {
+            space,
+            lo: i,
+            hi: i + 1,
+        }
+    }
+
+    /// Space tag.
+    pub const fn space(&self) -> u32 {
+        self.space
+    }
+
+    /// Inclusive lower bound.
+    pub const fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Exclusive upper bound.
+    pub const fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// `true` if the two regions share at least one index.
+    pub const fn overlaps(&self, other: &Region) -> bool {
+        self.space == other.space && self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// The shared sub-interval, if any (conflict witness reporting).
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        if self.overlaps(other) {
+            Some(Region::span(
+                self.space,
+                self.lo.max(other.lo),
+                self.hi.min(other.hi),
+            ))
+        } else {
+            None
+        }
     }
 }
 
@@ -60,19 +116,133 @@ pub(crate) struct TaskNode {
     pub(crate) dep_count: usize,
     /// Tasks to notify on completion.
     pub(crate) successors: Vec<TaskId>,
+    /// Declared footprint, retained in debug builds for the shadow
+    /// checker ([`crate::shadow`]); release carries no copy.
+    #[cfg(debug_assertions)]
+    pub(crate) regions: Vec<(Region, Access)>,
 }
 
-#[derive(Default)]
-struct RegionState {
+/// One maximal sub-interval of a space over which the superscalar
+/// protocol state is uniform. Segments are disjoint and sorted by `lo`.
+#[derive(Clone)]
+struct Segment {
+    lo: u64,
+    hi: u64,
     last_writer: Option<TaskId>,
     readers_since_write: Vec<TaskId>,
+}
+
+impl Segment {
+    fn same_state(&self, other: &Segment) -> bool {
+        self.last_writer == other.last_writer
+            && self.readers_since_write == other.readers_since_write
+    }
+}
+
+/// Segment list of one space. Declared intervals split segments at their
+/// boundaries; a write leaves every covered segment in the same state, so
+/// coalescing keeps the list proportional to the number of *live*
+/// boundaries, not to the submission count.
+#[derive(Default)]
+struct SpaceState {
+    segs: Vec<Segment>,
+}
+
+impl SpaceState {
+    /// Split the segment straddling `x` (if any) so every segment lies
+    /// entirely on one side of `x`.
+    fn split_at(&mut self, x: u64) {
+        let i = self.segs.partition_point(|s| s.hi <= x);
+        if i < self.segs.len() && self.segs[i].lo < x {
+            let right = Segment {
+                lo: x,
+                hi: self.segs[i].hi,
+                last_writer: self.segs[i].last_writer,
+                readers_since_write: self.segs[i].readers_since_write.clone(),
+            };
+            self.segs[i].hi = x;
+            self.segs.insert(i + 1, right);
+        }
+    }
+
+    /// Apply one declared access of task `id` over `[lo, hi)`, pushing the
+    /// RAW/WAW/WAR predecessors onto `deps` and updating protocol state.
+    fn apply(&mut self, lo: u64, hi: u64, access: Access, id: TaskId, deps: &mut Vec<TaskId>) {
+        self.split_at(lo);
+        self.split_at(hi);
+        let mut i = self.segs.partition_point(|s| s.lo < lo);
+        let mut cursor = lo;
+        while cursor < hi {
+            if i < self.segs.len() && self.segs[i].lo == cursor {
+                // Existing segment, now entirely inside [lo, hi).
+                let seg = &mut self.segs[i];
+                match access {
+                    Access::Read => {
+                        if let Some(w) = seg.last_writer {
+                            deps.push(w); // RAW
+                        }
+                        seg.readers_since_write.push(id);
+                    }
+                    Access::Write => {
+                        if let Some(w) = seg.last_writer {
+                            deps.push(w); // WAW
+                        }
+                        deps.append(&mut seg.readers_since_write); // WAR
+                        seg.last_writer = Some(id);
+                    }
+                }
+                cursor = seg.hi;
+                i += 1;
+            } else {
+                // Gap: indices never touched before. Record this task as
+                // the first toucher so later conflicts are seen.
+                let next = if i < self.segs.len() {
+                    self.segs[i].lo.min(hi)
+                } else {
+                    hi
+                };
+                let seg = match access {
+                    Access::Read => Segment {
+                        lo: cursor,
+                        hi: next,
+                        last_writer: None,
+                        readers_since_write: vec![id],
+                    },
+                    Access::Write => Segment {
+                        lo: cursor,
+                        hi: next,
+                        last_writer: Some(id),
+                        readers_since_write: Vec::new(),
+                    },
+                };
+                self.segs.insert(i, seg);
+                cursor = next;
+                i += 1;
+            }
+        }
+        self.coalesce(lo, hi);
+    }
+
+    /// Merge adjacent equal-state segments in and around `[lo, hi)`.
+    fn coalesce(&mut self, lo: u64, hi: u64) {
+        let mut i = self.segs.partition_point(|s| s.hi <= lo).max(1);
+        while i < self.segs.len() && self.segs[i].lo <= hi {
+            if self.segs[i - 1].hi == self.segs[i].lo && self.segs[i - 1].same_state(&self.segs[i])
+            {
+                self.segs[i - 1].hi = self.segs[i].hi;
+                self.segs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 /// A DAG of tasks under construction.
 #[derive(Default)]
 pub struct TaskGraph {
     pub(crate) tasks: Vec<TaskNode>,
-    regions: HashMap<RegionId, RegionState>,
+    spaces: HashMap<u32, SpaceState>,
 }
 
 impl TaskGraph {
@@ -94,34 +264,22 @@ impl TaskGraph {
     /// Submit a task. `regions` declares every piece of data the closure
     /// touches and how; the runtime guarantees conflicting tasks never
     /// overlap in time (the soundness basis of
-    /// [`DataCell`](crate::data::DataCell)).
+    /// [`DataCell`](crate::data::DataCell)). In debug builds the declared
+    /// footprint is also enforced dynamically: the executors arm
+    /// [`crate::shadow`] with it before running the closure, and any
+    /// recorded touch outside the declaration aborts the run.
     pub fn add_task(
         &mut self,
         tag: &'static str,
         priority: Priority,
-        regions: &[(RegionId, Access)],
+        regions: &[(Region, Access)],
         run: impl FnOnce() + Send + 'static,
     ) -> TaskId {
         let id = self.tasks.len();
         let mut deps: Vec<TaskId> = Vec::new();
         for &(region, access) in regions {
-            let st = self.regions.entry(region).or_default();
-            match access {
-                Access::Read => {
-                    if let Some(w) = st.last_writer {
-                        deps.push(w); // RAW
-                    }
-                    st.readers_since_write.push(id);
-                }
-                Access::Write => {
-                    if let Some(w) = st.last_writer {
-                        deps.push(w); // WAW
-                    }
-                    deps.extend(st.readers_since_write.iter().copied()); // WAR
-                    st.readers_since_write.clear();
-                    st.last_writer = Some(id);
-                }
-            }
+            let st = self.spaces.entry(region.space()).or_default();
+            st.apply(region.lo(), region.hi(), access, id, &mut deps);
         }
         deps.sort_unstable();
         deps.dedup();
@@ -136,6 +294,8 @@ impl TaskGraph {
             priority,
             dep_count,
             successors: Vec::new(),
+            #[cfg(debug_assertions)]
+            regions: regions.to_vec(),
         });
         id
     }
@@ -165,8 +325,8 @@ impl TaskGraph {
 mod tests {
     use super::*;
 
-    const R0: RegionId = RegionId(0);
-    const R1: RegionId = RegionId(1);
+    const R0: Region = Region::point(0, 0);
+    const R1: Region = Region::point(0, 1);
 
     fn nop() {}
 
@@ -235,11 +395,110 @@ mod tests {
     }
 
     #[test]
-    fn region_id_from_coords_distinct() {
-        let a = RegionId::from_coords(1, 2, 3);
-        let b = RegionId::from_coords(1, 3, 2);
-        let c = RegionId::from_coords(2, 2, 3);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
+    fn partial_interval_overlap_is_a_dependence() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task(
+            "w",
+            Priority::Normal,
+            &[(Region::span(0, 0, 10), Access::Write)],
+            nop,
+        );
+        // Overlaps [5, 10): RAW despite different bounds.
+        let r = g.add_task(
+            "r",
+            Priority::Normal,
+            &[(Region::span(0, 5, 15), Access::Read)],
+            nop,
+        );
+        // Disjoint tail [10, 15) was read; writing [12, 20) hits the
+        // reader (WAR) but not the original writer.
+        let w2 = g.add_task(
+            "w2",
+            Priority::Normal,
+            &[(Region::span(0, 12, 20), Access::Write)],
+            nop,
+        );
+        assert_eq!(g.successors(w), &[r]);
+        assert_eq!(g.dep_count(w2), 1);
+        assert_eq!(g.successors(r), &[w2]);
+    }
+
+    #[test]
+    fn adjacent_intervals_are_independent() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            "a",
+            Priority::Normal,
+            &[(Region::span(0, 0, 5), Access::Write)],
+            nop,
+        );
+        let b = g.add_task(
+            "b",
+            Priority::Normal,
+            &[(Region::span(0, 5, 9), Access::Write)],
+            nop,
+        );
+        assert_eq!(g.dep_count(a), 0);
+        assert_eq!(g.dep_count(b), 0);
+        assert!(g.successors(a).is_empty());
+    }
+
+    #[test]
+    fn same_interval_different_space_is_independent() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            "a",
+            Priority::Normal,
+            &[(Region::span(0, 0, 5), Access::Write)],
+            nop,
+        );
+        let b = g.add_task(
+            "b",
+            Priority::Normal,
+            &[(Region::span(1, 0, 5), Access::Write)],
+            nop,
+        );
+        assert_eq!(g.dep_count(b), 0);
+        let _ = a;
+    }
+
+    #[test]
+    fn straddling_writer_depends_on_both_halves() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            "a",
+            Priority::Normal,
+            &[(Region::span(0, 0, 4), Access::Write)],
+            nop,
+        );
+        let b = g.add_task(
+            "b",
+            Priority::Normal,
+            &[(Region::span(0, 4, 8), Access::Write)],
+            nop,
+        );
+        let c = g.add_task(
+            "c",
+            Priority::Normal,
+            &[(Region::span(0, 2, 6), Access::Write)],
+            nop,
+        );
+        assert_eq!(g.dep_count(c), 2);
+        assert!(g.successors(a).contains(&c));
+        assert!(g.successors(b).contains(&c));
+    }
+
+    #[test]
+    fn region_accessors_and_overlap() {
+        let r = Region::span(3, 2, 9);
+        assert_eq!((r.space(), r.lo(), r.hi()), (3, 2, 9));
+        assert!(r.overlaps(&Region::point(3, 8)));
+        assert!(!r.overlaps(&Region::point(3, 9)));
+        assert!(!r.overlaps(&Region::point(2, 5)));
+        assert_eq!(
+            r.intersect(&Region::span(3, 7, 12)),
+            Some(Region::span(3, 7, 9))
+        );
+        assert_eq!(r.intersect(&Region::span(3, 9, 12)), None);
     }
 }

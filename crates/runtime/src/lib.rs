@@ -22,15 +22,29 @@
 //!   concurrently).
 //! * [`trace`] — per-task timing, aggregated by task tag, which powers the
 //!   Figure-1-style phase breakdowns in the benchmark harness.
+//!
+//! Two layers certify that the delegation to region declarations is
+//! actually sound (DESIGN.md §11):
+//!
+//! * [`verify`] — offline model checking of declared task sets: conflict
+//!   coverage (RAW/WAW/WAR completeness), acyclicity, static/dynamic
+//!   schedule consistency, priority sanity. Driven by `xtask graphcheck`
+//!   over a sweep of real stage-2 instances.
+//! * [`shadow`] — debug-only footprint shadow-checking: executors arm a
+//!   thread-local with each task's declaration, instrumented storage
+//!   helpers report actual touches, and any touch outside the
+//!   declaration fails the run loudly. Compiled out of release.
 
 pub mod data;
 pub mod exec;
 pub mod graph;
+pub mod shadow;
 pub mod static_plan;
 pub mod static_sched;
 pub mod trace;
+pub mod verify;
 
 pub use data::DataCell;
 pub use exec::Runtime;
-pub use graph::{Access, Priority, RegionId, TaskGraph};
+pub use graph::{Access, Priority, Region, TaskGraph};
 pub use static_plan::StaticSchedule;

@@ -1,0 +1,194 @@
+//! Debug-only footprint shadow-checking.
+//!
+//! The soundness of [`DataCell`](crate::data::DataCell) rests entirely on
+//! task footprints being declared *completely*: the runtime only keeps
+//! conflicting tasks apart when the conflict is visible in their declared
+//! `(Region, Access)` sets. This module turns every debug-build test run
+//! into a dynamic race detector for that assumption, following the
+//! `kernels::contract` philosophy — checks that are always written, always
+//! on in debug, and compiled to nothing in release.
+//!
+//! Before running a task body, the executors ([`crate::exec`] and
+//! [`crate::static_plan`]) install the task's declared footprint in a
+//! thread-local. Storage helpers then report the ranges they actually
+//! touch via [`touch`]; a touch not covered by the declaration — wrong
+//! space, out of range, or a write against a read-only declaration —
+//! panics with a diagnostic naming the task and the uncovered interval.
+//! The executor's panic isolation converts that into a structured solve
+//! error, so an under-declared footprint fails tests loudly instead of
+//! racing silently.
+//!
+//! Outside a scheduled task (serial paths, main-thread post-processing)
+//! [`touch`] is a no-op: the same instrumented helpers serve the serial
+//! and scheduled code paths.
+
+use crate::graph::{Access, Region};
+use std::cell::RefCell;
+
+struct ActiveTask {
+    tag: &'static str,
+    regions: Vec<(Region, Access)>,
+    touches: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTask>> = const { RefCell::new(None) };
+}
+
+/// `true` when shadow-checking is compiled in (debug builds only).
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Arm the checker with the declared footprint of the task about to run
+/// on this thread. No-op in release.
+pub fn enter_task(tag: &'static str, regions: &[(Region, Access)]) {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        *a.borrow_mut() = Some(ActiveTask {
+            tag,
+            regions: regions.to_vec(),
+            touches: 0,
+        });
+    });
+}
+
+/// Disarm the checker and return the number of touches validated for the
+/// task (0 in release, or if no task was active). Must be called even
+/// when the task body panicked — the executors call it after their
+/// `catch_unwind`.
+pub fn exit_task() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    ACTIVE.with(|a| a.borrow_mut().take().map(|t| t.touches).unwrap_or(0))
+}
+
+/// Record an actual access of `[lo, hi)` in `space`. Panics (debug builds,
+/// inside a task) unless the whole interval is covered by declared regions
+/// admitting `access` — a `Read` is satisfied by a declared `Read` or
+/// `Write`, a `Write` only by a declared `Write`. No-op in release and on
+/// threads with no active task.
+#[inline]
+pub fn touch(space: u32, lo: u64, hi: u64, access: Access) {
+    if !enabled() {
+        return;
+    }
+    touch_impl(space, lo, hi, access);
+}
+
+/// [`touch`] with the interval packaged as a [`Region`].
+#[inline]
+pub fn touch_region(region: Region, access: Access) {
+    touch(region.space(), region.lo(), region.hi(), access);
+}
+
+fn admits(declared: Access, wanted: Access) -> bool {
+    matches!(declared, Access::Write) || matches!(wanted, Access::Read)
+}
+
+fn touch_impl(space: u32, lo: u64, hi: u64, access: Access) {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(active) = slot.as_mut() else {
+            return; // serial path: nothing declared, nothing to check
+        };
+        active.touches += 1;
+        // Greedy interval cover: advance `need` past every declared
+        // region that contains it with an adequate access mode.
+        let mut need = lo;
+        while need < hi {
+            let mut best = need;
+            for &(r, declared) in &active.regions {
+                if r.space() == space && r.lo() <= need && need < r.hi() && admits(declared, access)
+                {
+                    best = best.max(r.hi());
+                }
+            }
+            if best == need {
+                let tag = active.tag;
+                panic!(
+                    "shadow: task '{tag}' performed a {access:?} of space {space} \
+                     range [{lo}, {hi}) outside its declared footprint \
+                     (uncovered from index {need})"
+                );
+            }
+            need = best;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    // The whole module is a no-op without debug_assertions; the tests
+    // only make sense where the checker is live.
+    #[cfg(debug_assertions)]
+    mod live {
+        use crate::graph::{Access, Region};
+        use crate::shadow::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn covered_touches_pass_and_are_counted() {
+            enter_task(
+                "t",
+                &[
+                    (Region::span(0, 0, 10), Access::Write),
+                    (Region::point(1, 3), Access::Read),
+                ],
+            );
+            touch(0, 2, 7, Access::Write);
+            touch(0, 2, 7, Access::Read); // write declaration admits reads
+            touch(1, 3, 4, Access::Read);
+            assert_eq!(exit_task(), 3);
+        }
+
+        #[test]
+        fn touch_spanning_two_declared_regions_passes() {
+            enter_task(
+                "t",
+                &[
+                    (Region::span(0, 0, 5), Access::Write),
+                    (Region::span(0, 5, 10), Access::Write),
+                ],
+            );
+            touch(0, 2, 9, Access::Write);
+            assert_eq!(exit_task(), 1);
+        }
+
+        #[test]
+        fn uncovered_range_panics() {
+            enter_task("t", &[(Region::span(0, 0, 5), Access::Write)]);
+            let err = catch_unwind(AssertUnwindSafe(|| touch(0, 3, 8, Access::Write)));
+            assert!(err.is_err());
+            exit_task();
+        }
+
+        #[test]
+        fn write_against_read_declaration_panics() {
+            enter_task("t", &[(Region::span(0, 0, 5), Access::Read)]);
+            touch(0, 0, 5, Access::Read);
+            let err = catch_unwind(AssertUnwindSafe(|| touch(0, 1, 2, Access::Write)));
+            assert!(err.is_err());
+            exit_task();
+        }
+
+        #[test]
+        fn wrong_space_panics() {
+            enter_task("t", &[(Region::span(0, 0, 5), Access::Write)]);
+            let err = catch_unwind(AssertUnwindSafe(|| touch(1, 0, 5, Access::Read)));
+            assert!(err.is_err());
+            exit_task();
+        }
+
+        #[test]
+        fn no_active_task_is_a_no_op() {
+            // Serial code paths run the same instrumented helpers.
+            touch(0, 0, 1000, Access::Write);
+            assert_eq!(exit_task(), 0);
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! (same edges, same cross-worker filter, same strongest-wait-per-worker
 //! dedup), so scheduled results stay bit-identical to the per-solve path.
 
-use crate::graph::{Access, Priority, RegionId, TaskGraph};
+use crate::graph::{Access, Priority, Region, TaskGraph};
 use crate::static_sched::{run_static, StaticTask};
 
 /// Owner assignment plus per-task cross-worker waits for one task set,
@@ -26,6 +26,11 @@ pub struct StaticSchedule {
     /// `(worker, progress)` waits of task `i`, deduped to the strongest
     /// wait per foreign worker.
     waits: Vec<Vec<(usize, usize)>>,
+    /// Declared footprints, retained in debug builds so
+    /// [`StaticSchedule::execute`] can arm the shadow checker
+    /// ([`crate::shadow`]) per task.
+    #[cfg(debug_assertions)]
+    regions: Vec<Vec<(Region, Access)>>,
 }
 
 impl StaticSchedule {
@@ -38,7 +43,7 @@ impl StaticSchedule {
     /// `(worker, progress)` waits: edges within a worker are implied by
     /// list order and dropped, and for each foreign worker only the
     /// strongest wait is kept.
-    pub fn derive(threads: usize, owner: &[usize], regions: &[Vec<(RegionId, Access)>]) -> Self {
+    pub fn derive(threads: usize, owner: &[usize], regions: &[Vec<(Region, Access)>]) -> Self {
         assert_eq!(owner.len(), regions.len());
         let threads = threads.max(1);
         let mut shadow = TaskGraph::new();
@@ -84,12 +89,26 @@ impl StaticSchedule {
             threads,
             owner: owner.to_vec(),
             waits,
+            #[cfg(debug_assertions)]
+            regions: regions.to_vec(),
         }
     }
 
     /// Number of workers the schedule was derived for.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Worker owning task `i` (diagnostic/verification use).
+    pub fn owner_of(&self, i: usize) -> usize {
+        self.owner[i]
+    }
+
+    /// Derived `(worker, progress)` waits of task `i`
+    /// (diagnostic/verification use — [`crate::verify`] replays these to
+    /// prove the static happens-before covers the dynamic graph).
+    pub fn waits(&self, i: usize) -> &[(usize, usize)] {
+        &self.waits[i]
     }
 
     /// Number of tasks covered.
@@ -104,14 +123,26 @@ impl StaticSchedule {
 
     /// Execute `run(i)` for every task under this schedule. Closures are
     /// materialized per call (the work bound to each task changes between
-    /// solves); only the wait-list derivation is amortized.
+    /// solves); only the wait-list derivation is amortized. Debug builds
+    /// wrap every closure with the footprint shadow checker, armed with
+    /// the regions the schedule was derived from.
     pub fn execute<F>(&self, mut task: F) -> Result<(), String>
     where
         F: FnMut(usize) -> Box<dyn FnOnce() + Send>,
     {
         let mut lists: Vec<Vec<StaticTask>> = (0..self.threads).map(|_| Vec::new()).collect();
         for i in 0..self.owner.len() {
-            lists[self.owner[i]].push(StaticTask::new(self.waits[i].clone(), task(i)));
+            let body = task(i);
+            #[cfg(debug_assertions)]
+            let body: Box<dyn FnOnce() + Send> = {
+                let regions = self.regions[i].clone();
+                Box::new(move || {
+                    crate::shadow::enter_task("static-task", &regions);
+                    body();
+                    crate::shadow::exit_task();
+                })
+            };
+            lists[self.owner[i]].push(StaticTask::new(self.waits[i].clone(), body));
         }
         run_static(lists)
     }
@@ -123,10 +154,10 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
-    fn chain_regions(len: usize) -> Vec<Vec<(RegionId, Access)>> {
+    fn chain_regions(len: usize) -> Vec<Vec<(Region, Access)>> {
         // Every task writes the same region: a pure serial chain.
         (0..len)
-            .map(|_| vec![(RegionId(7), Access::Write)])
+            .map(|_| vec![(Region::point(0, 7), Access::Write)])
             .collect()
     }
 
@@ -155,8 +186,8 @@ mod tests {
 
     #[test]
     fn independent_tasks_have_no_waits() {
-        let regions: Vec<Vec<(RegionId, Access)>> = (0..4)
-            .map(|i| vec![(RegionId(i as u64), Access::Write)])
+        let regions: Vec<Vec<(Region, Access)>> = (0..4)
+            .map(|i| vec![(Region::point(0, i as u64), Access::Write)])
             .collect();
         let owner = vec![0, 1, 0, 1];
         let sched = StaticSchedule::derive(2, &owner, &regions);

@@ -30,6 +30,11 @@ pub struct RunStats {
     /// Total busy time summed over workers (compare against
     /// `wall * workers` for utilization).
     pub busy: Duration,
+    /// Accesses validated by the footprint shadow checker
+    /// ([`crate::shadow`]). Always 0 in release builds (the checker
+    /// compiles out); in debug a zero count on a scheduled run means the
+    /// task bodies are not instrumented — itself a signal.
+    pub shadow_touches: u64,
 }
 
 impl RunStats {
@@ -65,6 +70,7 @@ impl RunStats {
         }
         self.busy += other.busy;
         self.tasks_run += other.tasks_run;
+        self.shadow_touches += other.shadow_touches;
     }
 
     /// Combine two finished top-level runs executed back to back (a
@@ -80,6 +86,7 @@ impl RunStats {
         }
         self.busy += other.busy;
         self.tasks_run += other.tasks_run;
+        self.shadow_touches += other.shadow_touches;
         self.wall += other.wall;
         self.workers = self.workers.max(other.workers);
     }

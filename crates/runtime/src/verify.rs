@@ -1,0 +1,540 @@
+//! Offline race-freedom verification of declared task graphs.
+//!
+//! `xtask graphcheck` sweeps the real stage-2 task-graph builders over a
+//! grid of `(n, bandwidth, threads)` instances; this module is its engine.
+//! Given the *declared* footprints of a task set — the same
+//! `(Region, Access)` lists the builders submit to [`TaskGraph`] — it
+//! proves, independently of the superscalar inference:
+//!
+//! 1. **Acyclicity**: every inferred edge points from an earlier
+//!    submission to a later one (the executors' deadlock-freedom
+//!    precondition, checked rather than trusted).
+//! 2. **Conflict coverage** (RAW/WAW/WAR completeness): every pair of
+//!    tasks whose declared regions overlap with at least one `Write` is
+//!    ordered by a dependence *path*. Conflicts are enumerated pairwise
+//!    from the declarations — deliberately not via the segment-list
+//!    protocol — so an inference bug cannot hide itself.
+//! 3. **Static/dynamic consistency**: the happens-before relation of a
+//!    derived [`StaticSchedule`] (per-worker list order plus cross-worker
+//!    waits) covers every edge of the dynamic graph.
+//! 4. **Priority sanity**: a priority-greedy sequential execution of the
+//!    graph is a linearization in which every conflicting pair runs in
+//!    submission order — priorities reorder ready tasks, never
+//!    dependences.
+//!
+//! What this module *cannot* see is whether the declarations match what
+//! the task bodies actually do — that is the shadow checker's job
+//! ([`crate::shadow`]); DESIGN.md §11 spells out the split.
+
+use crate::graph::{Access, Priority, Region, TaskGraph};
+use crate::static_plan::StaticSchedule;
+use std::fmt;
+
+/// The declared shape of one task: everything the verifier needs, nothing
+/// executable. Builders export their real task enumeration as specs.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    pub tag: &'static str,
+    pub priority: Priority,
+    pub regions: Vec<(Region, Access)>,
+}
+
+/// One verification failure, with enough coordinates to debug it.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// Edge `from -> to` with `to <= from`: the graph is not in
+    /// submission order and may cycle.
+    BackwardEdge { from: usize, to: usize },
+    /// Conflicting pair with no dependence path `first -> second`;
+    /// `witness` is an overlapping sub-interval with a write.
+    UncoveredConflict {
+        first: usize,
+        second: usize,
+        witness: Region,
+    },
+    /// A dynamic-graph edge not implied by the static schedule's
+    /// happens-before relation: the static run could race it.
+    StaticMissedEdge { from: usize, to: usize },
+    /// Structurally invalid static schedule (bad worker, bad progress
+    /// count, self-deadlocking wait).
+    StaticInvalid { task: usize, detail: String },
+    /// Priority-greedy execution ran a conflicting pair out of
+    /// submission order.
+    PriorityInversion { first: usize, second: usize },
+    /// Greedy execution stalled with tasks never becoming ready.
+    Stuck { ran: usize, total: usize },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BackwardEdge { from, to } => {
+                write!(
+                    f,
+                    "backward edge {from} -> {to} (graph not in submission order)"
+                )
+            }
+            Violation::UncoveredConflict {
+                first,
+                second,
+                witness,
+            } => write!(
+                f,
+                "conflicting tasks {first} and {second} (space {} range [{}, {})) \
+                 have no dependence path ordering them",
+                witness.space(),
+                witness.lo(),
+                witness.hi()
+            ),
+            Violation::StaticMissedEdge { from, to } => write!(
+                f,
+                "static schedule does not order dynamic edge {from} -> {to}"
+            ),
+            Violation::StaticInvalid { task, detail } => {
+                write!(f, "static schedule invalid at task {task}: {detail}")
+            }
+            Violation::PriorityInversion { first, second } => write!(
+                f,
+                "priority-greedy run executed conflicting tasks {first} and {second} \
+                 out of submission order"
+            ),
+            Violation::Stuck { ran, total } => {
+                write!(f, "greedy execution stuck after {ran} of {total} tasks")
+            }
+        }
+    }
+}
+
+/// Outcome of one check: instance statistics plus every violation found.
+#[derive(Clone, Debug, Default)]
+pub struct CheckSummary {
+    pub tasks: usize,
+    pub edges: usize,
+    pub conflict_pairs: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl CheckSummary {
+    /// `true` when the instance verified cleanly.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run the declared specs through the real superscalar inference and
+/// return the successor lists — the edge set everything else is checked
+/// against. Exposed so mutation tests can corrupt the edges before
+/// calling [`check_graph_with_edges`].
+pub fn infer_edges(specs: &[TaskSpec]) -> Vec<Vec<usize>> {
+    let mut g = TaskGraph::new();
+    for s in specs {
+        g.add_task(s.tag, s.priority, &s.regions, || {});
+    }
+    (0..specs.len()).map(|i| g.successors(i).to_vec()).collect()
+}
+
+/// All conflicting pairs `(i, j, witness)` with `i < j`: some region of
+/// `i` overlaps some region of `j` and at least one side writes. One
+/// witness interval is reported per pair.
+pub fn conflict_pairs(specs: &[TaskSpec]) -> Vec<(usize, usize, Region)> {
+    let mut pairs = Vec::new();
+    for i in 0..specs.len() {
+        'pair: for j in (i + 1)..specs.len() {
+            for &(ri, ai) in &specs[i].regions {
+                for &(rj, aj) in &specs[j].regions {
+                    let writes = matches!(ai, Access::Write) || matches!(aj, Access::Write);
+                    if writes {
+                        if let Some(w) = ri.intersect(&rj) {
+                            pairs.push((i, j, w));
+                            continue 'pair;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Dense reachability bitmap over a forward-edge DAG.
+struct BitMatrix {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        BitMatrix {
+            words,
+            bits: vec![0; words * n],
+        }
+    }
+
+    fn set(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words + col / 64] |= 1 << (col % 64);
+    }
+
+    fn get(&self, row: usize, col: usize) -> bool {
+        self.bits[row * self.words + col / 64] & (1 << (col % 64)) != 0
+    }
+
+    /// `row dst |= row src` (element copies, no aliasing borrows).
+    fn or_row(&mut self, dst: usize, src: usize) {
+        for w in 0..self.words {
+            let v = self.bits[src * self.words + w];
+            self.bits[dst * self.words + w] |= v;
+        }
+    }
+}
+
+/// Transitive reachability of a forward-edge DAG. Backward edges are
+/// reported in `violations` and skipped (they would otherwise corrupt
+/// the sweep).
+fn reachability(n: usize, edges: &[Vec<usize>], violations: &mut Vec<Violation>) -> BitMatrix {
+    let mut m = BitMatrix::new(n);
+    for u in (0..n).rev() {
+        for &v in &edges[u] {
+            if v <= u {
+                violations.push(Violation::BackwardEdge { from: u, to: v });
+                continue;
+            }
+            m.set(u, v);
+            m.or_row(u, v);
+        }
+    }
+    m
+}
+
+/// Priority-greedy sequential execution order: among ready tasks, the
+/// earliest-submitted `High` task runs first, then the earliest `Normal`.
+/// This is the strongest priority bias any executor can apply.
+fn greedy_priority_order(
+    specs: &[TaskSpec],
+    edges: &[Vec<usize>],
+) -> (Vec<usize>, Option<Violation>) {
+    use std::collections::BTreeSet;
+    let n = specs.len();
+    let mut indeg = vec![0usize; n];
+    for succ in edges {
+        for &v in succ {
+            if v < n {
+                indeg[v] += 1;
+            }
+        }
+    }
+    let mut high = BTreeSet::new();
+    let mut normal = BTreeSet::new();
+    for (i, d) in indeg.iter().enumerate() {
+        if *d == 0 {
+            match specs[i].priority {
+                Priority::High => high.insert(i),
+                Priority::Normal => normal.insert(i),
+            };
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(&u) = high.iter().next().or_else(|| normal.iter().next()) {
+        high.remove(&u);
+        normal.remove(&u);
+        order.push(u);
+        for &v in &edges[u] {
+            if v >= n {
+                continue;
+            }
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                match specs[v].priority {
+                    Priority::High => high.insert(v),
+                    Priority::Normal => normal.insert(v),
+                };
+            }
+        }
+    }
+    let stuck = (order.len() < n).then_some(Violation::Stuck {
+        ran: order.len(),
+        total: n,
+    });
+    (order, stuck)
+}
+
+/// Verify a task set end to end against its own inferred edges:
+/// acyclicity, conflict coverage, priority sanity.
+pub fn check_graph(specs: &[TaskSpec]) -> CheckSummary {
+    let edges = infer_edges(specs);
+    check_graph_with_edges(specs, &edges)
+}
+
+/// [`check_graph`] against an externally supplied edge set. Mutation
+/// tests delete an edge here and must see the conflict coverage fail.
+pub fn check_graph_with_edges(specs: &[TaskSpec], edges: &[Vec<usize>]) -> CheckSummary {
+    let n = specs.len();
+    let mut summary = CheckSummary {
+        tasks: n,
+        edges: edges.iter().map(Vec::len).sum(),
+        ..CheckSummary::default()
+    };
+    let reach = reachability(n, edges, &mut summary.violations);
+    let conflicts = conflict_pairs(specs);
+    summary.conflict_pairs = conflicts.len();
+    for &(i, j, witness) in &conflicts {
+        if !reach.get(i, j) {
+            summary.violations.push(Violation::UncoveredConflict {
+                first: i,
+                second: j,
+                witness,
+            });
+        }
+    }
+    let (order, stuck) = greedy_priority_order(specs, edges);
+    if let Some(v) = stuck {
+        summary.violations.push(v);
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (p, &t) in order.iter().enumerate() {
+        pos[t] = p;
+    }
+    for &(i, j, _) in &conflicts {
+        if pos[i] != usize::MAX && pos[j] != usize::MAX && pos[i] > pos[j] {
+            summary.violations.push(Violation::PriorityInversion {
+                first: i,
+                second: j,
+            });
+        }
+    }
+    summary
+}
+
+/// Derive the static schedule from the specs' own regions and verify it
+/// orders every dynamic edge. This is the production derivation path —
+/// the same [`StaticSchedule::derive`] the solvers cache.
+pub fn check_static(specs: &[TaskSpec], owner: &[usize], threads: usize) -> CheckSummary {
+    let regions: Vec<Vec<(Region, Access)>> = specs.iter().map(|s| s.regions.clone()).collect();
+    let sched = StaticSchedule::derive(threads, owner, &regions);
+    check_static_schedule(specs, owner, &sched)
+}
+
+/// Verify an arbitrary static schedule against the specs' dynamic edges.
+/// Separated from [`check_static`] so tests can hand in a deliberately
+/// broken schedule (e.g. one derived from narrowed regions) and watch
+/// the missed edges surface.
+pub fn check_static_schedule(
+    specs: &[TaskSpec],
+    owner: &[usize],
+    sched: &StaticSchedule,
+) -> CheckSummary {
+    let n = specs.len();
+    let threads = sched.threads();
+    let mut summary = CheckSummary {
+        tasks: n,
+        ..CheckSummary::default()
+    };
+    // Per-worker lists in submission order — the order execute() builds.
+    let mut pos = vec![0usize; n];
+    let mut lists: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for i in 0..n {
+        let w = owner[i];
+        if w >= threads {
+            summary.violations.push(Violation::StaticInvalid {
+                task: i,
+                detail: format!("owner {w} out of range for {threads} workers"),
+            });
+            return summary;
+        }
+        pos[i] = lists[w].len();
+        lists[w].push(i);
+    }
+    // Happens-before edges: intra-worker list order + cross-worker waits.
+    let mut hb: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for list in &lists {
+        for pair in list.windows(2) {
+            hb[pair[0]].push(pair[1]);
+        }
+    }
+    for t in 0..n {
+        for &(dw, dc) in sched.waits(t) {
+            if dw >= threads || dc == 0 || dc > lists[dw].len() {
+                summary.violations.push(Violation::StaticInvalid {
+                    task: t,
+                    detail: format!("wait ({dw}, {dc}) out of range"),
+                });
+                continue;
+            }
+            if dw == owner[t] && dc > pos[t] {
+                summary.violations.push(Violation::StaticInvalid {
+                    task: t,
+                    detail: format!("wait ({dw}, {dc}) on own worker's future"),
+                });
+                continue;
+            }
+            hb[lists[dw][dc - 1]].push(t);
+        }
+    }
+    let hb_reach = reachability(n, &hb, &mut summary.violations);
+    let edges = infer_edges(specs);
+    summary.edges = edges.iter().map(Vec::len).sum();
+    for (u, succ) in edges.iter().enumerate() {
+        for &v in succ {
+            if !hb_reach.get(u, v) {
+                summary
+                    .violations
+                    .push(Violation::StaticMissedEdge { from: u, to: v });
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(regions: Vec<(Region, Access)>) -> TaskSpec {
+        TaskSpec {
+            tag: "t",
+            priority: Priority::Normal,
+            regions,
+        }
+    }
+
+    fn chain(len: usize) -> Vec<TaskSpec> {
+        (0..len)
+            .map(|_| spec(vec![(Region::span(0, 0, 4), Access::Write)]))
+            .collect()
+    }
+
+    #[test]
+    fn clean_chain_verifies() {
+        let specs = chain(5);
+        let sum = check_graph(&specs);
+        assert!(sum.ok(), "{:?}", sum.violations);
+        assert_eq!(sum.tasks, 5);
+        assert_eq!(sum.conflict_pairs, 10); // all pairs conflict
+        assert_eq!(sum.edges, 4); // WAW chain only
+    }
+
+    #[test]
+    fn transitive_path_covers_distant_conflicts() {
+        // 0 -> 1 -> 2 with no direct 0 -> 2 edge, yet (0, 2) conflicts.
+        let specs = chain(3);
+        let edges = infer_edges(&specs);
+        assert!(!edges[0].contains(&2));
+        assert!(check_graph_with_edges(&specs, &edges).ok());
+    }
+
+    #[test]
+    fn deleted_edge_is_caught() {
+        let specs = chain(3);
+        let mut edges = infer_edges(&specs);
+        edges[1].retain(|&v| v != 2);
+        let sum = check_graph_with_edges(&specs, &edges);
+        assert!(sum
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UncoveredConflict { second: 2, .. })));
+    }
+
+    #[test]
+    fn backward_edge_is_caught() {
+        let specs = chain(2);
+        let edges = vec![vec![1], vec![0]];
+        let sum = check_graph_with_edges(&specs, &edges);
+        assert!(sum
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BackwardEdge { from: 1, to: 0 })));
+    }
+
+    #[test]
+    fn disjoint_tasks_have_no_conflicts() {
+        let specs = vec![
+            spec(vec![(Region::span(0, 0, 4), Access::Write)]),
+            spec(vec![(Region::span(0, 4, 8), Access::Write)]),
+            spec(vec![(Region::span(1, 0, 4), Access::Read)]),
+        ];
+        assert!(conflict_pairs(&specs).is_empty());
+        assert!(check_graph(&specs).ok());
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let specs = vec![
+            spec(vec![(Region::span(0, 0, 4), Access::Read)]),
+            spec(vec![(Region::span(0, 2, 6), Access::Read)]),
+        ];
+        assert!(conflict_pairs(&specs).is_empty());
+    }
+
+    #[test]
+    fn priority_inversion_detected_without_edges() {
+        // Two conflicting tasks, second High: with the real edges the
+        // greedy run respects submission order; with edges stripped the
+        // High task jumps the queue — both failures must surface.
+        let mut specs = chain(2);
+        specs[1].priority = Priority::High;
+        assert!(check_graph(&specs).ok());
+        let no_edges = vec![Vec::new(), Vec::new()];
+        let sum = check_graph_with_edges(&specs, &no_edges);
+        assert!(sum
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::PriorityInversion { .. })));
+        assert!(sum
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UncoveredConflict { .. })));
+    }
+
+    #[test]
+    fn static_schedule_covers_chain() {
+        let specs = chain(6);
+        let owner: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let sum = check_static(&specs, &owner, 3);
+        assert!(sum.ok(), "{:?}", sum.violations);
+    }
+
+    #[test]
+    fn under_derived_static_schedule_misses_edges() {
+        // Derive the schedule from narrowed regions (dropping the
+        // conflict) and check it against the full specs: the missing
+        // cross-worker wait must be reported.
+        let specs = chain(2);
+        let owner = vec![0, 1];
+        let narrowed: Vec<Vec<(Region, Access)>> = vec![
+            vec![(Region::span(0, 0, 4), Access::Write)],
+            vec![(Region::span(0, 10, 14), Access::Write)],
+        ];
+        let sched = StaticSchedule::derive(2, &owner, &narrowed);
+        let sum = check_static_schedule(&specs, &owner, &sched);
+        assert!(sum
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::StaticMissedEdge { from: 0, to: 1 })));
+    }
+
+    #[test]
+    fn violations_render() {
+        // Display impls are what graphcheck prints; keep them total.
+        let vs = [
+            Violation::BackwardEdge { from: 1, to: 0 },
+            Violation::UncoveredConflict {
+                first: 0,
+                second: 1,
+                witness: Region::span(0, 2, 4),
+            },
+            Violation::StaticMissedEdge { from: 0, to: 1 },
+            Violation::StaticInvalid {
+                task: 3,
+                detail: "x".into(),
+            },
+            Violation::PriorityInversion {
+                first: 0,
+                second: 1,
+            },
+            Violation::Stuck { ran: 1, total: 2 },
+        ];
+        for v in &vs {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

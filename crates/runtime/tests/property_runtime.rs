@@ -1,100 +1,207 @@
 //! Property tests for the task runtime: any region-declared graph, run
-//! on any worker count, must be observationally equivalent to serial
-//! execution.
+//! on any worker count — dynamic or static — must be observationally
+//! equivalent to serial execution, and the offline verifier must certify
+//! every such graph race-free.
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
-use tseig_runtime::{Access, Priority, RegionId, Runtime, TaskGraph};
+use tseig_runtime::verify;
+use tseig_runtime::{Access, Priority, Region, Runtime, StaticSchedule, TaskGraph};
 
-/// A randomly generated task spec: which regions it touches and how.
-#[derive(Clone, Debug)]
-struct TaskSpec {
-    regions: Vec<(u64, bool)>, // (region id, is_write)
+/// One randomly generated region access: interval `[lo, lo+len)` of one
+/// of two spaces, read or written.
+#[derive(Clone, Copy, Debug)]
+struct RSpec {
+    space: u32,
+    lo: u64,
+    len: u64,
+    write: bool,
 }
 
-fn task_spec_strategy(nregions: u64) -> impl Strategy<Value = TaskSpec> {
-    prop::collection::vec((0..nregions, any::<bool>()), 1..4).prop_map(|mut v| {
-        v.sort_unstable();
-        v.dedup_by_key(|e| e.0);
-        TaskSpec { regions: v }
+impl RSpec {
+    fn region(&self) -> Region {
+        Region::span(self.space, self.lo, self.lo + self.len)
+    }
+
+    fn access(&self) -> Access {
+        if self.write {
+            Access::Write
+        } else {
+            Access::Read
+        }
+    }
+}
+
+/// A randomly generated task: 1-3 interval accesses, possibly
+/// overlapping each other.
+#[derive(Clone, Debug)]
+struct Spec {
+    regions: Vec<RSpec>,
+}
+
+/// Shared log of observed reads: `(task id, cell, value seen)`.
+type ReadLog = Arc<Mutex<Vec<(usize, usize, usize)>>>;
+
+/// Unit-cell index of `(space, i)` in the flat model memory.
+fn cell(space: u32, i: u64) -> usize {
+    space as usize * 20 + i as usize
+}
+
+const NCELLS: usize = 40;
+
+fn rspec_strategy() -> impl Strategy<Value = RSpec> {
+    (0u32..2, 0u64..12, 1u64..5, any::<bool>()).prop_map(|(space, lo, len, write)| RSpec {
+        space,
+        lo,
+        len,
+        write,
     })
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    prop::collection::vec(rspec_strategy(), 1..4).prop_map(|regions| Spec { regions })
+}
+
+fn to_verify_specs(specs: &[Spec]) -> Vec<verify::TaskSpec> {
+    specs
+        .iter()
+        .map(|s| verify::TaskSpec {
+            tag: "t",
+            priority: Priority::Normal,
+            regions: s.regions.iter().map(|r| (r.region(), r.access())).collect(),
+        })
+        .collect()
+}
+
+/// Serially simulate the cell model: writers store `task id + 1` into
+/// every covered cell, readers record what they saw. Returns the read
+/// log and the final memory.
+fn serial_expectation(specs: &[Spec]) -> (Vec<(usize, usize, usize)>, Vec<usize>) {
+    let mut mem = vec![0usize; NCELLS];
+    let mut reads = Vec::new();
+    for (id, spec) in specs.iter().enumerate() {
+        for r in &spec.regions {
+            for i in r.lo..r.lo + r.len {
+                if r.write {
+                    mem[cell(r.space, i)] = id + 1;
+                } else {
+                    reads.push((id, cell(r.space, i), mem[cell(r.space, i)]));
+                }
+            }
+        }
+    }
+    (reads, mem)
+}
+
+/// The task body of the cell model for task `id`: same cell sequence as
+/// [`serial_expectation`], plus a shadow report of every access — random
+/// honest declarations must never trip the checker.
+fn run_body(id: usize, spec: &Spec, mem: &Arc<Vec<Mutex<usize>>>, reads: &ReadLog) {
+    for r in &spec.regions {
+        tseig_runtime::shadow::touch_region(r.region(), r.access());
+        for i in r.lo..r.lo + r.len {
+            if r.write {
+                *mem[cell(r.space, i)].lock() = id + 1;
+            } else {
+                let v = *mem[cell(r.space, i)].lock();
+                reads.lock().push((id, cell(r.space, i), v));
+            }
+        }
+    }
+}
+
+/// Check an observed run against the serial expectation: every read saw
+/// the value of the serially-last preceding writer, and the final memory
+/// matches.
+fn assert_serial_equivalent(
+    specs: &[Spec],
+    observed_reads: &[(usize, usize, usize)],
+    observed_mem: &[usize],
+) {
+    let (want_reads, want_mem) = serial_expectation(specs);
+    assert_eq!(observed_mem, want_mem, "final memory diverged");
+    // Reads may be logged in any global order; compare per (task, cell).
+    let mut want_sorted = want_reads;
+    want_sorted.sort_unstable();
+    let mut got_sorted = observed_reads.to_vec();
+    got_sorted.sort_unstable();
+    assert_eq!(got_sorted, want_sorted, "read log diverged");
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// Every region's observed access sequence must equal its submission
-    /// order projected onto writers, with readers between consecutive
-    /// writers allowed in any order: we verify the stronger, simpler
-    /// property that for each region the sequence of *writer* tasks is in
-    /// submission order, and every reader observes the value left by the
-    /// correct preceding writer.
+    /// Dynamic execution of any random interval-region graph is
+    /// observationally serial: every reader observes the value left by
+    /// the correct preceding writer, and the final memory matches the
+    /// serial simulation.
     #[test]
     fn dynamic_respects_dependences(
-        specs in prop::collection::vec(task_spec_strategy(5), 1..40),
+        specs in prop::collection::vec(spec_strategy(), 1..40),
         threads in 1usize..6,
     ) {
-        // Each region is a counter; a writer stores its own task id (+1),
-        // a reader records the value it saw. After the run, each reader
-        // must have seen the id of the last writer submitted before it.
-        let nregions = 5usize;
-        let counters: Arc<Vec<Mutex<usize>>> =
-            Arc::new((0..nregions).map(|_| Mutex::new(0)).collect());
-        let reads: Arc<Mutex<Vec<(usize, u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
-
-        // Expected last-writer per (task, region) from the serial order.
-        let mut last_writer = vec![0usize; nregions];
-        let mut expect: Vec<Vec<(u64, usize)>> = Vec::new();
-        for (id, spec) in specs.iter().enumerate() {
-            let mut this = Vec::new();
-            for &(r, w) in &spec.regions {
-                if !w {
-                    this.push((r, last_writer[r as usize]));
-                }
-            }
-            for &(r, w) in &spec.regions {
-                if w {
-                    last_writer[r as usize] = id + 1;
-                }
-            }
-            expect.push(this);
-        }
-
+        let mem: Arc<Vec<Mutex<usize>>> =
+            Arc::new((0..NCELLS).map(|_| Mutex::new(0)).collect());
+        let reads: ReadLog = Arc::new(Mutex::new(Vec::new()));
         let mut g = TaskGraph::new();
         for (id, spec) in specs.iter().enumerate() {
-            let regions: Vec<(RegionId, Access)> = spec
-                .regions
-                .iter()
-                .map(|&(r, w)| (RegionId(r), if w { Access::Write } else { Access::Read }))
-                .collect();
-            let counters = counters.clone();
-            let reads = reads.clone();
-            let spec = spec.clone();
+            let regions: Vec<(Region, Access)> =
+                spec.regions.iter().map(|r| (r.region(), r.access())).collect();
+            let (mem, reads, spec) = (mem.clone(), reads.clone(), spec.clone());
             g.add_task("t", Priority::Normal, &regions, move || {
-                for &(r, w) in &spec.regions {
-                    if w {
-                        *counters[r as usize].lock() = id + 1;
-                    } else {
-                        let v = *counters[r as usize].lock();
-                        reads.lock().push((id, r, v));
-                    }
-                }
+                run_body(id, &spec, &mem, &reads);
             });
         }
         Runtime::new(threads).run(g).unwrap();
+        let final_mem: Vec<usize> = mem.iter().map(|c| *c.lock()).collect();
+        assert_serial_equivalent(&specs, &reads.lock(), &final_mem);
+    }
 
-        for (task, region, seen) in reads.lock().iter() {
-            let want = expect[*task]
-                .iter()
-                .find(|(r, _)| r == region)
-                .map(|(_, w)| *w)
-                .unwrap();
-            prop_assert_eq!(
-                *seen, want,
-                "task {} read region {} saw {} expected {}", task, region, seen, want
-            );
-        }
+    /// The static scheduler, under any owner assignment, is also
+    /// observationally serial — and the offline verifier certifies both
+    /// the graph and the derived static schedule for the same instance.
+    #[test]
+    fn static_respects_dependences_and_certifies(
+        specs in prop::collection::vec(spec_strategy(), 1..30),
+        owner_seed in prop::collection::vec(0usize..4, 30..31),
+        threads in 1usize..5,
+    ) {
+        let owners: Vec<usize> =
+            specs.iter().enumerate().map(|(i, _)| owner_seed[i] % threads).collect();
+        let vspecs = to_verify_specs(&specs);
+        let sum = verify::check_graph(&vspecs);
+        prop_assert!(sum.ok(), "graph not certified: {:?}", sum.violations);
+        let st = verify::check_static(&vspecs, &owners, threads);
+        prop_assert!(st.ok(), "static schedule not certified: {:?}", st.violations);
+
+        let regions: Vec<Vec<(Region, Access)>> = specs
+            .iter()
+            .map(|s| s.regions.iter().map(|r| (r.region(), r.access())).collect())
+            .collect();
+        let sched = StaticSchedule::derive(threads, &owners, &regions);
+        let mem: Arc<Vec<Mutex<usize>>> =
+            Arc::new((0..NCELLS).map(|_| Mutex::new(0)).collect());
+        let reads: ReadLog = Arc::new(Mutex::new(Vec::new()));
+        sched
+            .execute(|i| {
+                let (mem, reads, spec) = (mem.clone(), reads.clone(), specs[i].clone());
+                Box::new(move || run_body(i, &spec, &mem, &reads))
+            })
+            .unwrap();
+        let final_mem: Vec<usize> = mem.iter().map(|c| *c.lock()).collect();
+        assert_serial_equivalent(&specs, &reads.lock(), &final_mem);
+    }
+
+    /// The verifier's dependence inference is complete for arbitrary
+    /// interval sets: every conflicting pair of a random graph is covered
+    /// by a dependence path, with no cycles and no priority inversions.
+    #[test]
+    fn random_graphs_certify(
+        specs in prop::collection::vec(spec_strategy(), 0..50),
+    ) {
+        let sum = verify::check_graph(&to_verify_specs(&specs));
+        prop_assert!(sum.ok(), "not certified: {:?}", sum.violations);
     }
 
     /// The static scheduler runs every task exactly once regardless of
@@ -131,5 +238,47 @@ proptest! {
         prop_assert!(nworkers >= 1);
         tseig_runtime::static_sched::run_static(lists).unwrap();
         prop_assert_eq!(hit.load(Ordering::Relaxed), total);
+    }
+}
+
+/// An under-declared footprint must be caught by the shadow checker, not
+/// race silently — on both executors. (The checker only exists in debug
+/// builds; release relies on the debug test matrix having validated the
+/// declarations.)
+#[cfg(debug_assertions)]
+mod shadow_negative {
+    use super::*;
+
+    #[test]
+    fn dynamic_catches_under_declared_footprint() {
+        let mut g = TaskGraph::new();
+        let declared = [(Region::span(0, 0, 5), Access::Write)];
+        g.add_task("liar", Priority::Normal, &declared, || {
+            // Touch twice the declared interval.
+            tseig_runtime::shadow::touch(0, 0, 10, Access::Write);
+        });
+        let err = Runtime::new(1).run(g).unwrap_err();
+        assert!(
+            err.contains("outside its declared footprint"),
+            "expected a shadow violation, got: {err}"
+        );
+    }
+
+    #[test]
+    fn static_catches_under_declared_footprint() {
+        let regions = vec![vec![(Region::span(0, 0, 5), Access::Read)]];
+        let sched = StaticSchedule::derive(1, &[0], &regions);
+        let err = sched
+            .execute(|_| {
+                Box::new(|| {
+                    // Write against a read-only declaration.
+                    tseig_runtime::shadow::touch(0, 2, 3, Access::Write);
+                })
+            })
+            .unwrap_err();
+        assert!(
+            err.contains("outside its declared footprint"),
+            "expected a shadow violation, got: {err}"
+        );
     }
 }

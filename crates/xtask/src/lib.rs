@@ -14,6 +14,8 @@
 //! | `no-panics`         | no `unwrap()`/`expect(`/`panic!` in library code |
 //! | `lossy-cast`        | no `as u32`/`as i32`/`as f32` in library code |
 //! | `plan-no-alloc`     | `*_ws`/`*_into`/`*_planned` fns reuse workspaces, never mint buffers |
+//! | `pure-req`          | `*_req` sizing fns are pure arithmetic (no alloc/I-O/env/clock) |
+//! | `task-storage`      | task-body files reach storage only through shadow-reported accessors |
 //! | `shim-deps`         | `shims/*` stay std-only |
 //!
 //! A rule can be waived on one line with a
@@ -22,6 +24,8 @@
 //! comments off long lines). The reason is mandatory reviewer-facing
 //! prose, not parsed.
 
+#[cfg(feature = "graphcheck")]
+pub mod graphcheck;
 pub mod rules;
 pub mod runner;
 pub mod source;
@@ -45,5 +49,51 @@ impl std::fmt::Display for Diag {
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.msg
         )
+    }
+}
+
+impl Diag {
+    /// GitHub Actions workflow-command form: printed to stdout in CI, it
+    /// becomes an inline annotation on the PR diff
+    /// (`::error file=...,line=...,title=...::message`).
+    pub fn github(&self) -> String {
+        format!(
+            "::error file={},line={},title=tidy({})::{}",
+            self.path,
+            self.line.max(1),
+            self.rule,
+            github_escape_message(&self.msg),
+        )
+    }
+}
+
+/// Escape a workflow-command *message*: `%`, CR and LF are the only
+/// characters GitHub requires encoded there.
+pub fn github_escape_message(msg: &str) -> String {
+    msg.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn github_annotation_format() {
+        let d = Diag {
+            path: "crates/core/src/stage2.rs".to_string(),
+            line: 7,
+            rule: "task-storage",
+            msg: "bad\nthing with 100%".to_string(),
+        };
+        assert_eq!(
+            d.github(),
+            "::error file=crates/core/src/stage2.rs,line=7,title=tidy(task-storage)::bad%0Athing with 100%25"
+        );
+        // File-level findings (line 0) clamp to line 1 — the annotation
+        // API rejects line 0.
+        let d = Diag { line: 0, ..d };
+        assert!(d.github().contains("line=1,"));
     }
 }

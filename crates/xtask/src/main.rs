@@ -1,8 +1,14 @@
-//! `cargo run -p xtask -- tidy` — repo-specific static analysis.
+//! `cargo run -p xtask -- <command>` — repo-specific static analysis.
 //!
-//! Exit status 0 when the tree is clean, 1 with one line per violation
-//! otherwise. See `xtask::rules` for what is checked and DESIGN.md
-//! ("Static analysis & contracts") for the policy.
+//! * `tidy [--github] [workspace-root]` — token-level lint rules; exit 0
+//!   when clean, 1 with one line per violation otherwise.
+//! * `graphcheck [--github] [--out PATH]` — offline race-freedom
+//!   certification of the stage-2 task graphs (needs the `graphcheck`
+//!   cargo feature); writes the `tseig-graphcheck/1` JSON certificate.
+//!
+//! `--github` renders findings as GitHub Actions annotations
+//! (`::error file=...`) on stdout in addition to the plain diagnostics.
+//! See `xtask::rules`/`xtask::graphcheck` and DESIGN.md §11 for policy.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -10,15 +16,32 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("tidy") => tidy(args.get(1).map(String::as_str)),
+        Some("tidy") => tidy(&args[1..]),
+        Some("graphcheck") => graphcheck_cmd(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- tidy [workspace-root]");
+            eprintln!(
+                "usage: cargo run -p xtask -- tidy [--github] [workspace-root]\n       \
+                 cargo run -p xtask --features graphcheck -- graphcheck [--github] [--out PATH]"
+            );
             ExitCode::from(2)
         }
     }
 }
 
-fn tidy(root_arg: Option<&str>) -> ExitCode {
+/// Emit diagnostics: plain lines on stderr always, GitHub annotations on
+/// stdout when asked (stdout is what the Actions runner scans).
+fn emit(diags: &[xtask::Diag], github: bool) {
+    for d in diags {
+        eprintln!("{d}");
+        if github {
+            println!("{}", d.github());
+        }
+    }
+}
+
+fn tidy(args: &[String]) -> ExitCode {
+    let github = args.iter().any(|a| a == "--github");
+    let root_arg = args.iter().find(|a| !a.starts_with("--"));
     let root = match root_arg {
         Some(r) => Path::new(r).to_path_buf(),
         None => {
@@ -38,9 +61,7 @@ fn tidy(root_arg: Option<&str>) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(diags) => {
-            for d in &diags {
-                eprintln!("{d}");
-            }
+            emit(&diags, github);
             eprintln!("tidy: {} violation(s)", diags.len());
             ExitCode::FAILURE
         }
@@ -49,4 +70,53 @@ fn tidy(root_arg: Option<&str>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+#[cfg(feature = "graphcheck")]
+fn graphcheck_cmd(args: &[String]) -> ExitCode {
+    let github = args.iter().any(|a| a == "--github");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1));
+    let reports = xtask::graphcheck::run_sweep();
+    let cert = xtask::graphcheck::certificate_json(&reports);
+    if let Some(path) = out {
+        if let Some(dir) = Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, &cert) {
+            eprintln!("graphcheck: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("graphcheck: certificate written to {path}");
+    } else {
+        print!("{cert}");
+    }
+    let diags = xtask::graphcheck::diags(&reports);
+    let certified = reports.iter().filter(|r| r.ok()).count();
+    if diags.is_empty() {
+        eprintln!(
+            "graphcheck: {certified}/{} instances certified race-free",
+            reports.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        emit(&diags, github);
+        eprintln!(
+            "graphcheck: {} violation(s) across {} instance(s)",
+            diags.len(),
+            reports.len() - certified
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(not(feature = "graphcheck"))]
+fn graphcheck_cmd(_args: &[String]) -> ExitCode {
+    eprintln!(
+        "graphcheck: xtask was built without the `graphcheck` feature.\n\
+         run: cargo run -p xtask --features graphcheck -- graphcheck"
+    );
+    ExitCode::from(2)
 }

@@ -7,6 +7,8 @@ pub mod casts;
 pub mod counters;
 pub mod panics;
 pub mod plan_no_alloc;
+pub mod pure_req;
 pub mod result_unwrap;
 pub mod shims;
+pub mod task_shadow;
 pub mod unsafe_rules;

@@ -1,0 +1,139 @@
+//! Rule `pure-req`: workspace sizing functions must be pure.
+//!
+//! The `*_req` functions (`geqrf_req`, `steqr_planned_req`, `bt_req`,
+//! ...) size the workspaces a [`MemReq`]-driven plan allocates up front.
+//! The whole allocation-free-solve story rests on them being pure
+//! arithmetic over the problem shape: a `_req` that allocates, does I/O,
+//! reads the environment or consults a clock could disagree with itself
+//! between planning and execution, silently breaking the "plan once,
+//! solve warm" contract. The counting-allocator test catches an impure
+//! `_req` only for the shapes it happens to run; this rule guards the
+//! invariant structurally for all of them.
+
+use crate::source::{fn_spans, SourceFile};
+use crate::Diag;
+
+/// Tokens a pure sizing function has no business containing: heap
+/// allocation, I/O, environment, clocks, and synchronization.
+const IMPURE_TOKENS: &[&str] = &[
+    "vec!",
+    "Vec::new(",
+    "with_capacity(",
+    ".to_vec()",
+    ".to_string()",
+    "String::new(",
+    "Box::new(",
+    ".collect",
+    "format!(",
+    "println!(",
+    "eprintln!(",
+    "env::",
+    "fs::",
+    "File::",
+    "Instant::",
+    "SystemTime::",
+    ".lock(",
+    "Mutex::",
+    "RwLock::",
+];
+
+/// Is this `fn` item named like a sizing function (`*_req`)?
+fn req_fn_name(header: &str) -> bool {
+    let Some(pos) = header.find("fn ") else {
+        return false;
+    };
+    let rest = &header[pos + 3..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    name.ends_with("_req")
+}
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diag>) {
+    if !file.rel_path.starts_with("crates/") {
+        return;
+    }
+    for (header_line, body) in fn_spans(file) {
+        let header = &file.lines[header_line - 1].code;
+        if !req_fn_name(header) {
+            continue;
+        }
+        let span_len = body.split('\n').count();
+        for off in 0..span_len {
+            let line_no = header_line + off;
+            let Some(line) = file.lines.get(line_no - 1) else {
+                break;
+            };
+            for token in IMPURE_TOKENS {
+                if line.code.contains(token)
+                    && !file.allows(line_no, "pure-req")
+                    && !file.allows(header_line, "pure-req")
+                {
+                    diags.push(Diag {
+                        path: file.rel_path.clone(),
+                        line: line_no,
+                        rule: "pure-req",
+                        msg: format!(
+                            "`{token}` inside sizing fn (`*_req`); workspace requirements \
+                             must be pure arithmetic over the problem shape"
+                        ),
+                    });
+                    break; // one diag per line is enough
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path, src);
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn allocation_inside_req_fails() {
+        let src = "pub fn geqrf_req(n: usize) -> MemReq {\n    let v = vec![0.0; n];\n    MemReq::of(v.len())\n}\n";
+        let d = run("crates/kernels/src/qr.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "pure-req");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn io_and_clock_inside_req_fail() {
+        let src = "pub fn plan_req(n: usize) -> MemReq {\n    let t = Instant::now();\n    env::var(\"X\").ok();\n    MemReq::of(n)\n}\n";
+        let d = run("crates/core/src/driver.rs", src);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn pure_arithmetic_passes() {
+        let src = "pub fn bt_req(n: usize, nb: usize) -> MemReq {\n    MemReq::of(n * nb + n.max(nb))\n}\n";
+        assert!(run("crates/core/src/backtransform.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_req_fns_are_out_of_scope() {
+        let src = "pub fn solve(n: usize) {\n    let v = vec![0.0; n];\n}\n";
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_is_honoured() {
+        let src = "pub fn odd_req(n: usize) -> MemReq {\n    let v = vec![0.0; n]; // tidy: allow(pure-req) -- documented probe\n    MemReq::of(v.len())\n}\n";
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn check_req() { let v = vec![1]; }\n}\n";
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+    }
+}

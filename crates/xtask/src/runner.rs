@@ -1,7 +1,10 @@
 //! Workspace walker: finds the workspace root, feeds every source file
 //! through the rules, and aggregates diagnostics.
 
-use crate::rules::{casts, counters, panics, plan_no_alloc, result_unwrap, shims, unsafe_rules};
+use crate::rules::{
+    casts, counters, panics, plan_no_alloc, pure_req, result_unwrap, shims, task_shadow,
+    unsafe_rules,
+};
 use crate::source::SourceFile;
 use crate::Diag;
 use std::path::{Path, PathBuf};
@@ -41,6 +44,8 @@ pub fn run_tidy(root: &Path) -> std::io::Result<Vec<Diag>> {
         result_unwrap::check(&file, &mut diags);
         casts::check(&file, &mut diags);
         plan_no_alloc::check(&file, &mut diags);
+        pure_req::check(&file, &mut diags);
+        task_shadow::check(&file, &mut diags);
     }
     // Shim manifest drift.
     let shims_dir = root.join("shims");
