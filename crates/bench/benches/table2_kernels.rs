@@ -19,7 +19,7 @@ use tseig_hermitian::ckernels::{zgemm, zgemm_oracle, Op};
 use tseig_kernels::blas2::{gemv, symv_lower};
 use tseig_kernels::blas3::{gemm, gemm_par, gemm_unpacked, gemm_with_kernel, simd, Trans};
 use tseig_kernels::flops;
-use tseig_matrix::{c64, Matrix, C64};
+use tseig_matrix::{c64, Matrix, C32, C64};
 
 /// Dense complex workload (reproducible, well-scaled).
 fn cworkload(n: usize, seed: u64) -> Vec<C64> {
@@ -206,6 +206,77 @@ fn kernels(c: &mut Criterion) {
             )
         })
     });
+    // The narrow-component lanes: f32 and C32 through the same generic
+    // engine with their own dispatched microkernels. At twice the FMA
+    // lanes per vector these should run about 2x their 8-byte-component
+    // counterparts (gemm_simd and zgemm_packed above).
+    let sa: Vec<f32> = workload(n, 0x7a)
+        .as_slice()
+        .iter()
+        .map(|&x| x as f32)
+        .collect();
+    let sb: Vec<f32> = workload(n, 0x7b)
+        .as_slice()
+        .iter()
+        .map(|&x| x as f32)
+        .collect();
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function(BenchmarkId::new("sgemm_packed", n), |bch| {
+        let mut sc = vec![0.0f32; n * n];
+        bch.iter(|| {
+            tseig_kernels::blas3::engine::gemm(
+                Op::No,
+                Op::No,
+                n,
+                n,
+                n,
+                1.0f32,
+                &sa,
+                n,
+                &sb,
+                n,
+                0.0f32,
+                &mut sc,
+                n,
+            )
+        })
+    });
+    let ca: Vec<C32> = cworkload(n, 0x7c)
+        .iter()
+        .map(|z| C32 {
+            re: z.re as f32,
+            im: z.im as f32,
+        })
+        .collect();
+    let cb: Vec<C32> = cworkload(n, 0x7d)
+        .iter()
+        .map(|z| C32 {
+            re: z.re as f32,
+            im: z.im as f32,
+        })
+        .collect();
+    g.throughput(Throughput::Elements((8 * n * n * n) as u64));
+    g.bench_function(BenchmarkId::new("cgemm_packed", n), |bch| {
+        let mut cc = vec![C32::ZERO; n * n];
+        bch.iter(|| {
+            tseig_kernels::blas3::engine::gemm(
+                Op::No,
+                Op::ConjTrans,
+                n,
+                n,
+                n,
+                C32 { re: 1.0, im: 0.0 },
+                &ca,
+                n,
+                &cb,
+                n,
+                C32::ZERO,
+                &mut cc,
+                n,
+            )
+        })
+    });
+
     // The naive triple-loop baseline is criterion-benched at n = 512
     // only (at 1024 one iteration takes minutes); the 1024 packed-vs-
     // naive ratio is measured once below.

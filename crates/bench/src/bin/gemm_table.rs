@@ -1,0 +1,210 @@
+//! Four-type packed-GEMM one-shot table: sgemm / dgemm / cgemm / zgemm
+//! at `n = 1024` through the generic engine with the runtime-selected
+//! microkernel, reported as Gflop/s and fraction of the measured FMA
+//! peak for that lane width.
+//!
+//! Complex rates count `8 n^3` real flops (`T::MULADD_FLOPS * n^3`), so
+//! the four rows are directly comparable: a cgemm row at twice the
+//! zgemm rate means the f32-lane advantage survived the complex
+//! arithmetic. Both complex runs use `(Op::No, Op::ConjTrans)` to match
+//! the historical `zgemm_packed/1024` bench configuration.
+//!
+//! Writes `BENCH_<date>_complex_simd.json` into the current directory
+//! (pass a path argument to override).
+//!
+//! Run: `cargo run --release -p tseig-bench --bin gemm_table`
+
+use std::fmt::Write as _;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use tseig_bench::time;
+use tseig_kernels::blas3::engine::gemm;
+use tseig_kernels::blas3::simd::{fma_peak_for, SimdScalar};
+use tseig_kernels::blas3::Op;
+use tseig_matrix::{C32, C64};
+
+const N: usize = 1024;
+const REPS: usize = 5;
+
+/// One measured row of the table.
+struct Row {
+    id: &'static str,
+    kernel: &'static str,
+    flops: u64,
+    best: Duration,
+    gflops: f64,
+    peak_gflops: f64,
+    fraction: f64,
+}
+
+/// Deterministic pseudo-random fill in `[-0.5, 0.5)`; the engine's rate
+/// does not depend on the values, only on avoiding denormals.
+fn fill(buf: &mut [f64], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for x in buf.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *x = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+}
+
+/// Measure one element type: best-of-[`REPS`] packed GEMM at
+/// [`N`]`x`[`N`] with the runtime-selected kernel.
+fn measure<T: tseig_kernels::blas3::engine::GemmScalar + SimdScalar>(
+    id: &'static str,
+    opb: Op,
+    from_f64: impl Fn(f64) -> T,
+) -> Row {
+    let mut raw = vec![0.0f64; 2 * N * N];
+    fill(&mut raw, 0x5eed + T::BYTES);
+    let a: Vec<T> = raw[..N * N].iter().map(|&x| from_f64(x)).collect();
+    let b: Vec<T> = raw[N * N..].iter().map(|&x| from_f64(x)).collect();
+    let mut c = vec![T::ZERO; N * N];
+
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let ((), t) = time(|| {
+            gemm(
+                Op::No,
+                opb,
+                N,
+                N,
+                N,
+                T::ONE,
+                &a,
+                N,
+                &b,
+                N,
+                T::ZERO,
+                &mut c,
+                N,
+            );
+        });
+        best = best.min(t);
+    }
+    // Keep the result live so the whole run cannot be optimized out.
+    assert!(c.iter().any(|&x| x != T::ZERO));
+
+    let flops = T::MULADD_FLOPS * (N * N * N) as u64;
+    let gflops = flops as f64 / best.as_secs_f64() / 1e9;
+    // Component width decides the lane count: 4-byte components (f32,
+    // C32) run twice the FMA lanes of 8-byte ones.
+    let component_bytes = (if T::IS_COMPLEX {
+        T::BYTES / 2
+    } else {
+        T::BYTES
+    }) as usize;
+    let peak_gflops = fma_peak_for(component_bytes) / 1e9;
+    Row {
+        id,
+        kernel: <T as SimdScalar>::selected().name,
+        flops,
+        best,
+        gflops,
+        peak_gflops,
+        fraction: gflops / peak_gflops,
+    }
+}
+
+/// Civil date from the system clock (days-from-epoch conversion; no
+/// external date crate in the workspace).
+fn today() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() / 86_400)
+        .unwrap_or(0) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}{m:02}{d:02}")
+}
+
+fn main() {
+    println!("packed GEMM four-type table, n = {N}, best of {REPS} (serial engine)");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "id", "kernel", "time_s", "gflops", "peak", "frac"
+    );
+
+    let rows = [
+        measure::<f32>("sgemm/1024", Op::No, |x| x as f32),
+        measure::<f64>("dgemm/1024", Op::No, |x| x),
+        measure::<C32>("cgemm/1024", Op::ConjTrans, |x| C32 {
+            re: x as f32,
+            im: -0.5 * x as f32,
+        }),
+        measure::<C64>("zgemm/1024", Op::ConjTrans, |x| C64 {
+            re: x,
+            im: -0.5 * x,
+        }),
+    ];
+
+    for r in &rows {
+        println!(
+            "{:<14} {:>8} {:>10.5} {:>10.2} {:>10.2} {:>7.1}%",
+            r.id,
+            r.kernel,
+            r.best.as_secs_f64(),
+            r.gflops,
+            r.peak_gflops,
+            100.0 * r.fraction
+        );
+    }
+
+    let [s, d, c, z] = &rows;
+    println!(
+        "cgemm/zgemm rate ratio: {:.2}x (lane-width advantage on complex)",
+        c.gflops / z.gflops
+    );
+    println!("sgemm/dgemm rate ratio: {:.2}x", s.gflops / d.gflops);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"group\": \"gemm_table\",");
+    let _ = writeln!(json, "  \"n\": {N},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"one-shot best-of-{REPS} packed engine rates; complex flops are 8 n^3 real flops; peak is the measured FMA peak for the lane width (2x for 4-byte components)\","
+    );
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"kernel\": \"{}\", \"best_s\": {:.6}, \"flops\": {}, \"gflops\": {:.2}, \"peak_gflops\": {:.2}, \"fraction_of_peak\": {:.3}}}{}",
+            r.id,
+            r.kernel,
+            r.best.as_secs_f64(),
+            r.flops,
+            r.gflops,
+            r.peak_gflops,
+            r.fraction,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"cgemm_over_zgemm\": {:.2},\n  \"sgemm_over_dgemm\": {:.2}",
+        c.gflops / z.gflops,
+        s.gflops / d.gflops
+    );
+    let _ = writeln!(json, "}}");
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("BENCH_{}_complex_simd.json", today()));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

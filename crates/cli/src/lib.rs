@@ -2,8 +2,9 @@
 //! parsing and command logic are unit-testable).
 
 use std::io::{BufRead, Write};
-use tseig_core::{BatchDriver, BatchSummary, Scheduler, SymmetricEigen, VerifyLevel};
-use tseig_matrix::{io as mmio, norms, Matrix};
+use tseig_core::{BatchDriver, BatchSummary, ScalarTag, Scheduler, SymmetricEigen, VerifyLevel};
+use tseig_hermitian::HermitianEigen;
+use tseig_matrix::{io as mmio, norms, CMatrix, CMatrixG, ComplexScalar, Matrix, C32};
 use tseig_tridiag::{EigenRange, Method};
 
 /// Usage text.
@@ -14,6 +15,7 @@ usage:
               [--verify] [--verbose]
   tseig batch <in.jsonl> [-o out.jsonl] [--nb N] [--method dc|qr|bisect]
               [--scheduler serial|static:T|dynamic:T] [--threads T] [--vectors]
+              [--scalar f32|f64|c32|c64]
   tseig svd   <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
   tseig info  <A.mtx>
 
@@ -23,12 +25,19 @@ usage:
 
 batch: each input line is one request,
   {\"id\": \"r1\", \"n\": 3, \"data\": [column-major n*n entries]}
-and each output line one result,
-  {\"id\": \"r1\", \"ok\": true, \"degraded\": false, \"eigenvalues\": [...]}
-  {\"id\": \"r2\", \"ok\": false, \"error\": \"...\"}
+and each output line one result (always tagged with its element type),
+  {\"id\": \"r1\", \"scalar\": \"f64\", \"ok\": true, \"degraded\": false, \"eigenvalues\": [...]}
+  {\"id\": \"r2\", \"scalar\": \"f64\", \"ok\": false, \"error\": \"...\"}
 A malformed or unsolvable request fails alone; the batch keeps going.
 --threads is the queue depth (concurrent workers, 0 = all cores); each
-worker reuses one solve plan across its requests.";
+worker reuses one solve plan across its requests.
+--scalar sets the default element type; a per-request \"scalar\" key
+overrides it, so one batch may mix all four. Complex requests (c32/c64,
+Hermitian input) carry 2*n*n entries in \"data\", interleaved re,im, and
+solve through the Hermitian pipeline; eigenvectors come back in the same
+interleaved layout. f32/c32 parse every entry at 32-bit precision (c32
+also computes at it); real f32 requests then solve through the f64
+pipeline, so f32 is I/O precision only. Eigenvalues are always f64.";
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +62,7 @@ pub enum Cli {
         scheduler: Scheduler,
         threads: usize,
         vectors: bool,
+        scalar: ScalarTag,
     },
     Svd {
         path: String,
@@ -151,6 +161,11 @@ impl Cli {
                     Some(v) => v.parse().map_err(|_| format!("bad --threads {v}"))?,
                     None => 0,
                 };
+                let scalar = match flag_value("--scalar") {
+                    Some(v) => ScalarTag::parse(v)
+                        .ok_or_else(|| format!("bad --scalar {v}, expected f32|f64|c32|c64"))?,
+                    None => ScalarTag::F64,
+                };
                 Ok(Cli::Batch {
                     path,
                     out: flag_value("-o").map(String::from),
@@ -159,6 +174,7 @@ impl Cli {
                     scheduler,
                     threads,
                     vectors: has_flag("--vectors"),
+                    scalar,
                 })
             }
             "svd" => Ok(Cli::Svd {
@@ -311,51 +327,84 @@ pub fn run<R: BufRead, W: Write>(
             scheduler,
             threads,
             vectors,
+            scalar,
         } => {
             // Parse every line up front; a malformed line becomes a failed
             // request in its own output slot, never a batch abort.
             let mut ids: Vec<String> = Vec::new();
-            let mut requests: Vec<Result<Matrix, String>> = Vec::new();
+            let mut tags: Vec<ScalarTag> = Vec::new();
+            let mut requests: Vec<Result<BatchRequest, String>> = Vec::new();
             for (k, line) in open(path)?.lines().enumerate() {
                 let line = line.map_err(|e| e.to_string())?;
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (id, req) = parse_batch_line(&line, k);
+                let (id, tag, req) = parse_batch_line(&line, k, *scalar);
                 ids.push(id);
+                tags.push(tag);
                 requests.push(req);
             }
-            // Solve the well-formed requests through the shared pool.
+            // Real requests (f64, plus f32 after the parse-time rounding)
+            // go through the shared worker pool; complex ones solve one
+            // at a time through the Hermitian pipeline below.
             let mats: Vec<Matrix> = requests
                 .iter()
-                .filter_map(|r| r.as_ref().ok().cloned())
+                .filter_map(|r| match r {
+                    Ok(BatchRequest::Real(m)) => Some(m.clone()),
+                    _ => None,
+                })
                 .collect();
             let eigen = SymmetricEigen::new()
                 .nb(*nb)
                 .method(*method)
                 .scheduler(*scheduler)
                 .vectors(*vectors);
+            let herm = HermitianEigen::new()
+                .nb(*nb)
+                .method(*method)
+                .scheduler(match scheduler {
+                    Scheduler::Serial => tseig_hermitian::Scheduler::Serial,
+                    Scheduler::Static(t) => tseig_hermitian::Scheduler::Static(*t),
+                    Scheduler::Dynamic(t) => tseig_hermitian::Scheduler::Dynamic(*t),
+                })
+                .vectors(*vectors);
             let t0 = std::time::Instant::now();
             let solved = BatchDriver::new(eigen).threads(*threads).solve_all(&mats);
-            let wall = t0.elapsed();
-            let summary = BatchSummary::of(&solved, wall);
-            // Merge solver results back into request order.
+            // Merge solver results back into request order, solving the
+            // complex requests in place and tallying everything by type.
+            let mut summary = BatchSummary::default();
             let mut solved_it = solved.into_iter();
             let mut lines: Vec<String> = Vec::with_capacity(requests.len());
-            let mut parse_failures = 0usize;
-            for (id, req) in ids.iter().zip(&requests) {
-                let line = match req {
-                    Err(e) => {
-                        parse_failures += 1;
-                        batch_error_line(id, e)
-                    }
-                    Ok(_) => match solved_it.next().expect("one result per parsed request") {
-                        Ok(r) => batch_ok_line(id, &r, *vectors),
-                        Err(e) => batch_error_line(id, &e.to_string()),
-                    },
+            for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
+                let outcome: Result<SolvedLine, String> = match req {
+                    Err(e) => Err(e.clone()),
+                    Ok(BatchRequest::Real(_)) => solved_it
+                        .next()
+                        .expect("one result per parsed real request")
+                        .map(|r| SolvedLine::real(&r))
+                        .map_err(|e| e.to_string()),
+                    Ok(BatchRequest::C64(a)) => herm
+                        .solve(a)
+                        .map(|r| SolvedLine::complex(&r))
+                        .map_err(|e| e.to_string()),
+                    Ok(BatchRequest::C32(a)) => herm
+                        .solve(a)
+                        .map(|r| SolvedLine::complex(&r))
+                        .map_err(|e| e.to_string()),
                 };
-                lines.push(line);
+                match outcome {
+                    Ok(r) => {
+                        summary.record(*tag, Ok(!r.degraded));
+                        lines.push(batch_ok_line(id, *tag, &r, *vectors));
+                    }
+                    Err(e) => {
+                        summary.record(*tag, Err(()));
+                        lines.push(batch_error_line(id, *tag, &e));
+                    }
+                }
             }
+            let wall = t0.elapsed();
+            summary.wall = wall;
             match out {
                 Some(p) => {
                     let mut w = create(p)?;
@@ -370,12 +419,13 @@ pub fn run<R: BufRead, W: Write>(
                 }
             }
             eprintln!(
-                "batch: {} requests in {:.2?} ({} clean, {} degraded, {} failed)",
-                summary.total + parse_failures,
+                "batch: {} requests in {:.2?} ({} clean, {} degraded, {} failed; {})",
+                summary.total,
                 wall,
                 summary.clean,
                 summary.degraded,
-                summary.failed + parse_failures,
+                summary.failed,
+                summary.scalar_counts(),
             );
             Ok(())
         }
@@ -434,21 +484,45 @@ fn json_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-/// Parse one batch request line: `{"id": ..., "n": N, "data": [...]}`.
-/// `id` is optional (defaults to the 0-based line number); the matrix is
-/// dense column-major, `n * n` entries. Returns the id alongside the
+/// One parsed batch request: a real symmetric matrix (f64 compute — f32
+/// requests round their entries at parse time) or a complex Hermitian
+/// one at either width.
+#[derive(Debug)]
+enum BatchRequest {
+    Real(Matrix),
+    C64(CMatrix),
+    C32(CMatrixG<C32>),
+}
+
+/// Parse one batch request line:
+/// `{"id": ..., "scalar": ..., "n": N, "data": [...]}`.
+/// `id` is optional (defaults to the 0-based line number), as is
+/// `scalar` (defaults to the `--scalar` flag). The matrix is dense
+/// column-major: `n * n` entries for real types, `2 * n * n` interleaved
+/// re,im for complex ones. Returns the id and element type alongside the
 /// matrix or a description of what is wrong with the line.
-fn parse_batch_line(line: &str, lineno: usize) -> (String, Result<Matrix, String>) {
+fn parse_batch_line(
+    line: &str,
+    lineno: usize,
+    default_scalar: ScalarTag,
+) -> (String, ScalarTag, Result<BatchRequest, String>) {
     let id = json_value(line, "id")
         .map(String::from)
         .unwrap_or_else(|| lineno.to_string());
-    let req = (|| -> Result<Matrix, String> {
+    let tag = json_value(line, "scalar")
+        .map(|s| ScalarTag::parse(s).ok_or_else(|| format!("bad \"scalar\" {s:?}")))
+        .unwrap_or(Ok(default_scalar));
+    let tag_or_default = *tag.as_ref().unwrap_or(&default_scalar);
+    let req = (|| -> Result<BatchRequest, String> {
+        let tag = tag?;
         let n: usize = json_value(line, "n")
             .ok_or("missing \"n\"")?
             .parse()
             .map_err(|_| "bad \"n\"".to_string())?;
         let data = json_value(line, "data").ok_or("missing \"data\"")?;
-        let mut vals = Vec::with_capacity(n * n);
+        let complex = matches!(tag, ScalarTag::C32 | ScalarTag::C64);
+        let expect = if complex { 2 * n * n } else { n * n };
+        let mut vals = Vec::with_capacity(expect);
         for tok in data.split(',') {
             let tok = tok.trim();
             if tok.is_empty() {
@@ -459,16 +533,35 @@ fn parse_batch_line(line: &str, lineno: usize) -> (String, Result<Matrix, String
                     .map_err(|_| format!("bad number {tok:?} in \"data\""))?,
             );
         }
-        if vals.len() != n * n {
+        if vals.len() != expect {
             return Err(format!(
-                "\"data\" holds {} entries, expected n*n = {}",
+                "\"data\" holds {} entries, expected {} = {} for scalar {}",
                 vals.len(),
-                n * n
+                if complex { "2*n*n" } else { "n*n" },
+                expect,
+                tag.name(),
             ));
         }
-        Ok(Matrix::from_fn(n, n, |i, j| vals[i + j * n]))
+        Ok(match tag {
+            // f32 is I/O precision: entries round through f32, the
+            // solve itself runs the f64 pipeline.
+            ScalarTag::F32 => {
+                BatchRequest::Real(Matrix::from_fn(n, n, |i, j| vals[i + j * n] as f32 as f64))
+            }
+            ScalarTag::F64 => BatchRequest::Real(Matrix::from_fn(n, n, |i, j| vals[i + j * n])),
+            ScalarTag::C64 => BatchRequest::C64(CMatrix::from_fn(n, n, |i, j| {
+                let p = 2 * (i + j * n);
+                ComplexScalar::new(vals[p], vals[p + 1])
+            })),
+            // C32::new rounds both components to f32; the whole solve
+            // then runs at 32-bit precision.
+            ScalarTag::C32 => BatchRequest::C32(CMatrixG::<C32>::from_fn(n, n, |i, j| {
+                let p = 2 * (i + j * n);
+                ComplexScalar::new(vals[p], vals[p + 1])
+            })),
+        })
     })();
-    (id, req)
+    (id, tag_or_default, req)
 }
 
 fn push_json_floats(out: &mut String, vals: &[f64]) {
@@ -480,17 +573,48 @@ fn push_json_floats(out: &mut String, vals: &[f64]) {
     }
 }
 
-fn batch_ok_line(id: &str, r: &tseig_core::TwoStageResult, vectors: bool) -> String {
+/// A solved request flattened to what the output line needs, whatever
+/// pipeline produced it: eigenvalues are always f64, vector data is
+/// column-major (real) or column-major interleaved re,im (complex).
+struct SolvedLine {
+    degraded: bool,
+    eigenvalues: Vec<f64>,
+    vectors: Option<Vec<f64>>,
+}
+
+impl SolvedLine {
+    fn real(r: &tseig_core::TwoStageResult) -> SolvedLine {
+        SolvedLine {
+            degraded: r.diagnostics.degraded,
+            eigenvalues: r.eigenvalues.clone(),
+            vectors: r.eigenvectors.as_ref().map(|z| z.as_slice().to_vec()),
+        }
+    }
+
+    fn complex<T: ComplexScalar>(r: &tseig_hermitian::HermitianResult<T>) -> SolvedLine {
+        SolvedLine {
+            degraded: r.diagnostics.degraded,
+            eigenvalues: r.eigenvalues.clone(),
+            vectors: r
+                .eigenvectors
+                .as_ref()
+                .map(|z| z.as_slice().iter().flat_map(|v| [v.re(), v.im()]).collect()),
+        }
+    }
+}
+
+fn batch_ok_line(id: &str, tag: ScalarTag, r: &SolvedLine, vectors: bool) -> String {
     let mut s = format!(
-        "{{\"id\": \"{id}\", \"ok\": true, \"degraded\": {}, \"eigenvalues\": [",
-        r.diagnostics.degraded
+        "{{\"id\": \"{id}\", \"scalar\": \"{}\", \"ok\": true, \"degraded\": {}, \"eigenvalues\": [",
+        tag.name(),
+        r.degraded
     );
     push_json_floats(&mut s, &r.eigenvalues);
     s.push(']');
     if vectors {
-        if let Some(z) = r.eigenvectors.as_ref() {
+        if let Some(z) = r.vectors.as_ref() {
             s.push_str(", \"eigenvectors\": [");
-            push_json_floats(&mut s, z.as_slice());
+            push_json_floats(&mut s, z);
             s.push(']');
         }
     }
@@ -498,7 +622,7 @@ fn batch_ok_line(id: &str, r: &tseig_core::TwoStageResult, vectors: bool) -> Str
     s
 }
 
-fn batch_error_line(id: &str, err: &str) -> String {
+fn batch_error_line(id: &str, tag: ScalarTag, err: &str) -> String {
     // The error text goes into a JSON string: strip the characters that
     // could break framing rather than implement a full escaper.
     let clean: String = err
@@ -510,7 +634,10 @@ fn batch_error_line(id: &str, err: &str) -> String {
             c => c,
         })
         .collect();
-    format!("{{\"id\": \"{id}\", \"ok\": false, \"error\": \"{clean}\"}}")
+    format!(
+        "{{\"id\": \"{id}\", \"scalar\": \"{}\", \"ok\": false, \"error\": \"{clean}\"}}",
+        tag.name()
+    )
 }
 
 #[cfg(test)]
@@ -647,6 +774,7 @@ mod tests {
                 scheduler,
                 threads,
                 vectors,
+                scalar,
             } => {
                 assert_eq!(path, "in.jsonl");
                 assert_eq!(out.as_deref(), Some("out.jsonl"));
@@ -655,28 +783,76 @@ mod tests {
                 assert_eq!(scheduler, Scheduler::Static(2));
                 assert_eq!(threads, 3);
                 assert!(vectors);
+                assert_eq!(scalar, ScalarTag::F64);
             }
+            _ => panic!("wrong command"),
+        }
+        match Cli::parse(&args("batch in.jsonl --scalar c32")).unwrap() {
+            Cli::Batch { scalar, .. } => assert_eq!(scalar, ScalarTag::C32),
             _ => panic!("wrong command"),
         }
         assert!(Cli::parse(&args("batch in.jsonl --scheduler bogus:2")).is_err());
         assert!(Cli::parse(&args("batch in.jsonl --scheduler static")).is_err());
+        assert!(Cli::parse(&args("batch in.jsonl --scalar f16")).is_err());
     }
 
     #[test]
     fn batch_line_roundtrip() {
-        let (id, m) = parse_batch_line(
+        let (id, tag, m) = parse_batch_line(
             "{\"id\": \"r7\", \"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}",
             0,
+            ScalarTag::F64,
         );
-        assert_eq!(id, "r7");
-        let m = m.unwrap();
-        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!((id.as_str(), tag), ("r7", ScalarTag::F64));
+        match m.unwrap() {
+            BatchRequest::Real(m) => assert_eq!(m[(0, 1)], 1.0),
+            _ => panic!("wrong request kind"),
+        }
         // Missing id falls back to the line number; bad payloads report.
-        let (id, m) = parse_batch_line("{\"n\": 2, \"data\": [1.0]}", 4);
+        let (id, _, m) = parse_batch_line("{\"n\": 2, \"data\": [1.0]}", 4, ScalarTag::F64);
         assert_eq!(id, "4");
         assert!(m.unwrap_err().contains("expected n*n"));
-        let (_, m) = parse_batch_line("{\"data\": [1.0]}", 0);
+        let (_, _, m) = parse_batch_line("{\"data\": [1.0]}", 0, ScalarTag::F64);
         assert!(m.unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn batch_line_scalar_types() {
+        // Per-line "scalar" overrides the batch default; complex data is
+        // 2*n*n interleaved re,im.
+        let line = "{\"id\": \"z\", \"scalar\": \"c64\", \"n\": 2, \
+                    \"data\": [2.0,0.0, 0.0,1.0, 0.0,-1.0, 2.0,0.0]}";
+        let (id, tag, m) = parse_batch_line(line, 0, ScalarTag::F64);
+        assert_eq!((id.as_str(), tag), ("z", ScalarTag::C64));
+        match m.unwrap() {
+            BatchRequest::C64(a) => {
+                assert_eq!(a[(1, 0)].im, 1.0);
+                assert_eq!(a[(0, 1)].im, -1.0);
+            }
+            _ => panic!("wrong request kind"),
+        }
+        // A real-length payload under a complex tag is rejected.
+        let (_, tag, m) = parse_batch_line(
+            "{\"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}",
+            0,
+            ScalarTag::C32,
+        );
+        assert_eq!(tag, ScalarTag::C32);
+        assert!(m.unwrap_err().contains("expected 2*n*n"));
+        // f32 rounds entries at parse time (I/O precision).
+        let (_, tag, m) = parse_batch_line("{\"n\": 1, \"data\": [0.1]}", 0, ScalarTag::F32);
+        assert_eq!(tag, ScalarTag::F32);
+        match m.unwrap() {
+            BatchRequest::Real(a) => assert_eq!(a[(0, 0)], 0.1f32 as f64),
+            _ => panic!("wrong request kind"),
+        }
+        // Unknown per-line scalar fails the line alone.
+        let (_, _, m) = parse_batch_line(
+            "{\"scalar\": \"f16\", \"n\": 1, \"data\": [1.0]}",
+            0,
+            ScalarTag::F64,
+        );
+        assert!(m.unwrap_err().contains("bad \"scalar\""));
     }
 
     #[test]
@@ -724,6 +900,81 @@ mod tests {
         assert!((vals[0] - 1.0).abs() < 1e-12 && (vals[1] - 3.0).abs() < 1e-12);
         assert!(lines[1].contains("\"id\": \"broken\"") && lines[1].contains("\"ok\": false"));
         assert!(lines[2].contains("\"id\": \"b\"") && lines[2].contains("5.00000000000000000e0"));
+    }
+
+    #[test]
+    fn end_to_end_mixed_type_batch() {
+        // One request per element type — the same 2x2 spectrum {1, 3}
+        // posed real ([[2,1],[1,2]]) and Hermitian ([[2,-i],[i,2]]) —
+        // plus a c32 line with a short payload that must fail alone.
+        // The --scalar default covers the untagged f32 line; the others
+        // override per line.
+        let jsonl = "\
+{\"id\": \"d\", \"scalar\": \"f64\", \"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}\n\
+{\"id\": \"s\", \"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}\n\
+{\"id\": \"z\", \"scalar\": \"c64\", \"n\": 2, \"data\": [2,0, 0,1, 0,-1, 2,0]}\n\
+{\"id\": \"c\", \"scalar\": \"c32\", \"n\": 2, \"data\": [2,0, 0,1, 0,-1, 2,0]}\n\
+{\"id\": \"short\", \"scalar\": \"c32\", \"n\": 2, \"data\": [2,0]}\n";
+        let cli = Cli::parse(&args(
+            "batch mem.jsonl -o out.jsonl --nb 4 --scalar f32 --vectors",
+        ))
+        .unwrap();
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        run(
+            &cli,
+            |_| {
+                Ok(std::io::BufReader::new(std::io::Cursor::new(
+                    jsonl.as_bytes().to_vec(),
+                )))
+            },
+            move |_| Ok(SharedSink(out2.clone())),
+        )
+        .unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let spectrum = |line: &str, tol: f64| {
+            let vals: Vec<f64> = json_value(line, "eigenvalues")
+                .unwrap()
+                .split(',')
+                .map(|t| t.trim().parse().unwrap())
+                .collect();
+            assert_eq!(vals.len(), 2, "{line}");
+            assert!(
+                (vals[0] - 1.0).abs() < tol && (vals[1] - 3.0).abs() < tol,
+                "{line}"
+            );
+        };
+        for (line, id, tag, tol) in [
+            (lines[0], "d", "f64", 1e-12),
+            (lines[1], "s", "f32", 1e-12), // f32 I/O, f64 compute: exact inputs
+            (lines[2], "z", "c64", 1e-12),
+            (lines[3], "c", "c32", 1e-5),
+        ] {
+            assert!(line.contains(&format!("\"id\": \"{id}\"")), "{line}");
+            assert!(line.contains(&format!("\"scalar\": \"{tag}\"")), "{line}");
+            assert!(line.contains("\"ok\": true"), "{line}");
+            spectrum(line, tol);
+            // --vectors: real payloads carry n*n entries, complex 2*n*n.
+            let z: Vec<&str> = json_value(line, "eigenvectors")
+                .unwrap()
+                .split(',')
+                .collect();
+            assert_eq!(z.len(), if tag.starts_with('c') { 8 } else { 4 }, "{line}");
+        }
+        assert!(lines[4].contains("\"id\": \"short\"") && lines[4].contains("\"ok\": false"));
+        assert!(lines[4].contains("\"scalar\": \"c32\""));
     }
 
     #[test]

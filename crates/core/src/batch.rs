@@ -125,6 +125,51 @@ fn solve_one(eigen: &SymmetricEigen, a: &Matrix, plan: &mut SolvePlan) -> Result
     }
 }
 
+/// Scalar element type of one batch request — the `--scalar` axis of
+/// `tseig batch`. Real requests (`F32`/`F64`) solve through this crate's
+/// f64 pipeline; complex ones (`C32`/`C64`) through `tseig-hermitian`.
+/// The discriminant doubles as the index into
+/// [`BatchSummary::by_scalar`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScalarTag {
+    F32 = 0,
+    #[default]
+    F64 = 1,
+    C32 = 2,
+    C64 = 3,
+}
+
+impl ScalarTag {
+    /// All tags, in `by_scalar` index order.
+    pub const ALL: [ScalarTag; 4] = [
+        ScalarTag::F32,
+        ScalarTag::F64,
+        ScalarTag::C32,
+        ScalarTag::C64,
+    ];
+
+    /// Parse the CLI / JSONL spelling.
+    pub fn parse(s: &str) -> Option<ScalarTag> {
+        match s {
+            "f32" => Some(ScalarTag::F32),
+            "f64" => Some(ScalarTag::F64),
+            "c32" => Some(ScalarTag::C32),
+            "c64" => Some(ScalarTag::C64),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (what goes back out in JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarTag::F32 => "f32",
+            ScalarTag::F64 => "f64",
+            ScalarTag::C32 => "c32",
+            ScalarTag::C64 => "c64",
+        }
+    }
+}
+
 /// Aggregate view of a finished batch (what `tseig batch` prints).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchSummary {
@@ -137,26 +182,53 @@ pub struct BatchSummary {
     pub degraded: usize,
     /// Requests that returned an error.
     pub failed: usize,
+    /// Per-scalar-type request counts, indexed by [`ScalarTag`]
+    /// discriminant (mixed-type batches tag each request individually).
+    pub by_scalar: [usize; 4],
     /// Wall time of the whole batch, if the caller measured it.
     pub wall: Duration,
 }
 
 impl BatchSummary {
-    /// Fold a result slice (and optional wall time) into counts.
+    /// Fold a result slice (and optional wall time) into counts. Every
+    /// request is tagged [`ScalarTag::F64`]; mixed-type callers build
+    /// the summary with [`BatchSummary::record`] instead.
     pub fn of(results: &[Result<TwoStageResult>], wall: Duration) -> BatchSummary {
         let mut s = BatchSummary {
-            total: results.len(),
             wall,
             ..BatchSummary::default()
         };
         for r in results {
-            match r {
-                Ok(t) if t.diagnostics.is_clean() => s.clean += 1,
-                Ok(_) => s.degraded += 1,
-                Err(_) => s.failed += 1,
-            }
+            s.record(
+                ScalarTag::F64,
+                r.as_ref().map(|t| t.diagnostics.is_clean()).map_err(|_| ()),
+            );
         }
         s
+    }
+
+    /// Count one request of the given element type: `Ok(true)` clean,
+    /// `Ok(false)` degraded, `Err(())` failed. The typed entry point for
+    /// mixed-type batches whose complex requests solve outside
+    /// [`BatchDriver`].
+    pub fn record(&mut self, tag: ScalarTag, outcome: std::result::Result<bool, ()>) {
+        self.total += 1;
+        self.by_scalar[tag as usize] += 1;
+        match outcome {
+            Ok(true) => self.clean += 1,
+            Ok(false) => self.degraded += 1,
+            Err(()) => self.failed += 1,
+        }
+    }
+
+    /// `"f32:0 f64:3 c32:1 c64:2"` — the per-type counts as one
+    /// printable token list.
+    pub fn scalar_counts(&self) -> String {
+        ScalarTag::ALL
+            .iter()
+            .map(|t| format!("{}:{}", t.name(), self.by_scalar[*t as usize]))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -210,6 +282,25 @@ mod tests {
         let s = BatchSummary::of(&results, Duration::from_millis(1));
         assert_eq!((s.total, s.failed), (3, 1));
         assert_eq!(s.clean + s.degraded, 2);
+        // `of` tags everything f64.
+        assert_eq!(s.by_scalar, [0, 3, 0, 0]);
+    }
+
+    #[test]
+    fn mixed_type_recording() {
+        let mut s = BatchSummary::default();
+        s.record(ScalarTag::C32, Ok(true));
+        s.record(ScalarTag::C64, Ok(false));
+        s.record(ScalarTag::F32, Err(()));
+        s.record(ScalarTag::F64, Ok(true));
+        assert_eq!((s.total, s.clean, s.degraded, s.failed), (4, 2, 1, 1));
+        assert_eq!(s.by_scalar, [1, 1, 1, 1]);
+        assert_eq!(s.scalar_counts(), "f32:1 f64:1 c32:1 c64:1");
+        // Tag spellings round-trip.
+        for t in ScalarTag::ALL {
+            assert_eq!(ScalarTag::parse(t.name()), Some(t));
+        }
+        assert_eq!(ScalarTag::parse("f16"), None);
     }
 
     #[test]

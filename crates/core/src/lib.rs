@@ -44,7 +44,7 @@ pub mod plan;
 pub mod stage1;
 pub mod stage2;
 
-pub use batch::{BatchDriver, BatchSummary};
+pub use batch::{BatchDriver, BatchSummary, ScalarTag};
 pub use driver::{Scheduler, SymmetricEigen, TwoStageResult, VERIFY_BOUND};
 pub use generalized::solve_generalized;
 pub use plan::SolvePlan;

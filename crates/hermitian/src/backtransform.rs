@@ -25,22 +25,44 @@ use crate::stage1::Q1PanelC;
 use crate::stage2::V2SetC;
 use rayon::prelude::*;
 use std::cell::RefCell;
-use tseig_matrix::{CMatrix, C64};
+use tseig_kernels::blas3::engine::GemmScalar;
+use tseig_matrix::{CMatrixG, ComplexScalar, C32, C64};
 
 /// Column-panel width for the cache-local distribution of `E`. Complex
 /// elements are twice the size of real ones, so this is half the real
 /// pipeline's `DEFAULT_PANEL_COLS` for the same cache footprint.
 pub const DEFAULT_PANEL_COLS: usize = 64;
 
+/// A complex element type the Hermitian driver can run end-to-end: it
+/// must go through the packed GEMM engine (`GemmScalar`) and bring a
+/// per-thread grow-only back-transform scratch buffer. Thread-locals
+/// cannot be generic, so each width owns a concrete static and exposes
+/// it through [`HermScalar::with_bt_scratch`].
+pub trait HermScalar: ComplexScalar + GemmScalar {
+    /// Run `f` on this type's per-thread back-transform workspace
+    /// (grow-only, reused across panels and across calls).
+    fn with_bt_scratch<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R;
+}
+
 thread_local! {
-    /// Per-thread back-transform workspace, grow-only: holds the
-    /// `2 * k * cols` scratch `zlarfb_left` wants, reused across panels
-    /// and across calls.
-    static BT_SCRATCH_C: RefCell<Vec<C64>> = const { RefCell::new(Vec::new()) };
+    static BT_SCRATCH_C64: RefCell<Vec<C64>> = const { RefCell::new(Vec::new()) };
+    static BT_SCRATCH_C32: RefCell<Vec<C32>> = const { RefCell::new(Vec::new()) };
+}
+
+impl HermScalar for C64 {
+    fn with_bt_scratch<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R {
+        BT_SCRATCH_C64.with(|s| f(&mut s.borrow_mut()))
+    }
+}
+
+impl HermScalar for C32 {
+    fn with_bt_scratch<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R {
+        BT_SCRATCH_C32.with(|s| f(&mut s.borrow_mut()))
+    }
 }
 
 /// Scale row `j` of `e` by `phases[j]` (apply `D`).
-pub fn apply_phases(phases: &[C64], e: &mut CMatrix) {
+pub fn apply_phases<T: ComplexScalar>(phases: &[T], e: &mut CMatrixG<T>) {
     let n = e.rows();
     assert_eq!(phases.len(), n);
     for j in 0..e.cols() {
@@ -51,13 +73,13 @@ pub fn apply_phases(phases: &[C64], e: &mut CMatrix) {
     }
 }
 
-struct DiamondC {
+struct DiamondC<T: ComplexScalar> {
     r0: usize,
-    v: CMatrix,
-    t: Vec<C64>,
+    v: CMatrixG<T>,
+    t: Vec<T>,
 }
 
-fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
+fn build_diamonds<T: ComplexScalar>(v2: &V2SetC<T>, ell: usize) -> Vec<DiamondC<T>> {
     let ell = ell.max(1);
     let nsweeps = v2.sweep_count();
     let mut out = Vec::new();
@@ -70,7 +92,7 @@ fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
         let s1 = (s0 + ell).min(nsweeps);
         let max_depth = (s0..s1).map(|s| v2.sweep(s).len()).max().unwrap_or(0);
         for k in 0..max_depth {
-            let members: Vec<&(usize, C64, Vec<C64>)> = (s0..s1)
+            let members: Vec<&(usize, T, Vec<T>)> = (s0..s1)
                 .filter_map(|s| v2.sweep(s).get(k))
                 .filter(|r| !r.2.is_empty())
                 .collect();
@@ -81,8 +103,8 @@ fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
             let rend = members.iter().map(|r| r.0 + r.2.len()).max().unwrap();
             let height = rend - r0;
             let kb = members.len();
-            let mut v = CMatrix::zeros(height, kb);
-            let mut tau = vec![C64::ZERO; kb];
+            let mut v = CMatrixG::zeros(height, kb);
+            let mut tau = vec![T::ZERO; kb];
             for (col, r) in members.iter().enumerate() {
                 let off = r.0 - r0;
                 for (i, &val) in r.2.iter().enumerate() {
@@ -90,7 +112,7 @@ fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
                 }
                 tau[col] = r.1;
             }
-            let mut t = vec![C64::ZERO; kb * kb];
+            let mut t = vec![T::ZERO; kb * kb];
             zlarft(height, kb, v.as_slice(), height, &tau, &mut t, kb);
             out.push(DiamondC { r0, v, t });
         }
@@ -101,7 +123,11 @@ fn build_diamonds(v2: &V2SetC, ell: usize) -> Vec<DiamondC> {
 /// Workspace length one panel of `cols` columns needs: the
 /// `2 * k * cols` `zlarfb_left` scratch of the widest block in either
 /// half of the chain.
-fn scratch_len(diamonds: &[DiamondC], q1: &[Q1PanelC], cols: usize) -> usize {
+fn scratch_len<T: ComplexScalar>(
+    diamonds: &[DiamondC<T>],
+    q1: &[Q1PanelC<T>],
+    cols: usize,
+) -> usize {
     let kd = diamonds.iter().map(|d| d.v.cols()).max().unwrap_or(0);
     let kq = q1.iter().map(|p| p.v.cols()).max().unwrap_or(0);
     2 * kd.max(kq) * cols
@@ -111,11 +137,11 @@ fn scratch_len(diamonds: &[DiamondC], q1: &[Q1PanelC], cols: usize) -> usize {
 /// panel applies `D` (when given), every diamond (the `Q2` sequence)
 /// and then the reverse `Q1` chain while cache-resident. Any piece may
 /// be empty.
-fn apply_pipeline(
-    phases: Option<&[C64]>,
-    diamonds: &[DiamondC],
-    q1: &[Q1PanelC],
-    e: &mut CMatrix,
+fn apply_pipeline<T: HermScalar>(
+    phases: Option<&[T]>,
+    diamonds: &[DiamondC<T>],
+    q1: &[Q1PanelC<T>],
+    e: &mut CMatrixG<T>,
     panel_cols: usize,
 ) {
     if e.cols() == 0 || (phases.is_none() && diamonds.is_empty() && q1.is_empty()) {
@@ -131,10 +157,9 @@ fn apply_pipeline(
     let need = scratch_len(diamonds, q1, pc.min(e.cols()));
     e.as_mut_slice().par_chunks_mut(pc * ldc).for_each(|panel| {
         let cols = panel.len() / ldc;
-        BT_SCRATCH_C.with(|scratch| {
-            let work = &mut *scratch.borrow_mut();
+        T::with_bt_scratch(|work| {
             if work.len() < need {
-                work.resize(need, C64::ZERO);
+                work.resize(need, T::ZERO);
             }
             if let Some(d) = phases {
                 for j in 0..cols {
@@ -187,11 +212,11 @@ fn apply_pipeline(
 /// [`apply_phases`] + [`apply_q2`] + [`apply_q1`] calls would make,
 /// with no synchronization barrier between the stages (the panels are
 /// fully independent).
-pub fn apply_q(
-    v2: &V2SetC,
-    panels: &[Q1PanelC],
-    phases: Option<&[C64]>,
-    e: &mut CMatrix,
+pub fn apply_q<T: HermScalar>(
+    v2: &V2SetC<T>,
+    panels: &[Q1PanelC<T>],
+    phases: Option<&[T]>,
+    e: &mut CMatrixG<T>,
     ell: usize,
     panel_cols: usize,
 ) {
@@ -210,7 +235,7 @@ pub fn apply_q(
 
 /// `E <- Q2 E` with diamond-blocked complex reflectors, parallel over
 /// column panels.
-pub fn apply_q2(v2: &V2SetC, e: &mut CMatrix, ell: usize, panel_cols: usize) {
+pub fn apply_q2<T: HermScalar>(v2: &V2SetC<T>, e: &mut CMatrixG<T>, ell: usize, panel_cols: usize) {
     let n = v2.n();
     assert_eq!(e.rows(), n);
     if e.cols() == 0 || v2.sweep_count() == 0 {
@@ -222,12 +247,12 @@ pub fn apply_q2(v2: &V2SetC, e: &mut CMatrix, ell: usize, panel_cols: usize) {
 
 /// Naive reference `E <- Q2 E`, reflectors one at a time in exact
 /// reverse chase order (test oracle for the diamond reordering).
-pub fn apply_q2_naive(v2: &V2SetC, e: &mut CMatrix) {
+pub fn apply_q2_naive<T: ComplexScalar>(v2: &V2SetC<T>, e: &mut CMatrixG<T>) {
     let n = v2.n();
     assert_eq!(e.rows(), n);
     let ncols = e.cols();
     let ldc = e.ld();
-    let mut work = vec![C64::ZERO; ncols];
+    let mut work = vec![T::ZERO; ncols];
     for s in (0..v2.sweep_count()).rev() {
         for (r0, tau, v) in v2.sweep(s).iter().rev() {
             if v.is_empty() {
@@ -248,7 +273,7 @@ pub fn apply_q2_naive(v2: &V2SetC, e: &mut CMatrix) {
 
 /// `G <- Q1 G`: stage-1 panels in reverse order, parallel over column
 /// panels.
-pub fn apply_q1(panels: &[Q1PanelC], g: &mut CMatrix, panel_cols: usize) {
+pub fn apply_q1<T: HermScalar>(panels: &[Q1PanelC<T>], g: &mut CMatrixG<T>, panel_cols: usize) {
     apply_pipeline(None, &[], panels, g, panel_cols);
 }
 
@@ -258,6 +283,7 @@ mod tests {
     use crate::stage1::he2hb;
     use crate::stage2::reduce;
     use crate::validate::{rand_hermitian, unitary_error};
+    use tseig_matrix::CMatrix;
 
     fn banded(n: usize, b: usize, seed: u64) -> CMatrix {
         let a = rand_hermitian(n, seed);

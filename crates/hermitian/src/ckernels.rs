@@ -4,11 +4,18 @@
 //! `(&[C64], ld)` slices, lower-triangle Hermitian storage, explicit-`V`
 //! block reflectors.
 //!
-//! ## One engine, two element types
+//! ## One engine, both complex widths
+//!
+//! Everything in this module is generic over
+//! `T: ComplexScalar (+ GemmScalar)` — the LAPACK-style `z` prefix is
+//! kept for familiarity, but each entry point serves both `C64`
+//! (`zheev`-shaped) and `C32` (`cheev`-shaped) solves. Reductions that
+//! need `f64` intermediates (norms, reflector scalars) widen through the
+//! `ComplexScalar` accessors and round back on store.
 //!
 //! The BLAS-3 entry points here are *thin wrappers over the generic
 //! packed engine* (`tseig_kernels::blas3::engine`): [`zgemm`] is the
-//! packed, rayon-parallel nest monomorphized at [`C64`], and
+//! packed, rayon-parallel nest monomorphized at the element type, and
 //! [`zher2k_lower`] / [`zhemm_lower_left`] are blocked exactly like the
 //! real `syr2k_lower` / `symm_lower_left` — a small diagonal kernel per
 //! column panel plus packed `gemm`s for everything off-diagonal. The
@@ -25,19 +32,15 @@
 //! packed-engine traffic model, so arithmetic-intensity reports stay
 //! comparable between the real and complex columns.
 
-use tseig_kernels::blas3::engine;
+use tseig_kernels::blas3::engine::{self, GemmScalar};
 use tseig_kernels::contract;
 use tseig_kernels::flops::{add, add_bytes, Level};
-use tseig_matrix::{c64, C64};
+use tseig_matrix::ComplexScalar;
 
 /// The shared operand-op vocabulary of the generic engine
 /// (`No`/`Trans`/`ConjTrans`) — re-exported so complex callers and the
 /// real pipeline speak one dialect.
 pub use tseig_kernels::blas3::Op;
-
-/// Bytes per complex element (two `f64`s) — the unit of the traffic
-/// models below.
-const CB: u64 = 16;
 
 /// Column-panel width of the blocked `zher2k`/`zhemm` (same panel order
 /// as the real `syr2k`'s `SYR2K_JB`).
@@ -52,19 +55,19 @@ const ZBLK_JB: usize = 64;
 /// real `gemm`. Counters (8mnk flops, packed-model bytes) are charged
 /// by the engine entry.
 #[allow(clippy::too_many_arguments)]
-pub fn zgemm(
+pub fn zgemm<T: ComplexScalar + GemmScalar>(
     opa: Op,
     opb: Op,
     m: usize,
     n: usize,
     k: usize,
-    alpha: C64,
-    a: &[C64],
+    alpha: T,
+    a: &[T],
     lda: usize,
-    b: &[C64],
+    b: &[T],
     ldb: usize,
-    beta: C64,
-    c: &mut [C64],
+    beta: T,
+    c: &mut [T],
     ldc: usize,
 ) {
     engine::gemm_par(opa, opb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
@@ -76,35 +79,35 @@ pub fn zgemm(
 /// historical streamed model (`A`/`B` read once, `C` read+written),
 /// which is also the model its unblocked access pattern actually has.
 #[allow(clippy::too_many_arguments)]
-pub fn zgemm_oracle(
+pub fn zgemm_oracle<T: ComplexScalar>(
     opa: Op,
     opb: Op,
     m: usize,
     n: usize,
     k: usize,
-    alpha: C64,
-    a: &[C64],
+    alpha: T,
+    a: &[T],
     lda: usize,
-    b: &[C64],
+    b: &[T],
     ldb: usize,
-    beta: C64,
-    c: &mut [C64],
+    beta: T,
+    c: &mut [T],
     ldc: usize,
 ) {
-    add(Level::L3, (8 * m * n * k) as u64);
+    add(Level::L3, T::MULADD_FLOPS * (m * n * k) as u64);
     // A and B streamed once, C read and written once.
-    add_bytes(Level::L3, CB * (m * k + k * n + 2 * m * n) as u64);
+    add_bytes(Level::L3, T::BYTES * (m * k + k * n + 2 * m * n) as u64);
     for j in 0..n {
         let col = &mut c[j * ldc..j * ldc + m];
-        if beta == C64::ZERO {
-            col.fill(C64::ZERO);
-        } else if beta != C64::ONE {
+        if beta == T::ZERO {
+            col.fill(T::ZERO);
+        } else if beta != T::ONE {
             for v in col.iter_mut() {
                 *v *= beta;
             }
         }
     }
-    if alpha == C64::ZERO || m == 0 || n == 0 || k == 0 {
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
     let at = |i: usize, p: usize| match opa {
@@ -119,7 +122,7 @@ pub fn zgemm_oracle(
     };
     for j in 0..n {
         for i in 0..m {
-            let mut s = C64::ZERO;
+            let mut s = T::ZERO;
             for p in 0..k {
                 s += at(i, p) * bt(p, j);
             }
@@ -130,9 +133,9 @@ pub fn zgemm_oracle(
 
 /// Traffic model of the blocked `zhemm`: stored triangle read once, `B`
 /// re-streamed once per panel sweep, `C` read+written once.
-fn zhemm_bytes(m: usize, k: usize) -> u64 {
+fn zhemm_bytes(elem_bytes: u64, m: usize, k: usize) -> u64 {
     let sweeps = m.div_ceil(ZBLK_JB).max(1) as u64;
-    CB * (((m * m / 2) + 2 * m * k) as u64 + (m * k) as u64 * sweeps)
+    elem_bytes * (((m * m / 2) + 2 * m * k) as u64 + (m * k) as u64 * sweeps)
 }
 
 /// `C <- alpha A B + beta C` with `A` Hermitian of order `m` (lower
@@ -143,16 +146,16 @@ fn zhemm_bytes(m: usize, k: usize) -> u64 {
 /// packed `gemm`s (`No` for the strictly-lower block, `ConjTrans` for
 /// its mirrored upper image).
 #[allow(clippy::too_many_arguments)]
-pub fn zhemm_lower_left(
+pub fn zhemm_lower_left<T: ComplexScalar + GemmScalar>(
     m: usize,
     k: usize,
-    alpha: C64,
-    a: &[C64],
+    alpha: T,
+    a: &[T],
     lda: usize,
-    b: &[C64],
+    b: &[T],
     ldb: usize,
-    beta: C64,
-    c: &mut [C64],
+    beta: T,
+    c: &mut [T],
     ldc: usize,
 ) {
     if contract::enabled() {
@@ -164,19 +167,19 @@ pub fn zhemm_lower_left(
         contract::require_finite_lower("zhemm_lower_left", "a", a, m, lda);
         contract::require_finite_mat("zhemm_lower_left", "b", b, m, k, ldb);
     }
-    add(Level::L3, (8 * m * m * k) as u64);
-    add_bytes(Level::L3, zhemm_bytes(m, k));
+    add(Level::L3, T::MULADD_FLOPS * (m * m * k) as u64);
+    add_bytes(Level::L3, zhemm_bytes(T::BYTES, m, k));
     for j in 0..k {
         let col = &mut c[j * ldc..j * ldc + m];
-        if beta == C64::ZERO {
-            col.fill(C64::ZERO);
-        } else if beta != C64::ONE {
+        if beta == T::ZERO {
+            col.fill(T::ZERO);
+        } else if beta != T::ONE {
             for v in col.iter_mut() {
                 *v *= beta;
             }
         }
     }
-    if alpha == C64::ZERO || m == 0 || k == 0 {
+    if alpha == T::ZERO || m == 0 || k == 0 {
         return;
     }
     let mut j0 = 0;
@@ -239,15 +242,15 @@ pub fn zhemm_lower_left(
 /// mirrored conjugate image; the diagonal's imaginary part is ignored
 /// per the Hermitian storage contract.
 #[allow(clippy::too_many_arguments)]
-fn zhemm_diag(
+fn zhemm_diag<T: ComplexScalar>(
     m: usize,
     k: usize,
-    alpha: C64,
-    a: &[C64],
+    alpha: T,
+    a: &[T],
     lda: usize,
-    b: &[C64],
+    b: &[T],
     ldb: usize,
-    c: &mut [C64],
+    c: &mut [T],
     ldc: usize,
 ) {
     for ja in 0..m {
@@ -257,8 +260,8 @@ fn zhemm_diag(
             let ccol = &mut c[jb * ldc..jb * ldc + m];
             let t = alpha * bcol[ja];
             // Diagonal (real part only counts for a Hermitian matrix).
-            ccol[ja] += c64(acol[ja].re, 0.0) * t;
-            let mut s = C64::ZERO;
+            ccol[ja] += T::new(acol[ja].re(), 0.0) * t;
+            let mut s = T::ZERO;
             for i in ja + 1..m {
                 ccol[i] += acol[i] * t;
                 // Mirrored upper entry A[ja, i] = conj(A[i, ja]).
@@ -272,9 +275,9 @@ fn zhemm_diag(
 /// Traffic model shared with the real `syr2k`: `X`/`Y` each packed
 /// twice (once per `gemm` role), the stored triangle read+written once
 /// per rank-`KC` update (packed-engine model, `KC = 256`).
-fn zher2k_bytes(n: usize, k: usize) -> u64 {
+fn zher2k_bytes(elem_bytes: u64, n: usize, k: usize) -> u64 {
     let npc = k.div_ceil(256).max(1) as u64;
-    CB * (4 * (n * k) as u64 + (n * n) as u64 * npc)
+    elem_bytes * (4 * (n * k) as u64 + (n * n) as u64 * npc)
 }
 
 /// Hermitian rank-2k update of the lower triangle:
@@ -286,15 +289,15 @@ fn zher2k_bytes(n: usize, k: usize) -> u64 {
 /// the strictly sub-diagonal part of each column panel is two packed
 /// `gemm`s with `ConjTrans` folded into the pack step.
 #[allow(clippy::too_many_arguments)]
-pub fn zher2k_lower(
+pub fn zher2k_lower<T: ComplexScalar + GemmScalar>(
     n: usize,
     k: usize,
     alpha: f64,
-    x: &[C64],
+    x: &[T],
     ldx: usize,
-    y: &[C64],
+    y: &[T],
     ldy: usize,
-    a: &mut [C64],
+    a: &mut [T],
     lda: usize,
 ) {
     if contract::enabled() {
@@ -306,12 +309,12 @@ pub fn zher2k_lower(
         contract::require_finite_mat("zher2k_lower", "x", x, n, k, ldx);
         contract::require_finite_mat("zher2k_lower", "y", y, n, k, ldy);
     }
-    add(Level::L3, (8 * n * n * k) as u64);
-    add_bytes(Level::L3, zher2k_bytes(n, k));
+    add(Level::L3, T::MULADD_FLOPS * (n * n * k) as u64);
+    add_bytes(Level::L3, zher2k_bytes(T::BYTES, n, k));
     if alpha == 0.0 || n == 0 || k == 0 {
         return;
     }
-    let calpha = c64(alpha, 0.0);
+    let calpha = T::new(alpha, 0.0);
     let mut j0 = 0;
     while j0 < n {
         let jn = ZBLK_JB.min(n - j0);
@@ -369,15 +372,15 @@ pub fn zher2k_lower(
 /// caller owns scaling and accounting). Keeps the diagonal exactly
 /// real, per the Hermitian storage contract.
 #[allow(clippy::too_many_arguments)]
-fn zher2k_diag(
+fn zher2k_diag<T: ComplexScalar>(
     n: usize,
     k: usize,
     alpha: f64,
-    x: &[C64],
+    x: &[T],
     ldx: usize,
-    y: &[C64],
+    y: &[T],
     ldy: usize,
-    a: &mut [C64],
+    a: &mut [T],
     lda: usize,
 ) {
     for kk in 0..k {
@@ -386,7 +389,7 @@ fn zher2k_diag(
         for j in 0..n {
             let tx = xcol[j].conj().scale(alpha);
             let ty = ycol[j].conj().scale(alpha);
-            if tx == C64::ZERO && ty == C64::ZERO {
+            if tx == T::ZERO && ty == T::ZERO {
                 continue;
             }
             let acol = &mut a[j * lda..j * lda + n];
@@ -394,7 +397,7 @@ fn zher2k_diag(
                 acol[i] += xcol[i] * ty + ycol[i] * tx;
             }
             // Keep the diagonal exactly real.
-            acol[j] = c64(acol[j].re, 0.0);
+            acol[j] = T::new(acol[j].re(), 0.0);
         }
     }
 }
@@ -406,8 +409,9 @@ fn zher2k_diag(
 /// Complex reflector generation (LAPACK `zlarfg`): finds `H = I - tau v
 /// v^H` with `v = [1, x']` such that `H^H [alpha, x] = [beta, 0]` and
 /// **beta real**. Overwrites `x` with the tail of `v`; returns
-/// `(beta, tau)`.
-pub fn zlarfg(alpha: C64, x: &mut [C64]) -> (f64, C64) {
+/// `(beta, tau)`. The reflector scalars are computed in `f64` and
+/// rounded to `T`'s component precision on store.
+pub fn zlarfg<T: ComplexScalar>(alpha: T, x: &mut [T]) -> (f64, T) {
     let xnorm = {
         let mut s = 0.0f64;
         for v in x.iter() {
@@ -415,17 +419,18 @@ pub fn zlarfg(alpha: C64, x: &mut [C64]) -> (f64, C64) {
         }
         s.sqrt()
     };
-    add(Level::L1, 8 * x.len() as u64);
-    add_bytes(Level::L1, CB * 2 * x.len() as u64);
-    if xnorm == 0.0 && alpha.im == 0.0 {
-        return (alpha.re, C64::ZERO);
+    add(Level::L1, T::MULADD_FLOPS * x.len() as u64);
+    add_bytes(Level::L1, T::BYTES * 2 * x.len() as u64);
+    if xnorm == 0.0 && alpha.im() == 0.0 {
+        return (alpha.re(), T::ZERO);
     }
     // beta = -sign(alpha.re) * ||[alpha, x]||.
-    let norm = (alpha.re * alpha.re + alpha.im * alpha.im + xnorm * xnorm).sqrt();
-    let beta = if alpha.re >= 0.0 { -norm } else { norm };
-    let tau = c64((beta - alpha.re) / beta, -alpha.im / beta);
-    let denom = alpha - c64(beta, 0.0);
-    let inv = C64::ONE / denom;
+    let (are, aim) = (alpha.re(), alpha.im());
+    let norm = (are * are + aim * aim + xnorm * xnorm).sqrt();
+    let beta = if are >= 0.0 { -norm } else { norm };
+    let tau = T::new((beta - are) / beta, -aim / beta);
+    let denom = alpha - T::new(beta, 0.0);
+    let inv = T::ONE / denom;
     for v in x.iter_mut() {
         *v *= inv;
     }
@@ -434,25 +439,25 @@ pub fn zlarfg(alpha: C64, x: &mut [C64]) -> (f64, C64) {
 
 /// Left application `C <- (I - tau' v v^H) C`, with `tau'` passed
 /// explicitly (callers pass `conj(tau)` to apply `H^H`, `tau` for `H`).
-pub fn zlarf_left(
-    v: &[C64],
-    tau: C64,
+pub fn zlarf_left<T: ComplexScalar>(
+    v: &[T],
+    tau: T,
     m: usize,
     n: usize,
-    c: &mut [C64],
+    c: &mut [T],
     ldc: usize,
-    work: &mut [C64],
+    work: &mut [T],
 ) {
-    if tau == C64::ZERO {
+    if tau == T::ZERO {
         return;
     }
-    add(Level::L2, (16 * m * n) as u64);
+    add(Level::L2, 2 * T::MULADD_FLOPS * (m * n) as u64);
     // C read and written once, v/work streamed per column sweep.
-    add_bytes(Level::L2, CB * (2 * m * n + m + 2 * n) as u64);
+    add_bytes(Level::L2, T::BYTES * (2 * m * n + m + 2 * n) as u64);
     // work_j = v^H C[:, j].
     for j in 0..n {
         let col = &c[j * ldc..j * ldc + m];
-        let mut s = C64::ZERO;
+        let mut s = T::ZERO;
         for i in 0..m {
             s += col[i].mul_conj(v[i]);
         }
@@ -460,7 +465,7 @@ pub fn zlarf_left(
     }
     for j in 0..n {
         let t = tau * work[j];
-        if t == C64::ZERO {
+        if t == T::ZERO {
             continue;
         }
         let col = &mut c[j * ldc..j * ldc + m];
@@ -471,26 +476,26 @@ pub fn zlarf_left(
 }
 
 /// Right application `C <- C (I - tau v v^H)`.
-pub fn zlarf_right(
-    v: &[C64],
-    tau: C64,
+pub fn zlarf_right<T: ComplexScalar>(
+    v: &[T],
+    tau: T,
     m: usize,
     n: usize,
-    c: &mut [C64],
+    c: &mut [T],
     ldc: usize,
-    work: &mut [C64],
+    work: &mut [T],
 ) {
-    if tau == C64::ZERO {
+    if tau == T::ZERO {
         return;
     }
-    add(Level::L2, (16 * m * n) as u64);
+    add(Level::L2, 2 * T::MULADD_FLOPS * (m * n) as u64);
     // C read and written once, v/work streamed per column sweep.
-    add_bytes(Level::L2, CB * (2 * m * n + 2 * m + n) as u64);
+    add_bytes(Level::L2, T::BYTES * (2 * m * n + 2 * m + n) as u64);
     // work = C v.
-    work[..m].fill(C64::ZERO);
+    work[..m].fill(T::ZERO);
     for j in 0..n {
         let t = v[j];
-        if t == C64::ZERO {
+        if t == T::ZERO {
             continue;
         }
         let col = &c[j * ldc..j * ldc + m];
@@ -501,7 +506,7 @@ pub fn zlarf_right(
     // C[:, j] -= tau * work * conj(v_j).
     for j in 0..n {
         let t = tau * v[j].conj();
-        if t == C64::ZERO {
+        if t == T::ZERO {
             continue;
         }
         let col = &mut c[j * ldc..j * ldc + m];
@@ -514,17 +519,25 @@ pub fn zlarf_right(
 /// Complex forward-columnwise `T` factor: `H_1 ... H_k = I - V T V^H`,
 /// `V` with explicit unit diagonal and zeros above. `T`'s lower triangle
 /// is zero-filled.
-pub fn zlarft(m: usize, k: usize, v: &[C64], ldv: usize, tau: &[C64], t: &mut [C64], ldt: usize) {
-    add(Level::L3, (4 * m * k * k) as u64);
+pub fn zlarft<T: ComplexScalar>(
+    m: usize,
+    k: usize,
+    v: &[T],
+    ldv: usize,
+    tau: &[T],
+    t: &mut [T],
+    ldt: usize,
+) {
+    add(Level::L3, (T::MULADD_FLOPS / 2) * (m * k * k) as u64);
     // V streamed once per column pair, T is k x k and cache-resident.
-    add_bytes(Level::L3, CB * (m * k + 2 * k * k) as u64);
+    add_bytes(Level::L3, T::BYTES * (m * k + 2 * k * k) as u64);
     for i in 0..k {
         for l in i + 1..k {
-            t[l + i * ldt] = C64::ZERO;
+            t[l + i * ldt] = T::ZERO;
         }
-        if tau[i] == C64::ZERO {
+        if tau[i] == T::ZERO {
             for l in 0..=i {
-                t[l + i * ldt] = C64::ZERO;
+                t[l + i * ldt] = T::ZERO;
             }
             continue;
         }
@@ -532,7 +545,7 @@ pub fn zlarft(m: usize, k: usize, v: &[C64], ldv: usize, tau: &[C64], t: &mut [C
         for l in 0..i {
             let vl = &v[l * ldv..l * ldv + m];
             let vi = &v[i * ldv..i * ldv + m];
-            let mut s = C64::ZERO;
+            let mut s = T::ZERO;
             for r in 0..m {
                 s += vi[r].mul_conj(vl[r]);
             }
@@ -540,7 +553,7 @@ pub fn zlarft(m: usize, k: usize, v: &[C64], ldv: usize, tau: &[C64], t: &mut [C
         }
         // T(0..i, i) = T(0..i, 0..i) * w (top-down, in place).
         for l in 0..i {
-            let mut s = C64::ZERO;
+            let mut s = T::ZERO;
             for q in l..i {
                 s += t[l + q * ldt] * t[q + i * ldt];
             }
@@ -553,18 +566,18 @@ pub fn zlarft(m: usize, k: usize, v: &[C64], ldv: usize, tau: &[C64], t: &mut [C
 /// Blocked left application `C <- (I - V T V^H) C` (`op == Op::No`) or
 /// `C <- (I - V T^H V^H)^...` — precisely: applies `I - V op(T) V^H`.
 #[allow(clippy::too_many_arguments)]
-pub fn zlarfb_left(
+pub fn zlarfb_left<T: ComplexScalar + GemmScalar>(
     opt: Op,
     m: usize,
     n: usize,
     k: usize,
-    v: &[C64],
+    v: &[T],
     ldv: usize,
-    t: &[C64],
+    t: &[T],
     ldt: usize,
-    c: &mut [C64],
+    c: &mut [T],
     ldc: usize,
-    work: &mut [C64],
+    work: &mut [T],
 ) {
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -577,31 +590,17 @@ pub fn zlarfb_left(
         k,
         n,
         m,
-        C64::ONE,
+        T::ONE,
         v,
         ldv,
         c,
         ldc,
-        C64::ZERO,
+        T::ZERO,
         w,
         k,
     );
     // W2 = op(T) W  (T has a clean lower triangle, so dense multiply is fine).
-    zgemm(
-        opt,
-        Op::No,
-        k,
-        n,
-        k,
-        C64::ONE,
-        t,
-        ldt,
-        w,
-        k,
-        C64::ZERO,
-        w2,
-        k,
-    );
+    zgemm(opt, Op::No, k, n, k, T::ONE, t, ldt, w, k, T::ZERO, w2, k);
     // C -= V W2.
     zgemm(
         Op::No,
@@ -609,12 +608,12 @@ pub fn zlarfb_left(
         m,
         n,
         k,
-        c64(-1.0, 0.0),
+        -T::ONE,
         v,
         ldv,
         w2,
         k,
-        C64::ONE,
+        T::ONE,
         c,
         ldc,
     );
@@ -622,23 +621,23 @@ pub fn zlarfb_left(
 
 /// Unblocked complex QR of an `m x nc` panel (`zgeqr2`): reflectors below
 /// the diagonal, `R` above, `tau` out.
-pub fn zgeqr2(m: usize, nc: usize, a: &mut [C64], lda: usize, tau: &mut [C64]) {
+pub fn zgeqr2<T: ComplexScalar>(m: usize, nc: usize, a: &mut [T], lda: usize, tau: &mut [T]) {
     let kmin = m.min(nc);
-    let mut work = vec![C64::ZERO; nc];
-    let mut u = vec![C64::ZERO; m];
+    let mut work = vec![T::ZERO; nc];
+    let mut u = vec![T::ZERO; m];
     for j in 0..kmin {
         let (beta, tj) = {
             let col = &mut a[j * lda..j * lda + m];
             let (head, tail) = col.split_at_mut(j + 1);
             zlarfg(head[j], &mut tail[..m - j - 1])
         };
-        a[j + j * lda] = c64(beta, 0.0);
+        a[j + j * lda] = T::new(beta, 0.0);
         tau[j] = tj;
-        if tj == C64::ZERO || j + 1 == nc {
+        if tj == T::ZERO || j + 1 == nc {
             continue;
         }
         let rows = m - j;
-        u[0] = C64::ONE;
+        u[0] = T::ONE;
         for r in 1..rows {
             u[r] = a[j + r + j * lda];
         }
@@ -658,7 +657,7 @@ pub fn zgeqr2(m: usize, nc: usize, a: &mut [C64], lda: usize, tau: &mut [C64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tseig_matrix::CMatrix;
+    use tseig_matrix::{c64, CMatrix, C64};
 
     fn rand_cmat(m: usize, n: usize, seed: u64) -> CMatrix {
         use rand::rngs::StdRng;

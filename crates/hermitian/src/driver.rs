@@ -4,13 +4,13 @@
 //! two-stage pipeline with the tridiagonal eigensolve done entirely in
 //! *real* arithmetic (phases folded back in during the transformation).
 
-use crate::backtransform::apply_q;
+use crate::backtransform::{apply_q, HermScalar};
 use crate::stage1::he2hb;
 use crate::stage2::{reduce_scheduled, Scheduler};
 use std::time::Instant;
 use tseig_kernels::scaling;
 use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
-use tseig_matrix::{c64, CMatrix, Error, Result};
+use tseig_matrix::{CMatrixG, ComplexScalar, Error, Result, C64};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 
 /// Scaled-measure acceptance bound for [`HermitianEigen::verify`] —
@@ -18,13 +18,15 @@ use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 /// indicates a bug.
 pub const VERIFY_BOUND: f64 = 1e3;
 
-/// Result of a Hermitian eigensolve.
+/// Result of a Hermitian eigensolve. Eigenvalues are always `f64` (the
+/// tridiagonal solve runs in full precision for every complex width);
+/// eigenvectors carry the input's element type.
 #[derive(Clone, Debug)]
-pub struct HermitianResult {
+pub struct HermitianResult<T: ComplexScalar = C64> {
     /// Ascending (real) eigenvalues of the selected range.
     pub eigenvalues: Vec<f64>,
     /// Matching complex eigenvectors, if requested.
-    pub eigenvectors: Option<CMatrix>,
+    pub eigenvectors: Option<CMatrixG<T>>,
     /// Phase wall-times.
     pub timings: PhaseTimings,
     /// Robustness-layer report: fallbacks, norm scaling, verification.
@@ -115,13 +117,17 @@ impl HermitianEigen {
     }
 
     /// Solve the dense Hermitian eigenproblem (lower triangle of `a`
-    /// referenced; the diagonal's imaginary part is ignored).
+    /// referenced; the diagonal's imaginary part is ignored). Generic
+    /// over the complex element width: `CMatrix` (= `CMatrixG<C64>`)
+    /// gives the `zheev`-equivalent solve, `CMatrixG<C32>` the
+    /// `cheev`-equivalent one with verification tolerances scaled to
+    /// the narrower epsilon.
     ///
     /// Carries the same robustness layer as the real driver: input
     /// screening ([`Error::InvalidData`]), norm scaling with eigenvalue
     /// rescaling on exit, scheduler and tridiagonal fallback chains, and
     /// optional verification — all reported in [`SolveDiagnostics`].
-    pub fn solve(&self, a: &CMatrix) -> Result<HermitianResult> {
+    pub fn solve<T: HermScalar>(&self, a: &CMatrixG<T>) -> Result<HermitianResult<T>> {
         if a.rows() != a.cols() {
             return Err(Error::DimensionMismatch(format!(
                 "matrix is {}x{}",
@@ -137,7 +143,7 @@ impl HermitianEigen {
         if n == 0 {
             return Ok(HermitianResult {
                 eigenvalues: vec![],
-                eigenvectors: self.want_vectors.then(|| CMatrix::zeros(0, 0)),
+                eigenvectors: self.want_vectors.then(|| CMatrixG::zeros(0, 0)),
                 timings,
                 diagnostics: SolveDiagnostics::default(),
             });
@@ -160,7 +166,7 @@ impl HermitianEigen {
             scaling::scale_cmatrix(&mut b, s);
             b
         });
-        let work: &CMatrix = scaled.as_ref().unwrap_or(a);
+        let work: &CMatrixG<T> = scaled.as_ref().unwrap_or(a);
         let range = match (sigma, self.range) {
             (Some(s), EigenRange::Value(vl, vu)) => EigenRange::Value(vl * s, vu * s),
             (_, r) => r,
@@ -207,8 +213,8 @@ impl HermitianEigen {
                 ));
             };
             // Complexify, then the fused one-pass D + Q2 + Q1 chain.
-            let mut z = CMatrix::from_fn(e_real.rows(), e_real.cols(), |i, j| {
-                c64(e_real[(i, j)], 0.0)
+            let mut z = CMatrixG::from_fn(e_real.rows(), e_real.cols(), |i, j| {
+                T::new(e_real[(i, j)], 0.0)
             });
             apply_q(&chase.v2, &bf.panels, Some(&chase.phases), &mut z, ell, 0);
             timings.backtransform = t3.elapsed();
@@ -245,8 +251,12 @@ impl HermitianEigen {
     }
 
     /// Order-1 problem: the (real part of the) single diagonal entry.
-    fn solve_order_one(&self, a: &CMatrix, timings: PhaseTimings) -> Result<HermitianResult> {
-        let a00 = a[(0, 0)].re;
+    fn solve_order_one<T: ComplexScalar>(
+        &self,
+        a: &CMatrixG<T>,
+        timings: PhaseTimings,
+    ) -> Result<HermitianResult<T>> {
+        let a00 = a[(0, 0)].re();
         let include = match self.range {
             EigenRange::All => true,
             EigenRange::Index(lo, hi) => lo == 0 && hi >= 1,
@@ -255,9 +265,9 @@ impl HermitianEigen {
         let k = usize::from(include);
         let eigenvalues = if include { vec![a00] } else { vec![] };
         let eigenvectors = self.want_vectors.then(|| {
-            let mut z = CMatrix::zeros(1, k);
+            let mut z = CMatrixG::zeros(1, k);
             if include {
-                z[(0, 0)] = c64(1.0, 0.0);
+                z[(0, 0)] = T::ONE;
             }
             z
         });
@@ -272,15 +282,17 @@ impl HermitianEigen {
 
 /// Verify a Hermitian eigendecomposition: finite ascending eigenvalues,
 /// per-column scaled residual, and (for [`VerifyLevel::Full`]) pairwise
-/// unitarity, all bounded by [`VERIFY_BOUND`].
-fn verify_solution(
-    a: &CMatrix,
+/// unitarity, all bounded by [`VERIFY_BOUND`]. The scaled measures
+/// divide by the *element type's* epsilon ([`ComplexScalar::EPS`]), so
+/// the same [`VERIFY_BOUND`] applies to C32 and C64 solves alike.
+fn verify_solution<T: ComplexScalar>(
+    a: &CMatrixG<T>,
     lambda: &[f64],
-    z: Option<&CMatrix>,
+    z: Option<&CMatrixG<T>>,
     level: VerifyLevel,
 ) -> Result<VerifyReport> {
     let n = a.rows();
-    let eps = f64::EPSILON / 2.0;
+    let eps = T::EPS / 2.0;
     for (j, &lam) in lambda.iter().enumerate() {
         if !lam.is_finite() {
             return Err(Error::VerificationFailed {
@@ -337,7 +349,7 @@ fn verify_solution(
         for j in 0..z.cols() {
             for i in 0..=j {
                 let target = if i == j { 1.0 } else { 0.0 };
-                let m = (g[(i, j)] - c64(target, 0.0)).abs() / scale;
+                let m = (g[(i, j)] - T::new(target, 0.0)).abs() / scale;
                 if m > worst.1 || m.is_nan() {
                     worst = (j, m);
                 }
@@ -368,7 +380,7 @@ mod tests {
         hermitian_residual, hermitian_with_spectrum, rand_hermitian, real_embedding_eigenvalues,
         unitary_error,
     };
-    use tseig_matrix::norms;
+    use tseig_matrix::{norms, CMatrix};
 
     fn check(a: &CMatrix, r: &HermitianResult, tol: f64) {
         let z = r.eigenvectors.as_ref().expect("vectors");
@@ -476,6 +488,50 @@ mod tests {
             .unwrap();
         assert!(r.eigenvectors.is_none());
         assert_eq!(r.eigenvalues.len(), 12);
+    }
+
+    #[test]
+    fn c32_end_to_end_cheev_equivalent() {
+        // The cheev-equivalent solve: narrow a C64 Hermitian matrix to
+        // C32, run the full generic pipeline (band reduction, chase,
+        // real tridiagonal solve, fused back-transform) and check
+        // against the f64 real-embedding oracle with f32-scaled
+        // tolerances. `VerifyLevel::Full` exercises the T::EPS-scaled
+        // built-in verification on the narrow path too.
+        use tseig_matrix::{CMatrixG, C32};
+        let n = 24;
+        let a64 = rand_hermitian(n, 89);
+        let a = CMatrixG::<C32>::from_cmatrix(&a64);
+        let want = real_embedding_eigenvalues(&a);
+        let r = HermitianEigen::new()
+            .nb(5)
+            .verify(VerifyLevel::Full)
+            .solve(&a)
+            .unwrap();
+        assert!(
+            norms::eigenvalue_distance(&r.eigenvalues, &want) < 1e-3,
+            "C32 eigenvalues off the f64 oracle"
+        );
+        let z = r.eigenvectors.as_ref().expect("vectors");
+        let res = hermitian_residual(&a, &r.eigenvalues, z);
+        let uni = unitary_error(z);
+        assert!(res < 500.0, "C32 residual {res}");
+        assert!(uni < 500.0, "C32 unitarity {uni}");
+        let v = r.diagnostics.verify.expect("verify report");
+        assert!(v.residual <= VERIFY_BOUND && v.orthogonality <= VERIFY_BOUND);
+    }
+
+    #[test]
+    fn c32_schedulers_bitwise_identical() {
+        // The scheduler equivalence argument is element-type blind: the
+        // C32 chase must be bit-identical under every scheduler too.
+        use tseig_matrix::{CMatrixG, C32};
+        let a = CMatrixG::<C32>::from_cmatrix(&rand_hermitian(26, 90));
+        let serial = HermitianEigen::new().nb(5).solve(&a).unwrap();
+        for s in [Scheduler::Static(3), Scheduler::Dynamic(2)] {
+            let r = HermitianEigen::new().nb(5).scheduler(s).solve(&a).unwrap();
+            assert_eq!(r.eigenvalues, serial.eigenvalues, "{s:?}");
+        }
     }
 
     #[test]

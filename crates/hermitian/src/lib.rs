@@ -19,6 +19,12 @@
 //! Entry point: [`driver::HermitianEigen`]. Validation helpers (complex
 //! residual/orthogonality, a real `2n x 2n` embedding oracle) live in
 //! [`validate`].
+//!
+//! The whole pipeline is generic over the complex element width through
+//! [`HermScalar`]: `CMatrixG<C64>` (= `CMatrix`) gives the
+//! `zheev`-equivalent solve, `CMatrixG<C32>` the `cheev`-equivalent one,
+//! both through the same packed SIMD GEMM engine and with verification
+//! tolerances scaled by the element type's epsilon.
 
 pub mod backtransform;
 pub mod ckernels;
@@ -27,6 +33,7 @@ pub mod stage1;
 pub mod stage2;
 pub mod validate;
 
+pub use backtransform::HermScalar;
 pub use driver::{HermitianEigen, HermitianResult, VERIFY_BOUND};
 pub use stage2::Scheduler;
 pub use tseig_matrix::diagnostics::{Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};

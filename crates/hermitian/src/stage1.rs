@@ -10,30 +10,31 @@
 //! ```
 
 use crate::ckernels::{zgemm, zgeqr2, zhemm_lower_left, zher2k_lower, zlarft, Op};
-use tseig_matrix::{c64, CMatrix, C64};
+use tseig_kernels::blas3::engine::GemmScalar;
+use tseig_matrix::{CMatrixG, ComplexScalar, C64};
 
 /// One panel's block reflector, acting on rows `r0..n`.
-pub struct Q1PanelC {
+pub struct Q1PanelC<T: ComplexScalar = C64> {
     pub r0: usize,
     /// `(n - r0) x kb`, explicit unit diagonal.
-    pub v: CMatrix,
+    pub v: CMatrixG<T>,
     /// `kb x kb` upper triangular, clean lower part.
-    pub t: Vec<C64>,
+    pub t: Vec<T>,
 }
 
 /// Result of the Hermitian band reduction. The band is kept as a dense
 /// Hermitian matrix with entries zeroed outside the band (complex band
 /// storage would mirror `SymBandMatrix`; dense keeps this crate compact
 /// while stage 2 still only touches band-window blocks).
-pub struct BandFormC {
-    pub band: CMatrix,
-    pub panels: Vec<Q1PanelC>,
+pub struct BandFormC<T: ComplexScalar = C64> {
+    pub band: CMatrixG<T>,
+    pub panels: Vec<Q1PanelC<T>>,
     pub nb: usize,
 }
 
 /// Reduce the dense Hermitian `a` (lower triangle referenced) to band
 /// form with semi-bandwidth `nb`.
-pub fn he2hb(a: &CMatrix, nb: usize) -> BandFormC {
+pub fn he2hb<T: ComplexScalar + GemmScalar>(a: &CMatrixG<T>, nb: usize) -> BandFormC<T> {
     assert_eq!(a.rows(), a.cols());
     let n = a.rows();
     let nb = nb.max(1);
@@ -47,26 +48,26 @@ pub fn he2hb(a: &CMatrix, nb: usize) -> BandFormC {
         let r0 = j0 + nb;
         let m = n - r0;
         let kb = nb.min(m);
-        let mut tau = vec![C64::ZERO; kb];
+        let mut tau = vec![T::ZERO; kb];
         {
             let panel = &mut a.as_mut_slice()[r0 + j0 * lda..];
             zgeqr2(m, nb, panel, lda, &mut tau);
         }
         // Extract clean V and T.
-        let mut v = CMatrix::zeros(m, kb);
+        let mut v = CMatrixG::zeros(m, kb);
         for col in 0..kb {
-            v[(col, col)] = C64::ONE;
+            v[(col, col)] = T::ONE;
             for r in col + 1..m {
                 v[(r, col)] = a.as_slice()[r0 + r + (j0 + col) * lda];
             }
         }
-        let mut t = vec![C64::ZERO; kb * kb];
+        let mut t = vec![T::ZERO; kb * kb];
         zlarft(m, kb, v.as_slice(), m, &tau, &mut t, kb);
         // Zero the annihilated part below the R factor, and mirror the
         // panel's new band block into the upper triangle.
         for jj in 0..nb {
             for i in (r0 + jj + 1).min(n)..n {
-                a[(i, j0 + jj)] = C64::ZERO;
+                a[(i, j0 + jj)] = T::ZERO;
             }
         }
         for jj in 0..nb {
@@ -84,7 +85,7 @@ pub fn he2hb(a: &CMatrix, nb: usize) -> BandFormC {
     // the matrix exactly Hermitian.
     for j in 0..n {
         for i in j + nb + 1..n {
-            a[(i, j)] = C64::ZERO;
+            a[(i, j)] = T::ZERO;
         }
     }
     a.hermitize_from_lower();
@@ -96,7 +97,12 @@ pub fn he2hb(a: &CMatrix, nb: usize) -> BandFormC {
 }
 
 /// `A2 <- Q^H A2 Q` on the trailing block at `r0` (Hermitian rank-2k).
-fn two_sided_update(a: &mut CMatrix, r0: usize, v: &CMatrix, t: &[C64]) {
+fn two_sided_update<T: ComplexScalar + GemmScalar>(
+    a: &mut CMatrixG<T>,
+    r0: usize,
+    v: &CMatrixG<T>,
+    t: &[T],
+) {
     let n = a.rows();
     let lda = a.ld();
     let m = n - r0;
@@ -105,70 +111,70 @@ fn two_sided_update(a: &mut CMatrix, r0: usize, v: &CMatrix, t: &[C64]) {
         return;
     }
     // VT = V T.
-    let mut vt = CMatrix::zeros(m, kb);
+    let mut vt = CMatrixG::zeros(m, kb);
     zgemm(
         Op::No,
         Op::No,
         m,
         kb,
         kb,
-        C64::ONE,
+        T::ONE,
         v.as_slice(),
         m,
         t,
         kb,
-        C64::ZERO,
+        T::ZERO,
         vt.as_mut_slice(),
         m,
     );
     // W = A2 VT (Hermitian multiply).
-    let mut w = CMatrix::zeros(m, kb);
+    let mut w = CMatrixG::zeros(m, kb);
     {
         let a2 = &a.as_slice()[r0 + r0 * lda..];
         zhemm_lower_left(
             m,
             kb,
-            C64::ONE,
+            T::ONE,
             a2,
             lda,
             vt.as_slice(),
             m,
-            C64::ZERO,
+            T::ZERO,
             w.as_mut_slice(),
             m,
         );
     }
     // M = V^H W.
-    let mut mm = vec![C64::ZERO; kb * kb];
+    let mut mm = vec![T::ZERO; kb * kb];
     zgemm(
         Op::ConjTrans,
         Op::No,
         kb,
         kb,
         m,
-        C64::ONE,
+        T::ONE,
         v.as_slice(),
         m,
         w.as_slice(),
         m,
-        C64::ZERO,
+        T::ZERO,
         &mut mm,
         kb,
     );
     // TM = T^H M.
-    let mut tm = vec![C64::ZERO; kb * kb];
+    let mut tm = vec![T::ZERO; kb * kb];
     zgemm(
         Op::ConjTrans,
         Op::No,
         kb,
         kb,
         kb,
-        C64::ONE,
+        T::ONE,
         t,
         kb,
         &mm,
         kb,
-        C64::ZERO,
+        T::ZERO,
         &mut tm,
         kb,
     );
@@ -180,12 +186,12 @@ fn two_sided_update(a: &mut CMatrix, r0: usize, v: &CMatrix, t: &[C64]) {
         m,
         kb,
         kb,
-        c64(-0.5, 0.0),
+        T::new(-0.5, 0.0),
         v.as_slice(),
         m,
         &tm,
         kb,
-        C64::ONE,
+        T::ONE,
         x.as_mut_slice(),
         m,
     );
@@ -208,6 +214,7 @@ fn two_sided_update(a: &mut CMatrix, r0: usize, v: &CMatrix, t: &[C64]) {
 mod tests {
     use super::*;
     use crate::validate::{rand_hermitian, real_embedding_eigenvalues};
+    use tseig_matrix::{c64, CMatrix};
 
     /// Materialize Q1 = Q_0 Q_1 ... explicitly (tests only).
     pub(crate) fn form_q1(bf: &BandFormC, n: usize) -> CMatrix {

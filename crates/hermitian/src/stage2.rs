@@ -23,50 +23,52 @@
 
 use crate::ckernels::{zlarf_left, zlarf_right, zlarfg};
 use std::sync::Arc;
-use tseig_matrix::{c64, CMatrix, SymTridiagonal, C64};
+use tseig_matrix::{CMatrixG, ComplexScalar, SymTridiagonal, C64};
 use tseig_runtime::verify::TaskSpec;
 use tseig_runtime::{shadow, Access, DataCell, Priority, Region, Runtime, TaskGraph};
 
 /// One stored stage-2 reflector: `(start row, tau, v)` with `v[0] == 1`.
-type ReflectorC = (usize, C64, Vec<C64>);
+type ReflectorC<T = C64> = (usize, T, Vec<T>);
+
+/// Number of reflectors sweep `s` *stores* (same formula as the real
+/// chase: reflector `k` exists while `s + 1 + k*nb <= n - 2`). Free
+/// function because the task-geometry helpers below are element-type
+/// independent and must not pick a `V2SetC<T>` instantiation.
+pub fn depth_of_sweep(n: usize, nb: usize, s: usize) -> usize {
+    if s + 2 >= n {
+        return 0;
+    }
+    (n - 2 - s - 1) / nb + 1
+}
+
+/// Number of kernel *tasks* sweep `s` runs; one more than
+/// [`depth_of_sweep`] when the last bulge block has a single row (the
+/// right-application still runs, no reflector comes out).
+pub fn steps_of_sweep(n: usize, nb: usize, s: usize) -> usize {
+    if s + 2 >= n {
+        return 0;
+    }
+    (n - 2 - s) / nb + 1
+}
 
 /// The complex reflector set of the chase, indexed `(sweep, depth)`.
 /// Reflector `(s, k)` starts at global row `s + 1 + k * nb` (clamped at
 /// the matrix edge) — the same geometry as the real `V2Set`.
-pub struct V2SetC {
+pub struct V2SetC<T: ComplexScalar = C64> {
     n: usize,
     nb: usize,
-    sweeps: Vec<Vec<ReflectorC>>,
+    sweeps: Vec<Vec<ReflectorC<T>>>,
 }
 
-impl V2SetC {
+impl<T: ComplexScalar> V2SetC<T> {
     fn new(n: usize, nb: usize) -> Self {
         let nsweeps = n.saturating_sub(2);
         let mut sweeps = Vec::with_capacity(nsweeps);
         for s in 0..nsweeps {
-            let depth = Self::depth_of_sweep(n, nb, s);
-            sweeps.push(vec![(0usize, C64::ZERO, Vec::new()); depth]);
+            let depth = depth_of_sweep(n, nb, s);
+            sweeps.push(vec![(0usize, T::ZERO, Vec::new()); depth]);
         }
         V2SetC { n, nb, sweeps }
-    }
-
-    /// Number of reflectors sweep `s` *stores* (same formula as the real
-    /// chase: reflector `k` exists while `s + 1 + k*nb <= n - 2`).
-    pub fn depth_of_sweep(n: usize, nb: usize, s: usize) -> usize {
-        if s + 2 >= n {
-            return 0;
-        }
-        (n - 2 - s - 1) / nb + 1
-    }
-
-    /// Number of kernel *tasks* sweep `s` runs; one more than
-    /// [`Self::depth_of_sweep`] when the last bulge block has a single
-    /// row (the right-application still runs, no reflector comes out).
-    pub fn steps_of_sweep(n: usize, nb: usize, s: usize) -> usize {
-        if s + 2 >= n {
-            return 0;
-        }
-        (n - 2 - s) / nb + 1
     }
 
     pub fn n(&self) -> usize {
@@ -81,7 +83,7 @@ impl V2SetC {
         self.sweeps.len()
     }
 
-    pub fn sweep(&self, s: usize) -> &[ReflectorC] {
+    pub fn sweep(&self, s: usize) -> &[ReflectorC<T>] {
         &self.sweeps[s]
     }
 
@@ -93,19 +95,21 @@ impl V2SetC {
             .sum()
     }
 
-    fn store(&mut self, s: usize, k: usize, start: usize, tau: C64, v: Vec<C64>) {
+    fn store(&mut self, s: usize, k: usize, start: usize, tau: T, v: Vec<T>) {
         self.sweeps[s][k] = (start, tau, v);
     }
 }
 
 /// Result of the Hermitian chase: real tridiagonal + reflectors + the
-/// unitary diagonal phases folded out of the off-diagonals.
-pub struct ChaseResultC {
+/// unitary diagonal phases folded out of the off-diagonals. The
+/// tridiagonal is always `f64` — the real solver downstream runs at
+/// full precision regardless of the complex element width.
+pub struct ChaseResultC<T: ComplexScalar = C64> {
     pub tridiagonal: SymTridiagonal,
-    pub v2: V2SetC,
+    pub v2: V2SetC<T>,
     /// `phases[j]` scales row `j` of the real tridiagonal eigenvectors:
     /// eigenvectors of the complex tridiagonal are `diag(phases) * E`.
-    pub phases: Vec<C64>,
+    pub phases: Vec<T>,
 }
 
 /// Band entries of a block with rows `[.., r1]`, columns `[c0, ..]`
@@ -122,14 +126,14 @@ fn touch_band(c0: usize, r1: usize, access: Access) {
 /// the first sub-diagonal (to a *real* `beta`, courtesy of `zlarfg`) and
 /// update the symmetric diamond block two-sided. Returns the generated
 /// reflector `(start_row, tau, v)`.
-pub fn zhbceu(a: &mut CMatrix, s: usize, b: usize) -> ReflectorC {
+pub fn zhbceu<T: ComplexScalar>(a: &mut CMatrixG<T>, s: usize, b: usize) -> ReflectorC<T> {
     let n = a.rows();
     let r0 = s + 1;
     let r1 = (s + b).min(n - 1);
     let l = r1 - r0 + 1;
     // Column s (and its conjugate mirror) is gathered and rewritten.
     touch_band(s, r1, Access::Write);
-    let mut v = vec![C64::ZERO; l];
+    let mut v = vec![T::ZERO; l];
     for i in 0..l {
         v[i] = a[(r0 + i, s)];
     }
@@ -137,12 +141,12 @@ pub fn zhbceu(a: &mut CMatrix, s: usize, b: usize) -> ReflectorC {
         let (head, tail) = v.split_at_mut(1);
         zlarfg(head[0], tail)
     };
-    v[0] = C64::ONE;
-    a[(r0, s)] = c64(beta, 0.0);
-    a[(s, r0)] = c64(beta, 0.0);
+    v[0] = T::ONE;
+    a[(r0, s)] = T::new(beta, 0.0);
+    a[(s, r0)] = T::new(beta, 0.0);
     for i in 1..l {
-        a[(r0 + i, s)] = C64::ZERO;
-        a[(s, r0 + i)] = C64::ZERO;
+        a[(r0 + i, s)] = T::ZERO;
+        a[(s, r0 + i)] = T::ZERO;
     }
     two_sided_window(a, r0, l, &v, tau);
     (r0, tau, v)
@@ -154,7 +158,11 @@ pub fn zhbceu(a: &mut CMatrix, s: usize, b: usize) -> ReflectorC {
 /// and left-update the remaining columns while the block is cache-hot.
 /// Returns the new reflector, or `None` when the chase ran off the
 /// matrix edge.
-pub fn zhbrel(a: &mut CMatrix, b: usize, prev: (usize, C64, &[C64])) -> Option<ReflectorC> {
+pub fn zhbrel<T: ComplexScalar>(
+    a: &mut CMatrixG<T>,
+    b: usize,
+    prev: (usize, T, &[T]),
+) -> Option<ReflectorC<T>> {
     let n = a.rows();
     let (pr0, ptau, pv) = prev;
     let pl = pv.len();
@@ -167,13 +175,13 @@ pub fn zhbrel(a: &mut CMatrix, b: usize, prev: (usize, C64, &[C64])) -> Option<R
     // Copy block A[br0..=br1, pr0..pr0+pl] (write-back is reported by
     // `write_back_rect`).
     touch_band(pr0, br1, Access::Read);
-    let mut blk = vec![C64::ZERO; rl * pl];
+    let mut blk = vec![T::ZERO; rl * pl];
     for j in 0..pl {
         for i in 0..rl {
             blk[i + j * rl] = a[(br0 + i, pr0 + j)];
         }
     }
-    let mut work = vec![C64::ZERO; rl.max(pl)];
+    let mut work = vec![T::ZERO; rl.max(pl)];
     // Right-apply the previous reflector (creates the bulge).
     zlarf_right(pv, ptau, rl, pl, &mut blk, rl, &mut work);
     if rl < 2 {
@@ -181,15 +189,15 @@ pub fn zhbrel(a: &mut CMatrix, b: usize, prev: (usize, C64, &[C64])) -> Option<R
         return None;
     }
     // Annihilate the bulge's first column (delayed annihilation).
-    let mut nv = vec![C64::ZERO; rl];
+    let mut nv = vec![T::ZERO; rl];
     nv.copy_from_slice(&blk[..rl]);
     let (nbeta, ntau) = {
         let (head, tail) = nv.split_at_mut(1);
         zlarfg(head[0], tail)
     };
-    nv[0] = C64::ONE;
-    blk[0] = c64(nbeta, 0.0);
-    blk[1..rl].fill(C64::ZERO);
+    nv[0] = T::ONE;
+    blk[0] = T::new(nbeta, 0.0);
+    blk[1..rl].fill(T::ZERO);
     // Left-apply the new reflector's H^H to the remaining columns.
     if pl > 1 {
         zlarf_left(&nv, ntau.conj(), rl, pl - 1, &mut blk[rl..], rl, &mut work);
@@ -200,14 +208,14 @@ pub fn zhbrel(a: &mut CMatrix, b: usize, prev: (usize, C64, &[C64])) -> Option<R
 
 /// Kernel 3 (`zHBLRU`): apply the new reflector two-sided to the next
 /// symmetric diagonal window.
-pub fn zhblru(a: &mut CMatrix, refl: (usize, C64, &[C64])) {
+pub fn zhblru<T: ComplexScalar>(a: &mut CMatrixG<T>, refl: (usize, T, &[T])) {
     let (r0, tau, v) = refl;
     two_sided_window(a, r0, v.len(), v, tau);
 }
 
 /// Run the bulge chase on a banded dense Hermitian matrix (entries
 /// outside semi-bandwidth `nb` must be zero — stage 1 guarantees it).
-pub fn reduce(mut a: CMatrix, nb: usize) -> ChaseResultC {
+pub fn reduce<T: ComplexScalar>(mut a: CMatrixG<T>, nb: usize) -> ChaseResultC<T> {
     let n = a.rows();
     let b = nb.max(1);
     let mut v2 = V2SetC::new(n, b);
@@ -224,7 +232,7 @@ pub fn reduce(mut a: CMatrix, nb: usize) -> ChaseResultC {
     }
 }
 
-fn run_sweep(a: &mut CMatrix, s: usize, b: usize, v2: &mut V2SetC) {
+fn run_sweep<T: ComplexScalar>(a: &mut CMatrixG<T>, s: usize, b: usize, v2: &mut V2SetC<T>) {
     let n = a.rows();
     if s + 2 >= n {
         return;
@@ -238,7 +246,7 @@ fn run_sweep(a: &mut CMatrix, s: usize, b: usize, v2: &mut V2SetC) {
         (start, tau, v) = (ns, nt, nv);
         k += 1;
     }
-    debug_assert_eq!(k, V2SetC::depth_of_sweep(n, b, s), "sweep {s} depth");
+    debug_assert_eq!(k, depth_of_sweep(n, b, s), "sweep {s} depth");
     let _ = (start, tau, v);
 }
 
@@ -292,7 +300,7 @@ fn task_row_span(n: usize, b: usize, t: ChaseTask) -> (usize, usize) {
 /// V2 slot region of reflector `(s, k)`. The stride is the maximum step
 /// count of any sweep (sweep 0), so slot ids never collide across sweeps.
 fn v2_slot(n: usize, b: usize, s: usize, k: usize) -> Region {
-    let stride = V2SetC::steps_of_sweep(n, b, 0);
+    let stride = steps_of_sweep(n, b, 0);
     Region::point(V2_SPACE, (s * stride + k) as u64)
 }
 
@@ -308,7 +316,7 @@ fn task_regions(n: usize, b: usize, t: ChaseTask) -> Vec<(Region, Access)> {
         Region::span(BAND_SPACE, lo as u64, hi as u64 + 1),
         Access::Write,
     )];
-    if t.k < V2SetC::depth_of_sweep(n, b, t.s) {
+    if t.k < depth_of_sweep(n, b, t.s) {
         // The final step of an nb-aligned sweep stores no reflector.
         regions.push((v2_slot(n, b, t.s, t.k), Access::Write));
     }
@@ -363,7 +371,12 @@ pub fn chase_task_owners(n: usize, b: usize, threads: usize) -> Vec<usize> {
 /// # Safety contract
 /// Caller (the scheduler) must guarantee exclusive access to the
 /// declared regions; V2 slots `(s, k)` are written by exactly one task.
-fn run_task(a: &DataCell<CMatrix>, v2: &DataCell<V2SetC>, b: usize, t: ChaseTask) {
+fn run_task<T: ComplexScalar>(
+    a: &DataCell<CMatrixG<T>>,
+    v2: &DataCell<V2SetC<T>>,
+    b: usize,
+    t: ChaseTask,
+) {
     // Safety: region declarations serialize conflicting band accesses;
     // each task writes its own V2 slot only and reads the slot (s, k-1)
     // its same-sweep predecessor wrote (ordered by overlapping band
@@ -397,7 +410,7 @@ fn enumerate_tasks(n: usize, b: usize) -> Vec<ChaseTask> {
         return tasks;
     }
     for s in 0..n - 2 {
-        for k in 0..V2SetC::steps_of_sweep(n, b, s) {
+        for k in 0..steps_of_sweep(n, b, s) {
             tasks.push(ChaseTask { s, k });
         }
     }
@@ -408,7 +421,11 @@ fn enumerate_tasks(n: usize, b: usize) -> Vec<ChaseTask> {
 /// the same tridiagonal, reflector set and phases as [`reduce`] —
 /// bit-identical, because the schedulers only reorder tasks whose data
 /// regions are disjoint.
-pub fn reduce_scheduled(a: CMatrix, nb: usize, sched: Scheduler) -> Result<ChaseResultC, String> {
+pub fn reduce_scheduled<T: ComplexScalar>(
+    a: CMatrixG<T>,
+    nb: usize,
+    sched: Scheduler,
+) -> Result<ChaseResultC<T>, String> {
     let n = a.rows();
     let b = nb.max(1);
     match sched {
@@ -473,18 +490,18 @@ pub fn reduce_scheduled(a: CMatrix, nb: usize, sched: Scheduler) -> Result<Chase
 }
 
 /// `A[r0..r0+l, r0..r0+l] <- H^H (.) H` on a copied window.
-fn two_sided_window(a: &mut CMatrix, r0: usize, l: usize, v: &[C64], tau: C64) {
-    if tau == C64::ZERO {
+fn two_sided_window<T: ComplexScalar>(a: &mut CMatrixG<T>, r0: usize, l: usize, v: &[T], tau: T) {
+    if tau == T::ZERO {
         return;
     }
     touch_band(r0, r0 + l - 1, Access::Write);
-    let mut blk = vec![C64::ZERO; l * l];
+    let mut blk = vec![T::ZERO; l * l];
     for j in 0..l {
         for i in 0..l {
             blk[i + j * l] = a[(r0 + i, r0 + j)];
         }
     }
-    let mut work = vec![C64::ZERO; l];
+    let mut work = vec![T::ZERO; l];
     zlarf_left(v, tau.conj(), l, l, &mut blk, l, &mut work);
     zlarf_right(v, tau, l, l, &mut blk, l, &mut work);
     for j in 0..l {
@@ -492,13 +509,20 @@ fn two_sided_window(a: &mut CMatrix, r0: usize, l: usize, v: &[C64], tau: C64) {
             a[(r0 + i, r0 + j)] = blk[i + j * l];
         }
         // Snap the diagonal real (Hermitian invariant up to rounding).
-        a[(r0 + j, r0 + j)] = c64(a[(r0 + j, r0 + j)].re, 0.0);
+        a[(r0 + j, r0 + j)] = T::new(a[(r0 + j, r0 + j)].re(), 0.0);
     }
 }
 
 /// Write a strictly-sub-diagonal block back, mirroring the conjugate
 /// into the upper triangle.
-fn write_back_rect(a: &mut CMatrix, r0: usize, rl: usize, c0: usize, cl: usize, blk: &[C64]) {
+fn write_back_rect<T: ComplexScalar>(
+    a: &mut CMatrixG<T>,
+    r0: usize,
+    rl: usize,
+    c0: usize,
+    cl: usize,
+    blk: &[T],
+) {
     touch_band(c0, r0 + rl - 1, Access::Write);
     for j in 0..cl {
         for i in 0..rl {
@@ -512,13 +536,13 @@ fn write_back_rect(a: &mut CMatrix, r0: usize, rl: usize, c0: usize, cl: usize, 
 /// Extract the tridiagonal and rotate its off-diagonals real with a
 /// unitary diagonal: `T_complex = D T_real D^H`, `D = diag(phases)`.
 // tidy: allow(task-storage) -- main-thread read-only extraction, runs after all tasks completed
-pub fn phase_fold(a: &CMatrix) -> (SymTridiagonal, Vec<C64>) {
+pub fn phase_fold<T: ComplexScalar>(a: &CMatrixG<T>) -> (SymTridiagonal, Vec<T>) {
     let n = a.rows();
     let mut d = vec![0.0f64; n];
     let mut e = vec![0.0f64; n.saturating_sub(1)];
-    let mut phases = vec![C64::ONE; n];
+    let mut phases = vec![T::ONE; n];
     for j in 0..n {
-        d[j] = a[(j, j)].re;
+        d[j] = a[(j, j)].re();
     }
     for j in 0..n.saturating_sub(1) {
         let ej = a[(j + 1, j)];
@@ -539,7 +563,7 @@ mod tests {
     use super::*;
     use crate::stage1::he2hb;
     use crate::validate::{rand_hermitian, real_embedding_eigenvalues};
-    use tseig_matrix::norms;
+    use tseig_matrix::{c64, norms, CMatrix};
 
     fn banded_hermitian(n: usize, b: usize, seed: u64) -> CMatrix {
         let a = rand_hermitian(n, seed);

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tseig_matrix::{c64, CMatrix, Matrix};
+use tseig_matrix::{c64, CMatrix, CMatrixG, ComplexScalar, Matrix};
 
 /// Random dense Hermitian matrix with entries in the unit box.
 pub fn rand_hermitian(n: usize, seed: u64) -> CMatrix {
@@ -70,23 +70,25 @@ pub fn hermitian_with_spectrum(lambda: &[f64], seed: u64) -> CMatrix {
     a
 }
 
-/// Real symmetric `2n x 2n` embedding `[[X, -Y], [Y, X]]`.
-pub fn real_embedding(a: &CMatrix) -> Matrix {
+/// Real symmetric `2n x 2n` embedding `[[X, -Y], [Y, X]]`. Components
+/// are widened to `f64` for narrower element types, so the oracle runs
+/// at full precision either way.
+pub fn real_embedding<T: ComplexScalar>(a: &CMatrixG<T>) -> Matrix {
     let n = a.rows();
     Matrix::from_fn(2 * n, 2 * n, |i, j| {
         let (bi, ii) = (i / n, i % n);
         let (bj, jj) = (j / n, j % n);
         match (bi, bj) {
-            (0, 0) | (1, 1) => a[(ii, jj)].re,
-            (0, 1) => -a[(ii, jj)].im,
-            _ => a[(ii, jj)].im,
+            (0, 0) | (1, 1) => a[(ii, jj)].re(),
+            (0, 1) => -a[(ii, jj)].im(),
+            _ => a[(ii, jj)].im(),
         }
     })
 }
 
 /// Oracle eigenvalues of a Hermitian matrix: solve the real embedding
 /// (every eigenvalue doubled) and take every second one.
-pub fn real_embedding_eigenvalues(a: &CMatrix) -> Vec<f64> {
+pub fn real_embedding_eigenvalues<T: ComplexScalar>(a: &CMatrixG<T>) -> Vec<f64> {
     let m = real_embedding(a);
     let f = tseig_onestage_free_eig(&m);
     f.iter().step_by(2).copied().collect()
@@ -101,8 +103,14 @@ fn tseig_onestage_free_eig(m: &Matrix) -> Vec<f64> {
         .eigenvalues
 }
 
-/// Scaled residual `max |A Z - Z diag(lambda)| / (||A||_1 n eps)`.
-pub fn hermitian_residual(a: &CMatrix, lambda: &[f64], z: &CMatrix) -> f64 {
+/// Scaled residual `max |A Z - Z diag(lambda)| / (||A||_1 n eps)`,
+/// with `eps` the element type's precision so the usual O(1)–O(100)
+/// acceptance range holds for C32 and C64 alike.
+pub fn hermitian_residual<T: ComplexScalar>(
+    a: &CMatrixG<T>,
+    lambda: &[f64],
+    z: &CMatrixG<T>,
+) -> f64 {
     let n = a.rows();
     let az = a.multiply(z);
     let mut worst = 0.0f64;
@@ -115,21 +123,21 @@ pub fn hermitian_residual(a: &CMatrix, lambda: &[f64], z: &CMatrix) -> f64 {
     let norm1 = (0..n)
         .map(|j| (0..n).map(|i| a[(i, j)].abs()).sum::<f64>())
         .fold(0.0f64, f64::max);
-    worst / (norm1.max(f64::MIN_POSITIVE) * n as f64 * f64::EPSILON / 2.0)
+    worst / (norm1.max(f64::MIN_POSITIVE) * n as f64 * T::EPS / 2.0)
 }
 
-/// `||Z^H Z - I||_max / (n eps)`.
-pub fn unitary_error(z: &CMatrix) -> f64 {
+/// `||Z^H Z - I||_max / (n eps)` with the element type's `eps`.
+pub fn unitary_error<T: ComplexScalar>(z: &CMatrixG<T>) -> f64 {
     let g = z.adjoint().multiply(z);
     let k = z.cols();
     let mut worst = 0.0f64;
     for j in 0..k {
         for i in 0..k {
             let target = if i == j { 1.0 } else { 0.0 };
-            worst = worst.max((g[(i, j)] - c64(target, 0.0)).abs());
+            worst = worst.max((g[(i, j)] - T::new(target, 0.0)).abs());
         }
     }
-    worst / (z.rows() as f64 * f64::EPSILON / 2.0)
+    worst / (z.rows() as f64 * T::EPS / 2.0)
 }
 
 #[cfg(test)]

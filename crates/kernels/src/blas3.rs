@@ -47,6 +47,7 @@
 //! selected `(MR, NR)`, so this file's macrokernel loop is shared by
 //! every ISA path.
 
+pub mod blocking;
 pub mod engine;
 pub mod simd;
 
@@ -91,11 +92,7 @@ impl From<Trans> for Op {
     }
 }
 
-/// Blocking factor over the `k` dimension: an `MR x KC` strip of packed
-/// `A` plus an `NR x KC` strip of packed `B` must fit in L1. Shared by
-/// every microkernel so all dispatch paths split the `k` loop (and hence
-/// round) identically.
-const KC: usize = 256;
+pub use blocking::KC;
 /// Register-tile height of the **unpacked baseline** (`gemm_unpacked`);
 /// the packed path takes its tile shape from [`simd::selected`].
 const MR: usize = 16;

@@ -1,0 +1,137 @@
+//! Centralized cache-blocking parameter derivation for the packed
+//! engine.
+//!
+//! Every microkernel used to carry hand-written `mc`/`nc` constants
+//! (and the complex tile derived its own by an ad-hoc "halve the `f64`
+//! values" rule). This module is now the single place those numbers
+//! come from: a register tile `(MR, NR)` plus the element size fully
+//! determine the cache blocking, for all four element types and every
+//! ISA path.
+//!
+//! The derivation targets the same cache budgets the hand-tuned `f64`
+//! constants encoded:
+//!
+//! * the packed `A` panel (`MC x KC`) should occupy about half an L2
+//!   ([`BlockingParams::A_PANEL_BYTES`] = 512 KiB),
+//! * the packed `B` panel (`KC x NC`) an L3 slice
+//!   ([`BlockingParams::B_PANEL_BYTES`] = 2 MiB),
+//! * `KC` is **shared by every kernel and every type** so all dispatch
+//!   paths split the `k` loop identically and stay bitwise-comparable
+//!   (see the numerical contract in [`super::simd`]).
+//!
+//! `MC`/`NC` are the budgets floored to tile multiples, so the
+//! macrokernel never sees a partial strip except at the true matrix
+//! edge. The unit tests pin the historical `f64`/`C64` values exactly:
+//! benches cannot silently shift because a budget constant moved.
+
+/// Blocking factor over the `k` dimension: an `MR x KC` strip of packed
+/// `A` plus an `NR x KC` strip of packed `B` must fit in L1. Shared by
+/// every microkernel of every element type.
+pub const KC: usize = 256;
+
+/// The cache-blocking triple `(KC, MC, NC)` for one register tile shape
+/// and element size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockingParams {
+    /// Register-tile height the blocking was derived for.
+    pub mr: usize,
+    /// Register-tile width the blocking was derived for.
+    pub nr: usize,
+    /// `k` blocking (always [`KC`]; carried for completeness).
+    pub kc: usize,
+    /// Row-block size of the packed `A` panel: largest multiple of `mr`
+    /// with `mc * KC * elem_bytes <= A_PANEL_BYTES` (at least `mr`).
+    pub mc: usize,
+    /// Column-block size of the packed `B` panel: largest multiple of
+    /// `nr` with `KC * nc * elem_bytes <= B_PANEL_BYTES` (at least `nr`).
+    pub nc: usize,
+}
+
+/// Largest multiple of `m` that is `<= x`, but never less than `m`.
+const fn floor_to_multiple(x: usize, m: usize) -> usize {
+    let f = (x / m) * m;
+    if f == 0 {
+        m
+    } else {
+        f
+    }
+}
+
+impl BlockingParams {
+    /// Packed `A` panel budget (about half an L2).
+    pub const A_PANEL_BYTES: usize = 512 * 1024;
+    /// Packed `B` panel budget (an L3 slice).
+    pub const B_PANEL_BYTES: usize = 2 * 1024 * 1024;
+
+    /// Derive the blocking for a register tile of `mr x nr` elements of
+    /// `elem_bytes` each. `const` so kernel descriptors embed the result
+    /// at compile time.
+    pub const fn derive(mr: usize, nr: usize, elem_bytes: usize) -> BlockingParams {
+        let mc_budget = Self::A_PANEL_BYTES / (KC * elem_bytes);
+        let nc_budget = Self::B_PANEL_BYTES / (KC * elem_bytes);
+        BlockingParams {
+            mr,
+            nr,
+            kc: KC,
+            mc: floor_to_multiple(mc_budget, mr),
+            nc: floor_to_multiple(nc_budget, nr),
+        }
+    }
+
+    /// [`BlockingParams::derive`] with the element size taken from the
+    /// type.
+    pub const fn for_scalar<T>(mr: usize, nr: usize) -> BlockingParams {
+        Self::derive(mr, nr, std::mem::size_of::<T>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseig_matrix::{C32, C64};
+
+    /// The historical hand-tuned `f64` and `C64` blockings, pinned: a
+    /// change to the budget constants or the derivation shifts every
+    /// bench, so it must fail here first.
+    #[test]
+    fn derivation_pins_historical_f64_c64_values() {
+        // f64 dispatch table: scalar 16x4, avx2 4x12, avx512 24x8.
+        let scalar = BlockingParams::for_scalar::<f64>(16, 4);
+        assert_eq!((scalar.kc, scalar.mc, scalar.nc), (256, 256, 1024));
+        let avx2 = BlockingParams::for_scalar::<f64>(4, 12);
+        assert_eq!((avx2.kc, avx2.mc, avx2.nc), (256, 256, 1020));
+        let avx512 = BlockingParams::for_scalar::<f64>(24, 8);
+        assert_eq!((avx512.kc, avx512.mc, avx512.nc), (256, 240, 1024));
+        // The portable complex tile (8x4 at 16 bytes/elem): the old
+        // "MC/NC halved" rule falls out of the derivation.
+        let cscalar = BlockingParams::for_scalar::<C64>(8, 4);
+        assert_eq!((cscalar.kc, cscalar.mc, cscalar.nc), (256, 128, 512));
+    }
+
+    #[test]
+    fn derived_blocking_is_tile_aligned_and_positive() {
+        for (mr, nr) in [(1, 1), (2, 6), (4, 3), (8, 4), (16, 4), (24, 8), (48, 8)] {
+            for bytes in [4usize, 8, 16] {
+                let b = BlockingParams::derive(mr, nr, bytes);
+                assert_eq!(b.mc % mr, 0, "mc multiple of mr for ({mr},{nr},{bytes})");
+                assert_eq!(b.nc % nr, 0, "nc multiple of nr for ({mr},{nr},{bytes})");
+                assert!(b.mc >= mr && b.nc >= nr);
+                assert_eq!(b.kc, KC);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_types_double_the_panels() {
+        // Same tile shape, half the element size -> twice the panel
+        // dimensions (modulo tile alignment): f32 vs f64, C32 vs C64.
+        let f32b = BlockingParams::for_scalar::<f32>(16, 4);
+        let f64b = BlockingParams::for_scalar::<f64>(16, 4);
+        assert_eq!(f32b.mc, 2 * f64b.mc);
+        assert_eq!(f32b.nc, 2 * f64b.nc);
+        let c32b = BlockingParams::for_scalar::<C32>(8, 4);
+        let c64b = BlockingParams::for_scalar::<C64>(8, 4);
+        assert_eq!(c32b.mc, 2 * c64b.mc);
+        assert_eq!(c32b.nc, 2 * c64b.nc);
+    }
+}

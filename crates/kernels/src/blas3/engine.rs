@@ -4,9 +4,10 @@
 //! whole project runs on, generic over [`Scalar`]: the `f64` entry
 //! points in [`super`] monomorphize it with the dispatched SIMD
 //! microkernel (bitwise identical to the pre-generic engine — the
-//! differential dispatch suite pins that), and the Hermitian pipeline
-//! monomorphizes it at [`C64`] with the portable complex tile
-//! registered below.
+//! differential dispatch suite pins that), the Hermitian pipeline
+//! monomorphizes it at [`C64`]/[`C32`], and the single-precision real
+//! path at `f32` — each type behind its own runtime-dispatched
+//! microkernel table in [`super::simd`].
 //!
 //! ## Conjugation lives in the pack, not the loop
 //!
@@ -23,10 +24,11 @@
 //! Two things cannot be written generically: the `thread_local!`
 //! grow-only pack buffers (a thread-local cannot be generic) and the
 //! default microkernel for the type. [`GemmScalar`] supplies both; it
-//! is implemented for exactly the two element types of the project.
-//! The `f64` impl routes to the same `simd::selected()` dispatch and
-//! the same per-thread buffers as always; `C64` gets its own buffer
-//! pair and the [`CSCALAR`] tile.
+//! is implemented for exactly the four element types of the project
+//! (`f32` / `f64` / `C32` / `C64`). Every impl routes the kernel choice
+//! to its type's [`SimdScalar`] dispatch table and owns a per-thread
+//! buffer pair, so mixed-type call sequences on one thread never thrash
+//! one arena.
 //!
 //! ## Byte-traffic model
 //!
@@ -38,21 +40,20 @@
 //! wrappers so arithmetic-intensity reports stay comparable between
 //! the real and complex columns.
 
-use super::simd::MicroKernel;
+use super::simd::{MicroKernel, SimdScalar};
 use super::{Op, KC};
 use crate::contract;
 use crate::flops::{add, add_bytes, Level};
 use rayon::prelude::*;
 use std::cell::RefCell;
-use tseig_matrix::{Scalar, C64};
+use tseig_matrix::{Scalar, C32, C64};
 
 /// Element type the packed engine can drive end to end: a [`Scalar`]
 /// plus the two per-type singletons the generic code cannot own — the
 /// default register tile and the per-thread pack-buffer pair.
-pub trait GemmScalar: Scalar {
-    /// The microkernel the public entry points dispatch to. For `f64`
-    /// this is the runtime-selected SIMD tile; for `C64` the portable
-    /// [`CSCALAR`] tile.
+pub trait GemmScalar: SimdScalar {
+    /// The microkernel the public entry points dispatch to: the type's
+    /// runtime-selected SIMD tile.
     fn kernel() -> &'static MicroKernel<Self>;
 
     /// Run `f` with this thread's grow-only `(packed A, packed B)`
@@ -70,6 +71,10 @@ thread_local! {
     /// Per-thread `C64` pack buffers (separate so mixed real/complex
     /// call sequences on one thread never thrash one arena).
     static PACK_BUFS_C64: RefCell<(Vec<C64>, Vec<C64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread `f32` pack buffers.
+    static PACK_BUFS_F32: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread `C32` pack buffers.
+    static PACK_BUFS_C32: RefCell<(Vec<C32>, Vec<C32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Shrink once the retained capacity exceeds this multiple of what the
@@ -113,6 +118,24 @@ pub fn pack_footprint_bytes_c64() -> usize {
     })
 }
 
+/// Bytes of pack-buffer capacity retained by *this thread* for `f32`
+/// nests.
+pub fn pack_footprint_bytes_f32() -> usize {
+    PACK_BUFS_F32.with(|bufs| {
+        let (ap, bp) = &*bufs.borrow();
+        (ap.capacity() + bp.capacity()) * std::mem::size_of::<f32>()
+    })
+}
+
+/// Bytes of pack-buffer capacity retained by *this thread* for `C32`
+/// nests.
+pub fn pack_footprint_bytes_c32() -> usize {
+    PACK_BUFS_C32.with(|bufs| {
+        let (ap, bp) = &*bufs.borrow();
+        (ap.capacity() + bp.capacity()) * std::mem::size_of::<C32>()
+    })
+}
+
 /// Pack-buffer requirement of one `m x n x k` nest for element type `T`
 /// (both strips summed): what [`gemm_into_with`] will retain after a
 /// warm-up call of this shape.
@@ -142,7 +165,7 @@ impl GemmScalar for f64 {
 impl GemmScalar for C64 {
     #[inline]
     fn kernel() -> &'static MicroKernel<C64> {
-        &CSCALAR
+        <C64 as SimdScalar>::selected()
     }
 
     #[inline]
@@ -154,56 +177,33 @@ impl GemmScalar for C64 {
     }
 }
 
-/// Register-tile height of the portable complex kernel.
-const CMR: usize = 8;
-/// Register-tile width of the portable complex kernel.
-const CNR: usize = 4;
-
-/// The portable `C64` register tile: an `8 x 4` block of complex
-/// accumulators (the same 512-byte accumulator footprint as the `f64`
-/// scalar tile's `16 x 4`), `mc`/`nc` halved so the packed panels
-/// occupy the same cache budget at 16 bytes per element. Portable on
-/// purpose: interleaved complex FMA needs shuffle-heavy intrinsics for
-/// modest gains over what the compiler already extracts from these
-/// `mul_add` chains, and the packing (not the tile) is where the
-/// complex path's order-of-magnitude win comes from; an explicit
-/// split-complex SIMD tile can slot in behind [`GemmScalar::kernel`]
-/// later without touching the loop nest.
-pub static CSCALAR: MicroKernel<C64> = MicroKernel::new("cscalar", CMR, CNR, 128, 512, mk_c64);
-
-/// Complex `8 x 4` tile: k-ordered [`C64::mul_add`] chains (two real
-/// FMAs per component, fixed order), writeback `c + alpha * acc` with a
-/// separate multiply and add — the same numerical contract the real
-/// tiles pin, so any future complex SIMD tile can be differential-tested
-/// against this one bitwise.
-fn mk_c64(
-    kc: usize,
-    alpha: C64,
-    ap: &[C64],
-    bp: &[C64],
-    c: &mut [C64],
-    ldc: usize,
-    mr_eff: usize,
-    nr_eff: usize,
-) {
-    let mut acc = [[C64::ZERO; CMR]; CNR];
-    let (achunks, _) = ap.as_chunks::<CMR>();
-    let (bchunks, _) = bp.as_chunks::<CNR>();
-    for p in 0..kc {
-        let av: &[C64; CMR] = &achunks[p];
-        let bv: &[C64; CNR] = &bchunks[p];
-        for jj in 0..CNR {
-            let bvj = bv[jj];
-            for ii in 0..CMR {
-                acc[jj][ii] = av[ii].mul_add(bvj, acc[jj][ii]);
-            }
-        }
+impl GemmScalar for f32 {
+    #[inline]
+    fn kernel() -> &'static MicroKernel<f32> {
+        <f32 as SimdScalar>::selected()
     }
-    for jj in 0..nr_eff {
-        let ccol = &mut c[jj * ldc..][..mr_eff];
-        for ii in 0..mr_eff {
-            ccol[ii] += alpha * acc[jj][ii];
-        }
+
+    #[inline]
+    fn with_pack_bufs<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+        PACK_BUFS_F32.with(|bufs| {
+            let (ap, bp) = &mut *bufs.borrow_mut();
+            f(ap, bp)
+        })
+    }
+}
+
+impl GemmScalar for C32 {
+    #[inline]
+    fn kernel() -> &'static MicroKernel<C32> {
+        <C32 as SimdScalar>::selected()
+    }
+
+    #[inline]
+    fn with_pack_bufs<R>(f: impl FnOnce(&mut Vec<C32>, &mut Vec<C32>) -> R) -> R {
+        PACK_BUFS_C32.with(|bufs| {
+            let (ap, bp) = &mut *bufs.borrow_mut();
+            f(ap, bp)
+        })
     }
 }
 
@@ -281,6 +281,38 @@ pub fn gemm<T: GemmScalar>(
     ldc: usize,
 ) {
     let kern = T::kernel();
+    gemm_contract("engine::gemm", opa, opb, m, n, k, a, lda, b, ldb, c, ldc);
+    add(Level::L3, T::MULADD_FLOPS * (m * n * k) as u64);
+    add_bytes(Level::L3, packed_bytes::<T>(kern.nc, m, n, k));
+    scale_c(beta, m, n, c, ldc);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    gemm_into_with(kern, opa, opb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+/// [`gemm`] forced through a specific dispatch path — the generic
+/// counterpart of the `f64` `blas3::gemm_with_kernel`, and the public
+/// entry for differential tests and benches that compare ISA paths of
+/// one element type in a single process. Production code goes through
+/// [`gemm`], which picks `T::kernel()`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_kernel<T: GemmScalar>(
+    kern: &MicroKernel<T>,
+    opa: Op,
+    opb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
     gemm_contract("engine::gemm", opa, opb, m, n, k, a, lda, b, ldb, c, ldc);
     add(Level::L3, T::MULADD_FLOPS * (m * n * k) as u64);
     add_bytes(Level::L3, packed_bytes::<T>(kern.nc, m, n, k));

@@ -1,41 +1,69 @@
-//! Explicit-SIMD GEMM microkernels with one-time runtime dispatch.
+//! Explicit-SIMD GEMM microkernels with one-time runtime dispatch, for
+//! all four element types of the engine (`f32` / `f64` / `C32` / `C64`).
 //!
 //! The packed loop nest in [`super`] is ISA-agnostic: it packs `op(A)`
 //! into `mr`-row strips and `op(B)` into `nr`-column strips, then calls
 //! one [`MicroKernel`] per register tile. This module owns the tile
 //! shapes and their implementations:
 //!
-//! | name     | tile (`mr x nr`) | ISA                 | why this shape |
-//! |----------|------------------|---------------------|----------------|
-//! | `avx512` | 24 x 8           | AVX-512F `vfmadd`   | 24 zmm accumulators (3 per column x 8) + 3 `A` loads + 1 broadcast = 28 of 32 registers; >= 24 independent FMA chains cover the FMA latency x throughput product |
-//! | `avx2`   | 4 x 12           | AVX2 + FMA `vfmadd` | 12 ymm accumulators + 1 `A` load + 1 broadcast = 14 of 16 registers |
-//! | `scalar` | 16 x 4           | portable `mul_add`  | autovectorizable fallback; also the differential-testing oracle |
+//! | type  | `scalar` | `avx2`  | `avx512` | notes |
+//! |-------|----------|---------|----------|-------|
+//! | `f64` | 16 x 4   | 4 x 12  | 24 x 8   | avx512: 3 zmm per column x 8 + 3 loads + 1 broadcast = 28 of 32 regs |
+//! | `f32` | 16 x 4   | 8 x 12  | 48 x 8   | lane-doubled ports of the `f64` tiles |
+//! | `C64` | 8 x 4    | 2 x 6   | 8 x 4    | dual accumulators: 2x regs per tile element |
+//! | `C32` | 8 x 4    | 4 x 6   | 16 x 4   | dual accumulators at 2x the `C64` lane count |
 //!
-//! **Dispatch** happens once, at the first `gemm`-family call: the
-//! `TSEIG_SIMD` environment variable (`avx512` / `avx2` / `scalar`) is
-//! honored when the requested ISA is available, otherwise detection
-//! order is `avx512` → `avx2` → `scalar` via
-//! [`std::arch::is_x86_feature_detected!`]. [`available()`] exposes every
-//! kernel the machine supports so tests and benches can run each path
-//! explicitly in one process (the env override is a process-wide choice).
+//! Cache blocking (`mc`/`nc`) is derived per tile shape and element
+//! size in [`super::blocking`]; `KC` is shared by everything.
 //!
-//! **Numerical contract:** for a fixed problem every kernel produces
-//! *bitwise identical* results. Each `C(i,j)` is a k-ordered chain of
-//! fused multiply-adds regardless of the tile shape (packing only
-//! regroups rows/columns, never the `k` loop), all kernels share the
-//! same `KC` blocking, and the writeback computes `c + alpha * acc`
-//! with a separate multiply and add (not an FMA) to match the scalar
-//! path rounding-for-rounding. The differential proptests in
-//! `tests/simd_dispatch.rs` pin this down.
+//! **Dispatch** happens once per element type, at the first
+//! `gemm`-family call: the `TSEIG_SIMD` environment variable (`avx512`
+//! / `avx2` / `scalar`) is honored when the requested ISA is available,
+//! otherwise detection order is `avx512` → `avx2` → `scalar` via
+//! [`std::arch::is_x86_feature_detected!`]. [`SimdScalar::available`]
+//! exposes every kernel the machine supports so tests and benches can
+//! run each path explicitly in one process (the env override is a
+//! process-wide choice). The historical free functions [`available`],
+//! [`by_name`] and [`selected`] remain the `f64` entry points.
+//!
+//! **Numerical contract (real types):** for a fixed problem every
+//! kernel of a type produces *bitwise identical* results. Each `C(i,j)`
+//! is a k-ordered chain of fused multiply-adds regardless of the tile
+//! shape (packing only regroups rows/columns, never the `k` loop), and
+//! the writeback computes `c + alpha * acc` with a separate multiply
+//! and add (not an FMA) to match the scalar path rounding-for-rounding.
+//!
+//! **Numerical contract (complex types):** every complex kernel keeps
+//! *two* k-ordered real-FMA accumulator chains per `C(i,j)` component:
+//!
+//! ```text
+//! s1.re += a.re * b.re      s1.im += a.im * b.re      (chain 1)
+//! s2.re += a.im * b.im      s2.im += a.re * b.im      (chain 2)
+//! t = (s1.re - s2.re, s1.im + s2.im);   c += alpha * t
+//! ```
+//!
+//! This is exactly the register shape the SIMD kernels want — chain 1
+//! is `fmadd(a, broadcast(b.re))` on the interleaved vector, chain 2 is
+//! `fmadd(pair_swap(a), broadcast(b.im))` — and the scalar kernels run
+//! the same two chains with scalar `mul_add`, so all dispatch paths of
+//! a complex type are bitwise identical too. The combine + writeback is
+//! always done in scalar code (SIMD kernels spill their accumulators to
+//! a stack buffer first; ~0.4% of the FMA work at `kc = 256`), which
+//! removes any vectorized-final-rounding divergence by construction.
+//! Conjugation never reaches the kernels: the pack step folds it in via
+//! [`super::Op`]. The differential proptests in `tests/simd_dispatch.rs`
+//! and `tests/complex_dispatch.rs` pin all of this down.
 
+use super::blocking::BlockingParams;
 use std::sync::OnceLock;
+use tseig_matrix::{c32, c64, Scalar, C32, C64};
 
 /// Signature every microkernel implements: one `mr x nr` tile of
 /// `C += alpha * Ap * Bp` from packed strips. `ap` is the `mr * kc`
 /// zero-padded A strip, `bp` the `nr * kc` B strip; edge tiles compute
 /// on the padding and store only the `mr_eff x nr_eff` valid corner.
 /// Generic over the element type so the one packed loop nest in
-/// [`super::engine`] serves both `f64` and `C64`; the default keeps
+/// [`super::engine`] serves all four element types; the default keeps
 /// every pre-generic `f64` signature reading exactly as before.
 pub type MicroFn<T = f64> = fn(
     kc: usize,
@@ -52,8 +80,7 @@ pub type MicroFn<T = f64> = fn(
 /// fits its shape (`mc` a multiple of `mr`, `nc` a multiple of `nr`;
 /// `KC` is shared so every kernel splits the `k` loop identically and
 /// stays bitwise-comparable). Generic over the element type; the
-/// `f64` default keeps the historical name for the real dispatch table,
-/// while the complex engine registers a `MicroKernel<C64>`.
+/// `f64` default keeps the historical name for the real dispatch table.
 pub struct MicroKernel<T: 'static = f64> {
     /// Dispatch name (`avx512` / `avx2` / `scalar`), matching the
     /// `TSEIG_SIMD` values.
@@ -70,9 +97,7 @@ pub struct MicroKernel<T: 'static = f64> {
 }
 
 impl<T: 'static> MicroKernel<T> {
-    /// Build a kernel descriptor; used by the engine to register tile
-    /// implementations for element types other than `f64` (the `f64`
-    /// dispatch table is constructed in this module).
+    /// Build a kernel descriptor from explicit blocking values.
     pub const fn new(
         name: &'static str,
         mr: usize,
@@ -87,6 +112,21 @@ impl<T: 'static> MicroKernel<T> {
             nr,
             mc,
             nc,
+            func,
+        }
+    }
+
+    /// Build a kernel descriptor with its cache blocking taken from a
+    /// [`BlockingParams`] derivation — the tile shape and the blocking
+    /// come from the same place and cannot drift apart. Every static in
+    /// this module's dispatch tables is built this way.
+    pub const fn from_blocking(name: &'static str, b: BlockingParams, func: MicroFn<T>) -> Self {
+        MicroKernel {
+            name,
+            mr: b.mr,
+            nr: b.nr,
+            mc: b.mc,
+            nc: b.nc,
             func,
         }
     }
@@ -109,42 +149,115 @@ impl<T: 'static> MicroKernel<T> {
     }
 }
 
-/// Portable fallback tile, also the oracle the SIMD paths are
+// ---------------------------------------------------------------------------
+// Dispatch tables
+// ---------------------------------------------------------------------------
+
+/// Portable `f64` fallback tile, also the oracle the SIMD paths are
 /// differential-tested against. Shape matches the pre-SIMD packed
 /// engine (two 8-wide FMA rows by four columns).
-pub static SCALAR: MicroKernel = MicroKernel {
-    name: "scalar",
-    mr: 16,
-    nr: 4,
-    mc: 256,
-    nc: 1024,
-    func: mk_scalar,
-};
+pub static SCALAR: MicroKernel = MicroKernel::from_blocking(
+    "scalar",
+    BlockingParams::for_scalar::<f64>(16, 4),
+    mk_scalar,
+);
 
-/// AVX2+FMA tile.
+/// AVX2+FMA `f64` tile.
 #[cfg(target_arch = "x86_64")]
-pub static AVX2: MicroKernel = MicroKernel {
-    name: "avx2",
-    mr: 4,
-    nr: 12,
-    mc: 256,
-    nc: 1020,
-    func: mk_avx2_entry,
-};
+pub static AVX2: MicroKernel = MicroKernel::from_blocking(
+    "avx2",
+    BlockingParams::for_scalar::<f64>(4, 12),
+    mk_avx2_entry,
+);
 
-/// AVX-512F tile.
+/// AVX-512F `f64` tile.
 #[cfg(target_arch = "x86_64")]
-pub static AVX512: MicroKernel = MicroKernel {
-    name: "avx512",
-    mr: 24,
-    nr: 8,
-    mc: 240,
-    nc: 1024,
-    func: mk_avx512_entry,
-};
+pub static AVX512: MicroKernel = MicroKernel::from_blocking(
+    "avx512",
+    BlockingParams::for_scalar::<f64>(24, 8),
+    mk_avx512_entry,
+);
 
-/// Every kernel this machine can execute, best first. Tests and benches
-/// iterate this to exercise each dispatch path in-process.
+/// Portable `f32` fallback tile (same shape as the `f64` one; the
+/// compiler autovectorizes at twice the lane count).
+pub static SCALAR_F32: MicroKernel<f32> = MicroKernel::from_blocking(
+    "scalar",
+    BlockingParams::for_scalar::<f32>(16, 4),
+    mk_scalar_f32,
+);
+
+/// AVX2+FMA `f32` tile: the 4x12 `f64` tile at 8 lanes per ymm.
+#[cfg(target_arch = "x86_64")]
+pub static AVX2_F32: MicroKernel<f32> = MicroKernel::from_blocking(
+    "avx2",
+    BlockingParams::for_scalar::<f32>(8, 12),
+    mk_avx2_f32_entry,
+);
+
+/// AVX-512F `f32` tile: the 24x8 `f64` tile at 16 lanes per zmm.
+#[cfg(target_arch = "x86_64")]
+pub static AVX512_F32: MicroKernel<f32> = MicroKernel::from_blocking(
+    "avx512",
+    BlockingParams::for_scalar::<f32>(48, 8),
+    mk_avx512_f32_entry,
+);
+
+/// Portable `C64` tile: the dual-accumulator chains on scalar
+/// `f64::mul_add` (512-byte accumulator footprint, same as the real
+/// scalar tile). Also the complex differential-testing oracle.
+pub static SCALAR_C64: MicroKernel<C64> = MicroKernel::from_blocking(
+    "scalar",
+    BlockingParams::for_scalar::<C64>(8, 4),
+    mk_scalar_c64,
+);
+
+/// AVX2+FMA `C64` tile: 2 complex per ymm, 6 columns — 12 accumulator
+/// ymm + the `A` vector, its pair-swap, and two broadcasts fill the
+/// 16-register file (a 4x3 shape would need 18).
+#[cfg(target_arch = "x86_64")]
+pub static AVX2_C64: MicroKernel<C64> = MicroKernel::from_blocking(
+    "avx2",
+    BlockingParams::for_scalar::<C64>(2, 6),
+    mk_avx2_c64_entry,
+);
+
+/// AVX-512F `C64` tile: 8 complex rows (2 zmm) x 4 columns — 16
+/// accumulator zmm (two chains x 2 registers x 4 columns), 16 FMAs per
+/// `k` step against 12 load-port ops, so the loop is FMA-bound.
+#[cfg(target_arch = "x86_64")]
+pub static AVX512_C64: MicroKernel<C64> = MicroKernel::from_blocking(
+    "avx512",
+    BlockingParams::for_scalar::<C64>(8, 4),
+    mk_avx512_c64_entry,
+);
+
+/// Portable `C32` tile: same shape as the `C64` one at `f32` components.
+pub static SCALAR_C32: MicroKernel<C32> = MicroKernel::from_blocking(
+    "scalar",
+    BlockingParams::for_scalar::<C32>(8, 4),
+    mk_scalar_c32,
+);
+
+/// AVX2+FMA `C32` tile: the `C64` 2x6 shape at twice the lane count.
+#[cfg(target_arch = "x86_64")]
+pub static AVX2_C32: MicroKernel<C32> = MicroKernel::from_blocking(
+    "avx2",
+    BlockingParams::for_scalar::<C32>(4, 6),
+    mk_avx2_c32_entry,
+);
+
+/// AVX-512F `C32` tile: the `C64` 8x4 shape at twice the lane count.
+#[cfg(target_arch = "x86_64")]
+pub static AVX512_C32: MicroKernel<C32> = MicroKernel::from_blocking(
+    "avx512",
+    BlockingParams::for_scalar::<C32>(16, 4),
+    mk_avx512_c32_entry,
+);
+
+/// Every `f64` kernel this machine can execute, best first. Tests and
+/// benches iterate this to exercise each dispatch path in-process.
+/// (Kept as a free function for back-compat; [`SimdScalar::available`]
+/// is the per-type generalization.)
 pub fn available() -> &'static [&'static MicroKernel] {
     static AVAIL: OnceLock<Vec<&'static MicroKernel>> = OnceLock::new();
     AVAIL.get_or_init(|| {
@@ -164,28 +277,103 @@ pub fn available() -> &'static [&'static MicroKernel] {
     })
 }
 
-/// Look a kernel up by its dispatch name, `None` when the machine does
-/// not support it (or the name is unknown).
+/// Look an `f64` kernel up by its dispatch name, `None` when the
+/// machine does not support it (or the name is unknown).
 pub fn by_name(name: &str) -> Option<&'static MicroKernel> {
     available().iter().copied().find(|k| k.name == name)
 }
 
-/// The kernel the packed engine uses, chosen once at first call:
+/// The kernel the packed `f64` engine uses, chosen once at first call:
 /// `TSEIG_SIMD` when set to a supported name, otherwise the best
 /// detected ISA. An unsupported or unknown override falls back to auto
 /// detection rather than failing — the env knob exists for testing and
 /// benchmarking, not as a hard requirement.
 pub fn selected() -> &'static MicroKernel {
     static SELECTED: OnceLock<&'static MicroKernel> = OnceLock::new();
-    SELECTED.get_or_init(|| {
-        if let Ok(want) = std::env::var("TSEIG_SIMD") {
-            if let Some(k) = by_name(want.trim()) {
-                return k;
+    SELECTED.get_or_init(|| select_env(available()))
+}
+
+/// Apply the `TSEIG_SIMD` override to an availability table (shared by
+/// every element type's `selected()`): a supported name wins, anything
+/// else falls back to the best detected kernel.
+fn select_env<T: 'static>(avail: &[&'static MicroKernel<T>]) -> &'static MicroKernel<T> {
+    if let Ok(want) = std::env::var("TSEIG_SIMD") {
+        if let Some(k) = avail.iter().copied().find(|k| k.name == want.trim()) {
+            return k;
+        }
+    }
+    avail[0]
+}
+
+/// Element types with a runtime-dispatched microkernel table: the
+/// per-type face of the one dispatch mechanism (`OnceLock` + feature
+/// detection + `TSEIG_SIMD` override) the `f64` path has always used.
+/// Implemented for exactly the four engine types.
+pub trait SimdScalar: Scalar + 'static {
+    /// Every kernel of this element type the machine can execute, best
+    /// first; the portable `scalar` kernel is always present and last.
+    fn available() -> &'static [&'static MicroKernel<Self>];
+
+    /// The kernel the packed engine uses for this element type, chosen
+    /// once at first call (see [`selected`] for the override rules).
+    fn selected() -> &'static MicroKernel<Self>;
+
+    /// Look a kernel of this element type up by dispatch name.
+    fn by_name(name: &str) -> Option<&'static MicroKernel<Self>> {
+        Self::available().iter().copied().find(|k| k.name == name)
+    }
+}
+
+impl SimdScalar for f64 {
+    #[inline]
+    fn available() -> &'static [&'static MicroKernel<f64>] {
+        available()
+    }
+    #[inline]
+    fn selected() -> &'static MicroKernel<f64> {
+        selected()
+    }
+}
+
+/// Per-type dispatch table + selection cache. A macro because statics
+/// cannot be generic: each element type owns its `OnceLock` pair.
+macro_rules! simd_dispatch {
+    ($t:ty, $scalar:ident, $avx2:ident, $avx512:ident) => {
+        impl SimdScalar for $t {
+            fn available() -> &'static [&'static MicroKernel<$t>] {
+                static AVAIL: OnceLock<Vec<&'static MicroKernel<$t>>> = OnceLock::new();
+                AVAIL.get_or_init(|| {
+                    #[allow(unused_mut)]
+                    let mut v: Vec<&'static MicroKernel<$t>> = Vec::new();
+                    #[cfg(target_arch = "x86_64")]
+                    {
+                        if is_x86_feature_detected!("avx512f") {
+                            v.push(&$avx512);
+                        }
+                        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                            v.push(&$avx2);
+                        }
+                    }
+                    v.push(&$scalar);
+                    v
+                })
+            }
+
+            fn selected() -> &'static MicroKernel<$t> {
+                static SEL: OnceLock<&'static MicroKernel<$t>> = OnceLock::new();
+                SEL.get_or_init(|| select_env(<$t as SimdScalar>::available()))
             }
         }
-        available()[0]
-    })
+    };
 }
+
+simd_dispatch!(f32, SCALAR_F32, AVX2_F32, AVX512_F32);
+simd_dispatch!(C64, SCALAR_C64, AVX2_C64, AVX512_C64);
+simd_dispatch!(C32, SCALAR_C32, AVX2_C32, AVX512_C32);
+
+// ---------------------------------------------------------------------------
+// f64 kernels
+// ---------------------------------------------------------------------------
 
 /// Scalar 16x4 tile: plain `mul_add` chains the compiler may
 /// autovectorize; semantics identical to the SIMD tiles by construction.
@@ -429,6 +617,672 @@ unsafe fn mk_avx2_4x12(
     }
 }
 
+// ---------------------------------------------------------------------------
+// f32 kernels
+// ---------------------------------------------------------------------------
+
+/// Scalar 16x4 `f32` tile: the `f64` scalar tile verbatim at `f32`.
+fn mk_scalar_f32(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    const MR: usize = 16;
+    const NR: usize = 4;
+    let mut acc = [[0.0f32; MR]; NR];
+    let (achunks, _) = ap.as_chunks::<MR>();
+    let (bchunks, _) = bp.as_chunks::<NR>();
+    for p in 0..kc {
+        let av: &[f32; MR] = &achunks[p];
+        let bv: &[f32; NR] = &bchunks[p];
+        for jj in 0..NR {
+            let bvj = bv[jj];
+            for ii in 0..MR {
+                acc[jj][ii] = av[ii].mul_add(bvj, acc[jj][ii]);
+            }
+        }
+    }
+    for jj in 0..nr_eff {
+        let ccol = &mut c[jj * ldc..][..mr_eff];
+        for ii in 0..mr_eff {
+            ccol[ii] += alpha * acc[jj][ii];
+        }
+    }
+}
+
+/// Safe entry for the `f32` AVX-512 tile; same bounds discipline as the
+/// `f64` entries.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx512_f32_entry(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 48 * kc && bp.len() >= 8 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    if mr_eff == 48 && nr_eff == 8 {
+        assert!(c.len() >= 7 * ldc + 48, "full C tile out of bounds");
+    }
+    // SAFETY: only reachable through the AVX512_F32 kernel descriptor,
+    // registered iff `is_x86_feature_detected!("avx512f")`; slice
+    // bounds asserted above.
+    unsafe { mk_avx512_f32_48x8(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 48x8 AVX-512F `f32` tile: the 24x8 `f64` tile at 16 lanes per zmm
+/// (24 accumulators, three per column, one broadcast per FMA).
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx512f` target feature is available and
+/// that `ap.len() >= 48*kc`, `bp.len() >= 8*kc`, and `c` covers the
+/// `mr_eff x nr_eff` output tile at leading dimension `ldc` (the full
+/// `48 x 8` tile when `mr_eff == 48 && nr_eff == 8`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx512_f32_48x8(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 48;
+    const NR: usize = 8;
+    // SAFETY: pointer arithmetic stays inside the bounds the safe entry
+    // asserted (`ap` at `p*48 + 0..48`, `bp` at `p*8 + 0..8`, `c` only
+    // on the asserted full-tile path).
+    unsafe {
+        let mut acc = [[_mm512_setzero_ps(); 3]; NR];
+        let mut aptr = ap.as_ptr();
+        let mut bptr = bp.as_ptr();
+        for _ in 0..kc {
+            let a0 = _mm512_loadu_ps(aptr);
+            let a1 = _mm512_loadu_ps(aptr.add(16));
+            let a2 = _mm512_loadu_ps(aptr.add(32));
+            for (jj, accj) in acc.iter_mut().enumerate() {
+                let bv = _mm512_set1_ps(*bptr.add(jj));
+                accj[0] = _mm512_fmadd_ps(a0, bv, accj[0]);
+                accj[1] = _mm512_fmadd_ps(a1, bv, accj[1]);
+                accj[2] = _mm512_fmadd_ps(a2, bv, accj[2]);
+            }
+            aptr = aptr.add(MR);
+            bptr = bptr.add(NR);
+        }
+        if mr_eff == MR && nr_eff == NR {
+            let va = _mm512_set1_ps(alpha);
+            for (jj, accj) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add(jj * ldc);
+                for (q, &av) in accj.iter().enumerate() {
+                    let cv = _mm512_loadu_ps(cp.add(16 * q));
+                    _mm512_storeu_ps(cp.add(16 * q), _mm512_add_ps(cv, _mm512_mul_ps(av, va)));
+                }
+            }
+        } else {
+            let mut buf = [0.0f32; MR * NR];
+            for (jj, accj) in acc.iter().enumerate() {
+                for (q, &av) in accj.iter().enumerate() {
+                    _mm512_storeu_ps(buf.as_mut_ptr().add(jj * MR + 16 * q), av);
+                }
+            }
+            for jj in 0..nr_eff {
+                for ii in 0..mr_eff {
+                    c[ii + jj * ldc] += alpha * buf[jj * MR + ii];
+                }
+            }
+        }
+    }
+}
+
+/// Safe entry for the `f32` AVX2 tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx2_f32_entry(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 8 * kc && bp.len() >= 12 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    if mr_eff == 8 && nr_eff == 12 {
+        assert!(c.len() >= 11 * ldc + 8, "full C tile out of bounds");
+    }
+    // SAFETY: only reachable through the AVX2_F32 kernel descriptor,
+    // registered iff `avx2` and `fma` are detected; slice bounds
+    // asserted above.
+    unsafe { mk_avx2_f32_8x12(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 8x12 AVX2+FMA `f32` tile: the 4x12 `f64` tile at 8 lanes per ymm.
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx2` and `fma` target features are
+/// available and that `ap.len() >= 8*kc`, `bp.len() >= 12*kc`, and `c`
+/// covers the `mr_eff x nr_eff` output tile at leading dimension `ldc`
+/// (the full `8 x 12` tile when `mr_eff == 8 && nr_eff == 12`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx2_f32_8x12(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 8;
+    const NR: usize = 12;
+    // SAFETY: pointer arithmetic stays inside the bounds the safe entry
+    // asserted (`ap` at `p*8 + 0..8`, `bp` at `p*12 + 0..12`, `c` only
+    // on the asserted full-tile path).
+    unsafe {
+        let mut acc = [_mm256_setzero_ps(); NR];
+        let mut aptr = ap.as_ptr();
+        let mut bptr = bp.as_ptr();
+        for _ in 0..kc {
+            let av = _mm256_loadu_ps(aptr);
+            for (jj, a) in acc.iter_mut().enumerate() {
+                let bv = _mm256_broadcast_ss(&*bptr.add(jj));
+                *a = _mm256_fmadd_ps(av, bv, *a);
+            }
+            aptr = aptr.add(MR);
+            bptr = bptr.add(NR);
+        }
+        if mr_eff == MR && nr_eff == NR {
+            let va = _mm256_set1_ps(alpha);
+            for (jj, a) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add(jj * ldc);
+                let cv = _mm256_loadu_ps(cp);
+                _mm256_storeu_ps(cp, _mm256_add_ps(cv, _mm256_mul_ps(*a, va)));
+            }
+        } else {
+            let mut buf = [0.0f32; MR * NR];
+            for (jj, a) in acc.iter().enumerate() {
+                _mm256_storeu_ps(buf.as_mut_ptr().add(jj * MR), *a);
+            }
+            for jj in 0..nr_eff {
+                for ii in 0..mr_eff {
+                    c[ii + jj * ldc] += alpha * buf[jj * MR + ii];
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Complex kernels (dual-accumulator contract)
+// ---------------------------------------------------------------------------
+
+/// Generate, per complex type, the shared combine/writeback helper and
+/// the portable scalar tile of the dual-accumulator contract (module
+/// docs): the two component-FMA chains per `C(i,j)` live in interleaved
+/// `(re, im)` stack buffers — the exact memory image of the SIMD
+/// kernels' spilled accumulator registers — and the combine
+/// `t = (s1.re - s2.re, s1.im + s2.im); c += alpha * t` is one scalar
+/// code path every kernel of the type funnels through, which is what
+/// makes all dispatch paths bitwise identical.
+macro_rules! complex_kernels {
+    ($combine:ident, $scalar_fn:ident, $ct:ty, $ft:ty, $mk:path, $mr:expr, $nr:expr) => {
+        /// Combine the two spilled accumulator chains and write the
+        /// `mr_eff x nr_eff` corner back: shared by the scalar and SIMD
+        /// tiles of this complex type (see the module's complex
+        /// contract). `s1`/`s2` hold interleaved `(re, im)` pairs,
+        /// column `jj` at offset `jj * 2 * mr`.
+        #[inline(always)]
+        #[allow(clippy::too_many_arguments)]
+        fn $combine(
+            s1: &[$ft],
+            s2: &[$ft],
+            mr: usize,
+            alpha: $ct,
+            c: &mut [$ct],
+            ldc: usize,
+            mr_eff: usize,
+            nr_eff: usize,
+        ) {
+            for jj in 0..nr_eff {
+                for ii in 0..mr_eff {
+                    let o = jj * 2 * mr + 2 * ii;
+                    let t = $mk(s1[o] - s2[o], s1[o + 1] + s2[o + 1]);
+                    c[ii + jj * ldc] += alpha * t;
+                }
+            }
+        }
+
+        /// Portable complex tile: the dual-accumulator chains on scalar
+        /// component `mul_add`, also the differential oracle for this
+        /// type's SIMD tiles.
+        #[allow(clippy::too_many_arguments)]
+        fn $scalar_fn(
+            kc: usize,
+            alpha: $ct,
+            ap: &[$ct],
+            bp: &[$ct],
+            c: &mut [$ct],
+            ldc: usize,
+            mr_eff: usize,
+            nr_eff: usize,
+        ) {
+            const MR: usize = $mr;
+            const NR: usize = $nr;
+            let mut s1 = [0.0 as $ft; 2 * MR * NR];
+            let mut s2 = [0.0 as $ft; 2 * MR * NR];
+            let (achunks, _) = ap.as_chunks::<MR>();
+            let (bchunks, _) = bp.as_chunks::<NR>();
+            for p in 0..kc {
+                let av: &[$ct; MR] = &achunks[p];
+                let bv: &[$ct; NR] = &bchunks[p];
+                for jj in 0..NR {
+                    let b = bv[jj];
+                    for ii in 0..MR {
+                        let a = av[ii];
+                        let o = jj * 2 * MR + 2 * ii;
+                        s1[o] = a.re.mul_add(b.re, s1[o]);
+                        s1[o + 1] = a.im.mul_add(b.re, s1[o + 1]);
+                        s2[o] = a.im.mul_add(b.im, s2[o]);
+                        s2[o + 1] = a.re.mul_add(b.im, s2[o + 1]);
+                    }
+                }
+            }
+            $combine(&s1, &s2, MR, alpha, c, ldc, mr_eff, nr_eff);
+        }
+    };
+}
+
+complex_kernels!(combine_c64, mk_scalar_c64, C64, f64, c64, 8, 4);
+complex_kernels!(combine_c32, mk_scalar_c32, C32, f32, c32, 8, 4);
+
+/// Safe entry for the `C64` AVX-512 tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx512_c64_entry(
+    kc: usize,
+    alpha: C64,
+    ap: &[C64],
+    bp: &[C64],
+    c: &mut [C64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 8 * kc && bp.len() >= 4 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    // SAFETY: only reachable through the AVX512_C64 kernel descriptor,
+    // registered iff `is_x86_feature_detected!("avx512f")`; slice
+    // bounds asserted above, and the writeback goes through the
+    // bounds-checked scalar combine.
+    unsafe { mk_avx512_c64_8x4(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 8x4 AVX-512F `C64` tile on the dual-accumulator contract: chain 1 is
+/// `fmadd(a, set1(b.re))` on the interleaved vector (2 zmm = 8 complex
+/// rows), chain 2 is `fmadd(pair_swap(a), set1(b.im))` where the pair
+/// swap is `_mm512_permute_pd::<0x55>`. 16 accumulator zmm + the two
+/// `A` vectors, their swaps, and two broadcasts ≈ 22 of 32 registers;
+/// 16 FMAs per `k` step against 12 load-port ops, so the loop is
+/// FMA-bound. Accumulators are unconditionally spilled to stack buffers
+/// and combined in scalar code ([`combine_c64`]) — the cost is ~0.4% of
+/// the FMA work at `kc = 256` and it buys bitwise identity with the
+/// scalar tile on every path, full tiles included.
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx512f` target feature is available and
+/// that `ap.len() >= 8*kc` and `bp.len() >= 4*kc` (`C64` is a
+/// `#[repr(C)]` `(re, im)` pair, so the strips are read as interleaved
+/// `f64` at twice the element count).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx512_c64_8x4(
+    kc: usize,
+    alpha: C64,
+    ap: &[C64],
+    bp: &[C64],
+    c: &mut [C64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 8;
+    const NR: usize = 4;
+    // SAFETY: `C64` is `#[repr(C)] { re: f64, im: f64 }`, so `ap`/`bp`
+    // reinterpret as `2 * len` interleaved f64; reads stay at
+    // `p*16 + 0..16` (`ap`) and `p*8 + 0..8` (`bp`) for p < kc, inside
+    // the bounds the safe entry asserted. `c` is only written through
+    // the bounds-checked scalar combine.
+    unsafe {
+        let apf = ap.as_ptr() as *const f64;
+        let bpf = bp.as_ptr() as *const f64;
+        let mut acc1 = [[_mm512_setzero_pd(); 2]; NR];
+        let mut acc2 = [[_mm512_setzero_pd(); 2]; NR];
+        for p in 0..kc {
+            let a0 = _mm512_loadu_pd(apf.add(2 * MR * p));
+            let a1 = _mm512_loadu_pd(apf.add(2 * MR * p + 8));
+            let a0s = _mm512_permute_pd::<0x55>(a0);
+            let a1s = _mm512_permute_pd::<0x55>(a1);
+            let bb = bpf.add(2 * NR * p);
+            for jj in 0..NR {
+                let br = _mm512_set1_pd(*bb.add(2 * jj));
+                let bi = _mm512_set1_pd(*bb.add(2 * jj + 1));
+                acc1[jj][0] = _mm512_fmadd_pd(a0, br, acc1[jj][0]);
+                acc1[jj][1] = _mm512_fmadd_pd(a1, br, acc1[jj][1]);
+                acc2[jj][0] = _mm512_fmadd_pd(a0s, bi, acc2[jj][0]);
+                acc2[jj][1] = _mm512_fmadd_pd(a1s, bi, acc2[jj][1]);
+            }
+        }
+        let mut s1 = [0.0f64; 2 * MR * NR];
+        let mut s2 = [0.0f64; 2 * MR * NR];
+        for jj in 0..NR {
+            for q in 0..2 {
+                _mm512_storeu_pd(s1.as_mut_ptr().add(jj * 2 * MR + 8 * q), acc1[jj][q]);
+                _mm512_storeu_pd(s2.as_mut_ptr().add(jj * 2 * MR + 8 * q), acc2[jj][q]);
+            }
+        }
+        combine_c64(&s1, &s2, MR, alpha, c, ldc, mr_eff, nr_eff);
+    }
+}
+
+/// Safe entry for the `C64` AVX2 tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx2_c64_entry(
+    kc: usize,
+    alpha: C64,
+    ap: &[C64],
+    bp: &[C64],
+    c: &mut [C64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 2 * kc && bp.len() >= 6 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    // SAFETY: only reachable through the AVX2_C64 kernel descriptor,
+    // registered iff `avx2` and `fma` are detected; slice bounds
+    // asserted above, writeback through the bounds-checked scalar
+    // combine.
+    unsafe { mk_avx2_c64_2x6(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 2x6 AVX2+FMA `C64` tile on the dual-accumulator contract (pair swap
+/// via `_mm256_permute_pd::<0x5>`): 12 accumulator ymm + the `A`
+/// vector, its swap, and two broadcasts fill the 16-register file.
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx2` and `fma` target features are
+/// available and that `ap.len() >= 2*kc` and `bp.len() >= 6*kc`
+/// (strips read as interleaved `f64`, see [`mk_avx512_c64_8x4`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx2_c64_2x6(
+    kc: usize,
+    alpha: C64,
+    ap: &[C64],
+    bp: &[C64],
+    c: &mut [C64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 2;
+    const NR: usize = 6;
+    // SAFETY: strips reinterpret as interleaved f64 (`C64` is
+    // `#[repr(C)]`); reads stay at `p*4 + 0..4` (`ap`) and
+    // `p*12 + 0..12` (`bp`) for p < kc, inside the asserted bounds.
+    unsafe {
+        let apf = ap.as_ptr() as *const f64;
+        let bpf = bp.as_ptr() as *const f64;
+        let mut acc1 = [_mm256_setzero_pd(); NR];
+        let mut acc2 = [_mm256_setzero_pd(); NR];
+        for p in 0..kc {
+            let a = _mm256_loadu_pd(apf.add(2 * MR * p));
+            let asw = _mm256_permute_pd::<0x5>(a);
+            let bb = bpf.add(2 * NR * p);
+            for jj in 0..NR {
+                let br = _mm256_broadcast_sd(&*bb.add(2 * jj));
+                let bi = _mm256_broadcast_sd(&*bb.add(2 * jj + 1));
+                acc1[jj] = _mm256_fmadd_pd(a, br, acc1[jj]);
+                acc2[jj] = _mm256_fmadd_pd(asw, bi, acc2[jj]);
+            }
+        }
+        let mut s1 = [0.0f64; 2 * MR * NR];
+        let mut s2 = [0.0f64; 2 * MR * NR];
+        for jj in 0..NR {
+            _mm256_storeu_pd(s1.as_mut_ptr().add(jj * 2 * MR), acc1[jj]);
+            _mm256_storeu_pd(s2.as_mut_ptr().add(jj * 2 * MR), acc2[jj]);
+        }
+        combine_c64(&s1, &s2, MR, alpha, c, ldc, mr_eff, nr_eff);
+    }
+}
+
+/// Safe entry for the `C32` AVX-512 tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx512_c32_entry(
+    kc: usize,
+    alpha: C32,
+    ap: &[C32],
+    bp: &[C32],
+    c: &mut [C32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 16 * kc && bp.len() >= 4 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    // SAFETY: only reachable through the AVX512_C32 kernel descriptor,
+    // registered iff `is_x86_feature_detected!("avx512f")`; slice
+    // bounds asserted above, writeback through the bounds-checked
+    // scalar combine.
+    unsafe { mk_avx512_c32_16x4(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 16x4 AVX-512F `C32` tile: the `C64` 8x4 dual-accumulator shape at 16
+/// `f32` lanes per zmm (pair swap via `_mm512_permute_ps::<0xB1>`).
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx512f` target feature is available and
+/// that `ap.len() >= 16*kc` and `bp.len() >= 4*kc` (`C32` is a
+/// `#[repr(C)]` `(re, im)` pair, so strips are read as interleaved
+/// `f32` at twice the element count).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx512_c32_16x4(
+    kc: usize,
+    alpha: C32,
+    ap: &[C32],
+    bp: &[C32],
+    c: &mut [C32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 16;
+    const NR: usize = 4;
+    // SAFETY: strips reinterpret as interleaved f32 (`C32` is
+    // `#[repr(C)]`); reads stay at `p*32 + 0..32` (`ap`) and
+    // `p*8 + 0..8` (`bp`) for p < kc, inside the asserted bounds.
+    unsafe {
+        let apf = ap.as_ptr() as *const f32;
+        let bpf = bp.as_ptr() as *const f32;
+        let mut acc1 = [[_mm512_setzero_ps(); 2]; NR];
+        let mut acc2 = [[_mm512_setzero_ps(); 2]; NR];
+        for p in 0..kc {
+            let a0 = _mm512_loadu_ps(apf.add(2 * MR * p));
+            let a1 = _mm512_loadu_ps(apf.add(2 * MR * p + 16));
+            let a0s = _mm512_permute_ps::<0xB1>(a0);
+            let a1s = _mm512_permute_ps::<0xB1>(a1);
+            let bb = bpf.add(2 * NR * p);
+            for jj in 0..NR {
+                let br = _mm512_set1_ps(*bb.add(2 * jj));
+                let bi = _mm512_set1_ps(*bb.add(2 * jj + 1));
+                acc1[jj][0] = _mm512_fmadd_ps(a0, br, acc1[jj][0]);
+                acc1[jj][1] = _mm512_fmadd_ps(a1, br, acc1[jj][1]);
+                acc2[jj][0] = _mm512_fmadd_ps(a0s, bi, acc2[jj][0]);
+                acc2[jj][1] = _mm512_fmadd_ps(a1s, bi, acc2[jj][1]);
+            }
+        }
+        let mut s1 = [0.0f32; 2 * MR * NR];
+        let mut s2 = [0.0f32; 2 * MR * NR];
+        for jj in 0..NR {
+            for q in 0..2 {
+                _mm512_storeu_ps(s1.as_mut_ptr().add(jj * 2 * MR + 16 * q), acc1[jj][q]);
+                _mm512_storeu_ps(s2.as_mut_ptr().add(jj * 2 * MR + 16 * q), acc2[jj][q]);
+            }
+        }
+        combine_c32(&s1, &s2, MR, alpha, c, ldc, mr_eff, nr_eff);
+    }
+}
+
+/// Safe entry for the `C32` AVX2 tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn mk_avx2_c32_entry(
+    kc: usize,
+    alpha: C32,
+    ap: &[C32],
+    bp: &[C32],
+    c: &mut [C32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    assert!(
+        ap.len() >= 4 * kc && bp.len() >= 6 * kc,
+        "packed strip too short"
+    );
+    assert!(
+        c.len() >= (nr_eff.max(1) - 1) * ldc + mr_eff,
+        "C tile out of bounds"
+    );
+    // SAFETY: only reachable through the AVX2_C32 kernel descriptor,
+    // registered iff `avx2` and `fma` are detected; slice bounds
+    // asserted above, writeback through the bounds-checked scalar
+    // combine.
+    unsafe { mk_avx2_c32_4x6(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) }
+}
+
+/// 4x6 AVX2+FMA `C32` tile: the `C64` 2x6 dual-accumulator shape at 8
+/// `f32` lanes per ymm (pair swap via `_mm256_permute_ps::<0xB1>`).
+///
+/// # Safety
+///
+/// Caller must guarantee the `avx2` and `fma` target features are
+/// available and that `ap.len() >= 4*kc` and `bp.len() >= 6*kc`
+/// (strips read as interleaved `f32`, see [`mk_avx512_c32_16x4`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_avx2_c32_4x6(
+    kc: usize,
+    alpha: C32,
+    ap: &[C32],
+    bp: &[C32],
+    c: &mut [C32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 4;
+    const NR: usize = 6;
+    // SAFETY: strips reinterpret as interleaved f32 (`C32` is
+    // `#[repr(C)]`); reads stay at `p*8 + 0..8` (`ap`) and
+    // `p*12 + 0..12` (`bp`) for p < kc, inside the asserted bounds.
+    unsafe {
+        let apf = ap.as_ptr() as *const f32;
+        let bpf = bp.as_ptr() as *const f32;
+        let mut acc1 = [_mm256_setzero_ps(); NR];
+        let mut acc2 = [_mm256_setzero_ps(); NR];
+        for p in 0..kc {
+            let a = _mm256_loadu_ps(apf.add(2 * MR * p));
+            let asw = _mm256_permute_ps::<0xB1>(a);
+            let bb = bpf.add(2 * NR * p);
+            for jj in 0..NR {
+                let br = _mm256_broadcast_ss(&*bb.add(2 * jj));
+                let bi = _mm256_broadcast_ss(&*bb.add(2 * jj + 1));
+                acc1[jj] = _mm256_fmadd_ps(a, br, acc1[jj]);
+                acc2[jj] = _mm256_fmadd_ps(asw, bi, acc2[jj]);
+            }
+        }
+        let mut s1 = [0.0f32; 2 * MR * NR];
+        let mut s2 = [0.0f32; 2 * MR * NR];
+        for jj in 0..NR {
+            _mm256_storeu_ps(s1.as_mut_ptr().add(jj * 2 * MR), acc1[jj]);
+            _mm256_storeu_ps(s2.as_mut_ptr().add(jj * 2 * MR), acc2[jj]);
+        }
+        combine_c32(&s1, &s2, MR, alpha, c, ldc, mr_eff, nr_eff);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FMA peak probe
+// ---------------------------------------------------------------------------
+
 /// Measured register-resident FMA throughput (flop/s) of the *selected*
 /// dispatch path — the "machine peak" denominator for fraction-of-peak
 /// reporting. The probe runs eight independent vector accumulator
@@ -459,6 +1313,20 @@ pub fn fma_peak() -> f64 {
         best = best.max(rate);
     }
     best
+}
+
+/// [`fma_peak`] per element type: the same measured `f64` FMA ceiling,
+/// rescaled by lane count. Single-precision lanes are twice as many per
+/// vector, so the `f32`/`C32` ceiling is `2x` the measured double
+/// ceiling; complex flops are *component* flops in all our accounting
+/// (a complex mul-add is `MULADD_FLOPS` real flops), so complex types
+/// share their component precision's ceiling rather than getting one of
+/// their own.
+pub fn fma_peak_for(bytes_per_component: usize) -> f64 {
+    match bytes_per_component {
+        4 => 2.0 * fma_peak(),
+        _ => fma_peak(),
+    }
 }
 
 /// Portable probe: eight independent eight-lane `mul_add` chains the
@@ -587,6 +1455,11 @@ mod tests {
         {
             let p = fma_peak();
             assert!(p > 0.0 && p.is_finite(), "peak {p:.3e}");
+            let p32 = fma_peak_for(4);
+            assert!(
+                p32 > p,
+                "f32 ceiling must exceed f64 ({p32:.3e} vs {p:.3e})"
+            );
         }
     }
 
@@ -596,6 +1469,31 @@ mod tests {
         assert_eq!(av.last().map(|k| k.name), Some("scalar"));
         assert!(by_name("scalar").is_some());
         assert!(by_name("no-such-isa").is_none());
+    }
+
+    #[test]
+    fn per_type_tables_are_coherent() {
+        fn check<T: SimdScalar>() {
+            let av = <T as SimdScalar>::available();
+            assert_eq!(av.last().map(|k| k.name), Some("scalar"));
+            let sel = <T as SimdScalar>::selected();
+            assert!(av.iter().any(|k| k.name == sel.name));
+            for k in av {
+                assert_eq!(k.mc % k.mr, 0, "{}: mc must be a multiple of mr", k.name);
+                assert_eq!(k.nc % k.nr, 0, "{}: nc must be a multiple of nr", k.name);
+                assert!(k.mr >= 1 && k.nr >= 1);
+                assert!(<T as SimdScalar>::by_name(k.name).is_some());
+            }
+            // Same ISA menu for every type: a TSEIG_SIMD override that
+            // one type honors must be honorable by all.
+            let names: Vec<_> = av.iter().map(|k| k.name).collect();
+            let f64_names: Vec<_> = available().iter().map(|k| k.name).collect();
+            assert_eq!(names, f64_names);
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<C64>();
+        check::<C32>();
     }
 
     #[test]
@@ -642,4 +1540,104 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn f32_tiles_match_fma_oracle_on_one_strip() {
+        for k in <f32 as SimdScalar>::available() {
+            for kc in [1usize, 3, 7, 32] {
+                let ap: Vec<f32> = (0..k.mr * kc).map(|i| (i % 13) as f32 - 6.0).collect();
+                let bp: Vec<f32> = (0..k.nr * kc).map(|i| (i % 7) as f32 - 3.0).collect();
+                for (mr_eff, nr_eff) in [(k.mr, k.nr), (k.mr - k.mr / 2, k.nr - k.nr / 2)] {
+                    let ldc = k.mr + 3;
+                    let mut c = vec![0.5f32; ldc * k.nr];
+                    let mut want = c.clone();
+                    k.run(kc, 1.25, &ap, &bp, &mut c, ldc, mr_eff, nr_eff);
+                    for jj in 0..nr_eff {
+                        for ii in 0..mr_eff {
+                            let mut acc = 0.0f32;
+                            for p in 0..kc {
+                                acc = ap[p * k.mr + ii].mul_add(bp[p * k.nr + jj], acc);
+                            }
+                            want[ii + jj * ldc] += 1.25 * acc;
+                        }
+                    }
+                    for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            w.to_bits(),
+                            "{} kc={kc} idx={i}: {got} vs {w}",
+                            k.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dual-accumulator oracle + bitwise cross-kernel check on one
+    /// packed strip, for both complex types.
+    macro_rules! complex_strip_check {
+        ($name:ident, $t:ty, $ft:ty, $mk:path) => {
+            #[test]
+            fn $name() {
+                let alpha = $mk(1.25 as $ft, -0.5 as $ft);
+                for k in <$t as SimdScalar>::available() {
+                    for kc in [1usize, 3, 7, 32] {
+                        let ap: Vec<$t> = (0..k.mr * kc)
+                            .map(|i| {
+                                $mk(
+                                    (i % 13) as $ft - 6.0 as $ft,
+                                    ((i * 7) % 11) as $ft - 5.0 as $ft,
+                                )
+                            })
+                            .collect();
+                        let bp: Vec<$t> = (0..k.nr * kc)
+                            .map(|i| {
+                                $mk(
+                                    (i % 7) as $ft - 3.0 as $ft,
+                                    ((i * 5) % 9) as $ft - 4.0 as $ft,
+                                )
+                            })
+                            .collect();
+                        for (mr_eff, nr_eff) in [(k.mr, k.nr), (k.mr - k.mr / 2, k.nr - k.nr / 2)] {
+                            let ldc = k.mr + 3;
+                            let mut c = vec![$mk(0.5 as $ft, -0.25 as $ft); ldc * k.nr];
+                            let mut want = c.clone();
+                            k.run(kc, alpha, &ap, &bp, &mut c, ldc, mr_eff, nr_eff);
+                            // Oracle: the dual-accumulator contract, per
+                            // element, straight from the module docs.
+                            for jj in 0..nr_eff {
+                                for ii in 0..mr_eff {
+                                    let (mut s1r, mut s1i) = (0.0 as $ft, 0.0 as $ft);
+                                    let (mut s2r, mut s2i) = (0.0 as $ft, 0.0 as $ft);
+                                    for p in 0..kc {
+                                        let a = ap[p * k.mr + ii];
+                                        let b = bp[p * k.nr + jj];
+                                        s1r = a.re.mul_add(b.re, s1r);
+                                        s1i = a.im.mul_add(b.re, s1i);
+                                        s2r = a.im.mul_add(b.im, s2r);
+                                        s2i = a.re.mul_add(b.im, s2i);
+                                    }
+                                    let t = $mk(s1r - s2r, s1i + s2i);
+                                    let i = ii + jj * ldc;
+                                    want[i] += alpha * t;
+                                }
+                            }
+                            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                                assert!(
+                                    got.re.to_bits() == w.re.to_bits()
+                                        && got.im.to_bits() == w.im.to_bits(),
+                                    "{} kc={kc} idx={i}: {got:?} vs {w:?}",
+                                    k.name
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    complex_strip_check!(c64_tiles_match_dual_acc_oracle, C64, f64, c64);
+    complex_strip_check!(c32_tiles_match_dual_acc_oracle, C32, f32, c32);
 }

@@ -14,7 +14,7 @@
 //!   exit, which keeps every intermediate of stages 1/2 and the
 //!   tridiagonal phases away from overflow/underflow.
 
-use tseig_matrix::{CMatrix, Error, Matrix, Result};
+use tseig_matrix::{CMatrixG, ComplexScalar, Error, Matrix, Result};
 
 /// `DLAMCH('P')`: relative machine precision as LAPACK defines it.
 const EPS: f64 = f64::EPSILON;
@@ -72,12 +72,13 @@ pub fn lansy_one(a: &Matrix) -> f64 {
 
 /// Max-abs entry of a Hermitian matrix, lower triangle referenced; the
 /// diagonal contributes its real part only (the drivers ignore the
-/// diagonal's imaginary part, `ZHETRD` convention).
-pub fn lanhe_max(a: &CMatrix) -> f64 {
+/// diagonal's imaginary part, `ZHETRD` convention). Generic over the
+/// complex element type; the norm is accumulated in `f64` either way.
+pub fn lanhe_max<T: ComplexScalar>(a: &CMatrixG<T>) -> f64 {
     let n = a.rows();
     let mut amax = 0.0f64;
     for j in 0..n {
-        let d = a[(j, j)].re.abs();
+        let d = a[(j, j)].re().abs();
         if d > amax {
             amax = d;
         }
@@ -112,11 +113,12 @@ pub fn scale_matrix(a: &mut Matrix, sigma: f64) {
     }
 }
 
-/// Complex counterpart of [`scale_matrix`].
-pub fn scale_cmatrix(a: &mut CMatrix, sigma: f64) {
+/// Complex counterpart of [`scale_matrix`]. The factor is applied to
+/// both components through [`ComplexScalar::scale`], which rounds to the
+/// component precision of `T`.
+pub fn scale_cmatrix<T: ComplexScalar>(a: &mut CMatrixG<T>, sigma: f64) {
     for v in a.as_mut_slice() {
-        v.re *= sigma;
-        v.im *= sigma;
+        *v = v.scale(sigma);
     }
 }
 
@@ -157,16 +159,16 @@ pub fn screen_symmetric(a: &Matrix) -> Result<f64> {
 /// diagonal real to the same tolerance (the pipeline reads only the
 /// real part of the diagonal, so a substantial imaginary part would
 /// silently be dropped). Returns the max-abs norm (`lanhe_max`).
-pub fn screen_hermitian(a: &CMatrix) -> Result<f64> {
+pub fn screen_hermitian<T: ComplexScalar>(a: &CMatrixG<T>) -> Result<f64> {
     let n = a.rows();
     for j in 0..n {
         for i in 0..n {
             let v = a[(i, j)];
-            if !v.re.is_finite() || !v.im.is_finite() {
+            if !v.re().is_finite() || !v.im().is_finite() {
                 return Err(Error::InvalidData {
                     row: i,
                     col: j,
-                    what: format!("non-finite entry {}+{}i", v.re, v.im),
+                    what: format!("non-finite entry {}+{}i", v.re(), v.im()),
                 });
             }
         }
@@ -174,7 +176,7 @@ pub fn screen_hermitian(a: &CMatrix) -> Result<f64> {
     let anorm = lanhe_max(a);
     let tol = ASYM_RTOL * anorm;
     for i in 0..n {
-        let im = a[(i, i)].im.abs();
+        let im = a[(i, i)].im().abs();
         if im > tol {
             return Err(Error::InvalidData {
                 row: i,
@@ -187,7 +189,7 @@ pub fn screen_hermitian(a: &CMatrix) -> Result<f64> {
         for i in 0..j {
             let u = a[(i, j)];
             let l = a[(j, i)];
-            let diff = ((u.re - l.re).powi(2) + (u.im + l.im).powi(2)).sqrt();
+            let diff = ((u.re() - l.re()).powi(2) + (u.im() + l.im()).powi(2)).sqrt();
             if diff > tol {
                 return Err(Error::InvalidData {
                     row: i,
@@ -218,7 +220,7 @@ fn invalid_entry(row: usize, col: usize, v: f64) -> Error {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tseig_matrix::{c64, gen};
+    use tseig_matrix::{c64, gen, CMatrix};
 
     #[test]
     fn norms_match_definitions() {

@@ -1,11 +1,14 @@
-//! Minimal complex scalar and dense complex matrix.
+//! Minimal complex scalars and the dense complex matrix.
 //!
 //! The paper's algorithm applies to "symmetric (or hermitian)" matrices;
 //! the Hermitian pipeline (`tseig-hermitian`) needs complex arithmetic.
-//! Rather than pulling in a dependency for one scalar type, `C64` is a
-//! self-contained `#[repr(C)]` pair with exactly the operations the
-//! kernels use.
+//! Rather than pulling in a dependency for one scalar type, [`C64`] and
+//! [`C32`] are self-contained `#[repr(C)]` pairs with exactly the
+//! operations the kernels use. [`CMatrixG`] is the dense column-major
+//! complex matrix, generic over the component precision; [`CMatrix`] is
+//! its historical `C64` alias.
 
+use crate::scalar::ComplexScalar;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
@@ -74,7 +77,7 @@ impl C64 {
     /// im = fma(re, b.im, fma( im, b.re, acc.im))
     /// ```
     ///
-    /// This is the one arithmetic op of the packed complex microkernel;
+    /// This is the one arithmetic op of the portable complex microkernel;
     /// fixing the order here is what makes every tile shape produce
     /// bitwise identical results for the same `k` ordering (the same
     /// contract the real SIMD kernels pin with a shared FMA chain).
@@ -184,44 +187,205 @@ impl fmt::Display for C64 {
     }
 }
 
-/// Column-major dense complex matrix (mirror of [`crate::Matrix`]).
-#[derive(Clone, PartialEq)]
-pub struct CMatrix {
-    rows: usize,
-    cols: usize,
-    data: Vec<C64>,
+/// Single-precision complex number: the `cheev` lane of the four-type
+/// engine. Same surface as [`C64`] at `f32` components; cross-precision
+/// conversions go through [`ComplexScalar`]'s `f64`-valued accessors.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C32 {
+    pub re: f32,
+    pub im: f32,
 }
 
-impl CMatrix {
+/// Shorthand constructor.
+#[inline]
+pub const fn c32(re: f32, im: f32) -> C32 {
+    C32 { re, im }
+}
+
+impl C32 {
+    pub const ZERO: C32 = c32(0.0, 0.0);
+    pub const ONE: C32 = c32(1.0, 0.0);
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> C32 {
+        c32(self.re, -self.im)
+    }
+
+    /// Modulus in component precision, overflow-safe.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// `true` if both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused `self * b + acc`, the same pinned two-FMA-per-component
+    /// order as [`C64::mul_add`], at `f32`.
+    #[inline]
+    pub fn mul_add(self, b: C32, acc: C32) -> C32 {
+        c32(
+            self.re.mul_add(b.re, (-self.im).mul_add(b.im, acc.re)),
+            self.re.mul_add(b.im, self.im.mul_add(b.re, acc.im)),
+        )
+    }
+}
+
+impl From<f32> for C32 {
+    #[inline]
+    fn from(re: f32) -> C32 {
+        c32(re, 0.0)
+    }
+}
+
+impl Add for C32 {
+    type Output = C32;
+    #[inline]
+    fn add(self, o: C32) -> C32 {
+        c32(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C32 {
+    type Output = C32;
+    #[inline]
+    fn sub(self, o: C32) -> C32 {
+        c32(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C32 {
+    type Output = C32;
+    #[inline]
+    fn mul(self, o: C32) -> C32 {
+        c32(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C32 {
+    type Output = C32;
+    /// Smith's algorithm at `f32` (mirror of the [`C64`] division).
+    fn div(self, o: C32) -> C32 {
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            c32((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            c32((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for C32 {
+    type Output = C32;
+    #[inline]
+    fn neg(self) -> C32 {
+        c32(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C32 {
+    #[inline]
+    fn add_assign(&mut self, o: C32) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for C32 {
+    #[inline]
+    fn sub_assign(&mut self, o: C32) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for C32 {
+    #[inline]
+    fn mul_assign(&mut self, o: C32) {
+        *self = *self * o;
+    }
+}
+
+impl fmt::Debug for C32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6e}+{:.6e}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6e}{:.6e}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for C32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Column-major dense complex matrix (mirror of [`crate::Matrix`]),
+/// generic over the component precision. Real-valued scalar bookkeeping
+/// (norms, phases, verification) goes through the `f64`-valued
+/// [`ComplexScalar`] accessors regardless of `T`, so the Hermitian
+/// pipeline's control logic is precision-independent.
+#[derive(Clone, PartialEq)]
+pub struct CMatrixG<T: ComplexScalar = C64> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// The historical double-precision complex matrix.
+pub type CMatrix = CMatrixG<C64>;
+
+impl<T: ComplexScalar> CMatrixG<T> {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMatrix {
+        CMatrixG {
             rows,
             cols,
-            data: vec![C64::ZERO; rows * cols],
+            data: vec![T::ZERO; rows * cols],
         }
     }
 
     pub fn identity(n: usize) -> Self {
-        let mut m = CMatrix::zeros(n, n);
+        let mut m = CMatrixG::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = C64::ONE;
+            m[(i, i)] = T::ONE;
         }
         m
     }
 
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for j in 0..cols {
             for i in 0..rows {
                 data.push(f(i, j));
             }
         }
-        CMatrix { rows, cols, data }
+        CMatrixG { rows, cols, data }
     }
 
-    /// Lift a real matrix into the complex field.
+    /// Lift a real matrix into the complex field (rounding to the
+    /// component precision).
     pub fn from_real(a: &crate::Matrix) -> Self {
-        CMatrix::from_fn(a.rows(), a.cols(), |i, j| c64(a[(i, j)], 0.0))
+        CMatrixG::from_fn(a.rows(), a.cols(), |i, j| T::from_f64(a[(i, j)]))
+    }
+
+    /// Round-convert from another component precision.
+    pub fn from_cmatrix<S: ComplexScalar>(a: &CMatrixG<S>) -> Self {
+        CMatrixG::from_fn(a.rows(), a.cols(), |i, j| {
+            T::new(a[(i, j)].re(), a[(i, j)].im())
+        })
     }
 
     #[inline]
@@ -240,38 +404,38 @@ impl CMatrix {
     }
 
     #[inline]
-    pub fn as_slice(&self) -> &[C64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     #[inline]
-    pub fn col(&self, j: usize) -> &[C64] {
+    pub fn col(&self, j: usize) -> &[T] {
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [C64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Conjugate-transposed copy.
-    pub fn adjoint(&self) -> CMatrix {
-        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    pub fn adjoint(&self) -> CMatrixG<T> {
+        CMatrixG::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
     }
 
     /// Naive product (test oracle).
-    pub fn multiply(&self, rhs: &CMatrix) -> CMatrix {
+    pub fn multiply(&self, rhs: &CMatrixG<T>) -> CMatrixG<T> {
         assert_eq!(self.cols, rhs.rows);
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        let mut out = CMatrixG::zeros(self.rows, rhs.cols);
         for j in 0..rhs.cols {
             for k in 0..self.cols {
                 let r = rhs[(k, j)];
-                if r == C64::ZERO {
+                if r == T::ZERO {
                     continue;
                 }
                 for i in 0..self.rows {
@@ -288,7 +452,7 @@ impl CMatrix {
     pub fn hermitize_from_lower(&mut self) {
         assert_eq!(self.rows, self.cols);
         for j in 0..self.cols {
-            self[(j, j)] = c64(self[(j, j)].re, 0.0);
+            self[(j, j)] = T::new(self[(j, j)].re(), 0.0);
             for i in j + 1..self.rows {
                 let v = self[(i, j)];
                 self[(j, i)] = v.conj();
@@ -297,43 +461,45 @@ impl CMatrix {
     }
 
     /// Maximum modulus of the element-wise difference.
-    pub fn max_diff(&self, other: &CMatrix) -> f64 {
+    pub fn max_diff(&self, other: &CMatrixG<T>) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         self.data
             .iter()
             .zip(&other.data)
-            .fold(0.0f64, |m, (a, b)| m.max((*a - *b).abs()))
+            .fold(0.0f64, |m, (a, b)| m.max(ComplexScalar::abs(*a - *b)))
     }
 
     /// Maximum modulus element.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        self.data
+            .iter()
+            .fold(0.0f64, |m, v| m.max(ComplexScalar::abs(*v)))
     }
 }
 
-impl std::ops::Index<(usize, usize)> for CMatrix {
-    type Output = C64;
+impl<T: ComplexScalar> std::ops::Index<(usize, usize)> for CMatrixG<T> {
+    type Output = T;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(i < self.rows && j < self.cols);
         &self.data[i + j * self.rows]
     }
 }
 
-impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+impl<T: ComplexScalar> std::ops::IndexMut<(usize, usize)> for CMatrixG<T> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(i < self.rows && j < self.cols);
         &mut self.data[i + j * self.rows]
     }
 }
 
-impl fmt::Debug for CMatrix {
+impl<T: ComplexScalar> fmt::Debug for CMatrixG<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "CMatrix {}x{}", self.rows, self.cols)?;
         for i in 0..self.rows.min(6) {
             for j in 0..self.cols.min(6) {
-                write!(f, "{} ", self[(i, j)])?;
+                write!(f, "{:?} ", self[(i, j)])?;
             }
             writeln!(f)?;
         }
@@ -372,12 +538,39 @@ mod tests {
     }
 
     #[test]
+    fn c32_arithmetic_identities() {
+        let a = c32(1.0, 2.0);
+        let b = c32(-3.0, 0.5);
+        assert_eq!(a + b, c32(-2.0, 2.5));
+        assert_eq!(a * C32::ONE, a);
+        assert_eq!((a * b).conj(), a.conj() * b.conj());
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-6);
+        // f32 Smith division survives magnitudes that overflow naive
+        // cross products.
+        let big = c32(1e30, 1e30) / c32(1e30, -1e30);
+        assert!(big.is_finite() && (big - c32(0.0, 1.0)).abs() < 1e-5);
+    }
+
+    #[test]
     fn cmatrix_multiply_and_adjoint() {
         let a = CMatrix::from_fn(2, 2, |i, j| c64((i + j) as f64, 1.0));
         let id = CMatrix::identity(2);
         assert_eq!(a.multiply(&id).max_diff(&a), 0.0);
         let ah = a.adjoint();
         assert_eq!(ah[(0, 1)], a[(1, 0)].conj());
+    }
+
+    #[test]
+    fn cmatrix_generic_at_c32() {
+        let a: CMatrixG<C32> = CMatrixG::from_fn(3, 3, |i, j| c32(i as f32, j as f32));
+        let id: CMatrixG<C32> = CMatrixG::identity(3);
+        assert_eq!(a.multiply(&id).max_diff(&a), 0.0);
+        // Round-trip through from_cmatrix preserves exactly-representable
+        // values.
+        let wide: CMatrix = CMatrixG::from_cmatrix(&a);
+        let back: CMatrixG<C32> = CMatrixG::from_cmatrix(&wide);
+        assert_eq!(back.max_diff(&a), 0.0);
     }
 
     #[test]

@@ -32,10 +32,10 @@ pub mod tridiagonal;
 pub mod workspace;
 
 pub use band::SymBandMatrix;
-pub use complex::{c64, CMatrix, C64};
+pub use complex::{c32, c64, CMatrix, CMatrixG, C32, C64};
 pub use dense::Matrix;
 pub use diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
 pub use error::{Error, Result};
-pub use scalar::Scalar;
+pub use scalar::{ComplexScalar, Scalar};
 pub use tridiagonal::SymTridiagonal;
 pub use workspace::MemReq;

@@ -3,12 +3,18 @@
 //!
 //! [`Scalar`] is the *complete* surface the packed BLAS-3 engine in
 //! `tseig-kernels` needs from an element type: ring operations, a
-//! conjugation (identity for `f64`), a fused multiply-add with a pinned
-//! evaluation order, and the flop/byte weights the performance counters
-//! charge. Implementations exist for exactly the two element types the
-//! paper's problem statement names — `f64` for the symmetric pipeline
-//! and [`C64`] for the Hermitian one — and both drivers run on the same
+//! conjugation (identity for the real types), a fused multiply-add with
+//! a pinned evaluation order, and the flop/byte weights the performance
+//! counters charge. Implementations exist for the classic four-type
+//! table — `f32`/`f64` for the symmetric pipeline and [`C32`]/[`C64`]
+//! for the Hermitian one — and every driver runs on the same
 //! monomorphized engine.
+//!
+//! [`ComplexScalar`] is the extra surface the Hermitian pipeline needs
+//! beyond the engine: component accessors, magnitudes and scaling, all
+//! routed through `f64` so the pipeline's control logic (Householder
+//! norms, phase extraction, verification bounds) is written once and is
+//! *more* accurate than the component precision at `C32`.
 //!
 //! ## Determinism contract
 //!
@@ -23,11 +29,13 @@
 //!   bitwise identical complex results for the same `k` ordering, the
 //!   same property the real dispatch paths already guarantee.
 
-use crate::complex::{c64, C64};
+use crate::complex::{c32, c64, C32, C64};
 use std::fmt::Debug;
-use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
-/// Element type of a dense BLAS-3 operand: `f64` or [`C64`].
+/// Element type of a dense BLAS-3 operand: `f32`, `f64`, [`C32`] or
+/// [`C64`] — the classic `ssyev`/`dsyev`/`cheev`/`zheev` four-type
+/// table.
 ///
 /// The bounds are what the packed engine's loop nest actually uses:
 /// `Copy` packing, ring arithmetic, `Send + Sync` for the rayon splits,
@@ -137,6 +145,185 @@ impl Scalar for C64 {
     }
 }
 
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const MULADD_FLOPS: u64 = 2;
+    const BYTES: u64 = 4;
+    const IS_COMPLEX: bool = false;
+
+    #[inline(always)]
+    fn conj(self) -> Self {
+        self
+    }
+
+    /// One hardware FMA at `f32` — the same pinned single-op contract as
+    /// the `f64` impl, so every `f32` dispatch path is bitwise-comparable.
+    #[inline(always)]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        f32::mul_add(self, b, acc)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        // tidy: allow(lossy-cast) -- rounding to f32 is this method's contract
+        x as f32
+    }
+}
+
+impl Scalar for C32 {
+    const ZERO: Self = C32::ZERO;
+    const ONE: Self = C32::ONE;
+    const MULADD_FLOPS: u64 = 8;
+    const BYTES: u64 = 8;
+    const IS_COMPLEX: bool = true;
+
+    #[inline(always)]
+    fn conj(self) -> Self {
+        C32::conj(self)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, b: Self, acc: Self) -> Self {
+        C32::mul_add(self, b, acc)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        C32::is_finite(self)
+    }
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        // tidy: allow(lossy-cast) -- rounding to f32 is this method's contract
+        c32(x as f32, 0.0)
+    }
+}
+
+/// The surface the Hermitian pipeline needs beyond [`Scalar`]: component
+/// access, magnitudes and real scaling, all `f64`-valued. `C32` widens
+/// its components on read and rounds on write, so the pipeline's scalar
+/// bookkeeping (reflector norms, phases, verification) runs in `f64` for
+/// both precisions and only the O(n³) BLAS-3 traffic is narrow.
+pub trait ComplexScalar: Scalar + Div<Output = Self> {
+    /// Machine epsilon of the *component* type, as `f64`; verification
+    /// and convergence bounds scale with this.
+    const EPS: f64;
+    /// Lower-case LAPACK-style type tag (`"c32"` / `"c64"`), used by
+    /// diagnostics and the batch JSONL schema.
+    const TAG: &'static str;
+
+    /// Build from `f64` components (rounding to component precision).
+    fn new(re: f64, im: f64) -> Self;
+    /// Real part, widened to `f64`.
+    fn re(self) -> f64;
+    /// Imaginary part, widened to `f64`.
+    fn im(self) -> f64;
+    /// Modulus in `f64`, overflow-safe in the component type.
+    fn abs(self) -> f64;
+    /// Squared modulus in `f64`.
+    fn abs2(self) -> f64;
+    /// Multiply by a real `f64` scalar (rounding the product).
+    fn scale(self, s: f64) -> Self;
+    /// `self * other.conj()`.
+    fn mul_conj(self, other: Self) -> Self;
+}
+
+impl ComplexScalar for C64 {
+    const EPS: f64 = f64::EPSILON;
+    const TAG: &'static str = "c64";
+
+    #[inline(always)]
+    fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self.re
+    }
+
+    #[inline(always)]
+    fn im(self) -> f64 {
+        self.im
+    }
+
+    #[inline(always)]
+    fn abs(self) -> f64 {
+        C64::abs(self)
+    }
+
+    #[inline(always)]
+    fn abs2(self) -> f64 {
+        C64::abs2(self)
+    }
+
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        C64::scale(self, s)
+    }
+
+    #[inline(always)]
+    fn mul_conj(self, other: Self) -> Self {
+        C64::mul_conj(self, other)
+    }
+}
+
+impl ComplexScalar for C32 {
+    const EPS: f64 = f32::EPSILON as f64;
+    const TAG: &'static str = "c32";
+
+    #[inline(always)]
+    fn new(re: f64, im: f64) -> Self {
+        // tidy: allow(lossy-cast) -- rounding to component precision is the contract
+        c32(re as f32, im as f32)
+    }
+
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self.re as f64
+    }
+
+    #[inline(always)]
+    fn im(self) -> f64 {
+        self.im as f64
+    }
+
+    #[inline(always)]
+    fn abs(self) -> f64 {
+        // Widen first: hypot in f64 cannot overflow on f32 components.
+        (self.re as f64).hypot(self.im as f64)
+    }
+
+    #[inline(always)]
+    fn abs2(self) -> f64 {
+        let (re, im) = (self.re as f64, self.im as f64);
+        re * re + im * im
+    }
+
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        // tidy: allow(lossy-cast) -- product rounds back to component precision
+        c32(
+            (self.re as f64 * s) as f32, // tidy: allow(lossy-cast) -- see above
+            (self.im as f64 * s) as f32, // tidy: allow(lossy-cast) -- see above
+        )
+    }
+
+    #[inline(always)]
+    fn mul_conj(self, other: Self) -> Self {
+        c32(
+            self.re * other.re + self.im * other.im,
+            self.im * other.re - self.re * other.im,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +357,30 @@ mod tests {
         assert_eq!(C64::MULADD_FLOPS, 8);
         assert_eq!(f64::BYTES, 8);
         assert_eq!(C64::BYTES, 16);
+        assert_eq!(<f32 as Scalar>::MULADD_FLOPS, 2);
+        assert_eq!(<C32 as Scalar>::MULADD_FLOPS, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<C32 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn complex_scalar_routes_through_f64() {
+        let z = <C32 as ComplexScalar>::new(1.5, -2.5);
+        assert_eq!(z, c32(1.5, -2.5));
+        assert_eq!(z.re(), 1.5);
+        assert_eq!(z.im(), -2.5);
+        assert_eq!(ComplexScalar::abs2(z), 1.5 * 1.5 + 2.5 * 2.5);
+        // abs widens before hypot: f32::MAX components stay finite.
+        let big = c32(f32::MAX, f32::MAX);
+        assert!(ComplexScalar::abs(big).is_finite());
+        // EPS scales with the component precision.
+        assert_eq!(<C32 as ComplexScalar>::EPS, f32::EPSILON as f64);
+        assert_eq!(<C64 as ComplexScalar>::EPS, f64::EPSILON);
+        assert_eq!(<C32 as ComplexScalar>::TAG, "c32");
+        // C64 accessors are exact.
+        let w = <C64 as ComplexScalar>::new(3.0, 4.0);
+        assert_eq!(ComplexScalar::abs(w), 5.0);
+        assert_eq!(w.scale(2.0), c64(6.0, 8.0));
     }
 
     #[test]

@@ -283,6 +283,55 @@ mod tests {
     }
 
     #[test]
+    fn bad_complex_kernel_fixture_is_fully_diagnosed() {
+        // A realistic-but-wrong C64 microkernel in the allowlisted
+        // intrinsics file: safe `#[target_feature]` signature, no
+        // `# Safety` doc, and a bare `unsafe` dispatch call below it.
+        // Every hygiene hole must get its own diagnostic — this is the
+        // shape a hand-rolled complex kernel is most likely to take
+        // before review.
+        let bad = "\
+/// 4x4 C64 tile: dual real-FMA accumulator chains per element.\n\
+#[target_feature(enable = \"avx512f\")]\n\
+fn kernel_c64_avx512(k: usize, a: *const C64, b: *const C64, c: *mut C64, ldc: usize) {\n\
+    let re = _mm512_setzero_pd();\n\
+}\n\
+fn dispatch(k: usize, a: *const C64, b: *const C64, c: *mut C64, ldc: usize) {\n\
+    unsafe { kernel_c64_avx512(k, a, b, c, ldc) }\n\
+}\n";
+        let d = run("crates/kernels/src/blas3/simd.rs", bad);
+        assert_eq!(d.len(), 3, "{d:?}");
+        // Safe signature on the `#[target_feature]` fn.
+        assert_eq!(d[0].rule, "target-feature-unsafe");
+        assert_eq!(d[0].line, 3);
+        // Missing `# Safety` section on the kernel.
+        assert_eq!(d[1].rule, "target-feature-unsafe");
+        assert_eq!(d[1].line, 2);
+        // The dispatch call's `unsafe` block lacks a SAFETY: comment.
+        assert_eq!(d[2].rule, "safety-comment");
+        assert_eq!(d[2].line, 7);
+
+        // The repaired kernel — `unsafe fn`, `# Safety` doc stating the
+        // ISA precondition, and a SAFETY: comment on the dispatch call
+        // citing runtime detection — passes clean.
+        let good = "\
+/// 4x4 C64 tile: dual real-FMA accumulator chains per element.\n\
+///\n\
+/// # Safety\n\
+/// Caller must have verified AVX-512F via `is_x86_feature_detected!`.\n\
+#[target_feature(enable = \"avx512f\")]\n\
+unsafe fn kernel_c64_avx512(k: usize, a: *const C64, b: *const C64, c: *mut C64, ldc: usize) {\n\
+    let re = _mm512_setzero_pd();\n\
+}\n\
+fn dispatch(k: usize, a: *const C64, b: *const C64, c: *mut C64, ldc: usize) {\n\
+    // SAFETY: selected from the dispatch table only after runtime\n\
+    // feature detection proved AVX-512F present.\n\
+    unsafe { kernel_c64_avx512(k, a, b, c, ldc) }\n\
+}\n";
+        assert!(run("crates/kernels/src/blas3/simd.rs", good).is_empty());
+    }
+
+    #[test]
     fn target_feature_rule_applies_outside_the_allowlist_too() {
         let bad = "#[target_feature(enable = \"avx2\")]\nfn k() {}\n";
         let d = run("crates/core/src/driver.rs", bad);
