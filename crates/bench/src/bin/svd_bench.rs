@@ -1,0 +1,79 @@
+//! One-stage vs two-stage `gesvd` crossover: the band-bidiagonal
+//! two-stage pipeline (the paper's reduction recast for the SVD) against
+//! the classic one-shot `gebrd` reduction, values-only and with vectors.
+//!
+//! The two-stage reduction does most of its work in BLAS-3 `gemm` panels
+//! while `gebrd` is half BLAS-2 by flop count, so past a crossover order
+//! the two-stage path wins even after paying the extra bulge chase. This
+//! bin measures that crossover so `GeSvd::two_stage_min_n` stays an
+//! empirical number, not folklore.
+//!
+//! Run: `cargo run --release -p tseig-bench --bin svd_bench`
+
+use std::time::Duration;
+use tseig_bench::time;
+use tseig_matrix::Matrix;
+use tseig_svd::drivers::{GeSvd, SvdMethod};
+
+/// Best-of-reps: on a shared box, load drift only ever inflates a
+/// measurement, so the minimum is the least-noisy estimator.
+fn best(xs: &[Duration]) -> Duration {
+    xs.iter().copied().min().unwrap_or_default()
+}
+
+/// Dense square general matrix with entries in [-1, 1).
+fn general(n: usize, seed: u64) -> Matrix {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn run(vectors: bool) {
+    let what = if vectors {
+        "with vectors"
+    } else {
+        "values only"
+    };
+    println!("[{what}] one-stage gebrd vs two-stage band-bidiagonal gesvd");
+    for &(n, reps) in &[(256usize, 7usize), (512, 5), (1024, 3)] {
+        let nb = 32;
+        let a = general(n, 42 + n as u64);
+        let one = GeSvd::new().method(SvdMethod::OneStage).vectors(vectors);
+        let two = GeSvd::new()
+            .method(SvdMethod::TwoStage)
+            .nb(nb)
+            .vectors(vectors);
+
+        let time_of = |drv: &GeSvd| {
+            let (r, t) = time(|| drv.solve(&a));
+            assert!(r.is_ok());
+            t
+        };
+        // Alternate measurement order per rep so load drift on a shared
+        // box cannot systematically favour whichever ran first.
+        let mut one_t = Vec::new();
+        let mut two_t = Vec::new();
+        for rep in 0..reps {
+            if rep % 2 == 0 {
+                one_t.push(time_of(&one));
+                two_t.push(time_of(&two));
+            } else {
+                two_t.push(time_of(&two));
+                one_t.push(time_of(&one));
+            }
+        }
+        let (o, t) = (best(&one_t), best(&two_t));
+        println!(
+            "n={n} nb={nb} reps={reps}: one-stage {:.6e} s, two-stage {:.6e} s, speedup {:.3}x",
+            o.as_secs_f64(),
+            t.as_secs_f64(),
+            o.as_secs_f64() / t.as_secs_f64(),
+        );
+    }
+}
+
+fn main() {
+    run(false);
+    run(true);
+}

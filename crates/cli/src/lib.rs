@@ -13,9 +13,9 @@ usage:
   tseig eig   <A.mtx> [--nb N] [--method dc|qr|bisect] [--values-only]
               [--fraction F] [--range LO:HI] [--one-stage] [--vectors-out Z.mtx]
               [--verify] [--verbose]
-  tseig batch <in.jsonl> [-o out.jsonl] [--nb N] [--method dc|qr|bisect]
-              [--scheduler serial|static:T|dynamic:T] [--threads T] [--vectors]
-              [--scalar f32|f64|c32|c64]
+  tseig batch <in.jsonl> [-o out.jsonl] [--kind eig|svd|gen] [--nb N]
+              [--method dc|qr|bisect] [--scheduler serial|static:T|dynamic:T]
+              [--threads T] [--vectors] [--scalar f32|f64|c32|c64]
   tseig svd   <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
   tseig info  <A.mtx>
 
@@ -23,12 +23,16 @@ usage:
              (fails with a nonzero exit on a violated residual bound)
   --verbose  print solve diagnostics (fallbacks, scaling, verification)
 
-batch: each input line is one request,
-  {\"id\": \"r1\", \"n\": 3, \"data\": [column-major n*n entries]}
+batch: each input line is one request; the line format depends on --kind:
+  eig (default): {\"id\": \"r1\", \"n\": 3, \"data\": [column-major n*n entries]}
+  svd:           {\"id\": \"r1\", \"m\": 4, \"n\": 3, \"data\": [column-major m*n entries]}
+  gen:           {\"id\": \"r1\", \"n\": 3, \"a\": [n*n entries], \"b\": [n*n SPD entries]}
 and each output line one result (always tagged with its element type),
   {\"id\": \"r1\", \"scalar\": \"f64\", \"ok\": true, \"degraded\": false, \"eigenvalues\": [...]}
   {\"id\": \"r2\", \"scalar\": \"f64\", \"ok\": false, \"error\": \"...\"}
-A malformed or unsolvable request fails alone; the batch keeps going.
+(svd results carry \"singular_values\" — and \"u\"/\"v\" under --vectors —
+instead of \"eigenvalues\"). A malformed or unsolvable request fails
+alone; the batch keeps going.
 --threads is the queue depth (concurrent workers, 0 = all cores); each
 worker reuses one solve plan across its requests.
 --scalar sets the default element type; a per-request \"scalar\" key
@@ -37,7 +41,30 @@ Hermitian input) carry 2*n*n entries in \"data\", interleaved re,im, and
 solve through the Hermitian pipeline; eigenvectors come back in the same
 interleaved layout. f32/c32 parse every entry at 32-bit precision (c32
 also computes at it); real f32 requests then solve through the f64
-pipeline, so f32 is I/O precision only. Eigenvalues are always f64.";
+pipeline, so f32 is I/O precision only. Eigenvalues are always f64.
+--kind gen solves A x = lambda B x (symmetric/Hermitian A, SPD B) at all
+four element types; --kind svd is real-only (f32/f64).";
+
+/// Workload of one `tseig batch` run: standard eigenproblems (the
+/// default), SVDs, or generalized `A x = lambda B x` pencils.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchKind {
+    #[default]
+    Eig,
+    Svd,
+    Gen,
+}
+
+impl BatchKind {
+    fn parse(s: &str) -> Option<BatchKind> {
+        match s {
+            "eig" => Some(BatchKind::Eig),
+            "svd" => Some(BatchKind::Svd),
+            "gen" => Some(BatchKind::Gen),
+            _ => None,
+        }
+    }
+}
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -57,6 +84,7 @@ pub enum Cli {
     Batch {
         path: String,
         out: Option<String>,
+        kind: BatchKind,
         nb: usize,
         method: Method,
         scheduler: Scheduler,
@@ -166,9 +194,15 @@ impl Cli {
                         .ok_or_else(|| format!("bad --scalar {v}, expected f32|f64|c32|c64"))?,
                     None => ScalarTag::F64,
                 };
+                let kind = match flag_value("--kind") {
+                    Some(v) => BatchKind::parse(v)
+                        .ok_or_else(|| format!("bad --kind {v}, expected eig|svd|gen"))?,
+                    None => BatchKind::Eig,
+                };
                 Ok(Cli::Batch {
                     path,
                     out: flag_value("-o").map(String::from),
+                    kind,
                     nb,
                     method,
                     scheduler,
@@ -322,6 +356,7 @@ pub fn run<R: BufRead, W: Write>(
         Cli::Batch {
             path,
             out,
+            kind,
             nb,
             method,
             scheduler,
@@ -329,80 +364,17 @@ pub fn run<R: BufRead, W: Write>(
             vectors,
             scalar,
         } => {
-            // Parse every line up front; a malformed line becomes a failed
-            // request in its own output slot, never a batch abort.
-            let mut ids: Vec<String> = Vec::new();
-            let mut tags: Vec<ScalarTag> = Vec::new();
-            let mut requests: Vec<Result<BatchRequest, String>> = Vec::new();
-            for (k, line) in open(path)?.lines().enumerate() {
-                let line = line.map_err(|e| e.to_string())?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (id, tag, req) = parse_batch_line(&line, k, *scalar);
-                ids.push(id);
-                tags.push(tag);
-                requests.push(req);
-            }
-            // Real requests (f64, plus f32 after the parse-time rounding)
-            // go through the shared worker pool; complex ones solve one
-            // at a time through the Hermitian pipeline below.
-            let mats: Vec<Matrix> = requests
-                .iter()
-                .filter_map(|r| match r {
-                    Ok(BatchRequest::Real(m)) => Some(m.clone()),
-                    _ => None,
-                })
-                .collect();
-            let eigen = SymmetricEigen::new()
-                .nb(*nb)
-                .method(*method)
-                .scheduler(*scheduler)
-                .vectors(*vectors);
-            let herm = HermitianEigen::new()
-                .nb(*nb)
-                .method(*method)
-                .scheduler(match scheduler {
-                    Scheduler::Serial => tseig_hermitian::Scheduler::Serial,
-                    Scheduler::Static(t) => tseig_hermitian::Scheduler::Static(*t),
-                    Scheduler::Dynamic(t) => tseig_hermitian::Scheduler::Dynamic(*t),
-                })
-                .vectors(*vectors);
+            let input = open(path)?;
             let t0 = std::time::Instant::now();
-            let solved = BatchDriver::new(eigen).threads(*threads).solve_all(&mats);
-            // Merge solver results back into request order, solving the
-            // complex requests in place and tallying everything by type.
-            let mut summary = BatchSummary::default();
-            let mut solved_it = solved.into_iter();
-            let mut lines: Vec<String> = Vec::with_capacity(requests.len());
-            for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
-                let outcome: Result<SolvedLine, String> = match req {
-                    Err(e) => Err(e.clone()),
-                    Ok(BatchRequest::Real(_)) => solved_it
-                        .next()
-                        .expect("one result per parsed real request")
-                        .map(|r| SolvedLine::real(&r))
-                        .map_err(|e| e.to_string()),
-                    Ok(BatchRequest::C64(a)) => herm
-                        .solve(a)
-                        .map(|r| SolvedLine::complex(&r))
-                        .map_err(|e| e.to_string()),
-                    Ok(BatchRequest::C32(a)) => herm
-                        .solve(a)
-                        .map(|r| SolvedLine::complex(&r))
-                        .map_err(|e| e.to_string()),
-                };
-                match outcome {
-                    Ok(r) => {
-                        summary.record(*tag, Ok(!r.degraded));
-                        lines.push(batch_ok_line(id, *tag, &r, *vectors));
-                    }
-                    Err(e) => {
-                        summary.record(*tag, Err(()));
-                        lines.push(batch_error_line(id, *tag, &e));
-                    }
+            let (lines, mut summary) = match kind {
+                BatchKind::Eig => {
+                    batch_eig(input, *nb, *method, *scheduler, *threads, *vectors, *scalar)?
                 }
-            }
+                BatchKind::Svd => batch_svd(input, *nb, *scheduler, *threads, *vectors, *scalar)?,
+                BatchKind::Gen => {
+                    batch_gen(input, *nb, *method, *scheduler, *threads, *vectors, *scalar)?
+                }
+            };
             let wall = t0.elapsed();
             summary.wall = wall;
             match out {
@@ -419,7 +391,12 @@ pub fn run<R: BufRead, W: Write>(
                 }
             }
             eprintln!(
-                "batch: {} requests in {:.2?} ({} clean, {} degraded, {} failed; {})",
+                "batch[{}]: {} requests in {:.2?} ({} clean, {} degraded, {} failed; {})",
+                match kind {
+                    BatchKind::Eig => "eig",
+                    BatchKind::Svd => "svd",
+                    BatchKind::Gen => "gen",
+                },
                 summary.total,
                 wall,
                 summary.clean,
@@ -468,20 +445,267 @@ pub fn run<R: BufRead, W: Write>(
     }
 }
 
+/// Parallel columns out of one JSONL batch parse: ids, scalar tags, and
+/// the per-line request-or-error slots.
+type ParsedBatch<Q> = (Vec<String>, Vec<ScalarTag>, Vec<Result<Q, String>>);
+
+/// Parse the JSONL stream for one batch run: `parse` maps a line to
+/// `(id, tag, request-or-error)`, collecting the three columns so a
+/// malformed line becomes a failed slot, never a batch abort.
+fn read_requests<R: BufRead, Q>(
+    input: R,
+    mut parse: impl FnMut(&str, usize) -> (String, ScalarTag, Result<Q, String>),
+) -> Result<ParsedBatch<Q>, String> {
+    let mut ids = Vec::new();
+    let mut tags = Vec::new();
+    let mut requests = Vec::new();
+    for (k, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, tag, req) = parse(&line, k);
+        ids.push(id);
+        tags.push(tag);
+        requests.push(req);
+    }
+    Ok((ids, tags, requests))
+}
+
+/// `--kind eig`: standard symmetric/Hermitian eigenproblems. Real
+/// requests (f64, plus f32 after the parse-time rounding) go through the
+/// shared worker pool; complex ones solve one at a time through the
+/// Hermitian pipeline.
+fn batch_eig<R: BufRead>(
+    input: R,
+    nb: usize,
+    method: Method,
+    scheduler: Scheduler,
+    threads: usize,
+    vectors: bool,
+    scalar: ScalarTag,
+) -> Result<(Vec<String>, BatchSummary), String> {
+    let (ids, tags, requests) = read_requests(input, |line, k| parse_batch_line(line, k, scalar))?;
+    let mats: Vec<Matrix> = requests
+        .iter()
+        .filter_map(|r| match r {
+            Ok(BatchRequest::Real(m)) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+    let eigen = SymmetricEigen::new()
+        .nb(nb)
+        .method(method)
+        .scheduler(scheduler)
+        .vectors(vectors);
+    let herm = herm_options(nb, method, scheduler, vectors);
+    let solved = BatchDriver::new(eigen).threads(threads).solve_all(&mats);
+    // Merge solver results back into request order, solving the complex
+    // requests in place and tallying everything by type.
+    let mut summary = BatchSummary::default();
+    let mut solved_it = solved.into_iter();
+    let mut lines: Vec<String> = Vec::with_capacity(requests.len());
+    for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
+        let outcome: Result<SolvedLine, String> = match req {
+            Err(e) => Err(e.clone()),
+            Ok(BatchRequest::Real(_)) => solved_it
+                .next()
+                .expect("one result per parsed real request")
+                .map(|r| SolvedLine::real(&r))
+                .map_err(|e| e.to_string()),
+            Ok(BatchRequest::C64(a)) => herm
+                .solve(a)
+                .map(|r| SolvedLine::complex(&r))
+                .map_err(|e| e.to_string()),
+            Ok(BatchRequest::C32(a)) => herm
+                .solve(a)
+                .map(|r| SolvedLine::complex(&r))
+                .map_err(|e| e.to_string()),
+        };
+        push_outcome(&mut lines, &mut summary, id, *tag, vectors, outcome);
+    }
+    Ok((lines, summary))
+}
+
+/// `--kind gen`: generalized pencils `A x = lambda B x`. Real pencils
+/// stream through `BatchDriver::solve_all_generalized`'s worker pool
+/// (per-worker `GenPlan` reuse); complex ones solve through the
+/// Hermitian-definite driver.
+fn batch_gen<R: BufRead>(
+    input: R,
+    nb: usize,
+    method: Method,
+    scheduler: Scheduler,
+    threads: usize,
+    vectors: bool,
+    scalar: ScalarTag,
+) -> Result<(Vec<String>, BatchSummary), String> {
+    let (ids, tags, requests) = read_requests(input, |line, k| parse_gen_line(line, k, scalar))?;
+    let pencils: Vec<(Matrix, Matrix)> = requests
+        .iter()
+        .filter_map(|r| match r {
+            Ok(GenRequest::Real(a, b)) => Some((a.clone(), b.clone())),
+            _ => None,
+        })
+        .collect();
+    let eigen = SymmetricEigen::new()
+        .nb(nb)
+        .method(method)
+        .scheduler(scheduler)
+        .vectors(vectors);
+    let herm = herm_options(nb, method, scheduler, vectors);
+    let solved = BatchDriver::new(eigen)
+        .threads(threads)
+        .solve_all_generalized(&pencils);
+    let mut summary = BatchSummary::default();
+    let mut solved_it = solved.into_iter();
+    let mut lines: Vec<String> = Vec::with_capacity(requests.len());
+    for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
+        let outcome: Result<SolvedLine, String> = match req {
+            Err(e) => Err(e.clone()),
+            Ok(GenRequest::Real(..)) => solved_it
+                .next()
+                .expect("one result per parsed real pencil")
+                .map(|r| SolvedLine::real(&r))
+                .map_err(|e| e.to_string()),
+            Ok(GenRequest::C64(a, b)) => {
+                tseig_hermitian::generalized::solve_generalized(a, b, &herm)
+                    .map(|r| SolvedLine::complex(&r))
+                    .map_err(|e| e.to_string())
+            }
+            Ok(GenRequest::C32(a, b)) => {
+                tseig_hermitian::generalized::solve_generalized(a, b, &herm)
+                    .map(|r| SolvedLine::complex(&r))
+                    .map_err(|e| e.to_string())
+            }
+        };
+        push_outcome(&mut lines, &mut summary, id, *tag, vectors, outcome);
+    }
+    Ok((lines, summary))
+}
+
+/// `--kind svd`: thin SVDs through `SvdBatch`'s worker pool. Real-only;
+/// wide inputs factor the transpose with `u`/`v` swapped back.
+fn batch_svd<R: BufRead>(
+    input: R,
+    nb: usize,
+    scheduler: Scheduler,
+    threads: usize,
+    vectors: bool,
+    scalar: ScalarTag,
+) -> Result<(Vec<String>, BatchSummary), String> {
+    let (ids, tags, requests) = read_requests(input, |line, k| parse_svd_line(line, k, scalar))?;
+    // Tall-or-square working copies, remembering which were transposed.
+    let mut transposed = Vec::with_capacity(requests.len());
+    let mats: Vec<Matrix> = requests
+        .iter()
+        .filter_map(|r| match r {
+            Ok(m) => {
+                let t = m.rows() < m.cols();
+                transposed.push(t);
+                Some(if t { m.transpose() } else { m.clone() })
+            }
+            _ => None,
+        })
+        .collect();
+    let driver = tseig_svd::GeSvd::new()
+        .nb(nb.max(2))
+        .scheduler(match scheduler {
+            Scheduler::Serial => tseig_svd::stage2::Stage2Exec::Serial,
+            Scheduler::Static(t) => tseig_svd::stage2::Stage2Exec::Static(t),
+            Scheduler::Dynamic(t) => tseig_svd::stage2::Stage2Exec::Dynamic(t),
+        })
+        .vectors(vectors);
+    let solved = tseig_svd::SvdBatch::new(driver)
+        .threads(threads)
+        .solve_all(&mats);
+    let mut summary = BatchSummary::default();
+    let mut solved_it = solved.into_iter().zip(transposed);
+    let mut lines: Vec<String> = Vec::with_capacity(requests.len());
+    for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
+        let outcome: Result<(tseig_svd::Svd, bool), String> = match req {
+            Err(e) => Err(e.clone()),
+            Ok(_) => {
+                let (r, t) = solved_it.next().expect("one result per parsed request");
+                r.map(|svd| (svd, t)).map_err(|e| e.to_string())
+            }
+        };
+        match outcome {
+            Ok((svd, t)) => {
+                summary.record(*tag, Ok(!svd.diagnostics.degraded));
+                lines.push(svd_ok_line(id, *tag, &svd, t, vectors));
+            }
+            Err(e) => {
+                summary.record(*tag, Err(()));
+                lines.push(batch_error_line(id, *tag, &e));
+            }
+        }
+    }
+    Ok((lines, summary))
+}
+
+/// The Hermitian builder mirroring one batch's eig/gen configuration.
+fn herm_options(nb: usize, method: Method, scheduler: Scheduler, vectors: bool) -> HermitianEigen {
+    HermitianEigen::new()
+        .nb(nb)
+        .method(method)
+        .scheduler(match scheduler {
+            Scheduler::Serial => tseig_hermitian::Scheduler::Serial,
+            Scheduler::Static(t) => tseig_hermitian::Scheduler::Static(t),
+            Scheduler::Dynamic(t) => tseig_hermitian::Scheduler::Dynamic(t),
+        })
+        .vectors(vectors)
+}
+
+/// Fold one solved/failed request into its output line and the summary.
+fn push_outcome(
+    lines: &mut Vec<String>,
+    summary: &mut BatchSummary,
+    id: &str,
+    tag: ScalarTag,
+    vectors: bool,
+    outcome: Result<SolvedLine, String>,
+) {
+    match outcome {
+        Ok(r) => {
+            summary.record(tag, Ok(!r.degraded));
+            lines.push(batch_ok_line(id, tag, &r, vectors));
+        }
+        Err(e) => {
+            summary.record(tag, Err(()));
+            lines.push(batch_error_line(id, tag, &e));
+        }
+    }
+}
+
 /// Extract the raw value text following `"key":` in a flat JSON object
 /// (no nested objects; string values must not contain escaped quotes).
+/// Occurrences of the quoted key text that are not followed by `:` —
+/// e.g. an `"id"` value that happens to spell a key name — are skipped.
 fn json_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\"");
-    let at = line.find(&needle)? + needle.len();
-    let rest = line[at..].trim_start().strip_prefix(':')?.trim_start();
-    if let Some(r) = rest.strip_prefix('"') {
-        r.find('"').map(|e| &r[..e])
-    } else if let Some(r) = rest.strip_prefix('[') {
-        r.find(']').map(|e| &r[..e])
-    } else {
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim())
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(&needle) {
+        let at = from + pos + needle.len();
+        match line[at..].trim_start().strip_prefix(':') {
+            None => {
+                from = at;
+                continue;
+            }
+            Some(rest) => {
+                let rest = rest.trim_start();
+                return if let Some(r) = rest.strip_prefix('"') {
+                    r.find('"').map(|e| &r[..e])
+                } else if let Some(r) = rest.strip_prefix('[') {
+                    r.find(']').map(|e| &r[..e])
+                } else {
+                    let end = rest.find([',', '}']).unwrap_or(rest.len());
+                    Some(rest[..end].trim())
+                };
+            }
+        }
     }
+    None
 }
 
 /// One parsed batch request: a real symmetric matrix (f64 compute — f32
@@ -562,6 +786,182 @@ fn parse_batch_line(
         })
     })();
     (id, tag_or_default, req)
+}
+
+/// One parsed generalized request: a `(A, B)` pencil at any of the four
+/// element types.
+#[derive(Debug)]
+enum GenRequest {
+    Real(Matrix, Matrix),
+    C64(CMatrix, CMatrix),
+    C32(CMatrixG<C32>, CMatrixG<C32>),
+}
+
+/// Parse a comma-separated float array (the inside of a JSON `[...]`).
+fn parse_floats(data: &str) -> Result<Vec<f64>, String> {
+    let mut vals = Vec::new();
+    for tok in data.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        vals.push(
+            tok.parse::<f64>()
+                .map_err(|_| format!("bad number {tok:?}"))?,
+        );
+    }
+    Ok(vals)
+}
+
+/// Parse one `--kind gen` request line:
+/// `{"id": ..., "scalar": ..., "n": N, "a": [...], "b": [...]}`.
+/// Both matrices are dense column-major, `n * n` entries each for real
+/// types and `2 * n * n` interleaved re,im for complex ones.
+fn parse_gen_line(
+    line: &str,
+    lineno: usize,
+    default_scalar: ScalarTag,
+) -> (String, ScalarTag, Result<GenRequest, String>) {
+    let id = json_value(line, "id")
+        .map(String::from)
+        .unwrap_or_else(|| lineno.to_string());
+    let tag = json_value(line, "scalar")
+        .map(|s| ScalarTag::parse(s).ok_or_else(|| format!("bad \"scalar\" {s:?}")))
+        .unwrap_or(Ok(default_scalar));
+    let tag_or_default = *tag.as_ref().unwrap_or(&default_scalar);
+    let req = (|| -> Result<GenRequest, String> {
+        let tag = tag?;
+        let n: usize = json_value(line, "n")
+            .ok_or("missing \"n\"")?
+            .parse()
+            .map_err(|_| "bad \"n\"".to_string())?;
+        let complex = matches!(tag, ScalarTag::C32 | ScalarTag::C64);
+        let expect = if complex { 2 * n * n } else { n * n };
+        let read = |key: &str| -> Result<Vec<f64>, String> {
+            let vals = parse_floats(json_value(line, key).ok_or(format!("missing \"{key}\""))?)
+                .map_err(|e| format!("{e} in \"{key}\""))?;
+            if vals.len() != expect {
+                return Err(format!(
+                    "\"{key}\" holds {} entries, expected {} = {} for scalar {}",
+                    vals.len(),
+                    if complex { "2*n*n" } else { "n*n" },
+                    expect,
+                    tag.name(),
+                ));
+            }
+            Ok(vals)
+        };
+        let av = read("a")?;
+        let bv = read("b")?;
+        Ok(match tag {
+            ScalarTag::F32 => GenRequest::Real(
+                Matrix::from_fn(n, n, |i, j| av[i + j * n] as f32 as f64),
+                Matrix::from_fn(n, n, |i, j| bv[i + j * n] as f32 as f64),
+            ),
+            ScalarTag::F64 => GenRequest::Real(
+                Matrix::from_fn(n, n, |i, j| av[i + j * n]),
+                Matrix::from_fn(n, n, |i, j| bv[i + j * n]),
+            ),
+            ScalarTag::C64 => {
+                let build = |v: &[f64]| {
+                    CMatrix::from_fn(n, n, |i, j| {
+                        let p = 2 * (i + j * n);
+                        ComplexScalar::new(v[p], v[p + 1])
+                    })
+                };
+                GenRequest::C64(build(&av), build(&bv))
+            }
+            ScalarTag::C32 => {
+                let build = |v: &[f64]| {
+                    CMatrixG::<C32>::from_fn(n, n, |i, j| {
+                        let p = 2 * (i + j * n);
+                        ComplexScalar::new(v[p], v[p + 1])
+                    })
+                };
+                GenRequest::C32(build(&av), build(&bv))
+            }
+        })
+    })();
+    (id, tag_or_default, req)
+}
+
+/// Parse one `--kind svd` request line:
+/// `{"id": ..., "scalar": ..., "m": M, "n": N, "data": [...]}`.
+/// `m` defaults to `n` (square); the matrix is dense column-major with
+/// `m * n` entries. Real-only — complex tags fail the line alone.
+fn parse_svd_line(
+    line: &str,
+    lineno: usize,
+    default_scalar: ScalarTag,
+) -> (String, ScalarTag, Result<Matrix, String>) {
+    let id = json_value(line, "id")
+        .map(String::from)
+        .unwrap_or_else(|| lineno.to_string());
+    let tag = json_value(line, "scalar")
+        .map(|s| ScalarTag::parse(s).ok_or_else(|| format!("bad \"scalar\" {s:?}")))
+        .unwrap_or(Ok(default_scalar));
+    let tag_or_default = *tag.as_ref().unwrap_or(&default_scalar);
+    let req = (|| -> Result<Matrix, String> {
+        let tag = tag?;
+        if matches!(tag, ScalarTag::C32 | ScalarTag::C64) {
+            return Err("--kind svd supports real scalars only (f32|f64)".to_string());
+        }
+        let n: usize = json_value(line, "n")
+            .ok_or("missing \"n\"")?
+            .parse()
+            .map_err(|_| "bad \"n\"".to_string())?;
+        let m: usize = match json_value(line, "m") {
+            Some(v) => v.parse().map_err(|_| "bad \"m\"".to_string())?,
+            None => n,
+        };
+        let vals = parse_floats(json_value(line, "data").ok_or("missing \"data\"")?)
+            .map_err(|e| format!("{e} in \"data\""))?;
+        if vals.len() != m * n {
+            return Err(format!(
+                "\"data\" holds {} entries, expected m*n = {}",
+                vals.len(),
+                m * n
+            ));
+        }
+        Ok(if tag == ScalarTag::F32 {
+            Matrix::from_fn(m, n, |i, j| vals[i + j * m] as f32 as f64)
+        } else {
+            Matrix::from_fn(m, n, |i, j| vals[i + j * m])
+        })
+    })();
+    (id, tag_or_default, req)
+}
+
+fn svd_ok_line(
+    id: &str,
+    tag: ScalarTag,
+    svd: &tseig_svd::Svd,
+    transposed: bool,
+    vectors: bool,
+) -> String {
+    let mut s = format!(
+        "{{\"id\": \"{id}\", \"scalar\": \"{}\", \"ok\": true, \"degraded\": {}, \"singular_values\": [",
+        tag.name(),
+        svd.diagnostics.degraded
+    );
+    push_json_floats(&mut s, &svd.s);
+    s.push(']');
+    if vectors {
+        // A transposed (wide) request factored A^T = U S V^T, so the
+        // input's left vectors are the factorization's right ones.
+        let (u, v) = if transposed {
+            (&svd.v, &svd.u)
+        } else {
+            (&svd.u, &svd.v)
+        };
+        s.push_str(", \"u\": [");
+        push_json_floats(&mut s, u.as_slice());
+        s.push_str("], \"v\": [");
+        push_json_floats(&mut s, v.as_slice());
+        s.push(']');
+    }
+    s.push('}');
+    s
 }
 
 fn push_json_floats(out: &mut String, vals: &[f64]) {
@@ -769,6 +1169,7 @@ mod tests {
             Cli::Batch {
                 path,
                 out,
+                kind,
                 nb,
                 method,
                 scheduler,
@@ -778,6 +1179,7 @@ mod tests {
             } => {
                 assert_eq!(path, "in.jsonl");
                 assert_eq!(out.as_deref(), Some("out.jsonl"));
+                assert_eq!(kind, BatchKind::Eig);
                 assert_eq!(nb, 8);
                 assert_eq!(method, Method::Qr);
                 assert_eq!(scheduler, Scheduler::Static(2));
@@ -791,6 +1193,17 @@ mod tests {
             Cli::Batch { scalar, .. } => assert_eq!(scalar, ScalarTag::C32),
             _ => panic!("wrong command"),
         }
+        for (flag, want) in [
+            ("eig", BatchKind::Eig),
+            ("svd", BatchKind::Svd),
+            ("gen", BatchKind::Gen),
+        ] {
+            match Cli::parse(&args(&format!("batch in.jsonl --kind {flag}"))).unwrap() {
+                Cli::Batch { kind, .. } => assert_eq!(kind, want),
+                _ => panic!("wrong command"),
+            }
+        }
+        assert!(Cli::parse(&args("batch in.jsonl --kind lu")).is_err());
         assert!(Cli::parse(&args("batch in.jsonl --scheduler bogus:2")).is_err());
         assert!(Cli::parse(&args("batch in.jsonl --scheduler static")).is_err());
         assert!(Cli::parse(&args("batch in.jsonl --scalar f16")).is_err());
@@ -975,6 +1388,142 @@ mod tests {
         }
         assert!(lines[4].contains("\"id\": \"short\"") && lines[4].contains("\"ok\": false"));
         assert!(lines[4].contains("\"scalar\": \"c32\""));
+    }
+
+    #[test]
+    fn end_to_end_gen_batch() {
+        // A real pencil, the same spectrum posed Hermitian (both against
+        // identity B -> eigenvalues {1, 3}), and an indefinite-B line
+        // that must fail alone.
+        let jsonl = "\
+{\"id\": \"r\", \"n\": 2, \"a\": [2.0, 1.0, 1.0, 2.0], \"b\": [1.0, 0.0, 0.0, 1.0]}\n\
+{\"id\": \"z\", \"scalar\": \"c64\", \"n\": 2, \"a\": [2,0, 0,1, 0,-1, 2,0], \"b\": [1,0, 0,0, 0,0, 1,0]}\n\
+{\"id\": \"indef\", \"n\": 2, \"a\": [2.0, 1.0, 1.0, 2.0], \"b\": [-1.0, 0.0, 0.0, 1.0]}\n";
+        let cli = Cli::parse(&args("batch mem.jsonl -o out.jsonl --kind gen --nb 4")).unwrap();
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        run(
+            &cli,
+            |_| {
+                Ok(std::io::BufReader::new(std::io::Cursor::new(
+                    jsonl.as_bytes().to_vec(),
+                )))
+            },
+            move |_| Ok(SharedSink(out2.clone())),
+        )
+        .unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, id, tag) in [(lines[0], "r", "f64"), (lines[1], "z", "c64")] {
+            assert!(line.contains(&format!("\"id\": \"{id}\"")), "{line}");
+            assert!(line.contains(&format!("\"scalar\": \"{tag}\"")), "{line}");
+            assert!(line.contains("\"ok\": true"), "{line}");
+            let vals: Vec<f64> = json_value(line, "eigenvalues")
+                .unwrap()
+                .split(',')
+                .map(|t| t.trim().parse().unwrap())
+                .collect();
+            assert_eq!(vals.len(), 2, "{line}");
+            assert!(
+                (vals[0] - 1.0).abs() < 1e-10 && (vals[1] - 3.0).abs() < 1e-10,
+                "{line}"
+            );
+        }
+        assert!(lines[2].contains("\"id\": \"indef\"") && lines[2].contains("\"ok\": false"));
+        assert!(lines[2].contains("positive definite"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn end_to_end_svd_batch() {
+        // A square diagonal (singular values {4, 3}), a wide request
+        // (factored via its transpose), and a complex tag that the
+        // real-only svd kind must reject alone.
+        let jsonl = "\
+{\"id\": \"sq\", \"n\": 2, \"data\": [3.0, 0.0, 0.0, 4.0]}\n\
+{\"id\": \"wide\", \"m\": 2, \"n\": 3, \"data\": [3.0, 0.0, 0.0, 4.0, 0.0, 0.0]}\n\
+{\"id\": \"cplx\", \"scalar\": \"c64\", \"n\": 2, \"data\": [1,0, 0,0, 0,0, 1,0]}\n";
+        let cli = Cli::parse(&args(
+            "batch mem.jsonl -o out.jsonl --kind svd --nb 4 --vectors",
+        ))
+        .unwrap();
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        run(
+            &cli,
+            |_| {
+                Ok(std::io::BufReader::new(std::io::Cursor::new(
+                    jsonl.as_bytes().to_vec(),
+                )))
+            },
+            move |_| Ok(SharedSink(out2.clone())),
+        )
+        .unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, id, ucount) in [(lines[0], "sq", 4), (lines[1], "wide", 4)] {
+            assert!(line.contains(&format!("\"id\": \"{id}\"")), "{line}");
+            assert!(line.contains("\"ok\": true"), "{line}");
+            let vals: Vec<f64> = json_value(line, "singular_values")
+                .unwrap()
+                .split(',')
+                .map(|t| t.trim().parse().unwrap())
+                .collect();
+            assert_eq!(vals.len(), 2, "{line}");
+            assert!(
+                (vals[0] - 4.0).abs() < 1e-12 && (vals[1] - 3.0).abs() < 1e-12,
+                "{line}"
+            );
+            // --vectors: "u" carries m*k entries (k = min(m, n) = 2).
+            let u: Vec<&str> = json_value(line, "u").unwrap().split(',').collect();
+            assert_eq!(u.len(), ucount, "{line}");
+        }
+        assert!(lines[2].contains("\"id\": \"cplx\"") && lines[2].contains("\"ok\": false"));
+        assert!(lines[2].contains("real scalars only"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn gen_line_parsing() {
+        // Ids spelling key names must not confuse the flat extractor.
+        let (id, tag, req) = parse_gen_line(
+            "{\"id\": \"a\", \"n\": 1, \"a\": [2.0], \"b\": [1.0]}",
+            0,
+            ScalarTag::F64,
+        );
+        assert_eq!((id.as_str(), tag), ("a", ScalarTag::F64));
+        match req.unwrap() {
+            GenRequest::Real(a, b) => {
+                assert_eq!(a[(0, 0)], 2.0);
+                assert_eq!(b[(0, 0)], 1.0);
+            }
+            _ => panic!("wrong request kind"),
+        }
+        let (_, _, req) = parse_gen_line("{\"n\": 2, \"a\": [1.0]}", 0, ScalarTag::F64);
+        let e = req.unwrap_err();
+        assert!(e.contains("\"a\"") && e.contains("expected n*n"), "{e}");
+        let (_, _, req) = parse_gen_line("{\"n\": 1, \"a\": [1.0]}", 0, ScalarTag::F64);
+        assert!(req.unwrap_err().contains("missing \"b\""));
     }
 
     #[test]

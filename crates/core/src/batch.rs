@@ -10,6 +10,7 @@
 //! in its own slot while the rest of the batch completes normally.
 
 use crate::driver::{SymmetricEigen, TwoStageResult};
+use crate::generalized::{solve_generalized_with_plan, GenPlan};
 use crate::plan::SolvePlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -63,47 +64,77 @@ impl BatchDriver {
     /// regardless of completion order. One bad matrix yields an `Err` in
     /// its slot and nothing else.
     pub fn solve_all(&self, inputs: &[Matrix]) -> Vec<Result<TwoStageResult>> {
-        let workers = self.worker_count(inputs.len());
-        if workers <= 1 {
-            let mut plan = SolvePlan::new();
-            return inputs
-                .iter()
-                .map(|a| solve_one(&self.eigen, a, &mut plan))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<TwoStageResult>>>> =
-            (0..inputs.len()).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let mut plan = SolvePlan::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= inputs.len() {
-                            break;
-                        }
-                        let r = solve_one(&self.eigen, &inputs[i], &mut plan);
-                        *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| {
-                // Every claimed index writes its slot before the scope
-                // ends; an empty slot means the worker died mid-claim.
-                m.into_inner()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .unwrap_or_else(|| {
-                        Err(Error::Runtime(
-                            "worker exited before writing its result slot".to_string(),
-                        ))
-                    })
-            })
-            .collect()
+        pool_map(
+            self.worker_count(inputs.len()),
+            inputs,
+            SolvePlan::new,
+            |a, plan| solve_one(&self.eigen, a, plan),
+        )
     }
+
+    /// Solve every generalized pencil `A x = lambda B x` (symmetric `A`,
+    /// SPD `B`), `results[i]` for `inputs[i]`, with the same isolation
+    /// guarantees as [`BatchDriver::solve_all`]: each worker streams its
+    /// requests through one `GenPlan`, and a breakdown (indefinite `B`,
+    /// poisoned entries, a panicking kernel) fails only its own slot.
+    pub fn solve_all_generalized(
+        &self,
+        inputs: &[(Matrix, Matrix)],
+    ) -> Vec<Result<TwoStageResult>> {
+        pool_map(
+            self.worker_count(inputs.len()),
+            inputs,
+            GenPlan::new,
+            |(a, b), plan| solve_one_gen(&self.eigen, a, b, plan),
+        )
+    }
+}
+
+/// Shared worker-pool skeleton: `workers` threads claim job indices from
+/// an atomic counter, each thread owning one plan of type `P` for its
+/// whole stream. Results land in their input slots regardless of
+/// completion order.
+fn pool_map<J: Sync, P, R: Send>(
+    workers: usize,
+    jobs: &[J],
+    new_plan: impl Fn() -> P + Sync,
+    solve: impl Fn(&J, &mut P) -> Result<R> + Sync,
+) -> Vec<Result<R>> {
+    if workers <= 1 {
+        let mut plan = new_plan();
+        return jobs.iter().map(|j| solve(j, &mut plan)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R>>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut plan = new_plan();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let r = solve(&jobs[i], &mut plan);
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            // Every claimed index writes its slot before the scope
+            // ends; an empty slot means the worker died mid-claim.
+            m.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| {
+                    Err(Error::Runtime(
+                        "worker exited before writing its result slot".to_string(),
+                    ))
+                })
+        })
+        .collect()
 }
 
 /// One request, with failure isolation: a panicking kernel is caught and
@@ -115,14 +146,37 @@ fn solve_one(eigen: &SymmetricEigen, a: &Matrix, plan: &mut SolvePlan) -> Result
         Ok(Err(e)) => Err(e),
         Err(payload) => {
             *plan = SolvePlan::new();
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(Error::Runtime(format!("solver panicked: {msg}")))
+            Err(panic_error(payload))
         }
     }
+}
+
+/// One generalized request with the same panic isolation; the plan —
+/// including the inner standard plan — is rebuilt after an unwind.
+fn solve_one_gen(
+    eigen: &SymmetricEigen,
+    a: &Matrix,
+    b: &Matrix,
+    plan: &mut GenPlan,
+) -> Result<TwoStageResult> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        solve_generalized_with_plan(a, b, eigen, plan)
+    })) {
+        Ok(r) => r,
+        Err(payload) => {
+            *plan = GenPlan::new();
+            Err(panic_error(payload))
+        }
+    }
+}
+
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> Error {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    Error::Runtime(format!("solver panicked: {msg}"))
 }
 
 /// Scalar element type of one batch request — the `--scalar` axis of
@@ -271,6 +325,51 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(results[1].is_ok());
         assert!(results[2].is_err());
+        assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn generalized_batch_matches_one_at_a_time_bitwise() {
+        let pencils: Vec<(Matrix, Matrix)> = (0..5)
+            .map(|s| {
+                let n = 16 + 4 * (s as usize % 2);
+                let a = gen::random_symmetric(n, 300 + s);
+                let b = gen::symmetric_with_spectrum(&gen::linspace(1.0, 4.0, n), 400 + s);
+                (a, b)
+            })
+            .collect();
+        let eigen = SymmetricEigen::new().nb(4);
+        let sequential: Vec<_> = pencils
+            .iter()
+            .map(|(a, b)| crate::generalized::solve_generalized(a, b, &eigen).unwrap())
+            .collect();
+        for threads in [1, 3] {
+            let batch = BatchDriver::new(eigen)
+                .threads(threads)
+                .solve_all_generalized(&pencils);
+            for (r, s) in batch.iter().zip(&sequential) {
+                bitwise_eq(r.as_ref().unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn one_indefinite_pencil_fails_alone() {
+        let mut pencils: Vec<(Matrix, Matrix)> = (0..4)
+            .map(|s| {
+                (
+                    gen::random_symmetric(12, 500 + s),
+                    gen::symmetric_with_spectrum(&gen::linspace(1.0, 2.0, 12), 600 + s),
+                )
+            })
+            .collect();
+        pencils[1].1[(5, 5)] = -50.0; // drives B indefinite
+        let results = BatchDriver::new(SymmetricEigen::new().nb(4))
+            .threads(2)
+            .solve_all_generalized(&pencils);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
         assert!(results[3].is_ok());
     }
 

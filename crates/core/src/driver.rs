@@ -169,6 +169,12 @@ impl SymmetricEigen {
         self
     }
 
+    /// Configured verification depth (the generalized driver reads this
+    /// to run pencil-level checks in place of the inner standard ones).
+    pub(crate) fn verify_level(&self) -> VerifyLevel {
+        self.verify
+    }
+
     /// Run the solver on the dense symmetric matrix `a` (lower triangle
     /// referenced).
     ///

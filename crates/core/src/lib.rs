@@ -46,7 +46,7 @@ pub mod stage2;
 
 pub use batch::{BatchDriver, BatchSummary, ScalarTag};
 pub use driver::{Scheduler, SymmetricEigen, TwoStageResult, VERIFY_BOUND};
-pub use generalized::solve_generalized;
+pub use generalized::{solve_generalized, solve_generalized_with_plan, GenPlan};
 pub use plan::SolvePlan;
 pub use stage2::V2Set;
 pub use tseig_matrix::diagnostics::{Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};

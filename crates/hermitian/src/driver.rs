@@ -116,6 +116,13 @@ impl HermitianEigen {
         self
     }
 
+    /// Requested verification depth — read by the generalized driver,
+    /// which verifies at the pencil level instead of the standard-`C`
+    /// level.
+    pub(crate) fn verify_level(&self) -> VerifyLevel {
+        self.verify
+    }
+
     /// Solve the dense Hermitian eigenproblem (lower triangle of `a`
     /// referenced; the diagonal's imaginary part is ignored). Generic
     /// over the complex element width: `CMatrix` (= `CMatrixG<C64>`)

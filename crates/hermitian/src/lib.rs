@@ -29,6 +29,7 @@
 pub mod backtransform;
 pub mod ckernels;
 pub mod driver;
+pub mod generalized;
 pub mod stage1;
 pub mod stage2;
 pub mod validate;

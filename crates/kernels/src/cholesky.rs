@@ -9,7 +9,7 @@
 use crate::blas3::{syrk_lower, Trans};
 use crate::contract;
 use crate::flops::{add, add_bytes, Level};
-use tseig_matrix::{Error, Matrix, Result};
+use tseig_matrix::{chaos, Error, Matrix, Result};
 
 /// Blocked Cholesky factorization of an SPD matrix (lower triangle
 /// referenced and overwritten with `L`). Fails with
@@ -20,6 +20,15 @@ pub fn potrf_lower(a: &mut Matrix, nb: usize) -> Result<()> {
     let n = a.rows();
     let lda = a.ld();
     let nb = nb.max(1);
+    if contract::enabled() {
+        contract::require_mat("potrf_lower", "a", a.as_slice(), n, n, lda);
+        contract::require_finite_lower("potrf_lower", "a", a.as_slice(), n, lda);
+    }
+    if chaos::fire(chaos::Site::CholBreakdown) {
+        return Err(Error::InvalidArgument(
+            "matrix not positive definite (pivot -1.000e0 at 0) [chaos]".to_string(),
+        ));
+    }
     add(Level::L3, (n * n * n / 3) as u64);
     // The stored triangle is read and written once per rank-nb update.
     add_bytes(Level::L3, (n * n) as u64 * n.div_ceil(nb).max(1) as u64 * 8);
@@ -94,8 +103,11 @@ pub fn trsm_left_lower(
     let lda = l.ld();
     let ld = l.as_slice();
     if contract::enabled() {
+        contract::require_mat("trsm_left_lower", "l", ld, m, m, lda);
         contract::require_mat("trsm_left_lower", "b", b, m, n, ldb);
         contract::require_no_alias("trsm_left_lower", "l", ld, "b", b);
+        contract::require_finite_lower("trsm_left_lower", "l", ld, m, lda);
+        contract::require_finite_mat("trsm_left_lower", "b", b, m, n, ldb);
     }
     add(Level::L3, (m * m * n) as u64);
     // L's triangle is re-streamed once per B column, B read and written.
@@ -145,8 +157,11 @@ pub fn trsm_right_lower_trans(m: usize, n: usize, l: &Matrix, b: &mut [f64], ldb
     let lda = l.ld();
     let ld = l.as_slice();
     if contract::enabled() {
+        contract::require_mat("trsm_right_lower_trans", "l", ld, n, n, lda);
         contract::require_mat("trsm_right_lower_trans", "b", b, m, n, ldb);
         contract::require_no_alias("trsm_right_lower_trans", "l", ld, "b", b);
+        contract::require_finite_lower("trsm_right_lower_trans", "l", ld, n, lda);
+        contract::require_finite_mat("trsm_right_lower_trans", "b", b, m, n, ldb);
     }
     add(Level::L3, (m * n * n) as u64);
     // Each column j of B re-reads columns 0..j (X so far) plus L's row j.
@@ -188,6 +203,12 @@ fn split_two(b: &mut [f64], k: usize, j: usize, ldb: usize, m: usize) -> (&[f64]
 pub fn sygst(a: &Matrix, l: &Matrix) -> Matrix {
     let n = a.rows();
     assert_eq!(a.cols(), n);
+    if contract::enabled() {
+        contract::require_mat("sygst", "a", a.as_slice(), n, n, a.ld());
+        contract::require_mat("sygst", "l", l.as_slice(), n, n, l.ld());
+        contract::require_finite_lower("sygst", "a", a.as_slice(), n, a.ld());
+        contract::require_finite_lower("sygst", "l", l.as_slice(), n, l.ld());
+    }
     let mut c = a.clone();
     c.symmetrize_from_lower();
     // X = L^-1 A

@@ -154,6 +154,26 @@ pub fn screen_symmetric(a: &Matrix) -> Result<f64> {
     Ok(anorm)
 }
 
+/// Max-abs entry of a general dense matrix — `DLANGE('M')`.
+pub fn lange_max(a: &Matrix) -> f64 {
+    a.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Screen a general dense input (the SVD driver's entry check): every
+/// entry must be finite. No symmetry is assumed. Returns the max-abs
+/// norm (`lange_max`) for the scaling decision.
+pub fn screen_general(a: &Matrix) -> Result<f64> {
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            let v = a[(i, j)];
+            if !v.is_finite() {
+                return Err(invalid_entry(i, j, v));
+            }
+        }
+    }
+    Ok(lange_max(a))
+}
+
 /// Screen a dense Hermitian input: every entry finite,
 /// `|a_ij - conj(a_ji)|` within tolerance off the diagonal, and the
 /// diagonal real to the same tolerance (the pipeline reads only the
@@ -280,6 +300,17 @@ mod tests {
         a[(0, 3)] = c64(0.3, 0.7); // breaks conj symmetry
         match screen_hermitian(&a) {
             Err(Error::InvalidData { row: 0, col: 3, .. }) => {}
+            other => panic!("wrong screening result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn screen_general_accepts_asymmetry_rejects_nan() {
+        let mut a = Matrix::from_fn(4, 3, |i, j| (i as f64) - 2.0 * (j as f64));
+        assert_eq!(screen_general(&a).unwrap(), lange_max(&a));
+        a[(2, 1)] = f64::INFINITY;
+        match screen_general(&a) {
+            Err(Error::InvalidData { row: 2, col: 1, .. }) => {}
             other => panic!("wrong screening result: {other:?}"),
         }
     }

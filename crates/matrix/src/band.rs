@@ -235,6 +235,184 @@ impl SymBandMatrix {
     }
 }
 
+/// General (non-symmetric) square band matrix in LAPACK band layout.
+///
+/// The SVD's band-bidiagonal bulge chase works on an *upper* band of `ku`
+/// logical super-diagonals, but while a bulge is in flight the left
+/// reflectors create fill-in up to `kl` rows below the diagonal and the
+/// right reflectors up to `ku` extra columns beyond it. All stored
+/// diagonals are allocated up front so the chase never reallocates:
+/// element `A(i, j)` with `j - ku <= i <= j + kl` lives at
+/// `ab[(ku + i - j) + j * ldab]`, `ldab = kl + ku + 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeBandMatrix {
+    n: usize,
+    /// Stored sub-diagonals (bulge workspace below the diagonal).
+    kl: usize,
+    /// Stored super-diagonals (logical band plus bulge workspace).
+    ku: usize,
+    /// `ldab x n` column-major buffer, `ldab = kl + ku + 1`.
+    ab: Vec<f64>,
+}
+
+impl Default for GeBandMatrix {
+    /// The empty order-0 band matrix.
+    fn default() -> Self {
+        GeBandMatrix::zeros(0, 0, 0)
+    }
+}
+
+impl GeBandMatrix {
+    /// Zero-filled general band matrix of order `n` with `kl` stored
+    /// sub-diagonals and `ku` stored super-diagonals.
+    pub fn zeros(n: usize, kl: usize, ku: usize) -> Self {
+        let ldab = kl + ku + 1;
+        GeBandMatrix {
+            n,
+            kl,
+            ku,
+            ab: vec![0.0; ldab * n],
+        }
+    }
+
+    /// Extract the `(kl, ku)` band of a dense square matrix.
+    pub fn from_dense(a: &Matrix, kl: usize, ku: usize) -> Self {
+        assert_eq!(a.rows(), a.cols());
+        let n = a.rows();
+        let mut b = GeBandMatrix::zeros(n, kl, ku);
+        for j in 0..n {
+            for i in j.saturating_sub(ku)..(j + kl + 1).min(n) {
+                b.set(i, j, a[(i, j)]);
+            }
+        }
+        b
+    }
+
+    /// Order of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored sub-diagonals.
+    #[inline]
+    pub fn kl(&self) -> usize {
+        self.kl
+    }
+
+    /// Stored super-diagonals.
+    #[inline]
+    pub fn ku(&self) -> usize {
+        self.ku
+    }
+
+    /// Leading dimension of the band buffer.
+    #[inline]
+    pub fn ldab(&self) -> usize {
+        self.kl + self.ku + 1
+    }
+
+    /// `true` iff `(i, j)` lies inside the stored diagonals.
+    #[inline]
+    pub fn in_store(&self, i: usize, j: usize) -> bool {
+        i < self.n && j < self.n && i + self.ku >= j && i <= j + self.kl
+    }
+
+    /// Read `A(i, j)`; elements outside the stored band read as zero.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if self.in_store(i, j) {
+            self.ab[(self.ku + i - j) + j * self.ldab()]
+        } else {
+            0.0
+        }
+    }
+
+    /// Write `A(i, j)`. Panics outside the stored diagonals.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            self.in_store(i, j),
+            "write outside stored band: ({i},{j}), kl {} ku {}",
+            self.kl,
+            self.ku
+        );
+        let ldab = self.ldab();
+        self.ab[(self.ku + i - j) + j * ldab] = v;
+    }
+
+    /// Raw band buffer (column-major, `ldab x n`).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.ab
+    }
+
+    /// Raw band buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.ab
+    }
+
+    /// Expand to a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            for i in j.saturating_sub(self.ku)..(j + self.kl + 1).min(self.n) {
+                m[(i, j)] = self.get(i, j);
+            }
+        }
+        m
+    }
+
+    /// Extract the upper bidiagonal `(d, e)` from the diagonal and first
+    /// super-diagonal into caller-owned storage: `d` must have length `n`
+    /// and `e` length `n - 1` (both empty for `n == 0`). Valid once the
+    /// bulge chase has driven the band to bidiagonal form.
+    pub fn to_bidiagonal_into(&self, d: &mut [f64], e: &mut [f64]) {
+        assert_eq!(d.len(), self.n);
+        assert_eq!(e.len(), self.n.saturating_sub(1));
+        for (j, dj) in d.iter_mut().enumerate() {
+            *dj = self.get(j, j);
+        }
+        for (j, ej) in e.iter_mut().enumerate() {
+            *ej = self.get(j, j + 1);
+        }
+    }
+
+    /// Largest absolute value stored off the main diagonal and first
+    /// super-diagonal. Zero once the chase has finished.
+    pub fn max_outside_bidiagonal(&self) -> f64 {
+        let mut m = 0.0f64;
+        for j in 0..self.n {
+            for i in j.saturating_sub(self.ku)..(j + self.kl + 1).min(self.n) {
+                if i == j || (j == i + 1) {
+                    continue;
+                }
+                m = m.max(self.get(i, j).abs());
+            }
+        }
+        m
+    }
+
+    /// Reset in place to a zero band of the given shape, reusing the
+    /// buffer; allocation-free once capacity covers the largest shape
+    /// seen.
+    pub fn reset(&mut self, n: usize, kl: usize, ku: usize) {
+        let ldab = kl + ku + 1;
+        self.n = n;
+        self.kl = kl;
+        self.ku = ku;
+        self.ab.clear();
+        self.ab.reserve_exact(ldab * n);
+        self.ab.resize(ldab * n, 0.0);
+    }
+
+    /// Bytes of heap capacity retained by the band buffer.
+    pub fn capacity_bytes(&self) -> usize {
+        self.ab.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +472,59 @@ mod tests {
         let t = b.to_tridiagonal();
         assert_eq!(t.diag(), &[1.0, 2.0, 3.0]);
         assert_eq!(t.off_diag(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn geband_roundtrip_and_bounds() {
+        let n = 6;
+        let (kl, ku) = (1, 3);
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i + ku >= j && i <= j + kl {
+                (1 + 2 * i + 3 * j) as f64
+            } else {
+                0.0
+            }
+        });
+        let b = GeBandMatrix::from_dense(&a, kl, ku);
+        assert!(b.to_dense().approx_eq(&a, 0.0));
+        assert_eq!(b.get(5, 0), 0.0); // outside band reads as zero
+        assert!(!b.in_store(0, 5));
+        assert!(b.in_store(0, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn geband_write_outside_band_panics() {
+        let mut b = GeBandMatrix::zeros(5, 1, 2);
+        b.set(4, 0, 1.0);
+    }
+
+    #[test]
+    fn geband_bidiagonal_extraction() {
+        let mut b = GeBandMatrix::zeros(3, 0, 2);
+        for j in 0..3 {
+            b.set(j, j, (j + 1) as f64);
+        }
+        b.set(0, 1, -1.0);
+        b.set(1, 2, -2.0);
+        assert_eq!(b.max_outside_bidiagonal(), 0.0);
+        b.set(0, 2, 0.25);
+        assert_eq!(b.max_outside_bidiagonal(), 0.25);
+        let (mut d, mut e) = (vec![0.0; 3], vec![0.0; 2]);
+        b.to_bidiagonal_into(&mut d, &mut e);
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+        assert_eq!(e, vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn geband_reset_reuses_buffer() {
+        let mut b = GeBandMatrix::zeros(8, 2, 4);
+        let cap = b.capacity_bytes();
+        b.set(3, 3, 9.0);
+        b.reset(6, 2, 4);
+        assert_eq!(b.get(3, 3), 0.0);
+        assert_eq!(b.n(), 6);
+        assert!(b.capacity_bytes() >= cap.min(b.ldab() * 6 * 8));
     }
 
     #[test]

@@ -34,15 +34,21 @@ pub enum Site {
     SteinNoConv,
     /// Bisection: return NaN for one eigenvalue.
     BisectNan,
+    /// `bdsqr`: report the bidiagonal QR iteration cap as exceeded.
+    BdsqrNoConv,
+    /// `potrf`: report a non-positive pivot (Cholesky breakdown).
+    CholBreakdown,
 }
 
 /// Every site, in `Plan` slot order.
-pub const ALL_SITES: [Site; 5] = [
+pub const ALL_SITES: [Site; 7] = [
     Site::TaskPanic,
     Site::SecularNan,
     Site::QrNoConv,
     Site::SteinNoConv,
     Site::BisectNan,
+    Site::BdsqrNoConv,
+    Site::CholBreakdown,
 ];
 
 impl Site {
@@ -54,6 +60,8 @@ impl Site {
             Site::QrNoConv => "qr-noconv",
             Site::SteinNoConv => "stein-noconv",
             Site::BisectNan => "bisect-nan",
+            Site::BdsqrNoConv => "bdsqr-noconv",
+            Site::CholBreakdown => "chol-breakdown",
         }
     }
 
@@ -64,6 +72,8 @@ impl Site {
             Site::QrNoConv => 2,
             Site::SteinNoConv => 3,
             Site::BisectNan => 4,
+            Site::BdsqrNoConv => 5,
+            Site::CholBreakdown => 6,
         }
     }
 
@@ -76,7 +86,7 @@ impl Site {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Plan {
     skip: u64,
-    counts: [u64; 5],
+    counts: [u64; 7],
 }
 
 impl Plan {
@@ -158,7 +168,7 @@ mod active {
 
     struct State {
         plan: Plan,
-        seen: [u64; 5],
+        seen: [u64; 7],
     }
 
     fn lock() -> MutexGuard<'static, State> {
@@ -172,7 +182,7 @@ mod active {
                     .ok()
                     .and_then(|s| Plan::parse(&s).ok())
                     .unwrap_or_default();
-                Mutex::new(State { plan, seen: [0; 5] })
+                Mutex::new(State { plan, seen: [0; 7] })
             })
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -193,7 +203,7 @@ mod active {
     pub fn install(plan: Plan) {
         let mut st = lock();
         st.plan = plan;
-        st.seen = [0; 5];
+        st.seen = [0; 7];
     }
 
     /// Back to inert: no site fires until the next install.

@@ -31,6 +31,19 @@ pub enum Recovery {
     /// Bisection returned a non-finite value for eigenvalue `index` and
     /// the bisection was redone.
     BisectionRetry { index: usize },
+    /// Cholesky factorization of the pencil's `B` broke down (non-positive
+    /// pivot); the factorization was retried with `B + shift*I` after
+    /// `attempts` escalations. The pencil solved is a perturbation of the
+    /// input, so the solve is flagged degraded.
+    CholeskyShiftRetry { shift: f64, attempts: usize },
+    /// The pencil's `B` looked ill-conditioned (estimated `kappa(B)` —
+    /// the squared diagonal spread of its Cholesky factor `L` — beyond
+    /// `1/sqrt(eps)`); the transformed matrix `C = L^-1 A L^-T` was
+    /// explicitly re-symmetrized before the standard solve.
+    PencilSymmetrized { cond: f64 },
+    /// The bidiagonal QR (`bdsqr`) hit its iteration cap; the bidiagonal
+    /// was perturbed at machine precision and the sweep re-run.
+    BdsqrPerturbedRetry { index: usize },
 }
 
 impl fmt::Display for Recovery {
@@ -55,6 +68,21 @@ impl fmt::Display for Recovery {
             Recovery::BisectionRetry { index } => {
                 write!(f, "bisection redone for non-finite eigenvalue {index}")
             }
+            Recovery::CholeskyShiftRetry { shift, attempts } => write!(
+                f,
+                "Cholesky breakdown on B; refactored with B + {shift:.3e} I \
+                 after {attempts} attempt(s)"
+            ),
+            Recovery::PencilSymmetrized { cond } => write!(
+                f,
+                "ill-conditioned pencil (estimated kappa(B) {cond:.3e}); \
+                 C = L^-1 A L^-T explicitly re-symmetrized"
+            ),
+            Recovery::BdsqrPerturbedRetry { index } => write!(
+                f,
+                "bidiagonal QR hit its iteration cap at value {index}; \
+                 retried from an eps-perturbed bidiagonal"
+            ),
         }
     }
 }

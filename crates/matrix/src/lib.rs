@@ -31,7 +31,7 @@ pub mod tile;
 pub mod tridiagonal;
 pub mod workspace;
 
-pub use band::SymBandMatrix;
+pub use band::{GeBandMatrix, SymBandMatrix};
 pub use complex::{c32, c64, CMatrix, CMatrixG, C32, C64};
 pub use dense::Matrix;
 pub use diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};

@@ -7,6 +7,7 @@
 //! be exploited, and every flop is `gemv`-class memory-bound in the
 //! one-stage form.
 
+use tseig_kernels::contract;
 use tseig_kernels::householder::{larf_left, larf_right, larfg};
 use tseig_matrix::Matrix;
 
@@ -18,6 +19,10 @@ pub fn gebrd(a: &mut Matrix) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "gebrd expects m >= n (tall)");
     let lda = a.ld();
+    if contract::enabled() {
+        contract::require_mat("gebrd", "a", a.as_slice(), m, n, lda);
+        contract::require_finite_mat("gebrd", "a", a.as_slice(), m, n, lda);
+    }
     let mut tauq = vec![0.0f64; n];
     let mut taup = vec![0.0f64; n.saturating_sub(1)];
     let mut d = vec![0.0f64; n];

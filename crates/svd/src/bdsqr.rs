@@ -9,7 +9,8 @@
 //! super-diagonals; a negligible *diagonal* is handled by the classical
 //! row-annihilation sweep so singular matrices converge too.
 
-use tseig_matrix::{Error, Matrix, Result};
+use tseig_kernels::contract;
+use tseig_matrix::{chaos, Error, Matrix, Result};
 
 const MAX_ITER_PER_VALUE: usize = 60;
 
@@ -37,6 +38,18 @@ pub fn bdsqr(
     }
     if let Some(m) = v.as_ref() {
         assert_eq!(m.cols(), n, "V must have n columns");
+    }
+    if contract::enabled() {
+        contract::require_vec("bdsqr", "d", d, n);
+        contract::require_vec("bdsqr", "e", e, n.saturating_sub(1));
+        contract::require_finite_vec("bdsqr", "d", d, n);
+        contract::require_finite_vec("bdsqr", "e", e, n.saturating_sub(1));
+    }
+    if chaos::fire(chaos::Site::BdsqrNoConv) {
+        return Err(Error::NoConvergence {
+            index: n - 1,
+            iterations: MAX_ITER_PER_VALUE * n,
+        });
     }
     let eps = f64::EPSILON;
 

@@ -18,6 +18,8 @@
 
 pub mod bdsqr;
 pub mod drivers;
+pub mod stage1;
+pub mod stage2;
 
 pub use bdsqr::bdsqr;
-pub use drivers::{gesvd, Svd};
+pub use drivers::{gesvd, GeSvd, Svd, SvdBatch, SvdMethod, SvdPlan};

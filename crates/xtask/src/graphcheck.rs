@@ -40,8 +40,10 @@ const SWEEP_THREADS: &[usize] = &[1, 2, 3, 4, 6];
 type SpecFn = fn(usize, usize) -> Vec<TaskSpec>;
 type OwnerFn = fn(usize, usize, usize) -> Vec<usize>;
 
-/// The two production task-graph builders, by name, with the source file
-/// their declarations live in (for annotations).
+/// The production task-graph builders, by name, with the source file
+/// their declarations live in (for annotations). `svd` is the
+/// band-bidiagonal bulge chase — same interval-footprint discipline over
+/// its own `BAND_SPACE`/`BV_SPACE`.
 const BUILDERS: &[(&str, &str, SpecFn, OwnerFn)] = &[
     (
         "core",
@@ -54,6 +56,12 @@ const BUILDERS: &[(&str, &str, SpecFn, OwnerFn)] = &[
         "crates/hermitian/src/stage2.rs",
         tseig_hermitian::stage2::chase_task_specs,
         tseig_hermitian::stage2::chase_task_owners,
+    ),
+    (
+        "svd",
+        "crates/svd/src/stage2.rs",
+        tseig_svd::stage2::chase_task_specs,
+        tseig_svd::stage2::chase_task_owners,
     ),
 ];
 
@@ -194,7 +202,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_certifies_both_builders() {
+    fn sweep_certifies_every_builder() {
         let reports = run_sweep();
         assert_eq!(
             reports.len(),
@@ -221,6 +229,7 @@ mod tests {
         assert!(cert.contains("\"schema\": \"tseig-graphcheck/1\""));
         assert!(cert.contains("\"ok\": true"));
         assert!(cert.contains("\"builder\": \"hermitian\""));
+        assert!(cert.contains("\"builder\": \"svd\""));
         // Parseable enough for CI consumers: balanced braces/brackets.
         assert_eq!(cert.matches('{').count(), cert.matches('}').count());
         assert_eq!(cert.matches('[').count(), cert.matches(']').count());

@@ -3,7 +3,7 @@
 //!
 //! The repo's concurrency argument (disjoint `jc`/`ic` panels in the
 //! packed GEMM, region-serialized `DataCell` access in the task runtime)
-//! and its ISA-gated intrinsics live in exactly three files. Everything
+//! and its ISA-gated intrinsics live in exactly four files. Everything
 //! else must stay safe Rust: a new `unsafe` block anywhere else is a
 //! build failure until this allowlist is deliberately extended in
 //! review.
@@ -16,8 +16,9 @@ use crate::Diag;
 ///
 /// * `runtime/src/data.rs` — the `DataCell` interior-mutability core; the
 ///   runtime's region serialization is the safety argument.
-/// * `core/src/stage2.rs` and `hermitian/src/stage2.rs` — the real and
-///   complex bulge-chase tasks reading/writing the shared band through
+/// * `core/src/stage2.rs`, `hermitian/src/stage2.rs`, and
+///   `svd/src/stage2.rs` — the real, complex, and band-bidiagonal
+///   bulge-chase tasks reading/writing the shared band through
 ///   `DataCell` under the scheduler's region guarantee (identical chase
 ///   geometry, so the same region protocol and safety argument).
 /// * `kernels/src/blas3/simd.rs` — the `std::arch` GEMM microkernels;
@@ -27,6 +28,7 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/runtime/src/data.rs",
     "crates/core/src/stage2.rs",
     "crates/hermitian/src/stage2.rs",
+    "crates/svd/src/stage2.rs",
     "crates/kernels/src/blas3/simd.rs",
 ];
 

@@ -248,3 +248,82 @@ fn batch_isolates_an_injected_qr_failure() {
     }
     assert_eq!(degraded, 1, "exactly the injected failure degrades");
 }
+
+#[test]
+fn chol_breakdown_is_rescued_by_shift() {
+    // An injected Cholesky breakdown on a perfectly good SPD B: the
+    // driver reloads B with a diagonal shift, refactors (the chaos
+    // budget is spent), and reports the detour.
+    let n = 24;
+    let a = gen::random_symmetric(n, 71);
+    let b = gen::symmetric_with_spectrum(&gen::linspace(1.0, 3.0, n), 72);
+    let plan = Plan::new().with(Site::CholBreakdown, 1);
+    let r = with_plan(plan, || {
+        tseig_core::solve_generalized(&a, &b, &SymmetricEigen::new().nb(6))
+            .expect("shift retry must rescue the injected breakdown")
+    });
+    assert!(r.diagnostics.degraded);
+    assert!(
+        has(&r, |x| matches!(x, Recovery::CholeskyShiftRetry { .. })),
+        "{:?}",
+        r.diagnostics.recoveries
+    );
+    // The shift is O(n eps ||B||): the pencil residual must stay healthy.
+    let x = r.eigenvectors.as_ref().expect("vectors");
+    let res = tseig_core::generalized::generalized_residual(&a, &b, &r.eigenvalues, x);
+    assert!(res < 500.0, "pencil residual {res}");
+}
+
+#[test]
+fn chol_breakdown_exhausting_all_shifts_is_a_structured_error() {
+    // Enough injected breakdowns to outlast every shift escalation: the
+    // driver must surface the original structured error, not panic.
+    let n = 16;
+    let a = gen::random_symmetric(n, 73);
+    let b = gen::symmetric_with_spectrum(&gen::linspace(1.0, 2.0, n), 74);
+    let plan = Plan::new().with(Site::CholBreakdown, 4); // initial + 3 retries
+    let r = with_plan(plan, || {
+        tseig_core::solve_generalized(&a, &b, &SymmetricEigen::new().nb(4))
+    });
+    match r {
+        Err(Error::InvalidArgument(msg)) => {
+            assert!(msg.contains("positive definite"), "{msg}")
+        }
+        other => panic!("expected the Cholesky breakdown error, got {other:?}"),
+    }
+}
+
+#[test]
+fn gen_batch_isolates_an_injected_breakdown() {
+    // A mixed batch of pencils with one injected Cholesky breakdown:
+    // the hit request degrades through the shift rung, everything else
+    // stays clean, and no request errors.
+    let pencils: Vec<(Matrix, Matrix)> = (0..4)
+        .map(|s| {
+            (
+                gen::random_symmetric(20, 80 + s),
+                gen::symmetric_with_spectrum(&gen::linspace(1.0, 4.0, 20), 90 + s),
+            )
+        })
+        .collect();
+    // skip(2): requests 0 and 1 factor cleanly (one potrf tick each on a
+    // single worker), request 2 takes the hit, its retry consumes tick 3.
+    let plan = Plan::new().with(Site::CholBreakdown, 1).skip(2);
+    let results = with_plan(plan, || {
+        tseig_core::BatchDriver::new(SymmetricEigen::new().nb(5))
+            .threads(1)
+            .solve_all_generalized(&pencils)
+    });
+    let mut degraded = Vec::new();
+    for (i, ((a, b), r)) in pencils.iter().zip(&results).enumerate() {
+        let r = r.as_ref().expect("no request may fail outright");
+        let x = r.eigenvectors.as_ref().expect("vectors");
+        let res = tseig_core::generalized::generalized_residual(a, b, &r.eigenvalues, x);
+        assert!(res < 500.0, "request {i}: pencil residual {res}");
+        if r.diagnostics.degraded {
+            degraded.push(i);
+            assert!(has(r, |x| matches!(x, Recovery::CholeskyShiftRetry { .. })));
+        }
+    }
+    assert_eq!(degraded, vec![2], "exactly the injected failure degrades");
+}
