@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tseig_bench::workload;
 use tseig_core::stage2::{reduce, reduce_scheduled, Stage2Exec};
-use tseig_matrix::Matrix;
+use tseig_matrix::{Ctrl, Matrix};
 
 fn q2_grouping(c: &mut Criterion) {
     let n = 384;
@@ -53,10 +53,14 @@ fn stage2_schedulers(c: &mut Criterion) {
     g.bench_function("serial", |b| b.iter(|| reduce(bf.band.clone())));
     for t in [1usize, 2, 4] {
         g.bench_function(BenchmarkId::new("static", t), |b| {
-            b.iter(|| reduce_scheduled(bf.band.clone(), Stage2Exec::Static(t)).unwrap())
+            b.iter(|| {
+                reduce_scheduled(bf.band.clone(), Stage2Exec::Static(t), &Ctrl::NONE).unwrap()
+            })
         });
         g.bench_function(BenchmarkId::new("dynamic", t), |b| {
-            b.iter(|| reduce_scheduled(bf.band.clone(), Stage2Exec::Dynamic(t)).unwrap())
+            b.iter(|| {
+                reduce_scheduled(bf.band.clone(), Stage2Exec::Dynamic(t), &Ctrl::NONE).unwrap()
+            })
         });
     }
     g.finish();

@@ -29,7 +29,7 @@ fn run(label: &str, scheduler: Scheduler) {
             .method(Method::Qr)
             .scheduler(scheduler);
         let inputs: Vec<Matrix> = (0..jobs).map(|s| workload(n, 900 + s as u64)).collect();
-        let batch = BatchDriver::new(eigen).threads(1);
+        let batch = BatchDriver::new(eigen.clone()).threads(1);
 
         let time_loop = || {
             let (rs, t) = time(|| {

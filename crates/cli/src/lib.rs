@@ -2,9 +2,13 @@
 //! parsing and command logic are unit-testable).
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 use tseig_core::{BatchDriver, BatchSummary, ScalarTag, Scheduler, SymmetricEigen, VerifyLevel};
 use tseig_hermitian::HermitianEigen;
-use tseig_matrix::{io as mmio, norms, CMatrix, CMatrixG, ComplexScalar, Matrix, C32};
+use tseig_matrix::{
+    io as mmio, norms, CMatrix, CMatrixG, ComplexScalar, Ctrl, Deadline, Error, Matrix, MemBudget,
+    C32,
+};
 use tseig_tridiag::{EigenRange, Method};
 
 /// Usage text.
@@ -16,6 +20,7 @@ usage:
   tseig batch <in.jsonl> [-o out.jsonl] [--kind eig|svd|gen] [--nb N]
               [--method dc|qr|bisect] [--scheduler serial|static:T|dynamic:T]
               [--threads T] [--vectors] [--scalar f32|f64|c32|c64]
+              [--deadline-ms MS] [--mem-budget BYTES] [--watchdog-ms MS]
   tseig svd   <A.mtx> [--values-only] [--u-out U.mtx] [--v-out V.mtx]
   tseig info  <A.mtx>
 
@@ -43,7 +48,13 @@ interleaved layout. f32/c32 parse every entry at 32-bit precision (c32
 also computes at it); real f32 requests then solve through the f64
 pipeline, so f32 is I/O precision only. Eigenvalues are always f64.
 --kind gen solves A x = lambda B x (symmetric/Hermitian A, SPD B) at all
-four element types; --kind svd is real-only (f32/f64).";
+four element types; --kind svd is real-only (f32/f64).
+--deadline-ms caps each request's wall clock (overruns fail that line
+with \"error_kind\": \"deadline_exceeded\"); --mem-budget rejects requests
+whose solve plan would exceed BYTES before allocating anything
+(\"budget_exceeded\"); --watchdog-ms cancels a worker whose progress
+heartbeat stays flat for MS and quarantines its plan. A governed abort
+fails its own request only — the batch always drains and exits 0.";
 
 /// Workload of one `tseig batch` run: standard eigenproblems (the
 /// default), SVDs, or generalized `A x = lambda B x` pencils.
@@ -53,6 +64,18 @@ pub enum BatchKind {
     Eig,
     Svd,
     Gen,
+}
+
+/// Request-lifecycle knobs of one batch run (`--deadline-ms`,
+/// `--mem-budget`, `--watchdog-ms`); all optional, all per request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchGovernor {
+    /// Wall-clock budget per request, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Admission ceiling on the per-request plan size, bytes.
+    pub mem_budget: Option<usize>,
+    /// Stuck-worker watchdog interval, milliseconds.
+    pub watchdog_ms: Option<u64>,
 }
 
 impl BatchKind {
@@ -91,6 +114,7 @@ pub enum Cli {
         threads: usize,
         vectors: bool,
         scalar: ScalarTag,
+        governor: BatchGovernor,
     },
     Svd {
         path: String,
@@ -199,6 +223,20 @@ impl Cli {
                         .ok_or_else(|| format!("bad --kind {v}, expected eig|svd|gen"))?,
                     None => BatchKind::Eig,
                 };
+                let governor = BatchGovernor {
+                    deadline_ms: match flag_value("--deadline-ms") {
+                        Some(v) => Some(v.parse().map_err(|_| format!("bad --deadline-ms {v}"))?),
+                        None => None,
+                    },
+                    mem_budget: match flag_value("--mem-budget") {
+                        Some(v) => Some(v.parse().map_err(|_| format!("bad --mem-budget {v}"))?),
+                        None => None,
+                    },
+                    watchdog_ms: match flag_value("--watchdog-ms") {
+                        Some(v) => Some(v.parse().map_err(|_| format!("bad --watchdog-ms {v}"))?),
+                        None => None,
+                    },
+                };
                 Ok(Cli::Batch {
                     path,
                     out: flag_value("-o").map(String::from),
@@ -209,6 +247,7 @@ impl Cli {
                     threads,
                     vectors: has_flag("--vectors"),
                     scalar,
+                    governor,
                 })
             }
             "svd" => Ok(Cli::Svd {
@@ -363,17 +402,20 @@ pub fn run<R: BufRead, W: Write>(
             threads,
             vectors,
             scalar,
+            governor,
         } => {
             let input = open(path)?;
             let t0 = std::time::Instant::now();
             let (lines, mut summary) = match kind {
-                BatchKind::Eig => {
-                    batch_eig(input, *nb, *method, *scheduler, *threads, *vectors, *scalar)?
-                }
-                BatchKind::Svd => batch_svd(input, *nb, *scheduler, *threads, *vectors, *scalar)?,
-                BatchKind::Gen => {
-                    batch_gen(input, *nb, *method, *scheduler, *threads, *vectors, *scalar)?
-                }
+                BatchKind::Eig => batch_eig(
+                    input, *nb, *method, *scheduler, *threads, *vectors, *scalar, *governor,
+                )?,
+                BatchKind::Svd => batch_svd(
+                    input, *nb, *scheduler, *threads, *vectors, *scalar, *governor,
+                )?,
+                BatchKind::Gen => batch_gen(
+                    input, *nb, *method, *scheduler, *threads, *vectors, *scalar, *governor,
+                )?,
             };
             let wall = t0.elapsed();
             summary.wall = wall;
@@ -390,8 +432,17 @@ pub fn run<R: BufRead, W: Write>(
                     }
                 }
             }
+            let lifecycle =
+                if summary.deadline_exceeded + summary.stuck_workers + summary.worker_rescues > 0 {
+                    format!(
+                        "; {} deadline-exceeded, {} stuck, {} rescued",
+                        summary.deadline_exceeded, summary.stuck_workers, summary.worker_rescues,
+                    )
+                } else {
+                    String::new()
+                };
             eprintln!(
-                "batch[{}]: {} requests in {:.2?} ({} clean, {} degraded, {} failed; {})",
+                "batch[{}]: {} requests in {:.2?} ({} clean, {} degraded, {} failed{}; {})",
                 match kind {
                     BatchKind::Eig => "eig",
                     BatchKind::Svd => "svd",
@@ -402,6 +453,7 @@ pub fn run<R: BufRead, W: Write>(
                 summary.clean,
                 summary.degraded,
                 summary.failed,
+                lifecycle,
                 summary.scalar_counts(),
             );
             Ok(())
@@ -472,10 +524,38 @@ fn read_requests<R: BufRead, Q>(
     Ok((ids, tags, requests))
 }
 
+/// Apply the governance knobs to a [`BatchDriver`].
+fn governed_driver(driver: BatchDriver, gov: BatchGovernor) -> BatchDriver {
+    let mut driver = driver;
+    if let Some(ms) = gov.deadline_ms {
+        driver = driver.deadline(Duration::from_millis(ms));
+    }
+    if let Some(b) = gov.mem_budget {
+        driver = driver.mem_budget(MemBudget::bytes(b));
+    }
+    if let Some(ms) = gov.watchdog_ms {
+        driver = driver.watchdog(Duration::from_millis(ms));
+    }
+    driver
+}
+
+/// The Hermitian driver for one request under the governance knobs
+/// (complex requests solve sequentially, so only the per-request
+/// deadline applies; the pool watchdog never sees them).
+fn governed_herm(herm: &HermitianEigen, gov: BatchGovernor) -> HermitianEigen {
+    match gov.deadline_ms {
+        Some(ms) => herm
+            .clone()
+            .ctrl(Ctrl::new().with_deadline(Deadline::new(Duration::from_millis(ms)))),
+        None => herm.clone(),
+    }
+}
+
 /// `--kind eig`: standard symmetric/Hermitian eigenproblems. Real
 /// requests (f64, plus f32 after the parse-time rounding) go through the
 /// shared worker pool; complex ones solve one at a time through the
 /// Hermitian pipeline.
+#[allow(clippy::too_many_arguments)]
 fn batch_eig<R: BufRead>(
     input: R,
     nb: usize,
@@ -484,6 +564,7 @@ fn batch_eig<R: BufRead>(
     threads: usize,
     vectors: bool,
     scalar: ScalarTag,
+    gov: BatchGovernor,
 ) -> Result<(Vec<String>, BatchSummary), String> {
     let (ids, tags, requests) = read_requests(input, |line, k| parse_batch_line(line, k, scalar))?;
     let mats: Vec<Matrix> = requests
@@ -499,28 +580,29 @@ fn batch_eig<R: BufRead>(
         .scheduler(scheduler)
         .vectors(vectors);
     let herm = herm_options(nb, method, scheduler, vectors);
-    let solved = BatchDriver::new(eigen).threads(threads).solve_all(&mats);
+    let (solved, events) =
+        governed_driver(BatchDriver::new(eigen).threads(threads), gov).solve_all_governed(&mats);
     // Merge solver results back into request order, solving the complex
     // requests in place and tallying everything by type.
-    let mut summary = BatchSummary::default();
+    let mut summary = BatchSummary::default().with_events(events);
     let mut solved_it = solved.into_iter();
     let mut lines: Vec<String> = Vec::with_capacity(requests.len());
     for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
-        let outcome: Result<SolvedLine, String> = match req {
-            Err(e) => Err(e.clone()),
+        let outcome: Result<SolvedLine, LineError> = match req {
+            Err(e) => Err(LineError::parse(e.clone())),
             Ok(BatchRequest::Real(_)) => solved_it
                 .next()
                 .expect("one result per parsed real request")
                 .map(|r| SolvedLine::real(&r))
-                .map_err(|e| e.to_string()),
-            Ok(BatchRequest::C64(a)) => herm
+                .map_err(|e| LineError::of(&e)),
+            Ok(BatchRequest::C64(a)) => governed_herm(&herm, gov)
                 .solve(a)
                 .map(|r| SolvedLine::complex(&r))
-                .map_err(|e| e.to_string()),
-            Ok(BatchRequest::C32(a)) => herm
+                .map_err(|e| LineError::of(&e)),
+            Ok(BatchRequest::C32(a)) => governed_herm(&herm, gov)
                 .solve(a)
                 .map(|r| SolvedLine::complex(&r))
-                .map_err(|e| e.to_string()),
+                .map_err(|e| LineError::of(&e)),
         };
         push_outcome(&mut lines, &mut summary, id, *tag, vectors, outcome);
     }
@@ -531,6 +613,7 @@ fn batch_eig<R: BufRead>(
 /// stream through `BatchDriver::solve_all_generalized`'s worker pool
 /// (per-worker `GenPlan` reuse); complex ones solve through the
 /// Hermitian-definite driver.
+#[allow(clippy::too_many_arguments)]
 fn batch_gen<R: BufRead>(
     input: R,
     nb: usize,
@@ -539,6 +622,7 @@ fn batch_gen<R: BufRead>(
     threads: usize,
     vectors: bool,
     scalar: ScalarTag,
+    gov: BatchGovernor,
 ) -> Result<(Vec<String>, BatchSummary), String> {
     let (ids, tags, requests) = read_requests(input, |line, k| parse_gen_line(line, k, scalar))?;
     let pencils: Vec<(Matrix, Matrix)> = requests
@@ -554,29 +638,28 @@ fn batch_gen<R: BufRead>(
         .scheduler(scheduler)
         .vectors(vectors);
     let herm = herm_options(nb, method, scheduler, vectors);
-    let solved = BatchDriver::new(eigen)
-        .threads(threads)
-        .solve_all_generalized(&pencils);
-    let mut summary = BatchSummary::default();
+    let (solved, events) = governed_driver(BatchDriver::new(eigen).threads(threads), gov)
+        .solve_all_generalized_governed(&pencils);
+    let mut summary = BatchSummary::default().with_events(events);
     let mut solved_it = solved.into_iter();
     let mut lines: Vec<String> = Vec::with_capacity(requests.len());
     for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
-        let outcome: Result<SolvedLine, String> = match req {
-            Err(e) => Err(e.clone()),
+        let outcome: Result<SolvedLine, LineError> = match req {
+            Err(e) => Err(LineError::parse(e.clone())),
             Ok(GenRequest::Real(..)) => solved_it
                 .next()
                 .expect("one result per parsed real pencil")
                 .map(|r| SolvedLine::real(&r))
-                .map_err(|e| e.to_string()),
+                .map_err(|e| LineError::of(&e)),
             Ok(GenRequest::C64(a, b)) => {
-                tseig_hermitian::generalized::solve_generalized(a, b, &herm)
+                tseig_hermitian::generalized::solve_generalized(a, b, &governed_herm(&herm, gov))
                     .map(|r| SolvedLine::complex(&r))
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| LineError::of(&e))
             }
             Ok(GenRequest::C32(a, b)) => {
-                tseig_hermitian::generalized::solve_generalized(a, b, &herm)
+                tseig_hermitian::generalized::solve_generalized(a, b, &governed_herm(&herm, gov))
                     .map(|r| SolvedLine::complex(&r))
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| LineError::of(&e))
             }
         };
         push_outcome(&mut lines, &mut summary, id, *tag, vectors, outcome);
@@ -586,6 +669,7 @@ fn batch_gen<R: BufRead>(
 
 /// `--kind svd`: thin SVDs through `SvdBatch`'s worker pool. Real-only;
 /// wide inputs factor the transpose with `u`/`v` swapped back.
+#[allow(clippy::too_many_arguments)]
 fn batch_svd<R: BufRead>(
     input: R,
     nb: usize,
@@ -593,6 +677,7 @@ fn batch_svd<R: BufRead>(
     threads: usize,
     vectors: bool,
     scalar: ScalarTag,
+    gov: BatchGovernor,
 ) -> Result<(Vec<String>, BatchSummary), String> {
     let (ids, tags, requests) = read_requests(input, |line, k| parse_svd_line(line, k, scalar))?;
     // Tall-or-square working copies, remembering which were transposed.
@@ -616,18 +701,23 @@ fn batch_svd<R: BufRead>(
             Scheduler::Dynamic(t) => tseig_svd::stage2::Stage2Exec::Dynamic(t),
         })
         .vectors(vectors);
-    let solved = tseig_svd::SvdBatch::new(driver)
-        .threads(threads)
-        .solve_all(&mats);
+    let mut batch = tseig_svd::SvdBatch::new(driver).threads(threads);
+    if let Some(ms) = gov.deadline_ms {
+        batch = batch.deadline(Duration::from_millis(ms));
+    }
+    if let Some(b) = gov.mem_budget {
+        batch = batch.mem_budget(MemBudget::bytes(b));
+    }
+    let solved = batch.solve_all(&mats);
     let mut summary = BatchSummary::default();
     let mut solved_it = solved.into_iter().zip(transposed);
     let mut lines: Vec<String> = Vec::with_capacity(requests.len());
     for ((id, tag), req) in ids.iter().zip(&tags).zip(&requests) {
-        let outcome: Result<(tseig_svd::Svd, bool), String> = match req {
-            Err(e) => Err(e.clone()),
+        let outcome: Result<(tseig_svd::Svd, bool), LineError> = match req {
+            Err(e) => Err(LineError::parse(e.clone())),
             Ok(_) => {
                 let (r, t) = solved_it.next().expect("one result per parsed request");
-                r.map(|svd| (svd, t)).map_err(|e| e.to_string())
+                r.map(|svd| (svd, t)).map_err(|e| LineError::of(&e))
             }
         };
         match outcome {
@@ -637,6 +727,9 @@ fn batch_svd<R: BufRead>(
             }
             Err(e) => {
                 summary.record(*tag, Err(()));
+                if e.is_deadline() {
+                    summary.deadline_exceeded += 1;
+                }
                 lines.push(batch_error_line(id, *tag, &e));
             }
         }
@@ -657,6 +750,40 @@ fn herm_options(nb: usize, method: Method, scheduler: Scheduler, vectors: bool) 
         .vectors(vectors)
 }
 
+/// One request's failure as it lands in the JSONL output: the message
+/// plus a machine-readable kind so a caller can distinguish governance
+/// aborts (deadline, budget, cancel) from numerical failures without
+/// parsing prose.
+struct LineError {
+    kind: &'static str,
+    msg: String,
+}
+
+impl LineError {
+    /// A malformed input line (never reached a solver).
+    fn parse(msg: String) -> LineError {
+        LineError { kind: "parse", msg }
+    }
+
+    /// Classify a solver error.
+    fn of(e: &Error) -> LineError {
+        let kind = match e {
+            Error::Cancelled => "cancelled",
+            Error::DeadlineExceeded { .. } => "deadline_exceeded",
+            Error::BudgetExceeded { .. } => "budget_exceeded",
+            _ => "solve",
+        };
+        LineError {
+            kind,
+            msg: e.to_string(),
+        }
+    }
+
+    fn is_deadline(&self) -> bool {
+        self.kind == "deadline_exceeded"
+    }
+}
+
 /// Fold one solved/failed request into its output line and the summary.
 fn push_outcome(
     lines: &mut Vec<String>,
@@ -664,7 +791,7 @@ fn push_outcome(
     id: &str,
     tag: ScalarTag,
     vectors: bool,
-    outcome: Result<SolvedLine, String>,
+    outcome: Result<SolvedLine, LineError>,
 ) {
     match outcome {
         Ok(r) => {
@@ -673,6 +800,9 @@ fn push_outcome(
         }
         Err(e) => {
             summary.record(tag, Err(()));
+            if e.is_deadline() {
+                summary.deadline_exceeded += 1;
+            }
             lines.push(batch_error_line(id, tag, &e));
         }
     }
@@ -1022,10 +1152,11 @@ fn batch_ok_line(id: &str, tag: ScalarTag, r: &SolvedLine, vectors: bool) -> Str
     s
 }
 
-fn batch_error_line(id: &str, tag: ScalarTag, err: &str) -> String {
+fn batch_error_line(id: &str, tag: ScalarTag, err: &LineError) -> String {
     // The error text goes into a JSON string: strip the characters that
     // could break framing rather than implement a full escaper.
     let clean: String = err
+        .msg
         .chars()
         .map(|c| match c {
             '"' => '\'',
@@ -1035,8 +1166,9 @@ fn batch_error_line(id: &str, tag: ScalarTag, err: &str) -> String {
         })
         .collect();
     format!(
-        "{{\"id\": \"{id}\", \"scalar\": \"{}\", \"ok\": false, \"error\": \"{clean}\"}}",
-        tag.name()
+        "{{\"id\": \"{id}\", \"scalar\": \"{}\", \"ok\": false, \"error_kind\": \"{}\", \"error\": \"{clean}\"}}",
+        tag.name(),
+        err.kind,
     )
 }
 
@@ -1176,6 +1308,7 @@ mod tests {
                 threads,
                 vectors,
                 scalar,
+                governor,
             } => {
                 assert_eq!(path, "in.jsonl");
                 assert_eq!(out.as_deref(), Some("out.jsonl"));
@@ -1186,6 +1319,7 @@ mod tests {
                 assert_eq!(threads, 3);
                 assert!(vectors);
                 assert_eq!(scalar, ScalarTag::F64);
+                assert_eq!(governor, BatchGovernor::default());
             }
             _ => panic!("wrong command"),
         }
@@ -1207,6 +1341,95 @@ mod tests {
         assert!(Cli::parse(&args("batch in.jsonl --scheduler bogus:2")).is_err());
         assert!(Cli::parse(&args("batch in.jsonl --scheduler static")).is_err());
         assert!(Cli::parse(&args("batch in.jsonl --scalar f16")).is_err());
+    }
+
+    #[test]
+    fn parse_governance_flags() {
+        match Cli::parse(&args(
+            "batch in.jsonl --deadline-ms 250 --mem-budget 1048576 --watchdog-ms 500",
+        ))
+        .unwrap()
+        {
+            Cli::Batch { governor, .. } => assert_eq!(
+                governor,
+                BatchGovernor {
+                    deadline_ms: Some(250),
+                    mem_budget: Some(1048576),
+                    watchdog_ms: Some(500),
+                }
+            ),
+            _ => panic!("wrong command"),
+        }
+        assert!(Cli::parse(&args("batch in.jsonl --deadline-ms fast")).is_err());
+        assert!(Cli::parse(&args("batch in.jsonl --mem-budget lots")).is_err());
+        assert!(Cli::parse(&args("batch in.jsonl --watchdog-ms soon")).is_err());
+    }
+
+    #[test]
+    fn governed_batch_reports_structured_error_kinds() {
+        // A 2x2 under a 16-byte memory budget must fail admission with
+        // the machine-readable kind; an ungoverned sibling line solves.
+        let jsonl = "\
+{\"id\": \"a\", \"n\": 2, \"data\": [2.0, 1.0, 1.0, 2.0]}\n";
+        let cli = Cli::parse(&args("batch mem.jsonl --nb 4 --method qr --mem-budget 16")).unwrap();
+        let text = run_batch_in_memory(&cli, jsonl);
+        assert!(
+            text.contains("\"ok\": false") && text.contains("\"error_kind\": \"budget_exceeded\""),
+            "missing structured budget error: {text}"
+        );
+        // Zero deadline: structured deadline_exceeded on every line.
+        let cli = Cli::parse(&args("batch mem.jsonl --nb 4 --method qr --deadline-ms 0")).unwrap();
+        let text = run_batch_in_memory(&cli, jsonl);
+        assert!(
+            text.contains("\"error_kind\": \"deadline_exceeded\""),
+            "missing structured deadline error: {text}"
+        );
+        // Generous governance: the line solves exactly as ungoverned.
+        let cli = Cli::parse(&args(
+            "batch mem.jsonl --nb 4 --method qr --deadline-ms 60000 --mem-budget 104857600 --watchdog-ms 60000",
+        ))
+        .unwrap();
+        let governed = run_batch_in_memory(&cli, jsonl);
+        let cli = Cli::parse(&args("batch mem.jsonl --nb 4 --method qr")).unwrap();
+        let plain = run_batch_in_memory(&cli, jsonl);
+        assert_eq!(governed, plain, "governance changed a healthy result");
+    }
+
+    /// Run a batch command over an in-memory JSONL input, returning the
+    /// stdout lines (no `-o`: lines print to stdout, captured here via a
+    /// shared sink on the output path instead).
+    fn run_batch_in_memory(cli: &Cli, jsonl: &str) -> String {
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let jsonl = jsonl.as_bytes().to_vec();
+        let cli = match cli {
+            Cli::Batch { out, .. } if out.is_none() => {
+                let mut c = cli.clone();
+                if let Cli::Batch { out, .. } = &mut c {
+                    *out = Some("mem.out".into());
+                }
+                c
+            }
+            _ => cli.clone(),
+        };
+        run(
+            &cli,
+            |_| Ok(std::io::BufReader::new(std::io::Cursor::new(jsonl.clone()))),
+            move |_| Ok(SharedSink(out2.clone())),
+        )
+        .unwrap();
+        let bytes = out.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
     }
 
     #[test]

@@ -61,7 +61,7 @@ use std::cell::RefCell;
 use tseig_kernels::blas3::{gemm, trmm_unit_lower_left, trmm_upper_left, Trans};
 use tseig_kernels::householder::{larfb_with_work, larft, Side};
 use tseig_matrix::workspace::{reset_f64s, MemReq};
-use tseig_matrix::Matrix;
+use tseig_matrix::{Ctrl, Matrix};
 
 /// Column-panel width used for the cache-local distribution of `E`.
 /// Chosen so a panel of a few thousand rows plus a diamond block fit in
@@ -312,9 +312,10 @@ fn apply_pipeline_serial(
     e: &mut Matrix,
     panel_cols: usize,
     scratch: &mut Vec<f64>,
-) {
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<()> {
     if e.cols() == 0 || (diamonds.is_empty() && q1.is_empty()) {
-        return;
+        return Ok(());
     }
     let pc = if panel_cols == 0 {
         DEFAULT_PANEL_COLS
@@ -327,6 +328,7 @@ fn apply_pipeline_serial(
         reset_f64s(scratch, need);
     }
     for panel in e.as_mut_slice().chunks_mut(pc * ldc) {
+        ctrl.checkpoint()?;
         let cols = panel.len() / ldc;
         for d in diamonds {
             apply_diamond(d, panel, ldc, cols, scratch);
@@ -349,6 +351,7 @@ fn apply_pipeline_serial(
             );
         }
     }
+    Ok(())
 }
 
 /// Planned fused back-transformation `E <- Q1 Q2 E`: [`apply_q`] run
@@ -362,11 +365,19 @@ pub fn apply_q_ws(
     ell: usize,
     panel_cols: usize,
     plan: &mut BtPlan,
-) {
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<()> {
     let n = v2.n();
     assert_eq!(e.rows(), n, "E must have n rows");
     build_diamonds_ws(v2, ell, plan);
-    apply_pipeline_serial(&plan.diamonds, panels, e, panel_cols, &mut plan.scratch);
+    apply_pipeline_serial(
+        &plan.diamonds,
+        panels,
+        e,
+        panel_cols,
+        &mut plan.scratch,
+        ctrl,
+    )
 }
 
 /// `E <- Q2 E` using diamond-blocked reflectors, parallel over column

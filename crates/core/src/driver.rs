@@ -15,7 +15,7 @@ use std::time::Instant;
 use tseig_kernels::scaling;
 use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
 use tseig_matrix::workspace::MemReq;
-use tseig_matrix::{norms, Error, Matrix, Result};
+use tseig_matrix::{norms, Ctrl, Error, Matrix, Result};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 
 /// Scaled-measure acceptance bound for [`SymmetricEigen::verify`]: the
@@ -63,7 +63,7 @@ pub struct TwoStageResult {
 /// let r = SymmetricEigen::new().nb(6).solve(&a).unwrap();
 /// assert_eq!(r.eigenvalues.len(), 48);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SymmetricEigen {
     nb: usize,
     ib: usize,
@@ -75,6 +75,7 @@ pub struct SymmetricEigen {
     want_vectors: bool,
     scheduler: Scheduler,
     verify: VerifyLevel,
+    ctrl: Ctrl,
 }
 
 impl Default for SymmetricEigen {
@@ -90,6 +91,7 @@ impl Default for SymmetricEigen {
             want_vectors: true,
             scheduler: Scheduler::Serial,
             verify: VerifyLevel::Off,
+            ctrl: Ctrl::NONE,
         }
     }
 }
@@ -167,6 +169,22 @@ impl SymmetricEigen {
     pub fn verify(mut self, level: VerifyLevel) -> Self {
         self.verify = level;
         self
+    }
+
+    /// Attach a request lifecycle control: cooperative cancellation,
+    /// wall-clock deadline, progress heartbeat. Every phase of the
+    /// pipeline polls it at its natural loop boundary; an armed cancel
+    /// or expired deadline surfaces as [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`] while the caller's [`SolvePlan`]
+    /// stays valid and reusable for the next solve.
+    pub fn ctrl(mut self, ctrl: Ctrl) -> Self {
+        self.ctrl = ctrl;
+        self
+    }
+
+    /// The attached lifecycle control (inert by default).
+    pub fn control(&self) -> &Ctrl {
+        &self.ctrl
     }
 
     /// Configured verification depth (the generalized driver reads this
@@ -286,7 +304,8 @@ impl SymmetricEigen {
             &mut plan.work,
             &mut plan.bf,
             &mut plan.s1,
-        );
+            &self.ctrl,
+        )?;
         timings.stage1 = t0.elapsed();
 
         // Stage 2: band -> tridiagonal (bulge chasing). A scheduled
@@ -299,7 +318,13 @@ impl SymmetricEigen {
         match self.scheduler {
             Scheduler::Serial => {
                 plan.band.copy_from(&plan.bf.band);
-                stage2::reduce_ws(&mut plan.band, &mut plan.v2, &mut plan.s2, &mut plan.tri);
+                stage2::reduce_ws(
+                    &mut plan.band,
+                    &mut plan.v2,
+                    &mut plan.s2,
+                    &mut plan.tri,
+                    &self.ctrl,
+                )?;
             }
             Scheduler::Static(threads) => {
                 let b = plan.bf.band.bandwidth();
@@ -314,16 +339,21 @@ impl SymmetricEigen {
                     .sched
                     .get_or_insert_with(|| Stage2Schedule::new(n, b, threads));
                 let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- scheduled arm, documented to allocate; the chase consumes the band
-                match stage2::reduce_static_prepared(band, sched) {
+                match stage2::reduce_static_prepared(band, sched, &self.ctrl) {
                     Ok(c) => {
                         plan.tri = c.tridiagonal;
                         plan.v2 = c.v2;
                     }
                     Err(e) => {
+                        // A cancel or deadline drains the pool and
+                        // surfaces here as a runtime error; re-check the
+                        // control first so governance reports the
+                        // structured error instead of a serial re-run.
+                        self.ctrl.checkpoint()?;
                         rec.record(Recovery::SchedulerFallback { error: e });
                         let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- recovery ladder, allocates by design
-                        let c =
-                            reduce_scheduled(band, Stage2Exec::Serial).map_err(Error::Runtime)?;
+                        let c = reduce_scheduled(band, Stage2Exec::Serial, &self.ctrl)
+                            .map_err(Error::Runtime)?;
                         plan.tri = c.tridiagonal;
                         plan.v2 = c.v2;
                     }
@@ -331,16 +361,19 @@ impl SymmetricEigen {
             }
             Scheduler::Dynamic(threads) => {
                 let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- scheduled arm, documented to allocate; the chase consumes the band
-                match reduce_scheduled(band, Stage2Exec::Dynamic(threads)) {
+                match reduce_scheduled(band, Stage2Exec::Dynamic(threads), &self.ctrl) {
                     Ok(c) => {
                         plan.tri = c.tridiagonal;
                         plan.v2 = c.v2;
                     }
                     Err(e) => {
+                        // Same disambiguation as the static arm: an armed
+                        // control must not trigger the serial fallback.
+                        self.ctrl.checkpoint()?;
                         rec.record(Recovery::SchedulerFallback { error: e });
                         let band = plan.bf.band.clone(); // tidy: allow(plan-no-alloc) -- recovery ladder, allocates by design
-                        let c =
-                            reduce_scheduled(band, Stage2Exec::Serial).map_err(Error::Runtime)?;
+                        let c = reduce_scheduled(band, Stage2Exec::Serial, &self.ctrl)
+                            .map_err(Error::Runtime)?;
                         plan.tri = c.tridiagonal;
                         plan.v2 = c.v2;
                     }
@@ -358,7 +391,7 @@ impl SymmetricEigen {
         let t2 = Instant::now();
         let planned_qr = self.method == Method::Qr && self.want_vectors && range == EigenRange::All;
         if planned_qr {
-            tseig_tridiag::steqr_planned(&plan.tri, &rec, &mut plan.td)?;
+            tseig_tridiag::steqr_planned(&plan.tri, &rec, &mut plan.td, &self.ctrl)?;
             plan.td.swap_results(&mut plan.evals, &mut plan.evecs);
             plan.has_vectors = true;
         } else {
@@ -368,6 +401,7 @@ impl SymmetricEigen {
                 range,
                 self.want_vectors,
                 &rec,
+                &self.ctrl,
             )?;
             plan.evals = sol.eigenvalues;
             plan.has_vectors = self.want_vectors;
@@ -402,8 +436,12 @@ impl SymmetricEigen {
                     ell,
                     self.panel_cols,
                     &mut plan.bt,
-                );
+                    &self.ctrl,
+                )?;
             } else {
+                // The rayon panel loop is uninterruptible; one poll at
+                // the phase boundary bounds the overshoot to this phase.
+                self.ctrl.checkpoint()?;
                 apply_q(
                     &plan.v2,
                     &plan.bf.panels,

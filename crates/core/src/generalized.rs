@@ -112,6 +112,12 @@ pub fn solve_generalized_with_plan(
     let sa = safe_scale_factor(anorm);
     let sb = safe_scale_factor(bnorm);
 
+    // Phase-boundary lifecycle polls: the pencil phases (factor,
+    // transform, back-substitution) run between the standard solve's own
+    // checkpoints, so each gets its own.
+    let ctrl = opts.control();
+    ctrl.checkpoint()?;
+
     // 1. B = L L^T, with the shifted-retry rung.
     let load_b = |l: &mut Matrix| {
         l.copy_from(b);
@@ -160,6 +166,7 @@ pub fn solve_generalized_with_plan(
 
     // 2. C = L^-1 A L^-T into the plan's buffer (the sygst kernel, with
     // the clone replaced by plan-owned storage).
+    ctrl.checkpoint()?;
     plan.c.copy_from(a);
     if let Some(s) = sa {
         scale_matrix(&mut plan.c, s);
@@ -192,6 +199,7 @@ pub fn solve_generalized_with_plan(
 
     // 4. x = L^-T y, plus the B-scaling compensation: the vectors are
     // orthonormal against sb*B, so sqrt(sb) restores X^T B X = I.
+    ctrl.checkpoint()?;
     if let Some(z) = result.eigenvectors.as_mut() {
         let k = z.cols();
         let ldz = z.ld();

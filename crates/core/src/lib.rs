@@ -44,7 +44,7 @@ pub mod plan;
 pub mod stage1;
 pub mod stage2;
 
-pub use batch::{BatchDriver, BatchSummary, ScalarTag};
+pub use batch::{BatchDriver, BatchSummary, PoolEvents, ScalarTag};
 pub use driver::{Scheduler, SymmetricEigen, TwoStageResult, VERIFY_BOUND};
 pub use generalized::{solve_generalized, solve_generalized_with_plan, GenPlan};
 pub use plan::SolvePlan;

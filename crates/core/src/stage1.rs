@@ -22,7 +22,7 @@ use tseig_kernels::blas3::{
 use tseig_kernels::contract;
 use tseig_kernels::qr::{extract_v_t_into, geqrf_req, geqrf_ws, QrWs};
 use tseig_matrix::workspace::{reset_f64s, MemReq};
-use tseig_matrix::{Matrix, SymBandMatrix};
+use tseig_matrix::{Ctrl, Matrix, SymBandMatrix};
 
 /// One panel's block reflector: `Q_k = I - V T V^T` acting on rows
 /// `r0..n`.
@@ -119,6 +119,7 @@ pub fn sy2sb_out_req(n: usize, nb: usize) -> MemReq {
     let nb = nb.max(1);
     let mut req = MemReq::f64s((2 * nb + 1) * n); // band + workspace diagonals
     let mut j0 = 0usize;
+    // tidy: allow(checkpoint-loop) -- pure sizing arithmetic, no solver work
     while j0 + nb < n {
         let m = n - (j0 + nb);
         let kb = nb.min(m);
@@ -139,7 +140,8 @@ pub fn sy2sb(a: &Matrix, nb: usize, ib: usize) -> BandForm {
         nb: 0,
     };
     let mut ws = Stage1Ws::new();
-    sy2sb_ws(a, nb, ib, true, &mut work, &mut out, &mut ws);
+    // An inert control never fails a checkpoint.
+    let _ = sy2sb_ws(a, nb, ib, true, &mut work, &mut out, &mut ws, &Ctrl::NONE);
     out
 }
 
@@ -148,6 +150,10 @@ pub fn sy2sb(a: &Matrix, nb: usize, ib: usize) -> BandForm {
 /// warmed-up plan runs the reduction without heap allocation.
 /// `parallel` selects the rayon BLAS-3 variants (the scheduled pipeline)
 /// or the strictly serial ones (the allocation-free plan path).
+/// Polls `ctrl` once per panel; an armed cancel or expired deadline
+/// aborts between panels with the structured error (outputs are then
+/// partial but the storage stays reusable).
+#[allow(clippy::too_many_arguments)]
 pub fn sy2sb_ws(
     a: &Matrix,
     nb: usize,
@@ -156,7 +162,8 @@ pub fn sy2sb_ws(
     work: &mut Matrix,
     out: &mut BandForm,
     ws: &mut Stage1Ws,
-) {
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<()> {
     assert_eq!(a.rows(), a.cols());
     let n = a.rows();
     if contract::enabled() {
@@ -171,6 +178,7 @@ pub fn sy2sb_ws(
 
     let mut j0 = 0usize;
     while j0 + nb < n {
+        ctrl.checkpoint()?;
         let r0 = j0 + nb;
         let m = n - r0; // rows of the sub-panel
         let kb = nb.min(m); // reflector count of this panel
@@ -212,6 +220,7 @@ pub fn sy2sb_ws(
     out.panels.truncate(npanels);
     out.band.refill_from_dense_lower(work, nb, nb);
     out.nb = nb;
+    Ok(())
 }
 
 /// `A2 <- (I - V T V^T)^T A2 (I - V T V^T)` for the trailing symmetric

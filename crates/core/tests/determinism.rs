@@ -31,7 +31,9 @@ fn batch_is_bitwise_equal_to_sequential_for_every_scheduler() {
                 .scheduler(scheduler);
             let sequential: Vec<_> = inputs.iter().map(|m| eigen.solve(m).unwrap()).collect();
             for threads in [1, 2] {
-                let batch = BatchDriver::new(eigen).threads(threads).solve_all(&inputs);
+                let batch = BatchDriver::new(eigen.clone())
+                    .threads(threads)
+                    .solve_all(&inputs);
                 for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
                     assert_bitwise(
                         &format!("{scheduler:?}/{method:?}/t{threads}/input{i}"),

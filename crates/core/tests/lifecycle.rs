@@ -1,0 +1,154 @@
+//! Request-lifecycle invariants: a governed abort is structured, leaves
+//! the caller's plan valid, and a subsequent ungoverned solve on the
+//! very same plan is bitwise identical to a fresh one — for every
+//! scheduler, on both the standard and the generalized pipeline.
+//!
+//! Cancellation here is deterministic: the token is armed *before* the
+//! solve, so the very first checkpoint aborts. Mid-flight cancellation
+//! (racing a worker pool) is covered by `cancel_during_scheduled_chase`
+//! in the stage-2 unit tests; this file pins the contract that matters
+//! to callers: cancelled plans are not poisoned.
+
+use std::time::Duration;
+use tseig_core::{GenPlan, Scheduler, SolvePlan, SymmetricEigen};
+use tseig_matrix::{gen, CancelToken, Ctrl, Deadline, Error, Matrix};
+use tseig_tridiag::Method;
+
+fn cancelled_ctrl() -> Ctrl {
+    let token = CancelToken::new();
+    token.cancel();
+    Ctrl::new().with_cancel(token)
+}
+
+const SCHEDULERS: [Scheduler; 3] = [
+    Scheduler::Serial,
+    Scheduler::Static(2),
+    Scheduler::Dynamic(3),
+];
+
+#[test]
+fn cancel_then_resolve_on_same_plan_is_bitwise() {
+    let n = 32;
+    let a = gen::random_symmetric(n, 4100);
+    for scheduler in SCHEDULERS {
+        let eigen = SymmetricEigen::new()
+            .nb(6)
+            .method(Method::Qr)
+            .scheduler(scheduler);
+
+        // Warm the plan, then hit it with a pre-cancelled request.
+        let mut plan = SolvePlan::new();
+        eigen.solve_into(&a, &mut plan).unwrap();
+        let governed = eigen.clone().ctrl(cancelled_ctrl());
+        match governed.solve_into(&a, &mut plan) {
+            Err(Error::Cancelled) => {}
+            other => panic!("{scheduler:?}: expected Cancelled, got {other:?}"),
+        }
+
+        // The aborted plan must solve again, bitwise equal to fresh.
+        eigen.solve_into(&a, &mut plan).unwrap();
+        let fresh = eigen.solve(&a).unwrap();
+        assert_eq!(
+            fresh.eigenvalues.as_slice(),
+            plan.eigenvalues(),
+            "{scheduler:?}: eigenvalues drifted after a cancelled request"
+        );
+        assert_eq!(
+            fresh.eigenvectors.as_ref().unwrap().as_slice(),
+            plan.eigenvectors().unwrap().as_slice(),
+            "{scheduler:?}: eigenvectors drifted after a cancelled request"
+        );
+    }
+}
+
+#[test]
+fn generalized_cancel_then_resolve_on_same_plan_is_bitwise() {
+    let n = 24;
+    let a = gen::random_symmetric(n, 4200);
+    let b = gen::symmetric_with_spectrum(&gen::linspace(1.0, 3.0, n), 4201);
+    for scheduler in SCHEDULERS {
+        let opts = SymmetricEigen::new().nb(5).scheduler(scheduler);
+
+        let mut plan = GenPlan::new();
+        tseig_core::solve_generalized_with_plan(&a, &b, &opts, &mut plan).unwrap();
+        let governed = opts.clone().ctrl(cancelled_ctrl());
+        match tseig_core::solve_generalized_with_plan(&a, &b, &governed, &mut plan) {
+            Err(Error::Cancelled) => {}
+            other => panic!("{scheduler:?}: expected Cancelled, got {other:?}"),
+        }
+
+        let again = tseig_core::solve_generalized_with_plan(&a, &b, &opts, &mut plan).unwrap();
+        let fresh = tseig_core::solve_generalized(&a, &b, &opts).unwrap();
+        assert_eq!(
+            fresh.eigenvalues, again.eigenvalues,
+            "{scheduler:?}: generalized eigenvalues drifted after a cancel"
+        );
+        assert_eq!(
+            fresh.eigenvectors.as_ref().unwrap().as_slice(),
+            again.eigenvectors.as_ref().unwrap().as_slice(),
+            "{scheduler:?}: generalized eigenvectors drifted after a cancel"
+        );
+    }
+}
+
+#[test]
+fn expired_deadline_is_structured_and_leaves_the_plan_reusable() {
+    let n = 20;
+    let a = gen::random_symmetric(n, 4300);
+    let eigen = SymmetricEigen::new().nb(4).method(Method::Qr);
+    let mut plan = SolvePlan::new();
+    eigen.solve_into(&a, &mut plan).unwrap();
+
+    // A zero budget expires at the first checkpoint; the error must
+    // carry both sides of the comparison.
+    let governed = eigen
+        .clone()
+        .ctrl(Ctrl::new().with_deadline(Deadline::new(Duration::ZERO)));
+    match governed.solve_into(&a, &mut plan) {
+        Err(Error::DeadlineExceeded { elapsed, budget }) => {
+            assert_eq!(budget, Duration::ZERO);
+            assert!(elapsed >= budget);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    eigen.solve_into(&a, &mut plan).unwrap();
+    let fresh = eigen.solve(&a).unwrap();
+    assert_eq!(fresh.eigenvalues.as_slice(), plan.eigenvalues());
+    assert_eq!(
+        fresh.eigenvectors.as_ref().unwrap().as_slice(),
+        plan.eigenvectors().unwrap().as_slice()
+    );
+}
+
+#[test]
+fn cancel_mid_batch_drains_the_pool_with_structured_errors() {
+    // Arm the token while a multi-threaded batch is in flight: every
+    // not-yet-finished request must come back as `Cancelled` (or finish
+    // clean if it won the race) — never a panic, never a lost slot.
+    let inputs: Vec<Matrix> = (0..8)
+        .map(|s| gen::random_symmetric(48, 4400 + s))
+        .collect();
+    let token = CancelToken::new();
+    let eigen = SymmetricEigen::new()
+        .nb(8)
+        .ctrl(Ctrl::new().with_cancel(token.clone()));
+    let driver = tseig_core::BatchDriver::new(eigen).threads(4);
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        })
+    };
+    let results = driver.solve_all(&inputs);
+    canceller.join().unwrap();
+    assert_eq!(results.len(), inputs.len());
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(res) => assert_eq!(res.eigenvalues.len(), 48, "request {i}"),
+            Err(Error::Cancelled) => {}
+            Err(other) => panic!("request {i}: expected Cancelled, got {other:?}"),
+        }
+    }
+}

@@ -13,8 +13,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use tseig_core::{SolvePlan, SymmetricEigen};
-use tseig_matrix::gen;
+use tseig_core::{BatchDriver, SolvePlan, SymmetricEigen};
+use tseig_matrix::{gen, CancelToken, Ctrl, Deadline, Error, MemBudget};
 use tseig_tridiag::Method;
 
 struct CountingAlloc;
@@ -73,7 +73,14 @@ fn warm_planned_solve_allocates_nothing_and_matches_the_plain_path() {
     let a = gen::symmetric_with_spectrum(&gen::linspace(-3.0, 2.0, n), 7);
     // The strict scope: serial scheduler, full-spectrum QR with vectors,
     // no verification — the configuration the plan layer guarantees.
-    let eigen = SymmetricEigen::new().nb(8).method(Method::Qr);
+    // A fully armed (but never-firing) control rides along: lifecycle
+    // checkpoints are atomic polls and must not cost the hot path a
+    // single allocation.
+    let ctrl = Ctrl::new()
+        .with_cancel(CancelToken::new())
+        .with_deadline(Deadline::new(std::time::Duration::from_secs(3600)))
+        .with_heartbeat(std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)));
+    let eigen = SymmetricEigen::new().nb(8).method(Method::Qr).ctrl(ctrl);
 
     let mut plan = SolvePlan::new();
     // Two warmups: the result slots ping-pong with the tridiagonal
@@ -122,4 +129,26 @@ fn warm_planned_solve_allocates_nothing_and_matches_the_plain_path() {
         plan.eigenvectors().unwrap().as_slice()
     );
     assert!(plan.footprint_bytes() <= req, "reuse grew the footprint");
+
+    // Admission control keeps the same promise in the other direction:
+    // rejecting an oversized request must not allocate either — the
+    // check is pure arithmetic against `plan_req`, and the structured
+    // error carries only the two byte counts.
+    let driver = BatchDriver::new(eigen.clone()).mem_budget(MemBudget::bytes(req / 2));
+    WINDOW.store(true, Ordering::SeqCst);
+    let verdict = driver.admit(n);
+    WINDOW.store(false, Ordering::SeqCst);
+    match verdict {
+        Err(Error::BudgetExceeded { need, limit }) => {
+            assert_eq!(limit, req / 2);
+            assert!(need > limit, "rejection must quote need > limit");
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    let (allocs, reallocs, deallocs) = counts();
+    assert_eq!(
+        (allocs, reallocs, deallocs),
+        (0, 0, 0),
+        "admission rejection touched the heap"
+    );
 }

@@ -5,12 +5,12 @@
 //! *real* arithmetic (phases folded back in during the transformation).
 
 use crate::backtransform::{apply_q, HermScalar};
-use crate::stage1::he2hb;
+use crate::stage1::he2hb_with;
 use crate::stage2::{reduce_scheduled, Scheduler};
 use std::time::Instant;
 use tseig_kernels::scaling;
 use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
-use tseig_matrix::{CMatrixG, ComplexScalar, Error, Result, C64};
+use tseig_matrix::{CMatrixG, ComplexScalar, Ctrl, Error, Result, C64};
 use tseig_tridiag::{EigenRange, Method, PhaseTimings};
 
 /// Scaled-measure acceptance bound for [`HermitianEigen::verify`] —
@@ -42,7 +42,7 @@ pub struct HermitianResult<T: ComplexScalar = C64> {
 /// let r = HermitianEigen::new().nb(4).solve(&a).unwrap();
 /// assert!((r.eigenvalues[23] - 23.0).abs() < 1e-9);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HermitianEigen {
     nb: usize,
     ell: usize,
@@ -51,6 +51,7 @@ pub struct HermitianEigen {
     want_vectors: bool,
     scheduler: Scheduler,
     verify: VerifyLevel,
+    ctrl: Ctrl,
 }
 
 impl Default for HermitianEigen {
@@ -63,6 +64,7 @@ impl Default for HermitianEigen {
             want_vectors: true,
             scheduler: Scheduler::Serial,
             verify: VerifyLevel::Off,
+            ctrl: Ctrl::NONE,
         }
     }
 }
@@ -114,6 +116,20 @@ impl HermitianEigen {
     pub fn verify(mut self, level: VerifyLevel) -> Self {
         self.verify = level;
         self
+    }
+
+    /// Attach a lifecycle control (cancellation token, deadline,
+    /// heartbeat): the solve polls it at every phase boundary and
+    /// stage-2 sweep, surfacing `Error::Cancelled` /
+    /// `Error::DeadlineExceeded` cooperatively.
+    pub fn ctrl(mut self, ctrl: Ctrl) -> Self {
+        self.ctrl = ctrl;
+        self
+    }
+
+    /// The attached lifecycle control.
+    pub fn control(&self) -> &Ctrl {
+        &self.ctrl
     }
 
     /// Requested verification depth — read by the generalized driver,
@@ -183,16 +199,20 @@ impl HermitianEigen {
         let mut timings = timings;
 
         let t0 = Instant::now();
-        let bf = he2hb(work, self.nb);
+        let bf = he2hb_with(work, self.nb, &self.ctrl)?;
         timings.stage1 = t0.elapsed();
 
         // Stage 2 with the serial-path fallback on scheduled failure.
         let t1 = Instant::now();
-        let chase = match reduce_scheduled(bf.band.clone(), self.nb, self.scheduler) {
+        let chase = match reduce_scheduled(bf.band.clone(), self.nb, self.scheduler, &self.ctrl) {
             Ok(c) => c,
             Err(e) if self.scheduler != Scheduler::Serial => {
+                // A cancel or expired deadline drains the scheduled pool
+                // as a runtime error; surface it structurally instead of
+                // burning the remaining budget on a serial rerun.
+                self.ctrl.checkpoint()?;
                 rec.record(Recovery::SchedulerFallback { error: e });
-                reduce_scheduled(bf.band.clone(), self.nb, Scheduler::Serial)
+                reduce_scheduled(bf.band.clone(), self.nb, Scheduler::Serial, &self.ctrl)
                     .map_err(Error::Runtime)?
             }
             Err(e) => return Err(Error::Runtime(e)),
@@ -207,11 +227,13 @@ impl HermitianEigen {
             range,
             self.want_vectors,
             &rec,
+            &self.ctrl,
         )?;
         timings.tridiag_solve = t2.elapsed();
 
         let eigenvectors = if self.want_vectors {
             let t3 = Instant::now();
+            self.ctrl.checkpoint()?;
             let Some(e_real) = sol.eigenvectors else {
                 return Err(Error::Runtime(
                     "tridiagonal solver returned no eigenvectors although vectors \

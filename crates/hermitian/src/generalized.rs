@@ -185,6 +185,11 @@ pub fn solve_generalized<T: HermScalar>(
     let sa = safe_scale_factor(anorm);
     let sb = safe_scale_factor(bnorm);
 
+    // The pencil phases poll the lifecycle control between the standard
+    // solve's own checkpoints.
+    let ctrl = opts.control();
+    ctrl.checkpoint()?;
+
     // 1. B = L L^H with the shifted-retry rung.
     let load_b = || {
         let mut l = b.clone();
@@ -232,6 +237,7 @@ pub fn solve_generalized<T: HermScalar>(
     }
 
     // 2. C = L^-1 A L^-H (explicitly re-hermitized inside zhegst).
+    ctrl.checkpoint()?;
     let mut ascaled = a.clone();
     if let Some(s) = sa {
         scale_cmatrix(&mut ascaled, s);
@@ -243,6 +249,7 @@ pub fn solve_generalized<T: HermScalar>(
 
     // 4. x = L^-H y, plus sqrt(sb) to restore X^H B X = I against the
     // unscaled B.
+    ctrl.checkpoint()?;
     if let Some(z) = result.eigenvectors.as_mut() {
         let k = z.cols();
         let ldz = z.ld().max(1);

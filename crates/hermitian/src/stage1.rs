@@ -11,7 +11,7 @@
 
 use crate::ckernels::{zgemm, zgeqr2, zhemm_lower_left, zher2k_lower, zlarft, Op};
 use tseig_kernels::blas3::engine::GemmScalar;
-use tseig_matrix::{CMatrixG, ComplexScalar, C64};
+use tseig_matrix::{CMatrixG, ComplexScalar, Ctrl, C64};
 
 /// One panel's block reflector, acting on rows `r0..n`.
 pub struct Q1PanelC<T: ComplexScalar = C64> {
@@ -35,6 +35,21 @@ pub struct BandFormC<T: ComplexScalar = C64> {
 /// Reduce the dense Hermitian `a` (lower triangle referenced) to band
 /// form with semi-bandwidth `nb`.
 pub fn he2hb<T: ComplexScalar + GemmScalar>(a: &CMatrixG<T>, nb: usize) -> BandFormC<T> {
+    match he2hb_with(a, nb, &Ctrl::NONE) {
+        Ok(form) => form,
+        // Unreachable: the inert control never fails a checkpoint.
+        Err(e) => unreachable!("inert control failed: {e}"),
+    }
+}
+
+/// [`he2hb`] under a request control: polls `ctrl` once per panel so an
+/// armed cancel or expired deadline aborts between panels with the
+/// structured error and no partial output escapes.
+pub fn he2hb_with<T: ComplexScalar + GemmScalar>(
+    a: &CMatrixG<T>,
+    nb: usize,
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<BandFormC<T>> {
     assert_eq!(a.rows(), a.cols());
     let n = a.rows();
     let nb = nb.max(1);
@@ -45,6 +60,7 @@ pub fn he2hb<T: ComplexScalar + GemmScalar>(a: &CMatrixG<T>, nb: usize) -> BandF
 
     let mut j0 = 0usize;
     while j0 + nb < n {
+        ctrl.checkpoint()?;
         let r0 = j0 + nb;
         let m = n - r0;
         let kb = nb.min(m);
@@ -89,11 +105,11 @@ pub fn he2hb<T: ComplexScalar + GemmScalar>(a: &CMatrixG<T>, nb: usize) -> BandF
         }
     }
     a.hermitize_from_lower();
-    BandFormC {
+    Ok(BandFormC {
         band: a,
         panels,
         nb,
-    }
+    })
 }
 
 /// `A2 <- Q^H A2 Q` on the trailing block at `r0` (Hermitian rank-2k).

@@ -23,7 +23,7 @@
 
 use crate::ckernels::{zlarf_left, zlarf_right, zlarfg};
 use std::sync::Arc;
-use tseig_matrix::{CMatrixG, ComplexScalar, SymTridiagonal, C64};
+use tseig_matrix::{CMatrixG, ComplexScalar, Ctrl, SymTridiagonal, C64};
 use tseig_runtime::verify::TaskSpec;
 use tseig_runtime::{shadow, Access, DataCell, Priority, Region, Runtime, TaskGraph};
 
@@ -215,21 +215,35 @@ pub fn zhblru<T: ComplexScalar>(a: &mut CMatrixG<T>, refl: (usize, T, &[T])) {
 
 /// Run the bulge chase on a banded dense Hermitian matrix (entries
 /// outside semi-bandwidth `nb` must be zero — stage 1 guarantees it).
-pub fn reduce<T: ComplexScalar>(mut a: CMatrixG<T>, nb: usize) -> ChaseResultC<T> {
+pub fn reduce<T: ComplexScalar>(a: CMatrixG<T>, nb: usize) -> ChaseResultC<T> {
+    match reduce_with(a, nb, &Ctrl::NONE) {
+        Ok(r) => r,
+        // Unreachable: the inert control never fails a checkpoint.
+        Err(e) => unreachable!("inert control failed: {e}"),
+    }
+}
+
+/// [`reduce`] polling a lifecycle control at every sweep boundary.
+pub fn reduce_with<T: ComplexScalar>(
+    mut a: CMatrixG<T>,
+    nb: usize,
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<ChaseResultC<T>> {
     let n = a.rows();
     let b = nb.max(1);
     let mut v2 = V2SetC::new(n, b);
     if n > 2 && b > 1 {
         for s in 0..n - 2 {
+            ctrl.checkpoint()?;
             run_sweep(&mut a, s, b, &mut v2);
         }
     }
     let (tridiagonal, phases) = phase_fold(&a);
-    ChaseResultC {
+    Ok(ChaseResultC {
         tridiagonal,
         v2,
         phases,
-    }
+    })
 }
 
 fn run_sweep<T: ComplexScalar>(a: &mut CMatrixG<T>, s: usize, b: usize, v2: &mut V2SetC<T>) {
@@ -240,6 +254,7 @@ fn run_sweep<T: ComplexScalar>(a: &mut CMatrixG<T>, s: usize, b: usize, v2: &mut
     let (mut start, mut tau, mut v) = zhbceu(a, s, b);
     v2.store(s, 0, start, tau, v.clone());
     let mut k = 1usize;
+    // tidy: allow(checkpoint-loop) -- per-sweep reflector chain; reduce_ws polls once per sweep
     while let Some((ns, nt, nv)) = zhbrel(a, b, (start, tau, &v)) {
         zhblru(a, (ns, nt, &nv));
         v2.store(s, k, ns, nt, nv.clone());
@@ -425,11 +440,12 @@ pub fn reduce_scheduled<T: ComplexScalar>(
     a: CMatrixG<T>,
     nb: usize,
     sched: Scheduler,
+    ctrl: &Ctrl,
 ) -> Result<ChaseResultC<T>, String> {
     let n = a.rows();
     let b = nb.max(1);
     match sched {
-        Scheduler::Serial => Ok(reduce(a, nb)),
+        Scheduler::Serial => reduce_with(a, nb, ctrl).map_err(|e| e.to_string()),
         Scheduler::Dynamic(threads) => {
             let tasks = enumerate_tasks(n, b);
             let a_cell = Arc::new(DataCell::new(a));
@@ -442,7 +458,7 @@ pub fn reduce_scheduled<T: ComplexScalar>(
                 let (tag, prio) = task_meta(t);
                 graph.add_task(tag, prio, &regions, move || run_task(&ac, &vc, b, t));
             }
-            Runtime::new(threads).run(graph)?;
+            Runtime::new(threads).run_with_poll(graph, &|| ctrl.poll_stop())?;
             let a = Arc::try_unwrap(a_cell)
                 .map_err(|_| "matrix still shared".to_string())?
                 .into_inner();
@@ -467,12 +483,15 @@ pub fn reduce_scheduled<T: ComplexScalar>(
             let sched = tseig_runtime::StaticSchedule::derive(threads, &owner, &regions);
             let a_cell = Arc::new(DataCell::new(a));
             let v2_cell = Arc::new(DataCell::new(V2SetC::new(n, b)));
-            sched.execute(|i| {
-                let ac = a_cell.clone();
-                let vc = v2_cell.clone();
-                let t = tasks[i];
-                Box::new(move || run_task(&ac, &vc, b, t))
-            })?;
+            sched.execute_with_poll(
+                |i| {
+                    let ac = a_cell.clone();
+                    let vc = v2_cell.clone();
+                    let t = tasks[i];
+                    Box::new(move || run_task(&ac, &vc, b, t))
+                },
+                &|| ctrl.poll_stop(),
+            )?;
             let a = Arc::try_unwrap(a_cell)
                 .map_err(|_| "matrix still shared".to_string())?
                 .into_inner();
@@ -641,7 +660,7 @@ mod tests {
             Scheduler::Static(3),
             Scheduler::Static(1),
         ] {
-            let r = reduce_scheduled(a.clone(), b, sched).unwrap();
+            let r = reduce_scheduled(a.clone(), b, sched, &Ctrl::NONE).unwrap();
             // Bit-identical results: every scheduler runs the same
             // kernels in a serial-equivalent order.
             assert_eq!(

@@ -38,10 +38,15 @@ pub enum Site {
     BdsqrNoConv,
     /// `potrf`: report a non-positive pivot (Cholesky breakdown).
     CholBreakdown,
+    /// `Ctrl::checkpoint`: busy-spin `ticks` simulated milliseconds — a
+    /// deterministic wedged loop body, for exercising deadlines and the
+    /// batch watchdog without real-time flakiness. `ticks == 0` in a
+    /// builder call means "use the plan's configured tick count".
+    Stall { ticks: u64 },
 }
 
 /// Every site, in `Plan` slot order.
-pub const ALL_SITES: [Site; 7] = [
+pub const ALL_SITES: [Site; 8] = [
     Site::TaskPanic,
     Site::SecularNan,
     Site::QrNoConv,
@@ -49,7 +54,12 @@ pub const ALL_SITES: [Site; 7] = [
     Site::BisectNan,
     Site::BdsqrNoConv,
     Site::CholBreakdown,
+    Site::Stall { ticks: 0 },
 ];
+
+/// Simulated milliseconds per stall unless the plan (or a
+/// `Site::Stall { ticks }` builder payload) overrides it.
+pub const DEFAULT_STALL_TICKS: u64 = 64;
 
 impl Site {
     /// The spelling used in `TSEIG_CHAOS` specs.
@@ -62,6 +72,7 @@ impl Site {
             Site::BisectNan => "bisect-nan",
             Site::BdsqrNoConv => "bdsqr-noconv",
             Site::CholBreakdown => "chol-breakdown",
+            Site::Stall { .. } => "stall",
         }
     }
 
@@ -74,6 +85,7 @@ impl Site {
             Site::BisectNan => 4,
             Site::BdsqrNoConv => 5,
             Site::CholBreakdown => 6,
+            Site::Stall { .. } => 7,
         }
     }
 
@@ -83,10 +95,21 @@ impl Site {
 }
 
 /// How many failures to inject per site, plus a shared skip offset.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Plan {
     skip: u64,
-    counts: [u64; 7],
+    counts: [u64; 8],
+    stall_ticks: u64,
+}
+
+impl Default for Plan {
+    fn default() -> Plan {
+        Plan {
+            skip: 0,
+            counts: [0; 8],
+            stall_ticks: DEFAULT_STALL_TICKS,
+        }
+    }
 }
 
 impl Plan {
@@ -95,9 +118,16 @@ impl Plan {
         Plan::default()
     }
 
-    /// Inject `count` failures at `site` (builder-style).
+    /// Inject `count` failures at `site` (builder-style). A
+    /// `Site::Stall { ticks }` payload with `ticks > 0` also sets the
+    /// plan's stall length.
     pub fn with(mut self, site: Site, count: u64) -> Plan {
         self.counts[site.index()] = count;
+        if let Site::Stall { ticks } = site {
+            if ticks > 0 {
+                self.stall_ticks = ticks;
+            }
+        }
         self
     }
 
@@ -112,13 +142,19 @@ impl Plan {
         self.counts[site.index()]
     }
 
+    /// Simulated milliseconds each fired stall spins for.
+    pub fn stall_len(&self) -> u64 {
+        self.stall_ticks
+    }
+
     /// True when no site is armed.
     pub fn is_inert(&self) -> bool {
         self.counts.iter().all(|&c| c == 0)
     }
 
     /// Parse a `TSEIG_CHAOS` spec: comma-separated `site=count` entries
-    /// plus an optional `skip=N`.
+    /// plus an optional `skip=N` and `stall-ticks=T` (simulated
+    /// milliseconds per fired stall).
     pub fn parse(spec: &str) -> std::result::Result<Plan, String> {
         let mut plan = Plan::new();
         for item in spec.split(',') {
@@ -136,10 +172,12 @@ impl Plan {
             let key = key.trim();
             if key == "skip" {
                 plan.skip = n;
+            } else if key == "stall-ticks" {
+                plan.stall_ticks = n;
             } else {
                 let site = Site::from_key(key).ok_or_else(|| {
                     format!(
-                        "unknown chaos site `{key}` (known: {}, skip)",
+                        "unknown chaos site `{key}` (known: {}, skip, stall-ticks)",
                         ALL_SITES.map(Site::key).join(", ")
                     )
                 })?;
@@ -158,8 +196,16 @@ pub fn fire(_site: Site) -> bool {
     false
 }
 
+/// Simulated milliseconds the current checkpoint should stall for (0 =
+/// no stall). Feature-off stub: never, and the call compiles to nothing.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub fn stall_ticks() -> u64 {
+    0
+}
+
 #[cfg(feature = "chaos")]
-pub use active::{fire, install, reached, reset};
+pub use active::{fire, install, reached, reset, stall_ticks};
 
 #[cfg(feature = "chaos")]
 mod active {
@@ -168,7 +214,7 @@ mod active {
 
     struct State {
         plan: Plan,
-        seen: [u64; 7],
+        seen: [u64; 8],
     }
 
     fn lock() -> MutexGuard<'static, State> {
@@ -182,7 +228,7 @@ mod active {
                     .ok()
                     .and_then(|s| Plan::parse(&s).ok())
                     .unwrap_or_default();
-                Mutex::new(State { plan, seen: [0; 7] })
+                Mutex::new(State { plan, seen: [0; 8] })
             })
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -198,12 +244,27 @@ mod active {
         tick >= st.plan.skip && tick < st.plan.skip + st.plan.counts[i]
     }
 
+    /// Simulated milliseconds the current checkpoint should stall for
+    /// (0 = not armed or budget spent). Consumes one tick of the
+    /// `Stall` site's counter either way, like [`fire`].
+    pub fn stall_ticks() -> u64 {
+        let mut st = lock();
+        let i = Site::Stall { ticks: 0 }.index();
+        let tick = st.seen[i];
+        st.seen[i] += 1;
+        if tick >= st.plan.skip && tick < st.plan.skip + st.plan.counts[i] {
+            st.plan.stall_ticks
+        } else {
+            0
+        }
+    }
+
     /// Install a fresh plan and zero every site counter. Concurrent
     /// tests must serialize their installs around the solves they drive.
     pub fn install(plan: Plan) {
         let mut st = lock();
         st.plan = plan;
-        st.seen = [0; 7];
+        st.seen = [0; 8];
     }
 
     /// Back to inert: no site fires until the next install.
@@ -242,6 +303,20 @@ mod tests {
     }
 
     #[test]
+    fn stall_spec_round_trips() {
+        let p = Plan::parse("stall=2,stall-ticks=9").unwrap();
+        assert_eq!(p.count(Site::Stall { ticks: 0 }), 2);
+        assert_eq!(p.stall_len(), 9);
+        let q = Plan::new().with(Site::Stall { ticks: 9 }, 2);
+        assert_eq!(p, q);
+        // A zero-tick payload keeps the default stall length.
+        assert_eq!(
+            Plan::new().with(Site::Stall { ticks: 0 }, 1).stall_len(),
+            DEFAULT_STALL_TICKS
+        );
+    }
+
+    #[test]
     fn builder_round_trips_keys() {
         for site in ALL_SITES {
             let p = Plan::new().with(site, 7);
@@ -264,5 +339,14 @@ mod tests {
         assert_eq!(reached(Site::QrNoConv), 4);
         reset();
         assert!(!fire(Site::QrNoConv));
+
+        // The stall site follows the same count/skip protocol, paying
+        // out its configured tick length instead of a boolean.
+        install(Plan::new().with(Site::Stall { ticks: 3 }, 1).skip(1));
+        assert_eq!(stall_ticks(), 0); // tick 0: skipped
+        assert_eq!(stall_ticks(), 3); // tick 1
+        assert_eq!(stall_ticks(), 0); // budget spent
+        assert_eq!(reached(Site::Stall { ticks: 0 }), 3);
+        reset();
     }
 }

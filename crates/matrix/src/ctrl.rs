@@ -1,0 +1,326 @@
+//! Request lifecycle control: cooperative cancellation, wall-clock
+//! deadlines, and memory admission budgets.
+//!
+//! A long eigensolve is a pipeline of bounded loops (stage-1 panels,
+//! stage-2 sweeps, tridiagonal iterations, back-transform panels). Each
+//! loop polls a [`Ctrl`] at its natural phase boundary via
+//! [`Ctrl::checkpoint`]; an armed control surfaces as a structured
+//! [`Error::Cancelled`] / [`Error::DeadlineExceeded`] out of the solve
+//! while the caller's `SolvePlan` stays valid and reusable. The pieces:
+//!
+//! * [`CancelToken`] — a cloneable atomic flag. Cancel from any thread;
+//!   every checkpoint holding a clone observes it on its next poll.
+//! * [`Deadline`] — a monotonic-clock wall budget. Carries a *virtual*
+//!   clock component advanced by the chaos `Stall` site so deadline
+//!   tests are deterministic instead of wall-clock-flaky.
+//! * [`MemBudget`] — a bytes ceiling checked against `plan_req`-style
+//!   sizing *at admission*, before any allocation happens
+//!   ([`Error::BudgetExceeded`] carries only the two numbers).
+//! * [`Ctrl`] — the bundle threaded through the solvers. [`Ctrl::NONE`]
+//!   is inert: a checkpoint against it is a few untaken branches.
+//!
+//! Checkpoints double as the progress heartbeat for the batch driver's
+//! stuck-worker watchdog: every poll bumps an optional shared counter,
+//! so a worker whose counter stops moving is wedged between checkpoints
+//! (or inside a chaos stall) and can be cancelled cooperatively.
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cloneable cancellation flag: one writer anywhere, any number of
+/// checkpoint readers. Cancelling is sticky until [`CancelToken::clear`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cooperative cancellation: every solve polling a clone of
+    /// this token aborts at its next checkpoint.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Re-arm the token for reuse (e.g. a pooled worker starting its
+    /// next request).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Wall-clock budget for one request, measured from construction on the
+/// monotonic clock, plus a shared *virtual* offset tests advance
+/// deterministically (the chaos `Stall` site adds 1 ms of virtual time
+/// per tick, so deadline-overshoot assertions never race real time).
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+    virt: Arc<AtomicU64>,
+}
+
+impl Deadline {
+    /// Start the clock now with the given budget.
+    pub fn new(budget: Duration) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget,
+            virt: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Real time since construction plus any virtual advance.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed() + Duration::from_nanos(self.virt.load(Ordering::Relaxed))
+    }
+
+    /// Budget remaining (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.elapsed())
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self) -> bool {
+        self.elapsed() >= self.budget
+    }
+
+    /// Advance the virtual clock component (test determinism; the chaos
+    /// stall uses this instead of sleeping the full simulated time).
+    pub fn advance_virtual(&self, d: Duration) {
+        self.virt.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Bytes ceiling for one request, checked against the solver's
+/// `plan_req`-style sizing *before* the request allocates anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemBudget {
+    limit: usize,
+}
+
+impl MemBudget {
+    /// Admit requests needing at most `limit` bytes of plan footprint.
+    pub const fn bytes(limit: usize) -> MemBudget {
+        MemBudget { limit }
+    }
+
+    /// The configured ceiling.
+    pub fn limit(self) -> usize {
+        self.limit
+    }
+
+    /// Admission check: `Ok` when `need` fits, otherwise the structured
+    /// rejection. Performs no allocation — the error carries only the
+    /// two byte counts.
+    pub fn admit(self, need: usize) -> Result<()> {
+        if need > self.limit {
+            Err(Error::BudgetExceeded {
+                need,
+                limit: self.limit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The lifecycle bundle a solve polls at its phase boundaries. All
+/// components are optional; the default ([`Ctrl::NONE`]) is inert.
+#[derive(Clone, Debug, Default)]
+pub struct Ctrl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Deadline>,
+    heartbeat: Option<Arc<AtomicU64>>,
+}
+
+impl Ctrl {
+    /// The inert control: checkpoints cost a few untaken branches and
+    /// never fail.
+    pub const NONE: Ctrl = Ctrl {
+        cancel: None,
+        deadline: None,
+        heartbeat: None,
+    };
+
+    /// An inert control (builder entry point).
+    pub fn new() -> Ctrl {
+        Ctrl::default()
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Ctrl {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Ctrl {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a progress-heartbeat counter (bumped on every poll; the
+    /// batch watchdog reads it to detect wedged workers).
+    pub fn with_heartbeat(mut self, counter: Arc<AtomicU64>) -> Ctrl {
+        self.heartbeat = Some(counter);
+        self
+    }
+
+    /// The attached token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<&Deadline> {
+        self.deadline.as_ref()
+    }
+
+    /// True when no component is armed (the checkpoint fast path).
+    pub fn is_none(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none() && self.heartbeat.is_none()
+    }
+
+    /// Cooperative poll at a phase boundary: bump the heartbeat, serve
+    /// any injected chaos stall, then fail with the structured error if
+    /// the deadline has expired or the token is cancelled. The deadline
+    /// is checked first so a stalled-through-its-budget request reports
+    /// `DeadlineExceeded` even when a watchdog also cancelled it.
+    pub fn checkpoint(&self) -> Result<()> {
+        if let Some(hb) = &self.heartbeat {
+            hb.fetch_add(1, Ordering::Relaxed);
+        }
+        let ticks = crate::chaos::stall_ticks();
+        if ticks > 0 {
+            self.stall(ticks);
+        }
+        if let Some(d) = &self.deadline {
+            if d.expired() {
+                return Err(Error::DeadlineExceeded {
+                    elapsed: d.elapsed(),
+                    budget: d.budget(),
+                });
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Err(Error::Cancelled);
+            }
+        }
+        Ok(())
+    }
+
+    /// Boolean flavour of [`Ctrl::checkpoint`] for schedulers that poll
+    /// between task claims and drain on `true` (no chaos stall here —
+    /// stalls belong to checkpoints, which model a wedged loop body).
+    pub fn poll_stop(&self) -> bool {
+        if let Some(hb) = &self.heartbeat {
+            hb.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || self.deadline.as_ref().is_some_and(Deadline::expired)
+    }
+
+    /// The injected wedge: busy-wait `ticks` simulated milliseconds,
+    /// advancing the deadline's virtual clock 1 ms per tick, without
+    /// bumping the heartbeat — exactly what a stuck loop body looks
+    /// like to the watchdog. Breaks early once cancelled or expired so
+    /// governed tests stay fast.
+    fn stall(&self, ticks: u64) {
+        for _ in 0..ticks {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
+            if let Some(d) = &self.deadline {
+                d.advance_virtual(Duration::from_millis(1));
+                if d.expired() {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_ctrl_always_passes() {
+        let c = Ctrl::NONE;
+        assert!(c.is_none());
+        for _ in 0..10 {
+            c.checkpoint().unwrap();
+        }
+        assert!(!c.poll_stop());
+    }
+
+    #[test]
+    fn cancel_token_observed_through_clones() {
+        let tok = CancelToken::new();
+        let ctrl = Ctrl::new().with_cancel(tok.clone());
+        ctrl.checkpoint().unwrap();
+        tok.cancel();
+        assert_eq!(ctrl.checkpoint(), Err(Error::Cancelled));
+        assert!(ctrl.poll_stop());
+        tok.clear();
+        ctrl.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn deadline_virtual_clock_expires_deterministically() {
+        let dl = Deadline::new(Duration::from_secs(3600));
+        let ctrl = Ctrl::new().with_deadline(dl.clone());
+        ctrl.checkpoint().unwrap();
+        dl.advance_virtual(Duration::from_secs(3601));
+        match ctrl.checkpoint() {
+            Err(Error::DeadlineExceeded { elapsed, budget }) => {
+                assert!(elapsed >= budget);
+                assert_eq!(budget, Duration::from_secs(3600));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(dl.remaining(), Duration::ZERO);
+        assert!(ctrl.poll_stop());
+    }
+
+    #[test]
+    fn mem_budget_admission() {
+        let b = MemBudget::bytes(1000);
+        assert_eq!(b.limit(), 1000);
+        b.admit(1000).unwrap();
+        assert_eq!(
+            b.admit(1001),
+            Err(Error::BudgetExceeded {
+                need: 1001,
+                limit: 1000
+            })
+        );
+    }
+
+    #[test]
+    fn heartbeat_bumps_on_every_poll() {
+        let hb = Arc::new(AtomicU64::new(0));
+        let ctrl = Ctrl::new().with_heartbeat(hb.clone());
+        ctrl.checkpoint().unwrap();
+        ctrl.checkpoint().unwrap();
+        assert!(!ctrl.poll_stop());
+        assert_eq!(hb.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,6 +1,7 @@
 //! Error type shared by all `tseig` crates.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors produced by matrix construction and by the numerical routines
 /// built on top of this crate.
@@ -34,6 +35,17 @@ pub enum Error {
     /// The task runtime rejected or aborted the computation
     /// (e.g. a worker panicked).
     Runtime(String),
+    /// The request's `CancelToken` was cancelled; the solve stopped at
+    /// its next cooperative checkpoint. The plan it ran in stays valid.
+    Cancelled,
+    /// The request's wall-clock `Deadline` expired mid-solve. `elapsed`
+    /// is the time observed at the checkpoint that aborted (overshoot
+    /// past `budget` is bounded by one checkpoint interval).
+    DeadlineExceeded { elapsed: Duration, budget: Duration },
+    /// Admission control rejected the request before any allocation:
+    /// its `plan_req`-style footprint `need` exceeds the `MemBudget`
+    /// ceiling `limit` (both in bytes).
+    BudgetExceeded { need: usize, limit: usize },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +71,15 @@ impl fmt::Display for Error {
                  exceeds bound {bound:.3e}"
             ),
             Error::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            Error::Cancelled => write!(f, "request cancelled"),
+            Error::DeadlineExceeded { elapsed, budget } => write!(
+                f,
+                "deadline exceeded: {elapsed:.1?} elapsed against a {budget:.1?} budget"
+            ),
+            Error::BudgetExceeded { need, limit } => write!(
+                f,
+                "memory budget exceeded: request needs {need} bytes, limit is {limit}"
+            ),
         }
     }
 }

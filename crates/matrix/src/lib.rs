@@ -20,6 +20,7 @@
 pub mod band;
 pub mod chaos;
 pub mod complex;
+pub mod ctrl;
 pub mod dense;
 pub mod diagnostics;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod workspace;
 
 pub use band::{GeBandMatrix, SymBandMatrix};
 pub use complex::{c32, c64, CMatrix, CMatrixG, C32, C64};
+pub use ctrl::{CancelToken, Ctrl, Deadline, MemBudget};
 pub use dense::Matrix;
 pub use diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
 pub use error::{Error, Result};

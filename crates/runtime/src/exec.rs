@@ -107,6 +107,19 @@ impl Runtime {
     /// an error if any task panicked (remaining tasks are abandoned, the
     /// panic does not propagate).
     pub fn run(&self, graph: TaskGraph) -> Result<RunStats, String> {
+        self.run_with_poll(graph, &|| false)
+    }
+
+    /// [`Runtime::run`] with a cooperative stop hook: every worker polls
+    /// `poll` between task claims, and the first `true` drains the pool —
+    /// in-flight tasks finish, nothing new starts, and the run returns
+    /// `Err(`[`STOPPED_BY_POLL`]`)`. The caller translates that into its
+    /// own structured cancellation error.
+    pub fn run_with_poll(
+        &self,
+        graph: TaskGraph,
+        poll: &(dyn Fn() -> bool + Sync),
+    ) -> Result<RunStats, String> {
         let n = graph.len();
         if n == 0 {
             return Ok(RunStats {
@@ -164,7 +177,7 @@ impl Runtime {
                     .filter(|(i, _)| *i != wid)
                     .map(|(_, s)| s.clone())
                     .collect();
-                handles.push(scope.spawn(move |_| worker_loop(shared, local, &stealers)));
+                handles.push(scope.spawn(move |_| worker_loop(shared, local, &stealers, poll)));
             }
             for h in handles {
                 if let Ok(stats) = h.join() {
@@ -195,7 +208,17 @@ impl Runtime {
     }
 }
 
-fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskId>]) -> RunStats {
+/// Error message of a run stopped through the caller's poll hook (as
+/// opposed to a task panic); callers match on this to map a drained pool
+/// back to their own cancellation error.
+pub const STOPPED_BY_POLL: &str = "stopped by caller poll";
+
+fn worker_loop(
+    shared: &Shared,
+    local: Worker<TaskId>,
+    stealers: &[Stealer<TaskId>],
+    poll: &(dyn Fn() -> bool + Sync),
+) -> RunStats {
     let mut stats = RunStats::default();
     let backoff = Backoff::new();
     loop {
@@ -203,6 +226,14 @@ fn worker_loop(shared: &Shared, local: Worker<TaskId>, stealers: &[Stealer<TaskI
             return stats;
         }
         if shared.remaining.load(Ordering::Acquire) == 0 {
+            return stats;
+        }
+        if poll() {
+            let mut msg = shared.panic_msg.lock();
+            if msg.is_none() {
+                *msg = Some(STOPPED_BY_POLL.to_string());
+            }
+            shared.abort.store(true, Ordering::Release);
             return stats;
         }
         let Some(id) = shared.find_task(&local, stealers) else {
@@ -401,6 +432,32 @@ mod tests {
         }
         Runtime::new(3).run(g).unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn poll_stop_drains_the_pool() {
+        // A 100-task chain through one region; the poll trips once five
+        // tasks have run, so the run must stop early with the marker
+        // error instead of completing (or hanging).
+        let done = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        for _ in 0..100u64 {
+            let d = done.clone();
+            g.add_task(
+                "step",
+                Priority::Normal,
+                &[(Region::point(0, 0), Access::Write)],
+                move || {
+                    d.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }
+        let d = done.clone();
+        let err = Runtime::new(3)
+            .run_with_poll(g, &move || d.load(Ordering::SeqCst) >= 5)
+            .unwrap_err();
+        assert_eq!(err, STOPPED_BY_POLL);
+        assert!(done.load(Ordering::SeqCst) < 100);
     }
 
     #[test]

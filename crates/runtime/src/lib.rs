@@ -45,6 +45,6 @@ pub mod trace;
 pub mod verify;
 
 pub use data::DataCell;
-pub use exec::Runtime;
+pub use exec::{Runtime, STOPPED_BY_POLL};
 pub use graph::{Access, Priority, Region, TaskGraph};
 pub use static_plan::StaticSchedule;

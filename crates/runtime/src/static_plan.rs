@@ -13,7 +13,7 @@
 //! dedup), so scheduled results stay bit-identical to the per-solve path.
 
 use crate::graph::{Access, Priority, Region, TaskGraph};
-use crate::static_sched::{run_static, StaticTask};
+use crate::static_sched::StaticTask;
 
 /// Owner assignment plus per-task cross-worker waits for one task set,
 /// derived once from the tasks' declared regions. Reusable across solves
@@ -126,7 +126,21 @@ impl StaticSchedule {
     /// solves); only the wait-list derivation is amortized. Debug builds
     /// wrap every closure with the footprint shadow checker, armed with
     /// the regions the schedule was derived from.
-    pub fn execute<F>(&self, mut task: F) -> Result<(), String>
+    pub fn execute<F>(&self, task: F) -> Result<(), String>
+    where
+        F: FnMut(usize) -> Box<dyn FnOnce() + Send>,
+    {
+        self.execute_with_poll(task, &|| false)
+    }
+
+    /// [`StaticSchedule::execute`] with a cooperative stop hook polled
+    /// between task claims (see
+    /// [`crate::static_sched::run_static_with_poll`]).
+    pub fn execute_with_poll<F>(
+        &self,
+        mut task: F,
+        poll: &(dyn Fn() -> bool + Sync),
+    ) -> Result<(), String>
     where
         F: FnMut(usize) -> Box<dyn FnOnce() + Send>,
     {
@@ -144,7 +158,7 @@ impl StaticSchedule {
             };
             lists[self.owner[i]].push(StaticTask::new(self.waits[i].clone(), body));
         }
-        run_static(lists)
+        crate::static_sched::run_static_with_poll(lists, poll)
     }
 }
 

@@ -40,6 +40,17 @@ impl StaticTask {
 /// panicked (the remaining workers stop at their next synchronization
 /// point instead of deadlocking).
 pub fn run_static(lists: Vec<Vec<StaticTask>>) -> Result<(), String> {
+    run_static_with_poll(lists, &|| false)
+}
+
+/// [`run_static`] with a cooperative stop hook: every worker polls
+/// `poll` before each task claim and inside its dependence-wait spins;
+/// the first `true` drains the pool and the run returns
+/// `Err(`[`crate::exec::STOPPED_BY_POLL`]`)`.
+pub fn run_static_with_poll(
+    lists: Vec<Vec<StaticTask>>,
+    poll: &(dyn Fn() -> bool + Sync),
+) -> Result<(), String> {
     let nworkers = lists.len();
     if nworkers == 0 {
         return Ok(());
@@ -79,18 +90,29 @@ pub fn run_static(lists: Vec<Vec<StaticTask>>) -> Result<(), String> {
             let abort = &abort;
             let panic_msg = &panic_msg;
             scope.spawn(move |_| {
+                let stop = || {
+                    if poll() {
+                        let mut msg = panic_msg.lock();
+                        if msg.is_none() {
+                            *msg = Some(crate::exec::STOPPED_BY_POLL.to_string());
+                        }
+                        abort.store(true, Ordering::Release);
+                        return true;
+                    }
+                    abort.load(Ordering::Acquire)
+                };
                 for (i, task) in list.into_iter().enumerate() {
                     // Wait for every declared dependence.
                     for (dw, dc) in task.wait_for {
                         let backoff = Backoff::new();
                         while progress[dw].load(Ordering::Acquire) < dc {
-                            if abort.load(Ordering::Acquire) {
+                            if stop() {
                                 return;
                             }
                             backoff.snooze();
                         }
                     }
-                    if abort.load(Ordering::Acquire) {
+                    if stop() {
                         return;
                     }
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task.run)) {
@@ -192,6 +214,27 @@ mod tests {
         ];
         let err = run_static(lists).unwrap_err();
         assert!(err.contains("injected"), "got {err}");
+    }
+
+    #[test]
+    fn poll_stop_drains_workers_and_waiters() {
+        // Worker 0 runs a long list; worker 1 waits on progress that the
+        // poll-stop prevents from ever arriving. Both must drain.
+        let done = Arc::new(AtomicU64::new(0));
+        let w0: Vec<StaticTask> = (0..100)
+            .map(|_| {
+                let d = done.clone();
+                StaticTask::new(vec![], move || {
+                    d.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let w1 = vec![StaticTask::new(vec![(0, 100)], || {})];
+        let d = done.clone();
+        let err =
+            run_static_with_poll(vec![w0, w1], &move || d.load(Ordering::SeqCst) >= 5).unwrap_err();
+        assert_eq!(err, crate::exec::STOPPED_BY_POLL);
+        assert!(done.load(Ordering::SeqCst) < 100);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! row-annihilation sweep so singular matrices converge too.
 
 use tseig_kernels::contract;
-use tseig_matrix::{chaos, Error, Matrix, Result};
+use tseig_matrix::{chaos, Ctrl, Error, Matrix, Result};
 
 const MAX_ITER_PER_VALUE: usize = 60;
 
@@ -25,8 +25,23 @@ const MAX_ITER_PER_VALUE: usize = 60;
 pub fn bdsqr(
     d: &mut [f64],
     e: &mut [f64],
+    u: Option<&mut Matrix>,
+    v: Option<&mut Matrix>,
+) -> Result<()> {
+    bdsqr_with(d, e, u, v, &Ctrl::NONE)
+}
+
+/// [`bdsqr`] under a request control: polls `ctrl` once per deflation
+/// step of the outer sweep loop — an armed cancel or expired deadline
+/// aborts with the structured error (the bidiagonal is left
+/// partially-rotated; callers snapshot `(d, e)` before entry, as
+/// the retry rung already does).
+pub fn bdsqr_with(
+    d: &mut [f64],
+    e: &mut [f64],
     mut u: Option<&mut Matrix>,
     mut v: Option<&mut Matrix>,
+    ctrl: &Ctrl,
 ) -> Result<()> {
     let n = d.len();
     if n == 0 {
@@ -57,6 +72,7 @@ pub fn bdsqr(
     let mut m = n - 1;
     let mut iter_budget = MAX_ITER_PER_VALUE * n;
     while m > 0 {
+        ctrl.checkpoint()?;
         // Deflate converged tail entries.
         while m > 0 && e[m - 1].abs() <= eps * (d[m - 1].abs() + d[m].abs()) {
             e[m - 1] = 0.0;

@@ -14,13 +14,14 @@
 //! recovery rungs (scheduler fallback, `bdsqr` cap → eps-perturbed
 //! retry) recorded in [`SolveDiagnostics`], and opt-in verification.
 
-use crate::bdsqr::bdsqr;
-use crate::stage1::{apply_p1, apply_q1, ge2bb};
+use crate::bdsqr::bdsqr_with;
+use crate::stage1::{apply_p1, apply_q1, ge2bb_with};
 use crate::stage2::{reduce_scheduled, BvSet, Stage2Exec, Stage2Ws};
+use std::time::Duration;
 use tseig_kernels::householder::larf_left;
 use tseig_kernels::scaling::{safe_scale_factor, scale_matrix, screen_general};
 use tseig_matrix::diagnostics::{Recorder, Recovery, SolveDiagnostics, VerifyLevel, VerifyReport};
-use tseig_matrix::{Error, Matrix, Result};
+use tseig_matrix::{Ctrl, Deadline, Error, Matrix, MemBudget, MemReq, Result};
 use tseig_onestage::bidiagonal::gebrd;
 
 /// Thin SVD of an `m x n` matrix (`m >= n`): `A = U diag(s) V^T` with
@@ -88,7 +89,7 @@ impl SvdPlan {
 }
 
 /// Builder-style SVD driver (the `gesvd` role).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct GeSvd {
     nb: usize,
     ib: usize,
@@ -97,6 +98,7 @@ pub struct GeSvd {
     vectors: bool,
     verify: VerifyLevel,
     two_stage_min_n: usize,
+    ctrl: Ctrl,
 }
 
 impl Default for GeSvd {
@@ -109,6 +111,7 @@ impl Default for GeSvd {
             vectors: true,
             verify: VerifyLevel::Off,
             two_stage_min_n: 768,
+            ctrl: Ctrl::NONE,
         }
     }
 }
@@ -164,6 +167,33 @@ impl GeSvd {
         self
     }
 
+    /// Attach a request control (cancel token / deadline / heartbeat).
+    /// Every long-running loop of the solve polls it at its phase
+    /// boundary; an abort surfaces as `Error::Cancelled` or
+    /// `Error::DeadlineExceeded` and leaves the plan valid for reuse.
+    pub fn ctrl(mut self, ctrl: Ctrl) -> Self {
+        self.ctrl = ctrl;
+        self
+    }
+
+    /// The attached request control.
+    pub fn control(&self) -> &Ctrl {
+        &self.ctrl
+    }
+
+    /// Workspace requirement of [`Self::solve_with_plan`] for an
+    /// `m x n` input under this configuration — the admission-control
+    /// sizing used by [`SvdBatch::mem_budget`]. Pure arithmetic, no
+    /// allocation.
+    pub fn plan_req(&self, m: usize, n: usize) -> MemReq {
+        let b = self.nb.max(2);
+        MemReq::f64s(m * n) // dense working copy
+            .and(MemReq::f64s(n * n).times(2)) // Ub / Vb accumulators
+            .and(MemReq::f64s((3 * b + 2) * n)) // band form + bulge fill
+            .and(MemReq::f64s(2 * n * (b + 1))) // chase reflector slots
+            .and(MemReq::f64s(4 * n)) // bidiagonal + retry snapshot
+    }
+
     /// Compute the SVD with internally-allocated buffers.
     pub fn solve(&self, a: &Matrix) -> Result<Svd> {
         let mut plan = SvdPlan::new();
@@ -189,6 +219,9 @@ impl GeSvd {
         }
         // Screening: every entry finite, with the offender located.
         let anorm = screen_general(a)?;
+        // Admission boundary: a pre-cancelled or expired request aborts
+        // before the working copy is touched, keeping the plan warm.
+        self.ctrl.checkpoint()?;
         let rec = Recorder::new();
         // DSYEV-style safe scaling into [sqrt(smlnum), sqrt(bignum)].
         let sigma = safe_scale_factor(anorm);
@@ -273,7 +306,7 @@ impl GeSvd {
             } else {
                 (None, None)
             };
-            bdsqr(d, e, u, v)
+            bdsqr_with(d, e, u, v, &self.ctrl)
         };
         match first {
             Ok(()) => Ok(()),
@@ -296,7 +329,7 @@ impl GeSvd {
                 } else {
                     (None, None)
                 };
-                bdsqr(d, e, u, v)
+                bdsqr_with(d, e, u, v, &self.ctrl)
             }
             Err(e) => Err(e),
         }
@@ -305,11 +338,15 @@ impl GeSvd {
     /// Two-stage pipeline on the (square, pre-scaled) working copy.
     fn solve_two_stage(&self, plan: &mut SvdPlan, rec: &Recorder) -> Result<Svd> {
         let n = plan.work.rows();
-        let form = ge2bb(&plan.work, self.nb, self.ib);
+        let form = ge2bb_with(&plan.work, self.nb, self.ib, &self.ctrl)?;
         // Scheduled bulge chase, with the serial path as recovery rung.
-        let chase = match reduce_scheduled(clone_band(&form.band), self.scheduler) {
+        let chase = match reduce_scheduled(clone_band(&form.band), self.scheduler, &self.ctrl) {
             Ok(c) => c,
             Err(e) => {
+                // A cancel or expired deadline drains the pool and lands
+                // here as the poll-stop string; re-checkpoint so it
+                // surfaces structurally instead of as a serial rerun.
+                self.ctrl.checkpoint()?;
                 rec.record(Recovery::SchedulerFallback { error: e });
                 crate::stage2::reduce(clone_band(&form.band))
             }
@@ -328,6 +365,7 @@ impl GeSvd {
             });
         }
         // U = Q1 (L_chase Ub), V = P1 (R_chase Vb).
+        self.ctrl.checkpoint()?;
         let mut u = plan.ub.clone();
         chase.bv.apply_left(&mut u);
         apply_q1(&form.qpanels, &mut u);
@@ -345,6 +383,7 @@ impl GeSvd {
     /// One-stage pipeline on the (pre-scaled) working copy.
     fn solve_one_stage(&self, plan: &mut SvdPlan, rec: &Recorder) -> Result<Svd> {
         let (m, n) = (plan.work.rows(), plan.work.cols());
+        self.ctrl.checkpoint()?;
         let (tauq, taup, d, e) = gebrd(&mut plan.work);
         plan.d = d;
         plan.e = e;
@@ -357,6 +396,7 @@ impl GeSvd {
                 diagnostics: SolveDiagnostics::default(),
             });
         }
+        self.ctrl.checkpoint()?;
         let fac = &plan.work;
         // U = Q * [Ub; 0]  (Q = H_0 H_1 ... from the left reflectors).
         let mut u = Matrix::zeros(m, n);
@@ -430,17 +470,26 @@ fn clone_band(band: &tseig_matrix::GeBandMatrix) -> tseig_matrix::GeBandMatrix {
 /// request that fails (screening, non-convergence, even a panicking
 /// kernel) produces an `Err` in its own slot while the rest of the
 /// batch completes.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SvdBatch {
     gesvd: GeSvd,
     threads: usize,
+    deadline: Option<Duration>,
+    batch_deadline: Option<Duration>,
+    mem_budget: Option<MemBudget>,
 }
 
 impl SvdBatch {
     /// Batch over the given driver configuration; workers default to the
     /// machine's available parallelism.
     pub fn new(gesvd: GeSvd) -> SvdBatch {
-        SvdBatch { gesvd, threads: 0 }
+        SvdBatch {
+            gesvd,
+            threads: 0,
+            deadline: None,
+            batch_deadline: None,
+            mem_budget: None,
+        }
     }
 
     /// Number of concurrent workers (`0` = available parallelism, `1` =
@@ -450,13 +499,78 @@ impl SvdBatch {
         self
     }
 
+    /// Per-request wall-clock budget: each solve gets a fresh deadline
+    /// of `d`, and an overrun aborts that request alone with
+    /// `Error::DeadlineExceeded` (the sibling requests are unaffected).
+    pub fn deadline(mut self, d: Duration) -> SvdBatch {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Whole-batch wall-clock budget, queue-time aware: a request
+    /// claimed with the batch budget already spent fails at admission,
+    /// and a claimed request's effective deadline never extends past
+    /// what remains of the batch budget.
+    pub fn batch_deadline(mut self, d: Duration) -> SvdBatch {
+        self.batch_deadline = Some(d);
+        self
+    }
+
+    /// Memory admission ceiling, checked against
+    /// [`GeSvd::plan_req`] sizing before any allocation for the
+    /// request: an oversized input fails with `Error::BudgetExceeded`
+    /// without disturbing the worker's warm plan.
+    pub fn mem_budget(mut self, b: MemBudget) -> SvdBatch {
+        self.mem_budget = Some(b);
+        self
+    }
+
+    /// Admission decision for one `m x n` request under the configured
+    /// memory budget. Pure arithmetic — performs no allocation.
+    pub fn admit(&self, m: usize, n: usize) -> Result<()> {
+        match self.mem_budget {
+            Some(b) => b.admit(self.gesvd.plan_req(m, n).total_bytes()),
+            None => Ok(()),
+        }
+    }
+
+    /// Per-request driver under the governance knobs: admission check,
+    /// then the base configuration with the effective deadline
+    /// (min of per-request budget and the batch budget's remainder)
+    /// attached on top of any caller-supplied control.
+    fn request_driver(&self, a: &Matrix, batch: Option<&Deadline>) -> Result<GeSvd> {
+        self.admit(a.rows(), a.cols())?;
+        if let Some(bd) = batch {
+            if bd.expired() {
+                return Err(Error::DeadlineExceeded {
+                    elapsed: bd.elapsed(),
+                    budget: bd.budget(),
+                });
+            }
+        }
+        let budget = match (self.deadline, batch) {
+            (Some(p), Some(bd)) => Some(p.min(bd.remaining())),
+            (Some(p), None) => Some(p),
+            (None, Some(bd)) => Some(bd.remaining()),
+            (None, None) => None,
+        };
+        let mut gesvd = self.gesvd.clone();
+        if let Some(budget) = budget {
+            let ctrl = gesvd.control().clone().with_deadline(Deadline::new(budget));
+            gesvd = gesvd.ctrl(ctrl);
+        }
+        Ok(gesvd)
+    }
+
     /// Factor every input (each `m x n` with `m >= n`).
     pub fn solve_all(&self, inputs: &[Matrix]) -> Vec<Result<Svd>> {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
+        let batch = self.batch_deadline.map(Deadline::new);
         let solve_one = |a: &Matrix, plan: &mut SvdPlan| -> Result<Svd> {
-            match catch_unwind(AssertUnwindSafe(|| self.gesvd.solve_with_plan(a, plan))) {
+            let gesvd = self.request_driver(a, batch.as_ref())?;
+            match catch_unwind(AssertUnwindSafe(|| gesvd.solve_with_plan(a, plan))) {
                 Ok(r) => r,
                 Err(payload) => {
                     // The plan may hold partially-written state after the
@@ -490,6 +604,7 @@ impl SvdBatch {
             for _ in 0..workers {
                 s.spawn(|| {
                     let mut plan = SvdPlan::new();
+                    // tidy: allow(checkpoint-loop) -- governance runs per claim (request_driver); the solve polls its own ctrl
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= inputs.len() {
@@ -597,7 +712,9 @@ mod tests {
         let driver = GeSvd::new().nb(4);
         let sequential: Vec<_> = inputs.iter().map(|a| driver.solve(a)).collect();
         for threads in [1, 3] {
-            let batch = SvdBatch::new(driver).threads(threads).solve_all(&inputs);
+            let batch = SvdBatch::new(driver.clone())
+                .threads(threads)
+                .solve_all(&inputs);
             for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
                 match (b, s) {
                     (Ok(b), Ok(s)) => {
@@ -609,6 +726,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancel_then_resolve_on_same_plan_is_bitwise() {
+        // A cancelled request must leave the plan valid: re-solving on
+        // the same plan with the cancel cleared is bitwise identical to
+        // a fresh ungoverned solve, under every scheduler.
+        use tseig_matrix::CancelToken;
+        let a = rand_mat(24, 24, 900);
+        for sched in [
+            Stage2Exec::Serial,
+            Stage2Exec::Static(3),
+            Stage2Exec::Dynamic(4),
+        ] {
+            let drv = GeSvd::new()
+                .method(SvdMethod::TwoStage)
+                .nb(4)
+                .scheduler(sched);
+            let fresh = drv.solve(&a).unwrap();
+            let mut plan = SvdPlan::new();
+            // Warm the plan, then cancel a request against it.
+            drv.solve_with_plan(&a, &mut plan).unwrap();
+            let pre = CancelToken::new();
+            pre.cancel();
+            let governed = drv.clone().ctrl(Ctrl::new().with_cancel(pre));
+            match governed.solve_with_plan(&a, &mut plan) {
+                Err(Error::Cancelled) => {}
+                other => panic!("{sched:?}: expected Cancelled, got {other:?}"),
+            }
+            let resolved = drv.solve_with_plan(&a, &mut plan).unwrap();
+            assert_eq!(resolved.s, fresh.s, "{sched:?}: singular values");
+            assert_eq!(resolved.u.as_slice(), fresh.u.as_slice(), "{sched:?}: U");
+            assert_eq!(resolved.v.as_slice(), fresh.v.as_slice(), "{sched:?}: V");
+        }
+    }
+
+    #[test]
+    fn batch_admission_rejects_only_the_oversized_request() {
+        // MemBudget admission is per request: the oversized input fails
+        // with the structured need/limit pair before any allocation,
+        // siblings are bitwise identical to an ungoverned run.
+        let small = 12usize;
+        let inputs = vec![
+            rand_mat(small, small, 910),
+            rand_mat(4 * small, 4 * small, 911),
+            rand_mat(small, small, 912),
+        ];
+        let driver = GeSvd::new().nb(4);
+        let limit = driver.plan_req(small, small).total_bytes();
+        let plain = SvdBatch::new(driver.clone()).threads(1).solve_all(&inputs);
+        for threads in [1, 2] {
+            let governed = SvdBatch::new(driver.clone())
+                .threads(threads)
+                .mem_budget(MemBudget::bytes(limit))
+                .solve_all(&inputs);
+            for (i, r) in governed.iter().enumerate() {
+                if i == 1 {
+                    match r {
+                        Err(Error::BudgetExceeded { need, limit: l }) => {
+                            assert!(*need > *l, "need {need} <= limit {l}");
+                        }
+                        other => panic!("expected BudgetExceeded, got {other:?}"),
+                    }
+                } else {
+                    let (g, p) = (r.as_ref().unwrap(), plain[i].as_ref().unwrap());
+                    assert_eq!(g.s, p.s, "request {i}");
+                    assert_eq!(g.u.as_slice(), p.u.as_slice(), "request {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_batch_deadline_fails_every_request_structurally() {
+        let inputs: Vec<Matrix> = (0..3).map(|s| rand_mat(10, 10, 920 + s)).collect();
+        let out = SvdBatch::new(GeSvd::new().nb(4))
+            .threads(2)
+            .batch_deadline(Duration::ZERO)
+            .solve_all(&inputs);
+        assert!(out
+            .iter()
+            .all(|r| matches!(r, Err(Error::DeadlineExceeded { .. }))));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use tseig_kernels::householder::{larfb_with_work, Side};
 use tseig_kernels::qr::{extract_v_t_into, geqrf_ws, QrWs};
 use tseig_kernels::Trans;
 use tseig_matrix::workspace::reset_f64s;
-use tseig_matrix::{GeBandMatrix, Matrix};
+use tseig_matrix::{Ctrl, GeBandMatrix, Matrix};
 
 /// One panel's block reflector `I - V T V^T` acting on the contiguous
 /// coordinate range `j0 .. j0 + V.rows()` (rows for `Q1` panels, columns
@@ -53,6 +53,21 @@ pub struct BandBidiForm {
 /// `A = Q1 B P1^T`. `ib` is the inner blocking of the panel QR
 /// (defaults to `b` when 0).
 pub fn ge2bb(a: &Matrix, b: usize, ib: usize) -> BandBidiForm {
+    match ge2bb_with(a, b, ib, &Ctrl::NONE) {
+        Ok(form) => form,
+        Err(e) => unreachable!("inert control failed: {e}"),
+    }
+}
+
+/// [`ge2bb`] under a request control: polls `ctrl` once per panel — an
+/// armed cancel or expired deadline aborts between panels with the
+/// structured error and no partial output escapes.
+pub fn ge2bb_with(
+    a: &Matrix,
+    b: usize,
+    ib: usize,
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<BandBidiForm> {
     assert_eq!(
         a.rows(),
         a.cols(),
@@ -76,6 +91,7 @@ pub fn ge2bb(a: &Matrix, b: usize, ib: usize) -> BandBidiForm {
 
     let mut j0 = 0usize;
     while j0 < n {
+        ctrl.checkpoint()?;
         let jb = b.min(n - j0);
         let m0 = n - j0;
         // QR of the column panel: zero it below the diagonal.
@@ -177,12 +193,12 @@ pub fn ge2bb(a: &Matrix, b: usize, ib: usize) -> BandBidiForm {
             band.set(i, j, work[(i, j)]);
         }
     }
-    BandBidiForm {
+    Ok(BandBidiForm {
         band,
         qpanels,
         ppanels,
         b,
-    }
+    })
 }
 
 /// Apply `Q1` to `u` from the left: `u <- Q1 u` with

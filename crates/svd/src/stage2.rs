@@ -35,7 +35,7 @@ use tseig_kernels::contract;
 use tseig_kernels::flops::{add, add_bytes, Level};
 use tseig_kernels::householder::{larf_left, larf_right, larfg};
 use tseig_matrix::workspace::{reset_f64s, MemReq};
-use tseig_matrix::{GeBandMatrix, Matrix};
+use tseig_matrix::{Ctrl, GeBandMatrix, Matrix};
 use tseig_runtime::verify::TaskSpec;
 use tseig_runtime::{
     shadow, Access, DataCell, Priority, Region, Runtime, StaticSchedule, TaskGraph,
@@ -108,12 +108,14 @@ impl BvSet {
         self.b = b;
         let ns = if n > 2 && b > 1 { n - 2 } else { 0 };
         self.sweeps.truncate(ns);
+        // tidy: allow(checkpoint-loop) -- workspace reshaping, no solver iteration
         while self.sweeps.len() < ns {
             self.sweeps.push(Vec::new());
         }
         for (s, sweep) in self.sweeps.iter_mut().enumerate() {
             let steps = BvSet::steps_of_sweep(n, b, s);
             sweep.truncate(steps);
+            // tidy: allow(checkpoint-loop) -- workspace reshaping, no solver iteration
             while sweep.len() < steps {
                 sweep.push(BvSlot::default());
             }
@@ -522,19 +524,23 @@ pub fn reduce(mut band: GeBandMatrix) -> ChaseResult {
     let mut ws = Stage2Ws::default();
     let mut d = Vec::new();
     let mut e = Vec::new();
-    reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e);
+    // An inert control never fails a checkpoint.
+    let _ = reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e, &Ctrl::NONE);
     ChaseResult { d, e, bv }
 }
 
 /// Planned variant of [`reduce`]: band, reflector set, scratch, and the
-/// bidiagonal output all live in caller-owned storage.
+/// bidiagonal output all live in caller-owned storage. Polls `ctrl` once
+/// per sweep — an armed cancel or expired deadline aborts between sweeps
+/// with the structured error, leaving the caller's plan reusable.
 pub fn reduce_ws(
     band: &mut GeBandMatrix,
     bv: &mut BvSet,
     ws: &mut Stage2Ws,
     d: &mut Vec<f64>,
     e: &mut Vec<f64>,
-) {
+    ctrl: &Ctrl,
+) -> tseig_matrix::Result<()> {
     let n = band.n();
     let b = band.kl();
     assert!(
@@ -545,12 +551,14 @@ pub fn reduce_ws(
     bv.reset(n, b);
     if n > 2 && b > 1 {
         for s in 0..n - 2 {
+            ctrl.checkpoint()?;
             run_sweep_ws(band, bv, ws, s);
         }
     }
     reset_f64s(d, n);
     reset_f64s(e, n.saturating_sub(1));
     band.to_bidiagonal_into(d, e);
+    Ok(())
 }
 
 /// Scheduler selection for the chase (mirrors `tseig-core`'s stage 2).
@@ -695,8 +703,15 @@ fn run_task(band: &DataCell<GeBandMatrix>, bv: &DataCell<BvSet>, t: ChaseTask) {
 }
 
 /// Run the bulge chase under the chosen scheduler. Produces the same
-/// bidiagonal and reflector set as [`reduce`], bitwise.
-pub fn reduce_scheduled(band: GeBandMatrix, exec: Stage2Exec) -> Result<ChaseResult, String> {
+/// bidiagonal and reflector set as [`reduce`], bitwise. Scheduled
+/// backends poll `ctrl` between task claims and drain the pool on an
+/// armed cancel or expired deadline; the serial backend checkpoints
+/// once per sweep.
+pub fn reduce_scheduled(
+    band: GeBandMatrix,
+    exec: Stage2Exec,
+    ctrl: &Ctrl,
+) -> Result<ChaseResult, String> {
     let n = band.n();
     let b = band.kl();
     assert!(
@@ -704,7 +719,16 @@ pub fn reduce_scheduled(band: GeBandMatrix, exec: Stage2Exec) -> Result<ChaseRes
         "bulge chase needs ku >= 2*kl fill diagonals"
     );
     match exec {
-        Stage2Exec::Serial => Ok(reduce(band)),
+        Stage2Exec::Serial => {
+            let mut band = band;
+            let mut bv = BvSet::default();
+            let mut ws = Stage2Ws::default();
+            let mut d = Vec::new();
+            let mut e = Vec::new();
+            reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e, ctrl)
+                .map_err(|e| e.to_string())?;
+            Ok(ChaseResult { d, e, bv })
+        }
         Stage2Exec::Dynamic(threads) => {
             band_contract("reduce_scheduled", &band);
             let tasks = enumerate_tasks(n, b);
@@ -718,7 +742,7 @@ pub fn reduce_scheduled(band: GeBandMatrix, exec: Stage2Exec) -> Result<ChaseRes
                 let (tag, prio) = task_meta(t);
                 graph.add_task(tag, prio, &regions, move || run_task(&bc, &vc, t));
             }
-            Runtime::new(threads).run(graph)?;
+            Runtime::new(threads).run_with_poll(graph, &|| ctrl.poll_stop())?;
             let band = Arc::try_unwrap(band_cell)
                 .map_err(|_| "band still shared".to_string())?
                 .into_inner();
@@ -732,7 +756,7 @@ pub fn reduce_scheduled(band: GeBandMatrix, exec: Stage2Exec) -> Result<ChaseRes
         }
         Stage2Exec::Static(threads) => {
             let plan = Stage2Schedule::new(n, b, threads);
-            reduce_static_prepared(band, &plan)
+            reduce_static_prepared(band, &plan, ctrl)
         }
     }
 }
@@ -781,6 +805,7 @@ impl Stage2Schedule {
 pub fn reduce_static_prepared(
     band: GeBandMatrix,
     plan: &Stage2Schedule,
+    ctrl: &Ctrl,
 ) -> Result<ChaseResult, String> {
     let n = band.n();
     let b = band.kl();
@@ -797,12 +822,15 @@ pub fn reduce_static_prepared(
     band_contract("reduce_static_prepared", &band);
     let band_cell = Arc::new(DataCell::new(band));
     let bv_cell = Arc::new(DataCell::new(BvSet::new(n, b)));
-    plan.sched.execute(|i| {
-        let bc = band_cell.clone();
-        let vc = bv_cell.clone();
-        let t = plan.tasks[i];
-        Box::new(move || run_task(&bc, &vc, t))
-    })?;
+    plan.sched.execute_with_poll(
+        |i| {
+            let bc = band_cell.clone();
+            let vc = bv_cell.clone();
+            let t = plan.tasks[i];
+            Box::new(move || run_task(&bc, &vc, t))
+        },
+        &|| ctrl.poll_stop(),
+    )?;
     let band = Arc::try_unwrap(band_cell)
         .map_err(|_| "band still shared".to_string())?
         .into_inner();
@@ -888,7 +916,7 @@ mod tests {
             let mut bv = BvSet::default();
             let mut ws = Stage2Ws::default();
             let (mut d, mut e) = (Vec::new(), Vec::new());
-            reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e);
+            reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e, &Ctrl::NONE).unwrap();
             assert_eq!(
                 band.max_outside_bidiagonal(),
                 0.0,
@@ -944,10 +972,48 @@ mod tests {
         let band = random_band(n, b, 11);
         let serial = reduce(GeBandMatrix::from_dense(&band.to_dense(), b, 2 * b));
         for exec in [Stage2Exec::Static(3), Stage2Exec::Dynamic(4)] {
-            let got = reduce_scheduled(GeBandMatrix::from_dense(&band.to_dense(), b, 2 * b), exec)
-                .unwrap();
+            let got = reduce_scheduled(
+                GeBandMatrix::from_dense(&band.to_dense(), b, 2 * b),
+                exec,
+                &Ctrl::NONE,
+            )
+            .unwrap();
             assert_eq!(serial.d, got.d, "d differs under {exec:?}");
             assert_eq!(serial.e, got.e, "e differs under {exec:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_during_scheduled_chase() {
+        // A token cancelled mid-chase must drain the pool (no hang, no
+        // partial-result corruption) for both scheduled backends; a
+        // pre-cancelled token must stop before any real work. Run under
+        // TSan in CI: the cancel write races the worker polls by design,
+        // and the atomics must make that race benign.
+        use tseig_matrix::CancelToken;
+        let (n, b) = (48, 4);
+        let band = random_band(n, b, 29);
+        for exec in [Stage2Exec::Dynamic(4), Stage2Exec::Static(3)] {
+            let tok = CancelToken::new();
+            let ctrl = Ctrl::new().with_cancel(tok.clone());
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                tok.cancel();
+            });
+            // Either outcome is legal (the chase may finish first); what
+            // matters is termination and a clean drain, which TSan and
+            // the shadow checker audit.
+            let _ = reduce_scheduled(band.clone(), exec, &ctrl);
+            t.join().unwrap();
+
+            let pre = CancelToken::new();
+            pre.cancel();
+            let ctrl = Ctrl::new().with_cancel(pre);
+            let err = match reduce_scheduled(band.clone(), exec, &ctrl) {
+                Err(e) => e,
+                Ok(_) => panic!("pre-cancelled chase must not succeed ({exec:?})"),
+            };
+            assert_eq!(err, tseig_runtime::STOPPED_BY_POLL, "{exec:?}");
         }
     }
 
@@ -994,11 +1060,11 @@ mod tests {
         let mut bv = BvSet::default();
         let mut ws = Stage2Ws::default();
         let (mut d, mut e) = (Vec::new(), Vec::new());
-        reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e);
+        reduce_ws(&mut band, &mut bv, &mut ws, &mut d, &mut e, &Ctrl::NONE).unwrap();
         let warm = bv.capacity_bytes() + ws.capacity_bytes();
         // Re-run at the same shape: capacities must not grow.
         let mut band2 = GeBandMatrix::from_dense(&dense0, b, 2 * b);
-        reduce_ws(&mut band2, &mut bv, &mut ws, &mut d, &mut e);
+        reduce_ws(&mut band2, &mut bv, &mut ws, &mut d, &mut e, &Ctrl::NONE).unwrap();
         assert_eq!(warm, bv.capacity_bytes() + ws.capacity_bytes());
     }
 }

@@ -18,13 +18,12 @@
 //! 5. Back-transform with one big `gemm` — the compute-bound heart of the
 //!    method.
 
-use crate::qr_iteration::steqr;
 use crate::secular;
 use crate::{inverse_iteration, sturm};
 use tseig_kernels::blas3::{gemm_par, Trans};
 use tseig_matrix::chaos;
 use tseig_matrix::diagnostics::{Recorder, Recovery};
-use tseig_matrix::{Error, Matrix, Result, SymTridiagonal};
+use tseig_matrix::{Ctrl, Error, Matrix, Result, SymTridiagonal};
 
 /// Subproblems at or below this order are solved directly by QR
 /// iteration (LAPACK's `SMLSIZ`).
@@ -33,48 +32,57 @@ const SMLSIZ: usize = 25;
 /// Divide & conquer eigendecomposition: ascending eigenvalues and the
 /// full eigenvector matrix.
 pub fn stedc(t: &SymTridiagonal) -> Result<(Vec<f64>, Matrix)> {
-    stedc_with(t, &Recorder::new())
+    stedc_with(t, &Recorder::new(), &Ctrl::NONE)
 }
 
 /// [`stedc`] with a recovery recorder: a merge whose output contains a
 /// non-finite value (secular-equation breakdown) falls back to QR
 /// iteration on that subproblem; a QR leaf hitting its cap falls back to
-/// bisection + inverse iteration. Both are recorded.
-pub fn stedc_with(t: &SymTridiagonal, rec: &Recorder) -> Result<(Vec<f64>, Matrix)> {
+/// bisection + inverse iteration. Both are recorded. Polls `ctrl` once
+/// per subproblem (every recursion node) so cancel and deadline cut the
+/// recursion cooperatively.
+pub fn stedc_with(t: &SymTridiagonal, rec: &Recorder, ctrl: &Ctrl) -> Result<(Vec<f64>, Matrix)> {
     let n = t.n();
     if n == 0 {
         return Ok((vec![], Matrix::zeros(0, 0)));
     }
     let mut d = t.diag().to_vec();
     let mut e = t.off_diag().to_vec();
-    solve_rec(&mut d, &mut e, rec)
+    solve_rec(&mut d, &mut e, rec, ctrl)
 }
 
 /// Solve the subproblem `(d, e)` by QR iteration with the
 /// bisection + inverse-iteration safety net — the shared tail of every
 /// fallback path.
-fn solve_by_qr(d0: &[f64], e0: &[f64], rec: &Recorder) -> Result<(Vec<f64>, Matrix)> {
+fn solve_by_qr(d0: &[f64], e0: &[f64], rec: &Recorder, ctrl: &Ctrl) -> Result<(Vec<f64>, Matrix)> {
     let n = d0.len();
     let mut dr = d0.to_vec();
     let mut er = e0.to_vec();
     let mut z = Matrix::identity(n);
-    match steqr(&mut dr, &mut er, Some(&mut z)) {
+    let mut ee = Vec::new();
+    match crate::qr_iteration::steqr_ws(&mut dr, &mut er, Some(&mut z), &mut ee, ctrl) {
         Ok(()) => Ok((dr, z)),
         Err(Error::NoConvergence { index, .. }) => {
             rec.record(Recovery::QrFallbackToBisection { index, size: n });
             let t = SymTridiagonal::new(d0.to_vec(), e0.to_vec());
-            let vals = sturm::bisect_with(&t, 0, n, rec)?;
-            let zb = inverse_iteration::stein_with(&t, &vals, rec)?;
+            let vals = sturm::bisect_with(&t, 0, n, rec, ctrl)?;
+            let zb = inverse_iteration::stein_with(&t, &vals, rec, ctrl)?;
             Ok((vals, zb))
         }
         Err(other) => Err(other),
     }
 }
 
-fn solve_rec(d: &mut [f64], e: &mut [f64], rec: &Recorder) -> Result<(Vec<f64>, Matrix)> {
+fn solve_rec(
+    d: &mut [f64],
+    e: &mut [f64],
+    rec: &Recorder,
+    ctrl: &Ctrl,
+) -> Result<(Vec<f64>, Matrix)> {
     let n = d.len();
+    ctrl.checkpoint()?;
     if n <= SMLSIZ {
-        return solve_by_qr(d, e, rec);
+        return solve_by_qr(d, e, rec, ctrl);
     }
     // Snapshot the untorn subproblem: the merge fallback below re-solves
     // it whole if the secular machinery breaks down.
@@ -92,7 +100,10 @@ fn solve_rec(d: &mut [f64], e: &mut [f64], rec: &Recorder) -> Result<(Vec<f64>, 
     d1[m - 1] -= rho_abs;
     d2[0] -= rho_abs;
 
-    let (left, right) = rayon::join(|| solve_rec(d1, e1, rec), || solve_rec(d2, e2, rec));
+    let (left, right) = rayon::join(
+        || solve_rec(d1, e1, rec, ctrl),
+        || solve_rec(d2, e2, rec, ctrl),
+    );
     let (vals1, q1) = left?;
     let (vals2, q2) = right?;
 
@@ -130,7 +141,7 @@ fn solve_rec(d: &mut [f64], e: &mut [f64], rec: &Recorder) -> Result<(Vec<f64>, 
         }
         Ok(_) | Err(Error::NoConvergence { .. }) => {
             rec.record(Recovery::DcFallbackToQr { size: n });
-            solve_by_qr(&d0, &e0, rec)
+            solve_by_qr(&d0, &e0, rec, ctrl)
         }
         Err(other) => Err(other),
     }

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tseig_matrix::chaos;
 use tseig_matrix::diagnostics::{Recorder, Recovery};
-use tseig_matrix::{Error, Matrix, Result, SymTridiagonal};
+use tseig_matrix::{Ctrl, Error, Matrix, Result, SymTridiagonal};
 
 /// Partially-pivoted LU of a (shifted) tridiagonal matrix, `dgttrf`-style.
 struct TriLu {
@@ -113,14 +113,20 @@ const MAX_ITS: usize = 5;
 /// iteration. Returns an `n x k` matrix whose column `j` pairs with
 /// `lambda[j]`.
 pub fn stein(t: &SymTridiagonal, lambda: &[f64]) -> Result<Matrix> {
-    stein_with(t, lambda, &Recorder::new())
+    stein_with(t, lambda, &Recorder::new(), &Ctrl::NONE)
 }
 
 /// [`stein`] with a recovery recorder: an attempt whose iterates stay
 /// degenerate (zero or non-finite growth on every step) is retried up to
 /// [`MAX_ATTEMPTS`] times with a randomly perturbed shift; retries are
-/// recorded, exhaustion becomes `Error::NoConvergence`.
-pub fn stein_with(t: &SymTridiagonal, lambda: &[f64], rec: &Recorder) -> Result<Matrix> {
+/// recorded, exhaustion becomes `Error::NoConvergence`. Polls `ctrl`
+/// once per eigenvector.
+pub fn stein_with(
+    t: &SymTridiagonal,
+    lambda: &[f64],
+    rec: &Recorder,
+    ctrl: &Ctrl,
+) -> Result<Matrix> {
     let n = t.n();
     let k = lambda.len();
     let mut z = Matrix::zeros(n, k);
@@ -143,6 +149,7 @@ pub fn stein_with(t: &SymTridiagonal, lambda: &[f64], rec: &Recorder) -> Result<
     let mut cluster_start = 0usize;
     let mut prev_used = f64::NEG_INFINITY;
     for j in 0..k {
+        ctrl.checkpoint()?;
         if j > 0 && lambda[j] - lambda[j - 1] >= ortol {
             cluster_start = j;
         }

@@ -27,7 +27,7 @@ pub mod sturm;
 pub use phases::PhaseTimings;
 
 use tseig_matrix::diagnostics::{Recorder, Recovery};
-use tseig_matrix::{Error, Matrix, MemReq, Result, SymTridiagonal};
+use tseig_matrix::{Ctrl, Error, Matrix, MemReq, Result, SymTridiagonal};
 
 /// Tridiagonal eigensolver selection (paper Table 1's three methods).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -112,19 +112,30 @@ pub fn solve(
     range: EigenRange,
     want_vectors: bool,
 ) -> Result<TridiagEigen> {
-    solve_with_diag(t, method, range, want_vectors, &Recorder::new())
+    solve_with_diag(
+        t,
+        method,
+        range,
+        want_vectors,
+        &Recorder::new(),
+        &Ctrl::NONE,
+    )
 }
 
 /// [`solve`] with a recovery recorder threaded through every phase: a QR
 /// iteration-cap failure falls back to bisection + inverse iteration for
 /// the selected range (recorded, not fatal), and the D&C / bisection /
-/// inverse-iteration internals record their own fallbacks.
+/// inverse-iteration internals record their own fallbacks. `ctrl` is
+/// polled inside every iteration loop (QR per eigenvalue, D&C per
+/// subproblem, inverse iteration per eigenvector), so an armed cancel or
+/// expired deadline surfaces as the structured error.
 pub fn solve_with_diag(
     t: &SymTridiagonal,
     method: Method,
     range: EigenRange,
     want_vectors: bool,
     rec: &Recorder,
+    ctrl: &Ctrl,
 ) -> Result<TridiagEigen> {
     let n = t.n();
     let (lo, hi) = range.resolve_for(t);
@@ -133,16 +144,19 @@ pub fn solve_with_diag(
             EigenRange::All => {
                 let mut d = t.diag().to_vec();
                 let mut e = t.off_diag().to_vec();
-                match qr_iteration::steqr(&mut d, &mut e, None) {
+                let mut ee = Vec::new();
+                match qr_iteration::steqr_ws(&mut d, &mut e, None, &mut ee, ctrl) {
                     Ok(()) => d,
                     Err(Error::NoConvergence { index, .. }) => {
                         rec.record(Recovery::QrFallbackToBisection { index, size: n });
-                        sturm::bisect_with(t, 0, n, rec)?
+                        sturm::bisect_with(t, 0, n, rec, ctrl)?
                     }
                     Err(other) => return Err(other),
                 }
             }
-            EigenRange::Index(..) | EigenRange::Value(..) => sturm::bisect_with(t, lo, hi, rec)?,
+            EigenRange::Index(..) | EigenRange::Value(..) => {
+                sturm::bisect_with(t, lo, hi, rec, ctrl)?
+            }
         };
         return Ok(TridiagEigen {
             eigenvalues: vals,
@@ -154,7 +168,8 @@ pub fn solve_with_diag(
             let mut d = t.diag().to_vec();
             let mut e = t.off_diag().to_vec();
             let mut z = Matrix::identity(n);
-            match qr_iteration::steqr(&mut d, &mut e, Some(&mut z)) {
+            let mut ee = Vec::new();
+            match qr_iteration::steqr_ws(&mut d, &mut e, Some(&mut z), &mut ee, ctrl) {
                 Ok(()) => {
                     let (zsel, vals) = select_columns(&z, &d, lo, hi);
                     Ok(TridiagEigen {
@@ -164,8 +179,8 @@ pub fn solve_with_diag(
                 }
                 Err(Error::NoConvergence { index, .. }) => {
                     rec.record(Recovery::QrFallbackToBisection { index, size: n });
-                    let vals = sturm::bisect_with(t, lo, hi, rec)?;
-                    let zb = inverse_iteration::stein_with(t, &vals, rec)?;
+                    let vals = sturm::bisect_with(t, lo, hi, rec, ctrl)?;
+                    let zb = inverse_iteration::stein_with(t, &vals, rec, ctrl)?;
                     Ok(TridiagEigen {
                         eigenvalues: vals,
                         eigenvectors: Some(zb),
@@ -175,7 +190,7 @@ pub fn solve_with_diag(
             }
         }
         Method::DivideAndConquer => {
-            let (vals, z) = dandc::stedc_with(t, rec)?;
+            let (vals, z) = dandc::stedc_with(t, rec, ctrl)?;
             let (zsel, vals) = select_columns(&z, &vals, lo, hi);
             Ok(TridiagEigen {
                 eigenvalues: vals,
@@ -183,8 +198,8 @@ pub fn solve_with_diag(
             })
         }
         Method::BisectionInverse => {
-            let vals = sturm::bisect_with(t, lo, hi, rec)?;
-            let z = inverse_iteration::stein_with(t, &vals, rec)?;
+            let vals = sturm::bisect_with(t, lo, hi, rec, ctrl)?;
+            let z = inverse_iteration::stein_with(t, &vals, rec, ctrl)?;
             Ok(TridiagEigen {
                 eigenvalues: vals,
                 eigenvectors: Some(z),
@@ -256,7 +271,12 @@ pub fn steqr_planned_req(n: usize) -> MemReq {
 /// QR hits its iteration cap — but allocation-free once `ws` has warmed
 /// up to order `n` (the fallback path still allocates; it is a recovery,
 /// not a hot path).
-pub fn steqr_planned(t: &SymTridiagonal, rec: &Recorder, ws: &mut TridiagWs) -> Result<()> {
+pub fn steqr_planned(
+    t: &SymTridiagonal,
+    rec: &Recorder,
+    ws: &mut TridiagWs,
+    ctrl: &Ctrl,
+) -> Result<()> {
     let n = t.n();
     ws.vals.clear();
     ws.vals.reserve_exact(n);
@@ -265,12 +285,12 @@ pub fn steqr_planned(t: &SymTridiagonal, rec: &Recorder, ws: &mut TridiagWs) -> 
     ws.off.reserve_exact(n.saturating_sub(1));
     ws.off.extend_from_slice(t.off_diag());
     ws.z.reset_to_identity(n);
-    match qr_iteration::steqr_ws(&mut ws.vals, &mut ws.off, Some(&mut ws.z), &mut ws.ee) {
+    match qr_iteration::steqr_ws(&mut ws.vals, &mut ws.off, Some(&mut ws.z), &mut ws.ee, ctrl) {
         Ok(()) => Ok(()),
         Err(Error::NoConvergence { index, .. }) => {
             rec.record(Recovery::QrFallbackToBisection { index, size: n });
-            let vals = sturm::bisect_with(t, 0, n, rec)?;
-            let zb = inverse_iteration::stein_with(t, &vals, rec)?;
+            let vals = sturm::bisect_with(t, 0, n, rec, ctrl)?;
+            let zb = inverse_iteration::stein_with(t, &vals, rec, ctrl)?;
             ws.vals.clear();
             ws.vals.extend_from_slice(&vals);
             ws.z = zb;

@@ -6,7 +6,7 @@
 //! algorithm. With accumulation the cost is `O(n^3)`; without, `O(n^2)`.
 
 use tseig_matrix::chaos;
-use tseig_matrix::{Error, Matrix, Result};
+use tseig_matrix::{Ctrl, Error, Matrix, Result};
 
 /// Maximum QL iterations per eigenvalue before declaring failure.
 const MAX_ITER: usize = 50;
@@ -21,17 +21,19 @@ const MAX_ITER: usize = 50;
 /// columns are permuted into ascending-eigenvalue order alongside `d`.
 pub fn steqr(d: &mut [f64], e: &mut [f64], z: Option<&mut Matrix>) -> Result<()> {
     let mut ee = Vec::new();
-    steqr_ws(d, e, z, &mut ee)
+    steqr_ws(d, e, z, &mut ee, &Ctrl::NONE)
 }
 
 /// [`steqr`] with a caller-owned copy of the off-diagonal work buffer:
 /// allocation-free once `ee` has warmed up to length `n`. Bit-identical
-/// to the allocating entry point.
+/// to the allocating entry point. Polls `ctrl` once per eigenvalue; an
+/// armed cancel or expired deadline aborts with the structured error.
 pub fn steqr_ws(
     d: &mut [f64],
     e: &mut [f64],
     mut z: Option<&mut Matrix>,
     ee: &mut Vec<f64>,
+    ctrl: &Ctrl,
 ) -> Result<()> {
     let n = d.len();
     if let Some(zm) = z.as_ref() {
@@ -50,6 +52,10 @@ pub fn steqr_ws(
     for l in 0..n {
         let mut iter = 0;
         loop {
+            // Poll per QR sweep: a single eigenvalue can burn up to
+            // MAX_ITER shifted sweeps, so the per-l granularity alone
+            // would be too coarse under a tight deadline.
+            ctrl.checkpoint()?;
             // Find the first negligible off-diagonal at or after l.
             let mut m = l;
             while m + 1 < n {

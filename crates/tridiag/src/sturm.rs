@@ -9,7 +9,7 @@
 use rayon::prelude::*;
 use tseig_matrix::chaos;
 use tseig_matrix::diagnostics::{Recorder, Recovery};
-use tseig_matrix::{Error, Result, SymTridiagonal};
+use tseig_matrix::{Ctrl, Error, Result, SymTridiagonal};
 
 /// Number of eigenvalues of `T` at most `x` (ties count), via the Sturm
 /// (LDL^T inertia) recurrence with LAPACK `dstebz`'s pivot safeguard:
@@ -47,14 +47,23 @@ pub fn sturm_count(t: &SymTridiagonal, x: f64) -> usize {
 /// Eigenvalues with ascending indices `lo..hi` (half-open), each located
 /// by bisection to near machine precision. Parallel over indices.
 pub fn bisect_eigenvalues(t: &SymTridiagonal, lo: usize, hi: usize) -> Result<Vec<f64>> {
-    bisect_with(t, lo, hi, &Recorder::new())
+    bisect_with(t, lo, hi, &Recorder::new(), &Ctrl::NONE)
 }
 
 /// [`bisect_eigenvalues`] with a recovery recorder: a non-finite result
 /// (which would silently poison every downstream eigenvector) is redone
 /// once and recorded; a second failure becomes a structured error.
-pub fn bisect_with(t: &SymTridiagonal, lo: usize, hi: usize, rec: &Recorder) -> Result<Vec<f64>> {
+/// Polls `ctrl` at entry and per retried eigenvalue (the parallel
+/// bisection itself is uninterruptible but bounded).
+pub fn bisect_with(
+    t: &SymTridiagonal,
+    lo: usize,
+    hi: usize,
+    rec: &Recorder,
+    ctrl: &Ctrl,
+) -> Result<Vec<f64>> {
     let n = t.n();
+    ctrl.checkpoint()?;
     if lo >= hi {
         return Ok(vec![]);
     }
@@ -82,6 +91,7 @@ pub fn bisect_with(t: &SymTridiagonal, lo: usize, hi: usize, rec: &Recorder) -> 
         .collect();
     for (i, v) in vals.iter_mut().enumerate() {
         if !v.is_finite() {
+            ctrl.checkpoint()?;
             rec.record(Recovery::BisectionRetry { index: lo + i });
             *v = bisect_one(t, lo + i, glo, ghi);
             if !v.is_finite() {

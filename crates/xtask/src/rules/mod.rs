@@ -4,6 +4,7 @@
 //! sources without touching the filesystem.
 
 pub mod casts;
+pub mod checkpoint_loop;
 pub mod counters;
 pub mod panics;
 pub mod plan_no_alloc;

@@ -2,8 +2,8 @@
 //! through the rules, and aggregates diagnostics.
 
 use crate::rules::{
-    casts, counters, panics, plan_no_alloc, pure_req, result_unwrap, shims, task_shadow,
-    unsafe_rules,
+    casts, checkpoint_loop, counters, panics, plan_no_alloc, pure_req, result_unwrap, shims,
+    task_shadow, unsafe_rules,
 };
 use crate::source::SourceFile;
 use crate::Diag;
@@ -43,6 +43,7 @@ pub fn run_tidy(root: &Path) -> std::io::Result<Vec<Diag>> {
         panics::check(&file, &mut diags);
         result_unwrap::check(&file, &mut diags);
         casts::check(&file, &mut diags);
+        checkpoint_loop::check(&file, &mut diags);
         plan_no_alloc::check(&file, &mut diags);
         pure_req::check(&file, &mut diags);
         task_shadow::check(&file, &mut diags);

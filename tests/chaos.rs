@@ -327,3 +327,117 @@ fn gen_batch_isolates_an_injected_breakdown() {
     }
     assert_eq!(degraded, vec![2], "exactly the injected failure degrades");
 }
+
+// ---------------------------------------------------------------------
+// Request-lifecycle governance under the injected stall.
+// ---------------------------------------------------------------------
+
+/// The watchdog regression: one worker wedges inside a checkpoint (the
+/// injected stall never yields the heartbeat), the watchdog cancels it
+/// cooperatively, and the pool keeps draining. Exactly one stuck-worker
+/// detection and — because the quarantined worker then completes its
+/// next request on a rebuilt plan — exactly one rescue.
+#[test]
+fn watchdog_cancels_a_stalled_worker_and_counts_the_rescue() {
+    let inputs: Vec<Matrix> = (0..3).map(|s| gen::random_symmetric(24, 200 + s)).collect();
+    // A stall far longer than the watchdog interval; it only ends when
+    // the watchdog's cancel lands.
+    let plan = Plan::new().with(Site::Stall { ticks: 60_000 }, 1);
+    let (results, events) = with_plan(plan, || {
+        tseig_core::BatchDriver::new(SymmetricEigen::new().nb(4))
+            .threads(1)
+            .watchdog(std::time::Duration::from_millis(40))
+            .solve_all_governed(&inputs)
+    });
+    assert!(
+        matches!(results[0], Err(Error::Cancelled)),
+        "the stalled request must be cancelled by the watchdog: {:?}",
+        results[0]
+    );
+    for (i, r) in results.iter().enumerate().skip(1) {
+        let r = r.as_ref().expect("sibling requests must stay clean");
+        residual_ok(&inputs[i], r);
+    }
+    assert_eq!(events.stuck, 1, "exactly one watchdog detection");
+    assert_eq!(events.rescues, 1, "the quarantined worker must recover");
+    let summary =
+        tseig_core::BatchSummary::of(&results, std::time::Duration::ZERO).with_events(events);
+    assert_eq!(
+        (
+            summary.stuck_workers,
+            summary.worker_rescues,
+            summary.failed
+        ),
+        (1, 1, 1)
+    );
+}
+
+/// Batch isolation under a per-request deadline: the one stalled
+/// request burns through its budget (virtual clock, so the assertion
+/// never races real time) and fails structurally; every sibling result
+/// is bitwise identical to an ungoverned run.
+#[test]
+fn stalled_request_exceeds_its_deadline_and_siblings_stay_bitwise_clean() {
+    let inputs: Vec<Matrix> = (0..4).map(|s| gen::random_symmetric(24, 210 + s)).collect();
+    let eigen = SymmetricEigen::new().nb(4).method(Method::Qr);
+    let baseline: Vec<_> = inputs.iter().map(|a| eigen.solve(a).unwrap()).collect();
+    let budget = std::time::Duration::from_millis(50);
+    let plan = Plan::new().with(Site::Stall { ticks: 60_000 }, 1);
+    let (results, _) = with_plan(plan, || {
+        tseig_core::BatchDriver::new(eigen.clone())
+            .threads(1)
+            .deadline(budget)
+            .solve_all_governed(&inputs)
+    });
+    match &results[0] {
+        Err(Error::DeadlineExceeded { elapsed, budget: b }) => {
+            assert_eq!(*b, budget);
+            assert!(*elapsed >= *b);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    for (i, r) in results.iter().enumerate().skip(1) {
+        let r = r.as_ref().expect("sibling requests must stay clean");
+        assert_eq!(
+            r.eigenvalues, baseline[i].eigenvalues,
+            "request {i}: eigenvalues drifted under governance"
+        );
+        assert_eq!(
+            r.eigenvectors.as_ref().unwrap().as_slice(),
+            baseline[i].eigenvectors.as_ref().unwrap().as_slice(),
+            "request {i}: eigenvectors drifted under governance"
+        );
+    }
+    let summary = tseig_core::BatchSummary::of(&results, std::time::Duration::ZERO);
+    assert_eq!((summary.deadline_exceeded, summary.failed), (1, 1));
+}
+
+/// Deadline overshoot is bounded by one checkpoint interval: the stall
+/// advances the virtual clock 1 ms per tick and the checkpoint breaks
+/// out as soon as the budget is gone, so the reported `elapsed` lands
+/// just past `budget` — nowhere near the 500 ms the uninterrupted stall
+/// would have burned.
+#[test]
+fn deadline_overshoot_is_bounded_by_one_checkpoint_interval() {
+    let a = gen::random_symmetric(24, 220);
+    let budget = std::time::Duration::from_millis(30);
+    let plan = Plan::new().with(Site::Stall { ticks: 500 }, 1);
+    let err = with_plan(plan, || {
+        SymmetricEigen::new()
+            .nb(4)
+            .ctrl(tseig_matrix::Ctrl::new().with_deadline(tseig_matrix::Deadline::new(budget)))
+            .solve(&a)
+            .expect_err("the stalled solve must run out of budget")
+    });
+    match err {
+        Error::DeadlineExceeded { elapsed, budget: b } => {
+            assert_eq!(b, budget);
+            assert!(elapsed >= budget);
+            assert!(
+                elapsed <= budget + std::time::Duration::from_millis(100),
+                "overshoot {elapsed:?} not bounded by a checkpoint interval"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
